@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the Chen–Stein machinery: exact bound evaluation over an
+//! explicit universe, the closed-form Theorem 2/3 bounds, and the two λ estimators
+//! (pruned exact enumeration vs Monte-Carlo table lookup) — the ablation called out
+//! in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sigfim_core::chen_stein::{s_min_theorem3, theorem2_bounds, theorem3_bounds, ExactChenStein};
+use sigfim_core::lambda::{ExactLambda, LambdaEstimator};
+use sigfim_core::montecarlo::FindPoissonThreshold;
+use sigfim_datasets::benchmarks::BenchmarkDataset;
+use sigfim_datasets::random::BernoulliModel;
+
+fn bench_exact_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chen_stein/exact");
+    for n in [8usize, 16, 24] {
+        let freqs: Vec<f64> = (0..n).map(|i| 0.3 / (i as f64 + 1.0).sqrt()).collect();
+        let cs = ExactChenStein::new(&freqs, 1_000, 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("b1_b2_at_s", n), &cs, |b, cs| {
+            b.iter(|| black_box(cs.bounds(black_box(12))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chen_stein/closed_form");
+    group.bench_function("theorem2_homogeneous", |b| {
+        b.iter(|| black_box(theorem2_bounds(1_000, 100_000, 3, 20, 0.001).unwrap()))
+    });
+    let spec = BenchmarkDataset::Bms1.spec();
+    let freqs = spec.frequencies().unwrap();
+    group.bench_function("theorem3_bms1_profile_single_eval", |b| {
+        b.iter(|| {
+            black_box(theorem3_bounds(black_box(&freqs), spec.num_transactions as u64, 2, 600).unwrap())
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("theorem3_bms1_s_min_search", |b| {
+        b.iter(|| {
+            black_box(
+                s_min_theorem3(black_box(&freqs), spec.num_transactions as u64, 2, 0.01).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_lambda_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda");
+    // Exact pruned enumeration over a Bms1-like profile.
+    let spec = BenchmarkDataset::Bms1.spec().scaled(8.0).unwrap();
+    let freqs = spec.frequencies().unwrap();
+    let exact = ExactLambda::new(&freqs, spec.num_transactions as u64, 2, 1e-12).unwrap();
+    group.bench_function("exact_pruned_bms1_k2", |b| {
+        b.iter(|| black_box(ExactLambda::lambda(&exact, black_box(40))))
+    });
+
+    // Monte-Carlo table lookup (the estimator Procedure 2 actually uses).
+    let model = BernoulliModel::new(400, vec![0.1; 12]).unwrap();
+    let algo = FindPoissonThreshold { replicates: 64, ..FindPoissonThreshold::new(2) };
+    let mut rng = StdRng::seed_from_u64(9);
+    let estimate = algo.run(&model, &mut rng).unwrap();
+    let table = estimate.lambda_estimator();
+    group.bench_function("monte_carlo_table_lookup", |b| {
+        b.iter(|| black_box(table.lambda(black_box(estimate.s_min + 2))))
+    });
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    // The full Algorithm 1 run (dataset generation + mining + bound estimation) on a
+    // small null model, as a function of the replicate count.
+    let mut group = c.benchmark_group("algorithm1/find_poisson_threshold");
+    group.sample_size(10);
+    let model = BernoulliModel::new(500, vec![0.08; 20]).unwrap();
+    for replicates in [16usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replicates),
+            &replicates,
+            |b, &replicates| {
+                let algo = FindPoissonThreshold { replicates, ..FindPoissonThreshold::new(2) };
+                let mut rng = StdRng::seed_from_u64(11);
+                b.iter(|| black_box(algo.run(&model, &mut rng).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_bounds,
+    bench_closed_form_bounds,
+    bench_lambda_estimators,
+    bench_algorithm1
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the statistical substrate: the tail probabilities and
+//! multiple-testing corrections sitting in the inner loops of Procedures 1 and 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sigfim_stats::multiple_testing::{benjamini_hochberg, benjamini_yekutieli, bonferroni};
+use sigfim_stats::special::{ln_choose, reg_inc_beta, reg_upper_gamma};
+use sigfim_stats::{Binomial, Poisson};
+
+fn bench_binomial_tail(c: &mut Criterion) {
+    // The Procedure-1 p-value: Pr[Bin(t, f_X) >= s] for Table-1-sized t and tiny f.
+    let mut group = c.benchmark_group("binomial/sf");
+    for (label, t, p, s) in [
+        ("retail_pair", 88_162u64, 1e-6f64, 848u64),
+        ("kosarak_pair", 990_002, 1e-7, 21_144),
+        ("bms1_pair", 59_602, 1e-4, 276),
+    ] {
+        let dist = Binomial::new(t, p).unwrap();
+        group.bench_function(label, |b| b.iter(|| black_box(dist.sf(black_box(s)))));
+    }
+    group.finish();
+}
+
+fn bench_poisson_tail(c: &mut Criterion) {
+    // The Procedure-2 p-value: Pr[Poisson(lambda) >= Q].
+    let mut group = c.benchmark_group("poisson/sf");
+    for (label, lambda, q) in [("small", 0.05f64, 6u64), ("unit", 1.0, 12), ("large", 50.0, 120)] {
+        let dist = Poisson::new(lambda).unwrap();
+        group.bench_function(label, |b| b.iter(|| black_box(dist.sf(black_box(q)))));
+    }
+    group.finish();
+}
+
+fn bench_special_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special");
+    group.bench_function("ln_choose_large", |b| {
+        b.iter(|| black_box(ln_choose(black_box(990_002), black_box(273_266))))
+    });
+    group.bench_function("reg_inc_beta", |b| {
+        b.iter(|| black_box(reg_inc_beta(black_box(848.0), black_box(87_314.0), black_box(1e-4)).unwrap()))
+    });
+    group.bench_function("reg_upper_gamma", |b| {
+        b.iter(|| black_box(reg_upper_gamma(black_box(25.0), black_box(3.5)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_multiple_testing(c: &mut Criterion) {
+    // Correcting |F_k(s_min)|-many p-values against m = C(n,k) hypotheses, at the
+    // sizes Procedure 1 sees on the larger benchmarks.
+    let mut group = c.benchmark_group("multiple_testing");
+    for size in [100usize, 10_000] {
+        let p_values: Vec<f64> =
+            (0..size).map(|i| ((i + 1) as f64 / (size as f64 * 10.0)).powf(1.5)).collect();
+        let m_total = 1.0e9f64;
+        group.bench_with_input(BenchmarkId::new("benjamini_yekutieli", size), &p_values, |b, p| {
+            b.iter(|| black_box(benjamini_yekutieli(black_box(p), 0.05, m_total).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("benjamini_hochberg", size), &p_values, |b, p| {
+            b.iter(|| black_box(benjamini_hochberg(black_box(p), 0.05, m_total).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("bonferroni", size), &p_values, |b, p| {
+            b.iter(|| black_box(bonferroni(black_box(p), 0.05, m_total).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binomial_tail,
+    bench_poisson_tail,
+    bench_special_functions,
+    bench_multiple_testing
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the frequent-itemset miners: Apriori vs Eclat vs
+//! FP-Growth on the access pattern the paper's procedures generate (fixed itemset
+//! size, high support threshold), plus a counting-strategy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sigfim_datasets::random::QuestConfig;
+use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_mining::apriori::{Apriori, CountingStrategy};
+use sigfim_mining::miner::{KItemsetMiner, MinerKind};
+
+fn quest_dataset(transactions: usize, items: u32) -> TransactionDataset {
+    let config = QuestConfig {
+        num_items: items,
+        num_transactions: transactions,
+        avg_transaction_len: 8.0,
+        num_patterns: 40,
+        avg_pattern_len: 4.0,
+        corruption: 0.25,
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    config.generate(&mut rng).expect("valid Quest configuration").0
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let dataset = quest_dataset(4_000, 300);
+
+    let mut group = c.benchmark_group("miners/k2_at_1pct");
+    let threshold = (dataset.num_transactions() / 100) as u64;
+    for kind in [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| kind.mine_k(black_box(&dataset), 2, threshold).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("miners/k3_at_0.5pct");
+    let threshold = (dataset.num_transactions() / 200).max(2) as u64;
+    for kind in [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| kind.mine_k(black_box(&dataset), 3, threshold).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_counting_strategies(c: &mut Criterion) {
+    let dataset = quest_dataset(4_000, 300);
+    let threshold = (dataset.num_transactions() / 100) as u64;
+    let mut group = c.benchmark_group("apriori/counting_strategy");
+    for (label, strategy) in [
+        ("auto", None),
+        ("vertical", Some(CountingStrategy::Vertical)),
+        ("horizontal", Some(CountingStrategy::Horizontal)),
+    ] {
+        let miner = Apriori { prune: true, force_strategy: strategy };
+        group.bench_function(label, |b| {
+            b.iter(|| miner.mine_k(black_box(&dataset), 2, threshold).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori/transaction_scaling");
+    group.sample_size(20);
+    for transactions in [1_000usize, 4_000, 16_000] {
+        let dataset = quest_dataset(transactions, 300);
+        let threshold = (transactions / 100) as u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(transactions),
+            &dataset,
+            |b, dataset| {
+                b.iter(|| Apriori::default().mine_k(black_box(dataset), 2, threshold).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_counting_strategies, bench_dataset_scaling);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the random-dataset generators: the paper's Bernoulli
+//! null model (the inner loop of Algorithm 1), the planted-pattern generator, the
+//! Quest generator and swap randomization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sigfim_datasets::benchmarks::BenchmarkDataset;
+use sigfim_datasets::random::{swap_randomize, BernoulliModel, QuestConfig};
+
+fn bench_bernoulli_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("null_model/sample");
+    group.sample_size(20);
+    for bench in [BenchmarkDataset::Bms1, BenchmarkDataset::Retail] {
+        let model = bench.null_model(32.0).expect("null model");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &model,
+            |b, model: &BernoulliModel| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(model.sample(&mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planted_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planted_model/sample");
+    group.sample_size(20);
+    for bench in [BenchmarkDataset::Bms1, BenchmarkDataset::Retail] {
+        let model = bench.planted_model(32.0).expect("planted model");
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &model, |b, model| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(model.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quest_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quest/generate");
+    group.sample_size(20);
+    for transactions in [2_000usize, 8_000] {
+        let config = QuestConfig {
+            num_items: 500,
+            num_transactions: transactions,
+            avg_transaction_len: 8.0,
+            num_patterns: 50,
+            avg_pattern_len: 4.0,
+            corruption: 0.25,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(transactions),
+            &config,
+            |b, config| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| black_box(config.generate(&mut rng).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_swap_randomization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap_randomization");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let dataset = BenchmarkDataset::Bms1.sample_standin(32.0, &mut rng).expect("stand-in");
+    let swaps = dataset.num_entries() * 2;
+    group.bench_function("bms1_standin_2x_entries", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(swap_randomize(&dataset, swaps, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bernoulli_sampling,
+    bench_planted_sampling,
+    bench_quest_generator,
+    bench_swap_randomization
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table 1 of the paper: parameters of the benchmark datasets.
+//!
+//! Prints, for each benchmark, (a) the published full-scale parameters the stand-in
+//! is calibrated to, and (b) the parameters actually measured on a sampled stand-in
+//! at the run's scale — the two should agree up to the scale factor on `t` and
+//! sampling noise on `m` and the frequency range.
+//!
+//! ```text
+//! cargo run -p sigfim-bench --release --bin table1 [-- --full | --scale <x> | --datasets <list>]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim_bench::{rule, ExperimentConfig};
+use sigfim_datasets::summary::DatasetSummary;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Table 1 — parameters of the benchmark datasets (paper values vs sampled stand-ins)");
+    println!();
+    println!(
+        "{:<10} {:>8} {:>22} {:>7} {:>9}    | {:>6} {:>9} {:>22} {:>7}",
+        "dataset", "n", "[fmin ; fmax]", "m", "t", "scale", "t/scale", "measured [fmin;fmax]", "m"
+    );
+    println!("{}", rule(130));
+    for bench in config.benchmarks() {
+        let spec = bench.spec();
+        let scale = config.scale_for(bench);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let standin = bench.sample_standin(scale, &mut rng).expect("stand-in generation");
+        let measured = DatasetSummary::from_dataset(&standin);
+        println!(
+            "{:<10} {:>8} {:>10.2e} ; {:>8.2} {:>7.1} {:>9}    | {:>6} {:>9} {:>10.2e} ; {:>8.2} {:>7.1}",
+            spec.name,
+            spec.num_items,
+            spec.min_frequency,
+            spec.max_frequency,
+            spec.avg_transaction_len,
+            spec.num_transactions,
+            scale,
+            measured.num_transactions,
+            measured.min_frequency.unwrap_or(0.0),
+            measured.max_frequency.unwrap_or(0.0),
+            measured.avg_transaction_len,
+        );
+    }
+    println!();
+    println!(
+        "paper columns: n = items, [fmin;fmax] = item frequency range, m = average transaction length, t = transactions"
+    );
+}

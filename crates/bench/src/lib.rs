@@ -1,0 +1,284 @@
+//! # sigfim-bench
+//!
+//! The experiment harness of the `sigfim` workspace: one binary per table of the
+//! paper's evaluation (Section 4) plus the Criterion micro/macro benchmarks.
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `cargo run -p sigfim-bench --release --bin table1` | Table 1 — benchmark dataset parameters |
+//! | `cargo run -p sigfim-bench --release --bin table2` | Table 2 — `ŝ_min` on random datasets (Algorithm 1) |
+//! | `cargo run -p sigfim-bench --release --bin table3` | Table 3 — Procedure 2: `s*`, `Q_{k,s*}`, `λ(s*)` |
+//! | `cargo run -p sigfim-bench --release --bin table4` | Table 4 — robustness on random instances |
+//! | `cargo run -p sigfim-bench --release --bin table5` | Table 5 — Procedure 1 vs Procedure 2 |
+//! | `cargo bench --workspace` | performance characterization (not in the paper) |
+//!
+//! The original FIMI files are not available offline, so the binaries run on the
+//! synthetic stand-ins of [`sigfim_datasets::benchmarks`] (see DESIGN.md §4 for the
+//! substitution argument). All binaries accept:
+//!
+//! * `--full` — run at full Table-1 scale with the paper's Δ = 1000 replicates and
+//!   100 robustness instances (slow; the default is a reduced configuration that
+//!   preserves the qualitative shape),
+//! * `--scale <x>` — override the per-dataset down-scaling factor,
+//! * `--replicates <n>` — override the number of Monte-Carlo replicates Δ,
+//! * `--instances <n>` — override the number of robustness instances (table4),
+//! * `--datasets <a,b,…>` — restrict to a subset of the six benchmarks,
+//! * `--k <list>` — restrict the itemset sizes (default `2,3,4`).
+
+use sigfim_datasets::benchmarks::BenchmarkDataset;
+
+/// Configuration shared by the table binaries, parsed from the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Run at the paper's full scale (Δ = 1000, 100 instances, scale 1).
+    pub full: bool,
+    /// Override of the per-dataset scale factor.
+    pub scale_override: Option<f64>,
+    /// Override of the Monte-Carlo replicate count Δ.
+    pub replicates_override: Option<usize>,
+    /// Override of the number of robustness instances (Table 4).
+    pub instances_override: Option<usize>,
+    /// Restriction of the benchmark set (empty = all six).
+    pub datasets: Vec<BenchmarkDataset>,
+    /// The itemset sizes to evaluate.
+    pub ks: Vec<usize>,
+    /// Base random seed.
+    pub seed: u64,
+    /// Run the Section 4.1 closed-itemset analysis where applicable (table3).
+    pub closed_analysis: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            full: false,
+            scale_override: None,
+            replicates_override: None,
+            instances_override: None,
+            datasets: Vec::new(),
+            ks: vec![2, 3, 4],
+            seed: 0xF1A1,
+            closed_analysis: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parse a configuration from an iterator of command-line arguments (without the
+    /// program name). Unknown flags abort with a message listing the valid options.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut config = ExperimentConfig::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => config.full = true,
+                "--closed-analysis" => config.closed_analysis = true,
+                "--scale" => {
+                    config.scale_override =
+                        Some(expect_value(&mut iter, "--scale").parse().expect("numeric --scale"));
+                }
+                "--replicates" => {
+                    config.replicates_override = Some(
+                        expect_value(&mut iter, "--replicates")
+                            .parse()
+                            .expect("integer --replicates"),
+                    );
+                }
+                "--instances" => {
+                    config.instances_override = Some(
+                        expect_value(&mut iter, "--instances")
+                            .parse()
+                            .expect("integer --instances"),
+                    );
+                }
+                "--seed" => {
+                    config.seed =
+                        expect_value(&mut iter, "--seed").parse().expect("integer --seed");
+                }
+                "--k" => {
+                    config.ks = expect_value(&mut iter, "--k")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("integer k"))
+                        .collect();
+                }
+                "--datasets" => {
+                    config.datasets = expect_value(&mut iter, "--datasets")
+                        .split(',')
+                        .map(|name| parse_dataset(name.trim()))
+                        .collect();
+                }
+                other => {
+                    panic!(
+                        "unknown argument `{other}`; valid flags: --full --scale <x> \
+                         --replicates <n> --instances <n> --seed <n> --k <list> \
+                         --datasets <list> --closed-analysis"
+                    );
+                }
+            }
+        }
+        config
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The benchmarks this run covers.
+    pub fn benchmarks(&self) -> Vec<BenchmarkDataset> {
+        if self.datasets.is_empty() {
+            BenchmarkDataset::ALL.to_vec()
+        } else {
+            self.datasets.clone()
+        }
+    }
+
+    /// The down-scaling factor applied to a benchmark's transaction count.
+    pub fn scale_for(&self, bench: BenchmarkDataset) -> f64 {
+        if let Some(scale) = self.scale_override {
+            return scale;
+        }
+        if self.full {
+            return 1.0;
+        }
+        default_scale(bench)
+    }
+
+    /// The number of Monte-Carlo replicates Δ for Algorithm 1.
+    pub fn replicates(&self) -> usize {
+        if let Some(r) = self.replicates_override {
+            return r;
+        }
+        if self.full {
+            1_000 // the paper's Δ
+        } else {
+            32
+        }
+    }
+
+    /// The number of random instances per configuration for the robustness study.
+    pub fn instances(&self) -> usize {
+        if let Some(i) = self.instances_override {
+            return i;
+        }
+        if self.full {
+            100 // the paper's count
+        } else {
+            10
+        }
+    }
+}
+
+fn expect_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> String {
+    iter.next().unwrap_or_else(|| panic!("flag {flag} requires a value"))
+}
+
+fn parse_dataset(name: &str) -> BenchmarkDataset {
+    BenchmarkDataset::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            panic!(
+                "unknown dataset `{name}`; valid names: {}",
+                BenchmarkDataset::ALL.map(|b| b.name()).join(", ")
+            )
+        })
+}
+
+/// The default down-scaling factor per benchmark, chosen so that every table binary
+/// completes in minutes on a laptop while keeping thousands of transactions per
+/// dataset (supports, and therefore every statistic the procedures consume, scale
+/// linearly with `t`).
+pub fn default_scale(bench: BenchmarkDataset) -> f64 {
+    match bench {
+        BenchmarkDataset::Retail => 16.0,
+        BenchmarkDataset::Kosarak => 64.0,
+        BenchmarkDataset::Bms1 => 8.0,
+        BenchmarkDataset::Bms2 => 8.0,
+        BenchmarkDataset::Bmspos => 32.0,
+        BenchmarkDataset::PumsbStar => 8.0,
+    }
+}
+
+/// Format an `Option<u64>` threshold the way the paper's tables do (`∞` for "no
+/// threshold found").
+pub fn format_threshold(s_star: Option<u64>) -> String {
+    match s_star {
+        Some(s) => s.to_string(),
+        None => "inf".to_string(),
+    }
+}
+
+/// Render a separator line matching a header width.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let config = ExperimentConfig::default();
+        assert!(!config.full);
+        assert_eq!(config.ks, vec![2, 3, 4]);
+        assert_eq!(config.benchmarks().len(), 6);
+        assert_eq!(config.replicates(), 32);
+        assert_eq!(config.instances(), 10);
+        assert!(config.scale_for(BenchmarkDataset::Kosarak) > config.scale_for(BenchmarkDataset::Bms1));
+    }
+
+    #[test]
+    fn full_mode_uses_paper_parameters() {
+        let config = ExperimentConfig::parse(vec!["--full".to_string()]);
+        assert!(config.full);
+        assert_eq!(config.replicates(), 1_000);
+        assert_eq!(config.instances(), 100);
+        for bench in BenchmarkDataset::ALL {
+            assert_eq!(config.scale_for(bench), 1.0);
+        }
+    }
+
+    #[test]
+    fn overrides_win() {
+        let config = ExperimentConfig::parse(
+            ["--scale", "4", "--replicates", "7", "--instances", "3", "--seed", "9", "--k", "2,4"]
+                .map(str::to_string),
+        );
+        assert_eq!(config.scale_for(BenchmarkDataset::Retail), 4.0);
+        assert_eq!(config.replicates(), 7);
+        assert_eq!(config.instances(), 3);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.ks, vec![2, 4]);
+    }
+
+    #[test]
+    fn dataset_filter() {
+        let config =
+            ExperimentConfig::parse(["--datasets", "bms1,Pumsb*"].map(str::to_string));
+        assert_eq!(
+            config.benchmarks(),
+            vec![BenchmarkDataset::Bms1, BenchmarkDataset::PumsbStar]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = ExperimentConfig::parse(vec!["--bogus".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        let _ = ExperimentConfig::parse(["--datasets", "nope"].map(str::to_string));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(format_threshold(Some(42)), "42");
+        assert_eq!(format_threshold(None), "inf");
+        assert_eq!(rule(3), "---");
+    }
+}

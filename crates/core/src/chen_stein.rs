@@ -1,0 +1,713 @@
+//! The Chen–Stein Poisson approximation machinery (Section 2 of the paper).
+//!
+//! For a random dataset `D̂` with `t` transactions over `n` items, where item `i`
+//! appears in each transaction independently with probability `f_i`, let `Q̂_{k,s}`
+//! be the number of k-itemsets with support at least `s`. Theorem 1 (an instance of
+//! the Chen–Stein method) bounds the variation distance between the law of
+//! `Q̂_{k,s}` and a Poisson law of the same mean by `b1(s) + b2(s)`, where
+//!
+//! * `b1(s) = Σ_X Σ_{Y ∈ I(X)} p_X p_Y` over *overlapping* pairs of k-itemsets
+//!   (including `Y = X`), with `p_X = Pr[support(X) ≥ s]`, and
+//! * `b2(s) = Σ_X Σ_{Y ≠ X ∈ I(X)} E[Z_X Z_Y]` over overlapping pairs of *distinct*
+//!   k-itemsets.
+//!
+//! The paper defines `s_min = min{s : b1(s) + b2(s) ≤ ε}` (Equation 1): above it,
+//! Poisson p-values for the observed `Q_{k,s}` are trustworthy.
+//!
+//! This module provides three ways of evaluating the bound:
+//!
+//! 1. [`ExactChenStein`] — exact `b1` and the paper's per-pair upper bound on `b2`
+//!    over an explicitly enumerated itemset universe. Exponential in `n`, intended
+//!    for small configurations (unit tests, Poisson-quality validation, the worked
+//!    examples).
+//! 2. [`theorem2_bounds`] — the closed-form bounds of Theorem 2 for the homogeneous
+//!    case (every item has the same frequency `p = γ/n`).
+//! 3. [`theorem3_bounds`] — the closed-form bounds of Theorem 3 for an arbitrary
+//!    frequency profile, treating the profile as an i.i.d. sample of the frequency
+//!    distribution `R` and using its empirical moments `E[R^j]`.
+//!
+//! All closed-form computations run in log space so they stay finite for the
+//! dataset sizes of Table 1 (up to `t ≈ 10^6`, `n ≈ 4·10^4`).
+//!
+//! The Monte-Carlo estimator of `b1`, `b2` (Algorithm 1 of the paper) lives in
+//! [`crate::montecarlo`].
+
+use serde::{Deserialize, Serialize};
+use sigfim_stats::special::{ln_choose, ln_factorial};
+use sigfim_stats::Binomial;
+
+use crate::{CoreError, Result};
+
+/// Largest explicit itemset universe [`ExactChenStein`] is willing to enumerate.
+pub const MAX_EXACT_UNIVERSE: u64 = 5_000;
+
+/// Natural log of the trinomial coefficient `C(t; a, b, c) = t! / (a! b! c! (t-a-b-c)!)`.
+/// Returns `f64::NEG_INFINITY` when `a + b + c > t`.
+pub fn ln_trinomial(t: u64, a: u64, b: u64, c: u64) -> f64 {
+    match a.checked_add(b).and_then(|x| x.checked_add(c)) {
+        Some(sum) if sum <= t => {
+            ln_factorial(t)
+                - ln_factorial(a)
+                - ln_factorial(b)
+                - ln_factorial(c)
+                - ln_factorial(t - sum)
+        }
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+/// `ln( (1/n) Σ_i f_i^power )`, the log of the empirical `power`-th moment of the
+/// item-frequency profile, computed without underflow (log-sum-exp).
+pub fn ln_empirical_moment(frequencies: &[f64], power: f64) -> f64 {
+    if frequencies.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let logs: Vec<f64> = frequencies
+        .iter()
+        .map(|&f| if f > 0.0 { power * f.ln() } else { f64::NEG_INFINITY })
+        .collect();
+    let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = logs.iter().map(|&l| (l - max).exp()).sum();
+    max + sum.ln() - (frequencies.len() as f64).ln()
+}
+
+/// `ln( C(n,k)² − C(n,k)·C(n−k,k) )`: the log of the number of *ordered* overlapping
+/// pairs of k-itemsets over `n` items (the combinatorial factor of `b1`).
+pub fn ln_overlapping_pairs(n: u64, k: u64) -> f64 {
+    if k == 0 || k > n {
+        return f64::NEG_INFINITY;
+    }
+    // ratio = C(n-k, k) / C(n, k) = Π_{i=0}^{k-1} (n-k-i)/(n-i).
+    let mut ratio = 1.0f64;
+    for i in 0..k {
+        let numer = n.saturating_sub(k + i) as f64;
+        let denom = (n - i) as f64;
+        ratio *= numer / denom;
+    }
+    2.0 * ln_choose(n, k) + (1.0 - ratio).ln()
+}
+
+/// The probability `p_X = Pr[Bin(t, f_X) ≥ s]` that one fixed k-itemset with
+/// per-transaction inclusion probability `f_X` (the product of its item
+/// frequencies) reaches support `s` in `t` transactions.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Stats`] if `f_X` is outside `[0, 1]`.
+pub fn itemset_tail_probability(t: u64, f_itemset: f64, s: u64) -> Result<f64> {
+    Ok(Binomial::new(t, f_itemset)?.sf(s))
+}
+
+/// Closed-form values of the pair `(b1(s), b2(s))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChenSteinBounds {
+    /// The `b1` term (overlapping-pair product bound).
+    pub b1: f64,
+    /// The `b2` term (co-occurrence bound).
+    pub b2: f64,
+}
+
+impl ChenSteinBounds {
+    /// `b1 + b2`, the bound on the variation distance of Theorem 1.
+    pub fn total(&self) -> f64 {
+        self.b1 + self.b2
+    }
+}
+
+/// The paper's upper bound on `E[Z_X Z_Y]` for two overlapping k-itemsets, given
+/// `t`, the threshold `s`, and the per-transaction inclusion probabilities of the
+/// common part (`f_common`, the product of frequencies of items in `X ∩ Y`), of
+/// `X \ Y` (`f_only_x`) and of `Y \ X` (`f_only_y`):
+///
+/// `E[Z_X Z_Y] ≤ Σ_{i=0}^{s} C(t; i, s−i, s−i) · f_common^{2s−i} · (f_only_x f_only_y)^{s−i} · (f_common f_only_x f_only_y)^… `
+///
+/// Concretely, the event requires disjoint transaction sets `A` (size `i`,
+/// containing `X ∪ Y`), `B` (size `s − i`, containing `X`) and `C` (size `s − i`,
+/// containing `Y`); each common item must appear `2s − i` times, each private item
+/// `s` times.
+pub fn pair_cooccurrence_bound(
+    t: u64,
+    s: u64,
+    ln_f_common: f64,
+    ln_f_only_x: f64,
+    ln_f_only_y: f64,
+) -> f64 {
+    let mut total = 0.0f64;
+    for i in 0..=s {
+        let ln_coeff = ln_trinomial(t, i, s - i, s - i);
+        if ln_coeff == f64::NEG_INFINITY {
+            continue;
+        }
+        // Common items appear in A (i times) and in both B and C (s - i each).
+        let ln_prob = (2 * s - i) as f64 * ln_f_common
+            + s as f64 * ln_f_only_x
+            + s as f64 * ln_f_only_y;
+        total += (ln_coeff + ln_prob).exp();
+    }
+    total
+}
+
+/// Theorem 2: closed-form `b1`, `b2` for the homogeneous case where every item has
+/// the same frequency `p` (the paper writes `p = γ/n`).
+///
+/// `b1 = (C(n,k)² − C(n,k)C(n−k,k)) · Pr[Bin(t, p^k) ≥ s]²`
+///
+/// `b2 = Σ_{g=1}^{k−1} C(n; g, k−g, k−g) Σ_{i=0}^{s} C(t; i, s−i, s−i)
+///        p^{(2k−g)i + 2k(s−i)}`
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `k < 1`, `s < 1`, `n < 2k − 1` or
+/// `p ∉ (0, 1]`.
+pub fn theorem2_bounds(n: u64, t: u64, k: usize, s: u64, p: f64) -> Result<ChenSteinBounds> {
+    if k == 0 {
+        return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+    }
+    if s == 0 {
+        return Err(CoreError::InvalidParameter { name: "s", reason: "must be >= 1".into() });
+    }
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "p",
+            reason: format!("item frequency must be in (0,1], got {p}"),
+        });
+    }
+    if n < k as u64 {
+        return Err(CoreError::InvalidParameter {
+            name: "n",
+            reason: format!("need at least k = {k} items, got {n}"),
+        });
+    }
+    let k_u = k as u64;
+    let p_x = Binomial::new(t, p.powi(k as i32))?.sf(s);
+    let ln_b1 = ln_overlapping_pairs(n, k_u) + 2.0 * p_x.max(f64::MIN_POSITIVE).ln();
+    let b1 = if p_x == 0.0 { 0.0 } else { ln_b1.exp() };
+
+    let ln_p = p.ln();
+    let mut b2 = 0.0f64;
+    for g in 1..k_u {
+        // C(n; g, k-g, k-g) — zero when n < 2k - g.
+        let ln_items = ln_trinomial(n, g, k_u - g, k_u - g);
+        if ln_items == f64::NEG_INFINITY {
+            continue;
+        }
+        for i in 0..=s {
+            let ln_txn = ln_trinomial(t, i, s - i, s - i);
+            if ln_txn == f64::NEG_INFINITY {
+                continue;
+            }
+            let exponent = (2 * k_u - g) as f64 * i as f64 + (2 * k_u) as f64 * (s - i) as f64;
+            b2 += (ln_items + ln_txn + exponent * ln_p).exp();
+        }
+    }
+    Ok(ChenSteinBounds { b1, b2 })
+}
+
+/// Theorem 3: closed-form `b1`, `b2` bounds for an arbitrary item-frequency profile,
+/// treating the profile as an i.i.d. sample of the frequency distribution `R` and
+/// plugging in its empirical moments:
+///
+/// `b1 ≤ (C(n,k)² − C(n,k)C(n−k,k)) · C(t,s)² · E[R^s]^{2k}`
+///
+/// `b2 ≤ Σ_{g=1}^{k−1} C(n; g, k−g, k−g) Σ_{i=0}^{s} C(t; i, s−i, s−i)
+///        E[R^{2s−i}]^g · E[R^s]^{2(k−g)}`
+///
+/// These are the quantities bounded in the proof of Theorem 3; the theorem itself
+/// then shows they vanish asymptotically when `t = O(n^c)` with
+/// `c ≤ ((k−1)(a−2) + min(2a−6, 0)) / (2s)` and `E[R^{2s}] = O(n^{-a})`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `k < 1`, `s < 1` or an empty
+/// frequency profile.
+pub fn theorem3_bounds(frequencies: &[f64], t: u64, k: usize, s: u64) -> Result<ChenSteinBounds> {
+    if k == 0 {
+        return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+    }
+    if s == 0 {
+        return Err(CoreError::InvalidParameter { name: "s", reason: "must be >= 1".into() });
+    }
+    if frequencies.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "frequencies",
+            reason: "at least one item frequency is required".into(),
+        });
+    }
+    let n = frequencies.len() as u64;
+    let k_u = k as u64;
+    let ln_moment_s = ln_empirical_moment(frequencies, s as f64);
+    let ln_b1 =
+        ln_overlapping_pairs(n, k_u) + 2.0 * ln_choose(t, s) + 2.0 * k as f64 * ln_moment_s;
+    let b1 = ln_b1.exp();
+
+    let mut b2 = 0.0f64;
+    for g in 1..k_u {
+        let ln_items = ln_trinomial(n, g, k_u - g, k_u - g);
+        if ln_items == f64::NEG_INFINITY {
+            continue;
+        }
+        for i in 0..=s {
+            let ln_txn = ln_trinomial(t, i, s - i, s - i);
+            if ln_txn == f64::NEG_INFINITY {
+                continue;
+            }
+            let ln_moment_2s_i = ln_empirical_moment(frequencies, (2 * s - i) as f64);
+            let ln_term = ln_items
+                + ln_txn
+                + g as f64 * ln_moment_2s_i
+                + 2.0 * (k_u - g) as f64 * ln_moment_s;
+            b2 += ln_term.exp();
+        }
+    }
+    Ok(ChenSteinBounds { b1, b2 })
+}
+
+/// A support `s ≥ 2` at which `b1(s) + b2(s) ≤ ε` according to the Theorem 3
+/// closed-form bounds (Equation 1 of the paper evaluated analytically).
+///
+/// The search brackets exponentially and then bisects, which costs `O(log t)` bound
+/// evaluations. The Theorem-3 bound is eventually decreasing in `s` but can grow in
+/// the low-support regime (`s ≲ t·f_max`), so the returned value is the exact
+/// minimum when the bound is monotone and a *conservative upper bound* on it
+/// otherwise — conservative is the safe direction for a Poisson threshold. The
+/// returned value always satisfies the bound; `t + 1` signals that no support within
+/// the dataset does.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `ε ∉ (0, 1)` or an invalid profile,
+/// and propagates bound-evaluation errors.
+pub fn s_min_theorem3(frequencies: &[f64], t: u64, k: usize, epsilon: f64) -> Result<u64> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must be in (0,1), got {epsilon}"),
+        });
+    }
+    let bound = |s: u64| -> Result<f64> { Ok(theorem3_bounds(frequencies, t, k, s)?.total()) };
+    bracketed_minimum_s(bound, t, epsilon)
+}
+
+/// Shared search for `min{s ≥ 2 : bound(s) ≤ ε}` assuming `bound` is non-increasing
+/// in `s`. Returns `t + 1` if even `s = t` fails the bound (no support value within
+/// the dataset length satisfies it).
+fn bracketed_minimum_s<F: Fn(u64) -> Result<f64>>(bound: F, t: u64, epsilon: f64) -> Result<u64> {
+    let t = t.max(2);
+    if bound(2)? <= epsilon {
+        return Ok(2);
+    }
+    // Exponential bracketing: find hi with bound(hi) <= epsilon.
+    let mut lo = 2u64;
+    let mut hi = 4u64;
+    loop {
+        if hi >= t {
+            hi = t;
+            if bound(hi)? > epsilon {
+                return Ok(t + 1);
+            }
+            break;
+        }
+        if bound(hi)? <= epsilon {
+            break;
+        }
+        lo = hi;
+        hi *= 2;
+    }
+    // Invariant: bound(lo) > epsilon >= bound(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if bound(mid)? <= epsilon {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// Exact Chen–Stein evaluation over an explicitly enumerated itemset universe.
+///
+/// `b1` is computed exactly (sum of `p_X p_Y` over ordered overlapping pairs,
+/// including `X = Y`); `b2` uses the paper's per-pair upper bound on `E[Z_X Z_Y]`
+/// (the trinomial co-occurrence sum), which is the same quantity the closed-form
+/// theorems bound, evaluated pair by pair with the actual item frequencies.
+///
+/// The constructor enumerates all `C(n, k)` itemsets, so it refuses universes larger
+/// than [`MAX_EXACT_UNIVERSE`].
+#[derive(Debug, Clone)]
+pub struct ExactChenStein {
+    t: u64,
+    k: usize,
+    /// Per-itemset natural log of the inclusion probability `f_X`.
+    ln_f: Vec<f64>,
+    /// For each ordered pair index: (x, y, ln f of common part, ln f of X\Y, ln f of Y\X).
+    overlapping_pairs: Vec<(usize, usize, f64, f64, f64)>,
+    /// All k-itemsets, for callers that want to inspect the universe.
+    itemsets: Vec<Vec<u32>>,
+}
+
+impl ExactChenStein {
+    /// Enumerate the universe of k-itemsets over the given item-frequency profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProblemTooLarge`] if `C(n, k)` exceeds
+    /// [`MAX_EXACT_UNIVERSE`], and [`CoreError::InvalidParameter`] for `k = 0`, an
+    /// empty profile, or frequencies outside `[0, 1]`.
+    pub fn new(frequencies: &[f64], t: u64, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+        }
+        if frequencies.is_empty() || frequencies.len() < k {
+            return Err(CoreError::InvalidParameter {
+                name: "frequencies",
+                reason: format!("need at least k = {k} item frequencies"),
+            });
+        }
+        if let Some(&bad) = frequencies.iter().find(|&&f| !(0.0..=1.0).contains(&f)) {
+            return Err(CoreError::InvalidParameter {
+                name: "frequencies",
+                reason: format!("frequency {bad} outside [0,1]"),
+            });
+        }
+        let n = frequencies.len() as u64;
+        let universe = sigfim_stats::special::choose(n, k as u64);
+        if universe > MAX_EXACT_UNIVERSE as f64 {
+            return Err(CoreError::ProblemTooLarge {
+                what: "explicit itemset universe",
+                size: universe as u64,
+                limit: MAX_EXACT_UNIVERSE,
+            });
+        }
+
+        // Enumerate all k-itemsets.
+        let mut itemsets: Vec<Vec<u32>> = Vec::with_capacity(universe as usize);
+        let mut current: Vec<u32> = (0..k as u32).collect();
+        loop {
+            itemsets.push(current.clone());
+            // Next combination.
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                if current[pos] as u64 != pos as u64 + n - k as u64 {
+                    break;
+                }
+                if pos == 0 {
+                    break;
+                }
+            }
+            if current[pos] as u64 == pos as u64 + n - k as u64 {
+                break;
+            }
+            current[pos] += 1;
+            for i in pos + 1..k {
+                current[i] = current[i - 1] + 1;
+            }
+        }
+
+        let ln_f: Vec<f64> = itemsets
+            .iter()
+            .map(|set| set.iter().map(|&i| ln_or_neg_inf(frequencies[i as usize])).sum())
+            .collect();
+
+        // Precompute ordered overlapping pairs of *distinct* itemsets (x, y) with
+        // x != y; the b1 sum adds the diagonal separately.
+        let mut overlapping_pairs = Vec::new();
+        for x in 0..itemsets.len() {
+            for y in 0..itemsets.len() {
+                if x == y {
+                    continue;
+                }
+                let common: Vec<u32> = itemsets[x]
+                    .iter()
+                    .copied()
+                    .filter(|i| itemsets[y].binary_search(i).is_ok())
+                    .collect();
+                if common.is_empty() {
+                    continue;
+                }
+                let ln_common: f64 =
+                    common.iter().map(|&i| ln_or_neg_inf(frequencies[i as usize])).sum();
+                let ln_only_x: f64 = itemsets[x]
+                    .iter()
+                    .filter(|i| !common.contains(i))
+                    .map(|&i| ln_or_neg_inf(frequencies[i as usize]))
+                    .sum();
+                let ln_only_y: f64 = itemsets[y]
+                    .iter()
+                    .filter(|i| !common.contains(i))
+                    .map(|&i| ln_or_neg_inf(frequencies[i as usize]))
+                    .sum();
+                overlapping_pairs.push((x, y, ln_common, ln_only_x, ln_only_y));
+            }
+        }
+
+        Ok(ExactChenStein { t, k, ln_f, overlapping_pairs, itemsets })
+    }
+
+    /// The enumerated k-itemsets.
+    pub fn itemsets(&self) -> &[Vec<u32>] {
+        &self.itemsets
+    }
+
+    /// The itemset size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `p_X` for every itemset in the universe at threshold `s`.
+    pub fn tail_probabilities(&self, s: u64) -> Vec<f64> {
+        self.ln_f
+            .iter()
+            .map(|&lf| {
+                Binomial::new(self.t, lf.exp()).expect("validated frequency").sf(s)
+            })
+            .collect()
+    }
+
+    /// The exact `b1(s)` term (including the diagonal `Y = X`).
+    pub fn b1(&self, s: u64) -> f64 {
+        let p = self.tail_probabilities(s);
+        let diagonal: f64 = p.iter().map(|&px| px * px).sum();
+        let off_diagonal: f64 =
+            self.overlapping_pairs.iter().map(|&(x, y, _, _, _)| p[x] * p[y]).sum();
+        diagonal + off_diagonal
+    }
+
+    /// The `b2(s)` term via the per-pair co-occurrence upper bound.
+    pub fn b2(&self, s: u64) -> f64 {
+        self.overlapping_pairs
+            .iter()
+            .map(|&(_, _, ln_common, ln_x, ln_y)| {
+                pair_cooccurrence_bound(self.t, s, ln_common, ln_x, ln_y)
+            })
+            .sum()
+    }
+
+    /// Both bound terms at threshold `s`.
+    pub fn bounds(&self, s: u64) -> ChenSteinBounds {
+        ChenSteinBounds { b1: self.b1(s), b2: self.b2(s) }
+    }
+
+    /// The exact Poisson mean `λ(s) = E[Q̂_{k,s}] = Σ_X p_X`.
+    pub fn lambda(&self, s: u64) -> f64 {
+        self.tail_probabilities(s).iter().sum()
+    }
+
+    /// `s_min` per Equation (1): the smallest `s ≥ 2` with `b1(s) + b2(s) ≤ ε`.
+    /// Returns `t + 1` if no such `s ≤ t` exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `ε ∉ (0, 1)`.
+    pub fn s_min(&self, epsilon: f64) -> Result<u64> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be in (0,1), got {epsilon}"),
+            });
+        }
+        bracketed_minimum_s(|s| Ok(self.bounds(s).total()), self.t, epsilon)
+    }
+}
+
+fn ln_or_neg_inf(f: f64) -> f64 {
+    if f > 0.0 {
+        f.ln()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trinomial_matches_direct_computation() {
+        // C(10; 2, 3, 1) = 10! / (2! 3! 1! 4!) = 12600.
+        let v = ln_trinomial(10, 2, 3, 1).exp();
+        assert!((v - 12_600.0).abs() / 12_600.0 < 1e-10);
+        // Degenerate: parts exceed the total.
+        assert_eq!(ln_trinomial(4, 3, 3, 3), f64::NEG_INFINITY);
+        // Trinomial with empty parts reduces to a binomial.
+        let v = ln_trinomial(10, 4, 0, 0).exp();
+        assert!((v - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let freqs = [0.1, 0.2, 0.4];
+        let m1 = ln_empirical_moment(&freqs, 1.0).exp();
+        assert!((m1 - (0.1 + 0.2 + 0.4) / 3.0).abs() < 1e-12);
+        let m2 = ln_empirical_moment(&freqs, 2.0).exp();
+        assert!((m2 - (0.01 + 0.04 + 0.16) / 3.0).abs() < 1e-12);
+        // Huge powers underflow gracefully in log space.
+        let ln_m = ln_empirical_moment(&freqs, 1e5);
+        assert!(ln_m.is_finite());
+        assert!(ln_m < -90_000.0);
+        assert_eq!(ln_empirical_moment(&[], 2.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overlapping_pair_count_small_case() {
+        // n = 5, k = 2: C(5,2)^2 - C(5,2) C(3,2) = 100 - 30 = 70.
+        let v = ln_overlapping_pairs(5, 2).exp();
+        assert!((v - 70.0).abs() < 1e-9);
+        // k > n means no itemsets at all.
+        assert_eq!(ln_overlapping_pairs(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn exact_b1_matches_hand_computation() {
+        // n = 3 items, k = 2, uniform frequency 0.5, t = 4.
+        // Every pair has f_X = 0.25, p_X = Pr[Bin(4, 0.25) >= 2].
+        let freqs = [0.5, 0.5, 0.5];
+        let cs = ExactChenStein::new(&freqs, 4, 2).unwrap();
+        assert_eq!(cs.itemsets().len(), 3);
+        let p = Binomial::new(4, 0.25).unwrap().sf(2);
+        // All three pairs overlap each other: b1 = sum over ordered pairs (9 of them,
+        // all overlapping since any two of {01,02,12} share an item) of p^2.
+        let expected_b1 = 9.0 * p * p;
+        assert!((cs.b1(2) - expected_b1).abs() < 1e-12);
+        // Lambda = 3 p.
+        assert!((cs.lambda(2) - 3.0 * p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_b2_is_nonnegative_and_decreasing() {
+        let freqs = [0.3, 0.25, 0.2, 0.15, 0.1];
+        let cs = ExactChenStein::new(&freqs, 50, 2).unwrap();
+        let mut prev = f64::INFINITY;
+        for s in 2..10 {
+            let b = cs.bounds(s);
+            assert!(b.b1 >= 0.0 && b.b2 >= 0.0);
+            assert!(b.total() <= prev + 1e-12, "bound must not increase in s");
+            prev = b.total();
+        }
+    }
+
+    #[test]
+    fn exact_s_min_is_consistent_with_bounds() {
+        let freqs = [0.3, 0.25, 0.2, 0.15, 0.1, 0.05];
+        let cs = ExactChenStein::new(&freqs, 100, 2).unwrap();
+        let eps = 0.01;
+        let s_min = cs.s_min(eps).unwrap();
+        assert!(cs.bounds(s_min).total() <= eps);
+        if s_min > 2 {
+            assert!(cs.bounds(s_min - 1).total() > eps);
+        }
+        // Invalid epsilon rejected.
+        assert!(cs.s_min(0.0).is_err());
+        assert!(cs.s_min(1.5).is_err());
+    }
+
+    #[test]
+    fn exact_universe_size_limit() {
+        let freqs = vec![0.01; 300];
+        // C(300, 3) = 4,455,100 > MAX_EXACT_UNIVERSE.
+        let err = ExactChenStein::new(&freqs, 100, 3).unwrap_err();
+        assert!(matches!(err, CoreError::ProblemTooLarge { .. }));
+    }
+
+    #[test]
+    fn theorem2_bounds_behave() {
+        // Moderate homogeneous configuration.
+        let b_small_s = theorem2_bounds(100, 1_000, 2, 2, 0.02).unwrap();
+        let b_large_s = theorem2_bounds(100, 1_000, 2, 6, 0.02).unwrap();
+        assert!(b_small_s.total() > b_large_s.total());
+        assert!(b_large_s.b1 >= 0.0 && b_large_s.b2 >= 0.0);
+        // Invalid parameters.
+        assert!(theorem2_bounds(100, 1_000, 0, 2, 0.02).is_err());
+        assert!(theorem2_bounds(100, 1_000, 2, 0, 0.02).is_err());
+        assert!(theorem2_bounds(100, 1_000, 2, 2, 0.0).is_err());
+        assert!(theorem2_bounds(1, 1_000, 2, 2, 0.5).is_err());
+    }
+
+    #[test]
+    fn theorem2_matches_exact_b1_in_homogeneous_case() {
+        // The b1 of Theorem 2 is exactly the b1 of the explicit enumeration when all
+        // frequencies are equal.
+        let n = 6u64;
+        let p = 0.1f64;
+        let t = 500u64;
+        let k = 2usize;
+        let s = 3u64;
+        let freqs = vec![p; n as usize];
+        let exact = ExactChenStein::new(&freqs, t, k).unwrap();
+        let closed = theorem2_bounds(n, t, k, s, p).unwrap();
+        let rel = (exact.b1(s) - closed.b1).abs() / closed.b1.max(1e-300);
+        assert!(rel < 1e-9, "exact {} vs closed-form {}", exact.b1(s), closed.b1);
+    }
+
+    #[test]
+    fn theorem3_bounds_eventually_decrease_and_find_s_min() {
+        // A small heterogeneous profile at realistic scale. The Theorem-3 bound uses
+        // the crude tail estimate C(t,s)·E[R^s]^k, which (like the paper's
+        // asymptotic analysis) is only monotone decreasing once `s` is past the
+        // regime `s ≈ t·f_max`; before that it can grow. We therefore check (a) the
+        // bound is finite everywhere, (b) it decreases past that regime, and (c) the
+        // threshold search returns a support at which the bound is satisfied.
+        let mut freqs = vec![0.05, 0.04, 0.03, 0.02];
+        freqs.extend(std::iter::repeat(0.005).take(200));
+        let t = 2_000u64;
+        for s in [2u64, 10, 100, 150, 300] {
+            let b = theorem3_bounds(&freqs, t, 2, s).unwrap();
+            assert!(!b.b1.is_nan() && !b.b2.is_nan());
+        }
+        // Past s ≈ t * f_max = 100 the bound is decreasing.
+        let b150 = theorem3_bounds(&freqs, t, 2, 150).unwrap();
+        let b300 = theorem3_bounds(&freqs, t, 2, 300).unwrap();
+        assert!(b150.total() > b300.total());
+        let s_min = s_min_theorem3(&freqs, t, 2, 0.01).unwrap();
+        assert!(s_min >= 2);
+        assert!(s_min <= t);
+        assert!(theorem3_bounds(&freqs, t, 2, s_min).unwrap().total() <= 0.01);
+    }
+
+    #[test]
+    fn theorem3_handles_benchmark_scale_inputs() {
+        // Bms1-scale parameters (n = 497, t = 59602) must not overflow/NaN, and the
+        // analytic s_min must land at a non-trivial support well inside the dataset.
+        let mut freqs = vec![0.06, 0.05, 0.04, 0.03, 0.02];
+        freqs.extend(std::iter::repeat(5e-4).take(492));
+        let b = theorem3_bounds(&freqs, 59_602, 2, 500).unwrap();
+        assert!(b.b1.is_finite() && b.b2.is_finite());
+        let s_min = s_min_theorem3(&freqs, 59_602, 2, 0.01).unwrap();
+        assert!(s_min > 2, "a dataset this large needs a non-trivial s_min, got {s_min}");
+        assert!(s_min < 59_602);
+        // The b1 term alone is also finite at full Kosarak scale (t ≈ 10^6,
+        // n ≈ 4·10^4, s in the hundreds of thousands) thanks to log-space math.
+        let huge_n = 41_270u64;
+        let ln_b1 = ln_overlapping_pairs(huge_n, 2)
+            + 2.0 * ln_choose(990_002, 273_266)
+            + 4.0 * ln_empirical_moment(&freqs, 273_266.0);
+        assert!(!ln_b1.is_nan());
+    }
+
+    #[test]
+    fn pair_cooccurrence_bound_simple_case() {
+        // Fully overlapping pair is not allowed (X != Y), but a pair sharing one of
+        // two items: X = {a,b}, Y = {a,c}, all frequencies 0.5, t = 4, s = 1.
+        // Bound = sum_{i=0}^{1} C(4; i,1-i,1-i) * 0.5^{2-i} * 0.5 * 0.5
+        //       = i=0: C(4;0,1,1)=12 * 0.5^2 * 0.25 = 0.75
+        //       + i=1: C(4;1,0,0)=4 * 0.5 * 0.25 = 0.5  => 1.25
+        let ln_half = 0.5f64.ln();
+        let bound = pair_cooccurrence_bound(4, 1, ln_half, ln_half, ln_half);
+        assert!((bound - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_probability_is_binomial_sf() {
+        let p = itemset_tail_probability(1_000_000, 1e-6, 7).unwrap();
+        // The paper's Section 1.2 example: about 1e-4.
+        assert!(p > 0.5e-4 && p < 2.0e-4);
+        assert!(itemset_tail_probability(10, 2.0, 1).is_err());
+    }
+}

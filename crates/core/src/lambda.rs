@@ -1,0 +1,369 @@
+//! Estimators of the Poisson mean `λ(s) = E[Q̂_{k,s}]`.
+//!
+//! Procedure 2 tests the observed `Q_{k,s_i}` against a Poisson distribution with
+//! mean `λ_i = E[Q̂_{k,s_i}]`, the expected number of k-itemsets with support at
+//! least `s_i` in the random dataset. Two estimators are provided:
+//!
+//! * [`MonteCarloLambda`] — the empirical mean over the Δ random datasets generated
+//!   by Algorithm 1 (the paper's suggestion: "estimates for the λ_i's … can be
+//!   obtained from the same random datasets generated in Algorithm 1").
+//! * [`ExactLambda`] — the analytic value `λ(s) = Σ_X Pr[Bin(t, f_X) ≥ s]`, computed
+//!   by a pruned depth-first enumeration over item combinations ordered by
+//!   decreasing frequency. At the high supports where the procedures operate only a
+//!   handful of top-frequency items can contribute anything above the truncation
+//!   tolerance, so the enumeration visits a vanishing fraction of the `C(n,k)`
+//!   candidates. This is the ablation comparator called out in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+use sigfim_stats::Binomial;
+
+use crate::{CoreError, Result};
+
+/// Something that can produce `λ(s) = E[Q̂_{k,s}]` for the random-dataset null model.
+pub trait LambdaEstimator {
+    /// The expected number of k-itemsets with support at least `s` in the random
+    /// dataset.
+    fn lambda(&self, s: u64) -> f64;
+}
+
+/// A λ estimator backed by an explicit per-support table (typically produced by the
+/// Monte-Carlo runs of Algorithm 1). Queries above the table's range return the last
+/// value decayed to zero; queries below the range return the first value (they are
+/// never used by Procedure 2, which only probes `s ≥ s_min`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloLambda {
+    /// First support value covered by `values`.
+    start: u64,
+    /// `values[i]` is the λ estimate at support `start + i`.
+    values: Vec<f64>,
+    /// Lower clamp applied to every query (see [`MonteCarloLambda::with_floor`]).
+    #[serde(default)]
+    floor: f64,
+}
+
+impl MonteCarloLambda {
+    /// Build a table-backed estimator. `values[i]` is `λ(start + i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the table is empty, contains
+    /// negative/NaN entries, or is increasing in `s` (λ must be non-increasing).
+    pub fn new(start: u64, values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "values",
+                reason: "lambda table must contain at least one entry".into(),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "values",
+                reason: "lambda estimates must be finite and non-negative".into(),
+            });
+        }
+        if values.windows(2).any(|w| w[1] > w[0] + 1e-9) {
+            return Err(CoreError::InvalidParameter {
+                name: "values",
+                reason: "lambda estimates must be non-increasing in s".into(),
+            });
+        }
+        Ok(MonteCarloLambda { start, values, floor: 0.0 })
+    }
+
+    /// Apply a lower clamp to every query.
+    ///
+    /// The plain Monte-Carlo estimate is 0 at supports never observed in the Δ
+    /// replicates, which makes the downstream Poisson test anti-conservative when Δ
+    /// is small: a single real itemset landing just beyond the observed range has
+    /// p-value 0 and is declared significant. Clamping the estimate at the
+    /// "rule-of-three" upper confidence bound `3/Δ` (or any chosen floor) removes
+    /// that failure mode at the cost of requiring slightly stronger evidence. With
+    /// the paper's Δ = 1000 the clamp is negligible; it matters for quick runs with
+    /// a few dozen replicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is negative or NaN.
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        assert!(floor >= 0.0 && floor.is_finite(), "lambda floor must be finite and >= 0");
+        self.floor = floor;
+        self
+    }
+
+    /// First support covered by the table.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Last support covered by the table.
+    pub fn end(&self) -> u64 {
+        self.start + self.values.len() as u64 - 1
+    }
+
+    /// The lower clamp currently applied (0 unless set via
+    /// [`MonteCarloLambda::with_floor`]).
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+}
+
+impl LambdaEstimator for MonteCarloLambda {
+    fn lambda(&self, s: u64) -> f64 {
+        let raw = if s <= self.start {
+            self.values[0]
+        } else {
+            let offset = (s - self.start) as usize;
+            if offset < self.values.len() {
+                self.values[offset]
+            } else {
+                // Beyond the largest support ever observed in the Monte-Carlo
+                // datasets the empirical estimate is zero.
+                0.0
+            }
+        };
+        raw.max(self.floor)
+    }
+}
+
+/// Maximum number of DFS nodes [`ExactLambda`] will expand before giving up; prevents
+/// an accidental full `C(n,k)` enumeration when called with a threshold far below the
+/// Poisson regime.
+pub const MAX_LAMBDA_NODES: u64 = 50_000_000;
+
+/// Analytic λ via pruned enumeration of item combinations.
+#[derive(Debug, Clone)]
+pub struct ExactLambda {
+    /// Item frequencies sorted in decreasing order.
+    sorted_frequencies: Vec<f64>,
+    t: u64,
+    k: usize,
+    /// Branches whose best-case per-itemset tail probability falls below this value
+    /// are truncated.
+    tolerance: f64,
+}
+
+impl ExactLambda {
+    /// Create an estimator for a random dataset with the given item frequencies and
+    /// `t` transactions, for k-itemsets.
+    ///
+    /// `tolerance` is the per-branch truncation threshold; `1e-12` is far below any
+    /// λ value that can influence a Poisson p-value at the paper's significance
+    /// levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `k == 0`, an empty frequency
+    /// vector, frequencies outside `[0, 1]` or a non-positive tolerance.
+    pub fn new(frequencies: &[f64], t: u64, k: usize, tolerance: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+        }
+        if frequencies.len() < k {
+            return Err(CoreError::InvalidParameter {
+                name: "frequencies",
+                reason: format!("need at least k = {k} item frequencies"),
+            });
+        }
+        if let Some(&bad) = frequencies.iter().find(|&&f| !(0.0..=1.0).contains(&f)) {
+            return Err(CoreError::InvalidParameter {
+                name: "frequencies",
+                reason: format!("frequency {bad} outside [0,1]"),
+            });
+        }
+        if !(tolerance > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tolerance",
+                reason: format!("must be > 0, got {tolerance}"),
+            });
+        }
+        let mut sorted = frequencies.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("validated finite frequencies"));
+        Ok(ExactLambda { sorted_frequencies: sorted, t, k, tolerance })
+    }
+
+    /// λ(s) by pruned enumeration. Each branch of the search fixes a prefix of items
+    /// (in decreasing-frequency order); the branch is cut when even the *best*
+    /// completion of the prefix — extending it with the most frequent remaining
+    /// items — cannot contribute more than `tolerance / C(remaining, needed)` per
+    /// itemset.
+    pub fn lambda(&self, s: u64) -> f64 {
+        let mut total = 0.0f64;
+        let mut nodes = 0u64;
+        self.descend(s, 0, 1.0, self.k, &mut total, &mut nodes);
+        total
+    }
+
+    fn descend(
+        &self,
+        s: u64,
+        start: usize,
+        prefix_product: f64,
+        needed: usize,
+        total: &mut f64,
+        nodes: &mut u64,
+    ) {
+        if *nodes > MAX_LAMBDA_NODES {
+            return;
+        }
+        *nodes += 1;
+        if needed == 0 {
+            *total += Binomial::new(self.t, prefix_product)
+                .expect("frequency products stay in [0,1]")
+                .sf(s);
+            return;
+        }
+        let n = self.sorted_frequencies.len();
+        if start + needed > n {
+            return;
+        }
+        // Best possible completion: the `needed` most frequent remaining items.
+        let mut best = prefix_product;
+        for f in &self.sorted_frequencies[start..start + needed] {
+            best *= f;
+        }
+        let best_tail = Binomial::new(self.t, best)
+            .expect("frequency products stay in [0,1]")
+            .sf(s);
+        if best_tail < self.tolerance {
+            return;
+        }
+        for i in start..=(n - needed) {
+            self.descend(
+                s,
+                i + 1,
+                prefix_product * self.sorted_frequencies[i],
+                needed - 1,
+                total,
+                nodes,
+            );
+        }
+    }
+}
+
+impl LambdaEstimator for ExactLambda {
+    fn lambda(&self, s: u64) -> f64 {
+        ExactLambda::lambda(self, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chen_stein::ExactChenStein;
+
+    #[test]
+    fn monte_carlo_table_lookup() {
+        let table = MonteCarloLambda::new(10, vec![5.0, 3.0, 1.0, 0.25]).unwrap();
+        assert_eq!(table.start(), 10);
+        assert_eq!(table.end(), 13);
+        assert_eq!(table.lambda(10), 5.0);
+        assert_eq!(table.lambda(12), 1.0);
+        assert_eq!(table.lambda(13), 0.25);
+        // Below and above the table.
+        assert_eq!(table.lambda(5), 5.0);
+        assert_eq!(table.lambda(14), 0.0);
+        assert_eq!(table.lambda(1_000), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_floor_clamps_small_and_out_of_range_values() {
+        let table = MonteCarloLambda::new(10, vec![5.0, 0.4, 0.01, 0.0])
+            .unwrap()
+            .with_floor(0.1);
+        assert_eq!(table.floor(), 0.1);
+        // Large values are untouched, small and out-of-range values are clamped.
+        assert_eq!(table.lambda(10), 5.0);
+        assert_eq!(table.lambda(11), 0.4);
+        assert_eq!(table.lambda(12), 0.1);
+        assert_eq!(table.lambda(13), 0.1);
+        assert_eq!(table.lambda(1_000), 0.1);
+        // Monotonicity is preserved under clamping.
+        let mut prev = f64::INFINITY;
+        for s in 0..30 {
+            let l = table.lambda(s);
+            assert!(l <= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn monte_carlo_floor_rejects_negative_values() {
+        let _ = MonteCarloLambda::new(1, vec![1.0]).unwrap().with_floor(-0.1);
+    }
+
+    #[test]
+    fn monte_carlo_table_validation() {
+        assert!(MonteCarloLambda::new(1, vec![]).is_err());
+        assert!(MonteCarloLambda::new(1, vec![1.0, f64::NAN]).is_err());
+        assert!(MonteCarloLambda::new(1, vec![1.0, -0.5]).is_err());
+        assert!(MonteCarloLambda::new(1, vec![1.0, 2.0]).is_err(), "must be non-increasing");
+    }
+
+    #[test]
+    fn exact_lambda_matches_full_enumeration() {
+        // Small universe: compare the pruned enumeration against the exhaustive sum
+        // from the Chen-Stein module.
+        let freqs = [0.3, 0.25, 0.2, 0.1, 0.05, 0.02];
+        let t = 200u64;
+        for k in 1..=3usize {
+            let exact = ExactLambda::new(&freqs, t, k, 1e-15).unwrap();
+            let reference = ExactChenStein::new(&freqs, t, k).unwrap();
+            for s in 2..12u64 {
+                let a = exact.lambda(s);
+                let b = reference.lambda(s);
+                assert!(
+                    (a - b).abs() <= 1e-9 + 1e-6 * b,
+                    "k={k}, s={s}: pruned {a} vs exhaustive {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_lambda_prunes_large_universes_quickly() {
+        // 10,000 items, only the first few frequent. At a high threshold only
+        // top-item combinations can contribute; the pruned enumeration must answer
+        // fast (node cap not hit) and give a sensible value.
+        let mut freqs = vec![0.2, 0.18, 0.15, 0.12];
+        freqs.extend(std::iter::repeat(1e-4).take(9_996));
+        let est = ExactLambda::new(&freqs, 100_000, 2, 1e-12).unwrap();
+        // Expected support of the top pair is 0.2*0.18*1e5 = 3600.
+        let lambda_low = est.lambda(3_000);
+        let lambda_high = est.lambda(5_000);
+        assert!(lambda_low > lambda_high);
+        assert!(lambda_low >= 1.0, "top pair almost surely exceeds 3000, got {lambda_low}");
+        assert!(lambda_high < 0.1);
+    }
+
+    #[test]
+    fn exact_lambda_is_monotone_in_s() {
+        let freqs = [0.4, 0.3, 0.2, 0.1];
+        let est = ExactLambda::new(&freqs, 500, 2, 1e-14).unwrap();
+        let mut prev = f64::INFINITY;
+        for s in 1..100 {
+            let l = est.lambda(s);
+            assert!(l <= prev + 1e-12);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn exact_lambda_validation() {
+        assert!(ExactLambda::new(&[], 10, 2, 1e-9).is_err());
+        assert!(ExactLambda::new(&[0.5], 10, 2, 1e-9).is_err());
+        assert!(ExactLambda::new(&[0.5, 1.5], 10, 2, 1e-9).is_err());
+        assert!(ExactLambda::new(&[0.5, 0.5], 10, 0, 1e-9).is_err());
+        assert!(ExactLambda::new(&[0.5, 0.5], 10, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let mc = MonteCarloLambda::new(2, vec![4.0, 2.0]).unwrap();
+        let exact = ExactLambda::new(&[0.5, 0.5], 10, 2, 1e-12).unwrap();
+        let estimators: Vec<&dyn LambdaEstimator> = vec![&mc, &exact];
+        for e in estimators {
+            assert!(e.lambda(2) >= e.lambda(3));
+        }
+    }
+}

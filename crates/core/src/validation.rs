@@ -1,0 +1,246 @@
+//! Validation harness: empirical FDR / power against planted ground truth, and a
+//! direct check of the Poisson approximation quality that Theorem 1 promises.
+//!
+//! These utilities are not part of the paper's procedures themselves; they are the
+//! instruments used to *verify* the reproduction — e.g. that Procedure 2's output on
+//! planted datasets has empirical FDR below β, that it returns `s* = ∞` on pure
+//! noise (the paper's Table 4), and that the distribution of `Q̂_{k,s}` really is
+//! close to Poisson above `ŝ_min`.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use sigfim_datasets::random::BernoulliModel;
+use sigfim_datasets::transaction::ItemId;
+use sigfim_mining::apriori::Apriori;
+use sigfim_mining::miner::KItemsetMiner;
+use sigfim_stats::Poisson;
+
+use crate::{CoreError, Result};
+
+/// True if `itemset` is a subset of at least one planted pattern — the criterion for
+/// a discovery to count as *true*: a planted pattern induces genuine correlation
+/// among all of its sub-itemsets, so any of them is a legitimate finding.
+pub fn is_true_discovery(itemset: &[ItemId], planted_patterns: &[Vec<ItemId>]) -> bool {
+    planted_patterns.iter().any(|pattern| {
+        itemset.iter().all(|item| pattern.binary_search(item).is_ok())
+    })
+}
+
+/// Empirical false discovery proportion of a set of discovered k-itemsets against
+/// planted ground truth: the fraction of discoveries that are not sub-itemsets of
+/// any planted pattern. Zero when nothing was discovered (the FDR convention
+/// `V/R = 0` when `R = 0`).
+pub fn empirical_fdr(discoveries: &[Vec<ItemId>], planted_patterns: &[Vec<ItemId>]) -> f64 {
+    if discoveries.is_empty() {
+        return 0.0;
+    }
+    let false_discoveries = discoveries
+        .iter()
+        .filter(|d| !is_true_discovery(d, planted_patterns))
+        .count();
+    false_discoveries as f64 / discoveries.len() as f64
+}
+
+/// Empirical power: the fraction of the planted k-sub-itemsets that appear among the
+/// discoveries. Patterns smaller than `k` contribute nothing; patterns of size ≥ k
+/// contribute all of their k-subsets.
+pub fn empirical_power(
+    discoveries: &[Vec<ItemId>],
+    planted_patterns: &[Vec<ItemId>],
+    k: usize,
+) -> f64 {
+    let mut expected: Vec<Vec<ItemId>> = Vec::new();
+    for pattern in planted_patterns {
+        if pattern.len() < k {
+            continue;
+        }
+        sigfim_mining::itemset::for_each_k_subset(pattern, k, |subset| {
+            expected.push(subset.to_vec());
+        });
+    }
+    expected.sort_unstable();
+    expected.dedup();
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let discovered: std::collections::HashSet<&[ItemId]> =
+        discoveries.iter().map(|d| d.as_slice()).collect();
+    let hits = expected.iter().filter(|e| discovered.contains(e.as_slice())).count();
+    hits as f64 / expected.len() as f64
+}
+
+/// The outcome of a Poisson-approximation quality check at one `(k, s)` point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonFitReport {
+    /// Itemset size.
+    pub k: usize,
+    /// Support threshold.
+    pub s: u64,
+    /// Number of random datasets sampled.
+    pub replicates: usize,
+    /// Empirical mean of `Q̂_{k,s}`.
+    pub empirical_mean: f64,
+    /// Empirical variance of `Q̂_{k,s}` (a Poisson variable has variance = mean).
+    pub empirical_variance: f64,
+    /// Total variation distance between the empirical distribution of `Q̂_{k,s}` and
+    /// the Poisson distribution with the same mean.
+    pub total_variation: f64,
+    /// The empirical distribution itself: `counts[q]` = number of replicates with
+    /// `Q̂_{k,s} = q` (sparse map, keyed by observed count).
+    pub counts: Vec<(u64, u64)>,
+}
+
+/// Sample `Q̂_{k,s}` from the null model `replicates` times and measure how far its
+/// empirical distribution is from a Poisson distribution with the same mean.
+///
+/// This is the quantity Theorem 1 bounds by `b1 + b2`: for `s ≥ s_min` the reported
+/// total-variation distance should be small (up to Monte-Carlo noise of order
+/// `1/sqrt(replicates)`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `k = 0`, `s = 0` or zero replicates,
+/// and propagates mining errors.
+pub fn poisson_fit<R: Rng + ?Sized>(
+    model: &BernoulliModel,
+    k: usize,
+    s: u64,
+    replicates: usize,
+    rng: &mut R,
+) -> Result<PoissonFitReport> {
+    if k == 0 || s == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "k/s",
+            reason: "itemset size and support threshold must be at least 1".into(),
+        });
+    }
+    if replicates == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "replicates",
+            reason: "at least one replicate is required".into(),
+        });
+    }
+    let miner = Apriori::default();
+    let mut histogram: HashMap<u64, u64> = HashMap::new();
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..replicates {
+        let dataset = model.sample(rng);
+        let q = miner.mine_k(&dataset, k, s)?.len() as u64;
+        *histogram.entry(q).or_insert(0) += 1;
+        sum += q as f64;
+        sum_sq += (q as f64) * (q as f64);
+    }
+    let n = replicates as f64;
+    let empirical_mean = sum / n;
+    let empirical_variance = (sum_sq / n - empirical_mean * empirical_mean).max(0.0);
+
+    // Total variation distance between the empirical pmf and Poisson(empirical_mean):
+    // 1/2 * sum over all outcomes |empirical - poisson|. Outcomes never observed
+    // contribute their Poisson mass, accounted for by the residual term.
+    let poisson = Poisson::new(empirical_mean)?;
+    let mut tv = 0.0f64;
+    let mut covered = 0.0f64;
+    for (&q, &count) in &histogram {
+        let empirical = count as f64 / n;
+        let theoretical = poisson.pmf(q);
+        tv += (empirical - theoretical).abs();
+        covered += theoretical;
+    }
+    tv += 1.0 - covered.min(1.0);
+    tv *= 0.5;
+
+    let mut counts: Vec<(u64, u64)> = histogram.into_iter().collect();
+    counts.sort_unstable();
+    Ok(PoissonFitReport {
+        k,
+        s,
+        replicates,
+        empirical_mean,
+        empirical_variance,
+        total_variation: tv,
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn true_discovery_is_subset_of_a_pattern() {
+        let planted = vec![vec![1, 2, 3, 4], vec![10, 11]];
+        assert!(is_true_discovery(&[1, 2], &planted));
+        assert!(is_true_discovery(&[2, 3, 4], &planted));
+        assert!(is_true_discovery(&[10, 11], &planted));
+        assert!(!is_true_discovery(&[1, 10], &planted));
+        assert!(!is_true_discovery(&[5], &planted));
+        // The empty itemset is trivially a subset.
+        assert!(is_true_discovery(&[], &planted));
+    }
+
+    #[test]
+    fn fdr_and_power_computation() {
+        let planted = vec![vec![1, 2, 3]];
+        let discoveries = vec![vec![1, 2], vec![2, 3], vec![7, 8]];
+        // 1 of 3 discoveries is false.
+        assert!((empirical_fdr(&discoveries, &planted) - 1.0 / 3.0).abs() < 1e-12);
+        // 2 of the 3 planted pairs {1,2},{1,3},{2,3} were found.
+        assert!((empirical_power(&discoveries, &planted, 2) - 2.0 / 3.0).abs() < 1e-12);
+        // Nothing discovered: FDR 0 by convention, power 0.
+        assert_eq!(empirical_fdr(&[], &planted), 0.0);
+        assert_eq!(empirical_power(&[], &planted, 2), 0.0);
+        // No planted pattern of size >= k: power is vacuously 1.
+        assert_eq!(empirical_power(&discoveries, &planted, 4), 1.0);
+    }
+
+    #[test]
+    fn poisson_fit_validation() {
+        let model = BernoulliModel::new(100, vec![0.1; 10]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(poisson_fit(&model, 0, 2, 10, &mut rng).is_err());
+        assert!(poisson_fit(&model, 2, 0, 10, &mut rng).is_err());
+        assert!(poisson_fit(&model, 2, 2, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn poisson_fit_is_good_in_the_rare_event_regime() {
+        // 200 transactions over 12 items with frequency 0.1: expected pair support
+        // is 2. At s = 9 the per-pair tail is ~2e-4, so Q is a sparse count —
+        // squarely in the Poisson regime.
+        let model = BernoulliModel::new(200, vec![0.1; 12]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = poisson_fit(&model, 2, 9, 400, &mut rng).unwrap();
+        assert_eq!(report.replicates, 400);
+        assert!(report.empirical_mean < 1.0);
+        assert!(
+            report.total_variation < 0.1,
+            "Poisson approximation should be tight here, TV = {}",
+            report.total_variation
+        );
+        // The counts table is a valid distribution over the replicates.
+        let total: u64 = report.counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn poisson_fit_degrades_in_the_dense_regime() {
+        // At a low threshold (s = 2, the mean regime) Q is large and concentrated;
+        // the Poisson approximation is poor and the TV distance reflects that.
+        let model = BernoulliModel::new(200, vec![0.1; 12]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let low_s = poisson_fit(&model, 2, 2, 300, &mut rng).unwrap();
+        let high_s = poisson_fit(&model, 2, 9, 300, &mut rng).unwrap();
+        assert!(
+            low_s.total_variation > high_s.total_variation,
+            "TV at s=2 ({}) should exceed TV at s=9 ({})",
+            low_s.total_variation,
+            high_s.total_variation
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the core pipeline invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sigfim_core::chen_stein::{theorem2_bounds, ExactChenStein};
+use sigfim_core::lambda::{ExactLambda, LambdaEstimator, MonteCarloLambda};
+use sigfim_core::procedure2::Procedure2;
+use sigfim_core::validation::{empirical_fdr, empirical_power, is_true_discovery};
+use sigfim_datasets::transaction::TransactionDataset;
+
+/// A small frequency profile: 3..7 items with frequencies in (0.01, 0.4).
+fn frequency_profile() -> impl Strategy<Value = Vec<f64>> {
+    vec(0.01f64..0.4, 3..7)
+}
+
+/// A small random dataset over up to 8 items.
+fn small_dataset() -> impl Strategy<Value = TransactionDataset> {
+    vec(vec(0u32..8, 0..5), 4..40)
+        .prop_map(|txns| TransactionDataset::from_transactions(8, txns).expect("items < 8"))
+}
+
+/// A constant λ estimator used to exercise Procedure 2's decision logic.
+struct ConstantLambda(f64);
+impl LambdaEstimator for ConstantLambda {
+    fn lambda(&self, _s: u64) -> f64 {
+        self.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chen_stein_bounds_are_nonnegative_and_lambda_monotone(
+        freqs in frequency_profile(),
+        t in 20u64..200,
+    ) {
+        let cs = ExactChenStein::new(&freqs, t, 2).unwrap();
+        let mut prev_lambda = f64::INFINITY;
+        for s in 1..12u64 {
+            let b = cs.bounds(s);
+            prop_assert!(b.b1 >= 0.0);
+            prop_assert!(b.b2 >= 0.0);
+            prop_assert!(b.b1.is_finite() && b.b2.is_finite());
+            let lambda = cs.lambda(s);
+            prop_assert!(lambda >= 0.0);
+            prop_assert!(lambda <= prev_lambda + 1e-9);
+            prev_lambda = lambda;
+        }
+    }
+
+    #[test]
+    fn theorem2_b1_equals_exact_b1_for_uniform_profiles(
+        n in 4u64..9,
+        p in 0.02f64..0.3,
+        t in 50u64..400,
+        s in 2u64..8,
+    ) {
+        let freqs = vec![p; n as usize];
+        let exact = ExactChenStein::new(&freqs, t, 2).unwrap();
+        let closed = theorem2_bounds(n, t, 2, s, p).unwrap();
+        let a = exact.b1(s);
+        let b = closed.b1;
+        prop_assert!((a - b).abs() <= 1e-9 + 1e-6 * b.max(a), "exact {a} vs closed {b}");
+    }
+
+    #[test]
+    fn pruned_lambda_matches_exhaustive_lambda(
+        freqs in frequency_profile(),
+        t in 20u64..300,
+        s in 2u64..10,
+    ) {
+        let exact = ExactLambda::new(&freqs, t, 2, 1e-15).unwrap();
+        let reference = ExactChenStein::new(&freqs, t, 2).unwrap();
+        let a = LambdaEstimator::lambda(&exact, s);
+        let b = reference.lambda(s);
+        prop_assert!((a - b).abs() <= 1e-9 + 1e-6 * b.max(a), "pruned {a} vs exhaustive {b}");
+    }
+
+    #[test]
+    fn support_grid_invariants(s_min in 1u64..10_000, span in 0u64..1_000_000) {
+        let s_max = s_min.saturating_add(span);
+        let grid = Procedure2::support_grid(s_min, s_max);
+        prop_assert!(!grid.is_empty());
+        prop_assert_eq!(grid[0], s_min);
+        prop_assert!(grid.windows(2).all(|w| w[0] < w[1]), "grid must be strictly increasing");
+        // h = floor(log2(s_max - s_min)) + 1 grid points when the range is non-trivial.
+        if s_max > s_min {
+            let h = ((s_max - s_min) as f64).log2().floor() as usize + 1;
+            prop_assert_eq!(grid.len(), h);
+            // Every probe lies within [s_min, s_min + 2^h).
+            let limit = s_min + (1u64 << h.min(63));
+            prop_assert!(grid.iter().all(|&s| s >= s_min && s < limit));
+        } else {
+            prop_assert_eq!(grid.len(), 1);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_lambda_is_monotone_non_increasing(
+        start in 1u64..100,
+        raw in vec(0.0f64..50.0, 1..20),
+    ) {
+        // Sort descending to build a valid table, then check the estimator output is
+        // monotone over a wide query range including values outside the table.
+        let mut values = raw;
+        values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let table = MonteCarloLambda::new(start, values).unwrap();
+        let mut prev = f64::INFINITY;
+        for s in 0..(start + 30) {
+            let l = table.lambda(s);
+            prop_assert!(l >= 0.0);
+            prop_assert!(l <= prev + 1e-12);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn procedure2_output_is_coherent(dataset in small_dataset(), lambda in 0.0f64..3.0) {
+        let estimator = ConstantLambda(lambda);
+        let result = Procedure2::new(2).run(&dataset, 1, &estimator).unwrap();
+        // Grid and trace shapes.
+        prop_assert_eq!(result.tests.len(), Procedure2::support_grid(1, dataset.max_item_support()).len());
+        prop_assert!(result.tests.windows(2).all(|w| w[0].s < w[1].s));
+        for t in &result.tests {
+            prop_assert!(t.p_value >= 0.0 && t.p_value <= 1.0);
+            prop_assert_eq!(t.rejected, t.poisson_reject && t.magnitude_reject);
+        }
+        match result.s_star {
+            Some(s_star) => {
+                prop_assert!(s_star >= 1);
+                // s_star is the first rejected grid point.
+                let first = result.tests.iter().find(|t| t.rejected).unwrap();
+                prop_assert_eq!(first.s, s_star);
+                // Every significant itemset has support >= s_star and size 2, and the
+                // count matches Q_{k,s_star} recomputed directly.
+                for i in &result.significant {
+                    prop_assert!(i.support >= s_star);
+                    prop_assert_eq!(i.items.len(), 2);
+                    prop_assert_eq!(i.support, dataset.itemset_support(&i.items));
+                }
+                let q = sigfim_mining::q_k_s(&dataset, 2, s_star).unwrap();
+                prop_assert_eq!(result.significant.len() as u64, q);
+            }
+            None => prop_assert!(result.significant.is_empty()),
+        }
+    }
+
+    #[test]
+    fn fdr_and_power_are_proportions(
+        discoveries in vec(vec(0u32..10, 1..4), 0..12),
+        patterns in vec(vec(0u32..10, 1..5), 1..4),
+    ) {
+        let normalize = |sets: Vec<Vec<u32>>| -> Vec<Vec<u32>> {
+            sets.into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect()
+        };
+        let discoveries = normalize(discoveries);
+        let patterns = normalize(patterns);
+        let fdr = empirical_fdr(&discoveries, &patterns);
+        let power = empirical_power(&discoveries, &patterns, 2);
+        prop_assert!((0.0..=1.0).contains(&fdr));
+        prop_assert!((0.0..=1.0).contains(&power));
+        // A discovery that is itself a planted pattern is always "true".
+        for p in &patterns {
+            prop_assert!(is_true_discovery(p, &patterns));
+        }
+        // FDR of the planted patterns themselves is zero.
+        prop_assert_eq!(empirical_fdr(&patterns, &patterns), 0.0);
+    }
+}

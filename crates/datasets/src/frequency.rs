@@ -1,0 +1,214 @@
+//! Item-frequency profiles.
+//!
+//! The paper's random model is fully determined by the number of transactions `t`
+//! and the vector of individual item frequencies `f_1, ..., f_n`. Real market-basket
+//! datasets have strongly heavy-tailed frequency profiles (a handful of very popular
+//! items, a long tail of rare ones); Table 1 of the paper summarizes each benchmark
+//! only through `n`, `[f_min, f_max]` and the average transaction length `m` (which
+//! equals `sum_i f_i`). This module constructs synthetic frequency vectors matching
+//! those published marginals, which is all the methodology ever looks at.
+
+use crate::{DatasetError, Result};
+
+/// Construct a truncated power-law (Zipf-like) frequency profile.
+///
+/// Produces `n` frequencies sorted in non-increasing order with
+/// `f_0 = f_max`, `f_i = max(f_min, f_max * (i + 1)^{-theta})`, where the exponent
+/// `theta >= 0` is chosen by bisection so that `sum_i f_i` is as close as possible to
+/// `target_sum` (the desired average transaction length).
+///
+/// The achievable range of sums is `[f_max + (n-1) f_min, n * f_max]`; a
+/// `target_sum` outside that range is clamped (the caller still gets a valid
+/// profile, just with the closest attainable mean transaction length — this happens
+/// only for degenerate parameter combinations).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidParameter`] if `n == 0`, frequencies are outside
+/// `(0, 1]`, `f_min > f_max`, or `target_sum <= 0`.
+pub fn powerlaw_frequencies(
+    n: usize,
+    f_min: f64,
+    f_max: f64,
+    target_sum: f64,
+) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(DatasetError::InvalidParameter { name: "n", reason: "must be > 0".into() });
+    }
+    if !(f_min > 0.0 && f_min <= 1.0) || !(f_max > 0.0 && f_max <= 1.0) {
+        return Err(DatasetError::InvalidParameter {
+            name: "f_min/f_max",
+            reason: format!("frequencies must be in (0,1], got f_min={f_min}, f_max={f_max}"),
+        });
+    }
+    if f_min > f_max {
+        return Err(DatasetError::InvalidParameter {
+            name: "f_min",
+            reason: format!("f_min ({f_min}) must be <= f_max ({f_max})"),
+        });
+    }
+    if !(target_sum > 0.0) {
+        return Err(DatasetError::InvalidParameter {
+            name: "target_sum",
+            reason: format!("must be > 0, got {target_sum}"),
+        });
+    }
+
+    let sum_for = |theta: f64| -> f64 {
+        (0..n)
+            .map(|i| (f_max * ((i + 1) as f64).powf(-theta)).max(f_min))
+            .sum()
+    };
+
+    let max_sum = n as f64 * f_max; // theta = 0
+    let min_sum = f_max + (n as f64 - 1.0) * f_min; // theta -> infinity
+    let target = target_sum.clamp(min_sum, max_sum);
+
+    // Bisection on theta: sum_for is non-increasing in theta.
+    let mut lo = 0.0f64;
+    let mut hi = 64.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sum_for(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let theta = 0.5 * (lo + hi);
+    let freqs: Vec<f64> =
+        (0..n).map(|i| (f_max * ((i + 1) as f64).powf(-theta)).max(f_min)).collect();
+    Ok(freqs)
+}
+
+/// A flat profile: every item has the same frequency `f` (the homogeneous case of
+/// Theorem 2 of the paper, `p = gamma / n`).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidParameter`] if `n == 0` or `f ∉ (0, 1]`.
+pub fn uniform_frequencies(n: usize, f: f64) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(DatasetError::InvalidParameter { name: "n", reason: "must be > 0".into() });
+    }
+    if !(f > 0.0 && f <= 1.0) {
+        return Err(DatasetError::InvalidParameter {
+            name: "f",
+            reason: format!("must be in (0,1], got {f}"),
+        });
+    }
+    Ok(vec![f; n])
+}
+
+/// Geometric (exponentially decaying) profile: `f_i = f_max * ratio^i`, floored at
+/// `f_min`. Handy for stress-testing the Monte-Carlo threshold estimation with very
+/// skewed heads.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidParameter`] if `n == 0`, `ratio ∉ (0, 1)`, or the
+/// frequencies are outside `(0, 1]`.
+pub fn geometric_frequencies(n: usize, f_max: f64, f_min: f64, ratio: f64) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(DatasetError::InvalidParameter { name: "n", reason: "must be > 0".into() });
+    }
+    if !(ratio > 0.0 && ratio < 1.0) {
+        return Err(DatasetError::InvalidParameter {
+            name: "ratio",
+            reason: format!("must be in (0,1), got {ratio}"),
+        });
+    }
+    if !(f_min > 0.0 && f_min <= f_max && f_max <= 1.0) {
+        return Err(DatasetError::InvalidParameter {
+            name: "f_min/f_max",
+            reason: format!("need 0 < f_min <= f_max <= 1, got {f_min}, {f_max}"),
+        });
+    }
+    Ok((0..n).map(|i| (f_max * ratio.powi(i as i32)).max(f_min)).collect())
+}
+
+/// The expected frequency of a k-itemset made of the `k` most frequent items, i.e.
+/// the product of the `k` largest frequencies. Multiplied by `t` this is the
+/// "highest expected support of a k-itemset" used to seed Algorithm 1's threshold
+/// search (its `s~`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > frequencies.len()`.
+pub fn max_kitemset_frequency(frequencies: &[f64], k: usize) -> f64 {
+    assert!(k >= 1 && k <= frequencies.len(), "k must be in 1..=n");
+    let mut sorted: Vec<f64> = frequencies.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("frequencies must not be NaN"));
+    sorted[..k].iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powerlaw_hits_target_sum() {
+        let freqs = powerlaw_frequencies(1000, 1e-4, 0.3, 8.0).unwrap();
+        assert_eq!(freqs.len(), 1000);
+        let sum: f64 = freqs.iter().sum();
+        assert!((sum - 8.0).abs() < 0.05, "sum {sum} too far from target 8.0");
+        // Sorted non-increasing, head equals f_max, everything >= f_min.
+        assert!((freqs[0] - 0.3).abs() < 1e-12);
+        assert!(freqs.windows(2).all(|w| w[0] >= w[1]));
+        assert!(freqs.iter().all(|&f| f >= 1e-4 - 1e-15 && f <= 0.3 + 1e-15));
+    }
+
+    #[test]
+    fn powerlaw_clamps_unreachable_targets() {
+        // Target larger than n * f_max: everything saturates at f_max.
+        let freqs = powerlaw_frequencies(10, 0.01, 0.2, 100.0).unwrap();
+        let sum: f64 = freqs.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-9);
+        // Target smaller than the floor: everything is at the floor except the head.
+        let freqs = powerlaw_frequencies(10, 0.01, 0.2, 1e-6).unwrap();
+        let sum: f64 = freqs.iter().sum();
+        assert!((sum - (0.2 + 9.0 * 0.01)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn powerlaw_rejects_bad_parameters() {
+        assert!(powerlaw_frequencies(0, 0.1, 0.2, 1.0).is_err());
+        assert!(powerlaw_frequencies(10, 0.0, 0.2, 1.0).is_err());
+        assert!(powerlaw_frequencies(10, 0.1, 1.5, 1.0).is_err());
+        assert!(powerlaw_frequencies(10, 0.3, 0.2, 1.0).is_err());
+        assert!(powerlaw_frequencies(10, 0.1, 0.2, 0.0).is_err());
+    }
+
+    #[test]
+    fn uniform_and_geometric_profiles() {
+        let u = uniform_frequencies(5, 0.1).unwrap();
+        assert_eq!(u, vec![0.1; 5]);
+        assert!(uniform_frequencies(0, 0.1).is_err());
+        assert!(uniform_frequencies(5, 0.0).is_err());
+        assert!(uniform_frequencies(5, 1.5).is_err());
+
+        let g = geometric_frequencies(4, 0.4, 0.01, 0.5).unwrap();
+        assert_eq!(g.len(), 4);
+        assert!((g[0] - 0.4).abs() < 1e-12);
+        assert!((g[1] - 0.2).abs() < 1e-12);
+        assert!((g[3] - 0.05).abs() < 1e-12);
+        assert!(geometric_frequencies(4, 0.4, 0.01, 1.5).is_err());
+        assert!(geometric_frequencies(4, 0.01, 0.4, 0.5).is_err());
+        assert!(geometric_frequencies(0, 0.4, 0.01, 0.5).is_err());
+    }
+
+    #[test]
+    fn max_kitemset_frequency_is_product_of_largest() {
+        let f = [0.5, 0.1, 0.2, 0.4];
+        assert!((max_kitemset_frequency(&f, 1) - 0.5).abs() < 1e-12);
+        assert!((max_kitemset_frequency(&f, 2) - 0.2).abs() < 1e-12);
+        assert!((max_kitemset_frequency(&f, 3) - 0.04).abs() < 1e-12);
+        assert!((max_kitemset_frequency(&f, 4) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=n")]
+    fn max_kitemset_frequency_rejects_zero_k() {
+        max_kitemset_frequency(&[0.1], 0);
+    }
+}

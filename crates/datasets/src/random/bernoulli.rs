@@ -1,0 +1,238 @@
+//! The paper's reference random-dataset model (§1.1).
+//!
+//! Given an observed dataset `D` with `t` transactions over items `I` where item `i`
+//! has frequency `f_i = n(i)/t`, the associated probability space contains datasets
+//! with the same `t` and `I` in which item `i` is included in each transaction with
+//! probability `f_i`, independently of all other items and transactions.
+//!
+//! Sampling is done column-wise: for each item `i` the number of containing
+//! transactions is drawn as `Binomial(t, f_i)` and then that many distinct
+//! transaction indices are chosen uniformly. This is equivalent to the row-wise
+//! definition but runs in `O(expected number of incidences)` instead of `O(n t)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::random::sampling::{sample_binomial, sample_distinct_indices};
+use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset};
+use crate::{DatasetError, Result};
+
+/// The Bernoulli (independent-items) null model of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliModel {
+    num_transactions: usize,
+    frequencies: Vec<f64>,
+}
+
+impl BernoulliModel {
+    /// Build a model from an explicit frequency vector and transaction count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidParameter`] if any frequency is outside
+    /// `[0, 1]` or NaN, or if the frequency vector is empty.
+    pub fn new(num_transactions: usize, frequencies: Vec<f64>) -> Result<Self> {
+        if frequencies.is_empty() {
+            return Err(DatasetError::InvalidParameter {
+                name: "frequencies",
+                reason: "must contain at least one item".into(),
+            });
+        }
+        for (i, &f) in frequencies.iter().enumerate() {
+            if !(0.0..=1.0).contains(&f) || f.is_nan() {
+                return Err(DatasetError::InvalidParameter {
+                    name: "frequencies",
+                    reason: format!("frequency of item {i} is {f}, outside [0,1]"),
+                });
+            }
+        }
+        Ok(BernoulliModel { num_transactions, frequencies })
+    }
+
+    /// The null model matched to an observed dataset: same `t`, same item
+    /// frequencies. This is exactly how the paper associates a random dataset `D̂`
+    /// with a real dataset `D`.
+    pub fn from_dataset(dataset: &TransactionDataset) -> Self {
+        BernoulliModel {
+            num_transactions: dataset.num_transactions(),
+            frequencies: dataset.item_frequencies(),
+        }
+    }
+
+    /// Number of transactions each sampled dataset will have.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// The item frequency vector.
+    #[inline]
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Expected average transaction length, `sum_i f_i`.
+    pub fn expected_transaction_len(&self) -> f64 {
+        self.frequencies.iter().sum()
+    }
+
+    /// Expected support of a specific itemset (product of its item frequencies,
+    /// times `t`). The itemset is given as item ids into this model's universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item id is out of range.
+    pub fn expected_support(&self, itemset: &[ItemId]) -> f64 {
+        let p: f64 = itemset.iter().map(|&i| self.frequencies[i as usize]).product();
+        p * self.num_transactions as f64
+    }
+
+    /// Probability that a specific itemset appears in a single random transaction
+    /// (the product of its item frequencies).
+    pub fn itemset_probability(&self, itemset: &[ItemId]) -> f64 {
+        itemset.iter().map(|&i| self.frequencies[i as usize]).product()
+    }
+
+    /// Draw one random dataset from the model.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        let t = self.num_transactions;
+        let mut transactions: Vec<Vec<ItemId>> = vec![Vec::new(); t];
+        for (item, &f) in self.frequencies.iter().enumerate() {
+            if f <= 0.0 || t == 0 {
+                continue;
+            }
+            let count = sample_binomial(rng, t as u64, f) as usize;
+            sample_distinct_indices(rng, t, count.min(t), |tid| {
+                transactions[tid].push(item as ItemId);
+            });
+        }
+        let mut builder = DatasetBuilder::with_capacity(
+            self.frequencies.len() as u32,
+            t,
+            transactions.iter().map(|x| x.len()).sum(),
+        );
+        for mut txn in transactions {
+            // Items were appended in increasing item order (outer loop), so each
+            // transaction is already sorted and duplicate-free.
+            txn.shrink_to_fit();
+            builder
+                .add_sorted_transaction(&txn)
+                .expect("items generated in range by construction");
+        }
+        builder.build()
+    }
+
+    /// Draw `count` independent random datasets.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<TransactionDataset> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(BernoulliModel::new(10, vec![]).is_err());
+        assert!(BernoulliModel::new(10, vec![0.5, 1.5]).is_err());
+        assert!(BernoulliModel::new(10, vec![0.5, -0.1]).is_err());
+        assert!(BernoulliModel::new(10, vec![0.5, f64::NAN]).is_err());
+        assert!(BernoulliModel::new(10, vec![0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn model_from_dataset_matches_frequencies() {
+        let d = TransactionDataset::from_transactions(
+            3,
+            vec![vec![0, 1], vec![0], vec![0, 2], vec![1]],
+        )
+        .unwrap();
+        let m = BernoulliModel::from_dataset(&d);
+        assert_eq!(m.num_transactions(), 4);
+        assert_eq!(m.num_items(), 3);
+        assert!((m.frequencies()[0] - 0.75).abs() < 1e-12);
+        assert!((m.frequencies()[1] - 0.5).abs() < 1e-12);
+        assert!((m.frequencies()[2] - 0.25).abs() < 1e-12);
+        assert!((m.expected_transaction_len() - 1.5).abs() < 1e-12);
+        assert!((m.expected_support(&[0, 1]) - 0.75 * 0.5 * 4.0).abs() < 1e-12);
+        assert!((m.itemset_probability(&[0, 2]) - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_dataset_has_right_shape() {
+        let model = BernoulliModel::new(500, vec![0.3, 0.01, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = model.sample(&mut rng);
+        assert_eq!(d.num_transactions(), 500);
+        assert_eq!(d.num_items(), 4);
+        let supports = d.item_supports();
+        // Item 2 has frequency 0: never appears. Item 3 has frequency 1: always appears.
+        assert_eq!(supports[2], 0);
+        assert_eq!(supports[3], 500);
+        // Item 0 should be near 150, item 1 near 5 (loose bounds to stay deterministic-free).
+        assert!(supports[0] > 100 && supports[0] < 200, "item0 support {}", supports[0]);
+        assert!(supports[1] < 25, "item1 support {}", supports[1]);
+        // Transactions are sorted.
+        for txn in d.iter() {
+            assert!(txn.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_converge_to_model() {
+        let freqs = vec![0.5, 0.2, 0.05, 0.001];
+        let model = BernoulliModel::new(20_000, freqs.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = model.sample(&mut rng);
+        let observed = d.item_frequencies();
+        for (i, (&f, &o)) in freqs.iter().zip(observed.iter()).enumerate() {
+            let sigma = (f * (1.0 - f) / 20_000.0).sqrt();
+            assert!(
+                (o - f).abs() < 6.0 * sigma + 1e-4,
+                "item {i}: observed {o}, expected {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_supports_behave_like_independent_items() {
+        // With f = 0.1 for both items and t = 10_000, the pair support should be
+        // near 100 (= t * 0.01) because the model has no correlations.
+        let model = BernoulliModel::new(10_000, vec![0.1, 0.1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = model.sample(&mut rng);
+        let pair_support = d.itemset_support(&[0, 1]);
+        assert!(
+            (30..=200).contains(&(pair_support as i64)),
+            "pair support {pair_support} wildly off its expectation of 100"
+        );
+    }
+
+    #[test]
+    fn sample_many_produces_independent_datasets() {
+        let model = BernoulliModel::new(50, vec![0.5; 8]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let datasets = model.sample_many(&mut rng, 5);
+        assert_eq!(datasets.len(), 5);
+        // Vanishingly unlikely that two 50x8 half-density datasets are identical.
+        assert!(datasets.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn zero_transactions_model_is_fine() {
+        let model = BernoulliModel::new(0, vec![0.5, 0.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = model.sample(&mut rng);
+        assert_eq!(d.num_transactions(), 0);
+        assert_eq!(d.num_entries(), 0);
+    }
+}

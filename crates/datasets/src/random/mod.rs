@@ -1,0 +1,31 @@
+//! Random dataset models.
+//!
+//! The heart of the paper's methodology is a comparison between the real dataset `D`
+//! and random datasets `D̂` drawn from a null model. This module provides:
+//!
+//! * [`BernoulliModel`] — the paper's reference model (§1.1): same number of
+//!   transactions `t` and same item frequencies `f_i` as `D`, with item `i` placed in
+//!   each transaction independently of everything else.
+//! * [`planted`] — Bernoulli background plus *planted* correlated itemsets with known
+//!   supports: the ground-truth datasets used to validate FDR control and to build the
+//!   benchmark stand-ins that reproduce the paper's Table 3/5 qualitatively.
+//! * [`quest`] — a simplified IBM Quest-style generator producing market-basket-like
+//!   data built from overlapping potential patterns, for end-to-end examples.
+//! * [`swap`] — swap randomization (Gionis et al.), the alternative null model the
+//!   paper mentions in §1.1, preserving both item frequencies *and* transaction
+//!   lengths exactly.
+//! * [`sampling`] — exact Binomial sampling and distinct-index sampling primitives
+//!   shared by the generators.
+
+pub mod bernoulli;
+pub mod model;
+pub mod planted;
+pub mod quest;
+pub mod sampling;
+pub mod swap;
+
+pub use bernoulli::BernoulliModel;
+pub use model::{NullModel, SwapRandomizationModel};
+pub use planted::{plant_into, PlantedConfig, PlantedModel, PlantedPattern};
+pub use quest::QuestConfig;
+pub use swap::swap_randomize;

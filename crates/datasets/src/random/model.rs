@@ -1,0 +1,197 @@
+//! The [`NullModel`] abstraction: anything that can generate random datasets to
+//! compare the real dataset against.
+//!
+//! The paper's reference model ([`BernoulliModel`], §1.1) keeps the number of
+//! transactions and the individual item frequencies and drops all correlations. The
+//! paper also points at an alternative null model (Gionis et al., discussed in
+//! §1.1 and §1.4): *swap randomization*, which additionally preserves the exact
+//! transaction lengths by shuffling the bipartite incidence graph with
+//! margin-preserving swaps, and notes that "conceivably, the technique of this paper
+//! could be adapted to this latter model as well". The [`SwapRandomizationModel`]
+//! here is exactly that adaptation: plugging it into Algorithm 1 and Procedure 2
+//! yields the paper's methodology under the swap null.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::random::bernoulli::BernoulliModel;
+use crate::random::swap::swap_randomize;
+use crate::transaction::TransactionDataset;
+use crate::{DatasetError, Result};
+
+/// A generator of random datasets sharing agreed marginal statistics with a real
+/// dataset. This is the input type of Algorithm 1 (FindPoissonThreshold): anything
+/// implementing it can serve as the null hypothesis of the significance analysis.
+pub trait NullModel {
+    /// The number of items in the universe.
+    fn num_items(&self) -> usize;
+
+    /// The number of transactions of every generated dataset.
+    fn num_transactions(&self) -> usize;
+
+    /// The expected frequency of each item in a generated dataset (used to seed the
+    /// support floor `s̃` of Algorithm 1 with the largest expected k-itemset
+    /// support).
+    fn item_frequencies(&self) -> Vec<f64>;
+
+    /// Draw one random dataset.
+    fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset
+    where
+        Self: Sized;
+}
+
+impl NullModel for BernoulliModel {
+    fn num_items(&self) -> usize {
+        BernoulliModel::num_items(self)
+    }
+
+    fn num_transactions(&self) -> usize {
+        BernoulliModel::num_transactions(self)
+    }
+
+    fn item_frequencies(&self) -> Vec<f64> {
+        self.frequencies().to_vec()
+    }
+
+    fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        self.sample(rng)
+    }
+}
+
+/// The swap-randomization null model of Gionis et al.: every sample is obtained from
+/// the reference dataset by a long sequence of margin-preserving swaps, so item
+/// supports **and** transaction lengths are exactly those of the reference dataset,
+/// while higher-order correlations are destroyed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapRandomizationModel {
+    reference: TransactionDataset,
+    attempts: usize,
+}
+
+impl SwapRandomizationModel {
+    /// A model that randomizes `reference` using `swaps_per_entry` swap attempts per
+    /// (transaction, item) incidence. The literature's rule of thumb is a small
+    /// constant multiple of the number of incidences; 2–4 is enough to mix
+    /// market-basket-sized datasets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidParameter`] if the reference dataset has no
+    /// incidences or `swaps_per_entry` is not positive.
+    pub fn new(reference: TransactionDataset, swaps_per_entry: f64) -> Result<Self> {
+        if reference.num_entries() == 0 {
+            return Err(DatasetError::InvalidParameter {
+                name: "reference",
+                reason: "swap randomization needs a dataset with at least one incidence".into(),
+            });
+        }
+        if !(swaps_per_entry > 0.0) {
+            return Err(DatasetError::InvalidParameter {
+                name: "swaps_per_entry",
+                reason: format!("must be > 0, got {swaps_per_entry}"),
+            });
+        }
+        let attempts = (reference.num_entries() as f64 * swaps_per_entry).ceil() as usize;
+        Ok(SwapRandomizationModel { reference, attempts })
+    }
+
+    /// The reference dataset whose margins every sample preserves.
+    pub fn reference(&self) -> &TransactionDataset {
+        &self.reference
+    }
+
+    /// The number of swap attempts per sample.
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+}
+
+impl NullModel for SwapRandomizationModel {
+    fn num_items(&self) -> usize {
+        self.reference.num_items() as usize
+    }
+
+    fn num_transactions(&self) -> usize {
+        self.reference.num_transactions()
+    }
+
+    fn item_frequencies(&self) -> Vec<f64> {
+        self.reference.item_frequencies()
+    }
+
+    fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        swap_randomize(&self.reference, self.attempts, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reference() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            6,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![2, 3, 4],
+                vec![0, 5],
+                vec![1, 3],
+                vec![2, 4, 5],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bernoulli_model_implements_null_model() {
+        let model = BernoulliModel::new(100, vec![0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(NullModel::num_items(&model), 3);
+        assert_eq!(NullModel::num_transactions(&model), 100);
+        assert_eq!(NullModel::item_frequencies(&model), vec![0.1, 0.2, 0.3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = model.sample_dataset(&mut rng);
+        assert_eq!(sample.num_transactions(), 100);
+    }
+
+    #[test]
+    fn swap_model_preserves_both_margins() {
+        let reference = reference();
+        let model = SwapRandomizationModel::new(reference.clone(), 4.0).unwrap();
+        assert_eq!(model.attempts(), reference.num_entries() * 4);
+        assert_eq!(NullModel::item_frequencies(&model), reference.item_frequencies());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let sample = model.sample_dataset(&mut rng);
+            // Column margins (item supports) are preserved exactly...
+            assert_eq!(sample.item_supports(), reference.item_supports());
+            // ... and so are row margins (transaction lengths).
+            let mut ref_lengths: Vec<usize> = reference.iter().map(|t| t.len()).collect();
+            let mut sample_lengths: Vec<usize> = sample.iter().map(|t| t.len()).collect();
+            ref_lengths.sort_unstable();
+            sample_lengths.sort_unstable();
+            assert_eq!(ref_lengths, sample_lengths);
+        }
+    }
+
+    #[test]
+    fn swap_model_validation() {
+        let empty = TransactionDataset::empty(4);
+        assert!(SwapRandomizationModel::new(empty, 2.0).is_err());
+        assert!(SwapRandomizationModel::new(reference(), 0.0).is_err());
+        assert!(SwapRandomizationModel::new(reference(), -1.0).is_err());
+    }
+
+    #[test]
+    fn swap_model_actually_randomizes() {
+        // With enough swaps at least one sample differs from the reference (the toy
+        // dataset has many valid swaps).
+        let reference = reference();
+        let model = SwapRandomizationModel::new(reference.clone(), 8.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let changed = (0..5).any(|_| model.sample_dataset(&mut rng) != reference);
+        assert!(changed, "swap randomization never changed the dataset");
+    }
+}

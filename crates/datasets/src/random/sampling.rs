@@ -1,0 +1,205 @@
+//! Low-level sampling primitives shared by the random dataset generators.
+
+use rand::Rng;
+
+/// Draw an exact `Binomial(n, p)` variate.
+///
+/// * For small means (`n p <= 30`) the inversion ("chop-down") method is used:
+///   walk the pmf from `k = 0` accumulating probability until the uniform draw is
+///   covered. Expected cost is `O(n p)`.
+/// * For larger means a normal approximation with continuity correction is used and
+///   the result clamped to `[0, n]`. At `n p (1-p) > 25` the total-variation error of
+///   this approximation is far below anything the Monte-Carlo estimates downstream
+///   can resolve, and it keeps dataset generation `O(1)` per item regardless of `t`.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    if n <= 64 {
+        // Direct Bernoulli counting is cheapest and exact.
+        let mut count = 0;
+        for _ in 0..n {
+            if rng.random::<f64>() < p {
+                count += 1;
+            }
+        }
+        return count;
+    }
+    if mean <= 30.0 {
+        return binomial_inversion(rng, n, p);
+    }
+    let q = 1.0 - p;
+    let sigma = (mean * q).sqrt();
+    // Box-Muller from two uniforms (avoids needing rand_distr).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let draw = (mean + sigma * z + 0.5).floor();
+    draw.clamp(0.0, n as f64) as u64
+}
+
+/// Inversion sampling of a Binomial with small mean: accumulate pmf terms from 0.
+fn binomial_inversion<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    // pmf(0) = q^n, computed in log space to survive large n.
+    let mut pmf = (n as f64 * q.ln()).exp();
+    let mut cdf = pmf;
+    let u: f64 = rng.random();
+    let mut k = 0u64;
+    // Guard: if q^n underflowed to zero the mean is actually large; fall back to a
+    // crude but safe loop cap of n.
+    while u > cdf && k < n {
+        // pmf(k+1) = pmf(k) * (n - k)/(k + 1) * p/q
+        pmf *= (n - k) as f64 / (k + 1) as f64 * (p / q);
+        k += 1;
+        cdf += pmf;
+        if pmf == 0.0 {
+            break;
+        }
+    }
+    k
+}
+
+/// Sample `count` *distinct* indices from `0..n` and invoke `visit` on each.
+///
+/// Uses rejection sampling with a hash set when `count <= n / 2` (expected
+/// `O(count)` work) and Floyd-style complement sampling otherwise. Panics if
+/// `count > n`.
+pub fn sample_distinct_indices<R, F>(rng: &mut R, n: usize, count: usize, mut visit: F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize),
+{
+    assert!(count <= n, "cannot sample {count} distinct indices from 0..{n}");
+    if count == 0 {
+        return;
+    }
+    if count == n {
+        for i in 0..n {
+            visit(i);
+        }
+        return;
+    }
+    if count <= n / 2 {
+        let mut chosen = std::collections::HashSet::with_capacity(count * 2);
+        while chosen.len() < count {
+            let idx = rng.random_range(0..n);
+            if chosen.insert(idx) {
+                visit(idx);
+            }
+        }
+    } else {
+        // Sample the complement (smaller) and emit everything else.
+        let excluded_count = n - count;
+        let mut excluded = std::collections::HashSet::with_capacity(excluded_count * 2);
+        while excluded.len() < excluded_count {
+            excluded.insert(rng.random_range(0..n));
+        }
+        for i in 0..n {
+            if !excluded.contains(&i) {
+                visit(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(sample_binomial(&mut rng, 100, -0.5), 0);
+    }
+
+    #[test]
+    fn binomial_small_mean_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (n, p) = (10_000u64, 5e-4);
+        let reps = 4000;
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for _ in 0..reps {
+            let x = sample_binomial(&mut rng, n, p);
+            total += x;
+            max = max.max(x);
+            assert!(x <= n);
+        }
+        let mean = total as f64 / reps as f64;
+        // True mean is 5.0; with 4000 reps the standard error is ~0.035.
+        assert!((mean - 5.0).abs() < 0.2, "empirical mean {mean} too far from 5");
+        assert!(max < 30, "implausibly large draw {max}");
+    }
+
+    #[test]
+    fn binomial_large_mean_matches_expectation_and_spread() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let (n, p) = (100_000u64, 0.1);
+        let reps = 2000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..reps {
+            let x = sample_binomial(&mut rng, n, p) as f64;
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / reps as f64;
+        let var = sum_sq / reps as f64 - mean * mean;
+        assert!((mean - 10_000.0).abs() < 30.0, "mean {mean}");
+        // True variance is 9000.
+        assert!((var - 9000.0).abs() < 2000.0, "variance {var}");
+    }
+
+    #[test]
+    fn binomial_small_n_exact_counting() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..200 {
+            let x = sample_binomial(&mut rng, 20, 0.3);
+            assert!(x <= 20);
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, count) in &[(100usize, 5usize), (100, 50), (100, 95), (100, 100), (100, 0), (1, 1)] {
+            let mut seen = std::collections::HashSet::new();
+            sample_distinct_indices(&mut rng, n, count, |i| {
+                assert!(i < n);
+                assert!(seen.insert(i), "duplicate index {i}");
+            });
+            assert_eq!(seen.len(), count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn distinct_indices_rejects_overdraw() {
+        let mut rng = StdRng::seed_from_u64(7);
+        sample_distinct_indices(&mut rng, 3, 4, |_| {});
+    }
+
+    #[test]
+    fn distinct_indices_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50;
+        let mut hits = vec![0u32; n];
+        for _ in 0..2000 {
+            sample_distinct_indices(&mut rng, n, 10, |i| hits[i] += 1);
+        }
+        // Each index should be hit about 2000 * 10 / 50 = 400 times.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((h as f64 - 400.0).abs() < 120.0, "index {i} hit {h} times");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Swap randomization (Gionis, Mannila, Mielikäinen, Tsaparas 2006).
+//!
+//! The paper's §1.1 mentions an alternative null model that preserves not only the
+//! item frequencies but also the *exact transaction lengths* of the observed dataset:
+//! all 0/1 matrices with the same row and column margins, sampled (approximately
+//! uniformly) by a Markov chain of "swaps". A swap picks two incidences
+//! `(t1, i1)` and `(t2, i2)` with `i1 ∉ t2`, `i2 ∉ t1`, `t1 ≠ t2`, `i1 ≠ i2`, and
+//! exchanges them, producing `(t1, i2)` and `(t2, i1)`. Margins are invariant under
+//! swaps.
+//!
+//! The paper notes its technique "could conceivably be adapted" to this model; we
+//! provide the sampler so users can re-run the whole pipeline under it (see the
+//! `swap_null_model` ablation bench).
+
+use rand::Rng;
+
+use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset};
+
+/// Produce a swap-randomized copy of `dataset` by attempting `attempts` swaps.
+///
+/// A common rule of thumb (used by Gionis et al.) is to attempt a number of swaps
+/// proportional to the number of 1s in the matrix — e.g. `4 * dataset.num_entries()`
+/// — to get close to mixing. Attempts that pick an invalid pair are simply skipped,
+/// as in the standard algorithm.
+///
+/// Row margins (transaction lengths) and column margins (item supports) of the
+/// result are identical to the input by construction.
+pub fn swap_randomize<R: Rng + ?Sized>(
+    dataset: &TransactionDataset,
+    attempts: usize,
+    rng: &mut R,
+) -> TransactionDataset {
+    let t = dataset.num_transactions();
+    if t == 0 || dataset.num_entries() == 0 {
+        return dataset.clone();
+    }
+
+    // Mutable edge list plus per-transaction sorted item vectors for membership tests.
+    let mut transactions: Vec<Vec<ItemId>> = dataset.to_vecs();
+    // Edge list: (transaction, position-in-transaction) pairs are implicit; we store
+    // (tid, item) and keep transactions' vectors in sync.
+    let mut edges: Vec<(u32, ItemId)> = Vec::with_capacity(dataset.num_entries());
+    for (tid, txn) in transactions.iter().enumerate() {
+        for &item in txn {
+            edges.push((tid as u32, item));
+        }
+    }
+
+    let num_edges = edges.len();
+    for _ in 0..attempts {
+        let e1 = rng.random_range(0..num_edges);
+        let e2 = rng.random_range(0..num_edges);
+        if e1 == e2 {
+            continue;
+        }
+        let (t1, i1) = edges[e1];
+        let (t2, i2) = edges[e2];
+        if t1 == t2 || i1 == i2 {
+            continue;
+        }
+        // The swap is valid only if it does not create duplicate incidences.
+        if contains(&transactions[t1 as usize], i2) || contains(&transactions[t2 as usize], i1) {
+            continue;
+        }
+        // Perform the swap.
+        remove_item(&mut transactions[t1 as usize], i1);
+        insert_item(&mut transactions[t1 as usize], i2);
+        remove_item(&mut transactions[t2 as usize], i2);
+        insert_item(&mut transactions[t2 as usize], i1);
+        edges[e1] = (t1, i2);
+        edges[e2] = (t2, i1);
+    }
+
+    let mut builder = DatasetBuilder::with_capacity(dataset.num_items(), t, dataset.num_entries());
+    for txn in &transactions {
+        builder
+            .add_sorted_transaction(txn)
+            .expect("swaps never move items outside the original universe");
+    }
+    builder.build()
+}
+
+#[inline]
+fn contains(txn: &[ItemId], item: ItemId) -> bool {
+    txn.binary_search(&item).is_ok()
+}
+
+#[inline]
+fn remove_item(txn: &mut Vec<ItemId>, item: ItemId) {
+    let pos = txn.binary_search(&item).expect("item to remove must be present");
+    txn.remove(pos);
+}
+
+#[inline]
+fn insert_item(txn: &mut Vec<ItemId>, item: ItemId) {
+    let pos = txn.binary_search(&item).expect_err("item to insert must be absent");
+    txn.insert(pos, item);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn margins(d: &TransactionDataset) -> (Vec<usize>, Vec<u64>) {
+        let rows: Vec<usize> = d.iter().map(|t| t.len()).collect();
+        (rows, d.item_supports())
+    }
+
+    #[test]
+    fn swaps_preserve_margins() {
+        let d = TransactionDataset::from_transactions(
+            6,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 3],
+                vec![0, 4],
+                vec![2, 3, 5],
+                vec![0, 1, 5],
+                vec![4, 5],
+            ],
+        )
+        .unwrap();
+        let (rows_before, cols_before) = margins(&d);
+        let mut rng = StdRng::seed_from_u64(3);
+        let swapped = swap_randomize(&d, 10 * d.num_entries(), &mut rng);
+        let (rows_after, cols_after) = margins(&swapped);
+        assert_eq!(rows_before, rows_after, "transaction lengths must be preserved");
+        assert_eq!(cols_before, cols_after, "item supports must be preserved");
+        assert_eq!(swapped.num_entries(), d.num_entries());
+    }
+
+    #[test]
+    fn enough_swaps_actually_change_the_dataset() {
+        // A dataset with plenty of swap opportunities.
+        let d = TransactionDataset::from_transactions(
+            10,
+            (0..40).map(|i| vec![(i % 10) as u32, ((i + 3) % 10) as u32, ((i + 6) % 10) as u32]).collect(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let swapped = swap_randomize(&d, 20 * d.num_entries(), &mut rng);
+        assert_ne!(d, swapped, "with hundreds of attempted swaps the matrix should change");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_returned_unchanged() {
+        let empty = TransactionDataset::empty(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(swap_randomize(&empty, 100, &mut rng), empty);
+
+        // A single transaction has no valid swap partners.
+        let single = TransactionDataset::from_transactions(3, vec![vec![0, 1, 2]]).unwrap();
+        let out = swap_randomize(&single, 100, &mut rng);
+        assert_eq!(out, single);
+
+        // Zero attempts: identity.
+        let d = TransactionDataset::from_transactions(3, vec![vec![0], vec![1]]).unwrap();
+        assert_eq!(swap_randomize(&d, 0, &mut rng), d);
+    }
+
+    #[test]
+    fn swaps_break_up_correlations() {
+        // Two items always together in 30 transactions plus 30 transactions with
+        // each alone: after many swaps the co-occurrence count should drop
+        // substantially below 30 (margins force them apart sometimes).
+        let mut txns = Vec::new();
+        for _ in 0..30 {
+            txns.push(vec![0u32, 1u32]);
+        }
+        for i in 0..30 {
+            txns.push(vec![2 + (i % 4) as u32]);
+        }
+        let d = TransactionDataset::from_transactions(6, txns).unwrap();
+        let before = d.itemset_support(&[0, 1]);
+        assert_eq!(before, 30);
+        let mut rng = StdRng::seed_from_u64(21);
+        let swapped = swap_randomize(&d, 50 * d.num_entries(), &mut rng);
+        let after = swapped.itemset_support(&[0, 1]);
+        assert!(after < before, "swap randomization did not reduce co-occurrence ({after})");
+    }
+}

@@ -1,0 +1,132 @@
+//! Dataset profiling: the parameters reported in Table 1 of the paper.
+//!
+//! For each benchmark dataset the paper lists the number of items `n`, the range of
+//! individual item frequencies `[f_min, f_max]`, the average transaction length `m`
+//! and the number of transactions `t`. [`DatasetSummary::from_dataset`] computes the
+//! same profile for any [`TransactionDataset`], and the Table 1 harness binary simply
+//! prints these summaries for the six stand-in datasets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::TransactionDataset;
+
+/// Summary statistics of a transactional dataset (the columns of Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Number of items in the universe (`n`).
+    pub num_items: u32,
+    /// Number of items that actually occur in at least one transaction.
+    pub num_active_items: u32,
+    /// Number of transactions (`t`).
+    pub num_transactions: usize,
+    /// Average transaction length (`m`).
+    pub avg_transaction_len: f64,
+    /// Smallest non-zero item frequency (`f_min`). `None` if the dataset is empty or
+    /// no item occurs.
+    pub min_frequency: Option<f64>,
+    /// Largest item frequency (`f_max`). `None` if the dataset is empty.
+    pub max_frequency: Option<f64>,
+    /// Total number of (transaction, item) incidences.
+    pub num_entries: usize,
+}
+
+impl DatasetSummary {
+    /// Profile a dataset.
+    pub fn from_dataset(dataset: &TransactionDataset) -> Self {
+        let t = dataset.num_transactions();
+        let supports = dataset.item_supports();
+        let num_active_items = supports.iter().filter(|&&s| s > 0).count() as u32;
+        let (mut min_f, mut max_f) = (None, None);
+        if t > 0 {
+            for &s in &supports {
+                if s == 0 {
+                    continue;
+                }
+                let f = s as f64 / t as f64;
+                min_f = Some(min_f.map_or(f, |m: f64| m.min(f)));
+                max_f = Some(max_f.map_or(f, |m: f64| m.max(f)));
+            }
+        }
+        DatasetSummary {
+            num_items: dataset.num_items(),
+            num_active_items,
+            num_transactions: t,
+            avg_transaction_len: dataset.avg_transaction_len(),
+            min_frequency: min_f,
+            max_frequency: max_f,
+            num_entries: dataset.num_entries(),
+        }
+    }
+
+    /// Density of the dataset: fraction of the `n x t` item-by-transaction matrix
+    /// that is filled.
+    pub fn density(&self) -> f64 {
+        let cells = self.num_items as f64 * self.num_transactions as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.num_entries as f64 / cells
+        }
+    }
+
+    /// Render a single row in the style of Table 1 of the paper:
+    /// `name  n  [f_min ; f_max]  m  t`.
+    pub fn table1_row(&self, name: &str) -> String {
+        let fmin = self.min_frequency.map_or("-".to_string(), |f| format!("{f:.2e}"));
+        let fmax = self.max_frequency.map_or("-".to_string(), |f| format!("{f:.2}"));
+        format!(
+            "{name:<12} {:>8} [{} ; {}] {:>7.1} {:>9}",
+            self.num_items, fmin, fmax, self.avg_transaction_len, self.num_transactions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            4,
+            vec![vec![0, 1], vec![0, 1, 2], vec![0], vec![1, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = DatasetSummary::from_dataset(&sample());
+        assert_eq!(s.num_items, 4);
+        assert_eq!(s.num_active_items, 3); // item 3 never occurs
+        assert_eq!(s.num_transactions, 4);
+        assert_eq!(s.num_entries, 8);
+        assert!((s.avg_transaction_len - 2.0).abs() < 1e-12);
+        // Frequencies: item0 = 3/4, item1 = 3/4, item2 = 2/4, item3 absent.
+        assert!((s.min_frequency.unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.max_frequency.unwrap() - 0.75).abs() < 1e-12);
+        assert!((s.density() - 8.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_dataset() {
+        let s = DatasetSummary::from_dataset(&TransactionDataset::empty(10));
+        assert_eq!(s.num_transactions, 0);
+        assert_eq!(s.num_active_items, 0);
+        assert_eq!(s.min_frequency, None);
+        assert_eq!(s.max_frequency, None);
+        assert_eq!(s.density(), 0.0);
+        // The table row must not panic on missing frequencies.
+        let row = s.table1_row("Empty");
+        assert!(row.contains("Empty"));
+        assert!(row.contains('-'));
+    }
+
+    #[test]
+    fn table1_row_contains_all_columns() {
+        let s = DatasetSummary::from_dataset(&sample());
+        let row = s.table1_row("Toy");
+        assert!(row.contains("Toy"));
+        assert!(row.contains('4'));
+        assert!(row.contains("[5.00e-1 ; 0.75]"));
+    }
+}

@@ -1,0 +1,400 @@
+//! The core transactional dataset container.
+//!
+//! A [`TransactionDataset`] stores `t` transactions over a universe of `n` items in a
+//! CSR-like (compressed sparse row) layout: one flat `Vec<ItemId>` of item ids plus a
+//! `Vec<usize>` of per-transaction offsets. Items within each transaction are kept
+//! sorted and deduplicated, which makes subset tests and support counting cheap and
+//! makes the representation canonical (two datasets with the same transactions always
+//! compare equal).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DatasetError, Result};
+
+/// Identifier of an item. Item ids are dense: a dataset over `n` items uses ids
+/// `0..n`. (FIMI files with sparse ids are remapped by the reader, which keeps the
+/// original labels in a side table.)
+pub type ItemId = u32;
+
+/// Identifier of a transaction (its index in the dataset).
+pub type TransactionId = u32;
+
+/// A dataset of transactions over items `0..num_items`, stored in CSR layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionDataset {
+    num_items: u32,
+    /// `offsets[i]..offsets[i+1]` is the slice of `items` holding transaction `i`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-transaction-sorted item ids.
+    items: Vec<ItemId>,
+}
+
+impl TransactionDataset {
+    /// Build a dataset from explicit transactions.
+    ///
+    /// Item lists may be unsorted and may contain duplicates; they are sorted and
+    /// deduplicated. Empty transactions are allowed (they occur naturally in random
+    /// datasets with small item frequencies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ItemOutOfRange`] if any transaction mentions an item
+    /// id `>= num_items`.
+    pub fn from_transactions(
+        num_items: u32,
+        transactions: Vec<Vec<ItemId>>,
+    ) -> Result<Self> {
+        let mut builder = DatasetBuilder::new(num_items);
+        for txn in transactions {
+            builder.add_transaction(txn)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// An empty dataset (zero transactions) over `num_items` items.
+    pub fn empty(num_items: u32) -> Self {
+        TransactionDataset { num_items, offsets: vec![0], items: Vec::new() }
+    }
+
+    /// Number of items in the universe (`n` in the paper).
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of transactions (`t` in the paper).
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of (transaction, item) incidences, i.e. the sum of transaction
+    /// lengths.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The items of transaction `idx`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_transactions()`.
+    #[inline]
+    pub fn transaction(&self, idx: usize) -> &[ItemId] {
+        &self.items[self.offsets[idx]..self.offsets[idx + 1]]
+    }
+
+    /// Iterator over all transactions (as sorted item slices).
+    pub fn iter(&self) -> impl Iterator<Item = &[ItemId]> + '_ {
+        (0..self.num_transactions()).map(move |i| self.transaction(i))
+    }
+
+    /// Average transaction length (`m` in Table 1 of the paper). Zero for an empty
+    /// dataset.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.num_transactions() == 0 {
+            0.0
+        } else {
+            self.items.len() as f64 / self.num_transactions() as f64
+        }
+    }
+
+    /// Support (number of containing transactions) of a single item.
+    pub fn item_support(&self, item: ItemId) -> u64 {
+        self.iter().filter(|txn| txn.binary_search(&item).is_ok()).count() as u64
+    }
+
+    /// Supports of all items, indexed by item id. One pass over the data.
+    pub fn item_supports(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_items as usize];
+        for &item in &self.items {
+            counts[item as usize] += 1;
+        }
+        counts
+    }
+
+    /// Frequencies `f_i = n(i) / t` of all items, indexed by item id.
+    /// All zeros if the dataset has no transactions.
+    pub fn item_frequencies(&self) -> Vec<f64> {
+        let t = self.num_transactions();
+        if t == 0 {
+            return vec![0.0; self.num_items as usize];
+        }
+        self.item_supports().into_iter().map(|c| c as f64 / t as f64).collect()
+    }
+
+    /// Support of an arbitrary itemset given as a sorted slice of distinct item ids
+    /// (number of transactions containing *all* of them). Linear scan; miners use
+    /// faster specialized counting, this is the reference implementation.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `itemset` is sorted and duplicate-free.
+    pub fn itemset_support(&self, itemset: &[ItemId]) -> u64 {
+        debug_assert!(itemset.windows(2).all(|w| w[0] < w[1]), "itemset must be sorted and distinct");
+        if itemset.is_empty() {
+            return self.num_transactions() as u64;
+        }
+        self.iter()
+            .filter(|txn| is_subset_sorted(itemset, txn))
+            .count() as u64
+    }
+
+    /// Vertical view: for every item, the sorted list of transaction ids containing
+    /// it. This is the representation used by the Eclat miner and by the
+    /// swap-randomization model.
+    pub fn tid_lists(&self) -> Vec<Vec<TransactionId>> {
+        let mut lists: Vec<Vec<TransactionId>> = vec![Vec::new(); self.num_items as usize];
+        for (tid, txn) in self.iter().enumerate() {
+            for &item in txn {
+                lists[item as usize].push(tid as TransactionId);
+            }
+        }
+        lists
+    }
+
+    /// Maximum support of any single item (and therefore of any itemset), the
+    /// `s_max` used by Procedure 2 to bound its threshold search.
+    pub fn max_item_support(&self) -> u64 {
+        self.item_supports().into_iter().max().unwrap_or(0)
+    }
+
+    /// Returns the transactions as owned vectors — handy in tests and when feeding
+    /// the dataset to external tools.
+    pub fn to_vecs(&self) -> Vec<Vec<ItemId>> {
+        self.iter().map(|t| t.to_vec()).collect()
+    }
+}
+
+/// Test whether sorted slice `needle` is a subset of sorted slice `haystack`,
+/// using a linear merge (galloping is not worth it at the transaction lengths seen
+/// in market-basket data).
+#[inline]
+pub fn is_subset_sorted(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    let mut hi = 0usize;
+    'outer: for &x in needle {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&x) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Incremental builder for a [`TransactionDataset`].
+///
+/// Validates and normalizes (sorts, deduplicates) each transaction as it is added,
+/// so large datasets can be streamed in without a second pass.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    num_items: u32,
+    offsets: Vec<usize>,
+    items: Vec<ItemId>,
+}
+
+impl DatasetBuilder {
+    /// Start building a dataset over `num_items` items.
+    pub fn new(num_items: u32) -> Self {
+        DatasetBuilder { num_items, offsets: vec![0], items: Vec::new() }
+    }
+
+    /// Start building with pre-allocated capacity for `transactions` transactions and
+    /// `entries` total items.
+    pub fn with_capacity(num_items: u32, transactions: usize, entries: usize) -> Self {
+        let mut offsets = Vec::with_capacity(transactions + 1);
+        offsets.push(0);
+        DatasetBuilder { num_items, offsets, items: Vec::with_capacity(entries) }
+    }
+
+    /// Append a transaction (unsorted, possibly with duplicates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ItemOutOfRange`] if the transaction mentions an item
+    /// id `>= num_items`; the builder is left unchanged in that case.
+    pub fn add_transaction(&mut self, mut txn: Vec<ItemId>) -> Result<()> {
+        if let Some(&bad) = txn.iter().find(|&&i| i >= self.num_items) {
+            return Err(DatasetError::ItemOutOfRange {
+                item: bad as u64,
+                num_items: self.num_items,
+                transaction: self.offsets.len() - 1,
+            });
+        }
+        txn.sort_unstable();
+        txn.dedup();
+        self.items.extend_from_slice(&txn);
+        self.offsets.push(self.items.len());
+        Ok(())
+    }
+
+    /// Append a transaction that is already sorted and duplicate-free (skips the
+    /// normalization pass; debug-asserted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ItemOutOfRange`] on an out-of-universe item id.
+    pub fn add_sorted_transaction(&mut self, txn: &[ItemId]) -> Result<()> {
+        debug_assert!(txn.windows(2).all(|w| w[0] < w[1]), "transaction must be sorted and distinct");
+        if let Some(&bad) = txn.iter().find(|&&i| i >= self.num_items) {
+            return Err(DatasetError::ItemOutOfRange {
+                item: bad as u64,
+                num_items: self.num_items,
+                transaction: self.offsets.len() - 1,
+            });
+        }
+        self.items.extend_from_slice(txn);
+        self.offsets.push(self.items.len());
+        Ok(())
+    }
+
+    /// Number of transactions added so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if no transactions have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalize the dataset.
+    pub fn build(self) -> TransactionDataset {
+        TransactionDataset { num_items: self.num_items, offsets: self.offsets, items: self.items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            5,
+            vec![vec![0, 1, 2], vec![1, 2], vec![0, 2, 3], vec![4], vec![], vec![2, 1, 0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let d = sample();
+        assert_eq!(d.num_items(), 5);
+        assert_eq!(d.num_transactions(), 6);
+        assert_eq!(d.num_entries(), 3 + 2 + 3 + 1 + 0 + 3);
+        assert!((d.avg_transaction_len() - 12.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transactions_are_sorted_and_deduplicated() {
+        let d = TransactionDataset::from_transactions(4, vec![vec![3, 1, 1, 0, 3]]).unwrap();
+        assert_eq!(d.transaction(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn out_of_range_item_rejected() {
+        let err = TransactionDataset::from_transactions(3, vec![vec![0, 5]]).unwrap_err();
+        match err {
+            DatasetError::ItemOutOfRange { item, num_items, transaction } => {
+                assert_eq!(item, 5);
+                assert_eq!(num_items, 3);
+                assert_eq!(transaction, 0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn item_supports_and_frequencies() {
+        let d = sample();
+        let supports = d.item_supports();
+        assert_eq!(supports, vec![3, 3, 4, 1, 1]);
+        assert_eq!(d.item_support(2), 4);
+        let freqs = d.item_frequencies();
+        assert!((freqs[2] - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(d.max_item_support(), 4);
+    }
+
+    #[test]
+    fn itemset_support_reference() {
+        let d = sample();
+        assert_eq!(d.itemset_support(&[]), 6);
+        assert_eq!(d.itemset_support(&[0]), 3);
+        assert_eq!(d.itemset_support(&[0, 1]), 2);
+        assert_eq!(d.itemset_support(&[0, 1, 2]), 2);
+        assert_eq!(d.itemset_support(&[0, 3]), 1);
+        assert_eq!(d.itemset_support(&[3, 4]), 0);
+    }
+
+    #[test]
+    fn tid_lists_match_horizontal_view() {
+        let d = sample();
+        let lists = d.tid_lists();
+        assert_eq!(lists[0], vec![0, 2, 5]);
+        assert_eq!(lists[2], vec![0, 1, 2, 5]);
+        assert_eq!(lists[4], vec![3]);
+        // Cross-check: sum of tid-list lengths equals total entries.
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        assert_eq!(total, d.num_entries());
+    }
+
+    #[test]
+    fn empty_dataset_behaviour() {
+        let d = TransactionDataset::empty(3);
+        assert_eq!(d.num_transactions(), 0);
+        assert_eq!(d.avg_transaction_len(), 0.0);
+        assert_eq!(d.item_frequencies(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(d.max_item_support(), 0);
+        assert_eq!(d.itemset_support(&[0]), 0);
+    }
+
+    #[test]
+    fn builder_incremental_use() {
+        let mut b = DatasetBuilder::with_capacity(10, 3, 6);
+        assert!(b.is_empty());
+        b.add_transaction(vec![5, 1]).unwrap();
+        b.add_sorted_transaction(&[2, 3, 7]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.add_transaction(vec![10]).is_err());
+        assert_eq!(b.len(), 2, "failed add must not change the builder");
+        let d = b.build();
+        assert_eq!(d.transaction(0), &[1, 5]);
+        assert_eq!(d.transaction(1), &[2, 3, 7]);
+    }
+
+    #[test]
+    fn is_subset_sorted_cases() {
+        assert!(is_subset_sorted(&[], &[1, 2, 3]));
+        assert!(is_subset_sorted(&[2], &[1, 2, 3]));
+        assert!(is_subset_sorted(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[0], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1, 2, 3, 4], &[1, 2, 3]));
+        assert!(is_subset_sorted(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn canonical_representation_equality() {
+        let a = TransactionDataset::from_transactions(3, vec![vec![2, 0], vec![1]]).unwrap();
+        let b = TransactionDataset::from_transactions(3, vec![vec![0, 2, 2], vec![1]]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn to_vecs_round_trip() {
+        let d = sample();
+        let vecs = d.to_vecs();
+        let d2 = TransactionDataset::from_transactions(5, vecs).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Level-wise Apriori, restricted to a target itemset size `k`.
+//!
+//! The classic algorithm of Agrawal et al. adapted to the access pattern of the
+//! paper: we only ever need the frequent itemsets of one fixed size `k` (2, 3 or 4 in
+//! the experiments) at a *high* support threshold, so the candidate sets stay small
+//! and a level-wise sweep with exact counting is the most economical strategy.
+//!
+//! Candidate counting is hybrid: per level the miner chooses between
+//!
+//! * **vertical counting** — intersect the tid-lists of each candidate's items
+//!   (cheap when there are few candidates), and
+//! * **horizontal counting** — one pass over the transactions, hashing each
+//!   transaction's k-subsets into the candidate table (cheap when transactions
+//!   restricted to frequent items are short but candidates are many).
+//!
+//! The crossover is decided from the estimated subset-enumeration work, see
+//! [`Apriori::counting_strategy`].
+
+use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+
+use crate::counting::{count_candidates_horizontal, support_from_tidlists};
+use crate::itemset::{binomial_u64, join_step, prune_step, sort_canonical, ItemsetSupport};
+use crate::miner::{validate_mining_args, KItemsetMiner};
+use crate::Result;
+
+/// Configuration of the Apriori miner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Apriori {
+    /// If `true`, the prune step (discarding candidates with an infrequent
+    /// (k−1)-subset) is applied before counting. Disabling it is only useful for
+    /// ablation benchmarks.
+    pub prune: bool,
+    /// Force a counting strategy instead of choosing per level.
+    pub force_strategy: Option<CountingStrategy>,
+}
+
+impl Default for Apriori {
+    fn default() -> Self {
+        Apriori { prune: true, force_strategy: None }
+    }
+}
+
+/// How candidate supports are counted within one Apriori level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountingStrategy {
+    /// Intersect vertical tid-lists per candidate.
+    Vertical,
+    /// Hash each transaction's subsets into the candidate table.
+    Horizontal,
+}
+
+impl Apriori {
+    /// Decide how to count `num_candidates` candidates of size `level` given the
+    /// total number of (restricted) transaction entries and the average restricted
+    /// transaction length.
+    pub fn counting_strategy(
+        &self,
+        num_candidates: usize,
+        avg_restricted_len: f64,
+        num_transactions: usize,
+        level: usize,
+    ) -> CountingStrategy {
+        if let Some(forced) = self.force_strategy {
+            return forced;
+        }
+        // Rough work estimates: horizontal enumerates ~C(len, level) subsets per
+        // transaction; vertical walks ~num_candidates * level tid-lists of average
+        // length t * density.
+        let horizontal_work = num_transactions as f64
+            * binomial_u64(avg_restricted_len.round() as u64, level as u64) as f64;
+        let vertical_work =
+            num_candidates as f64 * level as f64 * (num_transactions as f64 * 0.1).max(16.0);
+        if horizontal_work <= vertical_work {
+            CountingStrategy::Horizontal
+        } else {
+            CountingStrategy::Vertical
+        }
+    }
+
+    fn count_level(
+        &self,
+        dataset: &TransactionDataset,
+        tid_lists: &[Vec<u32>],
+        candidates: &[Vec<ItemId>],
+        level: usize,
+        avg_restricted_len: f64,
+    ) -> Vec<u64> {
+        match self.counting_strategy(
+            candidates.len(),
+            avg_restricted_len,
+            dataset.num_transactions(),
+            level,
+        ) {
+            CountingStrategy::Horizontal => count_candidates_horizontal(dataset, candidates),
+            CountingStrategy::Vertical => candidates
+                .iter()
+                .map(|c| support_from_tidlists(tid_lists, c, dataset.num_transactions()))
+                .collect(),
+        }
+    }
+}
+
+impl KItemsetMiner for Apriori {
+    fn mine_k(
+        &self,
+        dataset: &TransactionDataset,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        validate_mining_args(k, min_support)?;
+        // Level 1: frequent items.
+        let supports = dataset.item_supports();
+        let mut frequent_prev: Vec<Vec<ItemId>> = supports
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s >= min_support)
+            .map(|(i, _)| vec![i as ItemId])
+            .collect();
+        if k == 1 {
+            let mut out: Vec<ItemsetSupport> = frequent_prev
+                .into_iter()
+                .map(|items| {
+                    let s = supports[items[0] as usize];
+                    ItemsetSupport { items, support: s }
+                })
+                .collect();
+            sort_canonical(&mut out);
+            return Ok(out);
+        }
+
+        let tid_lists = dataset.tid_lists();
+        let frequent_item_count = frequent_prev.len() as f64;
+        let avg_restricted_len = if dataset.num_transactions() == 0 {
+            0.0
+        } else {
+            // Expected length of a transaction restricted to frequent items.
+            let freq_entries: u64 = supports.iter().filter(|&&s| s >= min_support).sum();
+            (freq_entries as f64 / dataset.num_transactions() as f64)
+                .min(frequent_item_count)
+        };
+
+        let mut result = Vec::new();
+        for level in 2..=k {
+            if frequent_prev.len() < level {
+                return Ok(Vec::new());
+            }
+            frequent_prev.sort_unstable();
+            let mut candidates = join_step(&frequent_prev);
+            if self.prune {
+                candidates = prune_step(candidates, &frequent_prev);
+            }
+            if candidates.is_empty() {
+                return Ok(Vec::new());
+            }
+            let counts =
+                self.count_level(dataset, &tid_lists, &candidates, level, avg_restricted_len);
+            let mut frequent_now = Vec::new();
+            for (cand, count) in candidates.into_iter().zip(counts) {
+                if count >= min_support {
+                    if level == k {
+                        result.push(ItemsetSupport { items: cand.clone(), support: count });
+                    }
+                    frequent_now.push(cand);
+                }
+            }
+            frequent_prev = frequent_now;
+        }
+        sort_canonical(&mut result);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 2, 3],
+                vec![0, 1],
+                vec![0, 1, 3],
+                vec![0, 2, 3],
+                vec![1, 2, 4],
+                vec![0, 1, 2],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frequent_single_items() {
+        let mined = Apriori::default().mine_k(&toy(), 1, 4).unwrap();
+        let items: Vec<_> = mined.iter().map(|m| m.items[0]).collect();
+        assert_eq!(items, vec![0, 1, 2]);
+        let supports: Vec<_> = mined.iter().map(|m| m.support).collect();
+        assert_eq!(supports, vec![6, 6, 5]);
+    }
+
+    #[test]
+    fn frequent_pairs_with_exact_supports() {
+        let d = toy();
+        let mined = Apriori::default().mine_k(&d, 2, 4).unwrap();
+        let expected: Vec<(Vec<ItemId>, u64)> =
+            vec![(vec![0, 1], 5), (vec![0, 2], 4), (vec![1, 2], 4)];
+        assert_eq!(
+            mined.iter().map(|m| (m.items.clone(), m.support)).collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn frequent_triples() {
+        let d = toy();
+        let mined = Apriori::default().mine_k(&d, 3, 3).unwrap();
+        assert_eq!(mined.len(), 1);
+        assert_eq!(mined[0].items, vec![0, 1, 2]);
+        assert_eq!(mined[0].support, 3);
+        // Nothing of size 4 at threshold 2.
+        assert!(Apriori::default().mine_k(&d, 4, 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn no_frequent_items_means_empty_output() {
+        let d = toy();
+        assert!(Apriori::default().mine_k(&d, 2, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn supports_agree_with_reference_counting() {
+        let d = toy();
+        for k in 1..=3 {
+            for s in 1..=4 {
+                let mined = Apriori::default().mine_k(&d, k, s).unwrap();
+                for m in &mined {
+                    assert_eq!(m.support, d.itemset_support(&m.items), "itemset {:?}", m.items);
+                    assert!(m.support >= s);
+                    assert_eq!(m.items.len(), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_strategies_agree() {
+        let d = toy();
+        let vertical = Apriori { force_strategy: Some(CountingStrategy::Vertical), prune: true };
+        let horizontal =
+            Apriori { force_strategy: Some(CountingStrategy::Horizontal), prune: true };
+        for k in 2..=3 {
+            assert_eq!(
+                vertical.mine_k(&d, k, 2).unwrap(),
+                horizontal.mine_k(&d, k, 2).unwrap(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_results() {
+        let d = toy();
+        let pruned = Apriori { prune: true, force_strategy: None };
+        let unpruned = Apriori { prune: false, force_strategy: None };
+        for k in 2..=4 {
+            assert_eq!(pruned.mine_k(&d, k, 2).unwrap(), unpruned.mine_k(&d, k, 2).unwrap());
+        }
+    }
+
+    #[test]
+    fn mine_up_to_collects_all_sizes() {
+        let d = toy();
+        let all = Apriori::default().mine_up_to(&d, 3, 3).unwrap();
+        let per_size: Vec<usize> = (1..=3)
+            .map(|k| Apriori::default().mine_k(&d, k, 3).unwrap().len())
+            .collect();
+        assert_eq!(all.len(), per_size.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        let d = TransactionDataset::empty(10);
+        assert!(Apriori::default().mine_k(&d, 2, 1).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Exhaustive reference miner.
+//!
+//! Enumerates every k-combination of the frequent items and counts each candidate
+//! exactly. `O(C(n', k))` in the number `n'` of frequent items, so only usable on
+//! small problems — which is exactly its purpose: an oracle that the real miners are
+//! validated against in unit, property and integration tests.
+
+use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+
+use crate::counting::support_from_tidlists;
+use crate::itemset::{binomial_u64, for_each_k_subset, sort_canonical, ItemsetSupport};
+use crate::miner::{validate_mining_args, KItemsetMiner};
+use crate::{MiningError, Result};
+
+/// Largest candidate count the brute-force miner is willing to enumerate. Above this
+/// the caller almost certainly meant to use a real miner, and silently grinding for
+/// hours would be worse than an error.
+pub const MAX_BRUTE_FORCE_CANDIDATES: u64 = 20_000_000;
+
+/// The exhaustive reference miner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BruteForce;
+
+impl KItemsetMiner for BruteForce {
+    fn mine_k(
+        &self,
+        dataset: &TransactionDataset,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        validate_mining_args(k, min_support)?;
+        let supports = dataset.item_supports();
+        // Every item of a frequent k-itemset is itself frequent, so restricting the
+        // universe to frequent items loses nothing.
+        let frequent_items: Vec<ItemId> = (0..dataset.num_items())
+            .filter(|&i| supports[i as usize] >= min_support)
+            .collect();
+        let candidates = binomial_u64(frequent_items.len() as u64, k as u64);
+        if candidates > MAX_BRUTE_FORCE_CANDIDATES {
+            return Err(MiningError::ProblemTooLarge {
+                candidates,
+                limit: MAX_BRUTE_FORCE_CANDIDATES,
+            });
+        }
+        let tid_lists = dataset.tid_lists();
+        let mut output = Vec::new();
+        for_each_k_subset(&frequent_items, k, |candidate| {
+            let support =
+                support_from_tidlists(&tid_lists, candidate, dataset.num_transactions());
+            if support >= min_support {
+                output.push(ItemsetSupport { items: candidate.to_vec(), support });
+            }
+        });
+        sort_canonical(&mut output);
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+
+    fn toy() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2, 4],
+                vec![0, 2, 4],
+                vec![0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_apriori() {
+        let d = toy();
+        for k in 1..=3 {
+            for s in 1..=3 {
+                assert_eq!(
+                    BruteForce.mine_k(&d, k, s).unwrap(),
+                    Apriori::default().mine_k(&d, k, s).unwrap(),
+                    "k={k}, s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_infeasible_enumeration() {
+        // 5000 items each occurring once => C(5000, 4) ≈ 2.6e13 candidates at s = 1.
+        let transactions: Vec<Vec<ItemId>> = (0..5000u32).map(|i| vec![i]).collect();
+        let d = TransactionDataset::from_transactions(5000, transactions).unwrap();
+        let err = BruteForce.mine_k(&d, 4, 1).unwrap_err();
+        match err {
+            MiningError::ProblemTooLarge { candidates, limit } => {
+                assert!(candidates > limit);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_supports() {
+        let d = toy();
+        for m in BruteForce.mine_k(&d, 2, 2).unwrap() {
+            assert_eq!(m.support, d.itemset_support(&m.items));
+        }
+    }
+}

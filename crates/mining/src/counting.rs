@@ -1,0 +1,330 @@
+//! Support counting utilities.
+//!
+//! The paper's procedures never need *all* frequent itemsets of every size — they
+//! need, for a fixed size `k`:
+//!
+//! * the supports of an explicit list of candidate k-itemsets (Algorithm 1 tracks the
+//!   supports of the itemset pool `W` across Δ random datasets), and
+//! * the count `Q_{k,s}` of k-itemsets with support at least `s`, for a whole range
+//!   of thresholds `s` (Procedure 2 probes `s_i = s_min + 2^i`).
+//!
+//! Both are served here. [`supports_of`] batch-counts explicit candidates by
+//! intersecting the vertical tid-lists of their items; [`SupportProfile`] materializes
+//! the supports of every k-itemset above a floor threshold once and then answers
+//! `Q_{k,s}` queries for any `s` above the floor in `O(log)` time.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sigfim_datasets::transaction::{ItemId, TransactionDataset, TransactionId};
+
+use crate::apriori::Apriori;
+use crate::itemset::ItemsetSupport;
+use crate::miner::KItemsetMiner;
+use crate::Result;
+
+/// Intersect two sorted transaction-id lists (linear merge).
+pub fn intersect_tids(a: &[TransactionId], b: &[TransactionId]) -> Vec<TransactionId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Size of the intersection of two sorted tid-lists without materializing it.
+pub fn intersection_size(a: &[TransactionId], b: &[TransactionId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Batch support counting for an explicit list of itemsets, via vertical tid-list
+/// intersections. The tid-lists of the dataset are built once; each itemset then
+/// costs `O(k · min tid-list length)`.
+///
+/// Itemsets must be sorted and duplicate-free (as produced by every miner in this
+/// crate). Empty itemsets get support `t` by convention.
+pub fn supports_of(dataset: &TransactionDataset, itemsets: &[Vec<ItemId>]) -> Vec<u64> {
+    let tid_lists = dataset.tid_lists();
+    itemsets.iter().map(|set| support_from_tidlists(&tid_lists, set, dataset.num_transactions())).collect()
+}
+
+/// Support of one itemset given pre-built tid-lists. Intersections are performed
+/// starting from the rarest item so the working list shrinks as fast as possible.
+pub fn support_from_tidlists(
+    tid_lists: &[Vec<TransactionId>],
+    itemset: &[ItemId],
+    num_transactions: usize,
+) -> u64 {
+    if itemset.is_empty() {
+        return num_transactions as u64;
+    }
+    // Order the items by ascending tid-list length.
+    let mut order: Vec<&Vec<TransactionId>> =
+        itemset.iter().map(|&i| &tid_lists[i as usize]).collect();
+    order.sort_by_key(|l| l.len());
+    if order.len() == 1 {
+        return order[0].len() as u64;
+    }
+    if order.len() == 2 {
+        return intersection_size(order[0], order[1]) as u64;
+    }
+    let mut current = intersect_tids(order[0], order[1]);
+    for list in &order[2..] {
+        if current.is_empty() {
+            return 0;
+        }
+        current = intersect_tids(&current, list);
+    }
+    current.len() as u64
+}
+
+/// Count, for each candidate, the number of transactions containing it, using a
+/// horizontal pass over the dataset and a hash lookup per transaction k-subset.
+/// Used by the Apriori miner when subset enumeration is cheaper than per-candidate
+/// scans; exposed for testing and benchmarking against the vertical strategy.
+pub fn count_candidates_horizontal(
+    dataset: &TransactionDataset,
+    candidates: &[Vec<ItemId>],
+) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let k = candidates[0].len();
+    debug_assert!(candidates.iter().all(|c| c.len() == k));
+    let index: HashMap<&[ItemId], usize> =
+        candidates.iter().enumerate().map(|(i, c)| (c.as_slice(), i)).collect();
+    let mut counts = vec![0u64; candidates.len()];
+    // Only items that occur in some candidate can contribute to a match.
+    let mut relevant = vec![false; dataset.num_items() as usize];
+    for c in candidates {
+        for &i in c {
+            relevant[i as usize] = true;
+        }
+    }
+    let mut restricted: Vec<ItemId> = Vec::new();
+    for txn in dataset.iter() {
+        restricted.clear();
+        restricted.extend(txn.iter().copied().filter(|&i| relevant[i as usize]));
+        if restricted.len() < k {
+            continue;
+        }
+        crate::itemset::for_each_k_subset(&restricted, k, |subset| {
+            if let Some(&idx) = index.get(subset) {
+                counts[idx] += 1;
+            }
+        });
+    }
+    counts
+}
+
+/// The number of k-itemsets with support at least `s` in the dataset (`Q_{k,s}` in
+/// the paper), computed by mining at threshold `s` with Apriori.
+///
+/// # Errors
+///
+/// Propagates miner errors (invalid `k` or threshold).
+pub fn q_k_s(dataset: &TransactionDataset, k: usize, s: u64) -> Result<u64> {
+    Ok(Apriori::default().mine_k(dataset, k, s)?.len() as u64)
+}
+
+/// The supports of every k-itemset whose support is at least a floor threshold,
+/// stored sorted descending so that `Q_{k,s}` for any `s ≥ floor` is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupportProfile {
+    k: usize,
+    floor: u64,
+    /// Supports of all k-itemsets with support ≥ `floor`, sorted descending.
+    supports: Vec<u64>,
+}
+
+impl SupportProfile {
+    /// Mine the dataset once at threshold `floor` and record the support of every
+    /// frequent k-itemset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn new(dataset: &TransactionDataset, k: usize, floor: u64) -> Result<Self> {
+        let mined = Apriori::default().mine_k(dataset, k, floor)?;
+        Ok(Self::from_itemsets(k, floor, &mined))
+    }
+
+    /// Build a profile from an already-mined list of k-itemsets (all with support
+    /// ≥ `floor`).
+    pub fn from_itemsets(k: usize, floor: u64, itemsets: &[ItemsetSupport]) -> Self {
+        let mut supports: Vec<u64> = itemsets.iter().map(|i| i.support).collect();
+        supports.sort_unstable_by(|a, b| b.cmp(a));
+        SupportProfile { k, floor, supports }
+    }
+
+    /// The itemset size this profile describes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The floor threshold below which the profile has no information.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// `Q_{k,s}`: the number of k-itemsets with support at least `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < floor` — the profile holds no information below its floor, and
+    /// silently returning a wrong count would corrupt the statistics downstream.
+    pub fn q_at(&self, s: u64) -> u64 {
+        assert!(
+            s >= self.floor,
+            "SupportProfile was built with floor {} but was queried at s = {s}",
+            self.floor
+        );
+        // supports is sorted descending; count entries >= s.
+        self.supports.partition_point(|&x| x >= s) as u64
+    }
+
+    /// The largest support of any k-itemset (0 if none reach the floor).
+    pub fn max_support(&self) -> u64 {
+        self.supports.first().copied().unwrap_or(0)
+    }
+
+    /// Number of itemsets at or above the floor.
+    pub fn len(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// True if no itemset reaches the floor.
+    pub fn is_empty(&self) -> bool {
+        self.supports.is_empty()
+    }
+
+    /// The raw descending support values.
+    pub fn supports(&self) -> &[u64] {
+        &self.supports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TransactionDataset {
+        // Items 0,1 co-occur in 4 transactions; 0,1,2 in 2; item 3 is rare.
+        TransactionDataset::from_transactions(
+            4,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 1, 3],
+                vec![0],
+                vec![1],
+                vec![2, 3],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tid_intersections() {
+        assert_eq!(intersect_tids(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect_tids(&[], &[1, 2]), Vec::<TransactionId>::new());
+        assert_eq!(intersection_size(&[1, 3, 5, 7], &[2, 3, 5, 8]), 2);
+        assert_eq!(intersection_size(&[1, 2, 3], &[4, 5]), 0);
+    }
+
+    #[test]
+    fn batch_supports_match_reference() {
+        let d = toy();
+        let sets = vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 3], vec![2, 3], vec![]];
+        let got = supports_of(&d, &sets);
+        let expected: Vec<u64> = sets.iter().map(|s| d.itemset_support(s)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(got, vec![5, 4, 2, 1, 1, 7]);
+    }
+
+    #[test]
+    fn horizontal_counting_matches_vertical() {
+        let d = toy();
+        let candidates = vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![2, 3]];
+        let horizontal = count_candidates_horizontal(&d, &candidates);
+        let vertical = supports_of(&d, &candidates);
+        assert_eq!(horizontal, vertical);
+    }
+
+    #[test]
+    fn q_counts() {
+        let d = toy();
+        assert_eq!(q_k_s(&d, 2, 4).unwrap(), 1); // only {0,1}
+        assert_eq!(q_k_s(&d, 2, 2).unwrap(), 3); // {0,1}, {0,2}, {1,2}
+        assert_eq!(q_k_s(&d, 3, 2).unwrap(), 1); // {0,1,2}
+        assert_eq!(q_k_s(&d, 3, 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn support_profile_answers_q_queries() {
+        let d = toy();
+        let profile = SupportProfile::new(&d, 2, 1).unwrap();
+        assert_eq!(profile.k(), 2);
+        assert_eq!(profile.floor(), 1);
+        assert_eq!(profile.q_at(1), 6); // {0,1},{0,2},{0,3},{1,2},{1,3},{2,3}
+        assert_eq!(profile.q_at(2), 3);
+        assert_eq!(profile.q_at(4), 1);
+        assert_eq!(profile.q_at(5), 0);
+        assert_eq!(profile.max_support(), 4);
+        assert_eq!(profile.len(), 6);
+        assert!(!profile.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn support_profile_rejects_queries_below_floor() {
+        let d = toy();
+        let profile = SupportProfile::new(&d, 2, 3).unwrap();
+        let _ = profile.q_at(1);
+    }
+
+    #[test]
+    fn support_profile_from_explicit_itemsets() {
+        let sets = vec![
+            ItemsetSupport::new(vec![1, 2], 10),
+            ItemsetSupport::new(vec![1, 3], 7),
+            ItemsetSupport::new(vec![2, 3], 7),
+        ];
+        let profile = SupportProfile::from_itemsets(2, 5, &sets);
+        assert_eq!(profile.q_at(7), 3);
+        assert_eq!(profile.q_at(8), 1);
+        assert_eq!(profile.q_at(11), 0);
+        assert_eq!(profile.supports(), &[10, 7, 7]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let d = toy();
+        let profile = SupportProfile::new(&d, 4, 3).unwrap();
+        assert!(profile.is_empty());
+        assert_eq!(profile.max_support(), 0);
+        assert_eq!(profile.q_at(10), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Eclat: depth-first frequent itemset mining over vertical tid-lists.
+//!
+//! Eclat (Zaki) represents each itemset by the sorted list of transaction ids that
+//! contain it; extending an itemset by one item is a tid-list intersection, and the
+//! support is the list length. A depth-first search over the prefix tree of item
+//! combinations, pruned as soon as a prefix drops below the support threshold,
+//! enumerates the frequent itemsets. We bound the search depth by the target size
+//! `k`, which together with the high thresholds used by the paper keeps the search
+//! tree tiny.
+
+use sigfim_datasets::transaction::{ItemId, TransactionDataset, TransactionId};
+
+use crate::counting::intersect_tids;
+use crate::itemset::{sort_canonical, ItemsetSupport};
+use crate::miner::{validate_mining_args, KItemsetMiner};
+use crate::Result;
+
+/// The Eclat miner. Stateless: every invocation rebuilds the vertical tid-lists from
+/// the dataset (the paper's procedures mine each dataset once, so caching the lists
+/// buys nothing and would complicate ownership).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Eclat;
+
+struct SearchState<'a> {
+    min_support: u64,
+    target: usize,
+    collect_prefixes: bool,
+    output: &'a mut Vec<ItemsetSupport>,
+}
+
+/// Depth-first extension of `prefix` (whose supporting transactions are `tids`) with
+/// items from `tail` (each paired with its tid-list).
+fn dfs(
+    prefix: &mut Vec<ItemId>,
+    tids: Option<&[TransactionId]>,
+    tail: &[(ItemId, Vec<TransactionId>)],
+    state: &mut SearchState<'_>,
+) {
+    for (idx, (item, item_tids)) in tail.iter().enumerate() {
+        let combined: Vec<TransactionId> = match tids {
+            None => item_tids.clone(),
+            Some(existing) => intersect_tids(existing, item_tids),
+        };
+        if (combined.len() as u64) < state.min_support {
+            continue;
+        }
+        prefix.push(*item);
+        let depth = prefix.len();
+        if depth == state.target || (state.collect_prefixes && depth < state.target) {
+            state.output.push(ItemsetSupport {
+                items: prefix.clone(),
+                support: combined.len() as u64,
+            });
+        }
+        if depth < state.target {
+            dfs(prefix, Some(&combined), &tail[idx + 1..], state);
+        }
+        prefix.pop();
+    }
+}
+
+fn frequent_item_tidlists(
+    dataset: &TransactionDataset,
+    min_support: u64,
+) -> Vec<(ItemId, Vec<TransactionId>)> {
+    dataset
+        .tid_lists()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, tids)| tids.len() as u64 >= min_support)
+        .map(|(item, tids)| (item as ItemId, tids))
+        .collect()
+}
+
+impl Eclat {
+    fn mine(
+        &self,
+        dataset: &TransactionDataset,
+        k: usize,
+        min_support: u64,
+        collect_prefixes: bool,
+    ) -> Result<Vec<ItemsetSupport>> {
+        validate_mining_args(k, min_support)?;
+        let tail = frequent_item_tidlists(dataset, min_support);
+        let mut output = Vec::new();
+        let mut state = SearchState { min_support, target: k, collect_prefixes, output: &mut output };
+        let mut prefix = Vec::with_capacity(k);
+        dfs(&mut prefix, None, &tail, &mut state);
+        sort_canonical(&mut output);
+        Ok(output)
+    }
+}
+
+impl KItemsetMiner for Eclat {
+    fn mine_k(
+        &self,
+        dataset: &TransactionDataset,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        self.mine(dataset, k, min_support, false)
+    }
+
+    fn mine_up_to(
+        &self,
+        dataset: &TransactionDataset,
+        max_k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        self.mine(dataset, max_k, min_support, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+
+    fn toy() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 2, 3],
+                vec![0, 1],
+                vec![0, 1, 3],
+                vec![0, 2, 3],
+                vec![1, 2, 4],
+                vec![0, 1, 2],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_apriori_on_toy_data() {
+        let d = toy();
+        for k in 1..=4 {
+            for s in 1..=5 {
+                assert_eq!(
+                    Eclat::default().mine_k(&d, k, s).unwrap(),
+                    Apriori::default().mine_k(&d, k, s).unwrap(),
+                    "k = {k}, s = {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_supports_are_exact() {
+        let d = toy();
+        let mined = Eclat::default().mine_k(&d, 2, 4).unwrap();
+        for m in &mined {
+            assert_eq!(m.support, d.itemset_support(&m.items));
+        }
+        assert_eq!(mined.len(), 3);
+    }
+
+    #[test]
+    fn mine_up_to_includes_all_sizes() {
+        let d = toy();
+        let all = Eclat::default().mine_up_to(&d, 3, 3).unwrap();
+        let by_level: usize = (1..=3)
+            .map(|k| Eclat::default().mine_k(&d, k, 3).unwrap().len())
+            .sum();
+        assert_eq!(all.len(), by_level);
+        // Every reported support is exact.
+        for m in &all {
+            assert_eq!(m.support, d.itemset_support(&m.items));
+        }
+    }
+
+    #[test]
+    fn deep_target_on_shallow_data_is_empty() {
+        let d = toy();
+        assert!(Eclat::default().mine_k(&d, 5, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = TransactionDataset::empty(4);
+        assert!(Eclat::default().mine_k(&d, 2, 1).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Itemset value types shared by every miner.
+//!
+//! An itemset is represented as a sorted, duplicate-free `Vec<ItemId>`; the
+//! [`ItemsetSupport`] pair attaches its support (number of containing transactions).
+//! The module also provides the candidate-generation primitives used by Apriori:
+//! prefix joins of sorted (k−1)-itemsets and enumeration of (k−1)-subsets for the
+//! prune step.
+
+use serde::{Deserialize, Serialize};
+use sigfim_datasets::transaction::ItemId;
+
+/// An itemset together with its support in some dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ItemsetSupport {
+    /// The items, sorted ascending and distinct.
+    pub items: Vec<ItemId>,
+    /// Number of transactions containing every item of the itemset.
+    pub support: u64,
+}
+
+impl ItemsetSupport {
+    /// Create a supported itemset, normalizing (sorting and deduplicating) the items.
+    pub fn new(mut items: Vec<ItemId>, support: u64) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        ItemsetSupport { items, support }
+    }
+
+    /// Size (number of items) of the itemset.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True for the empty itemset.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Canonical ordering: by items lexicographically, then by support. Useful to make
+/// miner outputs comparable across algorithms.
+pub fn sort_canonical(itemsets: &mut [ItemsetSupport]) {
+    itemsets.sort_by(|a, b| a.items.cmp(&b.items).then(a.support.cmp(&b.support)));
+}
+
+/// Apriori candidate generation: join every pair of frequent (k−1)-itemsets that
+/// share their first k−2 items, producing sorted candidate k-itemsets. The input
+/// slices must be sorted and distinct (as produced by [`ItemsetSupport::new`]); the
+/// input *list* must be sorted lexicographically (see [`sort_canonical`]).
+pub fn join_step(frequent: &[Vec<ItemId>]) -> Vec<Vec<ItemId>> {
+    let mut candidates = Vec::new();
+    if frequent.is_empty() {
+        return candidates;
+    }
+    let k_minus_1 = frequent[0].len();
+    for i in 0..frequent.len() {
+        for j in (i + 1)..frequent.len() {
+            let a = &frequent[i];
+            let b = &frequent[j];
+            debug_assert_eq!(a.len(), k_minus_1);
+            debug_assert_eq!(b.len(), k_minus_1);
+            // Lexicographic sorting means all joinable partners of `a` follow it
+            // contiguously; stop as soon as the shared prefix breaks.
+            if k_minus_1 > 0 && a[..k_minus_1 - 1] != b[..k_minus_1 - 1] {
+                break;
+            }
+            let mut candidate = a.clone();
+            candidate.push(b[k_minus_1 - 1]);
+            debug_assert!(candidate.windows(2).all(|w| w[0] < w[1]));
+            candidates.push(candidate);
+        }
+    }
+    candidates
+}
+
+/// Apriori prune step: keep only candidates all of whose (k−1)-subsets appear in the
+/// frequent (k−1)-itemset list (supplied as a sorted slice for binary search).
+pub fn prune_step(candidates: Vec<Vec<ItemId>>, frequent_prev: &[Vec<ItemId>]) -> Vec<Vec<ItemId>> {
+    candidates
+        .into_iter()
+        .filter(|cand| {
+            subsets_dropping_one(cand).all(|sub| frequent_prev.binary_search(&sub).is_ok())
+        })
+        .collect()
+}
+
+/// Iterator over the (k−1)-subsets of a k-itemset (each subset obtained by dropping
+/// one element), in the order of the dropped position.
+pub fn subsets_dropping_one(itemset: &[ItemId]) -> impl Iterator<Item = Vec<ItemId>> + '_ {
+    (0..itemset.len()).map(move |skip| {
+        itemset
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| if i == skip { None } else { Some(x) })
+            .collect()
+    })
+}
+
+/// Enumerate all `k`-subsets of a sorted slice, invoking `visit` on each (the buffer
+/// is reused between calls). Used by hash-based candidate counting and by the
+/// brute-force reference miner.
+pub fn for_each_k_subset<F: FnMut(&[ItemId])>(items: &[ItemId], k: usize, mut visit: F) {
+    if k == 0 || k > items.len() {
+        if k == 0 {
+            visit(&[]);
+        }
+        return;
+    }
+    let mut indices: Vec<usize> = (0..k).collect();
+    let mut buffer: Vec<ItemId> = indices.iter().map(|&i| items[i]).collect();
+    loop {
+        visit(&buffer);
+        // Advance the combination (standard odometer).
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            if indices[pos] != pos + items.len() - k {
+                break;
+            }
+            if pos == 0 {
+                return;
+            }
+        }
+        indices[pos] += 1;
+        for i in pos + 1..k {
+            indices[i] = indices[i - 1] + 1;
+        }
+        for i in pos..k {
+            buffer[i] = items[indices[i]];
+        }
+    }
+}
+
+/// Number of `k`-subsets of an `n`-element set, saturating at `u64::MAX` (used to
+/// decide between subset enumeration and candidate iteration when counting).
+pub fn binomial_u64(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        // result * (n - i) / (i + 1), computed carefully to stay exact.
+        let num = n - i;
+        match result.checked_mul(num) {
+            Some(v) => result = v / (i + 1),
+            None => return u64::MAX,
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itemset_support_normalizes() {
+        let s = ItemsetSupport::new(vec![3, 1, 3, 2], 7);
+        assert_eq!(s.items, vec![1, 2, 3]);
+        assert_eq!(s.support, 7);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(ItemsetSupport::new(vec![], 0).is_empty());
+    }
+
+    #[test]
+    fn join_step_pairs() {
+        // Frequent 1-itemsets {1}, {3}, {7} join into all pairs.
+        let frequent = vec![vec![1], vec![3], vec![7]];
+        let cands = join_step(&frequent);
+        assert_eq!(cands, vec![vec![1, 3], vec![1, 7], vec![3, 7]]);
+    }
+
+    #[test]
+    fn join_step_requires_shared_prefix() {
+        // {1,2}, {1,3}, {2,3}: only {1,2}+{1,3} share the prefix [1].
+        let frequent = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
+        let cands = join_step(&frequent);
+        assert_eq!(cands, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn prune_removes_candidates_with_infrequent_subsets() {
+        let frequent_prev = vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![2, 4]];
+        let candidates = vec![vec![1, 2, 3], vec![1, 2, 4]];
+        let pruned = prune_step(candidates, &frequent_prev);
+        // {1,2,4} is dropped because {1,4} is not frequent.
+        assert_eq!(pruned, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn subsets_dropping_one_enumerates_all() {
+        let subs: Vec<_> = subsets_dropping_one(&[1, 2, 3]).collect();
+        assert_eq!(subs, vec![vec![2, 3], vec![1, 3], vec![1, 2]]);
+        let subs: Vec<_> = subsets_dropping_one(&[5]).collect();
+        assert_eq!(subs, vec![Vec::<ItemId>::new()]);
+    }
+
+    #[test]
+    fn k_subset_enumeration() {
+        let mut seen = Vec::new();
+        for_each_k_subset(&[1, 2, 3, 4], 2, |s| seen.push(s.to_vec()));
+        assert_eq!(
+            seen,
+            vec![vec![1, 2], vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4], vec![3, 4]]
+        );
+        let mut count = 0usize;
+        for_each_k_subset(&[1, 2, 3, 4, 5, 6], 3, |_| count += 1);
+        assert_eq!(count, 20);
+        // Degenerate cases.
+        let mut seen = Vec::new();
+        for_each_k_subset(&[1, 2], 0, |s| seen.push(s.to_vec()));
+        assert_eq!(seen, vec![Vec::<ItemId>::new()]);
+        let mut seen = Vec::new();
+        for_each_k_subset(&[1, 2], 3, |s| seen.push(s.to_vec()));
+        assert!(seen.is_empty());
+        let mut seen = Vec::new();
+        for_each_k_subset(&[1, 2, 3], 3, |s| seen.push(s.to_vec()));
+        assert_eq!(seen, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial_u64(5, 2), 10);
+        assert_eq!(binomial_u64(10, 0), 1);
+        assert_eq!(binomial_u64(10, 10), 1);
+        assert_eq!(binomial_u64(3, 5), 0);
+        assert_eq!(binomial_u64(52, 5), 2_598_960);
+        // Saturation instead of overflow.
+        assert_eq!(binomial_u64(10_000, 100), u64::MAX);
+    }
+
+    #[test]
+    fn sort_canonical_orders_lexicographically() {
+        let mut sets = vec![
+            ItemsetSupport::new(vec![2, 3], 5),
+            ItemsetSupport::new(vec![1, 9], 2),
+            ItemsetSupport::new(vec![1, 2], 8),
+        ];
+        sort_canonical(&mut sets);
+        assert_eq!(sets[0].items, vec![1, 2]);
+        assert_eq!(sets[1].items, vec![1, 9]);
+        assert_eq!(sets[2].items, vec![2, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The miner abstraction: every algorithm in this crate answers the same question —
+//! *which k-itemsets have support at least `s`?* — so they share one trait and can be
+//! swapped freely (and cross-checked against each other in tests).
+
+use serde::{Deserialize, Serialize};
+use sigfim_datasets::transaction::TransactionDataset;
+
+use crate::apriori::Apriori;
+use crate::bruteforce::BruteForce;
+use crate::eclat::Eclat;
+use crate::fpgrowth::FpGrowth;
+use crate::itemset::{sort_canonical, ItemsetSupport};
+use crate::{MiningError, Result};
+
+/// A frequent-k-itemset miner.
+///
+/// Implementations must return **exactly** the k-itemsets with support ≥
+/// `min_support`, each with its exact support, in canonical (lexicographic) order.
+pub trait KItemsetMiner {
+    /// Mine all k-itemsets with support at least `min_support`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiningError::InvalidParameter`] for `k == 0` or `min_support == 0`
+    /// (a zero threshold would make *every* subset of the item universe "frequent",
+    /// which is never what the statistics upstream want).
+    fn mine_k(
+        &self,
+        dataset: &TransactionDataset,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>>;
+
+    /// Mine all itemsets of size `1..=max_k` with support at least `min_support`.
+    /// The default implementation simply calls [`KItemsetMiner::mine_k`] per size;
+    /// miners that naturally produce all sizes in one pass (FP-Growth, Eclat)
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KItemsetMiner::mine_k`].
+    fn mine_up_to(
+        &self,
+        dataset: &TransactionDataset,
+        max_k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        let mut all = Vec::new();
+        for k in 1..=max_k {
+            all.extend(self.mine_k(dataset, k, min_support)?);
+        }
+        sort_canonical(&mut all);
+        Ok(all)
+    }
+}
+
+/// Validate the `(k, min_support)` arguments shared by all miners.
+pub(crate) fn validate_mining_args(k: usize, min_support: u64) -> Result<()> {
+    if k == 0 {
+        return Err(MiningError::InvalidParameter {
+            name: "k",
+            reason: "itemset size must be at least 1".into(),
+        });
+    }
+    if min_support == 0 {
+        return Err(MiningError::InvalidParameter {
+            name: "min_support",
+            reason: "support threshold must be at least 1".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Enumeration of the available mining algorithms, for configuration surfaces
+/// (benchmarks, the high-level analyzer) that want to select one by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MinerKind {
+    /// Level-wise Apriori with hybrid candidate counting (the default: its work is
+    /// proportional to the number of candidates, which is tiny at the high supports
+    /// the paper's procedures operate at).
+    #[default]
+    Apriori,
+    /// Depth-first Eclat over vertical tid-lists.
+    Eclat,
+    /// FP-Growth over an FP-tree.
+    FpGrowth,
+    /// Exhaustive enumeration of all `C(n', k)` candidate combinations of frequent
+    /// items. Reference implementation for tests; infeasible for large `n'`.
+    BruteForce,
+}
+
+impl MinerKind {
+    /// All algorithm kinds (useful for cross-checking tests and benches).
+    pub const ALL: [MinerKind; 4] =
+        [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth, MinerKind::BruteForce];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MinerKind::Apriori => "apriori",
+            MinerKind::Eclat => "eclat",
+            MinerKind::FpGrowth => "fp-growth",
+            MinerKind::BruteForce => "brute-force",
+        }
+    }
+
+    /// Mine with the selected algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KItemsetMiner::mine_k`].
+    pub fn mine_k(
+        &self,
+        dataset: &TransactionDataset,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        match self {
+            MinerKind::Apriori => Apriori::default().mine_k(dataset, k, min_support),
+            MinerKind::Eclat => Eclat::default().mine_k(dataset, k, min_support),
+            MinerKind::FpGrowth => FpGrowth::default().mine_k(dataset, k, min_support),
+            MinerKind::BruteForce => BruteForce.mine_k(dataset, k, min_support),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_args_are_rejected_uniformly() {
+        let d = TransactionDataset::from_transactions(2, vec![vec![0, 1]]).unwrap();
+        for kind in MinerKind::ALL {
+            assert!(kind.mine_k(&d, 0, 1).is_err(), "{}", kind.name());
+            assert!(kind.mine_k(&d, 2, 0).is_err(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<_> = MinerKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MinerKind::ALL.len());
+    }
+
+    #[test]
+    fn default_kind_is_apriori() {
+        assert_eq!(MinerKind::default(), MinerKind::Apriori);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the mining crate.
+//!
+//! The central invariant: every miner returns exactly the k-itemsets with support at
+//! least `s`, with exact supports — so all algorithms must agree with each other and
+//! with the brute-force oracle on random datasets.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+use sigfim_mining::counting::{q_k_s, supports_of, SupportProfile};
+use sigfim_mining::miner::{KItemsetMiner, MinerKind};
+use sigfim_mining::{Apriori, BruteForce, Eclat, FpGrowth};
+
+/// Strategy: a small random dataset over up to 8 items with up to 24 transactions.
+fn small_dataset() -> impl Strategy<Value = TransactionDataset> {
+    vec(vec(0u32..8, 0..6), 1..24)
+        .prop_map(|txns| TransactionDataset::from_transactions(8, txns).expect("items < 8"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_miners_agree(dataset in small_dataset(), k in 1usize..5, s in 1u64..6) {
+        let reference = BruteForce.mine_k(&dataset, k, s).unwrap();
+        prop_assert_eq!(&Apriori::default().mine_k(&dataset, k, s).unwrap(), &reference);
+        prop_assert_eq!(&Eclat.mine_k(&dataset, k, s).unwrap(), &reference);
+        prop_assert_eq!(&FpGrowth.mine_k(&dataset, k, s).unwrap(), &reference);
+    }
+
+    #[test]
+    fn mined_itemsets_have_exact_supports(dataset in small_dataset(), k in 1usize..4, s in 1u64..5) {
+        for m in Apriori::default().mine_k(&dataset, k, s).unwrap() {
+            prop_assert_eq!(m.support, dataset.itemset_support(&m.items));
+            prop_assert!(m.support >= s);
+            prop_assert_eq!(m.items.len(), k);
+            // Items sorted and distinct.
+            prop_assert!(m.items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn q_is_monotone_in_s(dataset in small_dataset(), k in 1usize..4) {
+        let mut previous = u64::MAX;
+        for s in 1..=6u64 {
+            let q = q_k_s(&dataset, k, s).unwrap();
+            prop_assert!(q <= previous, "Q_{{k,s}} must be non-increasing in s");
+            previous = q;
+        }
+    }
+
+    #[test]
+    fn support_profile_matches_direct_counts(dataset in small_dataset(), k in 1usize..4) {
+        let profile = SupportProfile::new(&dataset, k, 1).unwrap();
+        for s in 1..=6u64 {
+            prop_assert_eq!(profile.q_at(s), q_k_s(&dataset, k, s).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_counting_matches_reference(dataset in small_dataset(), sets in vec(vec(0u32..8, 1..4), 1..10)) {
+        let normalized: Vec<Vec<ItemId>> = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let batch = supports_of(&dataset, &normalized);
+        for (set, support) in normalized.iter().zip(batch) {
+            prop_assert_eq!(support, dataset.itemset_support(set));
+        }
+    }
+
+    #[test]
+    fn mine_up_to_is_union_of_sizes(dataset in small_dataset(), s in 1u64..5) {
+        for kind in [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth] {
+            let mut union = Vec::new();
+            for k in 1..=3 {
+                union.extend(kind.mine_k(&dataset, k, s).unwrap());
+            }
+            sigfim_mining::itemset::sort_canonical(&mut union);
+            let up_to = match kind {
+                MinerKind::Apriori => Apriori::default().mine_up_to(&dataset, 3, s).unwrap(),
+                MinerKind::Eclat => Eclat.mine_up_to(&dataset, 3, s).unwrap(),
+                MinerKind::FpGrowth => FpGrowth.mine_up_to(&dataset, 3, s).unwrap(),
+                MinerKind::BruteForce => unreachable!(),
+            };
+            prop_assert_eq!(union, up_to, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn closed_itemsets_are_a_subset_with_identical_support_structure(
+        dataset in small_dataset(),
+        s in 1u64..4,
+    ) {
+        let all = Eclat.mine_up_to(&dataset, 3, s).unwrap();
+        let closed = sigfim_mining::closed::closed_frequent_itemsets(&dataset, 3, s).unwrap();
+        // Every closed itemset is frequent, and closed per the closure operator.
+        for c in &closed {
+            prop_assert!(all.contains(c));
+            prop_assert!(sigfim_mining::closed::is_closed(&dataset, &c.items));
+        }
+        // Every frequent itemset's closure (truncated to size <= 3) has the same support.
+        for f in &all {
+            let cl = sigfim_mining::closed::closure(&dataset, &f.items);
+            prop_assert_eq!(dataset.itemset_support(&cl), f.support);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The Binomial distribution `Bin(n, p)`.
+//!
+//! In the significance-testing pipeline, the support of a fixed k-itemset `X` in the
+//! random (null) dataset is exactly `Bin(t, f_X)` where `t` is the number of
+//! transactions and `f_X` is the product of the individual item frequencies of `X`.
+//! Procedure 1 of the paper computes one upper-tail probability
+//! `Pr[Bin(t, f_X) >= s_X]` per mined itemset, with `t` up to ~10^6 and `f_X` as small
+//! as 10^-20, so the implementation must be exact (incomplete beta function) rather
+//! than a normal approximation.
+
+use crate::normal::Normal;
+use crate::poisson::Poisson;
+use crate::special::{ln_choose, reg_inc_beta};
+use crate::{Result, StatsError};
+
+/// A Binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a new Binomial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `p ∈ [0, 1]` and `p` is finite.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                reason: format!("success probability must be in [0,1], got {p}"),
+            });
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials `n`.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability `p`.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n p`.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n p (1 - p)`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Natural log of the probability mass function at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass function `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution function `Pr[X <= k]`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n and all mass is at n
+        }
+        // Pr[X <= k] = I_{1-p}(n - k, k + 1)
+        reg_inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+            .expect("parameters validated at construction")
+    }
+
+    /// Survival function `Pr[X >= k]` (note: *inclusive*, matching the paper's
+    /// "support at least s" convention).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        // Pr[X >= k] = I_p(k, n - k + 1)
+        reg_inc_beta(k as f64, (self.n - k) as f64 + 1.0, self.p)
+            .expect("parameters validated at construction")
+    }
+
+    /// Upper-tail p-value of an observed count `k` under this null distribution,
+    /// i.e. `Pr[X >= k]`. This is exactly the per-itemset p-value used by
+    /// Procedure 1 of the paper.
+    #[inline]
+    pub fn p_value_upper(&self, observed: u64) -> f64 {
+        self.sf(observed)
+    }
+
+    /// Smallest `k` such that `Pr[X <= k] >= q` (the quantile function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+        if q <= 0.0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.n;
+        }
+        // Bracket around the mean using the normal approximation, then binary search
+        // on the exact cdf.
+        let mut lo = 0u64;
+        let mut hi = self.n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// The Poisson distribution with the same mean, i.e. the classical Poisson
+    /// approximation `Bin(n, p) ≈ Poisson(np)` for small `p`.
+    pub fn poisson_approximation(&self) -> Poisson {
+        Poisson::new(self.mean()).expect("mean of a valid Binomial is finite and >= 0")
+    }
+
+    /// The Normal distribution with the same mean and variance (the De Moivre–Laplace
+    /// approximation). Returns an error if the variance is zero.
+    pub fn normal_approximation(&self) -> Result<Normal> {
+        Normal::new(self.mean(), self.variance().sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1e-300), "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+        assert!(Binomial::new(0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(100, 0.3).unwrap();
+        assert_close(b.mean(), 30.0, 1e-12);
+        assert_close(b.variance(), 21.0, 1e-12);
+        assert_eq!(b.n(), 100);
+        assert_close(b.p(), 0.3, 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.5f64), (25, 0.07), (40, 0.93), (1, 0.2)] {
+            let b = Binomial::new(n, p).unwrap();
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert_close(total, 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        let b = Binomial::new(10, 0.5).unwrap();
+        assert_close(b.pmf(5), 252.0 / 1024.0, 1e-12);
+        assert_close(b.pmf(0), 1.0 / 1024.0, 1e-12);
+        assert_close(b.pmf(10), 1.0 / 1024.0, 1e-12);
+        assert_eq!(b.pmf(11), 0.0);
+    }
+
+    #[test]
+    fn degenerate_p_zero_and_one() {
+        let b0 = Binomial::new(10, 0.0).unwrap();
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.pmf(1), 0.0);
+        assert_eq!(b0.cdf(0), 1.0);
+        assert_eq!(b0.sf(1), 0.0);
+        assert_eq!(b0.sf(0), 1.0);
+
+        let b1 = Binomial::new(10, 1.0).unwrap();
+        assert_eq!(b1.pmf(10), 1.0);
+        assert_eq!(b1.pmf(3), 0.0);
+        assert_eq!(b1.cdf(9), 0.0);
+        assert_eq!(b1.cdf(10), 1.0);
+        assert_eq!(b1.sf(10), 1.0);
+    }
+
+    #[test]
+    fn cdf_plus_sf_consistency() {
+        let b = Binomial::new(50, 0.23).unwrap();
+        for k in 0..=50u64 {
+            // Pr[X <= k-1] + Pr[X >= k] = 1
+            let cdf_km1 = if k == 0 { 0.0 } else { b.cdf(k - 1) };
+            assert_close(cdf_km1 + b.sf(k), 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn sf_matches_direct_sum() {
+        let b = Binomial::new(30, 0.1).unwrap();
+        for k in 0..=30u64 {
+            let direct: f64 = (k..=30).map(|j| b.pmf(j)).sum();
+            assert_close(b.sf(k), direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_section_1_2_example() {
+        // Section 1.2 of the paper: t = 1,000,000 transactions, a pair of items each of
+        // frequency 1/1000 co-occurs in a transaction with probability 1e-6, so its
+        // support is Bin(1e6, 1e-6) with mean 1. The paper states
+        // Pr[support >= 7] ≈ 0.0001 and ~50 expected spurious pairs among 499,500.
+        let b = Binomial::new(1_000_000, 1e-6).unwrap();
+        assert_close(b.mean(), 1.0, 1e-12);
+        let p = b.sf(7);
+        // Exact Poisson(1) tail at 7 is ~8.32e-5; the binomial is essentially identical.
+        assert!(p > 5e-5 && p < 2e-4, "got {p}");
+        let expected_pairs = 499_500.0 * p;
+        assert!(expected_pairs > 30.0 && expected_pairs < 80.0, "got {expected_pairs}");
+    }
+
+    #[test]
+    fn huge_n_small_p_tail_is_close_to_poisson() {
+        // This is the regime the pipeline lives in.
+        let b = Binomial::new(990_002, 3.2e-6).unwrap();
+        let pois = b.poisson_approximation();
+        for s in 1..20u64 {
+            let pb = b.sf(s);
+            let pp = pois.sf(s);
+            assert!((pb - pp).abs() < 1e-6, "s={s}: binomial {pb} vs poisson {pp}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let b = Binomial::new(200, 0.37).unwrap();
+        for &q in &[0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let k = b.quantile(q);
+            assert!(b.cdf(k) >= q);
+            if k > 0 {
+                assert!(b.cdf(k - 1) < q);
+            }
+        }
+        assert_eq!(b.quantile(0.0), 0);
+        assert_eq!(b.quantile(1.0), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_rejects_out_of_range() {
+        Binomial::new(10, 0.5).unwrap().quantile(1.5);
+    }
+
+    #[test]
+    fn normal_approximation_matches_in_bulk() {
+        let b = Binomial::new(10_000, 0.4).unwrap();
+        let n = b.normal_approximation().unwrap();
+        // Continuity-corrected comparison at the mean +- 2 sigma.
+        for &k in &[3900u64, 4000, 4100] {
+            let exact = b.cdf(k);
+            let approx = n.cdf(k as f64 + 0.5);
+            assert!((exact - approx).abs() < 5e-3, "k={k}: {exact} vs {approx}");
+        }
+    }
+}

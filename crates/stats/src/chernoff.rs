@@ -1,0 +1,185 @@
+//! Chernoff bounds on Binomial and Poisson tails.
+//!
+//! Section 1.2 of the paper uses a Chernoff bound to argue that observing 300
+//! disjoint pairs with support >= 7 (where each pair individually has probability
+//! ~1e-4 of reaching that support in the random dataset) has probability below
+//! `2^-300` under the null model, so most of those pairs must be genuinely
+//! significant. These bounds are also used internally for cheap pre-screening
+//! before exact tail probabilities are computed.
+
+use crate::{Result, StatsError};
+
+/// Multiplicative Chernoff upper bound on the upper tail of a sum of independent
+/// Bernoulli/Poisson variables with mean `mu`:
+///
+/// `Pr[X >= (1 + delta) mu] <= ( e^delta / (1+delta)^(1+delta) )^mu`,  `delta > 0`.
+///
+/// Returned in natural-log form to avoid underflow (the bound can easily be far
+/// below the smallest positive `f64`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `mu <= 0` or `delta <= 0`.
+pub fn ln_chernoff_upper(mu: f64, delta: f64) -> Result<f64> {
+    if !(mu > 0.0) || !mu.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "mu",
+            reason: format!("mean must be finite and > 0, got {mu}"),
+        });
+    }
+    if !(delta > 0.0) || !delta.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "delta",
+            reason: format!("relative deviation must be finite and > 0, got {delta}"),
+        });
+    }
+    Ok(mu * (delta - (1.0 + delta) * (1.0 + delta).ln()))
+}
+
+/// Multiplicative Chernoff upper bound on the lower tail:
+///
+/// `Pr[X <= (1 - delta) mu] <= exp(-mu delta^2 / 2)`,  `0 < delta < 1`.
+///
+/// Returned in natural-log form.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `mu <= 0` or `delta ∉ (0, 1)`.
+pub fn ln_chernoff_lower(mu: f64, delta: f64) -> Result<f64> {
+    if !(mu > 0.0) || !mu.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "mu",
+            reason: format!("mean must be finite and > 0, got {mu}"),
+        });
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "delta",
+            reason: format!("relative deviation must be in (0,1), got {delta}"),
+        });
+    }
+    Ok(-mu * delta * delta / 2.0)
+}
+
+/// Convenience form: log of the Chernoff upper bound on `Pr[X >= x]` for a variable
+/// with mean `mu < x`.
+///
+/// # Errors
+///
+/// Returns an error if `x <= mu` (the bound is vacuous there) or if parameters are
+/// invalid.
+pub fn ln_chernoff_upper_at(mu: f64, x: f64) -> Result<f64> {
+    if !(x > mu) {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            reason: format!("threshold {x} must exceed the mean {mu} for an upper-tail bound"),
+        });
+    }
+    ln_chernoff_upper(mu, x / mu - 1.0)
+}
+
+/// The weaker but simpler bound `Pr[X >= (1+delta) mu] <= exp(-mu delta^2 / (2 + delta))`,
+/// in natural-log form. Valid for all `delta > 0`.
+///
+/// # Errors
+///
+/// Same parameter requirements as [`ln_chernoff_upper`].
+pub fn ln_chernoff_upper_simple(mu: f64, delta: f64) -> Result<f64> {
+    if !(mu > 0.0) || !mu.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "mu",
+            reason: format!("mean must be finite and > 0, got {mu}"),
+        });
+    }
+    if !(delta > 0.0) || !delta.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "delta",
+            reason: format!("relative deviation must be finite and > 0, got {delta}"),
+        });
+    }
+    Ok(-mu * delta * delta / (2.0 + delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+
+    #[test]
+    fn bounds_are_valid_upper_bounds_on_exact_tails() {
+        // Compare against the exact binomial tail for a range of parameters.
+        for &(n, p) in &[(1000u64, 0.01f64), (10_000, 0.005), (100_000, 0.0002)] {
+            let b = Binomial::new(n, p).unwrap();
+            let mu = b.mean();
+            for &factor in &[1.5, 2.0, 4.0, 8.0] {
+                let x = (mu * factor).ceil();
+                let exact = b.sf(x as u64).ln();
+                let bound = ln_chernoff_upper_at(mu, x).unwrap();
+                assert!(
+                    bound >= exact - 1e-9,
+                    "Chernoff bound {bound} below exact log-tail {exact} (n={n}, p={p}, x={x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_tail_bound_is_valid() {
+        let b = Binomial::new(10_000, 0.1).unwrap();
+        let mu = b.mean();
+        for &delta in &[0.1, 0.3, 0.5, 0.9] {
+            let x = (mu * (1.0 - delta)).floor() as u64;
+            let exact = b.cdf(x).ln();
+            let bound = ln_chernoff_lower(mu, delta).unwrap();
+            assert!(bound >= exact - 1e-9, "delta={delta}: bound {bound} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn simple_bound_is_weaker_than_tight_bound() {
+        for &(mu, delta) in &[(1.0, 0.5), (10.0, 1.0), (50.0, 3.0)] {
+            let tight = ln_chernoff_upper(mu, delta).unwrap();
+            let simple = ln_chernoff_upper_simple(mu, delta).unwrap();
+            assert!(simple >= tight - 1e-12, "simple {simple} tighter than tight {tight}");
+        }
+    }
+
+    #[test]
+    fn paper_section_1_2_disjoint_pairs_argument() {
+        // 300 disjoint pairs each appearing in >= 7 transactions. Under the null,
+        // the number of *disjoint* pairs reaching support 7 is dominated by a
+        // Binomial(300, p) with p ≈ 1e-4 (they are independent because disjoint).
+        // The probability that *all 300* reach support 7 is p^300 <= 2^-300, and the
+        // Chernoff bound on Pr[X >= 300] with mu = 300 * 1e-4 is far below 2^-300.
+        let p_single = 1.0e-4;
+        let mu = 300.0 * p_single;
+        let ln_bound = ln_chernoff_upper_at(mu, 300.0).unwrap();
+        let ln_2_pow_300 = -(300.0 * std::f64::consts::LN_2);
+        assert!(
+            ln_bound < ln_2_pow_300,
+            "Chernoff log-bound {ln_bound} should be below log(2^-300) = {ln_2_pow_300}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ln_chernoff_upper(0.0, 1.0).is_err());
+        assert!(ln_chernoff_upper(1.0, 0.0).is_err());
+        assert!(ln_chernoff_upper(-1.0, 1.0).is_err());
+        assert!(ln_chernoff_lower(1.0, 1.0).is_err());
+        assert!(ln_chernoff_lower(1.0, 0.0).is_err());
+        assert!(ln_chernoff_upper_at(5.0, 4.0).is_err());
+        assert!(ln_chernoff_upper_simple(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn bound_decreases_with_threshold() {
+        let mu = 2.0;
+        let mut prev = 0.0;
+        for &x in &[3.0, 5.0, 10.0, 50.0, 200.0] {
+            let b = ln_chernoff_upper_at(mu, x).unwrap();
+            assert!(b < prev, "bound should strictly decrease: {b} !< {prev}");
+            prev = b;
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Descriptive statistics used by dataset profiling (Table 1 of the paper) and by
+//! the experiment harness when summarizing Monte-Carlo replicates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// A one-pass summary of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (zero when `count < 2`).
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Summarize a slice of observations (Welford's online algorithm, single pass).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] on an empty slice and
+/// [`StatsError::InvalidParameter`] if any observation is NaN.
+pub fn summarize(values: &[f64]) -> Result<Summary> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput("observations"));
+    }
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (i, &x) in values.iter().enumerate() {
+        if x.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "values",
+                reason: format!("entry {i} is NaN"),
+            });
+        }
+        let n = (i + 1) as f64;
+        let delta = x - mean;
+        mean += delta / n;
+        m2 += delta * (x - mean);
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let count = values.len();
+    let variance = if count > 1 { m2 / (count as f64 - 1.0) } else { 0.0 };
+    Ok(Summary { count, mean, variance, min, max })
+}
+
+/// Empirical quantile with linear interpolation (type-7, the default of most
+/// statistics environments). `q` must be in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] on an empty slice, or
+/// [`StatsError::InvalidParameter`] for `q` outside `[0, 1]` or NaN data.
+pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput("observations"));
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            reason: format!("quantile level must be in [0,1], got {q}"),
+        });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    if sorted.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter { name: "values", reason: "NaN present".into() });
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let pos = q * (n as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets; values outside the
+/// range are clamped into the first/last bucket. Used by the experiment harness to
+/// visualize support distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo < hi) {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                reason: format!("lo ({lo}) must be < hi ({hi})"),
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                reason: "must be > 0".into(),
+            });
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins] })
+    }
+
+    /// Add an observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations added.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(lower, upper)` bounds of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i as f64 + 1.0) * width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance with Bessel correction: sum sq dev = 32, / 7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.std_error() > 0.0);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = summarize(&[3.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn summary_errors() {
+        assert!(summarize(&[]).is_err());
+        assert!(summarize(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 4.0);
+        assert!((quantile(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        // Order of the input must not matter.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert!((quantile(&shuffled, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_errors() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+        assert!(quantile(&[1.0, f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.5, 1.5, 2.5, 9.9, 15.0, -3.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 6);
+        // Buckets: [0,2): 2 (0.5, 1.5) + clamped -3.0 -> 3; [2,4): 1; [8,10): 9.9 + clamped 15.0 -> 2
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 2]);
+        assert_eq!(h.bucket_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bucket_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(Histogram::new(1.0, 1.0, 5).is_err());
+        assert!(Histogram::new(2.0, 1.0, 5).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! The Hypergeometric distribution and Fisher's exact test.
+//!
+//! Not used by the paper's two procedures directly, but provided as part of the
+//! statistical substrate: Fisher's exact test on the 2x2 contingency table of a pair
+//! of items is the textbook per-pattern significance test that significant-pattern
+//! mining follow-up work (e.g. LAMP-style methods) builds on, and it gives users of
+//! this library a second, exchangeable notion of per-itemset p-value for pairs.
+
+use crate::special::ln_choose;
+use crate::{Result, StatsError};
+
+/// A Hypergeometric distribution: drawing `n` items without replacement from a
+/// population of size `total` containing `successes` marked items; the variable is
+/// the number of marked items drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    total: u64,
+    successes: u64,
+    draws: u64,
+}
+
+impl Hypergeometric {
+    /// Create a new Hypergeometric distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `successes > total` or
+    /// `draws > total`.
+    pub fn new(total: u64, successes: u64, draws: u64) -> Result<Self> {
+        if successes > total {
+            return Err(StatsError::InvalidParameter {
+                name: "successes",
+                reason: format!("successes ({successes}) must be <= total ({total})"),
+            });
+        }
+        if draws > total {
+            return Err(StatsError::InvalidParameter {
+                name: "draws",
+                reason: format!("draws ({draws}) must be <= total ({total})"),
+            });
+        }
+        Ok(Hypergeometric { total, successes, draws })
+    }
+
+    /// Smallest attainable value, `max(0, draws + successes - total)`.
+    pub fn min_value(&self) -> u64 {
+        (self.draws + self.successes).saturating_sub(self.total)
+    }
+
+    /// Largest attainable value, `min(draws, successes)`.
+    pub fn max_value(&self) -> u64 {
+        self.draws.min(self.successes)
+    }
+
+    /// Mean `draws * successes / total`.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.draws as f64 * self.successes as f64 / self.total as f64
+    }
+
+    /// Natural log of the probability mass function at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k < self.min_value() || k > self.max_value() {
+            return f64::NEG_INFINITY;
+        }
+        ln_choose(self.successes, k) + ln_choose(self.total - self.successes, self.draws - k)
+            - ln_choose(self.total, self.draws)
+    }
+
+    /// Probability mass function `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Survival function `Pr[X >= k]` (inclusive upper tail), computed by direct
+    /// summation over the attainable range.
+    pub fn sf(&self, k: u64) -> f64 {
+        let lo = k.max(self.min_value());
+        let hi = self.max_value();
+        if lo > hi {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in lo..=hi {
+            acc += self.pmf(j);
+        }
+        acc.min(1.0)
+    }
+
+    /// Cumulative distribution function `Pr[X <= k]`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.max_value() {
+            return 1.0;
+        }
+        let lo = self.min_value();
+        if k < lo {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in lo..=k {
+            acc += self.pmf(j);
+        }
+        acc.min(1.0)
+    }
+}
+
+/// One-sided (upper) Fisher exact test p-value for the co-occurrence of two items.
+///
+/// Given `t` transactions, item `a` in `na` of them, item `b` in `nb` of them and
+/// both together in `nab`, returns `Pr[X >= nab]` where `X` is Hypergeometric
+/// (population `t`, `na` marked, `nb` drawn). Small values mean the observed
+/// co-occurrence is unlikely under independent placement *conditioned on the margins*.
+///
+/// # Errors
+///
+/// Returns an error if `na > t`, `nb > t`, or `nab > min(na, nb)`.
+pub fn fisher_exact_upper(t: u64, na: u64, nb: u64, nab: u64) -> Result<f64> {
+    if nab > na.min(nb) {
+        return Err(StatsError::InvalidParameter {
+            name: "nab",
+            reason: format!("joint count {nab} exceeds min({na}, {nb})"),
+        });
+    }
+    let h = Hypergeometric::new(t, na, nb)?;
+    Ok(h.sf(nab))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Hypergeometric::new(10, 11, 5).is_err());
+        assert!(Hypergeometric::new(10, 5, 11).is_err());
+        assert!(Hypergeometric::new(10, 5, 5).is_ok());
+        assert!(Hypergeometric::new(0, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let h = Hypergeometric::new(50, 13, 20).unwrap();
+        let total: f64 = (h.min_value()..=h.max_value()).map(|k| h.pmf(k)).sum();
+        assert_close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn known_value_small_case() {
+        // Urn with 5 red, 5 black; draw 5; Pr[exactly 2 red] = C(5,2)C(5,3)/C(10,5) = 100/252.
+        let h = Hypergeometric::new(10, 5, 5).unwrap();
+        assert_close(h.pmf(2), 100.0 / 252.0, 1e-12);
+        assert_close(h.mean(), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn support_bounds() {
+        let h = Hypergeometric::new(10, 8, 7).unwrap();
+        assert_eq!(h.min_value(), 5); // 7 + 8 - 10
+        assert_eq!(h.max_value(), 7);
+        assert_eq!(h.pmf(4), 0.0);
+        assert_eq!(h.pmf(8), 0.0);
+    }
+
+    #[test]
+    fn cdf_sf_consistency() {
+        let h = Hypergeometric::new(40, 15, 12).unwrap();
+        for k in 0..=12u64 {
+            let cdf_km1 = if k == 0 { 0.0 } else { h.cdf(k - 1) };
+            assert_close(cdf_km1 + h.sf(k), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fisher_exact_detects_association() {
+        // 1000 transactions, items each in 100, observed together 40 times
+        // (expected under independence with fixed margins = 10) — should be tiny.
+        let p_strong = fisher_exact_upper(1000, 100, 100, 40).unwrap();
+        assert!(p_strong < 1e-10, "got {p_strong}");
+        // Observed together exactly at expectation — p-value should be large.
+        let p_null = fisher_exact_upper(1000, 100, 100, 10).unwrap();
+        assert!(p_null > 0.3, "got {p_null}");
+        // Monotone: larger joint count, smaller p-value.
+        let p_mid = fisher_exact_upper(1000, 100, 100, 20).unwrap();
+        assert!(p_strong < p_mid && p_mid < p_null);
+    }
+
+    #[test]
+    fn fisher_exact_invalid_joint_count() {
+        assert!(fisher_exact_upper(100, 10, 5, 6).is_err());
+    }
+}

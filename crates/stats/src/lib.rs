@@ -1,0 +1,140 @@
+//! # sigfim-stats
+//!
+//! Statistical substrate for the `sigfim` workspace, which implements
+//! *"An Efficient Rigorous Approach for Identifying Statistically Significant
+//! Frequent Itemsets"* (Kirsch, Mitzenmacher, Pietracaprina, Pucci, Upfal, Vandin;
+//! ACM PODS 2009).
+//!
+//! The paper's procedures need a fairly small but numerically demanding set of
+//! statistical primitives:
+//!
+//! * **Binomial upper-tail probabilities** `Pr[Bin(t, f_X) >= s]` for very large `t`
+//!   (hundreds of thousands of transactions) and very small `f_X` (products of item
+//!   frequencies). These are the per-itemset p-values of Procedure 1.
+//! * **Poisson upper-tail probabilities** `Pr[Poisson(lambda) >= Q]` which drive the
+//!   rejection condition of Procedure 2 (the number of frequent itemsets in a random
+//!   dataset is approximately Poisson above the threshold `s_min`).
+//! * **Multiple-hypothesis testing corrections**, in particular the
+//!   Benjamini–Yekutieli procedure (Theorem 5 of the paper) used by Procedure 1, plus
+//!   Bonferroni / Holm / Benjamini–Hochberg for comparison.
+//! * **Chernoff bounds**, used in the paper's Section 1.2 worked example and useful for
+//!   sanity-checking tail probabilities.
+//!
+//! Everything in this crate is implemented from scratch on top of a small library of
+//! special functions ([`special`]): log-gamma, regularized incomplete gamma and beta
+//! functions and the error function. No external numerical dependencies are used.
+//!
+//! ## Layout
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`special`] | `ln_gamma`, `ln_factorial`, `ln_choose`, regularized incomplete gamma/beta, `erf`, harmonic numbers |
+//! | [`binomial`] | [`binomial::Binomial`] distribution (pmf/cdf/sf/quantile, Poisson & Normal approximations) |
+//! | [`poisson`] | [`poisson::Poisson`] distribution |
+//! | [`normal`] | [`normal::Normal`] distribution |
+//! | [`hypergeometric`] | [`hypergeometric::Hypergeometric`] distribution and Fisher's exact test |
+//! | [`chernoff`] | Chernoff tail bounds for Binomial and Poisson variables |
+//! | [`testing`] | single-hypothesis test types: tails, p-values, decisions |
+//! | [`multiple_testing`] | Bonferroni, Holm, Benjamini–Hochberg, Benjamini–Yekutieli |
+//! | [`descriptive`] | summary statistics used by dataset profiling and the experiment harness |
+//!
+//! ## Example: the paper's Section 1.2 worked example
+//!
+//! ```
+//! use sigfim_stats::binomial::Binomial;
+//!
+//! // 1,000,000 transactions; a fixed pair of items, each with frequency 1/1000,
+//! // lands in a given transaction with probability 1e-6.
+//! let pair_support = Binomial::new(1_000_000, 1e-6).unwrap();
+//! let p = pair_support.sf(7); // Pr[support >= 7]
+//! assert!(p > 0.5e-4 && p < 2.0e-4, "paper reports ~1e-4, got {p}");
+//!
+//! // ... but there are 499,500 pairs, so ~50 of them are expected to reach support 7
+//! // purely by chance.
+//! let expected_spurious = 499_500.0 * p;
+//! assert!(expected_spurious > 30.0 && expected_spurious < 80.0);
+//! ```
+
+pub mod binomial;
+pub mod chernoff;
+pub mod descriptive;
+pub mod hypergeometric;
+pub mod multiple_testing;
+pub mod normal;
+pub mod poisson;
+pub mod special;
+pub mod testing;
+
+pub use binomial::Binomial;
+pub use hypergeometric::Hypergeometric;
+pub use normal::Normal;
+pub use poisson::Poisson;
+pub use testing::{PValue, Tail, TestDecision};
+
+use std::fmt;
+
+/// Errors produced by constructors and evaluators in this crate.
+///
+/// All distribution constructors validate their parameters and return
+/// `Err(StatsError::InvalidParameter)` instead of producing NaNs downstream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution or test was given a parameter outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A numerical routine failed to converge.
+    NonConvergence {
+        /// Name of the routine (e.g. `"incomplete_beta"`).
+        routine: &'static str,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+    /// An empty input was provided where at least one element is required.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::NonConvergence { routine, iterations } => {
+                write!(f, "routine `{routine}` did not converge after {iterations} iterations")
+            }
+            StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StatsError::InvalidParameter { name: "p", reason: "must be in [0,1]".into() };
+        assert!(e.to_string().contains("p"));
+        assert!(e.to_string().contains("[0,1]"));
+        let e = StatsError::NonConvergence { routine: "incomplete_beta", iterations: 200 };
+        assert!(e.to_string().contains("incomplete_beta"));
+        let e = StatsError::EmptyInput("p-values");
+        assert!(e.to_string().contains("p-values"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        let e = StatsError::EmptyInput("x");
+        assert_err(&e);
+    }
+}

@@ -1,0 +1,270 @@
+//! The Poisson distribution.
+//!
+//! The central theoretical result of the paper (Theorems 1–3) is that for supports
+//! `s >= s_min` the number `Q̂_{k,s}` of k-itemsets with support at least `s` in a
+//! *random* dataset is well approximated by a Poisson distribution with mean
+//! `λ = E[Q̂_{k,s}]`. Procedure 2 uses this Poisson as the null distribution:
+//! the observed count `Q_{k,s}` in the real dataset is significant when the
+//! upper-tail probability `Pr[Poisson(λ) >= Q_{k,s}]` is below the per-level
+//! significance `α_i` (and the observed count additionally exceeds `β_i λ`).
+
+use crate::special::{ln_factorial, reg_lower_gamma, reg_upper_gamma};
+use crate::{Result, StatsError};
+
+/// A Poisson distribution with rate (mean) `lambda >= 0`.
+///
+/// `lambda == 0` is allowed and denotes the point mass at zero; this case arises
+/// naturally in the pipeline when a support threshold is so high that no itemset is
+/// expected to reach it in a random dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a new Poisson distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lambda` is finite and `>= 0`.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda >= 0.0) || !lambda.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                reason: format!("rate must be finite and >= 0, got {lambda}"),
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// The rate (and mean, and variance) `lambda`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean of the distribution.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance of the distribution.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Natural log of the probability mass function at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        -self.lambda + k as f64 * self.lambda.ln() - ln_factorial(k)
+    }
+
+    /// Probability mass function `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution function `Pr[X <= k]`.
+    ///
+    /// Computed as the regularized upper incomplete gamma function `Q(k + 1, λ)`,
+    /// which is exact for all `k` and `λ` of interest.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        reg_upper_gamma(k as f64 + 1.0, self.lambda).expect("validated parameters")
+    }
+
+    /// Survival function `Pr[X >= k]` (*inclusive*, matching the paper's
+    /// "at least `Q` itemsets" convention).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if self.lambda == 0.0 {
+            return 0.0;
+        }
+        // Pr[X >= k] = P(k, λ) (regularized lower incomplete gamma with shape k).
+        reg_lower_gamma(k as f64, self.lambda).expect("validated parameters")
+    }
+
+    /// Upper-tail p-value of an observed count, `Pr[X >= observed]`. This is the
+    /// p-value used in the rejection condition of Procedure 2.
+    #[inline]
+    pub fn p_value_upper(&self, observed: u64) -> f64 {
+        self.sf(observed)
+    }
+
+    /// Smallest `k` such that `Pr[X <= k] >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1)` — a Poisson variable is unbounded so the
+    /// quantile at exactly 1 is undefined.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..1.0).contains(&q), "quantile level must be in [0,1), got {q}");
+        if q <= 0.0 || self.lambda == 0.0 {
+            return 0;
+        }
+        // Exponential bracketing followed by binary search on the exact cdf.
+        let mut hi = (self.lambda.ceil() as u64).max(1);
+        while self.cdf(hi) < q {
+            hi = hi.saturating_mul(2).max(hi + 1);
+        }
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// The smallest observed count `q` whose upper-tail p-value is `<= alpha`,
+    /// i.e. the critical value of the one-sided Poisson test used in Procedure 2.
+    ///
+    /// Returns `None` if `alpha <= 0` (no finite count can be that surprising when
+    /// alpha is non-positive).
+    pub fn critical_value_upper(&self, alpha: f64) -> Option<u64> {
+        if alpha <= 0.0 {
+            return None;
+        }
+        if alpha >= 1.0 {
+            return Some(0);
+        }
+        // sf is non-increasing in k; find the smallest k with sf(k) <= alpha.
+        let mut hi = (self.lambda.ceil() as u64).max(1);
+        while self.sf(hi) > alpha {
+            hi = hi.saturating_mul(2).max(hi + 1);
+        }
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.sf(mid) <= alpha {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1e-300), "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(Poisson::new(0.0).is_ok());
+        assert!(Poisson::new(1e9).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_is_point_mass_at_zero() {
+        let p = Poisson::new(0.0).unwrap();
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(1), 0.0);
+        assert_eq!(p.cdf(0), 1.0);
+        assert_eq!(p.sf(0), 1.0);
+        assert_eq!(p.sf(1), 0.0);
+        assert_eq!(p.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.1, 1.0, 4.2, 20.0] {
+            let p = Poisson::new(lambda).unwrap();
+            let total: f64 = (0..200).map(|k| p.pmf(k)).sum();
+            assert_close(total, 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values_lambda_one() {
+        let p = Poisson::new(1.0).unwrap();
+        let e_inv = (-1.0f64).exp();
+        assert_close(p.pmf(0), e_inv, 1e-12);
+        assert_close(p.pmf(1), e_inv, 1e-12);
+        assert_close(p.pmf(2), e_inv / 2.0, 1e-12);
+        // The paper's Section 1.2: Pr[Poisson(1) >= 7] ≈ 1e-4 ("about 0.0001").
+        let tail = p.sf(7);
+        assert!(tail > 5e-5 && tail < 2e-4, "got {tail}");
+    }
+
+    #[test]
+    fn cdf_and_sf_consistency() {
+        let p = Poisson::new(6.3).unwrap();
+        for k in 0..40u64 {
+            let cdf_km1 = if k == 0 { 0.0 } else { p.cdf(k - 1) };
+            assert_close(cdf_km1 + p.sf(k), 1.0, 1e-11);
+        }
+    }
+
+    #[test]
+    fn sf_matches_direct_sum() {
+        let p = Poisson::new(2.5).unwrap();
+        for k in 0..25u64 {
+            let direct: f64 = (k..80).map(|j| p.pmf(j)).sum();
+            assert_close(p.sf(k), direct, 1e-10);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let p = Poisson::new(12.0).unwrap();
+        for &q in &[0.001, 0.05, 0.5, 0.95, 0.999_999] {
+            let k = p.quantile(q);
+            assert!(p.cdf(k) >= q);
+            if k > 0 {
+                assert!(p.cdf(k - 1) < q);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_value_upper_is_minimal() {
+        let p = Poisson::new(3.0).unwrap();
+        for &alpha in &[0.1, 0.05, 0.01, 1e-4, 1e-8] {
+            let c = p.critical_value_upper(alpha).unwrap();
+            assert!(p.sf(c) <= alpha, "sf({c}) = {} > {alpha}", p.sf(c));
+            if c > 0 {
+                assert!(p.sf(c - 1) > alpha);
+            }
+        }
+        assert_eq!(p.critical_value_upper(1.0), Some(0));
+        assert_eq!(p.critical_value_upper(0.0), None);
+        assert_eq!(p.critical_value_upper(-0.5), None);
+    }
+
+    #[test]
+    fn large_lambda_tail_is_stable() {
+        let p = Poisson::new(1.0e6).unwrap();
+        // 5 sigma above the mean.
+        let k = 1_005_000u64;
+        let tail = p.sf(k);
+        assert!(tail > 0.0 && tail < 1e-5, "got {tail}");
+        // Monotone decreasing in k.
+        assert!(p.sf(k + 1000) < tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_rejects_one() {
+        Poisson::new(2.0).unwrap().quantile(1.0);
+    }
+}

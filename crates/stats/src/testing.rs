@@ -1,0 +1,203 @@
+//! Single-hypothesis testing vocabulary: tails, p-values and decisions.
+//!
+//! These thin types keep p-value bookkeeping honest across the workspace: a
+//! [`PValue`] is guaranteed to lie in `[0, 1]`, comparisons are explicit, and a
+//! [`TestDecision`] records both the decision and the evidence that produced it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// Which tail(s) of the null distribution a test considers extreme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tail {
+    /// Reject for large observed values (this is the tail used throughout the
+    /// paper: high supports / high counts are the interesting direction).
+    Upper,
+    /// Reject for small observed values.
+    Lower,
+    /// Reject for values far from the centre in either direction.
+    TwoSided,
+}
+
+/// A probability that is guaranteed to be a valid p-value (finite, within `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct PValue(f64);
+
+impl PValue {
+    /// Wrap a raw probability as a p-value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the value is NaN or outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "p_value",
+                reason: format!("p-value must be in [0,1], got {p}"),
+            });
+        }
+        Ok(PValue(p))
+    }
+
+    /// Wrap a raw probability, clamping values that are out of range by no more than
+    /// numerical round-off (1e-9). Anything further out still errors.
+    ///
+    /// Tail probabilities assembled from sums of many pmf terms routinely land at
+    /// `1.0 + 1e-12`; this constructor absorbs that noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the value is NaN or out of range by
+    /// more than 1e-9.
+    pub fn new_clamped(p: f64) -> Result<Self> {
+        if p.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "p_value",
+                reason: "p-value is NaN".into(),
+            });
+        }
+        if (-1e-9..=1.0 + 1e-9).contains(&p) {
+            Ok(PValue(p.clamp(0.0, 1.0)))
+        } else {
+            Self::new(p)
+        }
+    }
+
+    /// The underlying probability.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+
+    /// Is this p-value significant at level `alpha`, i.e. `p <= alpha`?
+    #[inline]
+    pub fn is_significant_at(&self, alpha: f64) -> bool {
+        self.0 <= alpha
+    }
+}
+
+impl From<PValue> for f64 {
+    fn from(p: PValue) -> f64 {
+        p.0
+    }
+}
+
+/// The outcome of a single hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestDecision {
+    /// The p-value of the observed statistic under the null hypothesis.
+    pub p_value: PValue,
+    /// The significance level the test was run at.
+    pub alpha: f64,
+    /// Whether the null hypothesis was rejected (`p_value <= alpha`).
+    pub reject: bool,
+}
+
+impl TestDecision {
+    /// Build a decision by comparing a p-value to a significance level.
+    pub fn from_p_value(p_value: PValue, alpha: f64) -> Self {
+        TestDecision { p_value, alpha, reject: p_value.is_significant_at(alpha) }
+    }
+}
+
+/// Split an overall significance budget `alpha` evenly across `h` tests
+/// (the Bonferroni-style split `alpha_i = alpha / h` used in Procedure 2,
+/// where the experiments set `alpha_i = 0.05 / h`).
+///
+/// # Panics
+///
+/// Panics if `h == 0`.
+pub fn split_alpha_evenly(alpha: f64, h: usize) -> Vec<f64> {
+    assert!(h > 0, "cannot split a significance budget across zero tests");
+    vec![alpha / h as f64; h]
+}
+
+/// Split the FDR budget `beta` across `h` tests as `beta_i` values satisfying
+/// `sum_i 1/beta_i <= beta`, using the paper's experimental choice
+/// `1/beta_i = beta / h`, i.e. `beta_i = h / beta`.
+///
+/// # Panics
+///
+/// Panics if `h == 0` or `beta <= 0`.
+pub fn split_beta_evenly(beta: f64, h: usize) -> Vec<f64> {
+    assert!(h > 0, "cannot split an FDR budget across zero tests");
+    assert!(beta > 0.0, "FDR budget must be positive, got {beta}");
+    vec![h as f64 / beta; h]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_value_validation() {
+        assert!(PValue::new(0.0).is_ok());
+        assert!(PValue::new(1.0).is_ok());
+        assert!(PValue::new(0.5).is_ok());
+        assert!(PValue::new(-0.1).is_err());
+        assert!(PValue::new(1.1).is_err());
+        assert!(PValue::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn p_value_clamped_absorbs_round_off() {
+        assert_eq!(PValue::new_clamped(1.0 + 1e-12).unwrap().get(), 1.0);
+        assert_eq!(PValue::new_clamped(-1e-12).unwrap().get(), 0.0);
+        assert!(PValue::new_clamped(1.1).is_err());
+        assert!(PValue::new_clamped(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn significance_comparison() {
+        let p = PValue::new(0.03).unwrap();
+        assert!(p.is_significant_at(0.05));
+        assert!(!p.is_significant_at(0.01));
+        assert!(p.is_significant_at(0.03)); // boundary is inclusive
+    }
+
+    #[test]
+    fn decision_from_p_value() {
+        let d = TestDecision::from_p_value(PValue::new(0.002).unwrap(), 0.05);
+        assert!(d.reject);
+        let d = TestDecision::from_p_value(PValue::new(0.2).unwrap(), 0.05);
+        assert!(!d.reject);
+    }
+
+    #[test]
+    fn alpha_split_sums_to_alpha() {
+        let parts = split_alpha_evenly(0.05, 13);
+        assert_eq!(parts.len(), 13);
+        let sum: f64 = parts.iter().sum();
+        assert!((sum - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_split_satisfies_fdr_budget() {
+        let betas = split_beta_evenly(0.05, 10);
+        assert_eq!(betas.len(), 10);
+        let inv_sum: f64 = betas.iter().map(|b| 1.0 / b).sum();
+        assert!((inv_sum - 0.05).abs() < 1e-12);
+        // With beta = 0.05 and h = 10 the paper's choice gives beta_i = 200.
+        assert!((betas[0] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tests")]
+    fn alpha_split_rejects_zero_tests() {
+        split_alpha_evenly(0.05, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn beta_split_rejects_nonpositive_budget() {
+        split_beta_evenly(0.0, 3);
+    }
+
+    #[test]
+    fn conversion_to_f64() {
+        let p = PValue::new(0.25).unwrap();
+        let raw: f64 = p.into();
+        assert_eq!(raw, 0.25);
+    }
+}

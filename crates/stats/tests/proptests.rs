@@ -1,0 +1,182 @@
+//! Property-based tests for the statistical substrate.
+//!
+//! These tests encode the structural invariants every distribution and correction
+//! procedure must satisfy regardless of parameter values: cdf monotonicity,
+//! cdf/sf complementarity, quantile/cdf inversion, bound validity and
+//! monotonicity of multiple-testing rejections.
+
+use proptest::prelude::*;
+use sigfim_stats::binomial::Binomial;
+use sigfim_stats::chernoff::ln_chernoff_upper_at;
+use sigfim_stats::multiple_testing::{benjamini_hochberg, benjamini_yekutieli, bonferroni, holm};
+use sigfim_stats::normal::Normal;
+use sigfim_stats::poisson::Poisson;
+use sigfim_stats::special::{harmonic_number, ln_choose, reg_inc_beta, reg_lower_gamma, reg_upper_gamma};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binomial_cdf_is_monotone_and_bounded(n in 1u64..500, p in 0.0f64..=1.0, k in 0u64..500) {
+        let b = Binomial::new(n, p).unwrap();
+        let k = k.min(n);
+        let c = b.cdf(k);
+        prop_assert!((0.0..=1.0).contains(&c));
+        if k > 0 {
+            prop_assert!(b.cdf(k - 1) <= c + 1e-12);
+        }
+        prop_assert!(c <= b.cdf(k + 1) + 1e-12);
+    }
+
+    #[test]
+    fn binomial_cdf_sf_complement(n in 1u64..300, p in 0.001f64..0.999, k in 0u64..300) {
+        let b = Binomial::new(n, p).unwrap();
+        let k = k.min(n);
+        let lhs = if k == 0 { 0.0 } else { b.cdf(k - 1) };
+        prop_assert!((lhs + b.sf(k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_quantile_inverts_cdf(n in 1u64..200, p in 0.01f64..0.99, q in 0.001f64..0.999) {
+        let b = Binomial::new(n, p).unwrap();
+        let k = b.quantile(q);
+        prop_assert!(b.cdf(k) >= q - 1e-12);
+        if k > 0 {
+            prop_assert!(b.cdf(k - 1) < q + 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_sf_monotone_decreasing(lambda in 0.0f64..200.0, k in 0u64..400) {
+        let p = Poisson::new(lambda).unwrap();
+        prop_assert!(p.sf(k) + 1e-12 >= p.sf(k + 1));
+        prop_assert!((0.0..=1.0).contains(&p.sf(k)));
+    }
+
+    #[test]
+    fn poisson_pmf_consistent_with_cdf_increments(lambda in 0.01f64..50.0, k in 0u64..100) {
+        let p = Poisson::new(lambda).unwrap();
+        let increment = if k == 0 { p.cdf(0) } else { p.cdf(k) - p.cdf(k - 1) };
+        prop_assert!((increment - p.pmf(k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_sf_complement(mu in -50.0f64..50.0, sigma in 0.01f64..20.0, x in -200.0f64..200.0) {
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!((n.cdf(x) + n.sf(x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(mu in -10.0f64..10.0, sigma in 0.1f64..5.0, q in 0.0001f64..0.9999) {
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!((n.cdf(n.quantile(q)) - q).abs() < 1e-8);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementary(a in 0.01f64..500.0, x in 0.0f64..1000.0) {
+        let p = reg_lower_gamma(a, x).unwrap();
+        let q = reg_upper_gamma(a, x).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry(a in 0.05f64..100.0, b in 0.05f64..100.0, x in 0.0f64..=1.0) {
+        let lhs = reg_inc_beta(a, b, x).unwrap();
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+        prop_assert!((0.0..=1.0).contains(&lhs));
+    }
+
+    #[test]
+    fn incomplete_beta_monotone_in_x(a in 0.1f64..50.0, b in 0.1f64..50.0, x in 0.0f64..0.99) {
+        let lo = reg_inc_beta(a, b, x).unwrap();
+        let hi = reg_inc_beta(a, b, (x + 0.01).min(1.0)).unwrap();
+        prop_assert!(lo <= hi + 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_pascal_identity(n in 2u64..300, k in 1u64..300) {
+        let k = k.min(n - 1);
+        // C(n, k) = C(n-1, k-1) + C(n-1, k) — verify in log space via exponentiation.
+        let lhs = ln_choose(n, k);
+        let rhs = (ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp()).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn harmonic_number_monotone(m in 1.0f64..1.0e14) {
+        prop_assert!(harmonic_number(m + 1.0) >= harmonic_number(m));
+        prop_assert!(harmonic_number(m) >= 1.0);
+    }
+
+    #[test]
+    fn chernoff_upper_bound_dominates_exact_binomial_tail(
+        n in 100u64..20_000,
+        p in 0.0001f64..0.05,
+        factor in 1.2f64..20.0,
+    ) {
+        let b = Binomial::new(n, p).unwrap();
+        let mu = b.mean();
+        let x = (mu * factor).ceil().max(mu.floor() + 1.0);
+        if x <= n as f64 {
+            let exact_ln = b.sf(x as u64).ln();
+            let bound_ln = ln_chernoff_upper_at(mu, x).unwrap();
+            prop_assert!(bound_ln >= exact_ln - 1e-6, "bound {bound_ln} < exact {exact_ln}");
+        }
+    }
+
+    #[test]
+    fn corrections_never_reject_more_than_supplied(
+        ps in prop::collection::vec(0.0f64..=1.0, 1..60),
+        q in 0.01f64..0.5,
+    ) {
+        let m = ps.len() as f64;
+        for out in [
+            bonferroni(&ps, q, m).unwrap(),
+            holm(&ps, q, m).unwrap(),
+            benjamini_hochberg(&ps, q, m).unwrap(),
+            benjamini_yekutieli(&ps, q, m).unwrap(),
+        ] {
+            prop_assert!(out.num_rejected() <= ps.len());
+            // Rejected indices must be valid and unique.
+            let mut seen = std::collections::HashSet::new();
+            for &i in &out.rejected {
+                prop_assert!(i < ps.len());
+                prop_assert!(seen.insert(i));
+            }
+        }
+    }
+
+    #[test]
+    fn by_is_subset_of_bh_and_bonferroni_subset_of_holm(
+        ps in prop::collection::vec(0.0f64..=1.0, 1..60),
+        q in 0.01f64..0.5,
+    ) {
+        let m = ps.len() as f64;
+        let bh = benjamini_hochberg(&ps, q, m).unwrap();
+        let by = benjamini_yekutieli(&ps, q, m).unwrap();
+        for i in &by.rejected {
+            prop_assert!(bh.rejected.contains(i), "BY rejected {i} but BH did not");
+        }
+        let bonf = bonferroni(&ps, q, m).unwrap();
+        let holm_out = holm(&ps, q, m).unwrap();
+        for i in &bonf.rejected {
+            prop_assert!(holm_out.rejected.contains(i), "Bonferroni rejected {i} but Holm did not");
+        }
+    }
+
+    #[test]
+    fn rejections_monotone_in_total_hypotheses(
+        ps in prop::collection::vec(0.0f64..0.2, 1..40),
+        extra in 0.0f64..1.0e6,
+    ) {
+        let m_small = ps.len() as f64;
+        let m_large = m_small + extra;
+        let small = benjamini_yekutieli(&ps, 0.05, m_small).unwrap();
+        let large = benjamini_yekutieli(&ps, 0.05, m_large).unwrap();
+        // Adding (implicit, p = 1) hypotheses can only reduce the rejection set.
+        prop_assert!(large.num_rejected() <= small.num_rejected());
+    }
+}

@@ -1,0 +1,102 @@
+//! Comparing the two null models: the paper's Bernoulli model vs swap
+//! randomization (Gionis et al.), the alternative model §1.1 says the technique
+//! "could be adapted to".
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example swap_null
+//! ```
+//!
+//! The Bernoulli model keeps the number of transactions and the item frequencies
+//! but lets transaction lengths fluctuate; swap randomization additionally fixes
+//! every transaction's length. On data whose transaction lengths are heterogeneous
+//! (e.g. a few very long transactions), the Bernoulli null understates how easily
+//! long transactions produce co-occurrences, so the swap null is the stricter test.
+//! This example runs Algorithm 1 and Procedure 2 under both nulls on the same
+//! dataset and prints the resulting thresholds side by side.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim::core::montecarlo::FindPoissonThreshold;
+use sigfim::datasets::random::SwapRandomizationModel;
+use sigfim::prelude::*;
+
+fn main() {
+    // A dataset with strongly heterogeneous transaction lengths: Quest-style data
+    // plus one planted pair, so there is something real to find.
+    let config = sigfim::datasets::random::QuestConfig {
+        num_items: 200,
+        num_transactions: 4_000,
+        avg_transaction_len: 6.0,
+        num_patterns: 30,
+        avg_pattern_len: 5.0,
+        corruption: 0.3,
+    };
+    let mut rng = StdRng::seed_from_u64(15);
+    let (base, _) = config.generate(&mut rng).expect("valid Quest configuration");
+    let planted = sigfim::datasets::random::plant_into(
+        &base,
+        &[PlantedPattern::new(vec![10, 20], 300).unwrap()],
+        &mut rng,
+    );
+    println!(
+        "dataset: {} transactions, {} items, avg length {:.2}\n",
+        planted.num_transactions(),
+        planted.num_items(),
+        planted.avg_transaction_len()
+    );
+
+    let k = 2;
+    let replicates = 48;
+
+    // Algorithm 1 under both null models.
+    let algorithm = FindPoissonThreshold { replicates, ..FindPoissonThreshold::new(k) };
+    let bernoulli = BernoulliModel::from_dataset(&planted);
+    let swap = SwapRandomizationModel::new(planted.clone(), 3.0).expect("valid swap model");
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let est_bernoulli = algorithm.run(&bernoulli, &mut rng).expect("Algorithm 1 (Bernoulli)");
+    let mut rng = StdRng::seed_from_u64(1);
+    let est_swap = algorithm.run(&swap, &mut rng).expect("Algorithm 1 (swap)");
+
+    println!("Algorithm 1 (Delta = {replicates}, epsilon = 0.01):");
+    println!("  Bernoulli null:  s~ = {:>5}, s_min = {:>5}", est_bernoulli.s_tilde, est_bernoulli.s_min);
+    println!("  swap null:       s~ = {:>5}, s_min = {:>5}", est_swap.s_tilde, est_swap.s_min);
+    println!();
+
+    // Full pipeline under both nulls.
+    for (label, report) in [
+        (
+            "Bernoulli null",
+            SignificanceAnalyzer::new(k)
+                .with_replicates(replicates)
+                .with_seed(2)
+                .with_procedure1(false)
+                .analyze(&planted)
+                .expect("analysis (Bernoulli)"),
+        ),
+        (
+            "swap null",
+            SignificanceAnalyzer::new(k)
+                .with_replicates(replicates)
+                .with_seed(2)
+                .with_procedure1(false)
+                .analyze_with_swap_null(&planted, 3.0)
+                .expect("analysis (swap)"),
+        ),
+    ] {
+        let (s_star, q, lambda) = report.table3_row();
+        match s_star {
+            Some(s_star) => println!(
+                "{label:<15}: s* = {s_star}, significant pairs = {q}, lambda(s*) = {lambda:.3}"
+            ),
+            None => println!("{label:<15}: s* = infinity (nothing significant)"),
+        }
+    }
+    println!();
+    println!(
+        "Both nulls should recover the planted pair; the swap null, preserving transaction \
+         lengths exactly, generally yields an equal or higher threshold on length-heterogeneous data."
+    );
+}

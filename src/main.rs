@@ -1,0 +1,183 @@
+//! `sigfim` — command-line significance analysis of a transactional dataset.
+//!
+//! ```text
+//! sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] [--epsilon <e>]
+//!        [--replicates <n>] [--seed <n>] [--miner apriori|eclat|fp-growth]
+//!        [--swap-null [<swaps-per-entry>]] [--conservative-lambda]
+//!        [--no-baseline] [--list <n>]
+//! ```
+//!
+//! The dataset must be in the FIMI `.dat` format (one whitespace-separated
+//! transaction per line, arbitrary integer item labels). The tool runs the full
+//! pipeline of Kirsch et al. (PODS 2009): Algorithm 1 to find the Poisson threshold
+//! `s_min`, Procedure 2 to pick the significance threshold `s*` with FDR control,
+//! and (unless `--no-baseline`) the Benjamini–Yekutieli baseline of Procedure 1 for
+//! comparison. The exit code is 0 if the analysis ran, regardless of whether any
+//! significant itemsets were found.
+
+use std::process::ExitCode;
+
+use sigfim::datasets::fimi::read_fimi_file;
+use sigfim::datasets::random::SwapRandomizationModel;
+use sigfim::datasets::summary::DatasetSummary;
+use sigfim::mining::miner::MinerKind;
+use sigfim::SignificanceAnalyzer;
+
+struct CliOptions {
+    path: String,
+    k: usize,
+    alpha: f64,
+    beta: f64,
+    epsilon: f64,
+    replicates: usize,
+    seed: u64,
+    miner: MinerKind,
+    swap_null: Option<f64>,
+    conservative_lambda: bool,
+    baseline: bool,
+    list: usize,
+}
+
+const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] \
+    [--epsilon <e>] [--replicates <n>] [--seed <n>] [--miner apriori|eclat|fp-growth] \
+    [--swap-null [<swaps-per-entry>]] [--conservative-lambda] [--no-baseline] [--list <n>]";
+
+fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
+    let _program = args.next();
+    let mut options = CliOptions {
+        path: String::new(),
+        k: 2,
+        alpha: 0.05,
+        beta: 0.05,
+        epsilon: 0.01,
+        replicates: 64,
+        seed: 0xC0FFEE,
+        miner: MinerKind::Apriori,
+        swap_null: None,
+        conservative_lambda: false,
+        baseline: true,
+        list: 25,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--k" => options.k = parse_value(&mut args, "--k")?,
+            "--alpha" => options.alpha = parse_value(&mut args, "--alpha")?,
+            "--beta" => options.beta = parse_value(&mut args, "--beta")?,
+            "--epsilon" => options.epsilon = parse_value(&mut args, "--epsilon")?,
+            "--replicates" => options.replicates = parse_value(&mut args, "--replicates")?,
+            "--seed" => options.seed = parse_value(&mut args, "--seed")?,
+            "--list" => options.list = parse_value(&mut args, "--list")?,
+            "--no-baseline" => options.baseline = false,
+            "--conservative-lambda" => options.conservative_lambda = true,
+            "--swap-null" => {
+                // Optional numeric argument (swaps per incidence); default 3.
+                let swaps = match args.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let parsed = next
+                            .parse::<f64>()
+                            .map_err(|_| format!("--swap-null expects a number, got `{next}`"))?;
+                        args.next();
+                        parsed
+                    }
+                    _ => 3.0,
+                };
+                options.swap_null = Some(swaps);
+            }
+            "--miner" => {
+                let name = args.next().ok_or("--miner requires a value")?;
+                options.miner = match name.as_str() {
+                    "apriori" => MinerKind::Apriori,
+                    "eclat" => MinerKind::Eclat,
+                    "fp-growth" | "fpgrowth" => MinerKind::FpGrowth,
+                    other => return Err(format!("unknown miner `{other}`")),
+                };
+            }
+            path if !path.starts_with("--") && options.path.is_empty() => {
+                options.path = path.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if options.path.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(options)
+}
+
+fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
+    args: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<T, String> {
+    let value = args.next().ok_or_else(|| format!("{flag} requires a value"))?;
+    value.parse().map_err(|_| format!("{flag}: could not parse `{value}`"))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options(std::env::args()) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let labeled = match read_fimi_file(&options.path) {
+        Ok(labeled) => labeled,
+        Err(error) => {
+            eprintln!("sigfim: cannot read `{}`: {error}", options.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let dataset = &labeled.dataset;
+    let summary = DatasetSummary::from_dataset(dataset);
+    println!("{}", summary.table1_row(&options.path));
+    println!();
+
+    let analyzer = SignificanceAnalyzer::new(options.k)
+        .with_alpha(options.alpha)
+        .with_beta(options.beta)
+        .with_epsilon(options.epsilon)
+        .with_replicates(options.replicates)
+        .with_seed(options.seed)
+        .with_miner(options.miner)
+        .with_procedure1(options.baseline)
+        .with_conservative_lambda(options.conservative_lambda);
+
+    let report = if let Some(swaps) = options.swap_null {
+        let model = match SwapRandomizationModel::new(dataset.clone(), swaps) {
+            Ok(model) => model,
+            Err(error) => {
+                eprintln!("sigfim: cannot build the swap-randomization null model: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        analyzer.analyze_with_model(dataset, &model)
+    } else {
+        analyzer.analyze(dataset)
+    };
+    let report = match report {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("sigfim: analysis failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{report}");
+    if !report.procedure2.significant.is_empty() {
+        println!();
+        println!(
+            "top {} significant {}-itemsets (original item labels):",
+            options.list.min(report.procedure2.significant.len()),
+            options.k
+        );
+        let mut ranked = report.procedure2.significant.clone();
+        ranked.sort_by(|a, b| b.support.cmp(&a.support));
+        for itemset in ranked.iter().take(options.list) {
+            println!("  {:?}  support {}", labeled.labels_of(&itemset.items), itemset.support);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! Integration test of the Section 4.1 redundancy analysis: a single large closed
+//! itemset accounts for a combinatorial explosion of significant k-itemsets (the
+//! paper's Bms1, k = 4 case: one closed itemset of cardinality 154 explains more
+//! than 22 of the 27 million reported 4-itemsets).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim::mining::closed::{closed_generator_analysis, closed_frequent_itemsets, closure};
+use sigfim::prelude::*;
+
+/// Build a Bms1-like situation at miniature scale: sparse background plus one block
+/// of 12 items planted together.
+fn dataset_with_large_block(seed: u64) -> (TransactionDataset, Vec<ItemId>) {
+    let block: Vec<ItemId> = (50..62).collect();
+    let background = BernoulliModel::new(2_000, vec![0.01; 80]).unwrap();
+    let model = PlantedModel::new(PlantedConfig {
+        background,
+        patterns: vec![PlantedPattern::new(block.clone(), 30).unwrap()],
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (model.sample(&mut rng), block)
+}
+
+#[test]
+fn one_closed_block_explains_most_significant_k_itemsets() {
+    let (dataset, block) = dataset_with_large_block(1);
+    let k = 3;
+    let threshold = 25u64;
+
+    let analysis = closed_generator_analysis(&dataset, k, threshold).unwrap();
+    // All C(12,3) = 220 sub-triples of the block are above the threshold.
+    assert!(analysis.total_k_itemsets >= 220);
+    let top = &analysis.closed_generators[0];
+    assert!(
+        top.items.len() >= block.len(),
+        "the top generator should contain the planted block, got {:?}",
+        top.items
+    );
+    assert!(block.iter().all(|i| top.items.contains(i)));
+    // The single generator accounts for (almost) all of the significant triples.
+    assert!(
+        top.k_subsets as f64 >= 0.9 * analysis.total_k_itemsets as f64,
+        "the block explains only {} of {} triples",
+        top.k_subsets,
+        analysis.total_k_itemsets
+    );
+}
+
+#[test]
+fn closure_of_a_block_subset_recovers_the_block() {
+    let (dataset, block) = dataset_with_large_block(2);
+    // The closure of a 4-item subset of the block is (at least) the whole block:
+    // with overwhelming probability the only transactions containing all four are
+    // the planted ones, and those contain every block item.
+    let pair = vec![block[0], block[3], block[5], block[9]];
+    let closed = closure(&dataset, &pair);
+    for item in &block {
+        assert!(
+            closed.contains(item),
+            "closure {:?} of {:?} does not contain planted item {item}",
+            closed,
+            pair
+        );
+    }
+}
+
+#[test]
+fn closed_itemsets_are_far_fewer_than_all_itemsets() {
+    let (dataset, _) = dataset_with_large_block(3);
+    let threshold = 25u64;
+    let all_pairs = MinerKind::Apriori.mine_k(&dataset, 2, threshold).unwrap();
+    // closed_frequent_itemsets(max_len = 2) returns closed 1- and 2-itemsets; keep
+    // only the pairs for the comparison.
+    let closed_pairs: Vec<_> = closed_frequent_itemsets(&dataset, 2, threshold)
+        .unwrap()
+        .into_iter()
+        .filter(|c| c.items.len() == 2)
+        .collect();
+    assert!(
+        closed_pairs.len() < all_pairs.len(),
+        "closed pairs ({}) should be a strict compression of all pairs ({})",
+        closed_pairs.len(),
+        all_pairs.len()
+    );
+    // Every closed pair is one of the frequent pairs with identical support.
+    for c in &closed_pairs {
+        assert!(all_pairs.iter().any(|p| p.items == c.items && p.support == c.support));
+    }
+}
