@@ -35,7 +35,9 @@ fn bench_closed_form_bounds(c: &mut Criterion) {
     let freqs = spec.frequencies().unwrap();
     group.bench_function("theorem3_bms1_profile_single_eval", |b| {
         b.iter(|| {
-            black_box(theorem3_bounds(black_box(&freqs), spec.num_transactions as u64, 2, 600).unwrap())
+            black_box(
+                theorem3_bounds(black_box(&freqs), spec.num_transactions as u64, 2, 600).unwrap(),
+            )
         })
     });
     group.sample_size(10);
@@ -61,7 +63,10 @@ fn bench_lambda_estimators(c: &mut Criterion) {
 
     // Monte-Carlo table lookup (the estimator Procedure 2 actually uses).
     let model = BernoulliModel::new(400, vec![0.1; 12]).unwrap();
-    let algo = FindPoissonThreshold { replicates: 64, ..FindPoissonThreshold::new(2) };
+    let algo = FindPoissonThreshold {
+        replicates: 64,
+        ..FindPoissonThreshold::new(2)
+    };
     let mut rng = StdRng::seed_from_u64(9);
     let estimate = algo.run(&model, &mut rng).unwrap();
     let table = estimate.lambda_estimator();
@@ -82,7 +87,10 @@ fn bench_algorithm1(c: &mut Criterion) {
             BenchmarkId::from_parameter(replicates),
             &replicates,
             |b, &replicates| {
-                let algo = FindPoissonThreshold { replicates, ..FindPoissonThreshold::new(2) };
+                let algo = FindPoissonThreshold {
+                    replicates,
+                    ..FindPoissonThreshold::new(2)
+                };
                 let mut rng = StdRng::seed_from_u64(11);
                 b.iter(|| black_box(algo.run(&model, &mut rng).unwrap()))
             },

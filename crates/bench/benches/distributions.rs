@@ -25,7 +25,11 @@ fn bench_binomial_tail(c: &mut Criterion) {
 fn bench_poisson_tail(c: &mut Criterion) {
     // The Procedure-2 p-value: Pr[Poisson(lambda) >= Q].
     let mut group = c.benchmark_group("poisson/sf");
-    for (label, lambda, q) in [("small", 0.05f64, 6u64), ("unit", 1.0, 12), ("large", 50.0, 120)] {
+    for (label, lambda, q) in [
+        ("small", 0.05f64, 6u64),
+        ("unit", 1.0, 12),
+        ("large", 50.0, 120),
+    ] {
         let dist = Poisson::new(lambda).unwrap();
         group.bench_function(label, |b| b.iter(|| black_box(dist.sf(black_box(q)))));
     }
@@ -38,7 +42,9 @@ fn bench_special_functions(c: &mut Criterion) {
         b.iter(|| black_box(ln_choose(black_box(990_002), black_box(273_266))))
     });
     group.bench_function("reg_inc_beta", |b| {
-        b.iter(|| black_box(reg_inc_beta(black_box(848.0), black_box(87_314.0), black_box(1e-4)).unwrap()))
+        b.iter(|| {
+            black_box(reg_inc_beta(black_box(848.0), black_box(87_314.0), black_box(1e-4)).unwrap())
+        })
     });
     group.bench_function("reg_upper_gamma", |b| {
         b.iter(|| black_box(reg_upper_gamma(black_box(25.0), black_box(3.5)).unwrap()))
@@ -51,15 +57,20 @@ fn bench_multiple_testing(c: &mut Criterion) {
     // sizes Procedure 1 sees on the larger benchmarks.
     let mut group = c.benchmark_group("multiple_testing");
     for size in [100usize, 10_000] {
-        let p_values: Vec<f64> =
-            (0..size).map(|i| ((i + 1) as f64 / (size as f64 * 10.0)).powf(1.5)).collect();
+        let p_values: Vec<f64> = (0..size)
+            .map(|i| ((i + 1) as f64 / (size as f64 * 10.0)).powf(1.5))
+            .collect();
         let m_total = 1.0e9f64;
-        group.bench_with_input(BenchmarkId::new("benjamini_yekutieli", size), &p_values, |b, p| {
-            b.iter(|| black_box(benjamini_yekutieli(black_box(p), 0.05, m_total).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("benjamini_hochberg", size), &p_values, |b, p| {
-            b.iter(|| black_box(benjamini_hochberg(black_box(p), 0.05, m_total).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("benjamini_yekutieli", size),
+            &p_values,
+            |b, p| b.iter(|| black_box(benjamini_yekutieli(black_box(p), 0.05, m_total).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("benjamini_hochberg", size),
+            &p_values,
+            |b, p| b.iter(|| black_box(benjamini_hochberg(black_box(p), 0.05, m_total).unwrap())),
+        );
         group.bench_with_input(BenchmarkId::new("bonferroni", size), &p_values, |b, p| {
             b.iter(|| black_box(bonferroni(black_box(p), 0.05, m_total).unwrap()))
         });

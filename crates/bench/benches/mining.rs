@@ -22,7 +22,10 @@ fn quest_dataset(transactions: usize, items: u32) -> TransactionDataset {
         corruption: 0.25,
     };
     let mut rng = StdRng::seed_from_u64(42);
-    config.generate(&mut rng).expect("valid Quest configuration").0
+    config
+        .generate(&mut rng)
+        .expect("valid Quest configuration")
+        .0
 }
 
 fn bench_miners(c: &mut Criterion) {
@@ -31,18 +34,22 @@ fn bench_miners(c: &mut Criterion) {
     let mut group = c.benchmark_group("miners/k2_at_1pct");
     let threshold = (dataset.num_transactions() / 100) as u64;
     for kind in [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| kind.mine_k(black_box(&dataset), 2, threshold).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| kind.mine_k(black_box(&dataset), 2, threshold).unwrap()),
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("miners/k3_at_0.5pct");
     let threshold = (dataset.num_transactions() / 200).max(2) as u64;
     for kind in [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| kind.mine_k(black_box(&dataset), 3, threshold).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| kind.mine_k(black_box(&dataset), 3, threshold).unwrap()),
+        );
     }
     group.finish();
 }
@@ -56,7 +63,10 @@ fn bench_counting_strategies(c: &mut Criterion) {
         ("vertical", Some(CountingStrategy::Vertical)),
         ("horizontal", Some(CountingStrategy::Horizontal)),
     ] {
-        let miner = Apriori { prune: true, force_strategy: strategy };
+        let miner = Apriori {
+            prune: true,
+            force_strategy: strategy,
+        };
         group.bench_function(label, |b| {
             b.iter(|| miner.mine_k(black_box(&dataset), 2, threshold).unwrap())
         });
@@ -74,12 +84,21 @@ fn bench_dataset_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(transactions),
             &dataset,
             |b, dataset| {
-                b.iter(|| Apriori::default().mine_k(black_box(dataset), 2, threshold).unwrap())
+                b.iter(|| {
+                    Apriori::default()
+                        .mine_k(black_box(dataset), 2, threshold)
+                        .unwrap()
+                })
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_miners, bench_counting_strategies, bench_dataset_scaling);
+criterion_group!(
+    benches,
+    bench_miners,
+    bench_counting_strategies,
+    bench_dataset_scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benchmarks of the deterministic parallel execution layer: the Monte-Carlo
+//! replicate loop of Algorithm 1 (the paper's dominant cost) under the
+//! sequential policy vs. rayon pools of increasing size, at the acceptance
+//! configuration Δ = 40.
+//!
+//! Because every replicate draws from its own `(seed, index)` RNG substream,
+//! all policies produce bit-identical `ThresholdEstimate`s — these benchmarks
+//! measure pure wall-clock scaling, and assert the equality while doing so.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim_core::montecarlo::FindPoissonThreshold;
+use sigfim_core::ExecutionPolicy;
+use sigfim_datasets::random::BernoulliModel;
+
+/// The workload of the acceptance criterion: Δ = 40 replicates over a dataset
+/// sized so one replicate costs real work (generation + Eclat mining).
+fn model() -> BernoulliModel {
+    BernoulliModel::new(2_000, vec![0.05; 60]).expect("valid frequencies")
+}
+
+fn algorithm(policy: ExecutionPolicy) -> FindPoissonThreshold {
+    FindPoissonThreshold {
+        replicates: 40,
+        policy,
+        ..FindPoissonThreshold::new(2)
+    }
+}
+
+fn bench_replicate_loop(c: &mut Criterion) {
+    let model = model();
+
+    // The parallel estimate must be bit-identical to the sequential one.
+    let reference = {
+        let mut rng = StdRng::seed_from_u64(7);
+        algorithm(ExecutionPolicy::Sequential)
+            .run(&model, &mut rng)
+            .unwrap()
+    };
+
+    let mut group = c.benchmark_group("montecarlo/delta40");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("sequential", ExecutionPolicy::Sequential),
+        ("rayon2", ExecutionPolicy::rayon(2)),
+        ("rayon4", ExecutionPolicy::rayon(4)),
+        ("rayon0_all_cores", ExecutionPolicy::rayon(0)),
+    ] {
+        let algo = algorithm(policy);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &algo, |b, algo| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let estimate = algo.run(&model, &mut rng).unwrap();
+                assert_eq!(estimate, reference, "policies must be bit-identical");
+                estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_indexed_overhead(c: &mut Criterion) {
+    // The raw fan-out primitive on a trivially cheap task: measures scheduling
+    // overhead, the floor below which parallelism cannot pay off.
+    let items: Vec<u64> = (0..4096).collect();
+    let mut group = c.benchmark_group("exec/map_indexed_4096_cheap_tasks");
+    group.sample_size(20);
+    for (label, policy) in [
+        ("sequential", ExecutionPolicy::Sequential),
+        ("rayon4", ExecutionPolicy::rayon(4)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter(|| policy.map_indexed(&items, |i, &x| x.wrapping_mul(i as u64 | 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replicate_loop, bench_map_indexed_overhead);
+criterion_main!(benches);

@@ -62,7 +62,11 @@ fn bench_procedure2(c: &mut Criterion) {
             &dataset,
             |b, dataset| {
                 b.iter(|| {
-                    black_box(Procedure2::new(2).run(black_box(dataset), s_min, &lambda).unwrap())
+                    black_box(
+                        Procedure2::new(2)
+                            .run(black_box(dataset), s_min, &lambda)
+                            .unwrap(),
+                    )
                 })
             },
         );
@@ -96,5 +100,10 @@ fn bench_end_to_end_analyzer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_procedure1, bench_procedure2, bench_end_to_end_analyzer);
+criterion_group!(
+    benches,
+    bench_procedure1,
+    bench_procedure2,
+    bench_end_to_end_analyzer
+);
 criterion_main!(benches);

@@ -32,10 +32,14 @@ fn bench_planted_sampling(c: &mut Criterion) {
     group.sample_size(20);
     for bench in [BenchmarkDataset::Bms1, BenchmarkDataset::Retail] {
         let model = bench.planted_model(32.0).expect("planted model");
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &model, |b, model| {
-            let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| black_box(model.sample(&mut rng)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &model,
+            |b, model| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| black_box(model.sample(&mut rng)))
+            },
+        );
     }
     group.finish();
 }
@@ -68,7 +72,9 @@ fn bench_swap_randomization(c: &mut Criterion) {
     let mut group = c.benchmark_group("swap_randomization");
     group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(4);
-    let dataset = BenchmarkDataset::Bms1.sample_standin(32.0, &mut rng).expect("stand-in");
+    let dataset = BenchmarkDataset::Bms1
+        .sample_standin(32.0, &mut rng)
+        .expect("stand-in");
     let swaps = dataset.num_entries() * 2;
     group.bench_function("bms1_standin_2x_entries", |b| {
         let mut rng = StdRng::seed_from_u64(5);

@@ -16,9 +16,14 @@ fn bench_table3_row(c: &mut Criterion) {
     group.sample_size(10);
     // The two smallest benchmarks at aggressive down-scaling keep a row under a
     // second while exercising exactly the code path the table binary runs.
-    for (bench, scale) in [(BenchmarkDataset::Bms1, 64.0), (BenchmarkDataset::Bms2, 64.0)] {
+    for (bench, scale) in [
+        (BenchmarkDataset::Bms1, 64.0),
+        (BenchmarkDataset::Bms2, 64.0),
+    ] {
         let mut rng = StdRng::seed_from_u64(13);
-        let dataset = bench.sample_standin(scale, &mut rng).expect("stand-in generation");
+        let dataset = bench
+            .sample_standin(scale, &mut rng)
+            .expect("stand-in generation");
         group.bench_with_input(
             BenchmarkId::new("k2", bench.name()),
             &dataset,
@@ -44,10 +49,14 @@ fn bench_standin_generation(c: &mut Criterion) {
     group.sample_size(10);
     for bench in BenchmarkDataset::ALL {
         let scale = 64.0;
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, bench| {
-            let mut rng = StdRng::seed_from_u64(17);
-            b.iter(|| black_box(bench.sample_standin(scale, &mut rng).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, bench| {
+                let mut rng = StdRng::seed_from_u64(17);
+                b.iter(|| black_box(bench.sample_standin(scale, &mut rng).unwrap()))
+            },
+        );
     }
     group.finish();
 }

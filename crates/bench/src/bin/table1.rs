@@ -28,7 +28,9 @@ fn main() {
         let spec = bench.spec();
         let scale = config.scale_for(bench);
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let standin = bench.sample_standin(scale, &mut rng).expect("stand-in generation");
+        let standin = bench
+            .sample_standin(scale, &mut rng)
+            .expect("stand-in generation");
         let measured = DatasetSummary::from_dataset(&standin);
         println!(
             "{:<10} {:>8} {:>10.2e} ; {:>8.2} {:>7.1} {:>9}    | {:>6} {:>9} {:>10.2e} ; {:>8.2} {:>7.1}",

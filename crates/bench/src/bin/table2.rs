@@ -16,6 +16,7 @@ use rand::SeedableRng;
 
 use sigfim_bench::{rule, ExperimentConfig};
 use sigfim_core::montecarlo::FindPoissonThreshold;
+use sigfim_core::ExecutionPolicy;
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -38,7 +39,7 @@ fn main() {
                 k,
                 epsilon: 0.01,
                 replicates,
-                threads: 0,
+                policy: ExecutionPolicy::default(),
                 max_restarts: 4,
             };
             let mut rng = StdRng::seed_from_u64(config.seed ^ (k as u64) << 8);

@@ -38,7 +38,9 @@ fn main() {
     for bench in config.benchmarks() {
         let scale = config.scale_for(bench);
         let mut data_rng = StdRng::seed_from_u64(config.seed);
-        let dataset = bench.sample_standin(scale, &mut data_rng).expect("stand-in generation");
+        let dataset = bench
+            .sample_standin(scale, &mut data_rng)
+            .expect("stand-in generation");
         for &k in &config.ks {
             let report = SignificanceAnalyzer::new(k)
                 .with_replicates(replicates)
@@ -58,8 +60,13 @@ fn main() {
                 lambda
             );
 
-            if config.closed_analysis && s_star.is_some() && bench == BenchmarkDataset::Bms1 {
-                let analysis = closed_generator_analysis(&dataset, k, s_star.unwrap())
+            let closed_at = if config.closed_analysis && bench == BenchmarkDataset::Bms1 {
+                s_star
+            } else {
+                None
+            };
+            if let Some(s_star) = closed_at {
+                let analysis = closed_generator_analysis(&dataset, k, s_star)
                     .expect("closed-itemset analysis");
                 if let Some(top) = analysis.closed_generators.first() {
                     println!(

@@ -33,7 +33,9 @@ fn main() {
     for bench in config.benchmarks() {
         let scale = config.scale_for(bench);
         let mut data_rng = StdRng::seed_from_u64(config.seed);
-        let dataset = bench.sample_standin(scale, &mut data_rng).expect("stand-in generation");
+        let dataset = bench
+            .sample_standin(scale, &mut data_rng)
+            .expect("stand-in generation");
         for &k in &config.ks {
             let report = SignificanceAnalyzer::new(k)
                 .with_replicates(replicates)

@@ -74,8 +74,11 @@ impl ExperimentConfig {
                 "--full" => config.full = true,
                 "--closed-analysis" => config.closed_analysis = true,
                 "--scale" => {
-                    config.scale_override =
-                        Some(expect_value(&mut iter, "--scale").parse().expect("numeric --scale"));
+                    config.scale_override = Some(
+                        expect_value(&mut iter, "--scale")
+                            .parse()
+                            .expect("numeric --scale"),
+                    );
                 }
                 "--replicates" => {
                     config.replicates_override = Some(
@@ -92,8 +95,9 @@ impl ExperimentConfig {
                     );
                 }
                 "--seed" => {
-                    config.seed =
-                        expect_value(&mut iter, "--seed").parse().expect("integer --seed");
+                    config.seed = expect_value(&mut iter, "--seed")
+                        .parse()
+                        .expect("integer --seed");
                 }
                 "--k" => {
                     config.ks = expect_value(&mut iter, "--k")
@@ -170,7 +174,8 @@ impl ExperimentConfig {
 }
 
 fn expect_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> String {
-    iter.next().unwrap_or_else(|| panic!("flag {flag} requires a value"))
+    iter.next()
+        .unwrap_or_else(|| panic!("flag {flag} requires a value"))
 }
 
 fn parse_dataset(name: &str) -> BenchmarkDataset {
@@ -226,7 +231,9 @@ mod tests {
         assert_eq!(config.benchmarks().len(), 6);
         assert_eq!(config.replicates(), 32);
         assert_eq!(config.instances(), 10);
-        assert!(config.scale_for(BenchmarkDataset::Kosarak) > config.scale_for(BenchmarkDataset::Bms1));
+        assert!(
+            config.scale_for(BenchmarkDataset::Kosarak) > config.scale_for(BenchmarkDataset::Bms1)
+        );
     }
 
     #[test]
@@ -243,8 +250,19 @@ mod tests {
     #[test]
     fn overrides_win() {
         let config = ExperimentConfig::parse(
-            ["--scale", "4", "--replicates", "7", "--instances", "3", "--seed", "9", "--k", "2,4"]
-                .map(str::to_string),
+            [
+                "--scale",
+                "4",
+                "--replicates",
+                "7",
+                "--instances",
+                "3",
+                "--seed",
+                "9",
+                "--k",
+                "2,4",
+            ]
+            .map(str::to_string),
         );
         assert_eq!(config.scale_for(BenchmarkDataset::Retail), 4.0);
         assert_eq!(config.replicates(), 7);
@@ -255,8 +273,7 @@ mod tests {
 
     #[test]
     fn dataset_filter() {
-        let config =
-            ExperimentConfig::parse(["--datasets", "bms1,Pumsb*"].map(str::to_string));
+        let config = ExperimentConfig::parse(["--datasets", "bms1,Pumsb*"].map(str::to_string));
         assert_eq!(
             config.benchmarks(),
             vec![BenchmarkDataset::Bms1, BenchmarkDataset::PumsbStar]

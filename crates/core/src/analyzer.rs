@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use sigfim_datasets::random::{BernoulliModel, NullModel, SwapRandomizationModel};
 use sigfim_datasets::summary::DatasetSummary;
 use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::miner::MinerKind;
 
 use crate::montecarlo::FindPoissonThreshold;
@@ -37,7 +38,7 @@ pub struct SignificanceAnalyzer {
     beta: f64,
     epsilon: f64,
     replicates: usize,
-    threads: usize,
+    policy: ExecutionPolicy,
     seed: u64,
     miner: MinerKind,
     run_procedure1: bool,
@@ -56,7 +57,7 @@ impl SignificanceAnalyzer {
             beta: 0.05,
             epsilon: 0.01,
             replicates: 64,
-            threads: 0,
+            policy: ExecutionPolicy::default(),
             seed: 0x51F1_D009,
             miner: MinerKind::Apriori,
             run_procedure1: true,
@@ -88,10 +89,26 @@ impl SignificanceAnalyzer {
         self
     }
 
-    /// Set the number of worker threads (0 = available parallelism).
+    /// Set the number of worker threads (0 = available parallelism, 1 = strictly
+    /// sequential). Shorthand for [`SignificanceAnalyzer::with_execution_policy`]
+    /// with [`ExecutionPolicy::from_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.policy = ExecutionPolicy::from_threads(threads);
         self
+    }
+
+    /// Set the execution policy for the Monte-Carlo replicate loop. The result
+    /// of the analysis is bit-identical under every policy (replicates draw from
+    /// index-addressed RNG substreams); the policy only decides how fast it is
+    /// computed.
+    pub fn with_execution_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The execution policy the Monte-Carlo stage will use.
+    pub fn execution_policy(&self) -> ExecutionPolicy {
+        self.policy
     }
 
     /// Set the random seed that makes the whole analysis deterministic.
@@ -190,7 +207,7 @@ impl SignificanceAnalyzer {
             k: self.k,
             epsilon: self.epsilon,
             replicates: self.replicates,
-            threads: self.threads,
+            policy: self.policy,
             max_restarts: 4,
         };
         let threshold = algorithm1.run(model, &mut rng)?;
@@ -210,8 +227,13 @@ impl SignificanceAnalyzer {
 
         let procedure1 = if self.run_procedure1 {
             Some(
-                Procedure1 { k: self.k, beta: self.beta, miner: self.miner, ..Procedure1::new(self.k) }
-                    .run(dataset, threshold.s_min)?,
+                Procedure1 {
+                    k: self.k,
+                    beta: self.beta,
+                    miner: self.miner,
+                    ..Procedure1::new(self.k)
+                }
+                .run(dataset, threshold.s_min)?,
             )
         } else {
             None
@@ -283,10 +305,17 @@ mod tests {
             .analyze(&dataset)
             .unwrap();
 
-        let s_star = report.procedure2.s_star.expect("planted structure must be detected");
+        let s_star = report
+            .procedure2
+            .s_star
+            .expect("planted structure must be detected");
         assert!(s_star >= report.threshold.s_min);
-        let discovered: Vec<_> =
-            report.procedure2.significant.iter().map(|i| i.items.clone()).collect();
+        let discovered: Vec<_> = report
+            .procedure2
+            .significant
+            .iter()
+            .map(|i| i.items.clone())
+            .collect();
         assert!(discovered.contains(&vec![1, 2]));
         assert!(discovered.contains(&vec![10, 20]));
         // Procedure 1 ran too and also finds the planted pairs.
@@ -309,7 +338,9 @@ mod tests {
         let model = planted_model();
         let mut rng = StdRng::seed_from_u64(77);
         let dataset = model.sample(&mut rng);
-        let analyzer = SignificanceAnalyzer::new(2).with_replicates(24).with_seed(9);
+        let analyzer = SignificanceAnalyzer::new(2)
+            .with_replicates(24)
+            .with_seed(9);
         let a = analyzer.analyze(&dataset).unwrap();
         let b = analyzer.analyze(&dataset).unwrap();
         assert_eq!(a.procedure2.s_star, b.procedure2.s_star);
@@ -332,13 +363,21 @@ mod tests {
             .analyze_with_swap_null(&dataset, 3.0)
             .unwrap();
         assert!(report.procedure2.s_star.is_some());
-        let discovered: Vec<_> =
-            report.procedure2.significant.iter().map(|i| i.items.clone()).collect();
+        let discovered: Vec<_> = report
+            .procedure2
+            .significant
+            .iter()
+            .map(|i| i.items.clone())
+            .collect();
         assert!(discovered.contains(&vec![1, 2]));
         // Degenerate inputs are rejected cleanly.
         let empty = TransactionDataset::empty(3);
-        assert!(SignificanceAnalyzer::new(2).analyze_with_swap_null(&empty, 3.0).is_err());
-        assert!(SignificanceAnalyzer::new(2).analyze_with_swap_null(&dataset, 0.0).is_err());
+        assert!(SignificanceAnalyzer::new(2)
+            .analyze_with_swap_null(&empty, 3.0)
+            .is_err());
+        assert!(SignificanceAnalyzer::new(2)
+            .analyze_with_swap_null(&dataset, 0.0)
+            .is_err());
     }
 
     #[test]
@@ -370,9 +409,7 @@ mod tests {
             .unwrap();
         assert!(faithful.procedure2.s_star.is_some());
         // The conservative variant never returns *more* than the faithful one.
-        assert!(
-            conservative.procedure2.num_significant() <= faithful.procedure2.num_significant()
-        );
+        assert!(conservative.procedure2.num_significant() <= faithful.procedure2.num_significant());
     }
 
     #[test]

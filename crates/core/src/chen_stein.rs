@@ -64,7 +64,13 @@ pub fn ln_empirical_moment(frequencies: &[f64], power: f64) -> f64 {
     }
     let logs: Vec<f64> = frequencies
         .iter()
-        .map(|&f| if f > 0.0 { power * f.ln() } else { f64::NEG_INFINITY })
+        .map(|&f| {
+            if f > 0.0 {
+                power * f.ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
         .collect();
     let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if max == f64::NEG_INFINITY {
@@ -142,9 +148,8 @@ pub fn pair_cooccurrence_bound(
             continue;
         }
         // Common items appear in A (i times) and in both B and C (s - i each).
-        let ln_prob = (2 * s - i) as f64 * ln_f_common
-            + s as f64 * ln_f_only_x
-            + s as f64 * ln_f_only_y;
+        let ln_prob =
+            (2 * s - i) as f64 * ln_f_common + s as f64 * ln_f_only_x + s as f64 * ln_f_only_y;
         total += (ln_coeff + ln_prob).exp();
     }
     total
@@ -164,10 +169,16 @@ pub fn pair_cooccurrence_bound(
 /// `p ∉ (0, 1]`.
 pub fn theorem2_bounds(n: u64, t: u64, k: usize, s: u64, p: f64) -> Result<ChenSteinBounds> {
     if k == 0 {
-        return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+        return Err(CoreError::InvalidParameter {
+            name: "k",
+            reason: "must be >= 1".into(),
+        });
     }
     if s == 0 {
-        return Err(CoreError::InvalidParameter { name: "s", reason: "must be >= 1".into() });
+        return Err(CoreError::InvalidParameter {
+            name: "s",
+            reason: "must be >= 1".into(),
+        });
     }
     if !(p > 0.0 && p <= 1.0) {
         return Err(CoreError::InvalidParameter {
@@ -225,10 +236,16 @@ pub fn theorem2_bounds(n: u64, t: u64, k: usize, s: u64, p: f64) -> Result<ChenS
 /// frequency profile.
 pub fn theorem3_bounds(frequencies: &[f64], t: u64, k: usize, s: u64) -> Result<ChenSteinBounds> {
     if k == 0 {
-        return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+        return Err(CoreError::InvalidParameter {
+            name: "k",
+            reason: "must be >= 1".into(),
+        });
     }
     if s == 0 {
-        return Err(CoreError::InvalidParameter { name: "s", reason: "must be >= 1".into() });
+        return Err(CoreError::InvalidParameter {
+            name: "s",
+            reason: "must be >= 1".into(),
+        });
     }
     if frequencies.is_empty() {
         return Err(CoreError::InvalidParameter {
@@ -239,8 +256,7 @@ pub fn theorem3_bounds(frequencies: &[f64], t: u64, k: usize, s: u64) -> Result<
     let n = frequencies.len() as u64;
     let k_u = k as u64;
     let ln_moment_s = ln_empirical_moment(frequencies, s as f64);
-    let ln_b1 =
-        ln_overlapping_pairs(n, k_u) + 2.0 * ln_choose(t, s) + 2.0 * k as f64 * ln_moment_s;
+    let ln_b1 = ln_overlapping_pairs(n, k_u) + 2.0 * ln_choose(t, s) + 2.0 * k as f64 * ln_moment_s;
     let b1 = ln_b1.exp();
 
     let mut b2 = 0.0f64;
@@ -359,7 +375,10 @@ impl ExactChenStein {
     /// empty profile, or frequencies outside `[0, 1]`.
     pub fn new(frequencies: &[f64], t: u64, k: usize) -> Result<Self> {
         if k == 0 {
-            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "must be >= 1".into(),
+            });
         }
         if frequencies.is_empty() || frequencies.len() < k {
             return Err(CoreError::InvalidParameter {
@@ -413,7 +432,11 @@ impl ExactChenStein {
 
         let ln_f: Vec<f64> = itemsets
             .iter()
-            .map(|set| set.iter().map(|&i| ln_or_neg_inf(frequencies[i as usize])).sum())
+            .map(|set| {
+                set.iter()
+                    .map(|&i| ln_or_neg_inf(frequencies[i as usize]))
+                    .sum()
+            })
             .collect();
 
         // Precompute ordered overlapping pairs of *distinct* itemsets (x, y) with
@@ -432,8 +455,10 @@ impl ExactChenStein {
                 if common.is_empty() {
                     continue;
                 }
-                let ln_common: f64 =
-                    common.iter().map(|&i| ln_or_neg_inf(frequencies[i as usize])).sum();
+                let ln_common: f64 = common
+                    .iter()
+                    .map(|&i| ln_or_neg_inf(frequencies[i as usize]))
+                    .sum();
                 let ln_only_x: f64 = itemsets[x]
                     .iter()
                     .filter(|i| !common.contains(i))
@@ -448,7 +473,13 @@ impl ExactChenStein {
             }
         }
 
-        Ok(ExactChenStein { t, k, ln_f, overlapping_pairs, itemsets })
+        Ok(ExactChenStein {
+            t,
+            k,
+            ln_f,
+            overlapping_pairs,
+            itemsets,
+        })
     }
 
     /// The enumerated k-itemsets.
@@ -466,7 +497,9 @@ impl ExactChenStein {
         self.ln_f
             .iter()
             .map(|&lf| {
-                Binomial::new(self.t, lf.exp()).expect("validated frequency").sf(s)
+                Binomial::new(self.t, lf.exp())
+                    .expect("validated frequency")
+                    .sf(s)
             })
             .collect()
     }
@@ -475,8 +508,11 @@ impl ExactChenStein {
     pub fn b1(&self, s: u64) -> f64 {
         let p = self.tail_probabilities(s);
         let diagonal: f64 = p.iter().map(|&px| px * px).sum();
-        let off_diagonal: f64 =
-            self.overlapping_pairs.iter().map(|&(x, y, _, _, _)| p[x] * p[y]).sum();
+        let off_diagonal: f64 = self
+            .overlapping_pairs
+            .iter()
+            .map(|&(x, y, _, _, _)| p[x] * p[y])
+            .sum();
         diagonal + off_diagonal
     }
 
@@ -492,7 +528,10 @@ impl ExactChenStein {
 
     /// Both bound terms at threshold `s`.
     pub fn bounds(&self, s: u64) -> ChenSteinBounds {
-        ChenSteinBounds { b1: self.b1(s), b2: self.b2(s) }
+        ChenSteinBounds {
+            b1: self.b1(s),
+            b2: self.b2(s),
+        }
     }
 
     /// The exact Poisson mean `λ(s) = E[Q̂_{k,s}] = Σ_X p_X`.
@@ -643,7 +682,12 @@ mod tests {
         let exact = ExactChenStein::new(&freqs, t, k).unwrap();
         let closed = theorem2_bounds(n, t, k, s, p).unwrap();
         let rel = (exact.b1(s) - closed.b1).abs() / closed.b1.max(1e-300);
-        assert!(rel < 1e-9, "exact {} vs closed-form {}", exact.b1(s), closed.b1);
+        assert!(
+            rel < 1e-9,
+            "exact {} vs closed-form {}",
+            exact.b1(s),
+            closed.b1
+        );
     }
 
     #[test]
@@ -655,7 +699,7 @@ mod tests {
         // bound is finite everywhere, (b) it decreases past that regime, and (c) the
         // threshold search returns a support at which the bound is satisfied.
         let mut freqs = vec![0.05, 0.04, 0.03, 0.02];
-        freqs.extend(std::iter::repeat(0.005).take(200));
+        freqs.extend(std::iter::repeat_n(0.005, 200));
         let t = 2_000u64;
         for s in [2u64, 10, 100, 150, 300] {
             let b = theorem3_bounds(&freqs, t, 2, s).unwrap();
@@ -676,11 +720,14 @@ mod tests {
         // Bms1-scale parameters (n = 497, t = 59602) must not overflow/NaN, and the
         // analytic s_min must land at a non-trivial support well inside the dataset.
         let mut freqs = vec![0.06, 0.05, 0.04, 0.03, 0.02];
-        freqs.extend(std::iter::repeat(5e-4).take(492));
+        freqs.extend(std::iter::repeat_n(5e-4, 492));
         let b = theorem3_bounds(&freqs, 59_602, 2, 500).unwrap();
         assert!(b.b1.is_finite() && b.b2.is_finite());
         let s_min = s_min_theorem3(&freqs, 59_602, 2, 0.01).unwrap();
-        assert!(s_min > 2, "a dataset this large needs a non-trivial s_min, got {s_min}");
+        assert!(
+            s_min > 2,
+            "a dataset this large needs a non-trivial s_min, got {s_min}"
+        );
         assert!(s_min < 59_602);
         // The b1 term alone is also finite at full Kosarak scale (t ≈ 10^6,
         // n ≈ 4·10^4, s in the hundreds of thousands) thanks to log-space math.

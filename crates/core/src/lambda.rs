@@ -67,7 +67,11 @@ impl MonteCarloLambda {
                 reason: "lambda estimates must be non-increasing in s".into(),
             });
         }
-        Ok(MonteCarloLambda { start, values, floor: 0.0 })
+        Ok(MonteCarloLambda {
+            start,
+            values,
+            floor: 0.0,
+        })
     }
 
     /// Apply a lower clamp to every query.
@@ -85,7 +89,10 @@ impl MonteCarloLambda {
     ///
     /// Panics if `floor` is negative or NaN.
     pub fn with_floor(mut self, floor: f64) -> Self {
-        assert!(floor >= 0.0 && floor.is_finite(), "lambda floor must be finite and >= 0");
+        assert!(
+            floor >= 0.0 && floor.is_finite(),
+            "lambda floor must be finite and >= 0"
+        );
         self.floor = floor;
         self
     }
@@ -156,7 +163,10 @@ impl ExactLambda {
     /// vector, frequencies outside `[0, 1]` or a non-positive tolerance.
     pub fn new(frequencies: &[f64], t: u64, k: usize, tolerance: f64) -> Result<Self> {
         if k == 0 {
-            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "must be >= 1".into(),
+            });
         }
         if frequencies.len() < k {
             return Err(CoreError::InvalidParameter {
@@ -178,7 +188,12 @@ impl ExactLambda {
         }
         let mut sorted = frequencies.to_vec();
         sorted.sort_by(|a, b| b.partial_cmp(a).expect("validated finite frequencies"));
-        Ok(ExactLambda { sorted_frequencies: sorted, t, k, tolerance })
+        Ok(ExactLambda {
+            sorted_frequencies: sorted,
+            t,
+            k,
+            tolerance,
+        })
     }
 
     /// λ(s) by pruned enumeration. Each branch of the search fixes a prefix of items
@@ -289,7 +304,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "floor")]
     fn monte_carlo_floor_rejects_negative_values() {
-        let _ = MonteCarloLambda::new(1, vec![1.0]).unwrap().with_floor(-0.1);
+        let _ = MonteCarloLambda::new(1, vec![1.0])
+            .unwrap()
+            .with_floor(-0.1);
     }
 
     #[test]
@@ -297,7 +314,10 @@ mod tests {
         assert!(MonteCarloLambda::new(1, vec![]).is_err());
         assert!(MonteCarloLambda::new(1, vec![1.0, f64::NAN]).is_err());
         assert!(MonteCarloLambda::new(1, vec![1.0, -0.5]).is_err());
-        assert!(MonteCarloLambda::new(1, vec![1.0, 2.0]).is_err(), "must be non-increasing");
+        assert!(
+            MonteCarloLambda::new(1, vec![1.0, 2.0]).is_err(),
+            "must be non-increasing"
+        );
     }
 
     #[test]
@@ -326,13 +346,16 @@ mod tests {
         // top-item combinations can contribute; the pruned enumeration must answer
         // fast (node cap not hit) and give a sensible value.
         let mut freqs = vec![0.2, 0.18, 0.15, 0.12];
-        freqs.extend(std::iter::repeat(1e-4).take(9_996));
+        freqs.extend(std::iter::repeat_n(1e-4, 9_996));
         let est = ExactLambda::new(&freqs, 100_000, 2, 1e-12).unwrap();
         // Expected support of the top pair is 0.2*0.18*1e5 = 3600.
         let lambda_low = est.lambda(3_000);
         let lambda_high = est.lambda(5_000);
         assert!(lambda_low > lambda_high);
-        assert!(lambda_low >= 1.0, "top pair almost surely exceeds 3000, got {lambda_low}");
+        assert!(
+            lambda_low >= 1.0,
+            "top pair almost surely exceeds 3000, got {lambda_low}"
+        );
         assert!(lambda_high < 0.1);
     }
 

@@ -73,6 +73,7 @@ pub use montecarlo::{FindPoissonThreshold, ThresholdEstimate};
 pub use procedure1::{Procedure1, Procedure1Result};
 pub use procedure2::{Procedure2, Procedure2Result};
 pub use report::AnalysisReport;
+pub use sigfim_exec::ExecutionPolicy;
 
 use std::fmt;
 
@@ -158,7 +159,10 @@ mod lib_tests {
     #[test]
     fn error_display_and_source() {
         use std::error::Error;
-        let e = CoreError::InvalidParameter { name: "alpha", reason: "must be in (0,1)".into() };
+        let e = CoreError::InvalidParameter {
+            name: "alpha",
+            reason: "must be in (0,1)".into(),
+        };
         assert!(e.to_string().contains("alpha"));
         assert!(e.source().is_none());
 
@@ -180,7 +184,11 @@ mod lib_tests {
         .into();
         assert!(e.to_string().contains("dataset"));
 
-        let e = CoreError::ProblemTooLarge { what: "itemset universe", size: 10, limit: 5 };
+        let e = CoreError::ProblemTooLarge {
+            what: "itemset universe",
+            size: 10,
+            limit: 5,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

@@ -12,12 +12,12 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use sigfim_datasets::random::NullModel;
 use sigfim_datasets::transaction::ItemId;
+use sigfim_exec::{substream, ExecutionPolicy};
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::miner::KItemsetMiner;
 
@@ -35,9 +35,11 @@ pub struct FindPoissonThreshold {
     /// The number Δ of random datasets to generate. The paper's experiments use
     /// Δ = 1000; Theorem 4 justifies Δ = O(log(1/δ)/ε).
     pub replicates: usize,
-    /// Number of worker threads for dataset generation and mining. `0` means "use
-    /// the available parallelism".
-    pub threads: usize,
+    /// Where the Δ replicate tasks (dataset generation + mining) execute. Every
+    /// replicate draws from its own `(seed, index)`-addressed RNG substream, so
+    /// the estimate is bit-identical under any policy — the rayon policy is just
+    /// faster.
+    pub policy: ExecutionPolicy,
     /// Maximum number of times the mining floor `s̃` is halved when the initial
     /// floor turns out to be inside the Poisson region already (lines 19–22 of the
     /// pseudocode) or no itemset reaches it (lines 7–9).
@@ -48,20 +50,35 @@ impl FindPoissonThreshold {
     /// A configuration with the paper's `ε = 0.01` and a practical default of
     /// Δ = 64 replicates (callers reproducing the paper's tables pass Δ = 1000).
     pub fn new(k: usize) -> Self {
-        FindPoissonThreshold { k, epsilon: 0.01, replicates: 64, threads: 0, max_restarts: 4 }
+        FindPoissonThreshold {
+            k,
+            epsilon: 0.01,
+            replicates: 64,
+            policy: ExecutionPolicy::default(),
+            max_restarts: 4,
+        }
     }
 
     /// The number of replicates needed by Theorem 4 so that
     /// `Pr[b1(ŝ_min) + b2(ŝ_min) ≤ ε] ≥ 1 − δ`, namely `⌈8 ln(1/δ) / ε⌉`.
     pub fn required_replicates(epsilon: f64, delta: f64) -> usize {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1), got {epsilon}");
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0,1), got {delta}"
+        );
         (8.0 * (1.0 / delta).ln() / epsilon).ceil() as usize
     }
 
     fn validate(&self) -> Result<()> {
         if self.k == 0 {
-            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "must be >= 1".into(),
+            });
         }
         if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
             return Err(CoreError::InvalidParameter {
@@ -134,7 +151,12 @@ impl FindPoissonThreshold {
                         s_tilde,
                         s_min: s_tilde,
                         pool_size: 0,
-                        curve: vec![CurvePoint { s: s_tilde, b1: 0.0, b2: 0.0, lambda: 0.0 }],
+                        curve: vec![CurvePoint {
+                            s: s_tilde,
+                            b1: 0.0,
+                            b2: 0.0,
+                            lambda: 0.0,
+                        }],
                     });
                 }
                 restarts_left -= 1;
@@ -148,7 +170,8 @@ impl FindPoissonThreshold {
             // Only meaningful when the curve really starts at the floor (it starts
             // higher when the pool had to be truncated — and in that case the bound
             // at the floor is certainly far above the threshold).
-            let floor_already_poisson = at_floor.s == s_tilde && at_floor.b1 + at_floor.b2 <= threshold;
+            let floor_already_poisson =
+                at_floor.s == s_tilde && at_floor.b1 + at_floor.b2 <= threshold;
             if floor_already_poisson && restarts_left > 0 && s_tilde > 1 {
                 // Lines 19-22: the floor is already inside the Poisson region; search
                 // below it for a smaller s_min.
@@ -185,6 +208,12 @@ impl FindPoissonThreshold {
 
     /// Generate the Δ random datasets, mine each at the floor, and pool the
     /// per-replicate supports of every itemset that reached the floor anywhere.
+    ///
+    /// One 64-bit batch key is drawn from the caller's RNG; replicate `i` then
+    /// works exclusively from the ChaCha substream addressed by `(key, i)`. The
+    /// random bytes each replicate sees are therefore a function of the key and
+    /// its index alone — never of scheduling — so the pooled observations are
+    /// bit-identical under every [`ExecutionPolicy`].
     fn collect_observations<M: NullModel + Sync, R: Rng + ?Sized>(
         &self,
         model: &M,
@@ -192,54 +221,24 @@ impl FindPoissonThreshold {
         rng: &mut R,
     ) -> Result<Observations> {
         let replicates = self.replicates;
-        let seeds: Vec<u64> = (0..replicates).map(|_| rng.random()).collect();
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            self.threads
-        }
-        .min(replicates)
-        .max(1);
-
-        // Each worker mines a contiguous chunk of replicates.
-        let chunk_size = replicates.div_ceil(threads);
-        let chunks: Vec<&[u64]> = seeds.chunks(chunk_size).collect();
+        let batch_key: u64 = rng.random();
+        let indices: Vec<u64> = (0..replicates as u64).collect();
         let k = self.k;
-        let results: Vec<Vec<HashMap<Vec<ItemId>, u64>>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|&seed| {
-                                let mut local = StdRng::seed_from_u64(seed);
-                                let dataset = model.sample_dataset(&mut local);
-                                // Eclat handles the low-floor regime (s̃ close to 1 on
-                                // sparse data) much better than level-wise Apriori:
-                                // its work is proportional to the number of frequent
-                                // itemsets rather than to the candidate joins.
-                                Eclat
-                                    .mine_k(&dataset, k, floor)
-                                    .map(|mined| {
-                                        mined
-                                            .into_iter()
-                                            .map(|m| (m.items, m.support))
-                                            .collect::<HashMap<_, _>>()
-                                    })
-                            })
-                            .collect::<std::result::Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("mining worker panicked"))
-                .collect::<std::result::Result<Vec<_>, _>>()
-        })
-        .expect("crossbeam scope panicked")?;
         let per_replicate: Vec<HashMap<Vec<ItemId>, u64>> =
-            results.into_iter().flatten().collect();
+            self.policy.try_map_indexed(&indices, |_, &index| {
+                let mut local = substream(batch_key, index);
+                let dataset = model.sample_dataset(&mut local);
+                // Eclat handles the low-floor regime (s̃ close to 1 on sparse
+                // data) much better than level-wise Apriori: its work is
+                // proportional to the number of frequent itemsets rather than to
+                // the candidate joins.
+                Eclat.mine_k(&dataset, k, floor).map(|mined| {
+                    mined
+                        .into_iter()
+                        .map(|m| (m.items, m.support))
+                        .collect::<HashMap<_, _>>()
+                })
+            })?;
 
         // The pool W: every itemset that reached the floor in at least one replicate.
         let mut pool: Vec<Vec<ItemId>> = Vec::new();
@@ -271,7 +270,11 @@ impl FindPoissonThreshold {
                     .collect()
             })
             .collect();
-        Ok(Observations { pool, supports, replicates })
+        Ok(Observations {
+            pool,
+            supports,
+            replicates,
+        })
     }
 
     /// Turn the pooled observations into empirical `b1`, `b2`, `λ` curves over
@@ -343,8 +346,7 @@ impl FindPoissonThreshold {
             let mut pairs = Vec::new();
             for a in 0..kept.len() {
                 for b in (a + 1)..kept.len() {
-                    if itemsets_overlap(&observations.pool[kept[a]], &observations.pool[kept[b]])
-                    {
+                    if itemsets_overlap(&observations.pool[kept[a]], &observations.pool[kept[b]]) {
                         pairs.push((a, b));
                     }
                 }
@@ -379,8 +381,7 @@ impl FindPoissonThreshold {
                 let b1 = diagonal + 2.0 * off_diagonal;
                 // b2 sums E[Z_X Z_Y] over ordered pairs of distinct itemsets.
                 let b2 = 2.0 * pair_hist[j] as f64 / delta;
-                let lambda: f64 =
-                    counts.iter().map(|c| f64::from(c[j])).sum::<f64>() / delta;
+                let lambda: f64 = counts.iter().map(|c| f64::from(c[j])).sum::<f64>() / delta;
                 CurvePoint { s, b1, b2, lambda }
             })
             .collect()
@@ -476,13 +477,16 @@ impl ThresholdEstimate {
     /// produce a zero p-value. Recommended whenever Δ is small (≲ 200); with the
     /// paper's Δ = 1000 the clamp is negligible.
     pub fn conservative_lambda_estimator(&self) -> MonteCarloLambda {
-        self.lambda_estimator().with_floor(3.0 / self.replicates.max(1) as f64)
+        self.lambda_estimator()
+            .with_floor(3.0 / self.replicates.max(1) as f64)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use sigfim_datasets::random::BernoulliModel;
 
     fn uniform_model(t: usize, n: usize, f: f64) -> BernoulliModel {
@@ -507,13 +511,20 @@ mod tests {
     fn config_validation() {
         let model = uniform_model(50, 10, 0.2);
         let mut rng = StdRng::seed_from_u64(1);
-        let bad_k = FindPoissonThreshold { k: 0, ..FindPoissonThreshold::new(2) };
+        let bad_k = FindPoissonThreshold {
+            k: 0,
+            ..FindPoissonThreshold::new(2)
+        };
         assert!(bad_k.run(&model, &mut rng).is_err());
-        let bad_eps =
-            FindPoissonThreshold { epsilon: 1.5, ..FindPoissonThreshold::new(2) };
+        let bad_eps = FindPoissonThreshold {
+            epsilon: 1.5,
+            ..FindPoissonThreshold::new(2)
+        };
         assert!(bad_eps.run(&model, &mut rng).is_err());
-        let bad_reps =
-            FindPoissonThreshold { replicates: 0, ..FindPoissonThreshold::new(2) };
+        let bad_reps = FindPoissonThreshold {
+            replicates: 0,
+            ..FindPoissonThreshold::new(2)
+        };
         assert!(bad_reps.run(&model, &mut rng).is_err());
         let k_too_large = FindPoissonThreshold::new(20);
         assert!(k_too_large.run(&model, &mut rng).is_err());
@@ -535,7 +546,7 @@ mod tests {
         let model = uniform_model(400, 12, 0.15);
         let algo = FindPoissonThreshold {
             replicates: 48,
-            threads: 2,
+            policy: ExecutionPolicy::rayon(2),
             ..FindPoissonThreshold::new(2)
         };
         let mut rng = StdRng::seed_from_u64(42);
@@ -563,8 +574,11 @@ mod tests {
     #[test]
     fn estimate_is_deterministic_given_seed() {
         let model = uniform_model(300, 10, 0.2);
-        let algo =
-            FindPoissonThreshold { replicates: 32, threads: 3, ..FindPoissonThreshold::new(2) };
+        let algo = FindPoissonThreshold {
+            replicates: 32,
+            policy: ExecutionPolicy::rayon(3),
+            ..FindPoissonThreshold::new(2)
+        };
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             algo.run(&model, &mut rng).unwrap()

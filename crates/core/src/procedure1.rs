@@ -74,7 +74,10 @@ impl Procedure1 {
 
     fn validate(&self) -> Result<()> {
         if self.k == 0 {
-            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "must be >= 1".into(),
+            });
         }
         if !(self.beta > 0.0 && self.beta < 1.0) {
             return Err(CoreError::InvalidParameter {
@@ -111,8 +114,11 @@ impl Procedure1 {
         let mut tested: Vec<TestedItemset> = candidates
             .into_iter()
             .map(|candidate| {
-                let f_itemset: f64 =
-                    candidate.items.iter().map(|&i| frequencies[i as usize]).product();
+                let f_itemset: f64 = candidate
+                    .items
+                    .iter()
+                    .map(|&i| frequencies[i as usize])
+                    .product();
                 let expected_support = t as f64 * f_itemset;
                 let p_value = Binomial::new(t, f_itemset)?.p_value_upper(candidate.support);
                 Ok(TestedItemset {
@@ -223,8 +229,11 @@ mod tests {
     fn planted_dataset(seed: u64) -> (TransactionDataset, Vec<ItemId>) {
         let background = BernoulliModel::new(600, vec![0.05; 30]).unwrap();
         let pattern = PlantedPattern::new(vec![2, 11], 80).unwrap();
-        let model =
-            PlantedModel::new(PlantedConfig { background, patterns: vec![pattern] }).unwrap();
+        let model = PlantedModel::new(PlantedConfig {
+            background,
+            patterns: vec![pattern],
+        })
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         (model.sample(&mut rng), vec![2, 11])
     }
@@ -232,9 +241,24 @@ mod tests {
     #[test]
     fn validation() {
         let (data, _) = planted_dataset(1);
-        assert!(Procedure1 { k: 0, ..Procedure1::new(2) }.run(&data, 5).is_err());
-        assert!(Procedure1 { beta: 0.0, ..Procedure1::new(2) }.run(&data, 5).is_err());
-        assert!(Procedure1 { beta: 1.0, ..Procedure1::new(2) }.run(&data, 5).is_err());
+        assert!(Procedure1 {
+            k: 0,
+            ..Procedure1::new(2)
+        }
+        .run(&data, 5)
+        .is_err());
+        assert!(Procedure1 {
+            beta: 0.0,
+            ..Procedure1::new(2)
+        }
+        .run(&data, 5)
+        .is_err());
+        assert!(Procedure1 {
+            beta: 1.0,
+            ..Procedure1::new(2)
+        }
+        .run(&data, 5)
+        .is_err());
         assert!(Procedure1::new(2).run(&data, 0).is_err());
     }
 
@@ -252,8 +276,11 @@ mod tests {
             result.itemsets
         );
         // The p-value of the planted pair must be astronomically small.
-        let planted_entry =
-            result.itemsets.iter().find(|i| i.items == planted).expect("pair was tested");
+        let planted_entry = result
+            .itemsets
+            .iter()
+            .find(|i| i.items == planted)
+            .expect("pair was tested");
         assert!(planted_entry.p_value < 1e-20);
         // Planting the pair also inflates the marginal frequencies of its two items
         // (to roughly 0.18), so the null expectation is ~19 rather than the
@@ -291,7 +318,13 @@ mod tests {
     fn corrections_are_ordered_by_conservativeness() {
         let (data, _) = planted_dataset(9);
         let run = |correction: CorrectionMethod| {
-            Procedure1 { correction, ..Procedure1::new(2) }.run(&data, 5).unwrap().num_significant()
+            Procedure1 {
+                correction,
+                ..Procedure1::new(2)
+            }
+            .run(&data, 5)
+            .unwrap()
+            .num_significant()
         };
         let bonferroni = run(CorrectionMethod::Bonferroni);
         let by = run(CorrectionMethod::BenjaminiYekutieli);
@@ -318,6 +351,9 @@ mod tests {
     fn correction_names() {
         assert_eq!(CorrectionMethod::default().name(), "Benjamini-Yekutieli");
         assert_eq!(CorrectionMethod::Bonferroni.name(), "Bonferroni");
-        assert_eq!(CorrectionMethod::BenjaminiHochberg.name(), "Benjamini-Hochberg");
+        assert_eq!(
+            CorrectionMethod::BenjaminiHochberg.name(),
+            "Benjamini-Hochberg"
+        );
     }
 }

@@ -49,12 +49,20 @@ impl Procedure2 {
     /// Procedure 2 with the paper's experimental parameters `α = β = 0.05` and
     /// Apriori mining.
     pub fn new(k: usize) -> Self {
-        Procedure2 { k, alpha: 0.05, beta: 0.05, miner: MinerKind::Apriori }
+        Procedure2 {
+            k,
+            alpha: 0.05,
+            beta: 0.05,
+            miner: MinerKind::Apriori,
+        }
     }
 
     fn validate(&self) -> Result<()> {
         if self.k == 0 {
-            return Err(CoreError::InvalidParameter { name: "k", reason: "must be >= 1".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "must be >= 1".into(),
+            });
         }
         for (name, value) in [("alpha", self.alpha), ("beta", self.beta)] {
             if !(value > 0.0 && value < 1.0) {
@@ -110,9 +118,10 @@ impl Procedure2 {
         let alphas = split_alpha_evenly(self.alpha, h);
         let betas = split_beta_evenly(self.beta, h);
 
-        // One mining pass at the floor answers every Q_{k,s_i} query.
+        // One mining pass at the floor answers every Q_{k,s_i} query. The selected
+        // miner counts through the density-chosen SupportCounter.
         let profile = if s_max >= s_min {
-            SupportProfile::new(dataset, self.k, s_min)?
+            SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?
         } else {
             // No itemset can reach s_min; the profile is empty.
             SupportProfile::from_itemsets(self.k, s_min, &[])
@@ -262,17 +271,35 @@ mod tests {
     fn validation() {
         let d = TransactionDataset::from_transactions(3, vec![vec![0, 1, 2]]).unwrap();
         let lambda = ConstantLambda(1.0);
-        assert!(Procedure2 { k: 0, ..Procedure2::new(2) }.run(&d, 1, &lambda).is_err());
-        assert!(Procedure2 { alpha: 0.0, ..Procedure2::new(2) }.run(&d, 1, &lambda).is_err());
-        assert!(Procedure2 { beta: 1.0, ..Procedure2::new(2) }.run(&d, 1, &lambda).is_err());
+        assert!(Procedure2 {
+            k: 0,
+            ..Procedure2::new(2)
+        }
+        .run(&d, 1, &lambda)
+        .is_err());
+        assert!(Procedure2 {
+            alpha: 0.0,
+            ..Procedure2::new(2)
+        }
+        .run(&d, 1, &lambda)
+        .is_err());
+        assert!(Procedure2 {
+            beta: 1.0,
+            ..Procedure2::new(2)
+        }
+        .run(&d, 1, &lambda)
+        .is_err());
         assert!(Procedure2::new(2).run(&d, 0, &lambda).is_err());
     }
 
     fn planted_dataset(seed: u64) -> (TransactionDataset, Vec<u32>) {
         let background = BernoulliModel::new(800, vec![0.05; 25]).unwrap();
         let pattern = PlantedPattern::new(vec![4, 17], 120).unwrap();
-        let model =
-            PlantedModel::new(PlantedConfig { background, patterns: vec![pattern] }).unwrap();
+        let model = PlantedModel::new(PlantedConfig {
+            background,
+            patterns: vec![pattern],
+        })
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         (model.sample(&mut rng), vec![4, 17])
     }
@@ -285,7 +312,9 @@ mod tests {
         let lambda =
             MonteCarloLambda::new(8, vec![1.2, 0.6, 0.3, 0.12, 0.05, 0.02, 0.01, 0.0]).unwrap();
         let result = Procedure2::new(2).run(&data, 8, &lambda).unwrap();
-        let s_star = result.s_star.expect("the planted pair must trigger a rejection");
+        let s_star = result
+            .s_star
+            .expect("the planted pair must trigger a rejection");
         assert!(s_star >= 8);
         assert!(result.num_significant() >= 1);
         assert!(
@@ -309,7 +338,10 @@ mod tests {
         let lambda =
             MonteCarloLambda::new(8, vec![1.2, 0.6, 0.3, 0.12, 0.05, 0.02, 0.01, 0.0]).unwrap();
         let result = Procedure2::new(2).run(&data, 8, &lambda).unwrap();
-        assert!(result.s_star.is_none(), "no threshold should be found on pure noise");
+        assert!(
+            result.s_star.is_none(),
+            "no threshold should be found on pure noise"
+        );
         assert!(result.significant.is_empty());
         assert_eq!(result.num_significant(), 0);
     }
@@ -326,7 +358,10 @@ mod tests {
         // With λ small but β_i enormous the magnitude condition blocks rejection:
         // force that by a tiny beta (β_i = h / β becomes huge).
         let small = ConstantLambda(0.5);
-        let strict_beta = Procedure2 { beta: 1e-9, ..Procedure2::new(2) };
+        let strict_beta = Procedure2 {
+            beta: 1e-9,
+            ..Procedure2::new(2)
+        };
         // beta must be in (0,1): 1e-9 is valid and makes β_i astronomically large.
         let result = strict_beta.run(&data, 8, &small).unwrap();
         for t in &result.tests {

@@ -192,7 +192,12 @@ mod tests {
                 s_tilde: 4,
                 s_min: 10,
                 pool_size: 7,
-                curve: vec![CurvePoint { s: 10, b1: 0.001, b2: 0.0005, lambda: 0.2 }],
+                curve: vec![CurvePoint {
+                    s: 10,
+                    b1: 0.001,
+                    b2: 0.0005,
+                    lambda: 0.2,
+                }],
             },
             procedure2: Procedure2Result {
                 k: 2,
@@ -264,14 +269,38 @@ mod tests {
     }
 
     #[test]
-    fn report_serializes_to_json_like_structures() {
-        // serde round-trip through the generic value representation used by tests:
-        // serialize to a string with the debug formatter of serde_json is not
-        // available (serde_json is not a dependency), so check the Serialize impl by
-        // round-tripping through bincode-like manual field access instead: the
-        // PartialEq + Clone derives are enough here.
-        let report = sample_report(Some(10), true);
-        let clone = report.clone();
-        assert_eq!(report, clone);
+    fn report_round_trips_through_json() {
+        for (s_star, with_p1) in [(Some(10), true), (None, false)] {
+            let report = sample_report(s_star, with_p1);
+            let json = serde_json::to_string(&report).unwrap();
+            let parsed: AnalysisReport = serde_json::from_str(&json).unwrap();
+            assert_eq!(parsed, report);
+            // Pretty output parses back to the same report too.
+            let pretty = serde_json::to_string_pretty(&report).unwrap();
+            assert_eq!(
+                serde_json::from_str::<AnalysisReport>(&pretty).unwrap(),
+                report
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_shape_is_archivable() {
+        // The archived document exposes the fields experiments grep for, with
+        // enum configuration values rendered as their variant names.
+        let json = serde_json::to_string(&sample_report(Some(10), true)).unwrap();
+        for needle in [
+            "\"parameters\"",
+            "\"miner\":\"Apriori\"",
+            "\"correction\":\"BenjaminiYekutieli\"",
+            "\"s_min\":10",
+            "\"s_star\":10",
+            "\"curve\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // s* = infinity archives as null.
+        let json = serde_json::to_string(&sample_report(None, true)).unwrap();
+        assert!(json.contains("\"s_star\":null"));
     }
 }

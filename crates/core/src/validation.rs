@@ -25,7 +25,9 @@ use crate::{CoreError, Result};
 /// among all of its sub-itemsets, so any of them is a legitimate finding.
 pub fn is_true_discovery(itemset: &[ItemId], planted_patterns: &[Vec<ItemId>]) -> bool {
     planted_patterns.iter().any(|pattern| {
-        itemset.iter().all(|item| pattern.binary_search(item).is_ok())
+        itemset
+            .iter()
+            .all(|item| pattern.binary_search(item).is_ok())
     })
 }
 
@@ -68,7 +70,10 @@ pub fn empirical_power(
     }
     let discovered: std::collections::HashSet<&[ItemId]> =
         discoveries.iter().map(|d| d.as_slice()).collect();
-    let hits = expected.iter().filter(|e| discovered.contains(e.as_slice())).count();
+    let hits = expected
+        .iter()
+        .filter(|e| discovered.contains(e.as_slice()))
+        .count();
     hits as f64 / expected.len() as f64
 }
 

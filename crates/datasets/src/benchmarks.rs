@@ -164,7 +164,10 @@ impl BenchmarkDataset {
         let spec = self.spec().scaled(scale)?;
         let background = spec.null_model()?;
         let patterns = self.planted_patterns(spec.num_transactions)?;
-        PlantedModel::new(PlantedConfig { background, patterns })
+        PlantedModel::new(PlantedConfig {
+            background,
+            patterns,
+        })
     }
 
     /// Sample a planted stand-in dataset directly.
@@ -210,7 +213,10 @@ impl BenchmarkDataset {
             // (~0.96% of t, between ŝ_min(k=4) ≈ 0.89% and ŝ_min(k=3) ≈ 4.95%).
             // Six 4-itemsets over mid-frequency items, supports ~1.2-1.5% of t.
             BenchmarkDataset::Retail => {
-                for (i, f) in [0.012, 0.013, 0.013, 0.014, 0.014, 0.015].iter().enumerate() {
+                for (i, f) in [0.012, 0.013, 0.013, 0.014, 0.014, 0.015]
+                    .iter()
+                    .enumerate()
+                {
                     patterns.push(pat(40 + 4 * i as u32, 4, *f)?);
                 }
             }
@@ -271,7 +277,10 @@ impl BenchmarkDataset {
 
 /// The marginal statistics of a benchmark dataset (one row of Table 1), possibly
 /// rescaled in the number of transactions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serializable for archiving experiment configurations; not deserializable
+/// because the display name borrows a static string.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchmarkSpec {
     /// Display name.
     pub name: &'static str,
@@ -312,7 +321,10 @@ impl BenchmarkSpec {
                 ),
             });
         }
-        Ok(BenchmarkSpec { num_transactions: t, ..self.clone() })
+        Ok(BenchmarkSpec {
+            num_transactions: t,
+            ..self.clone()
+        })
     }
 
     /// The calibrated heavy-tailed item-frequency profile: a power law clamped to
@@ -457,7 +469,10 @@ mod tests {
         // A specific mid-frequency 4-itemset should have (near-)zero support in the
         // null model at 1/16 scale.
         let support = data.itemset_support(&[40, 41, 42, 43]);
-        assert!(support < 3, "unexpected correlation in the null model: {support}");
+        assert!(
+            support < 3,
+            "unexpected correlation in the null model: {support}"
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset};
@@ -83,16 +82,20 @@ pub fn read_fimi<R: Read>(reader: R) -> Result<LabeledDataset> {
     for txn in transactions {
         builder.add_transaction(txn)?;
     }
-    Ok(LabeledDataset { dataset: builder.build(), labels })
+    Ok(LabeledDataset {
+        dataset: builder.build(),
+        labels,
+    })
 }
 
 /// Parse a FIMI-format dataset held in memory (e.g. downloaded bytes or an embedded
-/// test fixture). Zero-copy into the line scanner via [`Bytes`].
+/// test fixture). Accepts anything viewable as a byte slice (`Vec<u8>`, `&[u8]`,
+/// `&str`, …), feeding the line scanner without copying.
 ///
 /// # Errors
 ///
 /// Same conditions as [`read_fimi`].
-pub fn read_fimi_bytes(bytes: Bytes) -> Result<LabeledDataset> {
+pub fn read_fimi_bytes(bytes: impl AsRef<[u8]>) -> Result<LabeledDataset> {
     read_fimi(bytes.as_ref())
 }
 
@@ -188,12 +191,11 @@ mod tests {
         .unwrap();
         let mut buf = Vec::new();
         write_fimi(&original, &mut buf).unwrap();
-        let parsed = read_fimi_bytes(Bytes::from(buf)).unwrap();
+        let parsed = read_fimi_bytes(buf).unwrap();
         // The empty transaction is dropped by the reader (blank line), which matches
         // FIMI conventions; compare the non-empty ones.
         assert_eq!(parsed.dataset.num_transactions(), 3);
-        let relabeled: Vec<Vec<u64>> =
-            parsed.dataset.iter().map(|t| parsed.labels_of(t)).collect();
+        let relabeled: Vec<Vec<u64>> = parsed.dataset.iter().map(|t| parsed.labels_of(t)).collect();
         assert_eq!(relabeled, vec![vec![0, 2, 4], vec![1], vec![3, 5]]);
     }
 
@@ -203,7 +205,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("toy.dat");
         let original =
-            TransactionDataset::from_transactions(3, vec![vec![0, 1], vec![2], vec![0, 2]]).unwrap();
+            TransactionDataset::from_transactions(3, vec![vec![0, 1], vec![2], vec![0, 2]])
+                .unwrap();
         write_fimi_file(&original, &path).unwrap();
         let parsed = read_fimi_file(&path).unwrap();
         assert_eq!(parsed.dataset.num_transactions(), 3);

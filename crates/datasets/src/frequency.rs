@@ -26,16 +26,16 @@ use crate::{DatasetError, Result};
 ///
 /// Returns [`DatasetError::InvalidParameter`] if `n == 0`, frequencies are outside
 /// `(0, 1]`, `f_min > f_max`, or `target_sum <= 0`.
-pub fn powerlaw_frequencies(
-    n: usize,
-    f_min: f64,
-    f_max: f64,
-    target_sum: f64,
-) -> Result<Vec<f64>> {
+pub fn powerlaw_frequencies(n: usize, f_min: f64, f_max: f64, target_sum: f64) -> Result<Vec<f64>> {
     if n == 0 {
-        return Err(DatasetError::InvalidParameter { name: "n", reason: "must be > 0".into() });
+        return Err(DatasetError::InvalidParameter {
+            name: "n",
+            reason: "must be > 0".into(),
+        });
     }
-    if !(f_min > 0.0 && f_min <= 1.0) || !(f_max > 0.0 && f_max <= 1.0) {
+    // The negated form rejects NaN along with out-of-range values.
+    let in_unit_interval = |f: f64| f > 0.0 && f <= 1.0;
+    if !(in_unit_interval(f_min) && in_unit_interval(f_max)) {
         return Err(DatasetError::InvalidParameter {
             name: "f_min/f_max",
             reason: format!("frequencies must be in (0,1], got f_min={f_min}, f_max={f_max}"),
@@ -76,8 +76,9 @@ pub fn powerlaw_frequencies(
         }
     }
     let theta = 0.5 * (lo + hi);
-    let freqs: Vec<f64> =
-        (0..n).map(|i| (f_max * ((i + 1) as f64).powf(-theta)).max(f_min)).collect();
+    let freqs: Vec<f64> = (0..n)
+        .map(|i| (f_max * ((i + 1) as f64).powf(-theta)).max(f_min))
+        .collect();
     Ok(freqs)
 }
 
@@ -89,7 +90,10 @@ pub fn powerlaw_frequencies(
 /// Returns [`DatasetError::InvalidParameter`] if `n == 0` or `f ∉ (0, 1]`.
 pub fn uniform_frequencies(n: usize, f: f64) -> Result<Vec<f64>> {
     if n == 0 {
-        return Err(DatasetError::InvalidParameter { name: "n", reason: "must be > 0".into() });
+        return Err(DatasetError::InvalidParameter {
+            name: "n",
+            reason: "must be > 0".into(),
+        });
     }
     if !(f > 0.0 && f <= 1.0) {
         return Err(DatasetError::InvalidParameter {
@@ -110,7 +114,10 @@ pub fn uniform_frequencies(n: usize, f: f64) -> Result<Vec<f64>> {
 /// frequencies are outside `(0, 1]`.
 pub fn geometric_frequencies(n: usize, f_max: f64, f_min: f64, ratio: f64) -> Result<Vec<f64>> {
     if n == 0 {
-        return Err(DatasetError::InvalidParameter { name: "n", reason: "must be > 0".into() });
+        return Err(DatasetError::InvalidParameter {
+            name: "n",
+            reason: "must be > 0".into(),
+        });
     }
     if !(ratio > 0.0 && ratio < 1.0) {
         return Err(DatasetError::InvalidParameter {
@@ -124,7 +131,9 @@ pub fn geometric_frequencies(n: usize, f_max: f64, f_min: f64, ratio: f64) -> Re
             reason: format!("need 0 < f_min <= f_max <= 1, got {f_min}, {f_max}"),
         });
     }
-    Ok((0..n).map(|i| (f_max * ratio.powi(i as i32)).max(f_min)).collect())
+    Ok((0..n)
+        .map(|i| (f_max * ratio.powi(i as i32)).max(f_min))
+        .collect())
 }
 
 /// The expected frequency of a k-itemset made of the `k` most frequent items, i.e.
@@ -151,11 +160,16 @@ mod tests {
         let freqs = powerlaw_frequencies(1000, 1e-4, 0.3, 8.0).unwrap();
         assert_eq!(freqs.len(), 1000);
         let sum: f64 = freqs.iter().sum();
-        assert!((sum - 8.0).abs() < 0.05, "sum {sum} too far from target 8.0");
+        assert!(
+            (sum - 8.0).abs() < 0.05,
+            "sum {sum} too far from target 8.0"
+        );
         // Sorted non-increasing, head equals f_max, everything >= f_min.
         assert!((freqs[0] - 0.3).abs() < 1e-12);
         assert!(freqs.windows(2).all(|w| w[0] >= w[1]));
-        assert!(freqs.iter().all(|&f| f >= 1e-4 - 1e-15 && f <= 0.3 + 1e-15));
+        assert!(freqs
+            .iter()
+            .all(|&f| (1e-4 - 1e-15..=0.3 + 1e-15).contains(&f)));
     }
 
     #[test]

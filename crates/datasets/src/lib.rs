@@ -136,11 +136,21 @@ mod lib_tests {
 
     #[test]
     fn error_display() {
-        let e = DatasetError::ItemOutOfRange { item: 99, num_items: 10, transaction: 3 };
+        let e = DatasetError::ItemOutOfRange {
+            item: 99,
+            num_items: 10,
+            transaction: 3,
+        };
         assert!(e.to_string().contains("99"));
-        let e = DatasetError::InvalidParameter { name: "t", reason: "must be > 0".into() };
+        let e = DatasetError::InvalidParameter {
+            name: "t",
+            reason: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("t"));
-        let e = DatasetError::Parse { line: 7, reason: "not a number".into() };
+        let e = DatasetError::Parse {
+            line: 7,
+            reason: "not a number".into(),
+        };
         assert!(e.to_string().contains("line 7"));
         let io: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
@@ -151,7 +161,10 @@ mod lib_tests {
         use std::error::Error;
         let io: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.source().is_some());
-        let other = DatasetError::InvalidParameter { name: "x", reason: "bad".into() };
+        let other = DatasetError::InvalidParameter {
+            name: "x",
+            reason: "bad".into(),
+        };
         assert!(other.source().is_none());
     }
 }

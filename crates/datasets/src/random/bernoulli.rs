@@ -46,7 +46,10 @@ impl BernoulliModel {
                 });
             }
         }
-        Ok(BernoulliModel { num_transactions, frequencies })
+        Ok(BernoulliModel {
+            num_transactions,
+            frequencies,
+        })
     }
 
     /// The null model matched to an observed dataset: same `t`, same item
@@ -89,14 +92,20 @@ impl BernoulliModel {
     ///
     /// Panics if an item id is out of range.
     pub fn expected_support(&self, itemset: &[ItemId]) -> f64 {
-        let p: f64 = itemset.iter().map(|&i| self.frequencies[i as usize]).product();
+        let p: f64 = itemset
+            .iter()
+            .map(|&i| self.frequencies[i as usize])
+            .product();
         p * self.num_transactions as f64
     }
 
     /// Probability that a specific itemset appears in a single random transaction
     /// (the product of its item frequencies).
     pub fn itemset_probability(&self, itemset: &[ItemId]) -> f64 {
-        itemset.iter().map(|&i| self.frequencies[i as usize]).product()
+        itemset
+            .iter()
+            .map(|&i| self.frequencies[i as usize])
+            .product()
     }
 
     /// Draw one random dataset from the model.
@@ -129,7 +138,11 @@ impl BernoulliModel {
     }
 
     /// Draw `count` independent random datasets.
-    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<TransactionDataset> {
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<TransactionDataset> {
         (0..count).map(|_| self.sample(rng)).collect()
     }
 }
@@ -179,7 +192,11 @@ mod tests {
         assert_eq!(supports[2], 0);
         assert_eq!(supports[3], 500);
         // Item 0 should be near 150, item 1 near 5 (loose bounds to stay deterministic-free).
-        assert!(supports[0] > 100 && supports[0] < 200, "item0 support {}", supports[0]);
+        assert!(
+            supports[0] > 100 && supports[0] < 200,
+            "item0 support {}",
+            supports[0]
+        );
         assert!(supports[1] < 25, "item1 support {}", supports[1]);
         // Transactions are sorted.
         for txn in d.iter() {

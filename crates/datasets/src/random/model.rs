@@ -92,7 +92,10 @@ impl SwapRandomizationModel {
             });
         }
         let attempts = (reference.num_entries() as f64 * swaps_per_entry).ceil() as usize;
-        Ok(SwapRandomizationModel { reference, attempts })
+        Ok(SwapRandomizationModel {
+            reference,
+            attempts,
+        })
     }
 
     /// The reference dataset whose margins every sample preserves.
@@ -161,7 +164,10 @@ mod tests {
         let reference = reference();
         let model = SwapRandomizationModel::new(reference.clone(), 4.0).unwrap();
         assert_eq!(model.attempts(), reference.num_entries() * 4);
-        assert_eq!(NullModel::item_frequencies(&model), reference.item_frequencies());
+        assert_eq!(
+            NullModel::item_frequencies(&model),
+            reference.item_frequencies()
+        );
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..5 {
             let sample = model.sample_dataset(&mut rng);

@@ -46,7 +46,10 @@ impl PlantedPattern {
                 reason: "a planted pattern needs at least one item".into(),
             });
         }
-        Ok(PlantedPattern { items, extra_support })
+        Ok(PlantedPattern {
+            items,
+            extra_support,
+        })
     }
 
     /// Size (number of items) of the pattern.
@@ -90,7 +93,9 @@ impl PlantedModel {
             if let Some(&bad) = pat.items.iter().find(|&&i| i >= n) {
                 return Err(DatasetError::InvalidParameter {
                     name: "patterns",
-                    reason: format!("pattern {idx} references item {bad} outside universe of {n} items"),
+                    reason: format!(
+                        "pattern {idx} references item {bad} outside universe of {n} items"
+                    ),
                 });
             }
             if pat.extra_support > t {
@@ -160,7 +165,9 @@ pub fn plant_into<R: Rng + ?Sized>(
         transactions.iter().map(|x| x.len()).sum(),
     );
     for txn in transactions {
-        builder.add_transaction(txn).expect("items already validated against the universe");
+        builder
+            .add_transaction(txn)
+            .expect("items already validated against the universe");
     }
     builder.build()
 }
@@ -218,11 +225,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let d = model.sample(&mut rng);
         let support = d.itemset_support(&[3, 7, 11]);
-        assert!(support >= 60, "planted support {support} below the planted 60");
+        assert!(
+            support >= 60,
+            "planted support {support} below the planted 60"
+        );
         // Background-only triple of rare items should have essentially zero support:
         // expected support is 2000 * 0.02^3 = 0.016.
         let control = d.itemset_support(&[20, 30, 40]);
-        assert!(control <= 2, "control triple support {control} suspiciously high");
+        assert!(
+            control <= 2,
+            "control triple support {control} suspiciously high"
+        );
         // Ground-truth accessors.
         assert_eq!(model.planted_of_size(3), vec![vec![3, 7, 11]]);
         assert!(model.planted_of_size(2).is_empty());
@@ -243,7 +256,10 @@ mod tests {
         let d = model.sample(&mut rng);
         let f0 = d.item_frequencies()[0];
         // Background 0.1, planting adds at most 100/5000 = 0.02.
-        assert!(f0 < 0.15, "frequency {f0} inflated more than planting can explain");
+        assert!(
+            f0 < 0.15,
+            "frequency {f0} inflated more than planting can explain"
+        );
         assert!(f0 > 0.07);
     }
 
@@ -252,11 +268,7 @@ mod tests {
         let d = TransactionDataset::from_transactions(4, vec![vec![0], vec![1], vec![2], vec![3]])
             .unwrap();
         let mut rng = StdRng::seed_from_u64(9);
-        let planted = plant_into(
-            &d,
-            &[PlantedPattern::new(vec![0, 1], 4).unwrap()],
-            &mut rng,
-        );
+        let planted = plant_into(&d, &[PlantedPattern::new(vec![0, 1], 4).unwrap()], &mut rng);
         assert_eq!(planted.itemset_support(&[0, 1]), 4);
         assert_eq!(planted.num_transactions(), 4);
     }

@@ -141,7 +141,9 @@ impl QuestConfig {
             while txn.len() < target_len && guard < 50 {
                 guard += 1;
                 let u: f64 = rng.random();
-                let idx = cumulative.partition_point(|&c| c < u).min(self.num_patterns - 1);
+                let idx = cumulative
+                    .partition_point(|&c| c < u)
+                    .min(self.num_patterns - 1);
                 for &item in &patterns[idx] {
                     if rng.random::<f64>() >= self.corruption {
                         txn.insert(item);
@@ -182,7 +184,10 @@ mod tests {
 
     #[test]
     fn default_config_generates_plausible_data() {
-        let cfg = QuestConfig { num_transactions: 2000, ..QuestConfig::default() };
+        let cfg = QuestConfig {
+            num_transactions: 2000,
+            ..QuestConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(31);
         let (data, patterns) = cfg.generate(&mut rng).unwrap();
         assert_eq!(data.num_transactions(), 2000);
@@ -201,7 +206,10 @@ mod tests {
 
     #[test]
     fn frequencies_are_heavy_tailed() {
-        let cfg = QuestConfig { num_transactions: 3000, ..QuestConfig::default() };
+        let cfg = QuestConfig {
+            num_transactions: 3000,
+            ..QuestConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(57);
         let (data, _) = cfg.generate(&mut rng).unwrap();
         let freqs = data.item_frequencies();
@@ -238,21 +246,39 @@ mod tests {
                 break;
             }
         }
-        assert!(found_lift, "no generating pattern shows lift over independence");
+        assert!(
+            found_lift,
+            "no generating pattern shows lift over independence"
+        );
     }
 
     #[test]
     fn config_validation() {
         let mut rng = StdRng::seed_from_u64(1);
-        let bad = QuestConfig { num_items: 0, ..QuestConfig::default() };
+        let bad = QuestConfig {
+            num_items: 0,
+            ..QuestConfig::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
-        let bad = QuestConfig { corruption: 1.0, ..QuestConfig::default() };
+        let bad = QuestConfig {
+            corruption: 1.0,
+            ..QuestConfig::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
-        let bad = QuestConfig { avg_transaction_len: 0.0, ..QuestConfig::default() };
+        let bad = QuestConfig {
+            avg_transaction_len: 0.0,
+            ..QuestConfig::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
-        let bad = QuestConfig { num_patterns: 0, ..QuestConfig::default() };
+        let bad = QuestConfig {
+            num_patterns: 0,
+            ..QuestConfig::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
-        let bad = QuestConfig { avg_pattern_len: 0.5, ..QuestConfig::default() };
+        let bad = QuestConfig {
+            avg_pattern_len: 0.5,
+            ..QuestConfig::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
     }
 
@@ -260,7 +286,9 @@ mod tests {
     fn sample_length_mean_is_roughly_right() {
         let mut rng = StdRng::seed_from_u64(13);
         let mean_target = 7.0;
-        let total: usize = (0..5000).map(|_| sample_length(&mut rng, mean_target)).sum();
+        let total: usize = (0..5000)
+            .map(|_| sample_length(&mut rng, mean_target))
+            .sum();
         let mean = total as f64 / 5000.0;
         assert!((mean - mean_target).abs() < 1.0, "empirical mean {mean}");
     }

@@ -74,7 +74,10 @@ where
     R: Rng + ?Sized,
     F: FnMut(usize),
 {
-    assert!(count <= n, "cannot sample {count} distinct indices from 0..{n}");
+    assert!(
+        count <= n,
+        "cannot sample {count} distinct indices from 0..{n}"
+    );
     if count == 0 {
         return;
     }
@@ -137,7 +140,10 @@ mod tests {
         }
         let mean = total as f64 / reps as f64;
         // True mean is 5.0; with 4000 reps the standard error is ~0.035.
-        assert!((mean - 5.0).abs() < 0.2, "empirical mean {mean} too far from 5");
+        assert!(
+            (mean - 5.0).abs() < 0.2,
+            "empirical mean {mean} too far from 5"
+        );
         assert!(max < 30, "implausibly large draw {max}");
     }
 
@@ -172,7 +178,14 @@ mod tests {
     #[test]
     fn distinct_indices_are_distinct_and_in_range() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(n, count) in &[(100usize, 5usize), (100, 50), (100, 95), (100, 100), (100, 0), (1, 1)] {
+        for &(n, count) in &[
+            (100usize, 5usize),
+            (100, 50),
+            (100, 95),
+            (100, 100),
+            (100, 0),
+            (1, 1),
+        ] {
             let mut seen = std::collections::HashSet::new();
             sample_distinct_indices(&mut rng, n, count, |i| {
                 assert!(i < n);

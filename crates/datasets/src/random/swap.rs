@@ -87,13 +87,17 @@ fn contains(txn: &[ItemId], item: ItemId) -> bool {
 
 #[inline]
 fn remove_item(txn: &mut Vec<ItemId>, item: ItemId) {
-    let pos = txn.binary_search(&item).expect("item to remove must be present");
+    let pos = txn
+        .binary_search(&item)
+        .expect("item to remove must be present");
     txn.remove(pos);
 }
 
 #[inline]
 fn insert_item(txn: &mut Vec<ItemId>, item: ItemId) {
-    let pos = txn.binary_search(&item).expect_err("item to insert must be absent");
+    let pos = txn
+        .binary_search(&item)
+        .expect_err("item to insert must be absent");
     txn.insert(pos, item);
 }
 
@@ -126,7 +130,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let swapped = swap_randomize(&d, 10 * d.num_entries(), &mut rng);
         let (rows_after, cols_after) = margins(&swapped);
-        assert_eq!(rows_before, rows_after, "transaction lengths must be preserved");
+        assert_eq!(
+            rows_before, rows_after,
+            "transaction lengths must be preserved"
+        );
         assert_eq!(cols_before, cols_after, "item supports must be preserved");
         assert_eq!(swapped.num_entries(), d.num_entries());
     }
@@ -136,12 +143,23 @@ mod tests {
         // A dataset with plenty of swap opportunities.
         let d = TransactionDataset::from_transactions(
             10,
-            (0..40).map(|i| vec![(i % 10) as u32, ((i + 3) % 10) as u32, ((i + 6) % 10) as u32]).collect(),
+            (0..40)
+                .map(|i| {
+                    vec![
+                        (i % 10) as u32,
+                        ((i + 3) % 10) as u32,
+                        ((i + 6) % 10) as u32,
+                    ]
+                })
+                .collect(),
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let swapped = swap_randomize(&d, 20 * d.num_entries(), &mut rng);
-        assert_ne!(d, swapped, "with hundreds of attempted swaps the matrix should change");
+        assert_ne!(
+            d, swapped,
+            "with hundreds of attempted swaps the matrix should change"
+        );
     }
 
     #[test]
@@ -178,6 +196,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let swapped = swap_randomize(&d, 50 * d.num_entries(), &mut rng);
         let after = swapped.itemset_support(&[0, 1]);
-        assert!(after < before, "swap randomization did not reduce co-occurrence ({after})");
+        assert!(
+            after < before,
+            "swap randomization did not reduce co-occurrence ({after})"
+        );
     }
 }

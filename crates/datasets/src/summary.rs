@@ -72,8 +72,12 @@ impl DatasetSummary {
     /// Render a single row in the style of Table 1 of the paper:
     /// `name  n  [f_min ; f_max]  m  t`.
     pub fn table1_row(&self, name: &str) -> String {
-        let fmin = self.min_frequency.map_or("-".to_string(), |f| format!("{f:.2e}"));
-        let fmax = self.max_frequency.map_or("-".to_string(), |f| format!("{f:.2}"));
+        let fmin = self
+            .min_frequency
+            .map_or("-".to_string(), |f| format!("{f:.2e}"));
+        let fmax = self
+            .max_frequency
+            .map_or("-".to_string(), |f| format!("{f:.2}"));
         format!(
             "{name:<12} {:>8} [{} ; {}] {:>7.1} {:>9}",
             self.num_items, fmin, fmax, self.avg_transaction_len, self.num_transactions

@@ -40,10 +40,7 @@ impl TransactionDataset {
     ///
     /// Returns [`DatasetError::ItemOutOfRange`] if any transaction mentions an item
     /// id `>= num_items`.
-    pub fn from_transactions(
-        num_items: u32,
-        transactions: Vec<Vec<ItemId>>,
-    ) -> Result<Self> {
+    pub fn from_transactions(num_items: u32, transactions: Vec<Vec<ItemId>>) -> Result<Self> {
         let mut builder = DatasetBuilder::new(num_items);
         for txn in transactions {
             builder.add_transaction(txn)?;
@@ -53,7 +50,11 @@ impl TransactionDataset {
 
     /// An empty dataset (zero transactions) over `num_items` items.
     pub fn empty(num_items: u32) -> Self {
-        TransactionDataset { num_items, offsets: vec![0], items: Vec::new() }
+        TransactionDataset {
+            num_items,
+            offsets: vec![0],
+            items: Vec::new(),
+        }
     }
 
     /// Number of items in the universe (`n` in the paper).
@@ -102,7 +103,9 @@ impl TransactionDataset {
 
     /// Support (number of containing transactions) of a single item.
     pub fn item_support(&self, item: ItemId) -> u64 {
-        self.iter().filter(|txn| txn.binary_search(&item).is_ok()).count() as u64
+        self.iter()
+            .filter(|txn| txn.binary_search(&item).is_ok())
+            .count() as u64
     }
 
     /// Supports of all items, indexed by item id. One pass over the data.
@@ -121,7 +124,10 @@ impl TransactionDataset {
         if t == 0 {
             return vec![0.0; self.num_items as usize];
         }
-        self.item_supports().into_iter().map(|c| c as f64 / t as f64).collect()
+        self.item_supports()
+            .into_iter()
+            .map(|c| c as f64 / t as f64)
+            .collect()
     }
 
     /// Support of an arbitrary itemset given as a sorted slice of distinct item ids
@@ -132,7 +138,10 @@ impl TransactionDataset {
     ///
     /// Debug-asserts that `itemset` is sorted and duplicate-free.
     pub fn itemset_support(&self, itemset: &[ItemId]) -> u64 {
-        debug_assert!(itemset.windows(2).all(|w| w[0] < w[1]), "itemset must be sorted and distinct");
+        debug_assert!(
+            itemset.windows(2).all(|w| w[0] < w[1]),
+            "itemset must be sorted and distinct"
+        );
         if itemset.is_empty() {
             return self.num_transactions() as u64;
         }
@@ -206,7 +215,11 @@ pub struct DatasetBuilder {
 impl DatasetBuilder {
     /// Start building a dataset over `num_items` items.
     pub fn new(num_items: u32) -> Self {
-        DatasetBuilder { num_items, offsets: vec![0], items: Vec::new() }
+        DatasetBuilder {
+            num_items,
+            offsets: vec![0],
+            items: Vec::new(),
+        }
     }
 
     /// Start building with pre-allocated capacity for `transactions` transactions and
@@ -214,7 +227,11 @@ impl DatasetBuilder {
     pub fn with_capacity(num_items: u32, transactions: usize, entries: usize) -> Self {
         let mut offsets = Vec::with_capacity(transactions + 1);
         offsets.push(0);
-        DatasetBuilder { num_items, offsets, items: Vec::with_capacity(entries) }
+        DatasetBuilder {
+            num_items,
+            offsets,
+            items: Vec::with_capacity(entries),
+        }
     }
 
     /// Append a transaction (unsorted, possibly with duplicates).
@@ -245,7 +262,10 @@ impl DatasetBuilder {
     ///
     /// Returns [`DatasetError::ItemOutOfRange`] on an out-of-universe item id.
     pub fn add_sorted_transaction(&mut self, txn: &[ItemId]) -> Result<()> {
-        debug_assert!(txn.windows(2).all(|w| w[0] < w[1]), "transaction must be sorted and distinct");
+        debug_assert!(
+            txn.windows(2).all(|w| w[0] < w[1]),
+            "transaction must be sorted and distinct"
+        );
         if let Some(&bad) = txn.iter().find(|&&i| i >= self.num_items) {
             return Err(DatasetError::ItemOutOfRange {
                 item: bad as u64,
@@ -270,7 +290,11 @@ impl DatasetBuilder {
 
     /// Finalize the dataset.
     pub fn build(self) -> TransactionDataset {
-        TransactionDataset { num_items: self.num_items, offsets: self.offsets, items: self.items }
+        TransactionDataset {
+            num_items: self.num_items,
+            offsets: self.offsets,
+            items: self.items,
+        }
     }
 }
 
@@ -281,7 +305,14 @@ mod tests {
     fn sample() -> TransactionDataset {
         TransactionDataset::from_transactions(
             5,
-            vec![vec![0, 1, 2], vec![1, 2], vec![0, 2, 3], vec![4], vec![], vec![2, 1, 0]],
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2],
+                vec![0, 2, 3],
+                vec![4],
+                vec![],
+                vec![2, 1, 0],
+            ],
         )
         .unwrap()
     }
@@ -291,7 +322,7 @@ mod tests {
         let d = sample();
         assert_eq!(d.num_items(), 5);
         assert_eq!(d.num_transactions(), 6);
-        assert_eq!(d.num_entries(), 3 + 2 + 3 + 1 + 0 + 3);
+        assert_eq!(d.num_entries(), (3 + 2 + 3 + 1) + 3);
         assert!((d.avg_transaction_len() - 12.0 / 6.0).abs() < 1e-12);
     }
 
@@ -305,7 +336,11 @@ mod tests {
     fn out_of_range_item_rejected() {
         let err = TransactionDataset::from_transactions(3, vec![vec![0, 5]]).unwrap_err();
         match err {
-            DatasetError::ItemOutOfRange { item, num_items, transaction } => {
+            DatasetError::ItemOutOfRange {
+                item,
+                num_items,
+                transaction,
+            } => {
                 assert_eq!(item, 5);
                 assert_eq!(num_items, 3);
                 assert_eq!(transaction, 0);

@@ -1,0 +1,349 @@
+//! # sigfim-exec
+//!
+//! The deterministic parallel execution layer of the `sigfim` workspace.
+//!
+//! Algorithm 1 of the paper (FindPoissonThreshold) is embarrassingly parallel —
+//! Δ independent random datasets, each generated and mined at the floor support —
+//! but naive parallelization breaks reproducibility: if workers pull values from
+//! a shared RNG, results depend on scheduling. This crate solves both halves of
+//! the problem:
+//!
+//! * [`ExecutionPolicy`] abstracts *where* indexed tasks run (inline on the
+//!   calling thread, or on a rayon thread pool with dynamic load balancing) while
+//!   guaranteeing that outputs come back **in input order**, so the two policies
+//!   are observationally identical for pure per-index tasks.
+//! * [`substream`] gives every task its *own* RNG, addressed by `(seed, index)`
+//!   through the ChaCha stream-cipher structure. Replicate `i` sees the same
+//!   random bytes no matter which worker runs it, when, or alongside what — so a
+//!   Monte-Carlo run is bit-identical at 1, 2 or 64 threads.
+//!
+//! ```
+//! use sigfim_exec::{substream, ExecutionPolicy};
+//! use rand::Rng;
+//!
+//! let inputs: Vec<u64> = (0..32).collect();
+//! let task = |i: usize, _x: &u64| substream(42, i as u64).random::<f64>();
+//! let sequential = ExecutionPolicy::Sequential.map_indexed(&inputs, task);
+//! let parallel = ExecutionPolicy::rayon(8).map_indexed(&inputs, task);
+//! assert_eq!(sequential, parallel); // bit-identical
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use rayon::ThreadPoolBuilder;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Where (and with how much parallelism) indexed task batches execute.
+///
+/// The policy is threaded from the top of the pipeline
+/// (`SignificanceAnalyzer`) down to the replicate loop of Algorithm 1. Both
+/// variants produce identical outputs for pure per-index tasks; `Rayon` merely
+/// produces them faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionPolicy {
+    /// Run every task inline on the calling thread, in index order.
+    Sequential,
+    /// Run tasks on a work-claiming thread pool. `threads = 0` means one worker
+    /// per available core.
+    Rayon {
+        /// Number of worker threads (`0` = available parallelism).
+        threads: usize,
+    },
+}
+
+impl Default for ExecutionPolicy {
+    /// The default policy uses all available cores.
+    fn default() -> Self {
+        ExecutionPolicy::Rayon { threads: 0 }
+    }
+}
+
+impl ExecutionPolicy {
+    /// A rayon policy with an explicit worker count (`0` = available parallelism).
+    pub fn rayon(threads: usize) -> Self {
+        ExecutionPolicy::Rayon { threads }
+    }
+
+    /// Map a legacy `threads` knob onto a policy: `1` means strictly sequential,
+    /// anything else a rayon pool of that size (`0` = available parallelism).
+    pub fn from_threads(threads: usize) -> Self {
+        match threads {
+            1 => ExecutionPolicy::Sequential,
+            n => ExecutionPolicy::Rayon { threads: n },
+        }
+    }
+
+    /// Apply `task` to every element of `items` and return the outputs **in
+    /// input order**, regardless of policy. `task` receives the element index,
+    /// which parallel callers should use to derive any per-task randomness (see
+    /// [`substream`]).
+    pub fn map_indexed<T, O, F>(&self, items: &[T], task: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(usize, &T) -> O + Sync,
+    {
+        match *self {
+            ExecutionPolicy::Sequential => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| task(i, item))
+                .collect(),
+            ExecutionPolicy::Rayon { threads } => ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool construction cannot fail")
+                .par_map_indexed(items, task),
+        }
+    }
+
+    /// Like [`ExecutionPolicy::map_indexed`] for fallible tasks: returns all
+    /// outputs in input order, or the error of the **lowest-indexed** failing
+    /// task — so error selection is deterministic too, independent of which
+    /// worker failed first in wall-clock time.
+    ///
+    /// Both policies stop early on failure. Under `Rayon`, workers skip every
+    /// task whose index lies *above* the lowest failing index recorded so far —
+    /// tasks below it always run, so the error that is returned is always the
+    /// globally lowest-indexed one, exactly as under `Sequential`; early
+    /// stopping only reduces how much post-failure work is wasted.
+    pub fn try_map_indexed<T, O, E, F>(&self, items: &[T], task: F) -> Result<Vec<O>, E>
+    where
+        T: Sync,
+        O: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<O, E> + Sync,
+    {
+        match *self {
+            ExecutionPolicy::Sequential => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| task(i, item))
+                .collect(),
+            ExecutionPolicy::Rayon { .. } => {
+                let first_failure = AtomicUsize::new(usize::MAX);
+                let results: Vec<Option<Result<O, E>>> = self.map_indexed(items, |i, item| {
+                    if i > first_failure.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                    let result = task(i, item);
+                    if result.is_err() {
+                        first_failure.fetch_min(i, Ordering::Relaxed);
+                    }
+                    Some(result)
+                });
+                let mut out = Vec::with_capacity(results.len());
+                let mut first_error = None;
+                let mut skipped = false;
+                for result in results {
+                    match result {
+                        Some(Ok(value)) if first_error.is_none() => out.push(value),
+                        Some(Ok(_)) => {}
+                        // Index order: the first error seen here is the
+                        // lowest-indexed one (skipped slots only occur above it).
+                        Some(Err(error)) if first_error.is_none() => first_error = Some(error),
+                        Some(Err(_)) => {}
+                        None => skipped = true,
+                    }
+                }
+                match first_error {
+                    Some(error) => Err(error),
+                    None => {
+                        // A slot is only skipped after some task recorded an
+                        // error, so a skip without an error cannot happen.
+                        assert!(!skipped, "tasks were skipped but no error was recorded");
+                        Ok(out)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execution policies serialize as a tagged map so analysis configurations can
+/// be archived: `{"mode": "sequential"}` or `{"mode": "rayon", "threads": 8}`.
+impl Serialize for ExecutionPolicy {
+    fn to_value(&self) -> Value {
+        match *self {
+            ExecutionPolicy::Sequential => {
+                Value::Map(vec![("mode".into(), Value::Str("sequential".into()))])
+            }
+            ExecutionPolicy::Rayon { threads } => Value::Map(vec![
+                ("mode".into(), Value::Str("rayon".into())),
+                ("threads".into(), Value::U64(threads as u64)),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for ExecutionPolicy {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let mode = value
+            .get_field("mode")
+            .ok_or_else(|| SerdeError::missing_field("ExecutionPolicy", "mode"))?
+            .as_str()?
+            .to_owned();
+        match mode.as_str() {
+            "sequential" => Ok(ExecutionPolicy::Sequential),
+            "rayon" => {
+                let threads = match value.get_field("threads") {
+                    Some(v) => v.as_u64()? as usize,
+                    None => 0,
+                };
+                Ok(ExecutionPolicy::Rayon { threads })
+            }
+            other => Err(SerdeError::unknown_variant("ExecutionPolicy", other)),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: bijective 64-bit mixing.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG for task `index` of the batch keyed by `seed`.
+///
+/// Every `(seed, index)` pair addresses an independent ChaCha12 keystream: the
+/// seed selects the cipher key, the index selects the 64-bit stream (nonce).
+/// The stream a task sees therefore depends only on these two values — never on
+/// thread count, scheduling, or sibling tasks — which is what makes parallel
+/// Monte-Carlo runs bit-identical to sequential ones.
+pub fn substream(seed: u64, index: u64) -> ChaCha12Rng {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    // Mix the index so that numerically adjacent batch keys and indices do not
+    // produce systematically related (key, nonce) pairs.
+    rng.set_stream(mix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn from_threads_mapping() {
+        assert_eq!(
+            ExecutionPolicy::from_threads(1),
+            ExecutionPolicy::Sequential
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads(0),
+            ExecutionPolicy::Rayon { threads: 0 }
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads(4),
+            ExecutionPolicy::Rayon { threads: 4 }
+        );
+        assert_eq!(
+            ExecutionPolicy::default(),
+            ExecutionPolicy::Rayon { threads: 0 }
+        );
+    }
+
+    #[test]
+    fn map_indexed_is_order_stable_across_policies() {
+        let items: Vec<u64> = (0..257).collect();
+        let task = |i: usize, &x: &u64| {
+            assert_eq!(i as u64, x);
+            substream(7, i as u64).random::<u64>()
+        };
+        let sequential = ExecutionPolicy::Sequential.map_indexed(&items, task);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                ExecutionPolicy::rayon(threads).map_indexed(&items, task),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_returns_lowest_indexed_error() {
+        let items: Vec<u64> = (0..64).collect();
+        let result = ExecutionPolicy::rayon(8).try_map_indexed(&items, |i, _| {
+            if i % 10 == 3 {
+                Err(i)
+            } else {
+                Ok(i * 2)
+            }
+        });
+        assert_eq!(result, Err(3));
+        let ok = ExecutionPolicy::Sequential.try_map_indexed(&items, |i, _| Ok::<_, ()>(i));
+        assert_eq!(ok.unwrap().len(), 64);
+    }
+
+    #[test]
+    fn try_map_stops_claiming_after_a_failure() {
+        use std::sync::atomic::AtomicUsize;
+        // With one worker, tasks after the failing index must not run at all.
+        let items: Vec<u64> = (0..1000).collect();
+        let executed = AtomicUsize::new(0);
+        let result = ExecutionPolicy::rayon(1).try_map_indexed(&items, |i, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 5 {
+                Err("boom")
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(result, Err("boom"));
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran < 1000, "all {ran} tasks ran despite an early failure");
+        // The same error is selected at every worker count, and a multi-error
+        // batch still reports the lowest-indexed error.
+        for threads in [2, 8] {
+            let result = ExecutionPolicy::rayon(threads).try_map_indexed(&items, |i, _| {
+                if i == 700 || i == 5 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(result, Err(5), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn substreams_are_deterministic_and_pairwise_distinct() {
+        let a: Vec<u64> = {
+            let mut rng = substream(5, 17);
+            (0..8).map(|_| rng.random()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = substream(5, 17);
+            (0..8).map(|_| rng.random()).collect()
+        };
+        assert_eq!(a, b);
+        // Different indices and different seeds give different streams.
+        let c: Vec<u64> = {
+            let mut rng = substream(5, 18);
+            (0..8).map(|_| rng.random()).collect()
+        };
+        let d: Vec<u64> = {
+            let mut rng = substream(6, 17);
+            (0..8).map(|_| rng.random()).collect()
+        };
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn policy_serde_round_trip() {
+        for policy in [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Rayon { threads: 0 },
+            ExecutionPolicy::Rayon { threads: 8 },
+        ] {
+            let value = policy.to_value();
+            assert_eq!(ExecutionPolicy::from_value(&value).unwrap(), policy);
+        }
+        assert!(ExecutionPolicy::from_value(&Value::Null).is_err());
+    }
+}

@@ -18,8 +18,8 @@
 
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
 
-use crate::counting::{count_candidates_horizontal, support_from_tidlists};
-use crate::itemset::{binomial_u64, join_step, prune_step, sort_canonical, ItemsetSupport};
+pub use crate::counting::CountingStrategy;
+use crate::itemset::{join_step, prune_step, sort_canonical, ItemsetSupport};
 use crate::miner::{validate_mining_args, KItemsetMiner};
 use crate::Result;
 
@@ -36,23 +36,18 @@ pub struct Apriori {
 
 impl Default for Apriori {
     fn default() -> Self {
-        Apriori { prune: true, force_strategy: None }
+        Apriori {
+            prune: true,
+            force_strategy: None,
+        }
     }
-}
-
-/// How candidate supports are counted within one Apriori level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CountingStrategy {
-    /// Intersect vertical tid-lists per candidate.
-    Vertical,
-    /// Hash each transaction's subsets into the candidate table.
-    Horizontal,
 }
 
 impl Apriori {
     /// Decide how to count `num_candidates` candidates of size `level` given the
     /// total number of (restricted) transaction entries and the average restricted
-    /// transaction length.
+    /// transaction length. Delegates to the unified density heuristic
+    /// [`CountingStrategy::for_density`] unless a strategy is forced.
     pub fn counting_strategy(
         &self,
         num_candidates: usize,
@@ -63,18 +58,7 @@ impl Apriori {
         if let Some(forced) = self.force_strategy {
             return forced;
         }
-        // Rough work estimates: horizontal enumerates ~C(len, level) subsets per
-        // transaction; vertical walks ~num_candidates * level tid-lists of average
-        // length t * density.
-        let horizontal_work = num_transactions as f64
-            * binomial_u64(avg_restricted_len.round() as u64, level as u64) as f64;
-        let vertical_work =
-            num_candidates as f64 * level as f64 * (num_transactions as f64 * 0.1).max(16.0);
-        if horizontal_work <= vertical_work {
-            CountingStrategy::Horizontal
-        } else {
-            CountingStrategy::Vertical
-        }
+        CountingStrategy::for_density(num_candidates, avg_restricted_len, num_transactions, level)
     }
 
     fn count_level(
@@ -85,18 +69,14 @@ impl Apriori {
         level: usize,
         avg_restricted_len: f64,
     ) -> Vec<u64> {
-        match self.counting_strategy(
+        self.counting_strategy(
             candidates.len(),
             avg_restricted_len,
             dataset.num_transactions(),
             level,
-        ) {
-            CountingStrategy::Horizontal => count_candidates_horizontal(dataset, candidates),
-            CountingStrategy::Vertical => candidates
-                .iter()
-                .map(|c| support_from_tidlists(tid_lists, c, dataset.num_transactions()))
-                .collect(),
-        }
+        )
+        .counter()
+        .count_with_tidlists(dataset, tid_lists, candidates)
     }
 }
 
@@ -135,8 +115,7 @@ impl KItemsetMiner for Apriori {
         } else {
             // Expected length of a transaction restricted to frequent items.
             let freq_entries: u64 = supports.iter().filter(|&&s| s >= min_support).sum();
-            (freq_entries as f64 / dataset.num_transactions() as f64)
-                .min(frequent_item_count)
+            (freq_entries as f64 / dataset.num_transactions() as f64).min(frequent_item_count)
         };
 
         let mut result = Vec::new();
@@ -158,7 +137,10 @@ impl KItemsetMiner for Apriori {
             for (cand, count) in candidates.into_iter().zip(counts) {
                 if count >= min_support {
                     if level == k {
-                        result.push(ItemsetSupport { items: cand.clone(), support: count });
+                        result.push(ItemsetSupport {
+                            items: cand.clone(),
+                            support: count,
+                        });
                     }
                     frequent_now.push(cand);
                 }
@@ -206,7 +188,10 @@ mod tests {
         let expected: Vec<(Vec<ItemId>, u64)> =
             vec![(vec![0, 1], 5), (vec![0, 2], 4), (vec![1, 2], 4)];
         assert_eq!(
-            mined.iter().map(|m| (m.items.clone(), m.support)).collect::<Vec<_>>(),
+            mined
+                .iter()
+                .map(|m| (m.items.clone(), m.support))
+                .collect::<Vec<_>>(),
             expected
         );
     }
@@ -235,7 +220,12 @@ mod tests {
             for s in 1..=4 {
                 let mined = Apriori::default().mine_k(&d, k, s).unwrap();
                 for m in &mined {
-                    assert_eq!(m.support, d.itemset_support(&m.items), "itemset {:?}", m.items);
+                    assert_eq!(
+                        m.support,
+                        d.itemset_support(&m.items),
+                        "itemset {:?}",
+                        m.items
+                    );
                     assert!(m.support >= s);
                     assert_eq!(m.items.len(), k);
                 }
@@ -246,9 +236,14 @@ mod tests {
     #[test]
     fn forced_strategies_agree() {
         let d = toy();
-        let vertical = Apriori { force_strategy: Some(CountingStrategy::Vertical), prune: true };
-        let horizontal =
-            Apriori { force_strategy: Some(CountingStrategy::Horizontal), prune: true };
+        let vertical = Apriori {
+            force_strategy: Some(CountingStrategy::Vertical),
+            prune: true,
+        };
+        let horizontal = Apriori {
+            force_strategy: Some(CountingStrategy::Horizontal),
+            prune: true,
+        };
         for k in 2..=3 {
             assert_eq!(
                 vertical.mine_k(&d, k, 2).unwrap(),
@@ -261,10 +256,19 @@ mod tests {
     #[test]
     fn pruning_does_not_change_results() {
         let d = toy();
-        let pruned = Apriori { prune: true, force_strategy: None };
-        let unpruned = Apriori { prune: false, force_strategy: None };
+        let pruned = Apriori {
+            prune: true,
+            force_strategy: None,
+        };
+        let unpruned = Apriori {
+            prune: false,
+            force_strategy: None,
+        };
         for k in 2..=4 {
-            assert_eq!(pruned.mine_k(&d, k, 2).unwrap(), unpruned.mine_k(&d, k, 2).unwrap());
+            assert_eq!(
+                pruned.mine_k(&d, k, 2).unwrap(),
+                unpruned.mine_k(&d, k, 2).unwrap()
+            );
         }
     }
 

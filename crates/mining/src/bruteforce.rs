@@ -45,10 +45,12 @@ impl KItemsetMiner for BruteForce {
         let tid_lists = dataset.tid_lists();
         let mut output = Vec::new();
         for_each_k_subset(&frequent_items, k, |candidate| {
-            let support =
-                support_from_tidlists(&tid_lists, candidate, dataset.num_transactions());
+            let support = support_from_tidlists(&tid_lists, candidate, dataset.num_transactions());
             if support >= min_support {
-                output.push(ItemsetSupport { items: candidate.to_vec(), support });
+                output.push(ItemsetSupport {
+                    items: candidate.to_vec(),
+                    support,
+                });
             }
         });
         sort_canonical(&mut output);

@@ -170,7 +170,8 @@ pub fn closed_generator_analysis(
         if restricted.len() < k {
             continue;
         }
-        let support = supporting_tids(&tid_lists, &restricted, dataset.num_transactions()).len() as u64;
+        let support =
+            supporting_tids(&tid_lists, &restricted, dataset.num_transactions()).len() as u64;
         if support < min_support {
             continue;
         }
@@ -184,10 +185,19 @@ pub fn closed_generator_analysis(
         .filter(|(items, _)| items.len() >= k)
         .map(|(items, support)| {
             let k_subsets = binomial_u64(items.len() as u64, k as u64);
-            ClosedGenerator { items, support, k_subsets }
+            ClosedGenerator {
+                items,
+                support,
+                k_subsets,
+            }
         })
         .collect();
-    generators.sort_by(|a, b| b.items.len().cmp(&a.items.len()).then(b.support.cmp(&a.support)));
+    generators.sort_by(|a, b| {
+        b.items
+            .len()
+            .cmp(&a.items.len())
+            .then(b.support.cmp(&a.support))
+    });
     Ok(ClosedItemsetAnalysis {
         k,
         min_support,

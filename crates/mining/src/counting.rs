@@ -58,15 +58,25 @@ pub fn intersection_size(a: &[TransactionId], b: &[TransactionId]) -> usize {
     count
 }
 
-/// Batch support counting for an explicit list of itemsets, via vertical tid-list
-/// intersections. The tid-lists of the dataset are built once; each itemset then
-/// costs `O(k · min tid-list length)`.
+/// Batch support counting for an explicit list of itemsets, dispatched through
+/// [`SupportCounter`]: when all itemsets share one (positive) size, the counting
+/// path is selected from the dataset's density via
+/// [`CountingStrategy::for_dataset`]; mixed-size lists always take the tid-list
+/// path (the horizontal pass requires a uniform subset size).
 ///
 /// Itemsets must be sorted and duplicate-free (as produced by every miner in this
 /// crate). Empty itemsets get support `t` by convention.
 pub fn supports_of(dataset: &TransactionDataset, itemsets: &[Vec<ItemId>]) -> Vec<u64> {
-    let tid_lists = dataset.tid_lists();
-    itemsets.iter().map(|set| support_from_tidlists(&tid_lists, set, dataset.num_transactions())).collect()
+    let uniform_k = itemsets
+        .first()
+        .map(|set| set.len())
+        .filter(|&k| k > 0 && itemsets.iter().all(|set| set.len() == k));
+    match uniform_k {
+        Some(k) => CountingStrategy::for_dataset(dataset, k, itemsets.len())
+            .counter()
+            .count(dataset, itemsets),
+        None => TidListCounter.count(dataset, itemsets),
+    }
 }
 
 /// Support of one itemset given pre-built tid-lists. Intersections are performed
@@ -112,8 +122,13 @@ pub fn count_candidates_horizontal(
     }
     let k = candidates[0].len();
     debug_assert!(candidates.iter().all(|c| c.len() == k));
-    let index: HashMap<&[ItemId], usize> =
-        candidates.iter().enumerate().map(|(i, c)| (c.as_slice(), i)).collect();
+    // Duplicate candidates all alias the first occurrence's counter (and are
+    // copied back out at the end), so repeats in the input list do not lose
+    // their counts to the hash lookup keeping only one slot per itemset.
+    let mut index: HashMap<&[ItemId], usize> = HashMap::with_capacity(candidates.len());
+    for (i, c) in candidates.iter().enumerate() {
+        index.entry(c.as_slice()).or_insert(i);
+    }
     let mut counts = vec![0u64; candidates.len()];
     // Only items that occur in some candidate can contribute to a match.
     let mut relevant = vec![false; dataset.num_items() as usize];
@@ -135,7 +150,141 @@ pub fn count_candidates_horizontal(
             }
         });
     }
+    for (i, c) in candidates.iter().enumerate() {
+        counts[i] = counts[index[c.as_slice()]];
+    }
     counts
+}
+
+/// The unified interface over the two support-counting paths: a horizontal pass
+/// hashing transaction subsets, or vertical tid-list intersections.
+///
+/// Every consumer that needs candidate supports — the miners' level counting,
+/// [`supports_of`], and through the miners Procedures 1 and 2 — goes through
+/// this trait, selecting an implementation per dataset density via
+/// [`CountingStrategy::for_density`] (or forcing one for ablations).
+pub trait SupportCounter {
+    /// Human-readable name for benchmark output and reports.
+    fn name(&self) -> &'static str;
+
+    /// Exact support of each candidate itemset. Candidates must be sorted and
+    /// duplicate-free; for [`HorizontalCounter`] they must also share one size.
+    fn count(&self, dataset: &TransactionDataset, candidates: &[Vec<ItemId>]) -> Vec<u64>;
+
+    /// Like [`SupportCounter::count`], reusing pre-built tid-lists when the
+    /// implementation can (the horizontal path ignores them).
+    fn count_with_tidlists(
+        &self,
+        dataset: &TransactionDataset,
+        _tid_lists: &[Vec<TransactionId>],
+        candidates: &[Vec<ItemId>],
+    ) -> Vec<u64> {
+        self.count(dataset, candidates)
+    }
+}
+
+/// Support counting by one horizontal pass over the transactions, hashing each
+/// transaction's k-subsets into the candidate table. Cheap when transactions
+/// restricted to frequent items are short but candidates are many (dense,
+/// short-transaction datasets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HorizontalCounter;
+
+impl SupportCounter for HorizontalCounter {
+    fn name(&self) -> &'static str {
+        "horizontal"
+    }
+
+    fn count(&self, dataset: &TransactionDataset, candidates: &[Vec<ItemId>]) -> Vec<u64> {
+        count_candidates_horizontal(dataset, candidates)
+    }
+}
+
+/// Support counting by intersecting the vertical tid-lists of each candidate's
+/// items. Cheap when there are few candidates relative to the transaction count
+/// (sparse datasets at high thresholds — the regime the paper's procedures
+/// operate in).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TidListCounter;
+
+impl SupportCounter for TidListCounter {
+    fn name(&self) -> &'static str {
+        "tid-list"
+    }
+
+    fn count(&self, dataset: &TransactionDataset, candidates: &[Vec<ItemId>]) -> Vec<u64> {
+        self.count_with_tidlists(dataset, &dataset.tid_lists(), candidates)
+    }
+
+    fn count_with_tidlists(
+        &self,
+        dataset: &TransactionDataset,
+        tid_lists: &[Vec<TransactionId>],
+        candidates: &[Vec<ItemId>],
+    ) -> Vec<u64> {
+        candidates
+            .iter()
+            .map(|c| support_from_tidlists(tid_lists, c, dataset.num_transactions()))
+            .collect()
+    }
+}
+
+/// How candidate supports are counted within one mining level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CountingStrategy {
+    /// Intersect vertical tid-lists per candidate ([`TidListCounter`]).
+    Vertical,
+    /// Hash each transaction's subsets into the candidate table
+    /// ([`HorizontalCounter`]).
+    Horizontal,
+}
+
+impl CountingStrategy {
+    /// The counter implementing this strategy.
+    pub fn counter(self) -> &'static dyn SupportCounter {
+        match self {
+            CountingStrategy::Vertical => &TidListCounter,
+            CountingStrategy::Horizontal => &HorizontalCounter,
+        }
+    }
+
+    /// Choose a strategy from the dataset's density profile: compare the
+    /// estimated subset-enumeration work of a horizontal pass (`t · C(len, k)`
+    /// per transaction restricted to relevant items) against the tid-list walks
+    /// of a vertical pass (`candidates · k` lists of average length
+    /// `t · density`).
+    pub fn for_density(
+        num_candidates: usize,
+        avg_restricted_len: f64,
+        num_transactions: usize,
+        level: usize,
+    ) -> CountingStrategy {
+        let horizontal_work = num_transactions as f64
+            * crate::itemset::binomial_u64(avg_restricted_len.round() as u64, level as u64) as f64;
+        let vertical_work =
+            num_candidates as f64 * level as f64 * (num_transactions as f64 * 0.1).max(16.0);
+        if horizontal_work <= vertical_work {
+            CountingStrategy::Horizontal
+        } else {
+            CountingStrategy::Vertical
+        }
+    }
+
+    /// Choose a strategy for counting `num_candidates` k-itemset candidates
+    /// against a whole dataset, deriving the density from the dataset itself.
+    pub fn for_dataset(
+        dataset: &TransactionDataset,
+        k: usize,
+        num_candidates: usize,
+    ) -> CountingStrategy {
+        let t = dataset.num_transactions();
+        let avg_len = if t == 0 {
+            0.0
+        } else {
+            dataset.num_entries() as f64 / t as f64
+        };
+        CountingStrategy::for_density(num_candidates, avg_len, t, k.max(1))
+    }
 }
 
 /// The number of k-itemsets with support at least `s` in the dataset (`Q_{k,s}` in
@@ -166,7 +315,23 @@ impl SupportProfile {
     ///
     /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
     pub fn new(dataset: &TransactionDataset, k: usize, floor: u64) -> Result<Self> {
-        let mined = Apriori::default().mine_k(dataset, k, floor)?;
+        Self::with_miner(crate::miner::MinerKind::Apriori, dataset, k, floor)
+    }
+
+    /// Like [`SupportProfile::new`], but mining with an explicitly selected
+    /// algorithm (each of which counts through the density-selected
+    /// [`SupportCounter`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn with_miner(
+        miner: crate::miner::MinerKind,
+        dataset: &TransactionDataset,
+        k: usize,
+        floor: u64,
+    ) -> Result<Self> {
+        let mined = miner.mine_k(dataset, k, floor)?;
         Ok(Self::from_itemsets(k, floor, &mined))
     }
 
@@ -257,7 +422,14 @@ mod tests {
     #[test]
     fn batch_supports_match_reference() {
         let d = toy();
-        let sets = vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 3], vec![2, 3], vec![]];
+        let sets = vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 3],
+            vec![2, 3],
+            vec![],
+        ];
         let got = supports_of(&d, &sets);
         let expected: Vec<u64> = sets.iter().map(|s| d.itemset_support(s)).collect();
         assert_eq!(got, expected);
@@ -271,6 +443,22 @@ mod tests {
         let horizontal = count_candidates_horizontal(&d, &candidates);
         let vertical = supports_of(&d, &candidates);
         assert_eq!(horizontal, vertical);
+    }
+
+    #[test]
+    fn duplicate_candidates_each_get_their_full_support() {
+        // A repeated candidate must report its support at every position under
+        // both counting paths (the horizontal hash index aliases duplicates).
+        let d = toy();
+        let candidates = vec![vec![0, 1], vec![1, 2], vec![0, 1]];
+        let expected: Vec<u64> = candidates.iter().map(|c| d.itemset_support(c)).collect();
+        assert_eq!(
+            expected[0], expected[2],
+            "sanity: duplicates share a support"
+        );
+        assert_eq!(count_candidates_horizontal(&d, &candidates), expected);
+        assert_eq!(TidListCounter.count(&d, &candidates), expected);
+        assert_eq!(supports_of(&d, &candidates), expected);
     }
 
     #[test]

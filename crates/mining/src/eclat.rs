@@ -83,7 +83,12 @@ impl Eclat {
         validate_mining_args(k, min_support)?;
         let tail = frequent_item_tidlists(dataset, min_support);
         let mut output = Vec::new();
-        let mut state = SearchState { min_support, target: k, collect_prefixes, output: &mut output };
+        let mut state = SearchState {
+            min_support,
+            target: k,
+            collect_prefixes,
+            output: &mut output,
+        };
         let mut prefix = Vec::with_capacity(k);
         dfs(&mut prefix, None, &tail, &mut state);
         sort_canonical(&mut output);
@@ -138,7 +143,7 @@ mod tests {
         for k in 1..=4 {
             for s in 1..=5 {
                 assert_eq!(
-                    Eclat::default().mine_k(&d, k, s).unwrap(),
+                    Eclat.mine_k(&d, k, s).unwrap(),
                     Apriori::default().mine_k(&d, k, s).unwrap(),
                     "k = {k}, s = {s}"
                 );
@@ -149,7 +154,7 @@ mod tests {
     #[test]
     fn pair_supports_are_exact() {
         let d = toy();
-        let mined = Eclat::default().mine_k(&d, 2, 4).unwrap();
+        let mined = Eclat.mine_k(&d, 2, 4).unwrap();
         for m in &mined {
             assert_eq!(m.support, d.itemset_support(&m.items));
         }
@@ -159,10 +164,8 @@ mod tests {
     #[test]
     fn mine_up_to_includes_all_sizes() {
         let d = toy();
-        let all = Eclat::default().mine_up_to(&d, 3, 3).unwrap();
-        let by_level: usize = (1..=3)
-            .map(|k| Eclat::default().mine_k(&d, k, 3).unwrap().len())
-            .sum();
+        let all = Eclat.mine_up_to(&d, 3, 3).unwrap();
+        let by_level: usize = (1..=3).map(|k| Eclat.mine_k(&d, k, 3).unwrap().len()).sum();
         assert_eq!(all.len(), by_level);
         // Every reported support is exact.
         for m in &all {
@@ -173,12 +176,12 @@ mod tests {
     #[test]
     fn deep_target_on_shallow_data_is_empty() {
         let d = toy();
-        assert!(Eclat::default().mine_k(&d, 5, 1).unwrap().is_empty());
+        assert!(Eclat.mine_k(&d, 5, 1).unwrap().is_empty());
     }
 
     #[test]
     fn empty_dataset() {
         let d = TransactionDataset::empty(4);
-        assert!(Eclat::default().mine_k(&d, 2, 1).unwrap().is_empty());
+        assert!(Eclat.mine_k(&d, 2, 1).unwrap().is_empty());
     }
 }

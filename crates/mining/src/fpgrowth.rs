@@ -152,7 +152,14 @@ fn mine_tree(
                 for (path, count) in &base {
                     conditional.insert(path, *count);
                 }
-                mine_tree(&conditional, rank_to_item, min_support, max_len, suffix, output);
+                mine_tree(
+                    &conditional,
+                    rank_to_item,
+                    min_support,
+                    max_len,
+                    suffix,
+                    output,
+                );
             }
         }
         suffix.pop();
@@ -174,7 +181,9 @@ impl FpGrowth {
             .filter(|&i| supports[i as usize] >= min_support)
             .collect();
         frequent.sort_by(|&a, &b| {
-            supports[b as usize].cmp(&supports[a as usize]).then(a.cmp(&b))
+            supports[b as usize]
+                .cmp(&supports[a as usize])
+                .then(a.cmp(&b))
         });
         if frequent.is_empty() {
             return Ok(Vec::new());
@@ -189,7 +198,9 @@ impl FpGrowth {
         for txn in dataset.iter() {
             ranked.clear();
             ranked.extend(
-                txn.iter().map(|&i| item_to_rank[i as usize]).filter(|&r| r != u32::MAX),
+                txn.iter()
+                    .map(|&i| item_to_rank[i as usize])
+                    .filter(|&r| r != u32::MAX),
             );
             ranked.sort_unstable();
             tree.insert(&ranked, 1);
@@ -197,7 +208,14 @@ impl FpGrowth {
 
         let mut output = Vec::new();
         let mut suffix = Vec::new();
-        mine_tree(&tree, &frequent, min_support, max_len, &mut suffix, &mut output);
+        mine_tree(
+            &tree,
+            &frequent,
+            min_support,
+            max_len,
+            &mut suffix,
+            &mut output,
+        );
         sort_canonical(&mut output);
         Ok(output)
     }
@@ -269,7 +287,12 @@ mod tests {
         let mined = FpGrowth.mine_up_to(&d, 3, 2).unwrap();
         assert!(!mined.is_empty());
         for m in &mined {
-            assert_eq!(m.support, d.itemset_support(&m.items), "itemset {:?}", m.items);
+            assert_eq!(
+                m.support,
+                d.itemset_support(&m.items),
+                "itemset {:?}",
+                m.items
+            );
         }
     }
 
@@ -277,11 +300,7 @@ mod tests {
     fn single_path_tree() {
         // All transactions identical: the FP-tree is one path; every subset of the
         // transaction is frequent with the same support.
-        let d = TransactionDataset::from_transactions(
-            4,
-            vec![vec![0, 1, 2]; 5],
-        )
-        .unwrap();
+        let d = TransactionDataset::from_transactions(4, vec![vec![0, 1, 2]; 5]).unwrap();
         let pairs = FpGrowth.mine_k(&d, 2, 5).unwrap();
         assert_eq!(pairs.len(), 3);
         assert!(pairs.iter().all(|p| p.support == 5));

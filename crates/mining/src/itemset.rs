@@ -206,7 +206,14 @@ mod tests {
         for_each_k_subset(&[1, 2, 3, 4], 2, |s| seen.push(s.to_vec()));
         assert_eq!(
             seen,
-            vec![vec![1, 2], vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4], vec![3, 4]]
+            vec![
+                vec![1, 2],
+                vec![1, 3],
+                vec![1, 4],
+                vec![2, 3],
+                vec![2, 4],
+                vec![3, 4]
+            ]
         );
         let mut count = 0usize;
         for_each_k_subset(&[1, 2, 3, 4, 5, 6], 3, |_| count += 1);

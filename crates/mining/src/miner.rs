@@ -91,8 +91,12 @@ pub enum MinerKind {
 
 impl MinerKind {
     /// All algorithm kinds (useful for cross-checking tests and benches).
-    pub const ALL: [MinerKind; 4] =
-        [MinerKind::Apriori, MinerKind::Eclat, MinerKind::FpGrowth, MinerKind::BruteForce];
+    pub const ALL: [MinerKind; 4] = [
+        MinerKind::Apriori,
+        MinerKind::Eclat,
+        MinerKind::FpGrowth,
+        MinerKind::BruteForce,
+    ];
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -117,8 +121,8 @@ impl MinerKind {
     ) -> Result<Vec<ItemsetSupport>> {
         match self {
             MinerKind::Apriori => Apriori::default().mine_k(dataset, k, min_support),
-            MinerKind::Eclat => Eclat::default().mine_k(dataset, k, min_support),
-            MinerKind::FpGrowth => FpGrowth::default().mine_k(dataset, k, min_support),
+            MinerKind::Eclat => Eclat.mine_k(dataset, k, min_support),
+            MinerKind::FpGrowth => FpGrowth.mine_k(dataset, k, min_support),
             MinerKind::BruteForce => BruteForce.mine_k(dataset, k, min_support),
         }
     }

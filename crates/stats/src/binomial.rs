@@ -129,7 +129,10 @@ impl Binomial {
     ///
     /// Panics if `q` is not in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile level must be in [0,1], got {q}"
+        );
         if q <= 0.0 {
             return 0;
         }
@@ -169,7 +172,10 @@ mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * b.abs().max(1e-300), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1e-300),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]
@@ -255,7 +261,10 @@ mod tests {
         // Exact Poisson(1) tail at 7 is ~8.32e-5; the binomial is essentially identical.
         assert!(p > 5e-5 && p < 2e-4, "got {p}");
         let expected_pairs = 499_500.0 * p;
-        assert!(expected_pairs > 30.0 && expected_pairs < 80.0, "got {expected_pairs}");
+        assert!(
+            expected_pairs > 30.0 && expected_pairs < 80.0,
+            "got {expected_pairs}"
+        );
     }
 
     #[test]
@@ -266,7 +275,10 @@ mod tests {
         for s in 1..20u64 {
             let pb = b.sf(s);
             let pp = pois.sf(s);
-            assert!((pb - pp).abs() < 1e-6, "s={s}: binomial {pb} vs poisson {pp}");
+            assert!(
+                (pb - pp).abs() < 1e-6,
+                "s={s}: binomial {pb} vs poisson {pp}"
+            );
         }
     }
 

@@ -131,7 +131,10 @@ mod tests {
             let x = (mu * (1.0 - delta)).floor() as u64;
             let exact = b.cdf(x).ln();
             let bound = ln_chernoff_lower(mu, delta).unwrap();
-            assert!(bound >= exact - 1e-9, "delta={delta}: bound {bound} < exact {exact}");
+            assert!(
+                bound >= exact - 1e-9,
+                "delta={delta}: bound {bound} < exact {exact}"
+            );
         }
     }
 
@@ -140,7 +143,10 @@ mod tests {
         for &(mu, delta) in &[(1.0, 0.5), (10.0, 1.0), (50.0, 3.0)] {
             let tight = ln_chernoff_upper(mu, delta).unwrap();
             let simple = ln_chernoff_upper_simple(mu, delta).unwrap();
-            assert!(simple >= tight - 1e-12, "simple {simple} tighter than tight {tight}");
+            assert!(
+                simple >= tight - 1e-12,
+                "simple {simple} tighter than tight {tight}"
+            );
         }
     }
 

@@ -65,8 +65,18 @@ pub fn summarize(values: &[f64]) -> Result<Summary> {
         max = max.max(x);
     }
     let count = values.len();
-    let variance = if count > 1 { m2 / (count as f64 - 1.0) } else { 0.0 };
-    Ok(Summary { count, mean, variance, min, max })
+    let variance = if count > 1 {
+        m2 / (count as f64 - 1.0)
+    } else {
+        0.0
+    };
+    Ok(Summary {
+        count,
+        mean,
+        variance,
+        min,
+        max,
+    })
 }
 
 /// Empirical quantile with linear interpolation (type-7, the default of most
@@ -88,7 +98,10 @@ pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
     }
     let mut sorted: Vec<f64> = values.to_vec();
     if sorted.iter().any(|v| v.is_nan()) {
-        return Err(StatsError::InvalidParameter { name: "values", reason: "NaN present".into() });
+        return Err(StatsError::InvalidParameter {
+            name: "values",
+            reason: "NaN present".into(),
+        });
     }
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let n = sorted.len();
@@ -131,7 +144,11 @@ impl Histogram {
                 reason: "must be > 0".into(),
             });
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins] })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
     }
 
     /// Add an observation.
@@ -160,7 +177,10 @@ impl Histogram {
     /// The `(lower, upper)` bounds of bucket `i`.
     pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (self.lo + i as f64 * width, self.lo + (i as f64 + 1.0) * width)
+        (
+            self.lo + i as f64 * width,
+            self.lo + (i as f64 + 1.0) * width,
+        )
     }
 }
 

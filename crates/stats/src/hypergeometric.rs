@@ -39,7 +39,11 @@ impl Hypergeometric {
                 reason: format!("draws ({draws}) must be <= total ({total})"),
             });
         }
-        Ok(Hypergeometric { total, successes, draws })
+        Ok(Hypergeometric {
+            total,
+            successes,
+            draws,
+        })
     }
 
     /// Smallest attainable value, `max(0, draws + successes - total)`.

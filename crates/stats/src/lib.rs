@@ -103,8 +103,14 @@ impl fmt::Display for StatsError {
             StatsError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
-            StatsError::NonConvergence { routine, iterations } => {
-                write!(f, "routine `{routine}` did not converge after {iterations} iterations")
+            StatsError::NonConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "routine `{routine}` did not converge after {iterations} iterations"
+                )
             }
             StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
         }
@@ -122,10 +128,16 @@ mod lib_tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = StatsError::InvalidParameter { name: "p", reason: "must be in [0,1]".into() };
+        let e = StatsError::InvalidParameter {
+            name: "p",
+            reason: "must be in [0,1]".into(),
+        };
         assert!(e.to_string().contains("p"));
         assert!(e.to_string().contains("[0,1]"));
-        let e = StatsError::NonConvergence { routine: "incomplete_beta", iterations: 200 };
+        let e = StatsError::NonConvergence {
+            routine: "incomplete_beta",
+            iterations: 200,
+        };
         assert!(e.to_string().contains("incomplete_beta"));
         let e = StatsError::EmptyInput("p-values");
         assert!(e.to_string().contains("p-values"));

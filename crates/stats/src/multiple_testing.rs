@@ -85,7 +85,9 @@ fn validate_m_total(m_total: f64, supplied: usize) -> Result<()> {
 fn order_by_p(p_values: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..p_values.len()).collect();
     order.sort_by(|&a, &b| {
-        p_values[a].partial_cmp(&p_values[b]).expect("p-values validated as non-NaN")
+        p_values[a]
+            .partial_cmp(&p_values[b])
+            .expect("p-values validated as non-NaN")
     });
     order
 }
@@ -102,12 +104,20 @@ pub fn bonferroni(p_values: &[f64], alpha: f64, m_total: f64) -> Result<Correcti
     validate_level("alpha", alpha)?;
     validate_m_total(m_total, p_values.len())?;
     let cutoff = alpha / m_total;
-    let rejected: Vec<usize> =
-        (0..p_values.len()).filter(|&i| p_values[i] <= cutoff).collect();
-    let p_value_cutoff = rejected.iter().map(|&i| p_values[i]).fold(None, |acc: Option<f64>, p| {
-        Some(acc.map_or(p, |a| a.max(p)))
-    });
-    Ok(CorrectionOutcome { rejected, p_value_cutoff, hypotheses: m_total })
+    let rejected: Vec<usize> = (0..p_values.len())
+        .filter(|&i| p_values[i] <= cutoff)
+        .collect();
+    let p_value_cutoff = rejected
+        .iter()
+        .map(|&i| p_values[i])
+        .fold(None, |acc: Option<f64>, p| {
+            Some(acc.map_or(p, |a| a.max(p)))
+        });
+    Ok(CorrectionOutcome {
+        rejected,
+        p_value_cutoff,
+        hypotheses: m_total,
+    })
 }
 
 /// Holm's step-down procedure controlling the FWER at `alpha`.
@@ -136,7 +146,11 @@ pub fn holm(p_values: &[f64], alpha: f64, m_total: f64) -> Result<CorrectionOutc
         }
     }
     rejected.sort_unstable();
-    Ok(CorrectionOutcome { rejected, p_value_cutoff, hypotheses: m_total })
+    Ok(CorrectionOutcome {
+        rejected,
+        p_value_cutoff,
+        hypotheses: m_total,
+    })
 }
 
 /// Benjamini–Hochberg step-up procedure controlling the FDR at `q` under
@@ -197,7 +211,11 @@ fn step_up(p_values: &[f64], q: f64, m_total: f64, penalty: f64) -> Result<Corre
             (idxs, Some(cutoff))
         }
     };
-    Ok(CorrectionOutcome { rejected, p_value_cutoff, hypotheses: m_total })
+    Ok(CorrectionOutcome {
+        rejected,
+        p_value_cutoff,
+        hypotheses: m_total,
+    })
 }
 
 /// Empirical false discovery proportion given a ground-truth set of false null
@@ -260,7 +278,10 @@ mod tests {
         let bonf = bonferroni(&p, 0.05, 5.0).unwrap();
         let holm_out = holm(&p, 0.05, 5.0).unwrap();
         for idx in &bonf.rejected {
-            assert!(holm_out.rejected.contains(idx), "Holm must reject everything Bonferroni does");
+            assert!(
+                holm_out.rejected.contains(idx),
+                "Holm must reject everything Bonferroni does"
+            );
         }
         // For this vector Holm rejects strictly more: 0.005 <= 0.05/5 and 0.011 <= 0.05/4.
         assert_eq!(bonf.rejected, vec![0]);
@@ -270,7 +291,9 @@ mod tests {
     #[test]
     fn benjamini_hochberg_textbook_example() {
         // Classic example: m = 10 p-values, q = 0.05.
-        let p = [0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.324];
+        let p = [
+            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.324,
+        ];
         let out = benjamini_hochberg(&p, 0.05, 10.0).unwrap();
         // Thresholds i*0.005: the largest i with p_(i) <= i*0.005 is i = 9 (0.0459 > 0.045? no).
         // i=9 -> 0.045; p_(9)=0.0459 > 0.045, i=8 -> 0.04 >= 0.0344 ✓ so l = 8.
@@ -280,7 +303,9 @@ mod tests {
 
     #[test]
     fn benjamini_yekutieli_is_more_conservative_than_bh() {
-        let p = [0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.324];
+        let p = [
+            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.324,
+        ];
         let bh = benjamini_hochberg(&p, 0.05, 10.0).unwrap();
         let by = benjamini_yekutieli(&p, 0.05, 10.0).unwrap();
         assert!(by.num_rejected() <= bh.num_rejected());
@@ -333,7 +358,10 @@ mod tests {
         let mut prev = 0usize;
         for &q in &[0.001, 0.01, 0.05, 0.1, 0.25] {
             let out = benjamini_yekutieli(&p, q, 6.0).unwrap();
-            assert!(out.num_rejected() >= prev, "rejections must be monotone in q");
+            assert!(
+                out.num_rejected() >= prev,
+                "rejections must be monotone in q"
+            );
             prev = out.num_rejected();
         }
     }

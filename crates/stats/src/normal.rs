@@ -40,7 +40,10 @@ impl Normal {
 
     /// The standard Normal distribution `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Mean.
@@ -89,7 +92,10 @@ impl Normal {
     ///
     /// Panics if `q` is not strictly inside `(0, 1)`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!(q > 0.0 && q < 1.0, "quantile level must be in (0,1), got {q}");
+        assert!(
+            q > 0.0 && q < 1.0,
+            "quantile level must be in (0,1), got {q}"
+        );
         self.mu + self.sigma * standard_normal_quantile(q)
     }
 
@@ -109,7 +115,7 @@ fn standard_normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e+01,
         2.209_460_984_245_205e+02,
         -2.759_285_104_469_687e+02,
-        1.383_577_518_672_690e+02,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e+01,
         2.506_628_277_459_239e+00,
     ];

@@ -106,7 +106,10 @@ impl Poisson {
     /// Panics if `q` is not in `[0, 1)` — a Poisson variable is unbounded so the
     /// quantile at exactly 1 is undefined.
     pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..1.0).contains(&q), "quantile level must be in [0,1), got {q}");
+        assert!(
+            (0.0..1.0).contains(&q),
+            "quantile level must be in [0,1), got {q}"
+        );
         if q <= 0.0 || self.lambda == 0.0 {
             return 0;
         }
@@ -162,7 +165,10 @@ mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * b.abs().max(1e-300), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1e-300),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]

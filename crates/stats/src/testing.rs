@@ -97,7 +97,11 @@ pub struct TestDecision {
 impl TestDecision {
     /// Build a decision by comparing a p-value to a significance level.
     pub fn from_p_value(p_value: PValue, alpha: f64) -> Self {
-        TestDecision { p_value, alpha, reject: p_value.is_significant_at(alpha) }
+        TestDecision {
+            p_value,
+            alpha,
+            reject: p_value.is_significant_at(alpha),
+        }
     }
 }
 
@@ -109,7 +113,10 @@ impl TestDecision {
 ///
 /// Panics if `h == 0`.
 pub fn split_alpha_evenly(alpha: f64, h: usize) -> Vec<f64> {
-    assert!(h > 0, "cannot split a significance budget across zero tests");
+    assert!(
+        h > 0,
+        "cannot split a significance budget across zero tests"
+    );
     vec![alpha / h as f64; h]
 }
 

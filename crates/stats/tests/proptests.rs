@@ -11,7 +11,9 @@ use sigfim_stats::chernoff::ln_chernoff_upper_at;
 use sigfim_stats::multiple_testing::{benjamini_hochberg, benjamini_yekutieli, bonferroni, holm};
 use sigfim_stats::normal::Normal;
 use sigfim_stats::poisson::Poisson;
-use sigfim_stats::special::{harmonic_number, ln_choose, reg_inc_beta, reg_lower_gamma, reg_upper_gamma};
+use sigfim_stats::special::{
+    harmonic_number, ln_choose, reg_inc_beta, reg_lower_gamma, reg_upper_gamma,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

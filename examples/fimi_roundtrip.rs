@@ -50,7 +50,10 @@ fn main() {
     let dataset = &labeled.dataset;
     let summary = DatasetSummary::from_dataset(dataset);
     println!("\nloaded dataset:");
-    println!("{}", summary.table1_row(&path.file_name().unwrap_or_default().to_string_lossy()));
+    println!(
+        "{}",
+        summary.table1_row(&path.file_name().unwrap_or_default().to_string_lossy())
+    );
 
     // Analyze.
     println!("\nrunning Algorithm 1 + Procedure 2 for k = {k} ...");
@@ -71,7 +74,10 @@ fn main() {
             );
         }
         if report.procedure2.significant.len() > 20 {
-            println!("  ... and {} more", report.procedure2.significant.len() - 20);
+            println!(
+                "  ... and {} more",
+                report.procedure2.significant.len() - 20
+            );
         }
         println!("(threshold s* = {s_star})");
     } else {

@@ -32,7 +32,9 @@ fn main() {
         corruption: 0.2,
     };
     let mut rng = StdRng::seed_from_u64(99);
-    let (dataset, latent_patterns) = config.generate(&mut rng).expect("valid Quest configuration");
+    let (dataset, latent_patterns) = config
+        .generate(&mut rng)
+        .expect("valid Quest configuration");
     let summary = DatasetSummary::from_dataset(&dataset);
     println!("generated Quest market-basket data:");
     println!("{}", summary.table1_row("quest"));
@@ -42,8 +44,9 @@ fn main() {
     // The naive approach: pick a support threshold by gut feeling (say 1% of the
     // transactions) and report everything above it.
     let naive_threshold = (dataset.num_transactions() / 100) as u64;
-    let naive =
-        MinerKind::Apriori.mine_k(&dataset, 2, naive_threshold).expect("mining succeeds");
+    let naive = MinerKind::Apriori
+        .mine_k(&dataset, 2, naive_threshold)
+        .expect("mining succeeds");
     println!(
         "naive mining at an arbitrary 1% support threshold ({naive_threshold}): {} pairs — how many are real?",
         naive.len()
@@ -76,9 +79,9 @@ fn main() {
                 let matching = discovered
                     .iter()
                     .filter(|d| {
-                        latent_patterns.iter().any(|p| {
-                            d.iter().all(|item| p.binary_search(item).is_ok())
-                        })
+                        latent_patterns
+                            .iter()
+                            .any(|p| d.iter().all(|item| p.binary_search(item).is_ok()))
                     })
                     .count();
                 println!(

@@ -30,9 +30,18 @@ fn main() {
         .map(|rank| (0.25 * f64::powf(f64::from(rank) + 1.0, -0.9)).max(0.002))
         .collect();
     let configurations: Vec<(&str, BernoulliModel)> = vec![
-        ("sparse-uniform  (t=1500, n=60,  f=0.02)", BernoulliModel::new(1_500, vec![0.02; 60]).unwrap()),
-        ("dense-uniform   (t=800,  n=40,  f=0.10)", BernoulliModel::new(800, vec![0.10; 40]).unwrap()),
-        ("heavy-tailed    (t=2000, n=200, powerlaw)", BernoulliModel::new(2_000, heavy_tail).unwrap()),
+        (
+            "sparse-uniform  (t=1500, n=60,  f=0.02)",
+            BernoulliModel::new(1_500, vec![0.02; 60]).unwrap(),
+        ),
+        (
+            "dense-uniform   (t=800,  n=40,  f=0.10)",
+            BernoulliModel::new(800, vec![0.10; 40]).unwrap(),
+        ),
+        (
+            "heavy-tailed    (t=2000, n=200, powerlaw)",
+            BernoulliModel::new(2_000, heavy_tail).unwrap(),
+        ),
     ];
 
     println!(

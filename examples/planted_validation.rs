@@ -31,7 +31,11 @@ fn main() {
         PlantedPattern::new(vec![17, 44], 120).unwrap(),
         PlantedPattern::new(vec![5, 6, 7], 100).unwrap(),
     ];
-    let model = PlantedModel::new(PlantedConfig { background, patterns }).unwrap();
+    let model = PlantedModel::new(PlantedConfig {
+        background,
+        patterns,
+    })
+    .unwrap();
     let planted: Vec<Vec<ItemId>> = model.patterns().iter().map(|p| p.items.clone()).collect();
 
     println!("validating FDR control (beta = {BETA}) over {REPETITIONS} planted datasets\n");
@@ -53,12 +57,19 @@ fn main() {
             .analyze(&dataset)
             .expect("analysis succeeds");
 
-        let discovered2: Vec<Vec<ItemId>> =
-            report.procedure2.significant.iter().map(|i| i.items.clone()).collect();
+        let discovered2: Vec<Vec<ItemId>> = report
+            .procedure2
+            .significant
+            .iter()
+            .map(|i| i.items.clone())
+            .collect();
         let fdr2 = empirical_fdr(&discovered2, &planted);
         let pow2 = empirical_power(&discovered2, &planted, 2);
 
-        let p1 = report.procedure1.as_ref().expect("baseline enabled by default");
+        let p1 = report
+            .procedure1
+            .as_ref()
+            .expect("baseline enabled by default");
         let discovered1: Vec<Vec<ItemId>> =
             p1.significant().iter().map(|i| i.items.clone()).collect();
         let fdr1 = empirical_fdr(&discovered1, &planted);

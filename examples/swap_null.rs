@@ -34,7 +34,9 @@ fn main() {
         corruption: 0.3,
     };
     let mut rng = StdRng::seed_from_u64(15);
-    let (base, _) = config.generate(&mut rng).expect("valid Quest configuration");
+    let (base, _) = config
+        .generate(&mut rng)
+        .expect("valid Quest configuration");
     let planted = sigfim::datasets::random::plant_into(
         &base,
         &[PlantedPattern::new(vec![10, 20], 300).unwrap()],
@@ -51,18 +53,29 @@ fn main() {
     let replicates = 48;
 
     // Algorithm 1 under both null models.
-    let algorithm = FindPoissonThreshold { replicates, ..FindPoissonThreshold::new(k) };
+    let algorithm = FindPoissonThreshold {
+        replicates,
+        ..FindPoissonThreshold::new(k)
+    };
     let bernoulli = BernoulliModel::from_dataset(&planted);
     let swap = SwapRandomizationModel::new(planted.clone(), 3.0).expect("valid swap model");
 
     let mut rng = StdRng::seed_from_u64(1);
-    let est_bernoulli = algorithm.run(&bernoulli, &mut rng).expect("Algorithm 1 (Bernoulli)");
+    let est_bernoulli = algorithm
+        .run(&bernoulli, &mut rng)
+        .expect("Algorithm 1 (Bernoulli)");
     let mut rng = StdRng::seed_from_u64(1);
     let est_swap = algorithm.run(&swap, &mut rng).expect("Algorithm 1 (swap)");
 
     println!("Algorithm 1 (Delta = {replicates}, epsilon = 0.01):");
-    println!("  Bernoulli null:  s~ = {:>5}, s_min = {:>5}", est_bernoulli.s_tilde, est_bernoulli.s_min);
-    println!("  swap null:       s~ = {:>5}, s_min = {:>5}", est_swap.s_tilde, est_swap.s_min);
+    println!(
+        "  Bernoulli null:  s~ = {:>5}, s_min = {:>5}",
+        est_bernoulli.s_tilde, est_bernoulli.s_min
+    );
+    println!(
+        "  swap null:       s~ = {:>5}, s_min = {:>5}",
+        est_swap.s_tilde, est_swap.s_min
+    );
     println!();
 
     // Full pipeline under both nulls.

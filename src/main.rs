@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] [--epsilon <e>]
-//!        [--replicates <n>] [--seed <n>] [--miner apriori|eclat|fp-growth]
+//!        [--replicates <n>] [--threads <n>] [--seed <n>]
+//!        [--miner apriori|eclat|fp-growth]
 //!        [--swap-null [<swaps-per-entry>]] [--conservative-lambda]
 //!        [--no-baseline] [--list <n>]
 //! ```
@@ -32,6 +33,9 @@ struct CliOptions {
     replicates: usize,
     seed: u64,
     miner: MinerKind,
+    /// Monte-Carlo worker threads: 0 = all cores (the default), 1 = strictly
+    /// sequential. The result is bit-identical either way.
+    threads: usize,
     swap_null: Option<f64>,
     conservative_lambda: bool,
     baseline: bool,
@@ -39,7 +43,8 @@ struct CliOptions {
 }
 
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] \
-    [--epsilon <e>] [--replicates <n>] [--seed <n>] [--miner apriori|eclat|fp-growth] \
+    [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
+    [--miner apriori|eclat|fp-growth] \
     [--swap-null [<swaps-per-entry>]] [--conservative-lambda] [--no-baseline] [--list <n>]";
 
 fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
@@ -53,6 +58,7 @@ fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
         replicates: 64,
         seed: 0xC0FFEE,
         miner: MinerKind::Apriori,
+        threads: 0,
         swap_null: None,
         conservative_lambda: false,
         baseline: true,
@@ -67,6 +73,7 @@ fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
             "--beta" => options.beta = parse_value(&mut args, "--beta")?,
             "--epsilon" => options.epsilon = parse_value(&mut args, "--epsilon")?,
             "--replicates" => options.replicates = parse_value(&mut args, "--replicates")?,
+            "--threads" => options.threads = parse_value(&mut args, "--threads")?,
             "--seed" => options.seed = parse_value(&mut args, "--seed")?,
             "--list" => options.list = parse_value(&mut args, "--list")?,
             "--no-baseline" => options.baseline = false,
@@ -110,8 +117,12 @@ fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
     args: &mut std::iter::Peekable<I>,
     flag: &str,
 ) -> Result<T, String> {
-    let value = args.next().ok_or_else(|| format!("{flag} requires a value"))?;
-    value.parse().map_err(|_| format!("{flag}: could not parse `{value}`"))
+    let value = args
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: could not parse `{value}`"))
 }
 
 fn main() -> ExitCode {
@@ -140,6 +151,7 @@ fn main() -> ExitCode {
         .with_beta(options.beta)
         .with_epsilon(options.epsilon)
         .with_replicates(options.replicates)
+        .with_threads(options.threads)
         .with_seed(options.seed)
         .with_miner(options.miner)
         .with_procedure1(options.baseline)
@@ -174,9 +186,13 @@ fn main() -> ExitCode {
             options.k
         );
         let mut ranked = report.procedure2.significant.clone();
-        ranked.sort_by(|a, b| b.support.cmp(&a.support));
+        ranked.sort_by_key(|m| std::cmp::Reverse(m.support));
         for itemset in ranked.iter().take(options.list) {
-            println!("  {:?}  support {}", labeled.labels_of(&itemset.items), itemset.support);
+            println!(
+                "  {:?}  support {}",
+                labeled.labels_of(&itemset.items),
+                itemset.support
+            );
         }
     }
     ExitCode::SUCCESS

@@ -17,7 +17,11 @@ fn standin_marginals_match_table1_at_scale() {
         let mut rng = StdRng::seed_from_u64(17);
         let dataset = bench.sample_standin(scale, &mut rng).unwrap();
         let summary = DatasetSummary::from_dataset(&dataset);
-        assert_eq!(summary.num_transactions, spec.num_transactions, "{}", spec.name);
+        assert_eq!(
+            summary.num_transactions, spec.num_transactions,
+            "{}",
+            spec.name
+        );
         assert_eq!(summary.num_items, spec.num_items, "{}", spec.name);
         let rel_len_error = (summary.avg_transaction_len - spec.avg_transaction_len).abs()
             / spec.avg_transaction_len;
@@ -42,7 +46,9 @@ fn standin_marginals_match_table1_at_scale() {
 #[test]
 fn all_miners_agree_on_a_standin_sample() {
     let mut rng = StdRng::seed_from_u64(3);
-    let dataset = BenchmarkDataset::Bms1.sample_standin(16.0, &mut rng).unwrap();
+    let dataset = BenchmarkDataset::Bms1
+        .sample_standin(16.0, &mut rng)
+        .unwrap();
     // Mine pairs at a support around the planted level (0.7% of t).
     let threshold = (dataset.num_transactions() as f64 * 0.005).round() as u64;
     let apriori = MinerKind::Apriori.mine_k(&dataset, 2, threshold).unwrap();
@@ -50,7 +56,10 @@ fn all_miners_agree_on_a_standin_sample() {
     let fp = MinerKind::FpGrowth.mine_k(&dataset, 2, threshold).unwrap();
     assert_eq!(apriori, eclat);
     assert_eq!(apriori, fp);
-    assert!(!apriori.is_empty(), "the planted Bms1 pairs must be frequent at {threshold}");
+    assert!(
+        !apriori.is_empty(),
+        "the planted Bms1 pairs must be frequent at {threshold}"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sigfim::mining::closed::{closed_generator_analysis, closed_frequent_itemsets, closure};
+use sigfim::mining::closed::{closed_frequent_itemsets, closed_generator_analysis, closure};
 use sigfim::prelude::*;
 
 /// Build a Bms1-like situation at miniature scale: sparse background plus one block
@@ -86,6 +86,8 @@ fn closed_itemsets_are_far_fewer_than_all_itemsets() {
     );
     // Every closed pair is one of the frequent pairs with identical support.
     for c in &closed_pairs {
-        assert!(all_pairs.iter().any(|p| p.items == c.items && p.support == c.support));
+        assert!(all_pairs
+            .iter()
+            .any(|p| p.items == c.items && p.support == c.support));
     }
 }

@@ -45,10 +45,20 @@ fn planted_pairs_are_recovered_with_controlled_fdr() {
             report.procedure2.s_star.is_some(),
             "run {run}: the planted structure must produce a finite s*"
         );
-        let discovered: Vec<Vec<ItemId>> =
-            report.procedure2.significant.iter().map(|i| i.items.clone()).collect();
-        assert!(discovered.contains(&vec![3, 9]), "run {run}: planted pair {{3,9}} missing");
-        assert!(discovered.contains(&vec![15, 27]), "run {run}: planted pair {{15,27}} missing");
+        let discovered: Vec<Vec<ItemId>> = report
+            .procedure2
+            .significant
+            .iter()
+            .map(|i| i.items.clone())
+            .collect();
+        assert!(
+            discovered.contains(&vec![3, 9]),
+            "run {run}: planted pair {{3,9}} missing"
+        );
+        assert!(
+            discovered.contains(&vec![15, 27]),
+            "run {run}: planted pair {{15,27}} missing"
+        );
 
         total_fdr += empirical_fdr(&discovered, &planted);
         total_power += empirical_power(&discovered, &planted, 2);
@@ -56,8 +66,14 @@ fn planted_pairs_are_recovered_with_controlled_fdr() {
     let mean_fdr = total_fdr / runs as f64;
     let mean_power = total_power / runs as f64;
     // beta = 0.05; allow generous Monte-Carlo slack but catch gross violations.
-    assert!(mean_fdr <= 0.25, "empirical FDR {mean_fdr} is far above the budget");
-    assert!(mean_power >= 0.5, "empirical power {mean_power} is implausibly low");
+    assert!(
+        mean_fdr <= 0.25,
+        "empirical FDR {mean_fdr} is far above the budget"
+    );
+    assert!(
+        mean_power >= 0.5,
+        "empirical power {mean_power} is implausibly low"
+    );
 }
 
 #[test]
@@ -70,10 +86,17 @@ fn planted_triple_is_recovered_at_k_3() {
         .with_seed(11)
         .analyze(&dataset)
         .expect("analysis succeeds");
-    let s_star = report.procedure2.s_star.expect("planted triple must be detected at k = 3");
+    let s_star = report
+        .procedure2
+        .s_star
+        .expect("planted triple must be detected at k = 3");
     assert!(s_star >= report.threshold.s_min);
     assert!(
-        report.procedure2.significant.iter().any(|i| i.items == vec![20, 21, 22]),
+        report
+            .procedure2
+            .significant
+            .iter()
+            .any(|i| i.items == vec![20, 21, 22]),
         "planted triple missing from {:?}",
         report.procedure2.significant
     );
@@ -93,7 +116,10 @@ fn procedure2_is_at_least_as_powerful_as_procedure1() {
         .expect("analysis succeeds");
     let (r_size, ratio) = report.table5_row().expect("baseline enabled");
     assert!(report.procedure2.s_star.is_some());
-    assert!(r_size >= 1, "the baseline should find at least one of the strong planted pairs");
+    assert!(
+        r_size >= 1,
+        "the baseline should find at least one of the strong planted pairs"
+    );
     assert!(
         ratio >= 0.9,
         "Procedure 2 should not be materially less powerful than Procedure 1 (r = {ratio})"
@@ -123,8 +149,13 @@ fn deterministic_given_seed_across_the_whole_pipeline() {
     let model = planted_model();
     let mut rng = StdRng::seed_from_u64(77);
     let dataset = model.sample(&mut rng);
-    let analyzer = SignificanceAnalyzer::new(2).with_replicates(24).with_seed(123);
+    let analyzer = SignificanceAnalyzer::new(2)
+        .with_replicates(24)
+        .with_seed(123);
     let a = analyzer.analyze(&dataset).unwrap();
     let b = analyzer.analyze(&dataset).unwrap();
-    assert_eq!(a, b, "the full report must be reproducible for a fixed seed");
+    assert_eq!(
+        a, b,
+        "the full report must be reproducible for a fixed seed"
+    );
 }

@@ -1,0 +1,350 @@
+//! Vendored, offline subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! Provides the macro/types surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!` — with a simple but honest measurement
+//! loop: per-sample wall-clock timing with min/median/mean reporting. There is
+//! no statistical regression analysis or HTML report; numbers print to stdout.
+//!
+//! Passing `--test` (what `cargo test --benches` does) runs every benchmark
+//! body exactly once, so bench targets double as smoke tests.
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line configuration: `--test` runs every body once; a bare
+    /// positional argument filters benchmarks by substring. Harness flags that
+    /// the real criterion accepts (`--bench`, `--color`, …) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Default number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Target measurement time per benchmark (upper bound on sampling).
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        self.run_one(&label, sample_size, measurement_time, &mut f);
+        self
+    }
+
+    fn run_one<F>(&self, label: &str, sample_size: usize, measurement_time: Duration, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: if self.test_mode {
+                Duration::ZERO
+            } else {
+                measurement_time
+            },
+            sample_size: if self.test_mode { 1 } else { sample_size },
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("bench {label}: ok (test mode)");
+            return;
+        }
+        bencher.samples.sort_unstable();
+        let count = bencher.samples.len().max(1);
+        let min = bencher.samples.first().copied().unwrap_or_default();
+        let median = bencher.samples.get(count / 2).copied().unwrap_or_default();
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / count as u32;
+        println!(
+            "bench {label}: min {} / median {} / mean {} ({count} samples)",
+            DisplayDuration(min),
+            DisplayDuration(median),
+            DisplayDuration(mean),
+        );
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(1));
+        self
+    }
+
+    /// Override the measurement-time budget for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = Some(duration);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion.run_one(&label, sample_size, time, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (reporting happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting up to the configured number of samples within
+    /// the measurement-time budget (always at least one).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.samples.clear();
+        let started = Instant::now();
+        for done in 0..self.sample_size {
+            let sample_start = Instant::now();
+            black_box(routine());
+            self.samples.push(sample_start.elapsed());
+            if done > 0 && started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], accepted wherever benches pass a name.
+pub trait IntoBenchmarkId {
+    /// Convert into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+struct DisplayDuration(Duration);
+
+impl fmt::Display for DisplayDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nanos = self.0.as_nanos();
+        if nanos < 1_000 {
+            write!(f, "{nanos}ns")
+        } else if nanos < 1_000_000 {
+            write!(f, "{:.2}us", nanos as f64 / 1e3)
+        } else if nanos < 1_000_000_000 {
+            write!(f, "{:.2}ms", nanos as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring the upstream macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark harness entry point, mirroring the upstream macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose_labels() {
+        assert_eq!(BenchmarkId::new("mine", 42).label, "mine/42");
+        assert_eq!(BenchmarkId::from_parameter("eclat").label, "eclat");
+        assert_eq!("plain".into_benchmark_id().label, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples_and_runs_the_routine() {
+        let mut criterion = Criterion::default();
+        criterion
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0usize;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut criterion = Criterion::default();
+        criterion
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut group = criterion.benchmark_group("g");
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| seen = d.iter().sum())
+        });
+        group.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(
+            DisplayDuration(Duration::from_nanos(500)).to_string(),
+            "500ns"
+        );
+        assert_eq!(
+            DisplayDuration(Duration::from_micros(1500)).to_string(),
+            "1.50ms"
+        );
+        assert!(DisplayDuration(Duration::from_secs(2))
+            .to_string()
+            .ends_with('s'));
+    }
+}

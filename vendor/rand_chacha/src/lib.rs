@@ -1,0 +1,198 @@
+//! Vendored, offline subset of the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! API: the ChaCha stream cipher run as a counter-mode random number generator.
+//!
+//! The block function is the real ChaCha permutation (djb's specification with the
+//! IETF 32-bit counter layout), so the generators here have the cryptographic
+//! stream structure the workspace relies on for *statistically independent,
+//! index-addressable* Monte-Carlo substreams: seeding is cheap, every (seed,
+//! stream) pair yields an uncorrelated sequence, and outputs are identical on
+//! every platform and at any thread count.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12 or 20).
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: &[u32; 2], rounds: usize) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = nonce[0];
+    state[15] = nonce[1];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            nonce: [u32; 2],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            /// Select a 64-bit stream id: streams with the same seed and different
+            /// ids are independent (the id becomes the ChaCha nonce). Resets the
+            /// word position to the start of the selected stream.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.nonce = [stream as u32, (stream >> 32) as u32];
+                self.counter = 0;
+                self.index = 16;
+            }
+
+            /// The current stream id.
+            pub fn get_stream(&self) -> u64 {
+                self.nonce[0] as u64 | ((self.nonce[1] as u64) << 32)
+            }
+
+            #[inline]
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, &self.nonce, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name {
+                    key,
+                    nonce: [0, 0],
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: the fastest member of the family."
+);
+chacha_rng!(
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds: the recommended speed/quality trade-off."
+);
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds: the full-strength cipher."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn ietf_chacha20_test_vector() {
+        // RFC 7539 §2.3.2: key = 00 01 .. 1f, counter = 1, nonce words set below.
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let key = {
+            let mut k = [0u32; 8];
+            for (w, c) in k.iter_mut().zip(seed.chunks_exact(4)) {
+                *w = u32::from_le_bytes(c.try_into().unwrap());
+            }
+            k
+        };
+        // RFC nonce bytes 00:00:00:09:00:00:00:4a:00:00:00:00 as little-endian
+        // words are [0x09000000, 0x4a000000, 0]; the first one lands in our
+        // 64-bit counter's high half, the other two in the 2-word nonce tail.
+        let counter = 1u64 | (0x0900_0000u64 << 32);
+        let block = chacha_block(&key, counter, &[0x4a00_0000, 0x0000_0000], 20);
+        assert_eq!(block[0], 0xe4e7f110);
+        assert_eq!(block[1], 0x15593bd1);
+        assert_eq!(block[15], 0x4e3c50a2);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        let mut b = ChaCha12Rng::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(99);
+        c.set_stream(1);
+        assert_eq!(c.get_stream(), 1);
+        let head: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        let mut d = ChaCha12Rng::seed_from_u64(99);
+        let other: Vec<u64> = (0..8).map(|_| d.next_u64()).collect();
+        assert_ne!(head, other);
+    }
+
+    #[test]
+    fn usable_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x: f64 = rng.random();
+        assert!((0.0..1.0).contains(&x));
+        let v = rng.random_range(0..10usize);
+        assert!(v < 10);
+        let mut r20 = ChaCha20Rng::seed_from_u64(5);
+        let _ = r20.next_u32();
+    }
+}

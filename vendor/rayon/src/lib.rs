@@ -1,0 +1,201 @@
+//! Vendored, offline subset of the [`rayon`](https://crates.io/crates/rayon)
+//! thread-pool API.
+//!
+//! Only the pieces the workspace's execution layer needs are provided: a
+//! [`ThreadPoolBuilder`]/[`ThreadPool`] pair and an order-stable indexed
+//! parallel map ([`ThreadPool::par_map_indexed`]). Scheduling is dynamic — each
+//! worker claims the next unprocessed index from a shared atomic counter, which
+//! load-balances heterogeneous task costs (mining cost varies a lot between
+//! Monte-Carlo replicates) — but the *output* is always in input order, so
+//! callers see deterministic results regardless of the number of workers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of threads the current machine can usefully run.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The vendored pool cannot actually
+/// fail to build (threads are spawned per batch, not up front); the type exists
+/// for upstream API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (one thread per core).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the number of worker threads; `0` means one per available core.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle describing a worker-thread budget. Workers are spawned scoped per
+/// batch (so borrowed data can cross into them without `'static` bounds) rather
+/// than parked persistently; for the coarse-grained batches the workspace runs
+/// (dataset generation + mining per task) the spawn cost is noise.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The number of worker threads this pool uses.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` in the context of this pool (upstream compatibility shim; the
+    /// vendored pool has no thread-local registry, so this just invokes `op`).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Apply `f` to every element of `items`, in parallel, returning the results
+    /// **in input order**. `f` receives the element index alongside the element.
+    ///
+    /// Workers claim indices dynamically from an atomic counter, so uneven task
+    /// costs still balance; a panic in any task propagates to the caller.
+    pub fn par_map_indexed<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(usize, &T) -> O + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n).max(1);
+        if workers == 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut shards: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= n {
+                                break;
+                            }
+                            local.push((index, f(index, &items[index])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(shard) => shard,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let mut indexed: Vec<(usize, O)> = shards.drain(..).flatten().collect();
+        indexed.sort_unstable_by_key(|(index, _)| *index);
+        indexed.into_iter().map(|(_, output)| output).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_thread_counts() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert!(pool.install(|| 41) == 41);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = pool.par_map_indexed(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_empty_inputs() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(
+            pool.par_map_indexed(&[1, 2, 3], |_, &x| x + 1),
+            vec![2, 3, 4]
+        );
+        let empty: Vec<i32> = Vec::new();
+        assert_eq!(pool.par_map_indexed(&empty, |_, &x| x), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn uneven_task_costs_balance() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.par_map_indexed(&items, |_, &x| {
+            // Skewed work: later items are much more expensive.
+            (0..x * 1000).map(|v| v as u64).sum::<u64>()
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "task failed")]
+    fn worker_panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let items: Vec<usize> = (0..16).collect();
+        let _ = pool.par_map_indexed(&items, |_, &x| {
+            if x == 7 {
+                panic!("task failed");
+            }
+            x
+        });
+    }
+}

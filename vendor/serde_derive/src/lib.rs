@@ -1,0 +1,377 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the registry is offline, so
+//! `syn`/`quote` are unavailable). Supports what the workspace actually derives:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` on a field), and
+//! * enums whose variants are all unit variants (serialized as their name).
+//!
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// A parsed field of a braced struct.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+/// The derivable item shapes.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    /// `struct Name(A, B, …);` — a newtype serializes as its inner value, wider
+    /// tuple structs as a sequence.
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitEnum {
+        name: String,
+        variants: Vec<String>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl must tokenize"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("error tokenizes"),
+    }
+}
+
+type Tokens = Peekable<<TokenStream as IntoIterator>::IntoIter>;
+
+/// Skip one `#[...]` attribute if present; returns its bracket group.
+fn take_attribute(tokens: &mut Tokens) -> Option<TokenStream> {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(g.stream())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Whether an attribute body is `serde(default)` (possibly among other options).
+fn attribute_is_serde_default(body: TokenStream) -> bool {
+    let mut iter = body.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    while take_attribute(&mut tokens).is_some() {}
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => match kind.as_str() {
+            "struct" => Ok(Item::Struct {
+                name,
+                fields: parse_fields(g.stream())?,
+            }),
+            "enum" => Ok(Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream())?,
+            }),
+            other => Err(format!("cannot derive for `{other} {name}`")),
+        },
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        _ => Err(format!(
+            "vendored serde_derive supports only braced/tuple structs and enums (`{name}`)"
+        )),
+    }
+}
+
+/// Number of fields of a tuple struct: top-level commas + 1 (angle-bracket and
+/// group nesting excluded; parens/brackets arrive as opaque groups already).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in body {
+        saw_tokens = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => fields += 1,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field; `fields` counted separators.
+    if saw_tokens {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut has_default = false;
+        while let Some(attr) = take_attribute(&mut tokens) {
+            has_default |= attribute_is_serde_default(attr);
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything up to the next comma that is not nested inside
+        // angle brackets (parens/brackets/braces arrive as opaque groups already).
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                _ => {}
+            }
+            tokens.next();
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while take_attribute(&mut tokens).is_some() {}
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "vendored serde_derive supports only unit enum variants (`{name}` has data)"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({:?}), ::serde::Serialize::to_value(&self.{})),",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match *arity {
+                0 => "::serde::Value::Seq(vec![])".to_string(),
+                1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+                n => {
+                    let elems: String = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{elems}])")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::missing_field({:?}, {:?}))",
+                            name, f.name
+                        )
+                    };
+                    format!(
+                        "{field}: match value.get_field({field_str:?}) {{\n\
+                             ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},",
+                        field = f.name,
+                        field_str = f.name,
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let _ = value.as_map()?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match *arity {
+                0 => format!("{{ let _ = value; ::std::result::Result::Ok({name}()) }}"),
+                1 => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                n => {
+                    let elems: String = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?,"))
+                        .collect();
+                    format!(
+                        "{{\n\
+                             let seq = value.as_seq()?;\n\
+                             if seq.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"expected {n} elements for {name}, got {{}}\", seq.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}({elems}))\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value.as_str()? {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
