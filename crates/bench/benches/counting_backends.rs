@@ -1,0 +1,128 @@
+//! Tid-list vs bitmap support counting across density × k.
+//!
+//! Measures the two vertical counting backends (plus the bitmap batch path
+//! that skips the per-batch bitmap build) on Bernoulli datasets of increasing
+//! density, counting a fixed candidate batch of the top frequent k-itemsets.
+//! This is the workload of Algorithm 1's support-counting of the pool `W` and
+//! of `Q_{k,s}` profiling; the expectation is parity in the sparse regime and
+//! a multiple-× bitmap win in the dense one (a tid-list walk touches
+//! `density · t` ids per item, the bitmap always `⌈t/64⌉` words).
+//!
+//! The null-model replicate loop is measured too: CSR materialization vs
+//! bit-sliced sampling into a reusable scratch bitmap plus bitset-Eclat
+//! mining, which is the Monte-Carlo hot path of `FindPoissonThreshold`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sigfim_datasets::bitmap::{with_bitmap_scratch, BitmapDataset};
+use sigfim_datasets::random::BernoulliModel;
+use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+use sigfim_mining::counting::{
+    count_candidates_bitmap, BitmapCounter, SupportCounter, TidListCounter,
+};
+use sigfim_mining::eclat::Eclat;
+use sigfim_mining::miner::KItemsetMiner;
+
+const TRANSACTIONS: usize = 8_000;
+const ITEMS: usize = 60;
+const CANDIDATES: usize = 256;
+
+/// Densities spanning the auto heuristic's break-even point of 1/64.
+const DENSITIES: [f64; 3] = [0.005, 0.05, 0.25];
+
+fn dataset_at_density(density: f64) -> TransactionDataset {
+    let model = BernoulliModel::new(TRANSACTIONS, vec![density; ITEMS]).unwrap();
+    model.sample(&mut StdRng::seed_from_u64(7))
+}
+
+/// The `CANDIDATES` lexicographically-first k-itemsets over the most frequent
+/// items — a stand-in for the pool `W` of Algorithm 1.
+fn candidate_batch(dataset: &TransactionDataset, k: usize) -> Vec<Vec<ItemId>> {
+    let mut by_support: Vec<(u64, ItemId)> = dataset
+        .item_supports()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as ItemId))
+        .collect();
+    by_support.sort_unstable_by(|a, b| b.cmp(a));
+    let top: Vec<ItemId> = by_support.iter().map(|&(_, i)| i).take(ITEMS).collect();
+    let mut candidates = Vec::with_capacity(CANDIDATES);
+    sigfim_mining::itemset::for_each_k_subset(&top, k, |subset| {
+        if candidates.len() < CANDIDATES {
+            let mut set = subset.to_vec();
+            set.sort_unstable();
+            candidates.push(set);
+        }
+    });
+    candidates
+}
+
+fn bench_counting_backends(c: &mut Criterion) {
+    for density in DENSITIES {
+        let dataset = dataset_at_density(density);
+        let bitmap = BitmapDataset::from_dataset(&dataset);
+        for k in [2usize, 3] {
+            let candidates = candidate_batch(&dataset, k);
+            let mut group = c.benchmark_group(format!("counting_backends/density_{density}/k{k}"));
+            group.bench_with_input(
+                BenchmarkId::from_parameter("tid-list"),
+                &candidates,
+                |b, candidates| {
+                    b.iter(|| TidListCounter.count(black_box(&dataset), black_box(candidates)))
+                },
+            );
+            // The SupportCounter entry point, paying the bitmap build per batch…
+            group.bench_with_input(
+                BenchmarkId::from_parameter("bitmap"),
+                &candidates,
+                |b, candidates| {
+                    b.iter(|| BitmapCounter.count(black_box(&dataset), black_box(candidates)))
+                },
+            );
+            // …and the pre-built-columns path Procedure 2 and the replicate
+            // loop actually use.
+            group.bench_with_input(
+                BenchmarkId::from_parameter("bitmap-prebuilt"),
+                &candidates,
+                |b, candidates| {
+                    b.iter(|| count_candidates_bitmap(black_box(&bitmap), black_box(candidates)))
+                },
+            );
+            group.finish();
+        }
+    }
+}
+
+fn bench_replicate_generation(c: &mut Criterion) {
+    for density in DENSITIES {
+        let model = BernoulliModel::new(TRANSACTIONS, vec![density; ITEMS]).unwrap();
+        let floor = ((TRANSACTIONS as f64 * density * density).floor() as u64).max(1);
+        let mut group = c.benchmark_group(format!("null_replicate/density_{density}"));
+        group.bench_function("csr_sample_and_eclat", |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let dataset = model.sample(&mut rng);
+                Eclat.mine_k(black_box(&dataset), 2, floor).unwrap().len()
+            })
+        });
+        group.bench_function("bitmap_scratch_and_bitset_eclat", |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                with_bitmap_scratch(|scratch| {
+                    model.sample_into_bitmap(&mut rng, scratch);
+                    Eclat
+                        .mine_k_bitmap(black_box(scratch), 2, floor)
+                        .unwrap()
+                        .len()
+                })
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_counting_backends, bench_replicate_generation);
+criterion_main!(benches);

@@ -40,6 +40,7 @@ fn main() {
                 epsilon: 0.01,
                 replicates,
                 policy: ExecutionPolicy::default(),
+                backend: config.backend,
                 max_restarts: 4,
             };
             let mut rng = StdRng::seed_from_u64(config.seed ^ (k as u64) << 8);

@@ -42,6 +42,7 @@ fn main() {
                 let dataset = model.sample(&mut rng);
                 let report = SignificanceAnalyzer::new(k)
                     .with_replicates(replicates)
+                    .with_backend(config.backend)
                     .with_seed(config.seed ^ (instance as u64) ^ ((k as u64) << 32))
                     .with_procedure1(false)
                     .analyze(&dataset)

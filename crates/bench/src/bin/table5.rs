@@ -39,6 +39,7 @@ fn main() {
         for &k in &config.ks {
             let report = SignificanceAnalyzer::new(k)
                 .with_replicates(replicates)
+                .with_backend(config.backend)
                 .with_seed(config.seed ^ ((k as u64) << 16))
                 .with_procedure1(true)
                 .analyze(&dataset)

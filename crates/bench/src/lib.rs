@@ -23,9 +23,12 @@
 //! * `--replicates <n>` — override the number of Monte-Carlo replicates Δ,
 //! * `--instances <n>` — override the number of robustness instances (table4),
 //! * `--datasets <a,b,…>` — restrict to a subset of the six benchmarks,
+//! * `--backend <auto|csr|bitmap>` — force the physical dataset representation
+//!   (results are identical either way; only the speed changes),
 //! * `--k <list>` — restrict the itemset sizes (default `2,3,4`).
 
 use sigfim_datasets::benchmarks::BenchmarkDataset;
+use sigfim_datasets::bitmap::DatasetBackend;
 
 /// Configuration shared by the table binaries, parsed from the command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +47,8 @@ pub struct ExperimentConfig {
     pub ks: Vec<usize>,
     /// Base random seed.
     pub seed: u64,
+    /// Physical dataset backend for the pipeline ({auto, csr, bitmap}).
+    pub backend: DatasetBackend,
     /// Run the Section 4.1 closed-itemset analysis where applicable (table3).
     pub closed_analysis: bool,
 }
@@ -58,6 +63,7 @@ impl Default for ExperimentConfig {
             datasets: Vec::new(),
             ks: vec![2, 3, 4],
             seed: 0xF1A1,
+            backend: DatasetBackend::Auto,
             closed_analysis: false,
         }
     }
@@ -105,6 +111,11 @@ impl ExperimentConfig {
                         .map(|s| s.trim().parse().expect("integer k"))
                         .collect();
                 }
+                "--backend" => {
+                    config.backend = expect_value(&mut iter, "--backend")
+                        .parse()
+                        .expect("--backend expects auto, csr or bitmap");
+                }
                 "--datasets" => {
                     config.datasets = expect_value(&mut iter, "--datasets")
                         .split(',')
@@ -115,7 +126,7 @@ impl ExperimentConfig {
                     panic!(
                         "unknown argument `{other}`; valid flags: --full --scale <x> \
                          --replicates <n> --instances <n> --seed <n> --k <list> \
-                         --datasets <list> --closed-analysis"
+                         --datasets <list> --backend <auto|csr|bitmap> --closed-analysis"
                     );
                 }
             }

@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use sigfim_datasets::bitmap::DatasetBackend;
 use sigfim_datasets::random::{BernoulliModel, NullModel, SwapRandomizationModel};
 use sigfim_datasets::summary::DatasetSummary;
 use sigfim_datasets::transaction::TransactionDataset;
@@ -41,6 +42,7 @@ pub struct SignificanceAnalyzer {
     policy: ExecutionPolicy,
     seed: u64,
     miner: MinerKind,
+    backend: DatasetBackend,
     run_procedure1: bool,
     conservative_lambda: bool,
 }
@@ -60,6 +62,7 @@ impl SignificanceAnalyzer {
             policy: ExecutionPolicy::default(),
             seed: 0x51F1_D009,
             miner: MinerKind::Apriori,
+            backend: DatasetBackend::Auto,
             run_procedure1: true,
             conservative_lambda: false,
         }
@@ -123,6 +126,21 @@ impl SignificanceAnalyzer {
         self
     }
 
+    /// Select the physical dataset backend for the Monte-Carlo replicates and
+    /// the Procedure 2 mining passes. The analysis result is bit-identical
+    /// under every backend (supports are exact either way); `Auto` (the
+    /// default) picks per workload from the density/size heuristic of
+    /// [`DatasetBackend::resolve`].
+    pub fn with_backend(mut self, backend: DatasetBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The dataset backend choice the pipeline will use.
+    pub fn backend(&self) -> DatasetBackend {
+        self.backend
+    }
+
     /// Enable or disable the Procedure 1 baseline (enabled by default).
     pub fn with_procedure1(mut self, enabled: bool) -> Self {
         self.run_procedure1 = enabled;
@@ -148,6 +166,7 @@ impl SignificanceAnalyzer {
             replicates: self.replicates,
             seed: self.seed,
             miner: self.miner,
+            backend: self.backend,
         }
     }
 
@@ -208,6 +227,7 @@ impl SignificanceAnalyzer {
             epsilon: self.epsilon,
             replicates: self.replicates,
             policy: self.policy,
+            backend: self.backend,
             max_restarts: 4,
         };
         let threshold = algorithm1.run(model, &mut rng)?;
@@ -222,6 +242,7 @@ impl SignificanceAnalyzer {
             alpha: self.alpha,
             beta: self.beta,
             miner: self.miner,
+            backend: self.backend,
         }
         .run(dataset, threshold.s_min, &lambda)?;
 

@@ -73,6 +73,7 @@ pub use montecarlo::{FindPoissonThreshold, ThresholdEstimate};
 pub use procedure1::{Procedure1, Procedure1Result};
 pub use procedure2::{Procedure2, Procedure2Result};
 pub use report::AnalysisReport;
+pub use sigfim_datasets::bitmap::DatasetBackend;
 pub use sigfim_exec::ExecutionPolicy;
 
 use std::fmt;

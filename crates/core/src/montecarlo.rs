@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use sigfim_datasets::bitmap::{with_bitmap_scratch, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::random::NullModel;
 use sigfim_datasets::transaction::ItemId;
 use sigfim_exec::{substream, ExecutionPolicy};
@@ -40,6 +41,13 @@ pub struct FindPoissonThreshold {
     /// the estimate is bit-identical under any policy — the rayon policy is just
     /// faster.
     pub policy: ExecutionPolicy,
+    /// Which physical representation the replicate datasets are materialized
+    /// in. `Auto` resolves from the null model's expected density; the bitmap
+    /// path samples each replicate bit-sliced into a reusable per-thread
+    /// buffer and mines it with the bitset Eclat. Replicates consume their RNG
+    /// substreams identically under every backend, so the estimate is
+    /// bit-identical whichever is chosen — the backend only decides speed.
+    pub backend: DatasetBackend,
     /// Maximum number of times the mining floor `s̃` is halved when the initial
     /// floor turns out to be inside the Poisson region already (lines 19–22 of the
     /// pseudocode) or no itemset reaches it (lines 7–9).
@@ -55,6 +63,7 @@ impl FindPoissonThreshold {
             epsilon: 0.01,
             replicates: 64,
             policy: ExecutionPolicy::default(),
+            backend: DatasetBackend::Auto,
             max_restarts: 4,
         }
     }
@@ -214,6 +223,13 @@ impl FindPoissonThreshold {
     /// random bytes each replicate sees are therefore a function of the key and
     /// its index alone — never of scheduling — so the pooled observations are
     /// bit-identical under every [`ExecutionPolicy`].
+    ///
+    /// Backend dispatch happens here, once per batch: on the bitmap path each
+    /// worker thread samples its replicates *directly into one reusable bitmap
+    /// scratch buffer* (no CSR dataset, no per-replicate allocation once the
+    /// buffer is warm) and mines them with the bitset Eclat. Both paths consume
+    /// the RNG identically and mine exact supports, so they pool identical
+    /// observations.
     fn collect_observations<M: NullModel + Sync, R: Rng + ?Sized>(
         &self,
         model: &M,
@@ -224,15 +240,29 @@ impl FindPoissonThreshold {
         let batch_key: u64 = rng.random();
         let indices: Vec<u64> = (0..replicates as u64).collect();
         let k = self.k;
+        let backend = self.backend.resolve(
+            model.num_items() as u32,
+            model.num_transactions(),
+            model.expected_density(),
+        );
         let per_replicate: Vec<HashMap<Vec<ItemId>, u64>> =
             self.policy.try_map_indexed(&indices, |_, &index| {
                 let mut local = substream(batch_key, index);
-                let dataset = model.sample_dataset(&mut local);
                 // Eclat handles the low-floor regime (s̃ close to 1 on sparse
                 // data) much better than level-wise Apriori: its work is
                 // proportional to the number of frequent itemsets rather than to
                 // the candidate joins.
-                Eclat.mine_k(&dataset, k, floor).map(|mined| {
+                let mined = match backend {
+                    ResolvedBackend::Csr => {
+                        let dataset = model.sample_dataset(&mut local);
+                        Eclat.mine_k(&dataset, k, floor)
+                    }
+                    ResolvedBackend::Bitmap => with_bitmap_scratch(|scratch| {
+                        model.sample_into_bitmap(&mut local, scratch);
+                        Eclat.mine_k_bitmap(scratch, k, floor)
+                    }),
+                };
+                mined.map(|mined| {
                     mined
                         .into_iter()
                         .map(|m| (m.items, m.support))

@@ -21,8 +21,10 @@
 //! holds, the dataset is indistinguishable from its null model.
 
 use serde::{Deserialize, Serialize};
+use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::transaction::TransactionDataset;
 use sigfim_mining::counting::SupportProfile;
+use sigfim_mining::eclat::Eclat;
 use sigfim_mining::itemset::ItemsetSupport;
 use sigfim_mining::miner::MinerKind;
 use sigfim_stats::testing::{split_alpha_evenly, split_beta_evenly};
@@ -43,6 +45,11 @@ pub struct Procedure2 {
     pub beta: f64,
     /// Mining algorithm used to compute the support profile and the final family.
     pub miner: MinerKind,
+    /// Physical dataset representation for the profile mining and the final
+    /// family: `Auto` resolves from the dataset's measured density, and the
+    /// bitmap path mines with the bitset Eclat over a bitmap built once. The
+    /// result is identical under every backend.
+    pub backend: DatasetBackend,
 }
 
 impl Procedure2 {
@@ -54,6 +61,7 @@ impl Procedure2 {
             alpha: 0.05,
             beta: 0.05,
             miner: MinerKind::Apriori,
+            backend: DatasetBackend::Auto,
         }
     }
 
@@ -118,13 +126,25 @@ impl Procedure2 {
         let alphas = split_alpha_evenly(self.alpha, h);
         let betas = split_beta_evenly(self.beta, h);
 
+        // Resolve the physical representation once; on the bitmap path the
+        // bit-columns are built a single time and serve both the profile pass
+        // and the final family mining below.
+        let backend = self.backend.resolve_for_dataset(dataset);
+        let bitmap = match backend {
+            ResolvedBackend::Bitmap if s_max >= s_min => Some(BitmapDataset::from_dataset(dataset)),
+            _ => None,
+        };
+
         // One mining pass at the floor answers every Q_{k,s_i} query. The selected
-        // miner counts through the density-chosen SupportCounter.
-        let profile = if s_max >= s_min {
-            SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?
-        } else {
+        // miner counts through the density-chosen SupportCounter; the bitmap path
+        // mines with the bitset Eclat instead.
+        let profile = match &bitmap {
+            Some(bitmap) => SupportProfile::from_bitmap(bitmap, self.k, s_min)?,
+            None if s_max >= s_min => {
+                SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?
+            }
             // No itemset can reach s_min; the profile is empty.
-            SupportProfile::from_itemsets(self.k, s_min, &[])
+            None => SupportProfile::from_itemsets(self.k, s_min, &[]),
         };
 
         let mut tests = Vec::with_capacity(h);
@@ -155,9 +175,10 @@ impl Procedure2 {
             }
         }
 
-        let significant = match s_star {
-            Some(s) => self.miner.mine_k(dataset, self.k, s)?,
-            None => Vec::new(),
+        let significant = match (s_star, &bitmap) {
+            (Some(s), Some(bitmap)) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
+            (Some(s), None) => self.miner.mine_k(dataset, self.k, s)?,
+            (None, _) => Vec::new(),
         };
 
         Ok(Procedure2Result {

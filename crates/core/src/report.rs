@@ -7,6 +7,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use sigfim_datasets::bitmap::DatasetBackend;
 use sigfim_datasets::summary::DatasetSummary;
 use sigfim_mining::miner::MinerKind;
 
@@ -31,6 +32,8 @@ pub struct AnalysisParameters {
     pub seed: u64,
     /// Mining algorithm.
     pub miner: MinerKind,
+    /// Physical dataset backend ({auto, csr, bitmap}).
+    pub backend: DatasetBackend,
 }
 
 /// The full outcome of [`crate::SignificanceAnalyzer::analyze`].
@@ -175,6 +178,7 @@ mod tests {
                 replicates: 16,
                 seed: 1,
                 miner: MinerKind::Apriori,
+                backend: DatasetBackend::Auto,
             },
             dataset: DatasetSummary {
                 num_items: 20,

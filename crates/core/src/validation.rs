@@ -12,9 +12,11 @@ use std::collections::HashMap;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use sigfim_datasets::random::BernoulliModel;
+use sigfim_datasets::bitmap::{with_bitmap_scratch, DatasetBackend, ResolvedBackend};
+use sigfim_datasets::random::{BernoulliModel, NullModel};
 use sigfim_datasets::transaction::ItemId;
 use sigfim_mining::apriori::Apriori;
+use sigfim_mining::eclat::Eclat;
 use sigfim_mining::miner::KItemsetMiner;
 use sigfim_stats::Poisson;
 
@@ -116,6 +118,27 @@ pub fn poisson_fit<R: Rng + ?Sized>(
     replicates: usize,
     rng: &mut R,
 ) -> Result<PoissonFitReport> {
+    poisson_fit_with_backend(model, k, s, replicates, DatasetBackend::Auto, rng)
+}
+
+/// [`poisson_fit`] with an explicit dataset-backend choice for its replicate
+/// loop. On the bitmap path every replicate is sampled bit-sliced into this
+/// thread's reusable scratch bitmap and mined with the bitset Eclat — no
+/// per-replicate dataset allocation at all. The reported distribution is
+/// identical under every backend (the RNG is consumed identically and all
+/// miners return the same `Q̂_{k,s}`).
+///
+/// # Errors
+///
+/// Same conditions as [`poisson_fit`].
+pub fn poisson_fit_with_backend<R: Rng + ?Sized>(
+    model: &BernoulliModel,
+    k: usize,
+    s: u64,
+    replicates: usize,
+    backend: DatasetBackend,
+    rng: &mut R,
+) -> Result<PoissonFitReport> {
     if k == 0 || s == 0 {
         return Err(CoreError::InvalidParameter {
             name: "k/s",
@@ -128,13 +151,28 @@ pub fn poisson_fit<R: Rng + ?Sized>(
             reason: "at least one replicate is required".into(),
         });
     }
+    let resolved = backend.resolve(
+        model.num_items() as u32,
+        model.num_transactions(),
+        NullModel::expected_density(model),
+    );
     let miner = Apriori::default();
     let mut histogram: HashMap<u64, u64> = HashMap::new();
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
     for _ in 0..replicates {
-        let dataset = model.sample(rng);
-        let q = miner.mine_k(&dataset, k, s)?.len() as u64;
+        let q = match resolved {
+            ResolvedBackend::Csr => {
+                let dataset = model.sample(rng);
+                miner.mine_k(&dataset, k, s)?.len() as u64
+            }
+            ResolvedBackend::Bitmap => with_bitmap_scratch(|scratch| {
+                model.sample_into_bitmap(rng, scratch);
+                Eclat
+                    .mine_k_bitmap(scratch, k, s)
+                    .map(|mined| mined.len() as u64)
+            })?,
+        };
         *histogram.entry(q).or_insert(0) += 1;
         sum += q as f64;
         sum_sq += (q as f64) * (q as f64);
@@ -143,13 +181,18 @@ pub fn poisson_fit<R: Rng + ?Sized>(
     let empirical_mean = sum / n;
     let empirical_variance = (sum_sq / n - empirical_mean * empirical_mean).max(0.0);
 
+    let mut counts: Vec<(u64, u64)> = histogram.into_iter().collect();
+    counts.sort_unstable();
+
     // Total variation distance between the empirical pmf and Poisson(empirical_mean):
     // 1/2 * sum over all outcomes |empirical - poisson|. Outcomes never observed
-    // contribute their Poisson mass, accounted for by the residual term.
+    // contribute their Poisson mass, accounted for by the residual term. Summed
+    // in sorted outcome order so the float result is deterministic (a HashMap
+    // walk would reorder the additions from run to run).
     let poisson = Poisson::new(empirical_mean)?;
     let mut tv = 0.0f64;
     let mut covered = 0.0f64;
-    for (&q, &count) in &histogram {
+    for &(q, count) in &counts {
         let empirical = count as f64 / n;
         let theoretical = poisson.pmf(q);
         tv += (empirical - theoretical).abs();
@@ -157,9 +200,6 @@ pub fn poisson_fit<R: Rng + ?Sized>(
     }
     tv += 1.0 - covered.min(1.0);
     tv *= 0.5;
-
-    let mut counts: Vec<(u64, u64)> = histogram.into_iter().collect();
-    counts.sort_unstable();
     Ok(PoissonFitReport {
         k,
         s,

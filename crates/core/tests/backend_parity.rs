@@ -1,0 +1,152 @@
+//! Backend-parity contract: the CSR and bitmap dataset backends produce
+//! **identical supports** and **bit-identical** Monte-Carlo estimates for the
+//! same seed, at every thread count. This is what makes `--backend` a pure
+//! performance knob.
+//!
+//! CI runs this suite twice — with `RAYON_NUM_THREADS`-style worker counts of
+//! 1 and 8 supplied through the explicit `ExecutionPolicy` matrix below — so a
+//! regression in either the RNG-consumption contract of `sample_into_bitmap`
+//! or the bitset Eclat shows up as a hard failure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim_core::montecarlo::FindPoissonThreshold;
+use sigfim_core::procedure2::Procedure2;
+use sigfim_core::validation::poisson_fit_with_backend;
+use sigfim_core::{DatasetBackend, ExecutionPolicy, SignificanceAnalyzer, ThresholdEstimate};
+use sigfim_datasets::random::{
+    BernoulliModel, PlantedConfig, PlantedModel, PlantedPattern, SwapRandomizationModel,
+};
+use sigfim_datasets::transaction::TransactionDataset;
+
+/// The worker counts the parity matrix covers (1 = strictly sequential).
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+
+fn planted_dataset(seed: u64) -> TransactionDataset {
+    let background = BernoulliModel::new(350, vec![0.06; 18]).unwrap();
+    let model = PlantedModel::new(PlantedConfig {
+        background,
+        patterns: vec![PlantedPattern::new(vec![3, 11], 70).unwrap()],
+    })
+    .unwrap();
+    model.sample(&mut StdRng::seed_from_u64(seed))
+}
+
+fn estimate(backend: DatasetBackend, threads: usize, seed: u64) -> ThresholdEstimate {
+    let model = BernoulliModel::new(320, vec![0.1; 16]).unwrap();
+    let algo = FindPoissonThreshold {
+        replicates: 36,
+        policy: ExecutionPolicy::from_threads(threads),
+        backend,
+        ..FindPoissonThreshold::new(2)
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    algo.run(&model, &mut rng).unwrap()
+}
+
+#[test]
+fn backend_parity_threshold_estimates_at_1_2_and_8_threads() {
+    let reference = estimate(DatasetBackend::Csr, 1, 99);
+    for threads in THREAD_MATRIX {
+        for backend in [
+            DatasetBackend::Csr,
+            DatasetBackend::Bitmap,
+            DatasetBackend::Auto,
+        ] {
+            assert_eq!(
+                estimate(backend, threads, 99),
+                reference,
+                "backend {} at {threads} thread(s) diverged from csr/sequential",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_parity_procedure2_supports_and_family() {
+    let dataset = planted_dataset(5);
+    let lambda =
+        sigfim_core::lambda::MonteCarloLambda::new(6, vec![1.5, 0.7, 0.3, 0.1, 0.04, 0.01, 0.0])
+            .unwrap();
+    let run = |backend: DatasetBackend| {
+        Procedure2 {
+            backend,
+            ..Procedure2::new(2)
+        }
+        .run(&dataset, 6, &lambda)
+        .unwrap()
+    };
+    let csr = run(DatasetBackend::Csr);
+    let bitmap = run(DatasetBackend::Bitmap);
+    let auto = run(DatasetBackend::Auto);
+    assert_eq!(csr.s_star, bitmap.s_star);
+    assert_eq!(
+        csr.tests, bitmap.tests,
+        "Q_{{k,s}} traces must be identical"
+    );
+    assert_eq!(csr.significant, bitmap.significant);
+    assert_eq!(csr.s_star, auto.s_star);
+    assert_eq!(csr.significant, auto.significant);
+    assert!(csr.s_star.is_some(), "the planted pair must be detected");
+}
+
+#[test]
+fn backend_parity_full_reports_at_1_2_and_8_threads() {
+    let dataset = planted_dataset(23);
+    let analyze = |backend: DatasetBackend, threads: usize| {
+        SignificanceAnalyzer::new(2)
+            .with_replicates(24)
+            .with_seed(13)
+            .with_threads(threads)
+            .with_backend(backend)
+            .analyze(&dataset)
+            .unwrap()
+    };
+    let reference = analyze(DatasetBackend::Csr, 1);
+    for threads in THREAD_MATRIX {
+        for backend in [DatasetBackend::Csr, DatasetBackend::Bitmap] {
+            let report = analyze(backend, threads);
+            // Everything except the recorded backend parameter must agree bit
+            // for bit.
+            assert_eq!(report.threshold, reference.threshold);
+            assert_eq!(report.procedure2, reference.procedure2);
+            assert_eq!(report.procedure1, reference.procedure1);
+            assert_eq!(report.dataset, reference.dataset);
+            assert_eq!(report.parameters.backend, backend);
+        }
+    }
+}
+
+#[test]
+fn backend_parity_swap_null_model() {
+    // The swap model exercises the *default* bitmap sampling path (CSR sample
+    // copied into the scratch buffer) rather than the bit-sliced override.
+    let reference_data = planted_dataset(31);
+    let model = SwapRandomizationModel::new(reference_data, 3.0).unwrap();
+    let run = |backend: DatasetBackend| {
+        let algo = FindPoissonThreshold {
+            replicates: 16,
+            policy: ExecutionPolicy::rayon(8),
+            backend,
+            ..FindPoissonThreshold::new(2)
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        algo.run(&model, &mut rng).unwrap()
+    };
+    assert_eq!(run(DatasetBackend::Csr), run(DatasetBackend::Bitmap));
+}
+
+#[test]
+fn backend_parity_poisson_fit_replicate_loop() {
+    let model = BernoulliModel::new(150, vec![0.1; 10]).unwrap();
+    let fit = |backend: DatasetBackend| {
+        let mut rng = StdRng::seed_from_u64(17);
+        poisson_fit_with_backend(&model, 2, 4, 60, backend, &mut rng).unwrap()
+    };
+    let csr = fit(DatasetBackend::Csr);
+    let bitmap = fit(DatasetBackend::Bitmap);
+    assert_eq!(csr, bitmap);
+    assert_eq!(fit(DatasetBackend::Auto), csr);
+}

@@ -2,21 +2,26 @@
 //! produces **bit-identical** `ThresholdEstimate`s under every execution policy
 //! — sequential, and rayon pools of 1, 2 and 8 workers — because each replicate
 //! draws exclusively from its `(seed, index)`-addressed RNG substream.
+//!
+//! The dataset backend is a second axis of the same contract: the CSR and
+//! bitmap replicate paths consume those substreams identically, so every
+//! `(policy, backend)` combination must agree bit for bit.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sigfim_core::montecarlo::FindPoissonThreshold;
-use sigfim_core::{ExecutionPolicy, SignificanceAnalyzer, ThresholdEstimate};
+use sigfim_core::{DatasetBackend, ExecutionPolicy, SignificanceAnalyzer, ThresholdEstimate};
 use sigfim_datasets::random::{
     BernoulliModel, PlantedConfig, PlantedModel, PlantedPattern, SwapRandomizationModel,
 };
 
-fn estimate_with(policy: ExecutionPolicy, seed: u64) -> ThresholdEstimate {
+fn estimate_with(policy: ExecutionPolicy, backend: DatasetBackend, seed: u64) -> ThresholdEstimate {
     let model = BernoulliModel::new(400, vec![0.12; 14]).unwrap();
     let algo = FindPoissonThreshold {
         replicates: 40,
         policy,
+        backend,
         ..FindPoissonThreshold::new(2)
     };
     let mut rng = StdRng::seed_from_u64(seed);
@@ -25,26 +30,37 @@ fn estimate_with(policy: ExecutionPolicy, seed: u64) -> ThresholdEstimate {
 
 #[test]
 fn threshold_estimate_is_bit_identical_at_1_2_and_8_threads() {
-    let reference = estimate_with(ExecutionPolicy::Sequential, 42);
-    for threads in [1, 2, 8] {
-        let parallel = estimate_with(ExecutionPolicy::rayon(threads), 42);
-        // Full structural equality: curve (b1/b2/λ at every support), s_min,
-        // s_tilde and pool size — not just the headline threshold.
+    let reference = estimate_with(ExecutionPolicy::Sequential, DatasetBackend::Auto, 42);
+    for backend in DatasetBackend::ALL {
+        for threads in [1, 2, 8] {
+            let parallel = estimate_with(ExecutionPolicy::rayon(threads), backend, 42);
+            // Full structural equality: curve (b1/b2/λ at every support), s_min,
+            // s_tilde and pool size — not just the headline threshold.
+            assert_eq!(
+                parallel,
+                reference,
+                "rayon({threads})/{} diverged from sequential",
+                backend.name()
+            );
+            assert_eq!(parallel.curve, reference.curve);
+            assert_eq!(parallel.s_min, reference.s_min);
+            assert_eq!(parallel.pool_size, reference.pool_size);
+        }
+        // The sequential runs of every backend agree with each other too.
         assert_eq!(
-            parallel, reference,
-            "rayon({threads}) diverged from sequential"
+            estimate_with(ExecutionPolicy::Sequential, backend, 42),
+            reference,
+            "sequential/{} diverged",
+            backend.name()
         );
-        assert_eq!(parallel.curve, reference.curve);
-        assert_eq!(parallel.s_min, reference.s_min);
-        assert_eq!(parallel.pool_size, reference.pool_size);
     }
 }
 
 #[test]
 fn different_seeds_still_differ() {
     // Guards against the substream derivation collapsing to a constant.
-    let a = estimate_with(ExecutionPolicy::rayon(4), 1);
-    let b = estimate_with(ExecutionPolicy::rayon(4), 2);
+    let a = estimate_with(ExecutionPolicy::rayon(4), DatasetBackend::Auto, 1);
+    let b = estimate_with(ExecutionPolicy::rayon(4), DatasetBackend::Auto, 2);
     assert!(
         a.curve != b.curve || a.pool_size != b.pool_size || a.s_min != b.s_min,
         "independent seeds produced identical Monte-Carlo observations"

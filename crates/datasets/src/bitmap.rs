@@ -1,0 +1,634 @@
+//! Vertical bitmap dataset backend.
+//!
+//! A [`BitmapDataset`] stores the same incidence matrix as a
+//! [`TransactionDataset`], but *vertically and word-parallel*: one bit-column of
+//! `⌈t/64⌉` `u64` words per item, bit `tid` of column `i` set iff transaction
+//! `tid` contains item `i`. Support counting becomes `AND` + `popcount` over
+//! whole words — 64 transactions per instruction instead of a merge step per
+//! tid — which is the representation of choice for dense datasets and for the
+//! Monte-Carlo null-model replicates of Algorithm 1 (their density is exactly
+//! the item-frequency profile, known up front).
+//!
+//! The container is deliberately *reusable*: [`BitmapDataset::reset`] re-shapes
+//! it without shrinking the backing buffer, so a per-thread scratch bitmap can
+//! absorb one null-model replicate after another with zero allocations once
+//! warm (see [`with_bitmap_scratch`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset, TransactionId};
+use crate::view::DatasetView;
+
+/// Number of transaction slots per bitmap word.
+const WORD_BITS: usize = 64;
+
+/// A transactional dataset in vertical bitmap (bit-column per item) layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitmapDataset {
+    num_items: u32,
+    num_transactions: usize,
+    /// `⌈num_transactions / 64⌉`.
+    words_per_column: usize,
+    /// Column-major bit matrix: `bits[i * words_per_column ..][..words_per_column]`
+    /// is the bit-column of item `i`. Bits at positions `>= num_transactions` in
+    /// the last word of each column are always zero (so popcounts are exact).
+    bits: Vec<u64>,
+}
+
+impl BitmapDataset {
+    /// An all-zeros bitmap for `num_transactions` transactions over `num_items`
+    /// items.
+    pub fn new(num_items: u32, num_transactions: usize) -> Self {
+        let words_per_column = num_transactions.div_ceil(WORD_BITS);
+        BitmapDataset {
+            num_items,
+            num_transactions,
+            words_per_column,
+            bits: vec![0u64; num_items as usize * words_per_column],
+        }
+    }
+
+    /// Re-shape this bitmap to the given dimensions and clear every bit, keeping
+    /// the backing allocation whenever it is already large enough. This is the
+    /// zero-allocation path the Monte-Carlo replicate loop relies on.
+    pub fn reset(&mut self, num_items: u32, num_transactions: usize) {
+        let words_per_column = num_transactions.div_ceil(WORD_BITS);
+        let needed = num_items as usize * words_per_column;
+        self.num_items = num_items;
+        self.num_transactions = num_transactions;
+        self.words_per_column = words_per_column;
+        self.bits.clear();
+        self.bits.resize(needed, 0);
+        // `clear` + `resize` never shrinks the capacity, and fills the live
+        // prefix with zeros without reallocating once `capacity >= needed`.
+    }
+
+    /// Build a bitmap from a CSR dataset.
+    pub fn from_dataset(dataset: &TransactionDataset) -> Self {
+        let mut bitmap = BitmapDataset::new(dataset.num_items(), dataset.num_transactions());
+        bitmap.fill_from_dataset(dataset);
+        bitmap
+    }
+
+    /// Re-shape to `dataset`'s dimensions and copy its incidences in (reusing
+    /// the allocation, see [`BitmapDataset::reset`]).
+    pub fn fill_from_dataset(&mut self, dataset: &TransactionDataset) {
+        self.reset(dataset.num_items(), dataset.num_transactions());
+        for (tid, txn) in dataset.iter().enumerate() {
+            for &item in txn {
+                self.set(item, tid as TransactionId);
+            }
+        }
+    }
+
+    /// Build a bitmap directly from explicit transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DatasetError::ItemOutOfRange`] like the CSR constructor.
+    pub fn from_transactions(
+        num_items: u32,
+        transactions: Vec<Vec<ItemId>>,
+    ) -> crate::Result<Self> {
+        let csr = TransactionDataset::from_transactions(num_items, transactions)?;
+        Ok(Self::from_dataset(&csr))
+    }
+
+    /// Convert back to the CSR representation (transactions sorted ascending, as
+    /// the CSR container guarantees).
+    pub fn to_transaction_dataset(&self) -> TransactionDataset {
+        let mut builder = DatasetBuilder::with_capacity(
+            self.num_items,
+            self.num_transactions,
+            self.num_entries(),
+        );
+        let mut txn: Vec<ItemId> = Vec::new();
+        for tid in 0..self.num_transactions {
+            txn.clear();
+            let (word, bit) = (tid / WORD_BITS, tid % WORD_BITS);
+            for item in 0..self.num_items {
+                if self.column(item)[word] >> bit & 1 == 1 {
+                    txn.push(item);
+                }
+            }
+            builder
+                .add_sorted_transaction(&txn)
+                .expect("bitmap items are in range by construction");
+        }
+        builder.build()
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of transactions.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Number of `u64` words in each item's bit-column.
+    #[inline]
+    pub fn words_per_column(&self) -> usize {
+        self.words_per_column
+    }
+
+    /// The bit-column of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= num_items()`.
+    #[inline]
+    pub fn column(&self, item: ItemId) -> &[u64] {
+        let start = item as usize * self.words_per_column;
+        &self.bits[start..start + self.words_per_column]
+    }
+
+    /// Set the `(item, tid)` incidence bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` or `tid` is out of range.
+    #[inline]
+    pub fn set(&mut self, item: ItemId, tid: TransactionId) {
+        assert!(
+            (tid as usize) < self.num_transactions,
+            "transaction id {tid} out of range 0..{}",
+            self.num_transactions
+        );
+        let idx = item as usize * self.words_per_column + tid as usize / WORD_BITS;
+        self.bits[idx] |= 1u64 << (tid as usize % WORD_BITS);
+    }
+
+    /// Whether transaction `tid` contains `item`.
+    #[inline]
+    pub fn contains(&self, item: ItemId, tid: TransactionId) -> bool {
+        self.column(item)[tid as usize / WORD_BITS] >> (tid as usize % WORD_BITS) & 1 == 1
+    }
+
+    /// Support of a single item (popcount of its column).
+    pub fn item_support(&self, item: ItemId) -> u64 {
+        self.column(item)
+            .iter()
+            .map(|w| w.count_ones() as u64)
+            .sum()
+    }
+
+    /// Supports of all items, indexed by item id.
+    pub fn item_supports(&self) -> Vec<u64> {
+        (0..self.num_items).map(|i| self.item_support(i)).collect()
+    }
+
+    /// Total number of (transaction, item) incidences.
+    pub fn num_entries(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Maximum support of any single item.
+    pub fn max_item_support(&self) -> u64 {
+        (0..self.num_items)
+            .map(|i| self.item_support(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average transaction length; zero for an empty dataset.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.num_transactions == 0 {
+            0.0
+        } else {
+            self.num_entries() as f64 / self.num_transactions as f64
+        }
+    }
+
+    /// Fraction of set bits in the incidence matrix (`entries / (n·t)`); zero
+    /// for a degenerate matrix.
+    pub fn density(&self) -> f64 {
+        let cells = self.num_items as usize * self.num_transactions;
+        if cells == 0 {
+            0.0
+        } else {
+            self.num_entries() as f64 / cells as f64
+        }
+    }
+
+    /// Support of an arbitrary sorted, duplicate-free itemset by AND + popcount
+    /// over its columns, rarest column first so sparse intersections can exit
+    /// early. Empty itemsets get support `t` by the usual convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item id is out of range; debug-asserts sortedness.
+    pub fn itemset_support(&self, itemset: &[ItemId]) -> u64 {
+        let mut scratch = Vec::new();
+        self.itemset_support_with(itemset, &mut scratch)
+    }
+
+    /// Like [`BitmapDataset::itemset_support`], reusing a caller-provided word
+    /// buffer so batch counting allocates nothing per candidate.
+    pub fn itemset_support_with(&self, itemset: &[ItemId], scratch: &mut Vec<u64>) -> u64 {
+        debug_assert!(
+            itemset.windows(2).all(|w| w[0] < w[1]),
+            "itemset must be sorted and distinct"
+        );
+        match itemset {
+            [] => self.num_transactions as u64,
+            [single] => self.item_support(*single),
+            [a, b] => and_count(self.column(*a), self.column(*b)),
+            _ => {
+                // Rarest-first ordering makes the working set sparse as early as
+                // possible, which lets the early-exit below fire sooner. Each
+                // item's popcount is taken once up front — a sort key closure
+                // would re-walk whole columns on every comparison.
+                let mut order: Vec<(u64, ItemId)> =
+                    itemset.iter().map(|&i| (self.item_support(i), i)).collect();
+                order.sort_unstable();
+                scratch.clear();
+                scratch.extend_from_slice(self.column(order[0].1));
+                let mut support = order[0].0;
+                for &(_, item) in &order[1..] {
+                    if support == 0 {
+                        return 0;
+                    }
+                    support = and_count_into(scratch, self.column(item));
+                }
+                support
+            }
+        }
+    }
+}
+
+/// Popcount of `a AND b` without materializing the intersection.
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as u64)
+        .sum()
+}
+
+/// `dst &= src`, returning the popcount of the result.
+#[inline]
+pub fn and_count_into(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut count = 0u64;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+        count += d.count_ones() as u64;
+    }
+    count
+}
+
+/// `dst = a AND b`, returning the popcount of the result.
+#[inline]
+pub fn and_into(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut count = 0u64;
+    for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x & y;
+        count += d.count_ones() as u64;
+    }
+    count
+}
+
+/// Which physical representation the pipeline materializes datasets in.
+///
+/// `Auto` resolves per workload from a density/size heuristic (see
+/// [`DatasetBackend::resolve`]); `Csr` and `Bitmap` force a representation for
+/// ablations and benchmarks. Whatever the backend, supports — and therefore
+/// every statistic derived from them — are identical; only speed and memory
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DatasetBackend {
+    /// Pick per dataset: bitmap for dense matrices that fit the memory budget,
+    /// CSR tid-lists otherwise.
+    #[default]
+    Auto,
+    /// Always the CSR / tid-list representation.
+    Csr,
+    /// Always the vertical bitmap representation.
+    Bitmap,
+}
+
+/// A [`DatasetBackend`] with `Auto` resolved away: the representation actually
+/// used for one concrete workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolvedBackend {
+    /// CSR / tid-lists.
+    Csr,
+    /// Vertical bitmaps.
+    Bitmap,
+}
+
+/// `Auto` prefers the bitmap once the average tid-list is at least as long as a
+/// bit-column: a tid-list intersection walks ~`density · t` ids per item while
+/// the bitmap always touches `t/64` words, so the break-even density is `1/64`.
+const BITMAP_DENSITY_THRESHOLD: f64 = 1.0 / 64.0;
+
+/// `Auto` never chooses a bitmap larger than this many bytes (the CSR
+/// representation of a sparse matrix can be arbitrarily smaller).
+const BITMAP_MEMORY_BUDGET_BYTES: usize = 1 << 30;
+
+impl DatasetBackend {
+    /// Every backend choice, for configuration surfaces and test matrices.
+    pub const ALL: [DatasetBackend; 3] = [
+        DatasetBackend::Auto,
+        DatasetBackend::Csr,
+        DatasetBackend::Bitmap,
+    ];
+
+    /// Command-line name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetBackend::Auto => "auto",
+            DatasetBackend::Csr => "csr",
+            DatasetBackend::Bitmap => "bitmap",
+        }
+    }
+
+    /// Resolve the choice for a dataset of the given shape. `density` is the
+    /// expected fraction of set bits (`entries / (n·t)`); for a null model this
+    /// is the mean item frequency, known before any dataset is generated.
+    pub fn resolve(
+        &self,
+        num_items: u32,
+        num_transactions: usize,
+        density: f64,
+    ) -> ResolvedBackend {
+        match self {
+            DatasetBackend::Csr => ResolvedBackend::Csr,
+            DatasetBackend::Bitmap => ResolvedBackend::Bitmap,
+            DatasetBackend::Auto => {
+                let words = num_transactions.div_ceil(WORD_BITS);
+                let bytes = (num_items as usize).saturating_mul(words).saturating_mul(8);
+                if num_transactions > 0
+                    && density >= BITMAP_DENSITY_THRESHOLD
+                    && bytes <= BITMAP_MEMORY_BUDGET_BYTES
+                {
+                    ResolvedBackend::Bitmap
+                } else {
+                    ResolvedBackend::Csr
+                }
+            }
+        }
+    }
+
+    /// Resolve against a concrete dataset (density measured, not assumed).
+    pub fn resolve_for_dataset(&self, dataset: &TransactionDataset) -> ResolvedBackend {
+        let cells = dataset.num_items() as usize * dataset.num_transactions();
+        let density = if cells == 0 {
+            0.0
+        } else {
+            dataset.num_entries() as f64 / cells as f64
+        };
+        self.resolve(dataset.num_items(), dataset.num_transactions(), density)
+    }
+}
+
+impl std::str::FromStr for DatasetBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(DatasetBackend::Auto),
+            "csr" => Ok(DatasetBackend::Csr),
+            "bitmap" => Ok(DatasetBackend::Bitmap),
+            other => Err(format!(
+                "unknown backend `{other}` (expected auto, csr or bitmap)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl<'a> From<&'a BitmapDataset> for DatasetView<'a> {
+    fn from(dataset: &'a BitmapDataset) -> Self {
+        DatasetView::Bitmap(dataset)
+    }
+}
+
+std::thread_local! {
+    /// One reusable bitmap per thread for the Monte-Carlo replicate loops.
+    static BITMAP_SCRATCH: std::cell::RefCell<BitmapDataset> =
+        std::cell::RefCell::new(BitmapDataset::new(0, 0));
+}
+
+/// Run `f` with this thread's reusable scratch bitmap. The buffer persists
+/// across calls on the same thread, so callers that [`BitmapDataset::reset`] it
+/// to a stable shape (every replicate of one Monte-Carlo batch has the same
+/// `n × t`) allocate only on each thread's first replicate.
+pub fn with_bitmap_scratch<R>(f: impl FnOnce(&mut BitmapDataset) -> R) -> R {
+    BITMAP_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2],
+                vec![0, 2, 3],
+                vec![4],
+                vec![],
+                vec![2, 1, 0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_through_csr() {
+        let csr = sample();
+        let bitmap = BitmapDataset::from_dataset(&csr);
+        assert_eq!(bitmap.num_items(), csr.num_items());
+        assert_eq!(bitmap.num_transactions(), csr.num_transactions());
+        assert_eq!(bitmap.num_entries(), csr.num_entries());
+        assert_eq!(bitmap.to_transaction_dataset(), csr);
+    }
+
+    #[test]
+    fn supports_match_csr_reference() {
+        let csr = sample();
+        let bitmap = BitmapDataset::from_dataset(&csr);
+        assert_eq!(bitmap.item_supports(), csr.item_supports());
+        assert_eq!(bitmap.max_item_support(), csr.max_item_support());
+        for itemset in [
+            vec![],
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 4],
+            vec![1, 2],
+            vec![0, 1, 2, 3],
+        ] {
+            assert_eq!(
+                bitmap.itemset_support(&itemset),
+                csr.itemset_support(&itemset),
+                "itemset {itemset:?}"
+            );
+        }
+        assert!((bitmap.avg_transaction_len() - csr.avg_transaction_len()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_and_contains() {
+        let mut bitmap = BitmapDataset::new(3, 70);
+        assert!(!bitmap.contains(2, 65));
+        bitmap.set(2, 65);
+        bitmap.set(2, 0);
+        assert!(bitmap.contains(2, 65));
+        assert!(bitmap.contains(2, 0));
+        assert!(!bitmap.contains(2, 64));
+        assert_eq!(bitmap.item_support(2), 2);
+        assert_eq!(bitmap.words_per_column(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_rejects_out_of_range_tid() {
+        let mut bitmap = BitmapDataset::new(2, 10);
+        bitmap.set(0, 10);
+    }
+
+    #[test]
+    fn reset_reuses_the_allocation() {
+        let mut bitmap = BitmapDataset::new(8, 1000);
+        bitmap.set(3, 999);
+        let capacity = bitmap.bits.capacity();
+        bitmap.reset(8, 1000);
+        assert_eq!(bitmap.item_support(3), 0, "reset must clear all bits");
+        assert_eq!(
+            bitmap.bits.capacity(),
+            capacity,
+            "reset must not reallocate"
+        );
+        // Shrinking shapes also keep the buffer.
+        bitmap.reset(4, 100);
+        assert_eq!(bitmap.bits.capacity(), capacity);
+        assert_eq!(bitmap.num_transactions(), 100);
+        assert_eq!(bitmap.num_entries(), 0);
+    }
+
+    #[test]
+    fn fill_from_dataset_overwrites_previous_contents() {
+        let mut bitmap = BitmapDataset::from_dataset(&sample());
+        let other =
+            TransactionDataset::from_transactions(2, vec![vec![0], vec![1], vec![0, 1]]).unwrap();
+        bitmap.fill_from_dataset(&other);
+        assert_eq!(bitmap.to_transaction_dataset(), other);
+    }
+
+    #[test]
+    fn density_and_degenerate_shapes() {
+        let bitmap = BitmapDataset::from_dataset(&sample());
+        assert!((bitmap.density() - 12.0 / 30.0).abs() < 1e-12);
+        let empty = BitmapDataset::new(3, 0);
+        assert_eq!(empty.num_entries(), 0);
+        assert_eq!(empty.density(), 0.0);
+        assert_eq!(empty.avg_transaction_len(), 0.0);
+        assert_eq!(empty.itemset_support(&[0, 1]), 0);
+        assert_eq!(empty.to_transaction_dataset().num_transactions(), 0);
+    }
+
+    #[test]
+    fn word_helpers() {
+        let a = [0b1011u64, u64::MAX];
+        let b = [0b0110u64, 1];
+        assert_eq!(and_count(&a, &b), 2);
+        let mut dst = [0u64; 2];
+        assert_eq!(and_into(&mut dst, &a, &b), 2);
+        assert_eq!(dst, [0b0010, 1]);
+        let mut acc = a;
+        assert_eq!(and_count_into(&mut acc, &b), 2);
+        assert_eq!(acc, dst);
+    }
+
+    #[test]
+    fn backend_parsing_and_names() {
+        for backend in DatasetBackend::ALL {
+            assert_eq!(backend.name().parse::<DatasetBackend>().unwrap(), backend);
+            assert_eq!(backend.to_string(), backend.name());
+        }
+        assert!("fancy".parse::<DatasetBackend>().is_err());
+        assert_eq!(DatasetBackend::default(), DatasetBackend::Auto);
+    }
+
+    #[test]
+    fn auto_resolution_heuristic() {
+        // Dense and small: bitmap.
+        assert_eq!(
+            DatasetBackend::Auto.resolve(100, 10_000, 0.1),
+            ResolvedBackend::Bitmap
+        );
+        // Sparse: CSR, however big.
+        assert_eq!(
+            DatasetBackend::Auto.resolve(100, 10_000, 0.001),
+            ResolvedBackend::Csr
+        );
+        // Dense but over the memory budget: CSR.
+        assert_eq!(
+            DatasetBackend::Auto.resolve(2_000_000, 10_000_000, 0.5),
+            ResolvedBackend::Csr
+        );
+        // Degenerate: CSR.
+        assert_eq!(
+            DatasetBackend::Auto.resolve(10, 0, 1.0),
+            ResolvedBackend::Csr
+        );
+        // Forced choices ignore the shape.
+        assert_eq!(
+            DatasetBackend::Bitmap.resolve(1, 1, 0.0),
+            ResolvedBackend::Bitmap
+        );
+        assert_eq!(
+            DatasetBackend::Csr.resolve(100, 100, 1.0),
+            ResolvedBackend::Csr
+        );
+        // Measured resolution against a concrete dataset.
+        let dense = sample();
+        assert_eq!(
+            DatasetBackend::Auto.resolve_for_dataset(&dense),
+            ResolvedBackend::Bitmap
+        );
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_thread() {
+        let shape = with_bitmap_scratch(|scratch| {
+            scratch.reset(4, 200);
+            scratch.set(1, 150);
+            (scratch.num_items(), scratch.num_transactions())
+        });
+        assert_eq!(shape, (4, 200));
+        with_bitmap_scratch(|scratch| {
+            // Same thread: the previous shape (and its bits) are still there
+            // until the caller resets, which is exactly the reuse contract.
+            assert_eq!(scratch.num_transactions(), 200);
+            assert!(scratch.contains(1, 150));
+            scratch.reset(4, 200);
+            assert!(!scratch.contains(1, 150));
+        });
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let bitmap = BitmapDataset::from_dataset(&sample());
+        let value = serde::Serialize::to_value(&bitmap);
+        let back: BitmapDataset = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, bitmap);
+    }
+}

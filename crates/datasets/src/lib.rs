@@ -10,6 +10,12 @@
 //!   of transactions over integer item identifiers, with horizontal and vertical
 //!   (tid-list) views, the representation every miner and every random-dataset
 //!   consumer in the workspace operates on.
+//! * [`bitmap::BitmapDataset`] — the vertical bitmap backend: one `u64` bit-column
+//!   per item, word-parallel AND + popcount support counting, and a reusable
+//!   buffer for the zero-allocation Monte-Carlo replicate loop. The
+//!   [`bitmap::DatasetBackend`] heuristic decides when it beats CSR.
+//! * [`view::DatasetView`] — one borrowed handle over either representation, so
+//!   counting and mining code serves both backends through a single surface.
 //! * [`summary`] — dataset profiling: number of items `n`, number of transactions
 //!   `t`, average transaction length `m`, individual item frequencies `f_i` and
 //!   their range. These are exactly the columns of Table 1 of the paper.
@@ -53,16 +59,20 @@
 //! ```
 
 pub mod benchmarks;
+pub mod bitmap;
 pub mod fimi;
 pub mod frequency;
 pub mod random;
 pub mod summary;
 pub mod transaction;
+pub mod view;
 
 pub use benchmarks::{BenchmarkDataset, BenchmarkSpec};
+pub use bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
 pub use random::BernoulliModel;
 pub use summary::DatasetSummary;
 pub use transaction::{ItemId, TransactionDataset};
+pub use view::DatasetView;
 
 use std::fmt;
 

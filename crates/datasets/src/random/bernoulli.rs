@@ -13,6 +13,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::bitmap::BitmapDataset;
 use crate::random::sampling::{sample_binomial, sample_distinct_indices};
 use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset};
 use crate::{DatasetError, Result};
@@ -137,6 +138,30 @@ impl BernoulliModel {
         builder.build()
     }
 
+    /// Draw one random dataset directly into a (reusable) vertical bitmap.
+    ///
+    /// The item loop makes *exactly* the same RNG calls in the same order as
+    /// [`BernoulliModel::sample`] — one binomial draw plus one distinct-index
+    /// sample per item — so for any starting RNG state the two methods produce
+    /// the same dataset, just in different physical representations. This is
+    /// what keeps Monte-Carlo estimates bit-identical across backends. Unlike
+    /// [`BernoulliModel::sample`], no per-transaction buffers are built: each
+    /// sampled index is a single bit set in the column, and `out`'s backing
+    /// buffer is reused across calls (see [`BitmapDataset::reset`]).
+    pub fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        let t = self.num_transactions;
+        out.reset(self.frequencies.len() as u32, t);
+        for (item, &f) in self.frequencies.iter().enumerate() {
+            if f <= 0.0 || t == 0 {
+                continue;
+            }
+            let count = sample_binomial(rng, t as u64, f) as usize;
+            sample_distinct_indices(rng, t, count.min(t), |tid| {
+                out.set(item as ItemId, tid as u32);
+            });
+        }
+    }
+
     /// Draw `count` independent random datasets.
     pub fn sample_many<R: Rng + ?Sized>(
         &self,
@@ -242,6 +267,36 @@ mod tests {
         assert_eq!(datasets.len(), 5);
         // Vanishingly unlikely that two 50x8 half-density datasets are identical.
         assert!(datasets.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn bitmap_sampling_is_rng_identical_to_csr_sampling() {
+        use crate::bitmap::BitmapDataset;
+        let model = BernoulliModel::new(333, vec![0.4, 0.0, 0.07, 1.0, 0.2]).unwrap();
+        for seed in [1u64, 7, 42] {
+            let csr = model.sample(&mut StdRng::seed_from_u64(seed));
+            let mut bitmap = BitmapDataset::new(0, 0);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            model.sample_into_bitmap(&mut rng_a, &mut bitmap);
+            assert_eq!(
+                bitmap.to_transaction_dataset(),
+                csr,
+                "seed {seed}: bitmap sampling diverged from CSR sampling"
+            );
+            // Both paths leave the RNG in the same state (same draw count).
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let _ = model.sample(&mut rng_b);
+            assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+        }
+        // Reuse: a second, smaller sample into the same buffer fully overwrites it.
+        let small = BernoulliModel::new(10, vec![1.0, 0.5]).unwrap();
+        let mut bitmap = BitmapDataset::new(0, 0);
+        model.sample_into_bitmap(&mut StdRng::seed_from_u64(3), &mut bitmap);
+        small.sample_into_bitmap(&mut StdRng::seed_from_u64(3), &mut bitmap);
+        assert_eq!(
+            bitmap.to_transaction_dataset(),
+            small.sample(&mut StdRng::seed_from_u64(3))
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::bitmap::BitmapDataset;
 use crate::random::bernoulli::BernoulliModel;
 use crate::random::swap::swap_randomize;
 use crate::transaction::TransactionDataset;
@@ -38,6 +39,36 @@ pub trait NullModel {
     fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset
     where
         Self: Sized;
+
+    /// Draw one random dataset directly into a (reusable) vertical bitmap.
+    ///
+    /// Implementations must consume the RNG exactly as
+    /// [`NullModel::sample_dataset`] does and produce the same incidences, so a
+    /// Monte-Carlo run is bit-identical whichever representation its replicates
+    /// are materialized in. The default samples through the CSR path and copies
+    /// the result into `out` (still reusing `out`'s buffer); models that can
+    /// generate column-wise override it to skip the CSR detour entirely
+    /// ([`BernoulliModel`] does).
+    fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset)
+    where
+        Self: Sized,
+    {
+        let dataset = self.sample_dataset(rng);
+        out.fill_from_dataset(&dataset);
+    }
+
+    /// The expected fraction of set bits in a generated incidence matrix (the
+    /// mean item frequency) — the density the
+    /// [`crate::bitmap::DatasetBackend::resolve`] heuristic needs *before* any
+    /// replicate is generated.
+    fn expected_density(&self) -> f64 {
+        let frequencies = self.item_frequencies();
+        if frequencies.is_empty() {
+            0.0
+        } else {
+            frequencies.iter().sum::<f64>() / frequencies.len() as f64
+        }
+    }
 }
 
 impl NullModel for BernoulliModel {
@@ -55,6 +86,10 @@ impl NullModel for BernoulliModel {
 
     fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
         self.sample(rng)
+    }
+
+    fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        BernoulliModel::sample_into_bitmap(self, rng, out);
     }
 }
 
@@ -188,6 +223,21 @@ mod tests {
         assert!(SwapRandomizationModel::new(empty, 2.0).is_err());
         assert!(SwapRandomizationModel::new(reference(), 0.0).is_err());
         assert!(SwapRandomizationModel::new(reference(), -1.0).is_err());
+    }
+
+    #[test]
+    fn default_bitmap_sampling_matches_csr_sampling() {
+        // The swap model uses the trait's default `sample_into_bitmap`: same RNG
+        // consumption, same incidences, just copied into the bitmap buffer.
+        let model = SwapRandomizationModel::new(reference(), 4.0).unwrap();
+        let csr = model.sample_dataset(&mut StdRng::seed_from_u64(13));
+        let mut bitmap = BitmapDataset::new(0, 0);
+        model.sample_into_bitmap(&mut StdRng::seed_from_u64(13), &mut bitmap);
+        assert_eq!(bitmap.to_transaction_dataset(), csr);
+        // The expected density equals the mean reference frequency.
+        let mean =
+            reference().item_frequencies().iter().sum::<f64>() / reference().num_items() as f64;
+        assert!((model.expected_density() - mean).abs() < 1e-12);
     }
 
     #[test]

@@ -16,16 +16,78 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use sigfim_datasets::bitmap::{and_count, and_count_into, BitmapDataset, DatasetBackend};
 use sigfim_datasets::transaction::{ItemId, TransactionDataset, TransactionId};
+use sigfim_datasets::view::DatasetView;
+use sigfim_datasets::ResolvedBackend;
 
 use crate::apriori::Apriori;
+use crate::eclat::Eclat;
 use crate::itemset::ItemsetSupport;
 use crate::miner::KItemsetMiner;
 use crate::Result;
 
-/// Intersect two sorted transaction-id lists (linear merge).
+/// Length ratio beyond which intersections switch from a linear merge to
+/// galloping (exponential) search through the longer list: at ≥8× skew the
+/// `O(short · log(long/short))` gallop beats walking the long list element by
+/// element.
+const GALLOP_SKEW: usize = 8;
+
+/// Upper bound on the eagerly reserved capacity of a materialized
+/// intersection. Real intersections are usually far smaller than
+/// `min(|a|, |b|)`, so reserving that much up front wastes memory on dense
+/// datasets; beyond this cap the vector simply grows geometrically.
+const INTERSECT_CAPACITY_CAP: usize = 1024;
+
+/// The first index `>= from` at which `list` holds a value `>= target`, found
+/// by exponential (galloping) probing followed by a binary search of the
+/// bracketed window. `list` must be sorted ascending.
+#[inline]
+fn first_index_ge(list: &[TransactionId], from: usize, target: TransactionId) -> usize {
+    if from >= list.len() || list[from] >= target {
+        return from;
+    }
+    // Invariant entering the binary search: list[from + bound/2] < target.
+    let mut bound = 1usize;
+    while from + bound < list.len() && list[from + bound] < target {
+        bound <<= 1;
+    }
+    let lo = from + bound / 2 + 1;
+    let hi = (from + bound).min(list.len());
+    lo + list[lo..hi].partition_point(|&y| y < target)
+}
+
+/// Walk the shorter list, galloping through the longer one, invoking `found`
+/// on every common element (in ascending order). Requires `short.len() <=
+/// long.len()`; both lists sorted ascending.
+#[inline]
+fn gallop_common<F: FnMut(TransactionId)>(
+    short: &[TransactionId],
+    long: &[TransactionId],
+    mut found: F,
+) {
+    let mut from = 0usize;
+    for &x in short {
+        from = first_index_ge(long, from, x);
+        if from == long.len() {
+            return;
+        }
+        if long[from] == x {
+            found(x);
+            from += 1;
+        }
+    }
+}
+
+/// Intersect two sorted transaction-id lists: a linear merge for comparable
+/// lengths, galloping search through the longer list at ≥8× skew.
 pub fn intersect_tids(a: &[TransactionId], b: &[TransactionId]) -> Vec<TransactionId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(short.len().min(INTERSECT_CAPACITY_CAP));
+    if long.len() >= GALLOP_SKEW * short.len() {
+        gallop_common(short, long, |x| out.push(x));
+        return out;
+    }
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -41,9 +103,16 @@ pub fn intersect_tids(a: &[TransactionId], b: &[TransactionId]) -> Vec<Transacti
     out
 }
 
-/// Size of the intersection of two sorted tid-lists without materializing it.
+/// Size of the intersection of two sorted tid-lists without materializing it
+/// (same linear/galloping dispatch as [`intersect_tids`]).
 pub fn intersection_size(a: &[TransactionId], b: &[TransactionId]) -> usize {
-    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0usize;
+    if long.len() >= GALLOP_SKEW * short.len() {
+        gallop_common(short, long, |_| count += 1);
+        return count;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
@@ -229,6 +298,69 @@ impl SupportCounter for TidListCounter {
     }
 }
 
+/// Support counting by AND + popcount over vertical bit-columns. Cheap on
+/// dense datasets, where a tid-list walk touches ~64× more memory than the
+/// word-parallel bitmap; the CSR entry point pays one bitmap build per batch,
+/// so it wants enough candidates to amortize (callers holding a
+/// [`BitmapDataset`] already should use [`count_candidates_bitmap`] directly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitmapCounter;
+
+impl SupportCounter for BitmapCounter {
+    fn name(&self) -> &'static str {
+        "bitmap"
+    }
+
+    fn count(&self, dataset: &TransactionDataset, candidates: &[Vec<ItemId>]) -> Vec<u64> {
+        let bitmap = BitmapDataset::from_dataset(dataset);
+        count_candidates_bitmap(&bitmap, candidates)
+    }
+}
+
+/// Batch support counting for candidates against a vertical bitmap: AND +
+/// popcount over each candidate's bit-columns, rarest column first. One word
+/// buffer and one ordering buffer are reused across the whole batch, so the
+/// count allocates nothing per candidate. Handles mixed sizes; empty itemsets
+/// get support `t` by convention.
+pub fn count_candidates_bitmap(bitmap: &BitmapDataset, candidates: &[Vec<ItemId>]) -> Vec<u64> {
+    let item_supports = bitmap.item_supports();
+    let mut scratch: Vec<u64> = Vec::with_capacity(bitmap.words_per_column());
+    let mut order: Vec<ItemId> = Vec::new();
+    candidates
+        .iter()
+        .map(|candidate| match candidate.as_slice() {
+            [] => bitmap.num_transactions() as u64,
+            [single] => item_supports[*single as usize],
+            [a, b] => and_count(bitmap.column(*a), bitmap.column(*b)),
+            items => {
+                order.clear();
+                order.extend_from_slice(items);
+                order.sort_unstable_by_key(|&i| item_supports[i as usize]);
+                scratch.clear();
+                scratch.extend_from_slice(bitmap.column(order[0]));
+                let mut support = item_supports[order[0] as usize];
+                for &item in &order[1..] {
+                    if support == 0 {
+                        break;
+                    }
+                    support = and_count_into(&mut scratch, bitmap.column(item));
+                }
+                support
+            }
+        })
+        .collect()
+}
+
+/// [`supports_of`] over a [`DatasetView`]: the CSR side keeps its
+/// density-dispatched counting, the bitmap side counts by AND + popcount
+/// directly on the columns it already has.
+pub fn supports_of_view(view: DatasetView<'_>, itemsets: &[Vec<ItemId>]) -> Vec<u64> {
+    match view {
+        DatasetView::Csr(dataset) => supports_of(dataset, itemsets),
+        DatasetView::Bitmap(bitmap) => count_candidates_bitmap(bitmap, itemsets),
+    }
+}
+
 /// How candidate supports are counted within one mining level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CountingStrategy {
@@ -237,6 +369,8 @@ pub enum CountingStrategy {
     /// Hash each transaction's subsets into the candidate table
     /// ([`HorizontalCounter`]).
     Horizontal,
+    /// AND + popcount over vertical bit-columns ([`BitmapCounter`]).
+    Bitmap,
 }
 
 impl CountingStrategy {
@@ -245,6 +379,7 @@ impl CountingStrategy {
         match self {
             CountingStrategy::Vertical => &TidListCounter,
             CountingStrategy::Horizontal => &HorizontalCounter,
+            CountingStrategy::Bitmap => &BitmapCounter,
         }
     }
 
@@ -253,6 +388,12 @@ impl CountingStrategy {
     /// per transaction restricted to relevant items) against the tid-list walks
     /// of a vertical pass (`candidates · k` lists of average length
     /// `t · density`).
+    ///
+    /// This is the *per-level* choice used inside a running miner, which
+    /// already holds tid-lists — it never selects [`CountingStrategy::Bitmap`]
+    /// (switching representation mid-mine would cost more than it saves).
+    /// Whole-batch counting against a cold dataset goes through the three-way
+    /// [`CountingStrategy::for_dataset`] instead.
     pub fn for_density(
         num_candidates: usize,
         avg_restricted_len: f64,
@@ -272,18 +413,51 @@ impl CountingStrategy {
 
     /// Choose a strategy for counting `num_candidates` k-itemset candidates
     /// against a whole dataset, deriving the density from the dataset itself.
+    ///
+    /// Three-way comparison of estimated work (in touched-word units):
+    ///
+    /// * horizontal — `t · C(avg_len, k)` subset enumerations,
+    /// * tid-list — `entries` to build the lists plus `k · density · t` ids
+    ///   walked per candidate,
+    /// * bitmap — `n · ⌈t/64⌉ + entries` to build the columns plus
+    ///   `k · ⌈t/64⌉` words ANDed per candidate; the word-parallel factor of 64
+    ///   is what makes it win on dense matrices with enough candidates to
+    ///   amortize the build.
     pub fn for_dataset(
         dataset: &TransactionDataset,
         k: usize,
         num_candidates: usize,
     ) -> CountingStrategy {
         let t = dataset.num_transactions();
+        let n = dataset.num_items() as usize;
+        let entries = dataset.num_entries();
         let avg_len = if t == 0 {
             0.0
         } else {
-            dataset.num_entries() as f64 / t as f64
+            entries as f64 / t as f64
         };
-        CountingStrategy::for_density(num_candidates, avg_len, t, k.max(1))
+        let level = k.max(1);
+
+        let horizontal_work =
+            t as f64 * crate::itemset::binomial_u64(avg_len.round() as u64, level as u64) as f64;
+        let density = if n * t == 0 {
+            0.0
+        } else {
+            entries as f64 / (n * t) as f64
+        };
+        let tidlist_work =
+            entries as f64 + num_candidates as f64 * level as f64 * (density * t as f64).max(16.0);
+        let words = t.div_ceil(64);
+        let bitmap_work = (n * words + entries) as f64
+            + num_candidates as f64 * level as f64 * words.max(16) as f64;
+
+        if horizontal_work <= tidlist_work && horizontal_work <= bitmap_work {
+            CountingStrategy::Horizontal
+        } else if bitmap_work < tidlist_work {
+            CountingStrategy::Bitmap
+        } else {
+            CountingStrategy::Vertical
+        }
     }
 }
 
@@ -332,6 +506,42 @@ impl SupportProfile {
         floor: u64,
     ) -> Result<Self> {
         let mined = miner.mine_k(dataset, k, floor)?;
+        Ok(Self::from_itemsets(k, floor, &mined))
+    }
+
+    /// Like [`SupportProfile::with_miner`], but honoring a dataset-backend
+    /// choice: when `backend` resolves to the bitmap for this dataset, the
+    /// profile is mined by the bitset Eclat variant
+    /// ([`Eclat::mine_k_bitmap`]) over a bitmap built once from the CSR data —
+    /// the requested `miner` only applies on the CSR path. All miners and
+    /// backends return identical profiles; the choice is purely about speed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn with_backend(
+        miner: crate::miner::MinerKind,
+        dataset: &TransactionDataset,
+        k: usize,
+        floor: u64,
+        backend: DatasetBackend,
+    ) -> Result<Self> {
+        match backend.resolve_for_dataset(dataset) {
+            ResolvedBackend::Csr => Self::with_miner(miner, dataset, k, floor),
+            ResolvedBackend::Bitmap => {
+                Self::from_bitmap(&BitmapDataset::from_dataset(dataset), k, floor)
+            }
+        }
+    }
+
+    /// Mine the profile from an existing vertical bitmap with the bitset Eclat
+    /// variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn from_bitmap(bitmap: &BitmapDataset, k: usize, floor: u64) -> Result<Self> {
+        let mined = Eclat.mine_k_bitmap(bitmap, k, floor)?;
         Ok(Self::from_itemsets(k, floor, &mined))
     }
 
@@ -417,6 +627,139 @@ mod tests {
         assert_eq!(intersect_tids(&[], &[1, 2]), Vec::<TransactionId>::new());
         assert_eq!(intersection_size(&[1, 3, 5, 7], &[2, 3, 5, 8]), 2);
         assert_eq!(intersection_size(&[1, 2, 3], &[4, 5]), 0);
+    }
+
+    #[test]
+    fn galloping_path_matches_linear_merge() {
+        // A long list (0, 3, 6, …) against short lists of various shapes: the
+        // ≥8× skew triggers the galloping path, which must agree with a plain
+        // merge in content, order and count — in both argument orders.
+        let long: Vec<TransactionId> = (0..4000).map(|i| i * 3).collect();
+        let reference = |a: &[TransactionId], b: &[TransactionId]| -> Vec<TransactionId> {
+            a.iter().copied().filter(|x| b.contains(x)).collect()
+        };
+        let shorts: Vec<Vec<TransactionId>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![11999],
+            vec![12000],
+            vec![0, 2999, 3000, 3001, 11997, 20000],
+            (0..40).map(|i| i * 301).collect(),
+            (5990..6010).collect(),
+        ];
+        for short in &shorts {
+            let expected = reference(short, &long);
+            assert_eq!(intersect_tids(short, &long), expected, "short = {short:?}");
+            assert_eq!(intersect_tids(&long, short), expected, "short = {short:?}");
+            assert_eq!(intersection_size(short, &long), expected.len());
+            assert_eq!(intersection_size(&long, short), expected.len());
+        }
+    }
+
+    #[test]
+    fn first_index_ge_brackets_correctly() {
+        let list: Vec<TransactionId> = vec![2, 4, 4, 8, 16, 32, 64];
+        assert_eq!(first_index_ge(&list, 0, 0), 0);
+        assert_eq!(first_index_ge(&list, 0, 2), 0);
+        assert_eq!(first_index_ge(&list, 0, 3), 1);
+        assert_eq!(first_index_ge(&list, 0, 4), 1);
+        assert_eq!(first_index_ge(&list, 2, 4), 2);
+        assert_eq!(first_index_ge(&list, 0, 5), 3);
+        assert_eq!(first_index_ge(&list, 0, 64), 6);
+        assert_eq!(first_index_ge(&list, 0, 65), 7);
+        assert_eq!(first_index_ge(&list, 7, 1), 7);
+    }
+
+    #[test]
+    fn bitmap_counter_matches_other_paths() {
+        let d = toy();
+        let candidates = vec![
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 1, 2],
+            vec![0, 1, 3],
+        ];
+        let expected: Vec<u64> = candidates.iter().map(|c| d.itemset_support(c)).collect();
+        assert_eq!(BitmapCounter.count(&d, &candidates), expected);
+        // Mixed sizes and the empty itemset go through the batch path too.
+        let mixed = vec![vec![], vec![2], vec![0, 1], vec![0, 1, 2]];
+        let bitmap = sigfim_datasets::BitmapDataset::from_dataset(&d);
+        let got = count_candidates_bitmap(&bitmap, &mixed);
+        let expected: Vec<u64> = mixed.iter().map(|c| d.itemset_support(c)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(BitmapCounter.name(), "bitmap");
+    }
+
+    #[test]
+    fn view_counting_dispatches_to_both_backends() {
+        let d = toy();
+        let bitmap = sigfim_datasets::BitmapDataset::from_dataset(&d);
+        let sets = vec![vec![0, 1], vec![0, 1, 2], vec![]];
+        let expected: Vec<u64> = sets.iter().map(|s| d.itemset_support(s)).collect();
+        assert_eq!(supports_of_view(DatasetView::Csr(&d), &sets), expected);
+        assert_eq!(
+            supports_of_view(DatasetView::Bitmap(&bitmap), &sets),
+            expected
+        );
+    }
+
+    #[test]
+    fn strategy_counter_round_trip() {
+        for strategy in [
+            CountingStrategy::Vertical,
+            CountingStrategy::Horizontal,
+            CountingStrategy::Bitmap,
+        ] {
+            let d = toy();
+            let candidates = vec![vec![0, 1], vec![1, 2]];
+            let expected: Vec<u64> = candidates.iter().map(|c| d.itemset_support(c)).collect();
+            assert_eq!(
+                strategy.counter().count(&d, &candidates),
+                expected,
+                "{}",
+                strategy.counter().name()
+            );
+        }
+    }
+
+    #[test]
+    fn for_dataset_prefers_bitmap_on_dense_many_candidate_batches() {
+        // Dense matrix, many candidates: bitmap. (400 transactions, 20 items,
+        // density ~0.5 — a tid-list walk is ~200 ids per item, the bitmap 7
+        // words.)
+        let dense = TransactionDataset::from_transactions(
+            20,
+            (0..400)
+                .map(|i| (0..20).filter(|j| (i + j) % 2 == 0).collect())
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(
+            CountingStrategy::for_dataset(&dense, 3, 500),
+            CountingStrategy::Bitmap
+        );
+        // Sparse data keeps the tid-list walks short, so the word-parallel
+        // payoff never materializes there: with ~1% density the per-candidate
+        // cost floors are equal and the bitmap's larger build cost loses.
+        let sparse = TransactionDataset::from_transactions(
+            200,
+            (0..500)
+                .map(|i| vec![(i % 200) as ItemId, ((i * 7) % 200) as ItemId])
+                .collect(),
+        )
+        .unwrap();
+        assert_ne!(
+            CountingStrategy::for_dataset(&sparse, 2, 50),
+            CountingStrategy::Bitmap
+        );
+        // Degenerate empty datasets never pick the bitmap either.
+        assert_ne!(
+            CountingStrategy::for_dataset(&TransactionDataset::empty(5), 2, 10),
+            CountingStrategy::Bitmap
+        );
     }
 
     #[test]

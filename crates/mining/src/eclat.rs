@@ -8,6 +8,7 @@
 //! `k`, which together with the high thresholds used by the paper keeps the search
 //! tree tiny.
 
+use sigfim_datasets::bitmap::{and_into, BitmapDataset};
 use sigfim_datasets::transaction::{ItemId, TransactionDataset, TransactionId};
 
 use crate::counting::intersect_tids;
@@ -72,7 +73,115 @@ fn frequent_item_tidlists(
         .collect()
 }
 
+/// Depth-first extension over vertical bit-columns: the bitset analogue of
+/// [`dfs`], with tid-list intersections replaced by word-parallel AND +
+/// popcount into per-depth scratch buffers. `scratch` holds one buffer per
+/// remaining depth; `split_at_mut` peels the current level off so the parent's
+/// buffer can be read while the child's is written.
+fn dfs_bitmap(
+    dataset: &BitmapDataset,
+    tail: &[(ItemId, u64)],
+    prefix: &mut Vec<ItemId>,
+    current: Option<&[u64]>,
+    scratch: &mut [Vec<u64>],
+    state: &mut SearchState<'_>,
+) {
+    for (idx, &(item, item_support)) in tail.iter().enumerate() {
+        let column = dataset.column(item);
+        match current {
+            None => {
+                // Depth 1: the item's own column is the covering set; no copy.
+                debug_assert!(item_support >= state.min_support);
+                prefix.push(item);
+                if prefix.len() == state.target
+                    || (state.collect_prefixes && prefix.len() < state.target)
+                {
+                    state.output.push(ItemsetSupport {
+                        items: prefix.clone(),
+                        support: item_support,
+                    });
+                }
+                if prefix.len() < state.target {
+                    dfs_bitmap(
+                        dataset,
+                        &tail[idx + 1..],
+                        prefix,
+                        Some(column),
+                        scratch,
+                        state,
+                    );
+                }
+                prefix.pop();
+            }
+            Some(covering) => {
+                let (level, deeper) = scratch.split_at_mut(1);
+                let combined = &mut level[0];
+                let support = and_into(combined, covering, column);
+                if support < state.min_support {
+                    continue;
+                }
+                prefix.push(item);
+                let depth = prefix.len();
+                if depth == state.target || (state.collect_prefixes && depth < state.target) {
+                    state.output.push(ItemsetSupport {
+                        items: prefix.clone(),
+                        support,
+                    });
+                }
+                if depth < state.target {
+                    dfs_bitmap(
+                        dataset,
+                        &tail[idx + 1..],
+                        prefix,
+                        Some(combined),
+                        deeper,
+                        state,
+                    );
+                }
+                prefix.pop();
+            }
+        }
+    }
+}
+
 impl Eclat {
+    /// The bitset Eclat variant: mine all k-itemsets with support at least
+    /// `min_support` directly from a vertical bitmap. Same answers as
+    /// [`KItemsetMiner::mine_k`] on the equivalent CSR dataset (exact supports,
+    /// canonical order), but every intersection is an AND + popcount over
+    /// `⌈t/64⌉` words, and the whole search allocates exactly `k − 1` scratch
+    /// buffers regardless of how many itemsets it visits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MiningError::InvalidParameter`] for `k == 0` or
+    /// `min_support == 0`.
+    pub fn mine_k_bitmap(
+        &self,
+        dataset: &BitmapDataset,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        validate_mining_args(k, min_support)?;
+        let tail: Vec<(ItemId, u64)> = (0..dataset.num_items())
+            .map(|item| (item, dataset.item_support(item)))
+            .filter(|&(_, support)| support >= min_support)
+            .collect();
+        let mut output = Vec::new();
+        let mut state = SearchState {
+            min_support,
+            target: k,
+            collect_prefixes: false,
+            output: &mut output,
+        };
+        let words = dataset.words_per_column();
+        let mut scratch: Vec<Vec<u64>> = vec![vec![0u64; words]; k.saturating_sub(1)];
+        let mut prefix = Vec::with_capacity(k);
+        dfs_bitmap(dataset, &tail, &mut prefix, None, &mut scratch, &mut state);
+        sort_canonical(&mut output);
+        Ok(output)
+    }
+
     fn mine(
         &self,
         dataset: &TransactionDataset,
@@ -177,6 +286,28 @@ mod tests {
     fn deep_target_on_shallow_data_is_empty() {
         let d = toy();
         assert!(Eclat.mine_k(&d, 5, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bitmap_variant_matches_tidlist_variant() {
+        let d = toy();
+        let bitmap = BitmapDataset::from_dataset(&d);
+        for k in 1..=4 {
+            for s in 1..=5 {
+                assert_eq!(
+                    Eclat.mine_k_bitmap(&bitmap, k, s).unwrap(),
+                    Eclat.mine_k(&d, k, s).unwrap(),
+                    "k = {k}, s = {s}"
+                );
+            }
+        }
+        // Argument validation is shared with the tid-list path.
+        assert!(Eclat.mine_k_bitmap(&bitmap, 0, 1).is_err());
+        assert!(Eclat.mine_k_bitmap(&bitmap, 2, 0).is_err());
+        // Deep targets and empty bitmaps degenerate cleanly.
+        assert!(Eclat.mine_k_bitmap(&bitmap, 6, 1).unwrap().is_empty());
+        let empty = BitmapDataset::new(4, 0);
+        assert!(Eclat.mine_k_bitmap(&empty, 2, 1).unwrap().is_empty());
     }
 
     #[test]

@@ -7,8 +7,12 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend};
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
-use sigfim_mining::counting::{q_k_s, supports_of, SupportProfile};
+use sigfim_mining::counting::{
+    count_candidates_bitmap, q_k_s, supports_of, BitmapCounter, HorizontalCounter, SupportCounter,
+    SupportProfile, TidListCounter,
+};
 use sigfim_mining::miner::{KItemsetMiner, MinerKind};
 use sigfim_mining::{Apriori, BruteForce, Eclat, FpGrowth};
 
@@ -16,6 +20,14 @@ use sigfim_mining::{Apriori, BruteForce, Eclat, FpGrowth};
 fn small_dataset() -> impl Strategy<Value = TransactionDataset> {
     vec(vec(0u32..8, 0..6), 1..24)
         .prop_map(|txns| TransactionDataset::from_transactions(8, txns).expect("items < 8"))
+}
+
+/// Strategy: a dataset whose shape spans the backend heuristic's whole range —
+/// item universes up to 12, up to 90 transactions (so bit-columns span multiple
+/// words), per-transaction lengths from 0 (empty transactions) to dense.
+fn varied_density_dataset() -> impl Strategy<Value = TransactionDataset> {
+    vec(vec(0u32..12, 0..10), 1..90)
+        .prop_map(|txns| TransactionDataset::from_transactions(12, txns).expect("items < 12"))
 }
 
 proptest! {
@@ -90,6 +102,75 @@ proptest! {
             };
             prop_assert_eq!(union, up_to, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn bitmap_backend_supports_match_tidlist_and_horizontal(
+        dataset in varied_density_dataset(),
+        k in 1usize..4,
+        sets in vec(vec(0u32..12, 0..4), 1..12),
+    ) {
+        // Uniform-size candidate lists exercise all three counters (the
+        // horizontal pass requires one size)...
+        let uniform: Vec<Vec<ItemId>> = sets
+            .iter()
+            .cloned()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s.truncate(k);
+                s
+            })
+            .filter(|s| s.len() == k)
+            .collect();
+        if !uniform.is_empty() {
+            let tidlist = TidListCounter.count(&dataset, &uniform);
+            prop_assert_eq!(&BitmapCounter.count(&dataset, &uniform), &tidlist);
+            prop_assert_eq!(&HorizontalCounter.count(&dataset, &uniform), &tidlist);
+            for (set, &support) in uniform.iter().zip(&tidlist) {
+                prop_assert_eq!(support, dataset.itemset_support(set));
+            }
+        }
+        // ... and the raw bitmap batch path also covers mixed sizes and the
+        // empty itemset (support = t by convention).
+        let mut mixed: Vec<Vec<ItemId>> = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        mixed.push(Vec::new());
+        let bitmap = BitmapDataset::from_dataset(&dataset);
+        let counts = count_candidates_bitmap(&bitmap, &mixed);
+        for (set, support) in mixed.iter().zip(counts) {
+            prop_assert_eq!(support, dataset.itemset_support(set), "itemset {:?}", set);
+        }
+        prop_assert_eq!(
+            bitmap.itemset_support(&[]),
+            dataset.num_transactions() as u64
+        );
+    }
+
+    #[test]
+    fn bitmap_eclat_and_backend_profiles_match_csr(
+        dataset in varied_density_dataset(),
+        k in 1usize..4,
+        floor in 1u64..5,
+    ) {
+        let bitmap = BitmapDataset::from_dataset(&dataset);
+        let reference = Eclat.mine_k(&dataset, k, floor).unwrap();
+        prop_assert_eq!(&Eclat.mine_k_bitmap(&bitmap, k, floor).unwrap(), &reference);
+        // The support profile is identical whichever backend mined it.
+        let csr_profile = SupportProfile::with_backend(
+            MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Csr).unwrap();
+        let bitmap_profile = SupportProfile::with_backend(
+            MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Bitmap).unwrap();
+        let auto_profile = SupportProfile::with_backend(
+            MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Auto).unwrap();
+        prop_assert_eq!(&csr_profile, &bitmap_profile);
+        prop_assert_eq!(&csr_profile, &auto_profile);
     }
 
     #[test]

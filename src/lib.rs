@@ -66,12 +66,14 @@ pub mod prelude {
     pub use sigfim_core::procedure2::Procedure2;
     pub use sigfim_core::report::AnalysisReport;
     pub use sigfim_datasets::benchmarks::{BenchmarkDataset, BenchmarkSpec};
+    pub use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend};
     pub use sigfim_datasets::random::{
         BernoulliModel, NullModel, PlantedConfig, PlantedModel, PlantedPattern,
         SwapRandomizationModel,
     };
     pub use sigfim_datasets::summary::DatasetSummary;
     pub use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+    pub use sigfim_datasets::view::DatasetView;
     pub use sigfim_mining::miner::{KItemsetMiner, MinerKind};
     pub use sigfim_mining::ItemsetSupport;
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] [--epsilon <e>]
 //!        [--replicates <n>] [--threads <n>] [--seed <n>]
-//!        [--miner apriori|eclat|fp-growth]
+//!        [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap]
 //!        [--swap-null [<swaps-per-entry>]] [--conservative-lambda]
 //!        [--no-baseline] [--list <n>]
 //! ```
@@ -18,6 +18,7 @@
 
 use std::process::ExitCode;
 
+use sigfim::datasets::bitmap::DatasetBackend;
 use sigfim::datasets::fimi::read_fimi_file;
 use sigfim::datasets::random::SwapRandomizationModel;
 use sigfim::datasets::summary::DatasetSummary;
@@ -33,6 +34,10 @@ struct CliOptions {
     replicates: usize,
     seed: u64,
     miner: MinerKind,
+    /// Physical dataset backend ({auto, csr, bitmap}); `auto` resolves per
+    /// workload from the density/size heuristic. The analysis result is
+    /// identical either way.
+    backend: DatasetBackend,
     /// Monte-Carlo worker threads: 0 = all cores (the default), 1 = strictly
     /// sequential. The result is bit-identical either way.
     threads: usize,
@@ -44,7 +49,7 @@ struct CliOptions {
 
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] \
     [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
-    [--miner apriori|eclat|fp-growth] \
+    [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap] \
     [--swap-null [<swaps-per-entry>]] [--conservative-lambda] [--no-baseline] [--list <n>]";
 
 fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
@@ -58,6 +63,7 @@ fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
         replicates: 64,
         seed: 0xC0FFEE,
         miner: MinerKind::Apriori,
+        backend: DatasetBackend::Auto,
         threads: 0,
         swap_null: None,
         conservative_lambda: false,
@@ -91,6 +97,10 @@ fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
                     _ => 3.0,
                 };
                 options.swap_null = Some(swaps);
+            }
+            "--backend" => {
+                let name = args.next().ok_or("--backend requires a value")?;
+                options.backend = name.parse::<DatasetBackend>()?;
             }
             "--miner" => {
                 let name = args.next().ok_or("--miner requires a value")?;
@@ -154,6 +164,7 @@ fn main() -> ExitCode {
         .with_threads(options.threads)
         .with_seed(options.seed)
         .with_miner(options.miner)
+        .with_backend(options.backend)
         .with_procedure1(options.baseline)
         .with_conservative_lambda(options.conservative_lambda);
 

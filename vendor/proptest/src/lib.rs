@@ -130,7 +130,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`]: a range or an exact length.
+    /// A size specification for [`vec()`]: a range or an exact length.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -175,7 +175,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
