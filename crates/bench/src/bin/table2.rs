@@ -10,13 +10,13 @@
 //! switches to the paper's Δ = 1000 at full scale. The final column rescales the
 //! estimated threshold back to the paper's scale (`ŝ_min × scale`) so the magnitude
 //! can be compared with Table 2 directly.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! This is the engine's threshold-only query shape: one dataset-less
+//! `AnalysisEngine` per null model answers the whole k-sweep as a single batch,
+//! caching each `(model fingerprint, k, ε, Δ, seed, backend)` key.
 
 use sigfim_bench::{rule, ExperimentConfig};
-use sigfim_core::montecarlo::FindPoissonThreshold;
-use sigfim_core::ExecutionPolicy;
+use sigfim_core::engine::{AnalysisEngine, AnalysisRequest};
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -31,29 +31,25 @@ fn main() {
     );
     println!("{}", rule(88));
 
+    let request = AnalysisRequest::for_ks(config.ks.iter().copied())
+        .with_epsilon(0.01)
+        .with_replicates(replicates)
+        .with_seed(config.seed);
     for bench in config.benchmarks() {
         let scale = config.scale_for(bench);
         let model = bench.null_model(scale).expect("null model construction");
-        for &k in &config.ks {
-            let algorithm = FindPoissonThreshold {
-                k,
-                epsilon: 0.01,
-                replicates,
-                policy: ExecutionPolicy::default(),
-                backend: config.backend,
-                max_restarts: 4,
-            };
-            let mut rng = StdRng::seed_from_u64(config.seed ^ (k as u64) << 8);
-            let estimate = algorithm.run(&model, &mut rng).expect("Algorithm 1 runs");
+        let mut engine = AnalysisEngine::from_model(model).with_backend(config.backend);
+        let runs = engine.thresholds(&request).expect("Algorithm 1 runs");
+        for run in runs {
             println!(
                 "Rand{:<10} {:>6} {:>8} {:>12} {:>12} {:>18.0} {:>10}",
                 bench.name(),
-                k,
+                run.k,
                 scale,
-                estimate.s_tilde,
-                estimate.s_min,
-                estimate.s_min as f64 * scale,
-                estimate.pool_size
+                run.estimate.s_tilde,
+                run.estimate.s_min,
+                run.estimate.s_min as f64 * scale,
+                run.estimate.pool_size
             );
         }
     }

@@ -13,12 +13,15 @@
 //! k) and that `λ(s*)` stays far below `Q_{k,s*}`. With `--closed-analysis` the
 //! binary also reproduces the Section 4.1 observation on Bms1 at k = 4: a handful of
 //! large closed itemsets accounts for most of the significant family.
+//!
+//! Each benchmark runs as **one multi-k engine batch**: the dataset view is
+//! built once per stand-in and shared across the whole k-sweep.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sigfim_bench::{format_threshold, rule, ExperimentConfig};
-use sigfim_core::SignificanceAnalyzer;
+use sigfim_core::engine::{AnalysisEngine, AnalysisRequest};
 use sigfim_datasets::benchmarks::BenchmarkDataset;
 use sigfim_mining::closed::closed_generator_analysis;
 
@@ -35,27 +38,29 @@ fn main() {
     );
     println!("{}", rule(76));
 
+    let request = AnalysisRequest::for_ks(config.ks.iter().copied())
+        .with_replicates(replicates)
+        .with_seed(config.seed)
+        .with_baseline(false);
     for bench in config.benchmarks() {
         let scale = config.scale_for(bench);
         let mut data_rng = StdRng::seed_from_u64(config.seed);
         let dataset = bench
             .sample_standin(scale, &mut data_rng)
             .expect("stand-in generation");
-        for &k in &config.ks {
-            let report = SignificanceAnalyzer::new(k)
-                .with_replicates(replicates)
-                .with_backend(config.backend)
-                .with_seed(config.seed ^ ((k as u64) << 16))
-                .with_procedure1(false)
-                .analyze(&dataset)
-                .expect("analysis runs");
-            let (s_star, q, lambda) = report.table3_row();
+        let mut engine = AnalysisEngine::from_dataset(dataset.clone())
+            .expect("non-empty stand-in")
+            .with_backend(config.backend);
+        let response = engine.run(&request).expect("analysis runs");
+        for run in &response.runs {
+            let k = run.k;
+            let (s_star, q, lambda) = run.report.table3_row();
             println!(
                 "{:<10} {:>6} {:>8} {:>10} {:>10} {:>12} {:>12.3}",
                 bench.name(),
                 k,
                 scale,
-                report.threshold.s_min,
+                run.report.threshold.s_min,
                 format_threshold(s_star),
                 q,
                 lambda

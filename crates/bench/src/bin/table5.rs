@@ -10,12 +10,14 @@
 //! ```text
 //! cargo run -p sigfim-bench --release --bin table5 [-- --full | --scale <x> | --k <list>]
 //! ```
+//!
+//! Each benchmark runs as one multi-k engine batch with the baseline enabled.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sigfim_bench::{format_threshold, rule, ExperimentConfig};
-use sigfim_core::SignificanceAnalyzer;
+use sigfim_core::engine::{AnalysisEngine, AnalysisRequest};
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -30,28 +32,29 @@ fn main() {
     );
     println!("{}", rule(84));
 
+    let request = AnalysisRequest::for_ks(config.ks.iter().copied())
+        .with_replicates(replicates)
+        .with_seed(config.seed)
+        .with_baseline(true);
     for bench in config.benchmarks() {
         let scale = config.scale_for(bench);
         let mut data_rng = StdRng::seed_from_u64(config.seed);
         let dataset = bench
             .sample_standin(scale, &mut data_rng)
             .expect("stand-in generation");
-        for &k in &config.ks {
-            let report = SignificanceAnalyzer::new(k)
-                .with_replicates(replicates)
-                .with_backend(config.backend)
-                .with_seed(config.seed ^ ((k as u64) << 16))
-                .with_procedure1(true)
-                .analyze(&dataset)
-                .expect("analysis runs");
-            let (s_star, q, _) = report.table3_row();
-            let (r_size, ratio) = report.table5_row().expect("baseline enabled");
+        let mut engine = AnalysisEngine::from_dataset(dataset)
+            .expect("non-empty stand-in")
+            .with_backend(config.backend);
+        let response = engine.run(&request).expect("analysis runs");
+        for run in &response.runs {
+            let (s_star, q, _) = run.report.table3_row();
+            let (r_size, ratio) = run.report.table5_row().expect("baseline enabled");
             println!(
                 "{:<10} {:>6} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10.3}",
                 bench.name(),
-                k,
+                run.k,
                 scale,
-                report.threshold.s_min,
+                run.report.threshold.s_min,
                 format_threshold(s_star),
                 q,
                 r_size,

@@ -11,22 +11,23 @@
 //!    family `F_k(s*)` with FDR ≤ β at confidence 1 − α,
 //! 4. optionally run Procedure 1 (the Benjamini–Yekutieli baseline) on the same
 //!    `F_k(ŝ_min)` for comparison — this is what Table 5 of the paper reports.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! Since the engine redesign this type is a thin **compatibility shim**: every
+//! `analyze*` call builds a single-request [`AnalysisEngine`] and runs
+//! [`SignificanceAnalyzer::request`] through it, with bit-identical results
+//! (enforced by `crates/core/tests/engine_parity.rs`). Callers that issue more
+//! than one query against the same dataset — k-sweeps, α/β ablations, services —
+//! should hold an [`AnalysisEngine`] instead and let its caches work.
 
 use sigfim_datasets::bitmap::DatasetBackend;
 use sigfim_datasets::random::{BernoulliModel, NullModel, SwapRandomizationModel};
-use sigfim_datasets::summary::DatasetSummary;
 use sigfim_datasets::transaction::TransactionDataset;
 use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::miner::MinerKind;
 
-use crate::montecarlo::FindPoissonThreshold;
-use crate::procedure1::Procedure1;
-use crate::procedure2::Procedure2;
+use crate::engine::{AnalysisEngine, AnalysisRequest, LambdaMode, DEFAULT_SEED};
 use crate::report::{AnalysisParameters, AnalysisReport};
-use crate::{CoreError, Result};
+use crate::Result;
 
 /// End-to-end significance analysis for k-itemsets of one fixed size.
 ///
@@ -45,6 +46,7 @@ pub struct SignificanceAnalyzer {
     backend: DatasetBackend,
     run_procedure1: bool,
     conservative_lambda: bool,
+    max_restarts: usize,
 }
 
 impl SignificanceAnalyzer {
@@ -60,11 +62,12 @@ impl SignificanceAnalyzer {
             epsilon: 0.01,
             replicates: 64,
             policy: ExecutionPolicy::default(),
-            seed: 0x51F1_D009,
+            seed: DEFAULT_SEED,
             miner: MinerKind::Apriori,
             backend: DatasetBackend::Auto,
             run_procedure1: true,
             conservative_lambda: false,
+            max_restarts: 4,
         }
     }
 
@@ -156,6 +159,13 @@ impl SignificanceAnalyzer {
         self
     }
 
+    /// Set the maximum number of floor-halving restarts of Algorithm 1 (default
+    /// 4; must be at least 1 — `analyze` rejects 0).
+    pub fn with_max_restarts(mut self, max_restarts: usize) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
     /// The parameters this analyzer will use, as recorded in reports.
     pub fn parameters(&self) -> AnalysisParameters {
         AnalysisParameters {
@@ -170,12 +180,32 @@ impl SignificanceAnalyzer {
         }
     }
 
+    /// This analyzer's configuration as a single-`k` engine request — the
+    /// migration path to the session API: `analyzer.analyze(&d)` is
+    /// `AnalysisEngine::from_dataset(d)?.run(&analyzer.request())`.
+    pub fn request(&self) -> AnalysisRequest {
+        AnalysisRequest::for_k(self.k)
+            .with_alpha(self.alpha)
+            .with_beta(self.beta)
+            .with_epsilon(self.epsilon)
+            .with_replicates(self.replicates)
+            .with_seed(self.seed)
+            .with_miner(self.miner)
+            .with_lambda_mode(if self.conservative_lambda {
+                LambdaMode::Conservative
+            } else {
+                LambdaMode::Faithful
+            })
+            .with_baseline(self.run_procedure1)
+            .with_max_restarts(self.max_restarts)
+    }
+
     /// Analyze a dataset against the paper's null model derived from it (same `t`,
     /// same item frequencies, independent placement).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidParameter`] for an empty dataset or invalid
+    /// Returns [`crate::CoreError::InvalidParameter`] for an empty dataset or invalid
     /// configuration, and propagates errors from the pipeline stages.
     pub fn analyze(&self, dataset: &TransactionDataset) -> Result<AnalysisReport> {
         let model = BernoulliModel::from_dataset(dataset);
@@ -206,6 +236,14 @@ impl SignificanceAnalyzer {
     /// frequencies should come from a reference population rather than the dataset
     /// itself, or when replaying a fitted model.
     ///
+    /// This is the compatibility path: a fresh single-request
+    /// [`AnalysisEngine`] is built per call (borrowing `model`, cloning only
+    /// the dataset container), so nothing is cached across calls. The report is
+    /// bit-identical to the pre-engine pipeline. Note the per-call dataset
+    /// clone and model fingerprint are O(dataset); callers for whom that
+    /// matters — anyone issuing repeated queries — should hold an
+    /// [`AnalysisEngine`] directly and pay both once.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`SignificanceAnalyzer::analyze`].
@@ -214,66 +252,22 @@ impl SignificanceAnalyzer {
         dataset: &TransactionDataset,
         model: &M,
     ) -> Result<AnalysisReport> {
-        if dataset.num_transactions() == 0 {
-            return Err(CoreError::InvalidParameter {
-                name: "dataset",
-                reason: "cannot analyze an empty dataset".into(),
-            });
-        }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-
-        let algorithm1 = FindPoissonThreshold {
-            k: self.k,
-            epsilon: self.epsilon,
-            replicates: self.replicates,
-            policy: self.policy,
-            backend: self.backend,
-            max_restarts: 4,
-        };
-        let threshold = algorithm1.run(model, &mut rng)?;
-        let lambda = if self.conservative_lambda {
-            threshold.conservative_lambda_estimator()
-        } else {
-            threshold.lambda_estimator()
-        };
-
-        let procedure2 = Procedure2 {
-            k: self.k,
-            alpha: self.alpha,
-            beta: self.beta,
-            miner: self.miner,
-            backend: self.backend,
-        }
-        .run(dataset, threshold.s_min, &lambda)?;
-
-        let procedure1 = if self.run_procedure1 {
-            Some(
-                Procedure1 {
-                    k: self.k,
-                    beta: self.beta,
-                    miner: self.miner,
-                    ..Procedure1::new(self.k)
-                }
-                .run(dataset, threshold.s_min)?,
-            )
-        } else {
-            None
-        };
-
-        Ok(AnalysisReport {
-            parameters: self.parameters(),
-            dataset: DatasetSummary::from_dataset(dataset),
-            threshold,
-            procedure2,
-            procedure1,
-        })
+        let mut engine = AnalysisEngine::with_model(dataset.clone(), model)?
+            .with_backend(self.backend)
+            .with_execution_policy(self.policy);
+        let response = engine.run(&self.request())?;
+        Ok(response
+            .into_reports()
+            .pop()
+            .expect("a single-k request yields exactly one report"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use sigfim_datasets::random::{PlantedConfig, PlantedModel, PlantedPattern};
 
     fn planted_model() -> PlantedModel {
@@ -307,6 +301,27 @@ mod tests {
         assert_eq!(params.replicates, 128);
         assert_eq!(params.seed, 42);
         assert_eq!(params.miner, MinerKind::Eclat);
+        // The engine-request view carries the same configuration, including the
+        // fields the report parameters do not record.
+        let request = analyzer.with_max_restarts(6).request();
+        assert_eq!(request.ks, vec![3]);
+        assert_eq!(request.replicates, 128);
+        assert_eq!(request.miner, MinerKind::Eclat);
+        assert!(!request.baseline);
+        assert_eq!(request.max_restarts, 6);
+        assert_eq!(request.lambda_mode, LambdaMode::Faithful);
+    }
+
+    #[test]
+    fn zero_max_restarts_is_rejected() {
+        let model = planted_model();
+        let dataset = model.sample(&mut StdRng::seed_from_u64(4));
+        let error = SignificanceAnalyzer::new(2)
+            .with_replicates(8)
+            .with_max_restarts(0)
+            .analyze(&dataset)
+            .unwrap_err();
+        assert!(error.to_string().contains("max_restarts"), "{error}");
     }
 
     #[test]

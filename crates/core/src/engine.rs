@@ -1,0 +1,973 @@
+//! The session-oriented high-level API: [`AnalysisEngine`].
+//!
+//! [`crate::SignificanceAnalyzer`] is one-shot: every call re-derives the null
+//! model, re-resolves the dataset backend, rebuilds the bitmap view, and runs
+//! Algorithm 1 from zero — even when only `k` or `α/β` changed between calls.
+//! The paper's own experiments (Tables 2–5) sweep `k` over a fixed dataset,
+//! which is exactly the reuse pattern a one-shot API forbids.
+//!
+//! The engine is the long-lived counterpart. Constructed **once** from a
+//! dataset (or an explicit [`NullModel`]), it owns:
+//!
+//! * the dataset and its null model (with the model's stable
+//!   [`NullModel::fingerprint`] computed once),
+//! * the resolved [`DatasetBackend`] and, when it resolves to the bitmap, the
+//!   [`BitmapDataset`] view **built once** and shared by every Procedure 2 pass,
+//! * a [`ThresholdCache`] of Algorithm 1 results keyed by
+//!   `(model fingerprint, k, ε, Δ, seed, backend, restart budget)`, so repeated
+//!   and overlapping queries skip the Monte-Carlo replicate loop entirely, and
+//! * a cache of floor [`SupportProfile`]s keyed by `(k, s_min, miner)`, so a
+//!   request that only changes `α`/`β` re-tests without re-mining.
+//!
+//! Queries are typed values: an [`AnalysisRequest`] (single `k` or a multi-`k`
+//! batch) goes in, an [`AnalysisResponse`] (per-`k` [`AnalysisReport`]s plus
+//! cache-hit metadata) comes out. A [`ProgressObserver`] hook reports
+//! stage-by-stage and replicate-by-replicate progress — the API layer a
+//! service front-end sits on.
+//!
+//! Results are **bit-identical** to the one-shot analyzer for the same
+//! parameters: each distinct threshold key is computed with a fresh
+//! seed-derived RNG exactly as `SignificanceAnalyzer::analyze` does, so a cache
+//! hit returns precisely what a cold run would have produced (enforced by
+//! `crates/core/tests/engine_parity.rs`).
+//!
+//! ```
+//! use sigfim_core::engine::{AnalysisEngine, AnalysisRequest};
+//! use sigfim_datasets::random::BernoulliModel;
+//! use rand::SeedableRng;
+//!
+//! let model = BernoulliModel::new(300, vec![0.08; 20]).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let dataset = model.sample(&mut rng);
+//!
+//! let mut engine = AnalysisEngine::from_dataset(dataset).unwrap();
+//! let request = AnalysisRequest::for_k_range(2..=3).with_replicates(16);
+//! let sweep = engine.run(&request).unwrap();      // runs Algorithm 1 per k
+//! let again = engine.run(&request).unwrap();      // served from the cache
+//! assert_eq!(sweep.reports().count(), 2);
+//! assert_eq!(again.cache_hits(), 2);
+//! assert_eq!(
+//!     sweep.report_for(2).unwrap().threshold,
+//!     again.report_for(2).unwrap().threshold
+//! );
+//! ```
+
+use std::collections::HashMap;
+use std::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
+use sigfim_datasets::random::{BernoulliModel, NullModel, SwapRandomizationModel};
+use sigfim_datasets::summary::DatasetSummary;
+use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_exec::{BatchObserver, ExecutionPolicy};
+use sigfim_mining::counting::SupportProfile;
+use sigfim_mining::miner::MinerKind;
+
+use crate::montecarlo::{FindPoissonThreshold, ThresholdEstimate};
+use crate::procedure1::Procedure1;
+use crate::procedure2::Procedure2;
+use crate::report::{AnalysisParameters, AnalysisReport};
+use crate::{CoreError, Result};
+
+/// Which λ estimator Procedure 2 consumes from the Algorithm 1 output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LambdaMode {
+    /// The paper-faithful Monte-Carlo estimator: λ = 0 beyond the observed
+    /// support range ([`ThresholdEstimate::lambda_estimator`]).
+    #[default]
+    Faithful,
+    /// The rule-of-three clamp `λ ≥ 3/Δ`
+    /// ([`ThresholdEstimate::conservative_lambda_estimator`]), recommended
+    /// when Δ is small (≲ 200).
+    Conservative,
+}
+
+/// A typed query against an [`AnalysisEngine`]: one `k` or a multi-`k` batch,
+/// plus every knob the one-shot analyzer exposed. Construct with
+/// [`AnalysisRequest::for_k`] / [`AnalysisRequest::for_k_range`] /
+/// [`AnalysisRequest::for_ks`] and refine with the `with_*` builders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisRequest {
+    /// The itemset sizes to analyze, in response order.
+    pub ks: Vec<usize>,
+    /// Confidence budget `α` of Procedure 2.
+    pub alpha: f64,
+    /// FDR budget `β` (both procedures).
+    pub beta: f64,
+    /// Chen–Stein variation-distance budget `ε` of Equation (1).
+    pub epsilon: f64,
+    /// Number Δ of Monte-Carlo replicates for Algorithm 1.
+    pub replicates: usize,
+    /// The random seed; together with the other key fields it addresses the
+    /// engine's [`ThresholdCache`].
+    pub seed: u64,
+    /// Mining algorithm for the CSR path of Procedure 1 and the profile pass.
+    pub miner: MinerKind,
+    /// λ estimator selection.
+    pub lambda_mode: LambdaMode,
+    /// Whether to run the Procedure 1 (Benjamini–Yekutieli) baseline.
+    pub baseline: bool,
+    /// Maximum number of floor-halving restarts of Algorithm 1 (lines 7–9 and
+    /// 19–22 of the pseudocode). Must be at least 1.
+    pub max_restarts: usize,
+}
+
+/// The library-wide default seed (shared with [`crate::SignificanceAnalyzer`]
+/// and the `sigfim` CLI).
+pub const DEFAULT_SEED: u64 = 0x51F1_D009;
+
+impl AnalysisRequest {
+    /// A request for a single itemset size, with the paper's experimental
+    /// parameters: `α = β = 0.05`, `ε = 0.01`, Δ = 64 replicates, Apriori
+    /// mining, the baseline enabled, and the library default seed.
+    pub fn for_k(k: usize) -> Self {
+        Self::for_ks([k])
+    }
+
+    /// A request sweeping an inclusive range of itemset sizes — the shape of
+    /// the paper's Tables 2–5, which probe k = 2..=4 against one dataset.
+    pub fn for_k_range(ks: RangeInclusive<usize>) -> Self {
+        Self::for_ks(ks)
+    }
+
+    /// A request for an explicit list of itemset sizes.
+    pub fn for_ks<I: IntoIterator<Item = usize>>(ks: I) -> Self {
+        AnalysisRequest {
+            ks: ks.into_iter().collect(),
+            alpha: 0.05,
+            beta: 0.05,
+            epsilon: 0.01,
+            replicates: 64,
+            seed: DEFAULT_SEED,
+            miner: MinerKind::Apriori,
+            lambda_mode: LambdaMode::default(),
+            baseline: true,
+            max_restarts: 4,
+        }
+    }
+
+    /// Set the confidence budget `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Set the FDR budget `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Set the Chen–Stein budget `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Set the number Δ of Monte-Carlo replicates.
+    pub fn with_replicates(mut self, replicates: usize) -> Self {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Set the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Select the mining algorithm.
+    pub fn with_miner(mut self, miner: MinerKind) -> Self {
+        self.miner = miner;
+        self
+    }
+
+    /// Select the λ estimator.
+    pub fn with_lambda_mode(mut self, mode: LambdaMode) -> Self {
+        self.lambda_mode = mode;
+        self
+    }
+
+    /// Enable or disable the Procedure 1 baseline.
+    pub fn with_baseline(mut self, baseline: bool) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Set the restart budget of Algorithm 1 (must be at least 1).
+    pub fn with_max_restarts(mut self, max_restarts: usize) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Check the request for structural validity. Statistical parameters
+    /// (`α`, `β`, `ε`) are validated by the pipeline stages they feed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the request has no itemset
+    /// sizes, a size of 0, no replicates, or a zero restart budget.
+    pub fn validate(&self) -> Result<()> {
+        if self.ks.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "ks",
+                reason: "the request must name at least one itemset size".into(),
+            });
+        }
+        if self.ks.contains(&0) {
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.replicates == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "replicates",
+                reason: "at least one Monte-Carlo replicate is required".into(),
+            });
+        }
+        if self.max_restarts == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "max_restarts",
+                reason: "Algorithm 1 needs a restart budget of at least 1 \
+                         (0 would disable the floor search of lines 7-9 and 19-22)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Whether a per-`k` threshold came out of the [`ThresholdCache`] or was
+/// computed by running Algorithm 1's replicate loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Served from the cache: the Monte-Carlo loop did not run.
+    Hit,
+    /// Computed by Algorithm 1 (and inserted into the cache).
+    Miss,
+}
+
+/// One per-`k` result inside an [`AnalysisResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KAnalysis {
+    /// The itemset size this entry covers.
+    pub k: usize,
+    /// Whether the `ThresholdEstimate` was served from the cache.
+    pub threshold_cache: CacheStatus,
+    /// The full report, identical to what the one-shot analyzer produces.
+    pub report: AnalysisReport,
+}
+
+/// The outcome of [`AnalysisEngine::run`]: one [`AnalysisReport`] per requested
+/// `k`, in request order, each annotated with its cache provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisResponse {
+    /// The per-`k` runs, in request order.
+    pub runs: Vec<KAnalysis>,
+}
+
+impl AnalysisResponse {
+    /// The per-`k` reports, in request order.
+    pub fn reports(&self) -> impl Iterator<Item = &AnalysisReport> {
+        self.runs.iter().map(|run| &run.report)
+    }
+
+    /// The first report for itemset size `k`, if the request covered it.
+    pub fn report_for(&self, k: usize) -> Option<&AnalysisReport> {
+        self.runs
+            .iter()
+            .find(|run| run.k == k)
+            .map(|run| &run.report)
+    }
+
+    /// How many of the per-`k` thresholds were served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|run| run.threshold_cache == CacheStatus::Hit)
+            .count()
+    }
+
+    /// Consume the response into its reports, in request order.
+    pub fn into_reports(self) -> Vec<AnalysisReport> {
+        self.runs.into_iter().map(|run| run.report).collect()
+    }
+}
+
+/// One per-`k` result of a threshold-only query ([`AnalysisEngine::thresholds`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdRun {
+    /// The itemset size.
+    pub k: usize,
+    /// Whether the estimate was served from the cache.
+    pub threshold_cache: CacheStatus,
+    /// The Algorithm 1 output.
+    pub estimate: ThresholdEstimate,
+}
+
+/// The pipeline stage a [`ProgressObserver`] event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalysisStage {
+    /// Algorithm 1 — the Monte-Carlo FindPoissonThreshold replicate loop.
+    Threshold,
+    /// Procedure 2 — profile mining, grid testing, family extraction.
+    Procedure2,
+    /// Procedure 1 — the Benjamini–Yekutieli baseline.
+    Procedure1,
+}
+
+/// Progress hook for engine queries. All methods default to no-ops; implement
+/// only what the front-end surfaces. Replicate events arrive from worker
+/// threads in completion order (monotone `completed`, unordered `index`-free),
+/// so implementations must be `Sync` and order-insensitive.
+pub trait ProgressObserver: Sync {
+    /// Stage `stage` of the `k`-run started.
+    fn stage_started(&self, _k: usize, _stage: AnalysisStage) {}
+
+    /// `completed` of `total` Monte-Carlo replicates of the `k`-run have
+    /// finished. When Algorithm 1 restarts with a halved floor, the count
+    /// starts over at 1 for the new round.
+    fn replicate_completed(&self, _k: usize, _completed: usize, _total: usize) {}
+
+    /// The `k`-run's threshold was served from the cache; no replicate events
+    /// will follow for it.
+    fn threshold_cache_hit(&self, _k: usize) {}
+
+    /// Stage `stage` of the `k`-run finished.
+    fn stage_completed(&self, _k: usize, _stage: AnalysisStage) {}
+}
+
+/// The do-nothing observer used by the unobserved entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl ProgressObserver for NoProgress {}
+
+/// Forwards per-replicate completion events from the execution layer to a
+/// [`ProgressObserver`], stamping them with the `k` they belong to.
+struct ReplicateProgress<'a> {
+    observer: &'a dyn ProgressObserver,
+    k: usize,
+}
+
+impl BatchObserver for ReplicateProgress<'_> {
+    fn task_completed(&self, _index: usize, completed: usize, total: usize) {
+        self.observer.replicate_completed(self.k, completed, total);
+    }
+}
+
+/// The full identity of one Algorithm 1 run. Two runs with equal keys produce
+/// bit-identical [`ThresholdEstimate`]s (each run derives its RNG freshly from
+/// the seed, and estimates are invariant under execution policy and physical
+/// backend), which is what makes caching by this key sound.
+///
+/// The tuple extends the `(fingerprint, k, ε, Δ, seed, backend)` key of the
+/// service design with the restart budget, which also shapes the estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ThresholdKey {
+    fingerprint: u64,
+    k: usize,
+    /// `ε` by exact bit pattern (`f64` is not `Hash`/`Eq`).
+    epsilon_bits: u64,
+    replicates: usize,
+    seed: u64,
+    backend: DatasetBackend,
+    max_restarts: usize,
+}
+
+/// Aggregate counters of a [`ThresholdCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served without running Algorithm 1.
+    pub hits: u64,
+    /// Lookups that had to run Algorithm 1.
+    pub misses: u64,
+    /// Number of distinct threshold keys currently stored.
+    pub entries: usize,
+}
+
+/// Memo of Algorithm 1 results keyed by the full run identity (see
+/// [`AnalysisEngine`]); the reuse that turns a k-sweep's repeated queries into
+/// lookups. Owned by an engine; inspect it through
+/// [`AnalysisEngine::cache_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdCache {
+    entries: HashMap<ThresholdKey, ThresholdEstimate>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ThresholdCache {
+    /// Look up a key, recording a hit or miss.
+    fn get(&mut self, key: &ThresholdKey) -> Option<ThresholdEstimate> {
+        match self.entries.get(key) {
+            Some(estimate) => {
+                self.hits += 1;
+                Some(estimate.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: ThresholdKey, estimate: ThresholdEstimate) {
+        self.entries.insert(key, estimate);
+    }
+
+    /// Number of distinct threshold keys stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/entry counters since construction (or the last clear).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+        }
+    }
+
+    /// Drop every entry and reset the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// The long-lived, session-oriented analysis API (see the [module
+/// docs](self)). Generic over the null model; [`AnalysisEngine::from_dataset`]
+/// builds the paper's Bernoulli model, [`AnalysisEngine::with_swap_null`] the
+/// swap-randomization alternative, and [`AnalysisEngine::with_model`] accepts
+/// anything implementing [`NullModel`] (including `&M`, so borrowing callers
+/// need not clone their model).
+#[derive(Debug, Clone)]
+pub struct AnalysisEngine<M: NullModel + Sync = BernoulliModel> {
+    model: M,
+    /// The model's stable fingerprint, computed once at construction.
+    fingerprint: u64,
+    /// The dataset Procedures 1 and 2 analyze; absent for threshold-only
+    /// engines built with [`AnalysisEngine::from_model`].
+    dataset: Option<TransactionDataset>,
+    backend: DatasetBackend,
+    policy: ExecutionPolicy,
+    /// The bitmap view of `dataset`, built once whenever `backend` resolves to
+    /// the bitmap for it; shared by every Procedure 2 pass.
+    bitmap: Option<BitmapDataset>,
+    cache: ThresholdCache,
+    /// Floor profiles by `(k, s_min, miner)`: a request that re-tests the same
+    /// threshold with different `α`/`β` budgets skips the mining pass too.
+    profiles: HashMap<(usize, u64, MinerKind), SupportProfile>,
+}
+
+impl AnalysisEngine<BernoulliModel> {
+    /// An engine analyzing `dataset` against the paper's null model derived
+    /// from it (same `t`, same item frequencies, independent placement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty dataset.
+    pub fn from_dataset(dataset: TransactionDataset) -> Result<Self> {
+        let model = BernoulliModel::from_dataset(&dataset);
+        Self::with_model(dataset, model)
+    }
+}
+
+impl AnalysisEngine<SwapRandomizationModel> {
+    /// An engine analyzing `dataset` against the swap-randomization null of
+    /// Gionis et al., with `swaps_per_entry` swap attempts per incidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty dataset and
+    /// propagates swap-model construction errors (no incidences,
+    /// non-positive `swaps_per_entry`).
+    pub fn with_swap_null(dataset: TransactionDataset, swaps_per_entry: f64) -> Result<Self> {
+        let model = SwapRandomizationModel::new(dataset.clone(), swaps_per_entry)?;
+        Self::with_model(dataset, model)
+    }
+}
+
+impl<M: NullModel + Sync> AnalysisEngine<M> {
+    /// An engine analyzing `dataset` against an explicitly supplied null model
+    /// (a reference-population model, a replayed fitted model, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty dataset.
+    pub fn with_model(dataset: TransactionDataset, model: M) -> Result<Self> {
+        if dataset.num_transactions() == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "dataset",
+                reason: "cannot analyze an empty dataset".into(),
+            });
+        }
+        let mut engine = Self::from_model(model);
+        engine.dataset = Some(dataset);
+        engine.rebuild_views();
+        Ok(engine)
+    }
+
+    /// A threshold-only engine: no dataset, so only
+    /// [`AnalysisEngine::thresholds`] queries are available (the shape of the
+    /// paper's Table 2, which runs Algorithm 1 against null models alone).
+    pub fn from_model(model: M) -> Self {
+        let fingerprint = model.fingerprint();
+        AnalysisEngine {
+            model,
+            fingerprint,
+            dataset: None,
+            backend: DatasetBackend::Auto,
+            policy: ExecutionPolicy::default(),
+            bitmap: None,
+            cache: ThresholdCache::default(),
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// Select the physical dataset backend. Results are identical under every
+    /// backend; this rebuilds the owned bitmap view accordingly and clears the
+    /// profile cache.
+    pub fn with_backend(mut self, backend: DatasetBackend) -> Self {
+        self.backend = backend;
+        self.profiles.clear();
+        self.rebuild_views();
+        self
+    }
+
+    /// Select the execution policy for the Monte-Carlo replicate loop (a pure
+    /// performance knob; estimates are bit-identical under every policy).
+    pub fn with_execution_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for [`AnalysisEngine::with_execution_policy`] with
+    /// [`ExecutionPolicy::from_threads`] (0 = all cores, 1 = sequential).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_execution_policy(ExecutionPolicy::from_threads(threads))
+    }
+
+    /// The dataset this engine analyzes, when it has one.
+    pub fn dataset(&self) -> Option<&TransactionDataset> {
+        self.dataset.as_ref()
+    }
+
+    /// The null model queries are answered against.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The model fingerprint keying the threshold cache.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The configured dataset backend.
+    pub fn backend(&self) -> DatasetBackend {
+        self.backend
+    }
+
+    /// The configured execution policy.
+    pub fn execution_policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
+    /// Hit/miss/entry counters of the threshold cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached threshold and profile (e.g. after mutating shared
+    /// state the keys cannot see).
+    pub fn clear_caches(&mut self) {
+        self.cache.clear();
+        self.profiles.clear();
+    }
+
+    /// Run a request end to end: per requested `k`, Algorithm 1 (served from
+    /// the [`ThresholdCache`] when the key is warm), Procedure 2 against the
+    /// engine's pre-built dataset view, and optionally the Procedure 1
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an invalid request or an
+    /// engine built without a dataset, and propagates pipeline errors.
+    pub fn run(&mut self, request: &AnalysisRequest) -> Result<AnalysisResponse> {
+        self.run_observed(request, &NoProgress)
+    }
+
+    /// Like [`AnalysisEngine::run`], reporting stage and replicate progress to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnalysisEngine::run`].
+    pub fn run_observed(
+        &mut self,
+        request: &AnalysisRequest,
+        observer: &dyn ProgressObserver,
+    ) -> Result<AnalysisResponse> {
+        request.validate()?;
+        if self.dataset.is_none() {
+            return Err(CoreError::InvalidParameter {
+                name: "dataset",
+                reason: "this engine was built without a dataset (from_model); \
+                         only threshold queries are available"
+                    .into(),
+            });
+        }
+
+        let mut runs = Vec::with_capacity(request.ks.len());
+        for &k in &request.ks {
+            let (estimate, status) = self.threshold_for(k, request, observer)?;
+            let lambda = match request.lambda_mode {
+                LambdaMode::Faithful => estimate.lambda_estimator(),
+                LambdaMode::Conservative => estimate.conservative_lambda_estimator(),
+            };
+
+            observer.stage_started(k, AnalysisStage::Procedure2);
+            let profile_key = (k, estimate.s_min, request.miner);
+            if !self.profiles.contains_key(&profile_key) {
+                let dataset = self.dataset.as_ref().expect("checked above");
+                let profile = Procedure2::mine_profile(
+                    request.miner,
+                    dataset,
+                    self.bitmap.as_ref(),
+                    k,
+                    estimate.s_min,
+                )?;
+                self.profiles.insert(profile_key, profile);
+            }
+            let profile = &self.profiles[&profile_key];
+            let dataset = self.dataset.as_ref().expect("checked above");
+            let procedure2 = Procedure2 {
+                k,
+                alpha: request.alpha,
+                beta: request.beta,
+                miner: request.miner,
+                backend: self.backend,
+            }
+            .run_prepared(
+                dataset,
+                self.bitmap.as_ref(),
+                profile,
+                estimate.s_min,
+                &lambda,
+            )?;
+            observer.stage_completed(k, AnalysisStage::Procedure2);
+
+            let procedure1 = if request.baseline {
+                observer.stage_started(k, AnalysisStage::Procedure1);
+                let result = Procedure1 {
+                    k,
+                    beta: request.beta,
+                    miner: request.miner,
+                    ..Procedure1::new(k)
+                }
+                .run(dataset, estimate.s_min)?;
+                observer.stage_completed(k, AnalysisStage::Procedure1);
+                Some(result)
+            } else {
+                None
+            };
+
+            runs.push(KAnalysis {
+                k,
+                threshold_cache: status,
+                report: AnalysisReport {
+                    parameters: AnalysisParameters {
+                        k,
+                        alpha: request.alpha,
+                        beta: request.beta,
+                        epsilon: request.epsilon,
+                        replicates: request.replicates,
+                        seed: request.seed,
+                        miner: request.miner,
+                        backend: self.backend,
+                    },
+                    dataset: DatasetSummary::from_dataset(dataset),
+                    threshold: estimate,
+                    procedure2,
+                    procedure1,
+                },
+            });
+        }
+        Ok(AnalysisResponse { runs })
+    }
+
+    /// Threshold-only queries: run (or recall) Algorithm 1 per requested `k`
+    /// without touching Procedures 1/2, so this works on engines built with
+    /// [`AnalysisEngine::from_model`] too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an invalid request and
+    /// propagates Algorithm 1 errors.
+    pub fn thresholds(&mut self, request: &AnalysisRequest) -> Result<Vec<ThresholdRun>> {
+        self.thresholds_observed(request, &NoProgress)
+    }
+
+    /// Like [`AnalysisEngine::thresholds`], reporting progress to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnalysisEngine::thresholds`].
+    pub fn thresholds_observed(
+        &mut self,
+        request: &AnalysisRequest,
+        observer: &dyn ProgressObserver,
+    ) -> Result<Vec<ThresholdRun>> {
+        request.validate()?;
+        request
+            .ks
+            .iter()
+            .map(|&k| {
+                self.threshold_for(k, request, observer)
+                    .map(|(estimate, status)| ThresholdRun {
+                        k,
+                        threshold_cache: status,
+                        estimate,
+                    })
+            })
+            .collect()
+    }
+
+    /// Serve one `(k, request)` threshold: from the cache when the full run
+    /// identity is warm, by running Algorithm 1 otherwise. A fresh RNG is
+    /// derived from the request seed per run — exactly as the one-shot
+    /// analyzer derives it — which is what makes the cached value bit-identical
+    /// to a recomputation and the cache sound.
+    fn threshold_for(
+        &mut self,
+        k: usize,
+        request: &AnalysisRequest,
+        observer: &dyn ProgressObserver,
+    ) -> Result<(ThresholdEstimate, CacheStatus)> {
+        let key = ThresholdKey {
+            fingerprint: self.fingerprint,
+            k,
+            epsilon_bits: request.epsilon.to_bits(),
+            replicates: request.replicates,
+            seed: request.seed,
+            backend: self.backend,
+            max_restarts: request.max_restarts,
+        };
+        if let Some(estimate) = self.cache.get(&key) {
+            observer.threshold_cache_hit(k);
+            return Ok((estimate, CacheStatus::Hit));
+        }
+
+        observer.stage_started(k, AnalysisStage::Threshold);
+        let algorithm = FindPoissonThreshold {
+            k,
+            epsilon: request.epsilon,
+            replicates: request.replicates,
+            policy: self.policy,
+            backend: self.backend,
+            max_restarts: request.max_restarts,
+        };
+        let mut rng = StdRng::seed_from_u64(request.seed);
+        let progress = ReplicateProgress { observer, k };
+        let estimate = algorithm.run_observed(&self.model, &mut rng, &progress)?;
+        observer.stage_completed(k, AnalysisStage::Threshold);
+        self.cache.insert(key, estimate.clone());
+        Ok((estimate, CacheStatus::Miss))
+    }
+
+    /// Rebuild the owned dataset views after a dataset/backend change: the
+    /// bitmap is built once here and shared by every subsequent Procedure 2
+    /// pass (and k-sweep), instead of once per call.
+    fn rebuild_views(&mut self) {
+        self.bitmap = match &self.dataset {
+            Some(dataset)
+                if self.backend.resolve_for_dataset(dataset) == ResolvedBackend::Bitmap =>
+            {
+                Some(BitmapDataset::from_dataset(dataset))
+            }
+            _ => None,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigfim_datasets::random::{PlantedConfig, PlantedModel, PlantedPattern};
+
+    fn planted_dataset(seed: u64) -> TransactionDataset {
+        let background = BernoulliModel::new(400, vec![0.05; 20]).unwrap();
+        let model = PlantedModel::new(PlantedConfig {
+            background,
+            patterns: vec![PlantedPattern::new(vec![2, 9], 80).unwrap()],
+        })
+        .unwrap();
+        model.sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn request_builders_and_validation() {
+        let request = AnalysisRequest::for_k_range(2..=5)
+            .with_alpha(0.01)
+            .with_beta(0.1)
+            .with_epsilon(0.02)
+            .with_replicates(128)
+            .with_seed(9)
+            .with_miner(MinerKind::Eclat)
+            .with_lambda_mode(LambdaMode::Conservative)
+            .with_baseline(false)
+            .with_max_restarts(2);
+        assert_eq!(request.ks, vec![2, 3, 4, 5]);
+        assert!(request.validate().is_ok());
+        assert_eq!(AnalysisRequest::for_k(3).ks, vec![3]);
+        assert_eq!(AnalysisRequest::for_ks([4, 2]).ks, vec![4, 2]);
+        assert_eq!(AnalysisRequest::for_k(2).seed, DEFAULT_SEED);
+
+        assert!(AnalysisRequest::for_ks([]).validate().is_err());
+        assert!(AnalysisRequest::for_k(0).validate().is_err());
+        assert!(AnalysisRequest::for_k(2)
+            .with_replicates(0)
+            .validate()
+            .is_err());
+        let zero_restarts = AnalysisRequest::for_k(2).with_max_restarts(0);
+        let error = zero_restarts.validate().unwrap_err();
+        assert!(error.to_string().contains("max_restarts"));
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let request = AnalysisRequest::for_k_range(2..=4)
+            .with_seed(7)
+            .with_lambda_mode(LambdaMode::Conservative);
+        let json = serde_json::to_string(&request).unwrap();
+        let parsed: AnalysisRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn empty_dataset_and_missing_dataset_are_rejected() {
+        assert!(AnalysisEngine::from_dataset(TransactionDataset::empty(4)).is_err());
+        let model = BernoulliModel::new(50, vec![0.2; 6]).unwrap();
+        let mut engine = AnalysisEngine::from_model(model);
+        let request = AnalysisRequest::for_k(2).with_replicates(4);
+        // Threshold-only queries work without a dataset ...
+        assert!(engine.thresholds(&request).is_ok());
+        // ... full runs do not.
+        let error = engine.run(&request).unwrap_err();
+        assert!(error.to_string().contains("dataset"));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_threshold_cache() {
+        let mut engine = AnalysisEngine::from_dataset(planted_dataset(3)).unwrap();
+        let request = AnalysisRequest::for_k(2).with_replicates(12).with_seed(5);
+        let first = engine.run(&request).unwrap();
+        assert_eq!(first.cache_hits(), 0);
+        assert_eq!(first.runs[0].threshold_cache, CacheStatus::Miss);
+        let second = engine.run(&request).unwrap();
+        assert_eq!(second.cache_hits(), 1);
+        assert_eq!(second.runs[0].report, first.runs[0].report);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // A different seed is a different key.
+        let other = engine.run(&request.clone().with_seed(6)).unwrap();
+        assert_eq!(other.cache_hits(), 0);
+        assert_eq!(engine.cache_stats().entries, 2);
+
+        // Clearing the caches forgets everything.
+        engine.clear_caches();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        assert!(ThresholdCache::default().is_empty());
+    }
+
+    #[test]
+    fn alpha_beta_changes_reuse_threshold_and_profile() {
+        // Same (fingerprint, k, eps, delta, seed, backend): only the budgets
+        // change, so the second run is a pure lookup + re-test.
+        let mut engine = AnalysisEngine::from_dataset(planted_dataset(8)).unwrap();
+        let base = AnalysisRequest::for_k(2).with_replicates(12);
+        let strict = base.clone().with_alpha(0.01).with_beta(0.01);
+        let loose = engine.run(&base).unwrap();
+        let response = engine.run(&strict).unwrap();
+        assert_eq!(response.cache_hits(), 1);
+        assert_eq!(
+            response.runs[0].report.threshold,
+            loose.runs[0].report.threshold
+        );
+        // The engine holds one profile (shared) and one threshold entry.
+        assert_eq!(engine.profiles.len(), 1);
+        assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn observer_sees_stages_replicates_and_cache_hits() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            stages: Mutex<Vec<(usize, AnalysisStage, bool)>>,
+            replicates: Mutex<Vec<(usize, usize, usize)>>,
+            hits: Mutex<Vec<usize>>,
+        }
+        impl ProgressObserver for Recorder {
+            fn stage_started(&self, k: usize, stage: AnalysisStage) {
+                self.stages.lock().unwrap().push((k, stage, false));
+            }
+            fn replicate_completed(&self, k: usize, completed: usize, total: usize) {
+                self.replicates.lock().unwrap().push((k, completed, total));
+            }
+            fn threshold_cache_hit(&self, k: usize) {
+                self.hits.lock().unwrap().push(k);
+            }
+            fn stage_completed(&self, k: usize, stage: AnalysisStage) {
+                self.stages.lock().unwrap().push((k, stage, true));
+            }
+        }
+
+        let mut engine = AnalysisEngine::from_dataset(planted_dataset(1)).unwrap();
+        let request = AnalysisRequest::for_k(2).with_replicates(8);
+        let recorder = Recorder::default();
+        engine.run_observed(&request, &recorder).unwrap();
+        let stages = recorder.stages.into_inner().unwrap();
+        // Threshold, Procedure2 and Procedure1 all start and complete, in order.
+        assert_eq!(
+            stages,
+            vec![
+                (2, AnalysisStage::Threshold, false),
+                (2, AnalysisStage::Threshold, true),
+                (2, AnalysisStage::Procedure2, false),
+                (2, AnalysisStage::Procedure2, true),
+                (2, AnalysisStage::Procedure1, false),
+                (2, AnalysisStage::Procedure1, true),
+            ]
+        );
+        let replicates = recorder.replicates.into_inner().unwrap();
+        // One full round of 8 replicates (possibly more after restarts), each
+        // reported against the right k and total.
+        assert!(replicates.len() >= 8);
+        assert!(replicates.iter().all(|&(k, _, total)| k == 2 && total == 8));
+        assert!(replicates.iter().any(|&(_, completed, _)| completed == 8));
+        assert!(recorder.hits.into_inner().unwrap().is_empty());
+
+        // A warm rerun reports the cache hit and no replicates.
+        let recorder = Recorder::default();
+        engine.run_observed(&request, &recorder).unwrap();
+        assert_eq!(recorder.hits.into_inner().unwrap(), vec![2]);
+        assert!(recorder.replicates.into_inner().unwrap().is_empty());
+    }
+}

@@ -22,9 +22,13 @@
 //!    a support threshold `s* ≥ s_min` such that, with confidence 1 − α, all
 //!    k-itemsets with support ≥ `s*` can be flagged significant with FDR ≤ β
 //!    (Theorem 6).
-//! 5. **High-level API** ([`analyzer`], [`report`]): one call that runs the whole
-//!    pipeline and produces a serializable report; [`validation`] evaluates empirical
-//!    FDR/power against planted ground truth and checks the Poisson approximation.
+//! 5. **High-level API** ([`engine`], [`analyzer`], [`report`]): the
+//!    session-oriented [`AnalysisEngine`] — typed [`engine::AnalysisRequest`]s,
+//!    multi-`k` batches over views built once, a [`engine::ThresholdCache`] of
+//!    Algorithm 1 results, progress observation — plus the one-shot
+//!    [`SignificanceAnalyzer`] compatibility shim delegating to it;
+//!    [`validation`] evaluates empirical FDR/power against planted ground truth
+//!    and checks the Poisson approximation.
 //!
 //! ## Quick example
 //!
@@ -59,6 +63,7 @@
 
 pub mod analyzer;
 pub mod chen_stein;
+pub mod engine;
 pub mod lambda;
 pub mod montecarlo;
 pub mod procedure1;
@@ -68,6 +73,10 @@ pub mod validation;
 
 pub use analyzer::SignificanceAnalyzer;
 pub use chen_stein::ExactChenStein;
+pub use engine::{
+    AnalysisEngine, AnalysisRequest, AnalysisResponse, AnalysisStage, CacheStats, CacheStatus,
+    KAnalysis, LambdaMode, NoProgress, ProgressObserver, ThresholdCache, ThresholdRun,
+};
 pub use lambda::{ExactLambda, LambdaEstimator};
 pub use montecarlo::{FindPoissonThreshold, ThresholdEstimate};
 pub use procedure1::{Procedure1, Procedure1Result};

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use sigfim_datasets::bitmap::{with_bitmap_scratch, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::random::NullModel;
 use sigfim_datasets::transaction::ItemId;
-use sigfim_exec::{substream, ExecutionPolicy};
+use sigfim_exec::{substream, BatchObserver, ExecutionPolicy, NoopObserver};
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::miner::KItemsetMiner;
 
@@ -128,6 +128,24 @@ impl FindPoissonThreshold {
         model: &M,
         rng: &mut R,
     ) -> Result<ThresholdEstimate> {
+        self.run_observed(model, rng, &NoopObserver)
+    }
+
+    /// Like [`FindPoissonThreshold::run`], reporting each completed Monte-Carlo
+    /// replicate to `observer` (the progress hook a long-running analysis
+    /// engine exposes to its callers). The observer never influences the
+    /// estimate. When a restart halves the floor `s̃`, the Δ replicates run
+    /// again and the observer sees a fresh `1..=Δ` count for the new round.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FindPoissonThreshold::run`].
+    pub fn run_observed<M: NullModel + Sync, R: Rng + ?Sized>(
+        &self,
+        model: &M,
+        rng: &mut R,
+        observer: &dyn BatchObserver,
+    ) -> Result<ThresholdEstimate> {
         self.validate()?;
         if model.num_items() < self.k {
             return Err(CoreError::InvalidParameter {
@@ -147,7 +165,7 @@ impl FindPoissonThreshold {
         let mut restarts_left = self.max_restarts;
 
         loop {
-            let observations = self.collect_observations(model, s_tilde, rng)?;
+            let observations = self.collect_observations(model, s_tilde, rng, observer)?;
             if observations.pool.is_empty() {
                 // Line 7-9 of the pseudocode: nothing reached the floor; halve it.
                 if restarts_left == 0 || s_tilde == 1 {
@@ -235,6 +253,7 @@ impl FindPoissonThreshold {
         model: &M,
         floor: u64,
         rng: &mut R,
+        observer: &dyn BatchObserver,
     ) -> Result<Observations> {
         let replicates = self.replicates;
         let batch_key: u64 = rng.random();
@@ -245,8 +264,9 @@ impl FindPoissonThreshold {
             model.num_transactions(),
             model.expected_density(),
         );
-        let per_replicate: Vec<HashMap<Vec<ItemId>, u64>> =
-            self.policy.try_map_indexed(&indices, |_, &index| {
+        let per_replicate: Vec<HashMap<Vec<ItemId>, u64>> = self.policy.try_map_indexed_observed(
+            &indices,
+            |_, &index| {
                 let mut local = substream(batch_key, index);
                 // Eclat handles the low-floor regime (s̃ close to 1 on sparse
                 // data) much better than level-wise Apriori: its work is
@@ -268,7 +288,9 @@ impl FindPoissonThreshold {
                         .map(|m| (m.items, m.support))
                         .collect::<HashMap<_, _>>()
                 })
-            })?;
+            },
+            observer,
+        )?;
 
         // The pool W: every itemset that reached the floor in at least one replicate.
         let mut pool: Vec<Vec<ItemId>> = Vec::new();

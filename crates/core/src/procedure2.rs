@@ -120,32 +120,99 @@ impl Procedure2 {
             });
         }
 
-        let s_max = dataset.max_item_support();
-        let grid = Self::support_grid(s_min, s_max);
-        let h = grid.len();
-        let alphas = split_alpha_evenly(self.alpha, h);
-        let betas = split_beta_evenly(self.beta, h);
-
         // Resolve the physical representation once; on the bitmap path the
         // bit-columns are built a single time and serve both the profile pass
-        // and the final family mining below.
+        // and the final family mining below. (A long-lived `AnalysisEngine`
+        // instead builds the bitmap once per dataset and calls
+        // `run_prepared` directly, amortizing it over a whole k-sweep.)
+        let s_max = dataset.max_item_support();
         let backend = self.backend.resolve_for_dataset(dataset);
         let bitmap = match backend {
             ResolvedBackend::Bitmap if s_max >= s_min => Some(BitmapDataset::from_dataset(dataset)),
             _ => None,
         };
-
-        // One mining pass at the floor answers every Q_{k,s_i} query. The selected
-        // miner counts through the density-chosen SupportCounter; the bitmap path
-        // mines with the bitset Eclat instead.
-        let profile = match &bitmap {
-            Some(bitmap) => SupportProfile::from_bitmap(bitmap, self.k, s_min)?,
-            None if s_max >= s_min => {
-                SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?
+        // Inline `mine_profile` against the already-computed `s_max` (the
+        // support scan is O(entries); no need to repeat it per stage).
+        let profile = if s_max < s_min {
+            SupportProfile::from_itemsets(self.k, s_min, &[])
+        } else {
+            match &bitmap {
+                Some(bitmap) => SupportProfile::from_bitmap(bitmap, self.k, s_min)?,
+                None => SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?,
             }
-            // No itemset can reach s_min; the profile is empty.
-            None => SupportProfile::from_itemsets(self.k, s_min, &[]),
         };
+        self.run_prepared(dataset, bitmap.as_ref(), &profile, s_min, lambda)
+    }
+
+    /// One mining pass at the floor `s_min`, answering every `Q_{k,s_i}` query
+    /// of the grid: via the bitset Eclat when a bitmap is supplied, via the
+    /// selected miner (counting through the density-chosen `SupportCounter`)
+    /// otherwise. When no itemset can reach the floor the profile is empty
+    /// without any mining pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mining errors (e.g. `k = 0` or `s_min = 0`).
+    pub fn mine_profile(
+        miner: MinerKind,
+        dataset: &TransactionDataset,
+        bitmap: Option<&BitmapDataset>,
+        k: usize,
+        s_min: u64,
+    ) -> Result<SupportProfile> {
+        if dataset.max_item_support() < s_min {
+            return Ok(SupportProfile::from_itemsets(k, s_min, &[]));
+        }
+        match bitmap {
+            Some(bitmap) => Ok(SupportProfile::from_bitmap(bitmap, k, s_min)?),
+            None => Ok(SupportProfile::with_miner(miner, dataset, k, s_min)?),
+        }
+    }
+
+    /// Run Procedure 2 against pre-built state: a `bitmap` view of `dataset`
+    /// (or `None` for the CSR path) and the floor `profile` mined at `s_min`
+    /// (see [`Procedure2::mine_profile`]). This is the engine entry point: the
+    /// bitmap is built once per dataset and the profile once per `(k, s_min)`,
+    /// then shared across every request that needs them. Equivalent to
+    /// [`Procedure2::run`] when the supplied state matches the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for invalid configuration,
+    /// `s_min = 0`, or a `profile` that does not cover this `(k, s_min)`, and
+    /// propagates mining/statistics errors.
+    pub fn run_prepared(
+        &self,
+        dataset: &TransactionDataset,
+        bitmap: Option<&BitmapDataset>,
+        profile: &SupportProfile,
+        s_min: u64,
+        lambda: &dyn LambdaEstimator,
+    ) -> Result<Procedure2Result> {
+        self.validate()?;
+        if s_min == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "s_min",
+                reason: "the Poisson threshold must be at least 1".into(),
+            });
+        }
+        if profile.k() != self.k || profile.floor() > s_min {
+            return Err(CoreError::InvalidParameter {
+                name: "profile",
+                reason: format!(
+                    "support profile covers k = {} above floor {} but the run needs k = {} at s_min = {s_min}",
+                    profile.k(),
+                    profile.floor(),
+                    self.k
+                ),
+            });
+        }
+
+        let s_max = dataset.max_item_support();
+        let grid = Self::support_grid(s_min, s_max);
+        let h = grid.len();
+        let alphas = split_alpha_evenly(self.alpha, h);
+        let betas = split_beta_evenly(self.beta, h);
 
         let mut tests = Vec::with_capacity(h);
         let mut s_star = None;
@@ -175,7 +242,7 @@ impl Procedure2 {
             }
         }
 
-        let significant = match (s_star, &bitmap) {
+        let significant = match (s_star, bitmap) {
             (Some(s), Some(bitmap)) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
             (Some(s), None) => self.miner.mine_k(dataset, self.k, s)?,
             (None, _) => Vec::new(),

@@ -121,21 +121,54 @@ fn backend_parity_full_reports_at_1_2_and_8_threads() {
 
 #[test]
 fn backend_parity_swap_null_model() {
-    // The swap model exercises the *default* bitmap sampling path (CSR sample
-    // copied into the scratch buffer) rather than the bit-sliced override.
+    // The swap model's `sample_into_bitmap` is implemented *natively* on the
+    // bit-columns (margin-preserving swaps as paired bit flips), so this pins
+    // the contract that native swap sampling consumes the RNG exactly like the
+    // CSR sampler: the pooled observations — and therefore the estimates — are
+    // bit-identical across backends at every worker count.
     let reference_data = planted_dataset(31);
     let model = SwapRandomizationModel::new(reference_data, 3.0).unwrap();
-    let run = |backend: DatasetBackend| {
+    let run = |backend: DatasetBackend, threads: usize| {
         let algo = FindPoissonThreshold {
             replicates: 16,
-            policy: ExecutionPolicy::rayon(8),
+            policy: ExecutionPolicy::from_threads(threads),
             backend,
             ..FindPoissonThreshold::new(2)
         };
         let mut rng = StdRng::seed_from_u64(3);
         algo.run(&model, &mut rng).unwrap()
     };
-    assert_eq!(run(DatasetBackend::Csr), run(DatasetBackend::Bitmap));
+    let reference = run(DatasetBackend::Csr, 1);
+    for threads in THREAD_MATRIX {
+        for backend in [DatasetBackend::Csr, DatasetBackend::Bitmap] {
+            assert_eq!(
+                run(backend, threads),
+                reference,
+                "swap-null backend {} at {threads} thread(s) diverged",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_parity_swap_null_full_reports() {
+    // End to end through the analyzer: the whole swap-null report (threshold,
+    // Procedure 2 trace, significant family) is backend-invariant.
+    let dataset = planted_dataset(47);
+    let analyze = |backend: DatasetBackend| {
+        SignificanceAnalyzer::new(2)
+            .with_replicates(12)
+            .with_seed(8)
+            .with_backend(backend)
+            .with_procedure1(false)
+            .analyze_with_swap_null(&dataset, 3.0)
+            .unwrap()
+    };
+    let csr = analyze(DatasetBackend::Csr);
+    let bitmap = analyze(DatasetBackend::Bitmap);
+    assert_eq!(csr.threshold, bitmap.threshold);
+    assert_eq!(csr.procedure2, bitmap.procedure2);
 }
 
 #[test]

@@ -1,0 +1,321 @@
+//! Shim-vs-engine parity contract.
+//!
+//! The `SignificanceAnalyzer` survives the engine redesign as a thin shim
+//! delegating to a single-request [`AnalysisEngine`]. These tests prove the
+//! redesign changed nothing observable:
+//!
+//! * the shim's output is **bit-identical** to the pre-redesign pipeline,
+//!   reconstructed here from the unchanged building blocks (Algorithm 1 run
+//!   with a fresh seed-derived RNG, Procedure 2, Procedure 1) exactly as the
+//!   old `analyze_with_model` wired them;
+//! * a multi-`k` engine sweep equals `k`-by-`k` single requests; and
+//! * the `ThresholdCache` makes Algorithm 1's replicate loop run **at most
+//!   once per distinct key** — asserted both via the response's cache-hit
+//!   metadata and by counting actual null-model sampling calls.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim_core::engine::{AnalysisEngine, AnalysisRequest, CacheStatus};
+use sigfim_core::montecarlo::FindPoissonThreshold;
+use sigfim_core::procedure1::Procedure1;
+use sigfim_core::procedure2::Procedure2;
+use sigfim_core::report::{AnalysisParameters, AnalysisReport};
+use sigfim_core::{DatasetBackend, SignificanceAnalyzer};
+use sigfim_datasets::bitmap::BitmapDataset;
+use sigfim_datasets::random::{
+    BernoulliModel, NullModel, PlantedConfig, PlantedModel, PlantedPattern,
+};
+use sigfim_datasets::summary::DatasetSummary;
+use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_mining::miner::MinerKind;
+
+fn planted_dataset(seed: u64) -> TransactionDataset {
+    let background = BernoulliModel::new(380, vec![0.06; 18]).unwrap();
+    let model = PlantedModel::new(PlantedConfig {
+        background,
+        patterns: vec![
+            PlantedPattern::new(vec![1, 7], 75).unwrap(),
+            PlantedPattern::new(vec![4, 10, 15], 55).unwrap(),
+        ],
+    })
+    .unwrap();
+    model.sample(&mut StdRng::seed_from_u64(seed))
+}
+
+/// The pre-redesign `SignificanceAnalyzer::analyze_with_model` pipeline,
+/// reproduced verbatim from the unchanged stage types: this is the reference
+/// the shim (and therefore the engine) must match bit for bit.
+fn legacy_pipeline<M: NullModel + Sync>(
+    dataset: &TransactionDataset,
+    model: &M,
+    k: usize,
+    replicates: usize,
+    seed: u64,
+    backend: DatasetBackend,
+    baseline: bool,
+) -> AnalysisReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let algorithm1 = FindPoissonThreshold {
+        k,
+        epsilon: 0.01,
+        replicates,
+        policy: sigfim_core::ExecutionPolicy::default(),
+        backend,
+        max_restarts: 4,
+    };
+    let threshold = algorithm1.run(model, &mut rng).unwrap();
+    let lambda = threshold.lambda_estimator();
+    let procedure2 = Procedure2 {
+        k,
+        alpha: 0.05,
+        beta: 0.05,
+        miner: MinerKind::Apriori,
+        backend,
+    }
+    .run(dataset, threshold.s_min, &lambda)
+    .unwrap();
+    let procedure1 = baseline.then(|| {
+        Procedure1 {
+            k,
+            beta: 0.05,
+            miner: MinerKind::Apriori,
+            ..Procedure1::new(k)
+        }
+        .run(dataset, threshold.s_min)
+        .unwrap()
+    });
+    AnalysisReport {
+        parameters: AnalysisParameters {
+            k,
+            alpha: 0.05,
+            beta: 0.05,
+            epsilon: 0.01,
+            replicates,
+            seed,
+            miner: MinerKind::Apriori,
+            backend,
+        },
+        dataset: DatasetSummary::from_dataset(dataset),
+        threshold,
+        procedure2,
+        procedure1,
+    }
+}
+
+#[test]
+fn shim_and_engine_match_the_legacy_pipeline_bit_for_bit() {
+    let dataset = planted_dataset(11);
+    let model = BernoulliModel::from_dataset(&dataset);
+    for backend in [
+        DatasetBackend::Auto,
+        DatasetBackend::Csr,
+        DatasetBackend::Bitmap,
+    ] {
+        for baseline in [true, false] {
+            let legacy = legacy_pipeline(&dataset, &model, 2, 20, 9, backend, baseline);
+
+            let shim = SignificanceAnalyzer::new(2)
+                .with_replicates(20)
+                .with_seed(9)
+                .with_backend(backend)
+                .with_procedure1(baseline)
+                .analyze(&dataset)
+                .unwrap();
+            assert_eq!(
+                shim, legacy,
+                "shim diverged from the pre-redesign pipeline (backend {backend}, baseline {baseline})"
+            );
+
+            let mut engine = AnalysisEngine::from_dataset(dataset.clone())
+                .unwrap()
+                .with_backend(backend);
+            let request = AnalysisRequest::for_k(2)
+                .with_replicates(20)
+                .with_seed(9)
+                .with_baseline(baseline);
+            let response = engine.run(&request).unwrap();
+            assert_eq!(
+                response.runs[0].report, legacy,
+                "engine diverged from the pre-redesign pipeline (backend {backend}, baseline {baseline})"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_k_sweep_equals_single_requests() {
+    let dataset = planted_dataset(29);
+    let sweep_request = AnalysisRequest::for_k_range(2..=4)
+        .with_replicates(16)
+        .with_seed(3);
+    let mut sweep_engine = AnalysisEngine::from_dataset(dataset.clone()).unwrap();
+    let sweep = sweep_engine.run(&sweep_request).unwrap();
+    assert_eq!(sweep.runs.len(), 3);
+
+    for (i, k) in (2..=4).enumerate() {
+        // A fresh engine per single request: no shared state with the sweep.
+        let mut single_engine = AnalysisEngine::from_dataset(dataset.clone()).unwrap();
+        let single = single_engine
+            .run(&AnalysisRequest::for_k(k).with_replicates(16).with_seed(3))
+            .unwrap();
+        assert_eq!(
+            sweep.runs[i].report, single.runs[0].report,
+            "sweep entry for k = {k} diverged from the single-k request"
+        );
+        // ... and from the one-shot shim.
+        let shim = SignificanceAnalyzer::new(k)
+            .with_replicates(16)
+            .with_seed(3)
+            .analyze(&dataset)
+            .unwrap();
+        assert_eq!(sweep.runs[i].report, shim);
+    }
+}
+
+/// A null model that counts how many datasets it is asked to generate — a
+/// direct measurement of whether Algorithm 1's replicate loop ran.
+struct CountingModel {
+    inner: BernoulliModel,
+    samples: AtomicUsize,
+}
+
+impl CountingModel {
+    fn new(inner: BernoulliModel) -> Self {
+        CountingModel {
+            inner,
+            samples: AtomicUsize::new(0),
+        }
+    }
+
+    fn samples(&self) -> usize {
+        self.samples.load(Ordering::SeqCst)
+    }
+}
+
+impl NullModel for CountingModel {
+    fn num_items(&self) -> usize {
+        NullModel::num_items(&self.inner)
+    }
+
+    fn num_transactions(&self) -> usize {
+        NullModel::num_transactions(&self.inner)
+    }
+
+    fn item_frequencies(&self) -> Vec<f64> {
+        NullModel::item_frequencies(&self.inner)
+    }
+
+    fn sample_dataset<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        self.samples.fetch_add(1, Ordering::SeqCst);
+        self.inner.sample_dataset(rng)
+    }
+
+    fn sample_into_bitmap<R: rand::Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        self.samples.fetch_add(1, Ordering::SeqCst);
+        NullModel::sample_into_bitmap(&self.inner, rng, out);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+}
+
+#[test]
+fn sweep_runs_the_replicate_loop_at_most_once_per_key() {
+    // The acceptance contract: a k = 2..5 sweep performs Algorithm 1's
+    // replicate loop at most once per distinct (fingerprint, k, eps, delta,
+    // seed, backend) key — asserted via cache-hit metadata AND by counting the
+    // actual null-model sampling calls.
+    let dataset = planted_dataset(17);
+    let model = CountingModel::new(BernoulliModel::from_dataset(&dataset));
+    let replicates = 10usize;
+    let mut engine = AnalysisEngine::with_model(dataset, &model).unwrap();
+    let request = AnalysisRequest::for_k_range(2..=5)
+        .with_replicates(replicates)
+        .with_seed(21)
+        .with_baseline(false);
+
+    let cold = engine.run(&request).unwrap();
+    assert_eq!(cold.cache_hits(), 0);
+    assert!(cold
+        .runs
+        .iter()
+        .all(|run| run.threshold_cache == CacheStatus::Miss));
+    let cold_samples = model.samples();
+    // Each of the 4 distinct keys ran the loop at least once (restarts may
+    // legitimately repeat the Delta batch within one Algorithm 1 run).
+    assert!(
+        cold_samples >= 4 * replicates,
+        "expected at least {} samples, saw {cold_samples}",
+        4 * replicates
+    );
+
+    // Overlapping sweep: k = 2..=5 is warm, k = 6 is the only new key.
+    let wider = AnalysisRequest::for_k_range(2..=6)
+        .with_replicates(replicates)
+        .with_seed(21)
+        .with_baseline(false);
+    let warm = engine.run(&wider).unwrap();
+    assert_eq!(warm.cache_hits(), 4);
+    assert_eq!(warm.runs[4].threshold_cache, CacheStatus::Miss);
+    let after_warm = model.samples();
+    assert!(
+        after_warm > cold_samples,
+        "the new k = 6 key must have sampled"
+    );
+
+    // Fully warm rerun of the whole sweep: zero additional sampling.
+    let rerun = engine.run(&wider).unwrap();
+    assert_eq!(rerun.cache_hits(), 5);
+    assert_eq!(
+        model.samples(),
+        after_warm,
+        "a fully warm sweep must not run the replicate loop at all"
+    );
+    // The rerun's reports are identical; only the provenance flipped to Hit.
+    assert_eq!(
+        rerun.reports().collect::<Vec<_>>(),
+        warm.reports().collect::<Vec<_>>()
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 5);
+    assert_eq!(stats.hits, 9);
+    assert_eq!(stats.misses, 5);
+}
+
+#[test]
+fn warm_cache_hit_returns_the_identical_estimate_without_consuming_rng() {
+    let dataset = planted_dataset(41);
+    let model = CountingModel::new(BernoulliModel::from_dataset(&dataset));
+    let mut engine = AnalysisEngine::with_model(dataset, &model).unwrap();
+    let request = AnalysisRequest::for_k(2)
+        .with_replicates(14)
+        .with_seed(77)
+        .with_baseline(false);
+
+    let cold = engine.thresholds(&request).unwrap();
+    assert_eq!(cold[0].threshold_cache, CacheStatus::Miss);
+    let cold_samples = model.samples();
+    assert!(cold_samples >= 14);
+
+    // The warm hit: the identical ThresholdEstimate comes back while the model
+    // (and therefore the seed-derived RNG that drives it) is never touched.
+    let warm = engine.thresholds(&request).unwrap();
+    assert_eq!(warm[0].threshold_cache, CacheStatus::Hit);
+    assert_eq!(warm[0].estimate, cold[0].estimate);
+    assert_eq!(
+        model.samples(),
+        cold_samples,
+        "a cache hit must not consume any RNG state"
+    );
+
+    // And the cached estimate equals an honest recomputation on a cold engine.
+    let fresh_model = CountingModel::new(model.inner.clone());
+    let mut fresh =
+        AnalysisEngine::with_model(engine.dataset().unwrap().clone(), &fresh_model).unwrap();
+    let recomputed = fresh.thresholds(&request).unwrap();
+    assert_eq!(recomputed[0].estimate, cold[0].estimate);
+}

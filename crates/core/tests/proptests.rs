@@ -175,3 +175,48 @@ proptest! {
         prop_assert_eq!(empirical_fdr(&patterns, &patterns), 0.0);
     }
 }
+
+proptest! {
+    // The pipeline runs per case, so keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The engine cache contract, property-tested: a multi-k batch response
+    /// equals the k-by-k single requests, report for report — whatever the
+    /// dataset shape, seed, or replicate count.
+    #[test]
+    fn multi_k_batch_equals_single_requests(
+        txns in vec(vec(0u32..8, 0..5), 12..40),
+        seed in 0u64..1_000,
+        replicates in 4usize..10,
+    ) {
+        use sigfim_core::engine::{AnalysisEngine, AnalysisRequest};
+
+        let dataset = TransactionDataset::from_transactions(8, txns).expect("items < 8");
+        prop_assert!(dataset.num_transactions() > 0);
+
+        let request = AnalysisRequest::for_k_range(2..=3)
+            .with_replicates(replicates)
+            .with_seed(seed)
+            .with_baseline(false);
+        let mut batch_engine = AnalysisEngine::from_dataset(dataset.clone()).unwrap();
+        let batch = batch_engine.run(&request).unwrap();
+        prop_assert_eq!(batch.runs.len(), 2);
+
+        for (i, k) in (2..=3).enumerate() {
+            let single_request = AnalysisRequest::for_k(k)
+                .with_replicates(replicates)
+                .with_seed(seed)
+                .with_baseline(false);
+            let mut single_engine = AnalysisEngine::from_dataset(dataset.clone()).unwrap();
+            let single = single_engine.run(&single_request).unwrap();
+            prop_assert_eq!(&batch.runs[i].report, &single.runs[0].report);
+        }
+
+        // Rerunning the batch on the warm engine changes nothing but provenance.
+        let warm = batch_engine.run(&request).unwrap();
+        prop_assert_eq!(warm.cache_hits(), 2);
+        for (w, c) in warm.runs.iter().zip(&batch.runs) {
+            prop_assert_eq!(&w.report, &c.report);
+        }
+    }
+}

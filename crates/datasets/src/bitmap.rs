@@ -163,6 +163,24 @@ impl BitmapDataset {
         self.bits[idx] |= 1u64 << (tid as usize % WORD_BITS);
     }
 
+    /// Clear the `(item, tid)` incidence bit. The margin-preserving swaps of the
+    /// swap-randomization null model are implemented directly on the bit-columns
+    /// as paired [`BitmapDataset::set`]/[`BitmapDataset::clear`] flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` or `tid` is out of range.
+    #[inline]
+    pub fn clear(&mut self, item: ItemId, tid: TransactionId) {
+        assert!(
+            (tid as usize) < self.num_transactions,
+            "transaction id {tid} out of range 0..{}",
+            self.num_transactions
+        );
+        let idx = item as usize * self.words_per_column + tid as usize / WORD_BITS;
+        self.bits[idx] &= !(1u64 << (tid as usize % WORD_BITS));
+    }
+
     /// Whether transaction `tid` contains `item`.
     #[inline]
     pub fn contains(&self, item: ItemId, tid: TransactionId) -> bool {
@@ -495,6 +513,29 @@ mod tests {
         assert!(!bitmap.contains(2, 64));
         assert_eq!(bitmap.item_support(2), 2);
         assert_eq!(bitmap.words_per_column(), 2);
+    }
+
+    #[test]
+    fn clear_unsets_a_bit_and_leaves_the_rest() {
+        let mut bitmap = BitmapDataset::new(2, 130);
+        bitmap.set(1, 64);
+        bitmap.set(1, 65);
+        bitmap.set(1, 129);
+        bitmap.clear(1, 65);
+        // Clearing an already-clear bit is a no-op.
+        bitmap.clear(0, 3);
+        assert!(bitmap.contains(1, 64));
+        assert!(!bitmap.contains(1, 65));
+        assert!(bitmap.contains(1, 129));
+        assert_eq!(bitmap.item_support(1), 2);
+        assert_eq!(bitmap.item_support(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn clear_rejects_out_of_range_tid() {
+        let mut bitmap = BitmapDataset::new(2, 10);
+        bitmap.clear(0, 10);
     }
 
     #[test]

@@ -16,9 +16,50 @@ use serde::{Deserialize, Serialize};
 
 use crate::bitmap::BitmapDataset;
 use crate::random::bernoulli::BernoulliModel;
-use crate::random::swap::swap_randomize;
-use crate::transaction::TransactionDataset;
+use crate::random::swap::{swap_randomize, swap_randomize_into_bitmap};
+use crate::transaction::{ItemId, TransactionDataset};
 use crate::{DatasetError, Result};
+
+/// Stable 64-bit FNV-1a accumulator backing [`NullModel::fingerprint`].
+///
+/// Not cryptographic — fingerprints only need to separate the null models one
+/// process caches against each other (a long-running analysis engine keys its
+/// `ThresholdEstimate` cache by them), and they must be stable across runs,
+/// platforms and thread counts, which `std`'s randomized hashers are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelFingerprint(u64);
+
+impl ModelFingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Start an accumulator from a per-model-type tag, so models of different
+    /// kinds that happen to share marginals do not collide.
+    pub fn new(tag: u64) -> Self {
+        ModelFingerprint(Self::OFFSET).mix(tag)
+    }
+
+    /// Fold one 64-bit value into the fingerprint (byte-wise FNV-1a).
+    #[must_use]
+    pub fn mix(self, value: u64) -> Self {
+        let mut h = self.0;
+        for byte in value.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+        }
+        ModelFingerprint(h)
+    }
+
+    /// Fold one float into the fingerprint via its exact bit pattern.
+    #[must_use]
+    pub fn mix_f64(self, value: f64) -> Self {
+        self.mix(value.to_bits())
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
 
 /// A generator of random datasets sharing agreed marginal statistics with a real
 /// dataset. This is the input type of Algorithm 1 (FindPoissonThreshold): anything
@@ -68,6 +109,62 @@ pub trait NullModel {
         } else {
             frequencies.iter().sum::<f64>() / frequencies.len() as f64
         }
+    }
+
+    /// A stable 64-bit fingerprint of the model's identity: two models with the
+    /// same fingerprint generate the same distribution of random datasets, so a
+    /// Monte-Carlo estimate computed against one is valid for the other. This
+    /// is what a long-running analysis engine keys its `ThresholdEstimate`
+    /// cache by.
+    ///
+    /// The default hashes the marginals the trait exposes — `t`, `n` and the
+    /// exact bit patterns of the item frequencies — which fully determines the
+    /// paper's Bernoulli model. Models whose distribution depends on more than
+    /// the marginals (the swap-randomization model depends on the entire
+    /// reference matrix, for example) **must** override this to hash that extra
+    /// state too.
+    fn fingerprint(&self) -> u64 {
+        // Tag: "independent-marginals default".
+        let mut fp = ModelFingerprint::new(0x6d61_7267_696e_616c)
+            .mix(self.num_transactions() as u64)
+            .mix(self.num_items() as u64);
+        for f in self.item_frequencies() {
+            fp = fp.mix_f64(f);
+        }
+        fp.finish()
+    }
+}
+
+/// Every shared reference to a null model is itself a null model: this is what
+/// lets borrowing callers (the `SignificanceAnalyzer` compatibility shim hands
+/// an `&M` to a freshly built engine) reuse an owned-model API without cloning.
+impl<M: NullModel> NullModel for &M {
+    fn num_items(&self) -> usize {
+        (**self).num_items()
+    }
+
+    fn num_transactions(&self) -> usize {
+        (**self).num_transactions()
+    }
+
+    fn item_frequencies(&self) -> Vec<f64> {
+        (**self).item_frequencies()
+    }
+
+    fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        (**self).sample_dataset(rng)
+    }
+
+    fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        (**self).sample_into_bitmap(rng, out);
+    }
+
+    fn expected_density(&self) -> f64 {
+        (**self).expected_density()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
     }
 }
 
@@ -144,6 +241,15 @@ impl SwapRandomizationModel {
     }
 }
 
+std::thread_local! {
+    /// Reusable edge-list scratch for the bitmap swap sampler: one mutable
+    /// `(transaction, item)` list per thread, refilled from the reference
+    /// dataset on every sample so a warm Monte-Carlo replicate loop allocates
+    /// nothing per replicate (mirroring the per-thread bitmap scratch).
+    static SWAP_EDGE_SCRATCH: std::cell::RefCell<Vec<(u32, ItemId)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 impl NullModel for SwapRandomizationModel {
     fn num_items(&self) -> usize {
         self.reference.num_items() as usize
@@ -159,6 +265,36 @@ impl NullModel for SwapRandomizationModel {
 
     fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
         swap_randomize(&self.reference, self.attempts, rng)
+    }
+
+    /// Native bit-column sampling: the reference matrix is copied into `out`
+    /// once and every successful swap is two row-bit flips per affected column
+    /// (no CSR dataset is ever materialized). Draws from `rng` exactly as
+    /// [`SwapRandomizationModel::sample_dataset`] does, so estimates are
+    /// bit-identical across backends.
+    fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        SWAP_EDGE_SCRATCH.with(|cell| {
+            let mut edges = cell.borrow_mut();
+            swap_randomize_into_bitmap(&self.reference, self.attempts, rng, out, &mut edges);
+        });
+    }
+
+    /// The swap null's distribution is determined by the *entire* reference
+    /// incidence matrix (plus the mixing length), not just the marginals, so
+    /// the fingerprint hashes every transaction of the reference dataset.
+    fn fingerprint(&self) -> u64 {
+        // Tag: "swap-randomization".
+        let mut fp = ModelFingerprint::new(0x7377_6170_7261_6e64)
+            .mix(self.reference.num_transactions() as u64)
+            .mix(u64::from(self.reference.num_items()))
+            .mix(self.attempts as u64);
+        for txn in self.reference.iter() {
+            fp = fp.mix(txn.len() as u64);
+            for &item in txn {
+                fp = fp.mix(u64::from(item));
+            }
+        }
+        fp.finish()
     }
 }
 
@@ -227,8 +363,8 @@ mod tests {
 
     #[test]
     fn default_bitmap_sampling_matches_csr_sampling() {
-        // The swap model uses the trait's default `sample_into_bitmap`: same RNG
-        // consumption, same incidences, just copied into the bitmap buffer.
+        // The swap model's native bit-column sampler: same RNG consumption, same
+        // incidences as the CSR sampler, with the swaps applied as bit flips.
         let model = SwapRandomizationModel::new(reference(), 4.0).unwrap();
         let csr = model.sample_dataset(&mut StdRng::seed_from_u64(13));
         let mut bitmap = BitmapDataset::new(0, 0);
@@ -238,6 +374,49 @@ mod tests {
         let mean =
             reference().item_frequencies().iter().sum::<f64>() / reference().num_items() as f64;
         assert!((model.expected_density() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_separate_models_and_are_stable() {
+        let a = BernoulliModel::new(100, vec![0.1, 0.2, 0.3]).unwrap();
+        let b = BernoulliModel::new(100, vec![0.1, 0.2, 0.3]).unwrap();
+        // Identity: same model state, same fingerprint, run after run.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A reference to a model fingerprints like the model itself (the
+        // blanket `impl NullModel for &M` delegates).
+        let by_ref: &BernoulliModel = &a;
+        assert_eq!(NullModel::fingerprint(&by_ref), a.fingerprint());
+        // Any marginal change moves the fingerprint.
+        let other_t = BernoulliModel::new(101, vec![0.1, 0.2, 0.3]).unwrap();
+        let other_f = BernoulliModel::new(100, vec![0.1, 0.2, 0.30001]).unwrap();
+        assert_ne!(a.fingerprint(), other_t.fingerprint());
+        assert_ne!(a.fingerprint(), other_f.fingerprint());
+
+        // The swap model hashes the full reference matrix: two references with
+        // identical marginals but different co-occurrence structure differ.
+        let ref_a = TransactionDataset::from_transactions(
+            4,
+            vec![vec![0, 1], vec![2, 3], vec![0], vec![2]],
+        )
+        .unwrap();
+        let ref_b = TransactionDataset::from_transactions(
+            4,
+            vec![vec![0, 3], vec![2, 1], vec![0], vec![2]],
+        )
+        .unwrap();
+        assert_eq!(ref_a.item_frequencies(), ref_b.item_frequencies());
+        let swap_a = SwapRandomizationModel::new(ref_a.clone(), 2.0).unwrap();
+        let swap_b = SwapRandomizationModel::new(ref_b, 2.0).unwrap();
+        assert_ne!(swap_a.fingerprint(), swap_b.fingerprint());
+        // ... and the mixing length is part of the identity too.
+        let longer = SwapRandomizationModel::new(ref_a.clone(), 4.0).unwrap();
+        assert_ne!(swap_a.fingerprint(), longer.fingerprint());
+        // A Bernoulli model with the same marginals as a swap model never
+        // collides with it (distinct type tags).
+        assert_ne!(
+            swap_a.fingerprint(),
+            BernoulliModel::from_dataset(&ref_a).fingerprint()
+        );
     }
 
     #[test]

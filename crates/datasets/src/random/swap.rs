@@ -14,6 +14,7 @@
 
 use rand::Rng;
 
+use crate::bitmap::BitmapDataset;
 use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset};
 
 /// Produce a swap-randomized copy of `dataset` by attempting `attempts` swaps.
@@ -78,6 +79,65 @@ pub fn swap_randomize<R: Rng + ?Sized>(
             .expect("swaps never move items outside the original universe");
     }
     builder.build()
+}
+
+/// Swap-randomize `dataset` directly on vertical bit-columns: the reusable `out`
+/// bitmap is filled with the reference incidences and each successful swap is
+/// four bit flips (clear `(t1,i1)`, set `(t1,i2)`, clear `(t2,i2)`, set
+/// `(t2,i1)`), with membership tests answered by the bitmap itself. `edges` is a
+/// reusable scratch buffer for the mutable edge list (cleared and refilled here),
+/// so a warm caller allocates nothing per sample.
+///
+/// The attempt loop draws from `rng` *exactly* as [`swap_randomize`] does — two
+/// uniform edge indices per attempt, with identical skip conditions — so for any
+/// starting RNG state the two functions produce the same incidence matrix and
+/// leave the RNG in the same state. This is the contract that keeps Monte-Carlo
+/// estimates bit-identical across dataset backends.
+pub fn swap_randomize_into_bitmap<R: Rng + ?Sized>(
+    dataset: &TransactionDataset,
+    attempts: usize,
+    rng: &mut R,
+    out: &mut BitmapDataset,
+    edges: &mut Vec<(u32, ItemId)>,
+) {
+    out.fill_from_dataset(dataset);
+    let t = dataset.num_transactions();
+    if t == 0 || dataset.num_entries() == 0 {
+        return;
+    }
+
+    edges.clear();
+    edges.reserve(dataset.num_entries());
+    for (tid, txn) in dataset.iter().enumerate() {
+        for &item in txn {
+            edges.push((tid as u32, item));
+        }
+    }
+
+    let num_edges = edges.len();
+    for _ in 0..attempts {
+        let e1 = rng.random_range(0..num_edges);
+        let e2 = rng.random_range(0..num_edges);
+        if e1 == e2 {
+            continue;
+        }
+        let (t1, i1) = edges[e1];
+        let (t2, i2) = edges[e2];
+        if t1 == t2 || i1 == i2 {
+            continue;
+        }
+        // The swap is valid only if it does not create duplicate incidences.
+        if out.contains(i2, t1) || out.contains(i1, t2) {
+            continue;
+        }
+        // Perform the swap: two row-bit flips per column.
+        out.clear(i1, t1);
+        out.set(i2, t1);
+        out.clear(i2, t2);
+        out.set(i1, t2);
+        edges[e1] = (t1, i2);
+        edges[e2] = (t2, i1);
+    }
 }
 
 #[inline]
@@ -176,6 +236,44 @@ mod tests {
         // Zero attempts: identity.
         let d = TransactionDataset::from_transactions(3, vec![vec![0], vec![1]]).unwrap();
         assert_eq!(swap_randomize(&d, 0, &mut rng), d);
+    }
+
+    #[test]
+    fn bitmap_swaps_match_csr_swaps_bit_for_bit() {
+        // Same seed, same attempt budget: the bit-column path must produce the
+        // identical matrix AND leave the RNG in the identical state.
+        let d = TransactionDataset::from_transactions(
+            8,
+            (0..30)
+                .map(|i| vec![(i % 8) as u32, ((i + 3) % 8) as u32, ((i + 5) % 8) as u32])
+                .collect(),
+        )
+        .unwrap();
+        let mut edges = Vec::new();
+        let mut bitmap = BitmapDataset::new(0, 0);
+        for seed in [1u64, 9, 77] {
+            let attempts = 12 * d.num_entries();
+            let mut rng_csr = StdRng::seed_from_u64(seed);
+            let csr = swap_randomize(&d, attempts, &mut rng_csr);
+            let mut rng_bitmap = StdRng::seed_from_u64(seed);
+            swap_randomize_into_bitmap(&d, attempts, &mut rng_bitmap, &mut bitmap, &mut edges);
+            assert_eq!(
+                bitmap.to_transaction_dataset(),
+                csr,
+                "seed {seed}: bitmap swaps diverged from CSR swaps"
+            );
+            use rand::Rng;
+            assert_eq!(
+                rng_csr.random::<u64>(),
+                rng_bitmap.random::<u64>(),
+                "seed {seed}: RNG consumption diverged"
+            );
+        }
+        // Degenerate inputs short-circuit without touching the RNG.
+        let empty = TransactionDataset::empty(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        swap_randomize_into_bitmap(&empty, 50, &mut rng, &mut bitmap, &mut edges);
+        assert_eq!(bitmap.to_transaction_dataset(), empty);
     }
 
     #[test]

@@ -162,6 +162,62 @@ impl ExecutionPolicy {
     }
 }
 
+/// A progress hook for indexed task batches: [`BatchObserver::task_completed`]
+/// fires once per finished task, from whichever worker thread finished it.
+///
+/// Observations are *monotone but unordered*: `completed` (the number of tasks
+/// finished so far, including this one) only ever grows, while `index` arrives
+/// in scheduling order — so observers must not derive results from the call
+/// order. The task outputs themselves remain in input order and bit-identical
+/// under every policy; the observer only watches the batch drain.
+pub trait BatchObserver: Sync {
+    /// `index` finished as the `completed`-th task (1-based) of `total`.
+    fn task_completed(&self, index: usize, completed: usize, total: usize);
+}
+
+/// The do-nothing observer. Callers with an "observed" entry point but no
+/// interested listener pass it to [`ExecutionPolicy::try_map_indexed_observed`],
+/// paying only the wrapper's atomic increment per task; plain
+/// [`ExecutionPolicy::try_map_indexed`] bypasses observation entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl BatchObserver for NoopObserver {
+    fn task_completed(&self, _index: usize, _completed: usize, _total: usize) {}
+}
+
+impl ExecutionPolicy {
+    /// Like [`ExecutionPolicy::try_map_indexed`], reporting each completed task
+    /// to `observer`. The observer never influences results — outputs stay in
+    /// input order and error selection stays lowest-index-deterministic — it
+    /// only exposes batch progress (the Monte-Carlo replicate loop of a
+    /// long-running analysis engine surfaces it as per-replicate progress).
+    ///
+    /// Tasks skipped by the early-stop path after a failure are not reported,
+    /// so `completed` may never reach `total` on a failing batch.
+    pub fn try_map_indexed_observed<T, O, E, F>(
+        &self,
+        items: &[T],
+        task: F,
+        observer: &dyn BatchObserver,
+    ) -> Result<Vec<O>, E>
+    where
+        T: Sync,
+        O: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<O, E> + Sync,
+    {
+        let total = items.len();
+        let completed = AtomicUsize::new(0);
+        self.try_map_indexed(items, |i, item| {
+            let result = task(i, item);
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            observer.task_completed(i, done, total);
+            result
+        })
+    }
+}
+
 /// Execution policies serialize as a tagged map so analysis configurations can
 /// be archived: `{"mode": "sequential"}` or `{"mode": "rayon", "threads": 8}`.
 impl Serialize for ExecutionPolicy {
@@ -308,6 +364,60 @@ mod tests {
             });
             assert_eq!(result, Err(5), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn observed_batches_report_every_task_exactly_once() {
+        use std::sync::Mutex;
+        struct Recorder {
+            events: Mutex<Vec<(usize, usize, usize)>>,
+        }
+        impl BatchObserver for Recorder {
+            fn task_completed(&self, index: usize, completed: usize, total: usize) {
+                self.events.lock().unwrap().push((index, completed, total));
+            }
+        }
+
+        let items: Vec<u64> = (0..40).collect();
+        for policy in [ExecutionPolicy::Sequential, ExecutionPolicy::rayon(4)] {
+            let recorder = Recorder {
+                events: Mutex::new(Vec::new()),
+            };
+            let out = policy
+                .try_map_indexed_observed(
+                    &items,
+                    |i, _| Ok::<_, ()>(substream(3, i as u64).random::<u64>()),
+                    &recorder,
+                )
+                .unwrap();
+            // Results are unaffected by observation.
+            assert_eq!(
+                out,
+                ExecutionPolicy::Sequential
+                    .try_map_indexed(&items, |i, _| Ok::<_, ()>(
+                        substream(3, i as u64).random::<u64>()
+                    ))
+                    .unwrap()
+            );
+            let events = recorder.events.into_inner().unwrap();
+            assert_eq!(events.len(), items.len(), "{policy:?}");
+            // Every index reported exactly once, every total correct, and the
+            // completed counts are a permutation of 1..=n.
+            let mut indices: Vec<usize> = events.iter().map(|e| e.0).collect();
+            let mut counts: Vec<usize> = events.iter().map(|e| e.1).collect();
+            indices.sort_unstable();
+            counts.sort_unstable();
+            assert_eq!(indices, (0..items.len()).collect::<Vec<_>>());
+            assert_eq!(counts, (1..=items.len()).collect::<Vec<_>>());
+            assert!(events.iter().all(|e| e.2 == items.len()));
+        }
+        // The no-op observer is usable as a default.
+        let ok = ExecutionPolicy::Sequential.try_map_indexed_observed(
+            &items,
+            |i, _| Ok::<_, ()>(i),
+            &NoopObserver,
+        );
+        assert_eq!(ok.unwrap().len(), items.len());
     }
 
     #[test]

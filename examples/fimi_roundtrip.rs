@@ -57,11 +57,12 @@ fn main() {
 
     // Analyze.
     println!("\nrunning Algorithm 1 + Procedure 2 for k = {k} ...");
-    let report = SignificanceAnalyzer::new(k)
-        .with_replicates(32)
-        .with_seed(1)
-        .analyze(dataset)
+    let request = AnalysisRequest::for_k(k).with_replicates(32).with_seed(1);
+    let response = AnalysisEngine::from_dataset(dataset.clone())
+        .expect("non-empty dataset")
+        .run(&request)
         .expect("analysis succeeds");
+    let report = &response.runs[0].report;
     print!("{report}");
 
     if let Some(s_star) = report.procedure2.s_star {

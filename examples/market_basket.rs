@@ -53,15 +53,18 @@ fn main() {
     );
     println!();
 
-    // The paper's approach: let the data decide the threshold.
-    for k in [2usize, 3] {
+    // The paper's approach: let the data decide the threshold. One engine is
+    // built from the dataset and the k = 2..3 sweep runs as a single batch
+    // over its shared views.
+    let mut engine = AnalysisEngine::from_dataset(dataset.clone()).expect("non-empty dataset");
+    let request = AnalysisRequest::for_k_range(2..=3)
+        .with_replicates(48)
+        .with_seed(17)
+        .with_baseline(true);
+    let response = engine.run(&request).expect("analysis succeeds");
+    for run in &response.runs {
+        let (k, report) = (run.k, &run.report);
         println!("== significant {k}-itemsets (alpha = beta = 0.05) ==");
-        let report = SignificanceAnalyzer::new(k)
-            .with_replicates(48)
-            .with_seed(17)
-            .with_procedure1(true)
-            .analyze(&dataset)
-            .expect("analysis succeeds");
         print!("{report}");
         let (s_star, q, lambda) = report.table3_row();
         match s_star {

@@ -48,27 +48,33 @@ fn main() {
         "{:<44}  {:>4}  {:>14}  {:>16}",
         "null model", "k", "finite s* runs", "max |F_k(s*)| seen"
     );
+    let ks = [2usize, 3];
     for (name, model) in &configurations {
-        for k in [2usize, 3] {
-            let mut finite = 0usize;
-            let mut max_family = 0usize;
-            for instance in 0..INSTANCES {
-                let mut rng = StdRng::seed_from_u64(7_000 + instance as u64);
-                let dataset = model.sample(&mut rng);
-                let report = SignificanceAnalyzer::new(k)
-                    .with_replicates(32)
-                    .with_seed(instance as u64)
-                    .with_procedure1(false)
-                    .analyze(&dataset)
-                    .expect("analysis succeeds");
-                if report.procedure2.s_star.is_some() {
-                    finite += 1;
-                    max_family = max_family.max(report.procedure2.num_significant());
+        let mut finite = [0usize; 2];
+        let mut max_family = [0usize; 2];
+        for instance in 0..INSTANCES {
+            let mut rng = StdRng::seed_from_u64(7_000 + instance as u64);
+            let dataset = model.sample(&mut rng);
+            // One engine per random instance, both k's in one batch over the
+            // shared dataset view.
+            let request = AnalysisRequest::for_ks(ks)
+                .with_replicates(32)
+                .with_seed(instance as u64)
+                .with_baseline(false);
+            let mut engine = AnalysisEngine::from_dataset(dataset).expect("non-empty instance");
+            let response = engine.run(&request).expect("analysis succeeds");
+            for (slot, run) in response.runs.iter().enumerate() {
+                if run.report.procedure2.s_star.is_some() {
+                    finite[slot] += 1;
+                    max_family[slot] =
+                        max_family[slot].max(run.report.procedure2.num_significant());
                 }
             }
+        }
+        for (slot, k) in ks.iter().enumerate() {
             println!(
                 "{:<44}  {:>4}  {:>8} / {:<4}  {:>16}",
-                name, k, finite, INSTANCES, max_family
+                name, k, finite[slot], INSTANCES, max_family[slot]
             );
         }
     }

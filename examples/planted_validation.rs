@@ -51,11 +51,14 @@ fn main() {
     for run in 0..REPETITIONS {
         let mut rng = StdRng::seed_from_u64(1_000 + run as u64);
         let dataset = model.sample(&mut rng);
-        let report = SignificanceAnalyzer::new(2)
+        let request = AnalysisRequest::for_k(2)
             .with_replicates(48)
-            .with_seed(run as u64)
-            .analyze(&dataset)
+            .with_seed(run as u64);
+        let response = AnalysisEngine::from_dataset(dataset)
+            .expect("non-empty dataset")
+            .run(&request)
             .expect("analysis succeeds");
+        let report = &response.runs[0].report;
 
         let discovered2: Vec<Vec<ItemId>> = report
             .procedure2

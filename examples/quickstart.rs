@@ -71,11 +71,12 @@ fn end_to_end_analysis() {
         dataset.avg_transaction_len()
     );
 
-    let report = SignificanceAnalyzer::new(2)
-        .with_replicates(64)
-        .with_seed(7)
-        .analyze(&dataset)
-        .expect("analysis succeeds");
+    // The engine API: build once, query with typed requests. (For one-off
+    // calls the `SignificanceAnalyzer` shim delegates to exactly this.)
+    let mut engine = AnalysisEngine::from_dataset(dataset).expect("non-empty dataset");
+    let request = AnalysisRequest::for_k(2).with_replicates(64).with_seed(7);
+    let response = engine.run(&request).expect("analysis succeeds");
+    let report = response.report_for(2).expect("k = 2 was requested");
 
     println!("{report}");
     match report.procedure2.s_star {

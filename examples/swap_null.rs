@@ -18,8 +18,6 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sigfim::core::montecarlo::FindPoissonThreshold;
-use sigfim::datasets::random::SwapRandomizationModel;
 use sigfim::prelude::*;
 
 fn main() {
@@ -52,20 +50,25 @@ fn main() {
     let k = 2;
     let replicates = 48;
 
-    // Algorithm 1 under both null models.
-    let algorithm = FindPoissonThreshold {
-        replicates,
-        ..FindPoissonThreshold::new(k)
-    };
-    let bernoulli = BernoulliModel::from_dataset(&planted);
-    let swap = SwapRandomizationModel::new(planted.clone(), 3.0).expect("valid swap model");
+    // One long-lived engine per null model: each owns its model (with its
+    // fingerprint keying the threshold cache) and the shared dataset view.
+    let mut bernoulli_engine =
+        AnalysisEngine::from_dataset(planted.clone()).expect("non-empty dataset");
+    let mut swap_engine =
+        AnalysisEngine::with_swap_null(planted.clone(), 3.0).expect("valid swap model");
 
-    let mut rng = StdRng::seed_from_u64(1);
-    let est_bernoulli = algorithm
-        .run(&bernoulli, &mut rng)
-        .expect("Algorithm 1 (Bernoulli)");
-    let mut rng = StdRng::seed_from_u64(1);
-    let est_swap = algorithm.run(&swap, &mut rng).expect("Algorithm 1 (swap)");
+    // Algorithm 1 under both null models: threshold-only queries.
+    let threshold_request = AnalysisRequest::for_k(k)
+        .with_replicates(replicates)
+        .with_seed(1);
+    let est_bernoulli = &bernoulli_engine
+        .thresholds(&threshold_request)
+        .expect("Algorithm 1 (Bernoulli)")[0]
+        .estimate;
+    let est_swap = &swap_engine
+        .thresholds(&threshold_request)
+        .expect("Algorithm 1 (swap)")[0]
+        .estimate;
 
     println!("Algorithm 1 (Delta = {replicates}, epsilon = 0.01):");
     println!(
@@ -78,27 +81,24 @@ fn main() {
     );
     println!();
 
-    // Full pipeline under both nulls.
-    for (label, report) in [
+    // Full pipeline under both nulls, on the same engines.
+    let request = AnalysisRequest::for_k(k)
+        .with_replicates(replicates)
+        .with_seed(2)
+        .with_baseline(false);
+    for (label, response) in [
         (
             "Bernoulli null",
-            SignificanceAnalyzer::new(k)
-                .with_replicates(replicates)
-                .with_seed(2)
-                .with_procedure1(false)
-                .analyze(&planted)
+            bernoulli_engine
+                .run(&request)
                 .expect("analysis (Bernoulli)"),
         ),
         (
             "swap null",
-            SignificanceAnalyzer::new(k)
-                .with_replicates(replicates)
-                .with_seed(2)
-                .with_procedure1(false)
-                .analyze_with_swap_null(&planted, 3.0)
-                .expect("analysis (swap)"),
+            swap_engine.run(&request).expect("analysis (swap)"),
         ),
     ] {
+        let report = &response.runs[0].report;
         let (s_star, q, lambda) = report.table3_row();
         match s_star {
             Some(s_star) => println!(

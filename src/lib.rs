@@ -55,11 +55,15 @@ pub use sigfim_datasets as datasets;
 pub use sigfim_mining as mining;
 pub use sigfim_stats as stats;
 
-pub use sigfim_core::{AnalysisReport, SignificanceAnalyzer};
+pub use sigfim_core::{AnalysisEngine, AnalysisReport, AnalysisRequest, SignificanceAnalyzer};
 
 /// The most common imports, bundled for `use sigfim::prelude::*`.
 pub mod prelude {
     pub use sigfim_core::analyzer::SignificanceAnalyzer;
+    pub use sigfim_core::engine::{
+        AnalysisEngine, AnalysisRequest, AnalysisResponse, AnalysisStage, CacheStatus, LambdaMode,
+        ProgressObserver,
+    };
     pub use sigfim_core::lambda::{ExactLambda, LambdaEstimator};
     pub use sigfim_core::montecarlo::FindPoissonThreshold;
     pub use sigfim_core::procedure1::Procedure1;

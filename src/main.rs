@@ -1,33 +1,39 @@
 //! `sigfim` — command-line significance analysis of a transactional dataset.
 //!
 //! ```text
-//! sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] [--epsilon <e>]
-//!        [--replicates <n>] [--threads <n>] [--seed <n>]
+//! sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] [--beta <b>]
+//!        [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>]
 //!        [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap]
-//!        [--swap-null [<swaps-per-entry>]] [--conservative-lambda]
-//!        [--no-baseline] [--list <n>]
+//!        [--max-restarts <n>] [--swap-null [<swaps-per-entry>]]
+//!        [--conservative-lambda] [--no-baseline] [--list <n>]
 //! ```
 //!
 //! The dataset must be in the FIMI `.dat` format (one whitespace-separated
 //! transaction per line, arbitrary integer item labels). The tool runs the full
-//! pipeline of Kirsch et al. (PODS 2009): Algorithm 1 to find the Poisson threshold
-//! `s_min`, Procedure 2 to pick the significance threshold `s*` with FDR control,
-//! and (unless `--no-baseline`) the Benjamini–Yekutieli baseline of Procedure 1 for
-//! comparison. The exit code is 0 if the analysis ran, regardless of whether any
-//! significant itemsets were found.
+//! pipeline of Kirsch et al. (PODS 2009) through the session-oriented
+//! [`AnalysisEngine`]: Algorithm 1 to find the Poisson threshold `s_min`,
+//! Procedure 2 to pick the significance threshold `s*` with FDR control, and
+//! (unless `--no-baseline`) the Benjamini–Yekutieli baseline of Procedure 1 for
+//! comparison.
+//!
+//! `--k` accepts a single size (`--k 3`), a comma list (`--k 2,3,4`), or an
+//! inclusive range (`--k 2..5`, equivalently `2..=5`): a range runs as **one
+//! multi-k batch** on the engine, which builds the dataset view once and serves
+//! repeated thresholds from its cache. The exit code is 0 if the analysis ran,
+//! regardless of whether any significant itemsets were found.
 
 use std::process::ExitCode;
 
+use sigfim::core::engine::DEFAULT_SEED;
 use sigfim::datasets::bitmap::DatasetBackend;
 use sigfim::datasets::fimi::read_fimi_file;
-use sigfim::datasets::random::SwapRandomizationModel;
-use sigfim::datasets::summary::DatasetSummary;
 use sigfim::mining::miner::MinerKind;
-use sigfim::SignificanceAnalyzer;
+use sigfim::prelude::{AnalysisEngine, AnalysisRequest, CacheStatus, DatasetSummary, LambdaMode};
 
+#[derive(Debug)]
 struct CliOptions {
     path: String,
-    k: usize,
+    ks: Vec<usize>,
     alpha: f64,
     beta: f64,
     epsilon: f64,
@@ -41,30 +47,58 @@ struct CliOptions {
     /// Monte-Carlo worker threads: 0 = all cores (the default), 1 = strictly
     /// sequential. The result is bit-identical either way.
     threads: usize,
+    max_restarts: usize,
     swap_null: Option<f64>,
     conservative_lambda: bool,
     baseline: bool,
     list: usize,
 }
 
-const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size>] [--alpha <a>] [--beta <b>] \
-    [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
-    [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap] \
-    [--swap-null [<swaps-per-entry>]] [--conservative-lambda] [--no-baseline] [--list <n>]";
+const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] \
+    [--beta <b>] [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
+    [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap] [--max-restarts <n>] \
+    [--swap-null [<swaps-per-entry>]] [--conservative-lambda] [--no-baseline] [--list <n>]\n\
+    \n\
+    --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
+    range (2..5 == 2..=5) that runs as one cached multi-k batch.\n\
+    --seed defaults to the library default 0x51F1D009, so the CLI, the engine\n\
+    API and the SignificanceAnalyzer all reproduce each other bit for bit.";
 
-fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
+/// Parse a `--k` specification: `3`, `2,3,4`, `2..5` or `2..=5` (both
+/// range forms are inclusive of the upper bound).
+fn parse_k_spec(spec: &str) -> Result<Vec<usize>, String> {
+    let parse_one = |s: &str| -> Result<usize, String> {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| format!("--k: could not parse `{s}` as an itemset size"))
+    };
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let hi = hi.strip_prefix('=').unwrap_or(hi);
+        let (lo, hi) = (parse_one(lo)?, parse_one(hi)?);
+        if lo > hi {
+            return Err(format!("--k: empty range `{spec}` (lo > hi)"));
+        }
+        return Ok((lo..=hi).collect());
+    }
+    // split(',') yields at least one piece, so the list is never empty (an
+    // empty spec fails inside parse_one).
+    spec.split(',').map(parse_one).collect()
+}
+
+fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, String> {
     let _program = args.next();
     let mut options = CliOptions {
         path: String::new(),
-        k: 2,
+        ks: vec![2],
         alpha: 0.05,
         beta: 0.05,
         epsilon: 0.01,
         replicates: 64,
-        seed: 0xC0FFEE,
+        seed: DEFAULT_SEED,
         miner: MinerKind::Apriori,
         backend: DatasetBackend::Auto,
         threads: 0,
+        max_restarts: 4,
         swap_null: None,
         conservative_lambda: false,
         baseline: true,
@@ -74,13 +108,17 @@ fn parse_options(mut args: std::env::Args) -> Result<CliOptions, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
-            "--k" => options.k = parse_value(&mut args, "--k")?,
+            "--k" => {
+                let spec = args.next().ok_or("--k requires a value")?;
+                options.ks = parse_k_spec(&spec)?;
+            }
             "--alpha" => options.alpha = parse_value(&mut args, "--alpha")?,
             "--beta" => options.beta = parse_value(&mut args, "--beta")?,
             "--epsilon" => options.epsilon = parse_value(&mut args, "--epsilon")?,
             "--replicates" => options.replicates = parse_value(&mut args, "--replicates")?,
             "--threads" => options.threads = parse_value(&mut args, "--threads")?,
             "--seed" => options.seed = parse_value(&mut args, "--seed")?,
+            "--max-restarts" => options.max_restarts = parse_value(&mut args, "--max-restarts")?,
             "--list" => options.list = parse_value(&mut args, "--list")?,
             "--no-baseline" => options.baseline = false,
             "--conservative-lambda" => options.conservative_lambda = true,
@@ -135,6 +173,23 @@ fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
         .map_err(|_| format!("{flag}: could not parse `{value}`"))
 }
 
+fn request_from(options: &CliOptions) -> AnalysisRequest {
+    AnalysisRequest::for_ks(options.ks.iter().copied())
+        .with_alpha(options.alpha)
+        .with_beta(options.beta)
+        .with_epsilon(options.epsilon)
+        .with_replicates(options.replicates)
+        .with_seed(options.seed)
+        .with_miner(options.miner)
+        .with_lambda_mode(if options.conservative_lambda {
+            LambdaMode::Conservative
+        } else {
+            LambdaMode::Faithful
+        })
+        .with_baseline(options.baseline)
+        .with_max_restarts(options.max_restarts)
+}
+
 fn main() -> ExitCode {
     let options = match parse_options(std::env::args()) {
         Ok(options) => options,
@@ -156,55 +211,136 @@ fn main() -> ExitCode {
     println!("{}", summary.table1_row(&options.path));
     println!();
 
-    let analyzer = SignificanceAnalyzer::new(options.k)
-        .with_alpha(options.alpha)
-        .with_beta(options.beta)
-        .with_epsilon(options.epsilon)
-        .with_replicates(options.replicates)
-        .with_threads(options.threads)
-        .with_seed(options.seed)
-        .with_miner(options.miner)
-        .with_backend(options.backend)
-        .with_procedure1(options.baseline)
-        .with_conservative_lambda(options.conservative_lambda);
-
-    let report = if let Some(swaps) = options.swap_null {
-        let model = match SwapRandomizationModel::new(dataset.clone(), swaps) {
-            Ok(model) => model,
-            Err(error) => {
-                eprintln!("sigfim: cannot build the swap-randomization null model: {error}");
-                return ExitCode::FAILURE;
-            }
-        };
-        analyzer.analyze_with_model(dataset, &model)
-    } else {
-        analyzer.analyze(dataset)
+    // One engine per invocation: the dataset view is built once and shared by
+    // every k of the sweep, and the threshold cache collapses duplicate keys.
+    let request = request_from(&options);
+    let response = match options.swap_null {
+        Some(swaps) => AnalysisEngine::with_swap_null(dataset.clone(), swaps)
+            .map_err(|e| format!("cannot build the swap-randomization null model: {e}"))
+            .and_then(|engine| {
+                engine
+                    .with_backend(options.backend)
+                    .with_threads(options.threads)
+                    .run(&request)
+                    .map_err(|e| format!("analysis failed: {e}"))
+            }),
+        None => AnalysisEngine::from_dataset(dataset.clone())
+            .map_err(|e| format!("analysis failed: {e}"))
+            .and_then(|engine| {
+                engine
+                    .with_backend(options.backend)
+                    .with_threads(options.threads)
+                    .run(&request)
+                    .map_err(|e| format!("analysis failed: {e}"))
+            }),
     };
-    let report = match report {
-        Ok(report) => report,
-        Err(error) => {
-            eprintln!("sigfim: analysis failed: {error}");
+    let response = match response {
+        Ok(response) => response,
+        Err(message) => {
+            eprintln!("sigfim: {message}");
             return ExitCode::FAILURE;
         }
     };
 
-    print!("{report}");
-    if !report.procedure2.significant.is_empty() {
-        println!();
-        println!(
-            "top {} significant {}-itemsets (original item labels):",
-            options.list.min(report.procedure2.significant.len()),
-            options.k
-        );
-        let mut ranked = report.procedure2.significant.clone();
-        ranked.sort_by_key(|m| std::cmp::Reverse(m.support));
-        for itemset in ranked.iter().take(options.list) {
+    let multi_k = response.runs.len() > 1;
+    for run in &response.runs {
+        if multi_k {
+            println!("==== k = {} ====", run.k);
+        }
+        print!("{}", run.report);
+        if run.threshold_cache == CacheStatus::Hit {
+            println!("  (threshold served from the engine cache)");
+        }
+        let significant = &run.report.procedure2.significant;
+        if !significant.is_empty() {
+            println!();
             println!(
-                "  {:?}  support {}",
-                labeled.labels_of(&itemset.items),
-                itemset.support
+                "top {} significant {}-itemsets (original item labels):",
+                options.list.min(significant.len()),
+                run.k
             );
+            let mut ranked = significant.clone();
+            ranked.sort_by_key(|m| std::cmp::Reverse(m.support));
+            for itemset in ranked.iter().take(options.list) {
+                println!(
+                    "  {:?}  support {}",
+                    labeled.labels_of(&itemset.items),
+                    itemset.support
+                );
+            }
+        }
+        if multi_k {
+            println!();
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        parse_options(
+            std::iter::once("sigfim".to_string()).chain(args.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn k_spec_forms() {
+        assert_eq!(parse_k_spec("3").unwrap(), vec![3]);
+        assert_eq!(parse_k_spec("2,4,3").unwrap(), vec![2, 4, 3]);
+        assert_eq!(parse_k_spec("2..5").unwrap(), vec![2, 3, 4, 5]);
+        assert_eq!(parse_k_spec("2..=5").unwrap(), vec![2, 3, 4, 5]);
+        assert_eq!(parse_k_spec("4..4").unwrap(), vec![4]);
+        assert!(parse_k_spec("5..2").is_err());
+        assert!(parse_k_spec("two").is_err());
+        assert!(parse_k_spec("2..x").is_err());
+    }
+
+    #[test]
+    fn cli_defaults_match_the_library() {
+        let options = parse(&["data.dat"]).unwrap();
+        // The satellite contract: the CLI inherits the library default seed
+        // instead of carrying its own.
+        assert_eq!(options.seed, DEFAULT_SEED);
+        assert_eq!(options.ks, vec![2]);
+        assert_eq!(options.max_restarts, 4);
+        let request = request_from(&options);
+        assert_eq!(request, AnalysisRequest::for_k(2));
+    }
+
+    #[test]
+    fn cli_flags_reach_the_request() {
+        let options = parse(&[
+            "data.dat",
+            "--k",
+            "2..4",
+            "--alpha",
+            "0.01",
+            "--replicates",
+            "128",
+            "--seed",
+            "7",
+            "--max-restarts",
+            "2",
+            "--conservative-lambda",
+            "--no-baseline",
+        ])
+        .unwrap();
+        let request = request_from(&options);
+        assert_eq!(request.ks, vec![2, 3, 4]);
+        assert!((request.alpha - 0.01).abs() < 1e-15);
+        assert_eq!(request.replicates, 128);
+        assert_eq!(request.seed, 7);
+        assert_eq!(request.max_restarts, 2);
+        assert_eq!(request.lambda_mode, LambdaMode::Conservative);
+        assert!(!request.baseline);
+    }
+
+    #[test]
+    fn usage_documents_the_default_seed() {
+        assert!(USAGE.contains("0x51F1D009"));
+        assert!(parse(&["--help"]).unwrap_err().contains("0x51F1D009"));
+    }
 }
