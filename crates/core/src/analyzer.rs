@@ -20,7 +20,7 @@
 //! should hold an [`AnalysisEngine`] instead and let its caches work.
 
 use sigfim_datasets::bitmap::DatasetBackend;
-use sigfim_datasets::random::{BernoulliModel, NullModel, SwapRandomizationModel};
+use sigfim_datasets::random::{BernoulliModel, DynNullModel, NullModel, SwapRandomizationModel};
 use sigfim_datasets::transaction::TransactionDataset;
 use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::miner::MinerKind;
@@ -237,12 +237,14 @@ impl SignificanceAnalyzer {
     /// itself, or when replaying a fitted model.
     ///
     /// This is the compatibility path: a fresh single-request
-    /// [`AnalysisEngine`] is built per call (borrowing `model`, cloning only
-    /// the dataset container), so nothing is cached across calls. The report is
-    /// bit-identical to the pre-engine pipeline. Note the per-call dataset
-    /// clone and model fingerprint are O(dataset); callers for whom that
-    /// matters — anyone issuing repeated queries — should hold an
-    /// [`AnalysisEngine`] directly and pay both once.
+    /// [`AnalysisEngine`] is built per call (borrowing `model` behind the
+    /// dyn-erased [`DynNullModel`] boundary, cloning only the dataset
+    /// container), so nothing is cached across calls. The report is
+    /// bit-identical to the pre-engine pipeline — erasure changes neither
+    /// sampling nor cache keys. Note the per-call dataset clone and model
+    /// fingerprint are O(dataset); callers for whom that matters — anyone
+    /// issuing repeated queries — should hold an [`AnalysisEngine`] directly
+    /// and pay both once.
     ///
     /// # Errors
     ///
@@ -252,7 +254,11 @@ impl SignificanceAnalyzer {
         dataset: &TransactionDataset,
         model: &M,
     ) -> Result<AnalysisReport> {
-        let mut engine = AnalysisEngine::with_model(dataset.clone(), model)?
+        // The shim runs on the same dyn-erased surface the service uses: the
+        // borrowed model is boxed (a pointer, not a clone) behind the
+        // object-safe boundary, exercising the erased path on every call.
+        let erased: Box<dyn DynNullModel + '_> = Box::new(model);
+        let mut engine = AnalysisEngine::with_model(dataset.clone(), erased)?
             .with_backend(self.backend)
             .with_execution_policy(self.policy);
         let response = engine.run(&self.request())?;

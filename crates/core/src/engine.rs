@@ -54,13 +54,14 @@
 
 use std::collections::HashMap;
 use std::ops::RangeInclusive;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
-use sigfim_datasets::random::{BernoulliModel, NullModel, SwapRandomizationModel};
+use sigfim_datasets::random::{BernoulliModel, BoxedNullModel, NullModel, SwapRandomizationModel};
 use sigfim_datasets::summary::DatasetSummary;
 use sigfim_datasets::transaction::TransactionDataset;
 use sigfim_exec::{BatchObserver, ExecutionPolicy};
@@ -389,26 +390,63 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of distinct threshold keys currently stored.
     pub entries: usize,
+    /// Entries dropped by the LRU policy to respect the capacity bound.
+    pub evictions: u64,
+    /// The configured capacity bound (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+/// One cached Algorithm 1 result together with its recency stamp.
+#[derive(Debug, Clone)]
+struct CachedThreshold {
+    estimate: ThresholdEstimate,
+    /// Logical clock value of the last hit or insertion; the entry with the
+    /// smallest stamp is the least recently used.
+    last_used: u64,
 }
 
 /// Memo of Algorithm 1 results keyed by the full run identity (see
 /// [`AnalysisEngine`]); the reuse that turns a k-sweep's repeated queries into
-/// lookups. Owned by an engine; inspect it through
-/// [`AnalysisEngine::cache_stats`].
+/// lookups.
+///
+/// The cache is **bounded**: give it a capacity and it evicts the least
+/// recently used entry on overflow, counting evictions in [`CacheStats`].
+/// The default capacity is `None` (unbounded), preserving the PR 3 behaviour
+/// for short-lived engines; long-running services should set a bound (the
+/// `sigfim serve --cache-capacity` flag does).
+///
+/// Engines access it through a [`ThresholdStore`] — a shared, lock-protected
+/// handle — so several engines (tenants) can pool their thresholds; inspect it
+/// through [`AnalysisEngine::cache_stats`] or [`ThresholdStore::stats`].
 #[derive(Debug, Clone, Default)]
 pub struct ThresholdCache {
-    entries: HashMap<ThresholdKey, ThresholdEstimate>,
+    entries: HashMap<ThresholdKey, CachedThreshold>,
+    capacity: Option<usize>,
+    clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ThresholdCache {
-    /// Look up a key, recording a hit or miss.
+    /// An empty cache bounded at `capacity` entries (0 disables caching
+    /// entirely: every insert is immediately discarded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ThresholdCache {
+            capacity: Some(capacity),
+            ..ThresholdCache::default()
+        }
+    }
+
+    /// Look up a key, recording a hit or miss (and, on a hit, refreshing the
+    /// entry's recency).
     fn get(&mut self, key: &ThresholdKey) -> Option<ThresholdEstimate> {
-        match self.entries.get(key) {
-            Some(estimate) => {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
                 self.hits += 1;
-                Some(estimate.clone())
+                Some(entry.estimate.clone())
             }
             None => {
                 self.misses += 1;
@@ -418,7 +456,55 @@ impl ThresholdCache {
     }
 
     fn insert(&mut self, key: ThresholdKey, estimate: ThresholdEstimate) {
-        self.entries.insert(key, estimate);
+        if self.capacity == Some(0) {
+            return;
+        }
+        self.clock += 1;
+        if let Some(capacity) = self.capacity {
+            // Evict least-recently-used entries until the new key fits. The
+            // linear minimum scan is fine at service cache sizes (hundreds of
+            // entries guarding multi-second Monte-Carlo runs).
+            while !self.entries.contains_key(&key) && self.entries.len() >= capacity {
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(key, _)| *key)
+                    .expect("a full cache has a least-recently-used entry");
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            CachedThreshold {
+                estimate,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Change the capacity bound (`None` = unbounded). Shrinking below the
+    /// current size evicts least-recently-used entries immediately.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        if let Some(capacity) = capacity {
+            while self.entries.len() > capacity {
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(key, _)| *key)
+                    .expect("non-empty cache has a least-recently-used entry");
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// The configured capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of distinct threshold keys stored.
@@ -431,20 +517,103 @@ impl ThresholdCache {
         self.entries.is_empty()
     }
 
-    /// Hit/miss/entry counters since construction (or the last clear).
+    /// Hit/miss/entry/eviction counters since construction (or the last clear).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             entries: self.entries.len(),
+            evictions: self.evictions,
+            capacity: self.capacity,
         }
     }
 
-    /// Drop every entry and reset the counters.
+    /// Drop every entry and reset the counters (the capacity bound persists).
     pub fn clear(&mut self) {
         self.entries.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
+        self.clock = 0;
+    }
+}
+
+/// A process-wide, shareable handle to a [`ThresholdCache`], protected by a
+/// lock. Cloning the store clones the *handle*: every clone reads and writes
+/// the same cache, which is what lets two engines (tenants) analyzing the same
+/// null model serve each other's Algorithm 1 results — the cache key starts
+/// with the model fingerprint, so entries never leak across distinct nulls.
+///
+/// Every engine owns a store (a private one by default);
+/// [`AnalysisEngine::with_threshold_store`] swaps in a shared one. The store
+/// is deliberately not held across an Algorithm 1 computation: two tenants
+/// racing on the same cold key both compute it (identical results — the run
+/// is deterministic in the key), and the second insert is a no-op overwrite.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdStore {
+    inner: Arc<Mutex<ThresholdCache>>,
+}
+
+impl ThresholdStore {
+    /// A fresh, empty, unbounded store.
+    pub fn new() -> Self {
+        ThresholdStore::default()
+    }
+
+    /// A fresh store bounded at `capacity` entries (LRU eviction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ThresholdStore {
+            inner: Arc::new(Mutex::new(ThresholdCache::with_capacity(capacity))),
+        }
+    }
+
+    /// Lock the underlying cache, recovering from poisoning: the cache holds
+    /// plain memoized values whose invariants hold between any two operations,
+    /// so a panicked writer cannot leave it in a state worth propagating.
+    fn lock(&self) -> MutexGuard<'_, ThresholdCache> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn get(&self, key: &ThresholdKey) -> Option<ThresholdEstimate> {
+        self.lock().get(key)
+    }
+
+    fn insert(&self, key: ThresholdKey, estimate: ThresholdEstimate) {
+        self.lock().insert(key, estimate);
+    }
+
+    /// Hit/miss/entry/eviction counters of the shared cache.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Change the capacity bound (`None` = unbounded), evicting immediately if
+    /// the cache is over the new bound.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.lock().set_capacity(capacity);
+    }
+
+    /// Number of distinct threshold keys stored.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drop every entry and reset the counters (the capacity bound persists).
+    /// On a shared store this affects every attached engine.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Whether `other` is a handle to the same underlying cache.
+    pub fn shares_with(&self, other: &ThresholdStore) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -453,7 +622,13 @@ impl ThresholdCache {
 /// builds the paper's Bernoulli model, [`AnalysisEngine::with_swap_null`] the
 /// swap-randomization alternative, and [`AnalysisEngine::with_model`] accepts
 /// anything implementing [`NullModel`] (including `&M`, so borrowing callers
-/// need not clone their model).
+/// need not clone their model, and [`BoxedNullModel`], so the model type can
+/// be erased — see [`DynAnalysisEngine`]).
+///
+/// Cloning an engine clones the dataset views but **shares** the threshold
+/// store (an [`Arc`] handle): the clones pool their Algorithm 1 results, which
+/// is the multi-tenant behaviour a service wants. Give a clone
+/// [`AnalysisEngine::with_threshold_store`] a fresh store to detach it.
 #[derive(Debug, Clone)]
 pub struct AnalysisEngine<M: NullModel + Sync = BernoulliModel> {
     model: M,
@@ -467,11 +642,25 @@ pub struct AnalysisEngine<M: NullModel + Sync = BernoulliModel> {
     /// The bitmap view of `dataset`, built once whenever `backend` resolves to
     /// the bitmap for it; shared by every Procedure 2 pass.
     bitmap: Option<BitmapDataset>,
-    cache: ThresholdCache,
+    /// Handle to the threshold cache — private by default, shareable across
+    /// engines for cross-tenant reuse.
+    store: ThresholdStore,
     /// Floor profiles by `(k, s_min, miner)`: a request that re-tests the same
     /// threshold with different `α`/`β` budgets skips the mining pass too.
     profiles: HashMap<(usize, u64, MinerKind), SupportProfile>,
 }
+
+/// The dyn-erased engine: the concrete null-model type is boxed away, so
+/// engines over *different* models (Bernoulli, swap, custom) share one type —
+/// storable in one registry, routable through one code path. This is the form
+/// the `sigfim-service` crate's `EngineRegistry` stores.
+///
+/// Build one with [`AnalysisEngine::from_dataset_dyn`] /
+/// [`AnalysisEngine::with_swap_null_dyn`] / [`AnalysisEngine::with_model_dyn`],
+/// or erase an existing generic engine with [`AnalysisEngine::into_dyn`]
+/// (which keeps its warm caches). Results are bit-identical to the generic
+/// engine's: erasure changes neither sampling nor cache keys.
+pub type DynAnalysisEngine = AnalysisEngine<BoxedNullModel>;
 
 impl AnalysisEngine<BernoulliModel> {
     /// An engine analyzing `dataset` against the paper's null model derived
@@ -498,6 +687,72 @@ impl AnalysisEngine<SwapRandomizationModel> {
     pub fn with_swap_null(dataset: TransactionDataset, swaps_per_entry: f64) -> Result<Self> {
         let model = SwapRandomizationModel::new(dataset.clone(), swaps_per_entry)?;
         Self::with_model(dataset, model)
+    }
+}
+
+impl DynAnalysisEngine {
+    /// [`AnalysisEngine::from_dataset`] with the model type erased: the
+    /// engine analyzes `dataset` against the paper's Bernoulli null derived
+    /// from it, but its type no longer names the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty dataset.
+    pub fn from_dataset_dyn(dataset: TransactionDataset) -> Result<Self> {
+        let model = BernoulliModel::from_dataset(&dataset);
+        Self::with_model_dyn(dataset, model)
+    }
+
+    /// [`AnalysisEngine::with_swap_null`] with the model type erased.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnalysisEngine::with_swap_null`].
+    pub fn with_swap_null_dyn(dataset: TransactionDataset, swaps_per_entry: f64) -> Result<Self> {
+        let model = SwapRandomizationModel::new(dataset.clone(), swaps_per_entry)?;
+        Self::with_model_dyn(dataset, model)
+    }
+
+    /// [`AnalysisEngine::with_model`] with the model type erased: accepts any
+    /// owned null model and boxes it behind the object-safe
+    /// [`sigfim_datasets::random::DynNullModel`] boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty dataset.
+    pub fn with_model_dyn<M>(dataset: TransactionDataset, model: M) -> Result<Self>
+    where
+        M: NullModel + Send + Sync + 'static,
+    {
+        Self::with_model(dataset, Box::new(model) as BoxedNullModel)
+    }
+
+    /// [`AnalysisEngine::from_model`] with the model type erased (threshold-only
+    /// engine, no dataset).
+    pub fn from_model_dyn<M>(model: M) -> Self
+    where
+        M: NullModel + Send + Sync + 'static,
+    {
+        Self::from_model(Box::new(model) as BoxedNullModel)
+    }
+}
+
+impl<M: NullModel + Send + Sync + 'static> AnalysisEngine<M> {
+    /// Erase the model type, keeping everything else — dataset views, the
+    /// threshold-store handle (warm entries stay warm), profile caches,
+    /// backend and policy. The resulting engine is storable next to engines
+    /// over any other model type.
+    pub fn into_dyn(self) -> DynAnalysisEngine {
+        AnalysisEngine {
+            model: Box::new(self.model) as BoxedNullModel,
+            fingerprint: self.fingerprint,
+            dataset: self.dataset,
+            backend: self.backend,
+            policy: self.policy,
+            bitmap: self.bitmap,
+            store: self.store,
+            profiles: self.profiles,
+        }
     }
 }
 
@@ -533,9 +788,37 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
             backend: DatasetBackend::Auto,
             policy: ExecutionPolicy::default(),
             bitmap: None,
-            cache: ThresholdCache::default(),
+            store: ThresholdStore::new(),
             profiles: HashMap::new(),
         }
+    }
+
+    /// Attach a (typically shared) [`ThresholdStore`]: from here on, this
+    /// engine's Algorithm 1 lookups and insertions go to `store`, so every
+    /// other engine attached to it can serve — and be served by — this
+    /// engine's thresholds. Keys carry the model fingerprint, so sharing is
+    /// sound across engines over *different* null models.
+    pub fn with_threshold_store(mut self, store: ThresholdStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// In-place form of [`AnalysisEngine::with_threshold_store`].
+    pub fn set_threshold_store(&mut self, store: ThresholdStore) {
+        self.store = store;
+    }
+
+    /// A handle to this engine's threshold store (clone-to-share).
+    pub fn threshold_store(&self) -> ThresholdStore {
+        self.store.clone()
+    }
+
+    /// Bound this engine's threshold cache at `capacity` entries (LRU
+    /// eviction). On a shared store the bound applies to every attached
+    /// engine.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.store.set_capacity(Some(capacity));
+        self
     }
 
     /// Select the physical dataset backend. Results are identical under every
@@ -586,15 +869,17 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
         self.policy
     }
 
-    /// Hit/miss/entry counters of the threshold cache.
+    /// Hit/miss/entry/eviction counters of the threshold cache (on a shared
+    /// store these aggregate over every attached engine).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.store.stats()
     }
 
     /// Drop every cached threshold and profile (e.g. after mutating shared
-    /// state the keys cannot see).
+    /// state the keys cannot see). On a shared store this clears the
+    /// thresholds of every attached engine.
     pub fn clear_caches(&mut self) {
-        self.cache.clear();
+        self.store.clear();
         self.profiles.clear();
     }
 
@@ -767,7 +1052,7 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
             backend: self.backend,
             max_restarts: request.max_restarts,
         };
-        if let Some(estimate) = self.cache.get(&key) {
+        if let Some(estimate) = self.store.get(&key) {
             observer.threshold_cache_hit(k);
             return Ok((estimate, CacheStatus::Hit));
         }
@@ -785,7 +1070,7 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
         let progress = ReplicateProgress { observer, k };
         let estimate = algorithm.run_observed(&self.model, &mut rng, &progress)?;
         observer.stage_completed(k, AnalysisStage::Threshold);
-        self.cache.insert(key, estimate.clone());
+        self.store.insert(key, estimate.clone());
         Ok((estimate, CacheStatus::Miss))
     }
 
@@ -912,6 +1197,120 @@ mod tests {
         // The engine holds one profile (shared) and one threshold entry.
         assert_eq!(engine.profiles.len(), 1);
         assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn lru_cache_respects_capacity_and_counts_evictions() {
+        let mut engine = AnalysisEngine::from_dataset(planted_dataset(3))
+            .unwrap()
+            .with_cache_capacity(2);
+        let request = AnalysisRequest::for_k(2).with_replicates(8);
+
+        // Three distinct keys through a capacity-2 cache: one eviction.
+        let first = engine.run(&request.clone().with_seed(1)).unwrap();
+        engine.run(&request.clone().with_seed(2)).unwrap();
+        engine.run(&request.clone().with_seed(3)).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, Some(2));
+
+        // Seed 1 was evicted (least recently used): re-running recomputes, and
+        // the recomputation is bit-identical to the original run.
+        let again = engine.run(&request.clone().with_seed(1)).unwrap();
+        assert_eq!(again.runs[0].threshold_cache, CacheStatus::Miss);
+        assert_eq!(again.runs[0].report, first.runs[0].report);
+
+        // Recency is honoured: touch seed 3, insert seed 4 — seed 3 survives.
+        engine.run(&request.clone().with_seed(3)).unwrap();
+        engine.run(&request.clone().with_seed(4)).unwrap();
+        let warm = engine.run(&request.clone().with_seed(3)).unwrap();
+        assert_eq!(warm.runs[0].threshold_cache, CacheStatus::Hit);
+
+        // Shrinking the bound evicts immediately; capacity 0 disables caching.
+        let store = engine.threshold_store();
+        store.set_capacity(Some(1));
+        assert_eq!(store.len(), 1);
+        store.set_capacity(Some(0));
+        let cold = engine.run(&request.clone().with_seed(5)).unwrap();
+        assert_eq!(cold.runs[0].threshold_cache, CacheStatus::Miss);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn shared_store_serves_thresholds_across_engines() {
+        // Two tenants over byte-identical datasets: same Bernoulli fingerprint,
+        // so with a shared store the second tenant's first query is a Hit.
+        let dataset = planted_dataset(12);
+        let store = ThresholdStore::new();
+        let mut tenant_a = AnalysisEngine::from_dataset(dataset.clone())
+            .unwrap()
+            .with_threshold_store(store.clone());
+        let mut tenant_b = AnalysisEngine::from_dataset(dataset)
+            .unwrap()
+            .with_threshold_store(store.clone());
+        assert!(tenant_a.threshold_store().shares_with(&store));
+
+        let request = AnalysisRequest::for_k(2).with_replicates(10);
+        let cold = tenant_a.run(&request).unwrap();
+        assert_eq!(cold.runs[0].threshold_cache, CacheStatus::Miss);
+        let warm = tenant_b.run(&request).unwrap();
+        assert_eq!(warm.runs[0].threshold_cache, CacheStatus::Hit);
+        assert_eq!(warm.runs[0].report.threshold, cold.runs[0].report.threshold);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // A tenant over a *different* null model never aliases those entries:
+        // the fingerprint heads the key.
+        let mut other = AnalysisEngine::from_dataset(planted_dataset(13))
+            .unwrap()
+            .with_threshold_store(store.clone());
+        let third = other.run(&request).unwrap();
+        assert_eq!(third.runs[0].threshold_cache, CacheStatus::Miss);
+        assert_eq!(store.stats().entries, 2);
+
+        // Engine clones share the store (documented behaviour).
+        let clone = tenant_a.clone();
+        assert!(clone.threshold_store().shares_with(&store));
+    }
+
+    #[test]
+    fn dyn_engines_match_generic_engines_bit_for_bit() {
+        let dataset = planted_dataset(7);
+        let request = AnalysisRequest::for_k_range(2..=3).with_replicates(10);
+
+        let mut generic = AnalysisEngine::from_dataset(dataset.clone()).unwrap();
+        let expected = generic.run(&request).unwrap();
+
+        // The erased constructor produces the same fingerprint, responses and
+        // cache behaviour.
+        let mut erased = AnalysisEngine::from_dataset_dyn(dataset.clone()).unwrap();
+        assert_eq!(erased.fingerprint(), generic.fingerprint());
+        let response = erased.run(&request).unwrap();
+        assert_eq!(response, expected);
+
+        // Engines over different model types unify under DynAnalysisEngine —
+        // the property that makes them registry-storable.
+        let swap = AnalysisEngine::with_swap_null_dyn(dataset.clone(), 2.0).unwrap();
+        let mut shelf: Vec<DynAnalysisEngine> = vec![erased, swap];
+        assert_ne!(shelf[0].fingerprint(), shelf[1].fingerprint());
+        for engine in &mut shelf {
+            assert!(engine.run(&request).is_ok());
+        }
+
+        // into_dyn keeps the warm caches: the converted engine serves the
+        // sweep from its store, with reports identical to the cold run's.
+        let warmed = generic.into_dyn().run(&request).unwrap();
+        assert_eq!(warmed.cache_hits(), 2);
+        assert_eq!(warmed.into_reports(), expected.clone().into_reports());
+
+        // A threshold-only dyn engine works too.
+        let model = BernoulliModel::new(60, vec![0.15; 8]).unwrap();
+        let mut thresholds_only = AnalysisEngine::from_model_dyn(model);
+        let runs = thresholds_only
+            .thresholds(&AnalysisRequest::for_k(2).with_replicates(4))
+            .unwrap();
+        assert_eq!(runs.len(), 1);
     }
 
     #[test]

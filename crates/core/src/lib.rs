@@ -75,7 +75,8 @@ pub use analyzer::SignificanceAnalyzer;
 pub use chen_stein::ExactChenStein;
 pub use engine::{
     AnalysisEngine, AnalysisRequest, AnalysisResponse, AnalysisStage, CacheStats, CacheStatus,
-    KAnalysis, LambdaMode, NoProgress, ProgressObserver, ThresholdCache, ThresholdRun,
+    DynAnalysisEngine, KAnalysis, LambdaMode, NoProgress, ProgressObserver, ThresholdCache,
+    ThresholdRun, ThresholdStore,
 };
 pub use lambda::{ExactLambda, LambdaEstimator};
 pub use montecarlo::{FindPoissonThreshold, ThresholdEstimate};

@@ -25,7 +25,9 @@ pub mod sampling;
 pub mod swap;
 
 pub use bernoulli::BernoulliModel;
-pub use model::{ModelFingerprint, NullModel, SwapRandomizationModel};
+pub use model::{
+    BoxedNullModel, DynNullModel, ModelFingerprint, NullModel, SwapRandomizationModel,
+};
 pub use planted::{plant_into, PlantedConfig, PlantedModel, PlantedPattern};
 pub use quest::QuestConfig;
 pub use swap::{swap_randomize, swap_randomize_into_bitmap};

@@ -11,7 +11,7 @@
 //! here is exactly that adaptation: plugging it into Algorithm 1 and Procedure 2
 //! yields the paper's methodology under the swap null.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use crate::bitmap::BitmapDataset;
@@ -132,6 +132,138 @@ pub trait NullModel {
             fp = fp.mix_f64(f);
         }
         fp.finish()
+    }
+}
+
+/// The object-safe face of [`NullModel`]: what a multi-tenant service stores
+/// and routes when the concrete model type must not leak into signatures.
+///
+/// [`NullModel`] itself is not object-safe — its sampling methods are generic
+/// over the RNG — so this companion trait monomorphizes them to
+/// `&mut dyn RngCore`. Every `NullModel` that is `Send + Sync` implements it
+/// automatically (blanket impl), and a [`BoxedNullModel`] implements
+/// `NullModel` again by delegation, so dyn-erased models plug into Algorithm 1,
+/// the engine, and every other generic consumer unchanged:
+///
+/// ```
+/// use sigfim_datasets::random::{BernoulliModel, BoxedNullModel, NullModel};
+///
+/// let erased: BoxedNullModel = Box::new(BernoulliModel::new(50, vec![0.1; 4]).unwrap());
+/// // The erased model is a NullModel like any other — same fingerprint, same
+/// // samples, uniformly storable alongside models of other concrete types.
+/// assert_eq!(
+///     erased.fingerprint(),
+///     BernoulliModel::new(50, vec![0.1; 4]).unwrap().fingerprint()
+/// );
+/// ```
+pub trait DynNullModel: Send + Sync {
+    /// See [`NullModel::num_items`].
+    fn num_items_dyn(&self) -> usize;
+
+    /// See [`NullModel::num_transactions`].
+    fn num_transactions_dyn(&self) -> usize;
+
+    /// See [`NullModel::item_frequencies`].
+    fn item_frequencies_dyn(&self) -> Vec<f64>;
+
+    /// [`NullModel::sample_dataset`] with the RNG type erased. Implementations
+    /// must consume the RNG exactly as the generic method does.
+    fn sample_dataset_dyn(&self, rng: &mut dyn RngCore) -> TransactionDataset;
+
+    /// [`NullModel::sample_into_bitmap`] with the RNG type erased.
+    fn sample_into_bitmap_dyn(&self, rng: &mut dyn RngCore, out: &mut BitmapDataset);
+
+    /// See [`NullModel::expected_density`].
+    fn expected_density_dyn(&self) -> f64;
+
+    /// See [`NullModel::fingerprint`].
+    fn fingerprint_dyn(&self) -> u64;
+}
+
+impl<M: NullModel + Send + Sync> DynNullModel for M {
+    fn num_items_dyn(&self) -> usize {
+        NullModel::num_items(self)
+    }
+
+    fn num_transactions_dyn(&self) -> usize {
+        NullModel::num_transactions(self)
+    }
+
+    fn item_frequencies_dyn(&self) -> Vec<f64> {
+        NullModel::item_frequencies(self)
+    }
+
+    fn sample_dataset_dyn(&self, rng: &mut dyn RngCore) -> TransactionDataset {
+        self.sample_dataset(rng)
+    }
+
+    fn sample_into_bitmap_dyn(&self, rng: &mut dyn RngCore, out: &mut BitmapDataset) {
+        self.sample_into_bitmap(rng, out);
+    }
+
+    fn expected_density_dyn(&self) -> f64 {
+        NullModel::expected_density(self)
+    }
+
+    fn fingerprint_dyn(&self) -> u64 {
+        NullModel::fingerprint(self)
+    }
+}
+
+/// An owned, type-erased null model: the uniform currency of engine registries
+/// and service front-ends. See [`DynNullModel`].
+pub type BoxedNullModel = Box<dyn DynNullModel>;
+
+/// Erased models debug-print their marginal identity (the concrete type is
+/// gone by design); this keeps containers of erased engines debuggable.
+impl std::fmt::Debug for dyn DynNullModel + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynNullModel")
+            .field("transactions", &self.num_transactions_dyn())
+            .field("items", &self.num_items_dyn())
+            .field(
+                "fingerprint",
+                &format_args!("{:#018x}", self.fingerprint_dyn()),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// A boxed dyn model is a [`NullModel`] again: erasure is transparent to every
+/// generic consumer (Algorithm 1, the analysis engine, the analyzer shim).
+/// Fingerprints, samples and RNG consumption are those of the wrapped model,
+/// so results — and threshold-cache keys — are identical to the unerased path.
+impl<'a> NullModel for Box<dyn DynNullModel + 'a> {
+    fn num_items(&self) -> usize {
+        (**self).num_items_dyn()
+    }
+
+    fn num_transactions(&self) -> usize {
+        (**self).num_transactions_dyn()
+    }
+
+    fn item_frequencies(&self) -> Vec<f64> {
+        (**self).item_frequencies_dyn()
+    }
+
+    fn sample_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        // `&mut R` is Sized and itself an RngCore, so it coerces to the trait
+        // object the dyn boundary needs even when `R` is unsized.
+        let mut rng = rng;
+        (**self).sample_dataset_dyn(&mut rng)
+    }
+
+    fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        let mut rng = rng;
+        (**self).sample_into_bitmap_dyn(&mut rng, out);
+    }
+
+    fn expected_density(&self) -> f64 {
+        (**self).expected_density_dyn()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint_dyn()
     }
 }
 
@@ -416,6 +548,49 @@ mod tests {
         assert_ne!(
             swap_a.fingerprint(),
             BernoulliModel::from_dataset(&ref_a).fingerprint()
+        );
+    }
+
+    #[test]
+    fn boxed_models_sample_and_fingerprint_like_their_concrete_selves() {
+        // Erasure transparency: a Box<dyn DynNullModel> is a NullModel whose
+        // samples (CSR and bitmap), marginals and fingerprint are bit-identical
+        // to the wrapped model's — the property that makes dyn-erased engines
+        // interchangeable with generic ones.
+        let concrete = BernoulliModel::new(120, vec![0.08; 10]).unwrap();
+        let erased: BoxedNullModel = Box::new(concrete.clone());
+        assert_eq!(NullModel::num_items(&erased), 10);
+        assert_eq!(NullModel::num_transactions(&erased), 120);
+        assert_eq!(
+            NullModel::item_frequencies(&erased),
+            NullModel::item_frequencies(&concrete)
+        );
+        assert_eq!(erased.fingerprint(), concrete.fingerprint());
+        assert!((erased.expected_density() - concrete.expected_density()).abs() < 1e-15);
+
+        let direct = concrete.sample_dataset(&mut StdRng::seed_from_u64(40));
+        let through_box = erased.sample_dataset(&mut StdRng::seed_from_u64(40));
+        assert_eq!(direct, through_box);
+
+        let mut direct_bitmap = BitmapDataset::new(0, 0);
+        let mut boxed_bitmap = BitmapDataset::new(0, 0);
+        concrete.sample_into_bitmap(&mut StdRng::seed_from_u64(41), &mut direct_bitmap);
+        erased.sample_into_bitmap(&mut StdRng::seed_from_u64(41), &mut boxed_bitmap);
+        assert_eq!(direct_bitmap, boxed_bitmap);
+
+        // Models of different concrete types are storable side by side — the
+        // point of the erasure.
+        let swap: BoxedNullModel = Box::new(SwapRandomizationModel::new(reference(), 2.0).unwrap());
+        let shelf: Vec<BoxedNullModel> = vec![erased, swap];
+        assert_ne!(shelf[0].fingerprint(), shelf[1].fingerprint());
+
+        // A borrowed model erases too (the analyzer shim's path): `&M` is a
+        // NullModel, hence boxable without cloning the model.
+        let borrowed: Box<dyn DynNullModel + '_> = Box::new(&concrete);
+        assert_eq!(borrowed.fingerprint(), concrete.fingerprint());
+        assert_eq!(
+            NullModel::sample_dataset(&borrowed, &mut StdRng::seed_from_u64(40)),
+            direct
         );
     }
 

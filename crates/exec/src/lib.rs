@@ -75,6 +75,22 @@ impl ExecutionPolicy {
         }
     }
 
+    /// The number of OS worker threads this policy accounts for: 1 for
+    /// `Sequential`, the pool size for `Rayon` (resolving the `0` =
+    /// available-parallelism convention against the machine). This is the
+    /// shared thread-accounting rule; the service front-end sizes its
+    /// connection worker pool with it so "0 workers" means the same thing for
+    /// HTTP handlers as it does for Monte-Carlo replicates.
+    pub fn worker_threads(&self) -> usize {
+        match *self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::Rayon { threads: 0 } => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ExecutionPolicy::Rayon { threads } => threads,
+        }
+    }
+
     /// Apply `task` to every element of `items` and return the outputs **in
     /// input order**, regardless of policy. `task` receives the element index,
     /// which parallel callers should use to derive any per-task randomness (see
@@ -301,6 +317,14 @@ mod tests {
             ExecutionPolicy::default(),
             ExecutionPolicy::Rayon { threads: 0 }
         );
+    }
+
+    #[test]
+    fn worker_threads_resolves_the_zero_convention() {
+        assert_eq!(ExecutionPolicy::Sequential.worker_threads(), 1);
+        assert_eq!(ExecutionPolicy::rayon(4).worker_threads(), 4);
+        // 0 resolves to the machine's available parallelism, which is ≥ 1.
+        assert!(ExecutionPolicy::rayon(0).worker_threads() >= 1);
     }
 
     #[test]

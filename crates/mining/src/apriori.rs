@@ -8,16 +8,22 @@
 //! Candidate counting is hybrid: per level the miner chooses between
 //!
 //! * **vertical counting** — intersect the tid-lists of each candidate's items
-//!   (cheap when there are few candidates), and
+//!   (cheap when there are few candidates),
 //! * **horizontal counting** — one pass over the transactions, hashing each
 //!   transaction's k-subsets into the candidate table (cheap when transactions
-//!   restricted to frequent items are short but candidates are many).
+//!   restricted to frequent items are short but candidates are many), and
+//! * **bitmap counting** — AND + popcount over vertical bit-columns (cheap on
+//!   dense datasets once the candidate count amortizes the column build; the
+//!   bitmap is built lazily at the first level that wants it and then
+//!   borrowed by every later level for free).
 //!
 //! The crossover is decided from the estimated subset-enumeration work, see
 //! [`Apriori::counting_strategy`].
 
+use sigfim_datasets::bitmap::BitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
 
+use crate::counting::count_candidates_bitmap;
 pub use crate::counting::CountingStrategy;
 use crate::itemset::{join_step, prune_step, sort_canonical, ItemsetSupport};
 use crate::miner::{validate_mining_args, KItemsetMiner};
@@ -46,37 +52,60 @@ impl Default for Apriori {
 impl Apriori {
     /// Decide how to count `num_candidates` candidates of size `level` given the
     /// total number of (restricted) transaction entries and the average restricted
-    /// transaction length. Delegates to the unified density heuristic
+    /// transaction length. `bitmap_ready` says whether an earlier level already
+    /// built (and kept) the bit-columns, making the bitmap path build-free.
+    /// Delegates to the unified density heuristic
     /// [`CountingStrategy::for_density`] unless a strategy is forced.
     pub fn counting_strategy(
         &self,
         num_candidates: usize,
         avg_restricted_len: f64,
         num_transactions: usize,
+        num_items: usize,
         level: usize,
+        bitmap_ready: bool,
     ) -> CountingStrategy {
         if let Some(forced) = self.force_strategy {
             return forced;
         }
-        CountingStrategy::for_density(num_candidates, avg_restricted_len, num_transactions, level)
+        CountingStrategy::for_density(
+            num_candidates,
+            avg_restricted_len,
+            num_transactions,
+            num_items,
+            level,
+            bitmap_ready,
+        )
     }
 
     fn count_level(
         &self,
         dataset: &TransactionDataset,
         tid_lists: &[Vec<u32>],
+        bitmap: &mut Option<BitmapDataset>,
         candidates: &[Vec<ItemId>],
         level: usize,
         avg_restricted_len: f64,
     ) -> Vec<u64> {
-        self.counting_strategy(
+        let strategy = self.counting_strategy(
             candidates.len(),
             avg_restricted_len,
             dataset.num_transactions(),
+            dataset.num_items() as usize,
             level,
-        )
-        .counter()
-        .count_with_tidlists(dataset, tid_lists, candidates)
+            bitmap.is_some(),
+        );
+        match strategy {
+            CountingStrategy::Bitmap => {
+                // Built at most once per mine_k call, then borrowed by every
+                // later level that picks the bitmap.
+                let bitmap = bitmap.get_or_insert_with(|| BitmapDataset::from_dataset(dataset));
+                count_candidates_bitmap(bitmap, candidates)
+            }
+            other => other
+                .counter()
+                .count_with_tidlists(dataset, tid_lists, candidates),
+        }
     }
 }
 
@@ -119,6 +148,7 @@ impl KItemsetMiner for Apriori {
         };
 
         let mut result = Vec::new();
+        let mut bitmap: Option<BitmapDataset> = None;
         for level in 2..=k {
             if frequent_prev.len() < level {
                 return Ok(Vec::new());
@@ -131,8 +161,14 @@ impl KItemsetMiner for Apriori {
             if candidates.is_empty() {
                 return Ok(Vec::new());
             }
-            let counts =
-                self.count_level(dataset, &tid_lists, &candidates, level, avg_restricted_len);
+            let counts = self.count_level(
+                dataset,
+                &tid_lists,
+                &mut bitmap,
+                &candidates,
+                level,
+                avg_restricted_len,
+            );
             let mut frequent_now = Vec::new();
             for (cand, count) in candidates.into_iter().zip(counts) {
                 if count >= min_support {
@@ -244,10 +280,55 @@ mod tests {
             force_strategy: Some(CountingStrategy::Horizontal),
             prune: true,
         };
+        let bitmap = Apriori {
+            force_strategy: Some(CountingStrategy::Bitmap),
+            prune: true,
+        };
+        for k in 2..=3 {
+            let reference = vertical.mine_k(&d, k, 2).unwrap();
+            assert_eq!(horizontal.mine_k(&d, k, 2).unwrap(), reference, "k = {k}");
+            // The per-level bitmap path (lazy column build, borrowed across
+            // levels) counts identically too.
+            assert_eq!(bitmap.mine_k(&d, k, 2).unwrap(), reference, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn dense_levels_pick_the_bitmap_once_candidates_amortize_the_build() {
+        // A dense 50%-density matrix: per candidate a tid-list walk touches
+        // ~t/2 ids, the bitmap ⌈t/64⌉ words. With many candidates the build
+        // amortizes and the level heuristic switches to the bitmap...
+        let apriori = Apriori::default();
+        let strategy = apriori.counting_strategy(2_000, 30.0, 4_000, 60, 3, false);
+        assert_eq!(strategy, CountingStrategy::Bitmap);
+        // ...and once a bitmap exists, even a small follow-up level rides it
+        // for free where a cold level would not have paid the build.
+        let warm = apriori.counting_strategy(40, 30.0, 4_000, 60, 4, true);
+        assert_eq!(warm, CountingStrategy::Bitmap);
+        // Tiny candidate batches against a cold dataset keep the tid-lists.
+        let cold_small = apriori.counting_strategy(3, 30.0, 4_000, 60, 4, false);
+        assert_ne!(cold_small, CountingStrategy::Bitmap);
+        // Short restricted transactions keep the horizontal pass competitive.
+        let sparse = apriori.counting_strategy(10, 2.0, 200, 60, 2, false);
+        assert_eq!(sparse, CountingStrategy::Horizontal);
+        // Auto-selected mining over a dense dataset matches the forced paths
+        // end to end (the level heuristic only changes speed, never counts).
+        let dense = TransactionDataset::from_transactions(
+            20,
+            (0..400)
+                .map(|i| (0..20).filter(|j| (i + j) % 2 == 0).collect())
+                .collect(),
+        )
+        .unwrap();
+        let auto = Apriori::default();
+        let forced = Apriori {
+            force_strategy: Some(CountingStrategy::Vertical),
+            prune: true,
+        };
         for k in 2..=3 {
             assert_eq!(
-                vertical.mine_k(&d, k, 2).unwrap(),
-                horizontal.mine_k(&d, k, 2).unwrap(),
+                auto.mine_k(&dense, k, 150).unwrap(),
+                forced.mine_k(&dense, k, 150).unwrap(),
                 "k = {k}"
             );
         }

@@ -385,27 +385,45 @@ impl CountingStrategy {
 
     /// Choose a strategy from the dataset's density profile: compare the
     /// estimated subset-enumeration work of a horizontal pass (`t · C(len, k)`
-    /// per transaction restricted to relevant items) against the tid-list walks
-    /// of a vertical pass (`candidates · k` lists of average length
-    /// `t · density`).
+    /// per transaction restricted to relevant items), the tid-list walks of a
+    /// vertical pass (`candidates · k` lists of average length `t · density`),
+    /// and the word-parallel AND + popcount of a bitmap pass
+    /// (`candidates · k · ⌈t/64⌉` words, plus the one-time column build of
+    /// `n · ⌈t/64⌉ + entries` words when no bitmap exists yet).
     ///
     /// This is the *per-level* choice used inside a running miner, which
-    /// already holds tid-lists — it never selects [`CountingStrategy::Bitmap`]
-    /// (switching representation mid-mine would cost more than it saves).
+    /// already holds tid-lists. It selects [`CountingStrategy::Bitmap`] only
+    /// once the level's candidate count amortizes the bitmap build — and a
+    /// miner that has already built (and kept) a bitmap for an earlier level
+    /// passes `bitmap_ready = true`, making the build free and the bitmap
+    /// correspondingly easier to justify for the remaining levels.
     /// Whole-batch counting against a cold dataset goes through the three-way
     /// [`CountingStrategy::for_dataset`] instead.
     pub fn for_density(
         num_candidates: usize,
         avg_restricted_len: f64,
         num_transactions: usize,
+        num_items: usize,
         level: usize,
+        bitmap_ready: bool,
     ) -> CountingStrategy {
         let horizontal_work = num_transactions as f64
             * crate::itemset::binomial_u64(avg_restricted_len.round() as u64, level as u64) as f64;
         let vertical_work =
             num_candidates as f64 * level as f64 * (num_transactions as f64 * 0.1).max(16.0);
-        if horizontal_work <= vertical_work {
+        let words = num_transactions.div_ceil(64);
+        let build_work = if bitmap_ready {
+            0.0
+        } else {
+            // Column build: touch every word once plus one strided store per
+            // incidence (≈ t · avg restricted length entries).
+            (num_items * words) as f64 + num_transactions as f64 * avg_restricted_len
+        };
+        let bitmap_work = build_work + num_candidates as f64 * level as f64 * words.max(16) as f64;
+        if horizontal_work <= vertical_work && horizontal_work <= bitmap_work {
             CountingStrategy::Horizontal
+        } else if bitmap_work < vertical_work {
+            CountingStrategy::Bitmap
         } else {
             CountingStrategy::Vertical
         }

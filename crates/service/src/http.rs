@@ -1,0 +1,402 @@
+//! A hand-rolled HTTP/1.1 JSON transport on `std::net` — no async runtime,
+//! no external HTTP stack (the build environment is offline), just a bounded
+//! pool of blocking worker threads sharing one `TcpListener`.
+//!
+//! Routes:
+//!
+//! | method + path        | operation                                      |
+//! |----------------------|------------------------------------------------|
+//! | `POST /v1/analyze`   | full pipeline against a registered dataset     |
+//! | `POST /v1/thresholds`| Algorithm 1 against an inline null model       |
+//! | `GET /v1/engines`    | list registered engines                        |
+//! | `GET /v1/stats`      | service + shared threshold store counters      |
+//! | `GET /healthz`       | liveness                                       |
+//!
+//! Every response body is an [`ApiResponse`] envelope; HTTP status codes
+//! mirror [`crate::protocol::ApiError::http_status`]. Connections are
+//! `Connection: close` one-shots — the expensive part of a request is the
+//! Monte-Carlo run behind it, not the TCP handshake, so keep-alive
+//! bookkeeping buys nothing here.
+//!
+//! The worker pool is bounded: `workers` threads accept and handle
+//! connections, so at most `workers` analyses run concurrently and a traffic
+//! burst queues in the listener backlog instead of spawning unbounded
+//! threads. Worker counts use the same accounting rule as the compute layer
+//! ([`ExecutionPolicy::worker_threads`]): `0` = one per available core.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sigfim_exec::ExecutionPolicy;
+
+use crate::protocol::{ApiError, ApiRequest, ApiResponse, ApiResult, PROTOCOL_VERSION};
+use crate::registry::EngineRegistry;
+
+/// Upper bound on request head (request line + headers) and body sizes, to
+/// keep a malicious or confused client from ballooning worker memory.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Per-connection socket timeout: a stalled client loses its slot instead of
+/// pinning a worker forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration of [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (e.g. `127.0.0.1:7878`; port 0 picks a free port).
+    pub addr: String,
+    /// Connection worker threads; `0` = one per available core (the
+    /// [`ExecutionPolicy`] thread-accounting convention).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 0,
+        }
+    }
+}
+
+/// A running server: worker threads accepting on a shared listener. Obtained
+/// from [`serve`]; call [`ServerHandle::shutdown`] for an orderly stop, or
+/// [`ServerHandle::join`] to serve until the process dies.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal every worker to stop, wake them, and join them. In-flight
+    /// requests finish; queued-but-unaccepted connections are woken and
+    /// closed.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Each worker is parked in accept(); one wake-up connection per
+        // worker unblocks them all.
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Block until every worker exits (i.e. forever, absent a shutdown from
+    /// another handle holder or a listener failure).
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Bind `config.addr` and start the worker pool against `registry`. Returns
+/// as soon as the listener is live — `GET /healthz` succeeds from that point.
+///
+/// # Errors
+///
+/// Propagates binding failures (address in use, permission, …).
+pub fn serve(
+    registry: Arc<EngineRegistry>,
+    config: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(resolve_addr(&config.addr)?)?;
+    let addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // The same 0-means-all-cores accounting the Monte-Carlo layer uses.
+    let workers = ExecutionPolicy::from_threads(config.workers).worker_threads();
+    let handles = (0..workers)
+        .map(|index| {
+            let listener = Arc::clone(&listener);
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("sigfim-http-{index}"))
+                .spawn(move || worker_loop(&listener, &registry, &shutdown))
+                .expect("spawning a named worker thread cannot fail")
+        })
+        .collect();
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        workers: handles,
+    })
+}
+
+fn resolve_addr(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("`{addr}` resolves to no address"),
+        )
+    })
+}
+
+fn worker_loop(listener: &TcpListener, registry: &EngineRegistry, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Transient accept errors (aborted handshakes, fd pressure):
+            // keep serving, but back off briefly so a *persistent* error
+            // (e.g. EMFILE under overload) does not busy-spin every worker
+            // at 100% CPU against the fds the in-flight requests need.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+        handle_connection(stream, registry);
+    }
+}
+
+/// One parsed request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// A transport-level parse failure, mapped straight to a 400.
+struct HttpParseError(String);
+
+fn handle_connection(mut stream: TcpStream, registry: &EngineRegistry) {
+    let response = match parse_request(&mut stream) {
+        Ok(request) => route(registry, &request),
+        Err(HttpParseError(detail)) => ApiResponse::error(ApiError::MalformedRequest { detail }),
+    };
+    write_response(&mut stream, &response);
+}
+
+fn parse_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpParseError> {
+    let mut reader = BufReader::new(stream);
+    // The head is read through a hard `take` limit, so a newline-free line
+    // cannot grow a worker's buffer past MAX_HEAD_BYTES: at the limit,
+    // read_line returns a line without its terminator, which is rejected
+    // below (`ends_with('\n')`) instead of being appended to forever.
+    let mut head = (&mut reader).take(MAX_HEAD_BYTES as u64);
+    let mut request_line = String::new();
+    head.read_line(&mut request_line)
+        .map_err(|e| HttpParseError(format!("could not read the request line: {e}")))?;
+    if !request_line.ends_with('\n') {
+        return Err(HttpParseError(
+            "request line is unterminated or exceeds the 64 KiB head limit".into(),
+        ));
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
+            (method.to_string(), path.to_string())
+        }
+        _ => {
+            return Err(HttpParseError(format!(
+                "not an HTTP/1.x request line: {request_line:?}"
+            )))
+        }
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        head.read_line(&mut line)
+            .map_err(|e| HttpParseError(format!("could not read headers: {e}")))?;
+        if !line.ends_with('\n') {
+            // Either the client closed mid-head or the take limit was hit.
+            return Err(HttpParseError(
+                "request head is unterminated or exceeds 64 KiB".into(),
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpParseError(format!("bad Content-Length: {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpParseError("request body exceeds 64 MiB".into()));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        HttpParseError(format!(
+            "could not read the {content_length}-byte body: {e}"
+        ))
+    })?;
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpParseError("request body is not valid UTF-8".into()))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Dispatch a parsed request to the registry. Pure routing — every operation
+/// goes through [`EngineRegistry::handle`] or its read-only accessors, so the
+/// HTTP layer adds no behaviour of its own.
+fn route(registry: &EngineRegistry, request: &HttpRequest) -> ApiResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => ApiResponse::ok(ApiResult::Health),
+        ("GET", "/v1/engines") => ApiResponse::ok(ApiResult::Engines(registry.engines())),
+        ("GET", "/v1/stats") => ApiResponse::ok(ApiResult::Stats(registry.stats())),
+        ("POST", "/v1/analyze") => post_envelope(registry, request, expect_analyze),
+        ("POST", "/v1/thresholds") => post_envelope(registry, request, expect_thresholds),
+        (
+            _,
+            path @ ("/healthz" | "/v1/engines" | "/v1/stats" | "/v1/analyze" | "/v1/thresholds"),
+        ) => ApiResponse::error(ApiError::MethodNotAllowed {
+            method: request.method.clone(),
+            path: path.to_string(),
+        }),
+        (_, path) => ApiResponse::error(ApiError::NotFound {
+            path: path.to_string(),
+        }),
+    }
+}
+
+/// Parse a POST body as an envelope, check it is the operation the path
+/// promises, and dispatch it.
+///
+/// The protocol version is checked on the *raw* JSON value, before the typed
+/// envelope is interpreted: a future-version envelope whose kinds or fields
+/// this server does not know must come back as the typed
+/// `unsupported_protocol_version` error (so clients can negotiate), not as a
+/// misparse.
+fn post_envelope(
+    registry: &EngineRegistry,
+    request: &HttpRequest,
+    expect: fn(&ApiRequest) -> Result<(), ApiError>,
+) -> ApiResponse {
+    let value: serde::Value = match serde_json::from_str(&request.body) {
+        Ok(value) => value,
+        Err(error) => {
+            return ApiResponse::error(ApiError::MalformedRequest {
+                detail: error.to_string(),
+            })
+        }
+    };
+    match value
+        .get_field("protocol_version")
+        .map(serde::Value::as_u64)
+    {
+        Some(Ok(version)) => {
+            if version != u64::from(PROTOCOL_VERSION) {
+                return ApiResponse::error(ApiError::UnsupportedProtocolVersion {
+                    requested: u32::try_from(version).unwrap_or(u32::MAX),
+                    supported: PROTOCOL_VERSION,
+                });
+            }
+        }
+        Some(Err(_)) => {
+            return ApiResponse::error(ApiError::MalformedRequest {
+                detail: "`protocol_version` must be an unsigned integer".into(),
+            })
+        }
+        None => {
+            return ApiResponse::error(ApiError::MalformedRequest {
+                detail: "the envelope is missing `protocol_version`".into(),
+            })
+        }
+    }
+    let envelope: ApiRequest = match serde_json::from_value(&value) {
+        Ok(envelope) => envelope,
+        Err(error) => {
+            return ApiResponse::error(ApiError::MalformedRequest {
+                detail: error.to_string(),
+            })
+        }
+    };
+    if let Err(error) = expect(&envelope) {
+        return ApiResponse::error(error);
+    }
+    registry.handle(&envelope)
+}
+
+fn expect_analyze(envelope: &ApiRequest) -> Result<(), ApiError> {
+    match &envelope.body {
+        crate::protocol::ApiRequestBody::Analyze { .. } => Ok(()),
+        _ => Err(ApiError::MalformedRequest {
+            detail: "POST /v1/analyze takes an `analyze` envelope".into(),
+        }),
+    }
+}
+
+fn expect_thresholds(envelope: &ApiRequest) -> Result<(), ApiError> {
+    match &envelope.body {
+        crate::protocol::ApiRequestBody::Thresholds { .. } => Ok(()),
+        _ => Err(ApiError::MalformedRequest {
+            detail: "POST /v1/thresholds takes a `thresholds` envelope".into(),
+        }),
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &ApiResponse) {
+    let status = response.http_status();
+    let body = serde_json::to_string(response).unwrap_or_else(|_| {
+        // The envelope serializer is infallible over our types; this arm only
+        // guards the signature.
+        "{\"status\":\"error\"}".to_string()
+    });
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    // A client that hung up mid-response is its own problem; nothing to do.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_reasons() {
+        let config = ServerConfig::default();
+        assert_eq!(config.workers, 0);
+        assert!(config.addr.starts_with("127.0.0.1"));
+        assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(999), "Unknown");
+        assert!(resolve_addr("127.0.0.1:0").is_ok());
+        assert!(resolve_addr("definitely not an address").is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! The [`EngineRegistry`]: dataset ids → dyn-erased engines, plus the
+//! process-wide shared [`ThresholdStore`].
+//!
+//! This is the service's tenancy layer. Each registered dataset gets a
+//! long-lived [`DynAnalysisEngine`] behind its own lock (requests against
+//! different datasets run concurrently; requests against the same dataset
+//! serialize, which is what keeps the engine's internal caches coherent), and
+//! every engine is attached to one shared threshold store keyed by
+//! `(model fingerprint, k, ε, Δ, seed, backend, restarts)` — so two tenants
+//! analyzing the same null model serve each other's Algorithm 1 results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use sigfim_core::engine::{
+    AnalysisEngine, AnalysisRequest, AnalysisResponse, DynAnalysisEngine, ThresholdRun,
+    ThresholdStore,
+};
+use sigfim_core::CoreError;
+use sigfim_datasets::transaction::TransactionDataset;
+
+use crate::protocol::{
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, ModelSpec,
+    ServiceStats,
+};
+
+/// Map a pipeline error onto the wire taxonomy: parameter rejections are the
+/// client's fault (`invalid_request`), everything else is the engine's
+/// (`engine_failure`).
+fn map_core_error(error: CoreError) -> ApiError {
+    match error {
+        CoreError::InvalidParameter { .. } => ApiError::InvalidRequest {
+            detail: error.to_string(),
+        },
+        other => ApiError::EngineFailure {
+            detail: other.to_string(),
+        },
+    }
+}
+
+/// Recover a lock from poisoning: engines and the registry map hold memoized
+/// state whose invariants hold between any two operations, so a panicked
+/// holder cannot leave them in a state worth propagating to every tenant.
+macro_rules! relock {
+    ($guard:expr) => {
+        $guard.unwrap_or_else(|poisoned| poisoned.into_inner())
+    };
+}
+
+/// Dataset ids → engines, with one shared threshold store across all of them.
+///
+/// ```
+/// use sigfim_core::engine::AnalysisRequest;
+/// use sigfim_service::registry::EngineRegistry;
+/// use sigfim_datasets::transaction::TransactionDataset;
+///
+/// let dataset = TransactionDataset::from_transactions(
+///     3,
+///     vec![vec![0, 1], vec![0, 1, 2], vec![2], vec![0, 1]],
+/// )
+/// .unwrap();
+/// let registry = EngineRegistry::new();
+/// registry.register_dataset("toy", dataset).unwrap();
+/// let response = registry
+///     .analyze("toy", &AnalysisRequest::for_k(2).with_replicates(4))
+///     .unwrap();
+/// assert_eq!(response.runs.len(), 1);
+/// ```
+/// One registered tenant: the engine behind its lock, plus the listing
+/// snapshot captured at registration. Every `EngineInfo` field is immutable
+/// after registration (the registry owns the engine; nothing reconfigures
+/// it), so `engines()` serves the snapshot without touching live engine
+/// locks — a monitoring call never waits behind a long Monte-Carlo run.
+#[derive(Debug)]
+struct Tenant {
+    engine: Arc<Mutex<DynAnalysisEngine>>,
+    info: EngineInfo,
+}
+
+#[derive(Debug, Default)]
+pub struct EngineRegistry {
+    engines: RwLock<HashMap<String, Tenant>>,
+    store: ThresholdStore,
+    analyze_requests: AtomicU64,
+    threshold_requests: AtomicU64,
+}
+
+impl EngineRegistry {
+    /// An empty registry with a fresh, unbounded shared store.
+    pub fn new() -> Self {
+        EngineRegistry::default()
+    }
+
+    /// An empty registry whose shared store is LRU-bounded at `capacity`
+    /// threshold entries.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        EngineRegistry {
+            store: ThresholdStore::with_capacity(capacity),
+            ..EngineRegistry::default()
+        }
+    }
+
+    /// An empty registry sharing an existing store (e.g. with engines that
+    /// live outside the registry).
+    pub fn with_store(store: ThresholdStore) -> Self {
+        EngineRegistry {
+            store,
+            ..EngineRegistry::default()
+        }
+    }
+
+    /// A handle to the shared threshold store.
+    pub fn store(&self) -> ThresholdStore {
+        self.store.clone()
+    }
+
+    /// Register `dataset` under `id` with the paper's Bernoulli null derived
+    /// from it.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InvalidRequest`] when the id is already taken or the
+    /// dataset is rejected (empty).
+    pub fn register_dataset(
+        &self,
+        id: impl Into<String>,
+        dataset: TransactionDataset,
+    ) -> Result<(), ApiError> {
+        let engine = AnalysisEngine::from_dataset_dyn(dataset).map_err(map_core_error)?;
+        self.register_engine(id, engine)
+    }
+
+    /// Register a pre-built engine (any null model, any backend/policy
+    /// configuration) under `id`. The engine is re-pointed at the registry's
+    /// shared threshold store; thresholds it already cached in a private
+    /// store are left behind.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InvalidRequest`] when the id is already taken.
+    pub fn register_engine(
+        &self,
+        id: impl Into<String>,
+        mut engine: DynAnalysisEngine,
+    ) -> Result<(), ApiError> {
+        let id = id.into();
+        engine.set_threshold_store(self.store.clone());
+        use sigfim_datasets::random::NullModel;
+        let info = EngineInfo {
+            id: id.clone(),
+            transactions: engine.model().num_transactions(),
+            items: engine.model().num_items(),
+            has_dataset: engine.dataset().is_some(),
+            backend: engine.backend(),
+            fingerprint: engine.fingerprint(),
+        };
+        let mut engines = relock!(self.engines.write());
+        if engines.contains_key(&id) {
+            return Err(ApiError::InvalidRequest {
+                detail: format!("dataset id `{id}` is already registered"),
+            });
+        }
+        engines.insert(
+            id,
+            Tenant {
+                engine: Arc::new(Mutex::new(engine)),
+                info,
+            },
+        );
+        Ok(())
+    }
+
+    /// Remove the engine registered under `id`, if any. Its thresholds stay
+    /// in the shared store (they are keyed by model fingerprint, not by id).
+    pub fn deregister(&self, id: &str) -> bool {
+        relock!(self.engines.write()).remove(id).is_some()
+    }
+
+    fn engine(&self, id: &str) -> Result<Arc<Mutex<DynAnalysisEngine>>, ApiError> {
+        relock!(self.engines.read())
+            .get(id)
+            .map(|tenant| Arc::clone(&tenant.engine))
+            .ok_or_else(|| ApiError::UnknownDataset {
+                dataset: id.to_string(),
+            })
+    }
+
+    /// Run the full pipeline against the engine registered under `dataset`.
+    /// Holds that engine's lock for the duration of the run; other datasets
+    /// are not blocked.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownDataset`] for an unregistered id,
+    /// [`ApiError::InvalidRequest`] / [`ApiError::EngineFailure`] for
+    /// pipeline rejections and failures.
+    pub fn analyze(
+        &self,
+        dataset: &str,
+        request: &AnalysisRequest,
+    ) -> Result<AnalysisResponse, ApiError> {
+        self.analyze_requests.fetch_add(1, Ordering::Relaxed);
+        let engine = self.engine(dataset)?;
+        let mut engine = relock!(engine.lock());
+        engine.run(request).map_err(map_core_error)
+    }
+
+    /// Run Algorithm 1 alone against an inline null model (dataset-less, the
+    /// shape of the paper's Table 2). The transient engine is attached to the
+    /// shared store, so repeated threshold queries for the same model — from
+    /// any tenant — hit the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InvalidRequest`] for rejected model parameters or
+    /// requests, [`ApiError::EngineFailure`] for Algorithm 1 failures.
+    pub fn thresholds(
+        &self,
+        model: &ModelSpec,
+        request: &AnalysisRequest,
+    ) -> Result<Vec<ThresholdRun>, ApiError> {
+        self.threshold_requests.fetch_add(1, Ordering::Relaxed);
+        let model = model.build()?;
+        let mut engine = AnalysisEngine::from_model(model).with_threshold_store(self.store.clone());
+        engine.thresholds(request).map_err(map_core_error)
+    }
+
+    /// The registered engines, sorted by id. Served from the registration
+    /// snapshots — never blocks behind a running analysis.
+    pub fn engines(&self) -> Vec<EngineInfo> {
+        let engines = relock!(self.engines.read());
+        let mut infos: Vec<EngineInfo> =
+            engines.values().map(|tenant| tenant.info.clone()).collect();
+        infos.sort_by(|a, b| a.id.cmp(&b.id));
+        infos
+    }
+
+    /// Aggregate counters: engines, accepted operations, shared-store stats.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            engines: relock!(self.engines.read()).len(),
+            analyze_requests: self.analyze_requests.load(Ordering::Relaxed),
+            threshold_requests: self.threshold_requests.load(Ordering::Relaxed),
+            threshold_store: self.store.stats(),
+        }
+    }
+
+    /// Dispatch one protocol envelope: version check, then the operation.
+    /// This is the transport-independent entry point — the HTTP layer and
+    /// in-process callers route through the same code, which is what makes
+    /// loopback responses bit-identical to direct calls.
+    pub fn handle(&self, request: &ApiRequest) -> ApiResponse {
+        if let Err(error) = request.validate_version() {
+            return ApiResponse::error(error);
+        }
+        let result = match &request.body {
+            ApiRequestBody::Analyze { dataset, request } => {
+                self.analyze(dataset, request).map(ApiResult::Analysis)
+            }
+            ApiRequestBody::Thresholds { model, request } => {
+                self.thresholds(model, request).map(ApiResult::Thresholds)
+            }
+        };
+        match result {
+            Ok(result) => ApiResponse::ok(result),
+            Err(error) => ApiResponse::error(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sigfim_core::engine::CacheStatus;
+    use sigfim_datasets::random::{BernoulliModel, NullModel};
+
+    fn sample_dataset(seed: u64) -> TransactionDataset {
+        BernoulliModel::new(200, vec![0.1; 12])
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn registration_routing_and_duplicate_rejection() {
+        let registry = EngineRegistry::new();
+        registry.register_dataset("a", sample_dataset(1)).unwrap();
+        registry.register_dataset("b", sample_dataset(2)).unwrap();
+        let duplicate = registry.register_dataset("a", sample_dataset(3));
+        assert_eq!(duplicate.unwrap_err().code(), "invalid_request");
+
+        let infos = registry.engines();
+        assert_eq!(
+            infos.iter().map(|i| i.id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert!(infos.iter().all(|i| i.has_dataset && i.transactions == 200));
+
+        let request = AnalysisRequest::for_k(2).with_replicates(4);
+        assert!(registry.analyze("a", &request).is_ok());
+        let missing = registry.analyze("nope", &request).unwrap_err();
+        assert_eq!(missing.code(), "unknown_dataset");
+
+        assert!(registry.deregister("b"));
+        assert!(!registry.deregister("b"));
+        assert_eq!(registry.engines().len(), 1);
+    }
+
+    #[test]
+    fn cross_tenant_threshold_sharing_through_the_registry() {
+        // Two ids over byte-identical datasets → same Bernoulli fingerprint:
+        // the second tenant's first query is a shared-store hit.
+        let registry = EngineRegistry::new();
+        let dataset = sample_dataset(7);
+        registry.register_dataset("first", dataset.clone()).unwrap();
+        registry.register_dataset("second", dataset).unwrap();
+
+        let request = AnalysisRequest::for_k(2).with_replicates(6);
+        let cold = registry.analyze("first", &request).unwrap();
+        assert_eq!(cold.runs[0].threshold_cache, CacheStatus::Miss);
+        let warm = registry.analyze("second", &request).unwrap();
+        assert_eq!(warm.runs[0].threshold_cache, CacheStatus::Hit);
+        assert_eq!(warm.runs[0].report.threshold, cold.runs[0].report.threshold);
+
+        let stats = registry.stats();
+        assert_eq!(stats.engines, 2);
+        assert_eq!(stats.analyze_requests, 2);
+        assert_eq!(stats.threshold_store.hits, 1);
+        assert_eq!(stats.threshold_store.misses, 1);
+    }
+
+    #[test]
+    fn dataset_less_thresholds_share_the_store_too() {
+        let registry = EngineRegistry::new();
+        let spec = ModelSpec::Bernoulli {
+            transactions: 150,
+            frequencies: vec![0.12; 10],
+        };
+        let request = AnalysisRequest::for_k(2).with_replicates(5);
+        let cold = registry.thresholds(&spec, &request).unwrap();
+        assert_eq!(cold[0].threshold_cache, CacheStatus::Miss);
+        // The transient engine is gone, but its thresholds persist in the
+        // shared store: a repeat — and any registered engine over the same
+        // model — hits.
+        let warm = registry.thresholds(&spec, &request).unwrap();
+        assert_eq!(warm[0].threshold_cache, CacheStatus::Hit);
+        assert_eq!(warm[0].estimate, cold[0].estimate);
+        assert_eq!(registry.stats().threshold_requests, 2);
+
+        let bad = ModelSpec::Bernoulli {
+            transactions: 10,
+            frequencies: vec![2.0],
+        };
+        assert_eq!(
+            registry.thresholds(&bad, &request).unwrap_err().code(),
+            "invalid_request"
+        );
+    }
+
+    #[test]
+    fn handle_dispatches_and_checks_versions() {
+        let registry = EngineRegistry::new();
+        registry.register_dataset("d", sample_dataset(4)).unwrap();
+
+        let ok = registry.handle(&ApiRequest::analyze(
+            "d",
+            AnalysisRequest::for_k(2).with_replicates(4),
+        ));
+        assert_eq!(ok.http_status(), 200);
+        assert!(matches!(ok.result, ApiResult::Analysis(_)));
+
+        let mut stale = ApiRequest::analyze("d", AnalysisRequest::for_k(2));
+        stale.protocol_version = 99;
+        let rejected = registry.handle(&stale);
+        assert_eq!(
+            rejected.as_error().unwrap().code(),
+            "unsupported_protocol_version"
+        );
+
+        // Validation failures surface as invalid_request through handle too.
+        let invalid = registry.handle(&ApiRequest::analyze(
+            "d",
+            AnalysisRequest::for_ks(Vec::<usize>::new()),
+        ));
+        assert_eq!(invalid.as_error().unwrap().code(), "invalid_request");
+    }
+
+    #[test]
+    fn registered_engines_keep_their_model_identity() {
+        // register_engine accepts any dyn engine — here a swap-null one — and
+        // re-points it at the shared store.
+        let registry = EngineRegistry::new();
+        let dataset = sample_dataset(9);
+        let engine = AnalysisEngine::with_swap_null_dyn(dataset.clone(), 2.0).unwrap();
+        let expected_fingerprint = engine.fingerprint();
+        registry.register_engine("swap", engine).unwrap();
+        let info = &registry.engines()[0];
+        assert_eq!(info.fingerprint, expected_fingerprint);
+        let engine_handle = registry.engine("swap").unwrap();
+        assert!(relock!(engine_handle.lock())
+            .threshold_store()
+            .shares_with(&registry.store()));
+        // And it answers requests.
+        let response = registry
+            .analyze("swap", &AnalysisRequest::for_k(2).with_replicates(4))
+            .unwrap();
+        assert_eq!(response.runs.len(), 1);
+        // Sanity: the swap fingerprint differs from the Bernoulli one for the
+        // same dataset.
+        assert_ne!(
+            expected_fingerprint,
+            BernoulliModel::from_dataset(&dataset).fingerprint()
+        );
+    }
+}

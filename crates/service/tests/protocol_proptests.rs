@@ -1,0 +1,255 @@
+//! Property tests for the wire protocol: every envelope and every error
+//! variant must survive a JSON round-trip unchanged — the contract that makes
+//! loopback responses reconstruct exactly what in-process calls return.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sigfim_core::engine::{AnalysisRequest, CacheStats, CacheStatus, LambdaMode, ThresholdRun};
+use sigfim_core::montecarlo::{CurvePoint, ThresholdEstimate};
+use sigfim_datasets::bitmap::DatasetBackend;
+use sigfim_mining::miner::MinerKind;
+use sigfim_service::{
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, ModelSpec,
+    ServiceStats, PROTOCOL_VERSION,
+};
+
+/// A JSON round-trip through the wire format.
+fn round_trip<T: serde::Serialize + serde::Deserialize>(value: &T) -> T {
+    let json = serde_json::to_string(value).expect("serialization is infallible");
+    serde_json::from_str(&json).expect("round-trip parse")
+}
+
+fn miner_from(index: u64) -> MinerKind {
+    match index % 3 {
+        0 => MinerKind::Apriori,
+        1 => MinerKind::Eclat,
+        _ => MinerKind::FpGrowth,
+    }
+}
+
+fn backend_from(index: u64) -> DatasetBackend {
+    match index % 3 {
+        0 => DatasetBackend::Auto,
+        1 => DatasetBackend::Csr,
+        _ => DatasetBackend::Bitmap,
+    }
+}
+
+fn request_from(ks: Vec<usize>, knobs: (f64, f64, f64), flags: u64, seed: u64) -> AnalysisRequest {
+    let (alpha, beta, epsilon) = knobs;
+    AnalysisRequest::for_ks(ks)
+        .with_alpha(alpha)
+        .with_beta(beta)
+        .with_epsilon(epsilon)
+        .with_replicates((flags % 200 + 1) as usize)
+        .with_seed(seed)
+        .with_miner(miner_from(flags))
+        .with_lambda_mode(if flags.is_multiple_of(2) {
+            LambdaMode::Faithful
+        } else {
+            LambdaMode::Conservative
+        })
+        .with_baseline(flags.is_multiple_of(3))
+        .with_max_restarts((flags % 7 + 1) as usize)
+}
+
+/// Every error variant, with payloads derived from the given seeds.
+fn all_error_variants(n: u64, text: &str) -> Vec<ApiError> {
+    vec![
+        ApiError::UnsupportedProtocolVersion {
+            requested: (n % 1000) as u32,
+            supported: PROTOCOL_VERSION,
+        },
+        ApiError::MalformedRequest {
+            detail: format!("malformed-{text}"),
+        },
+        ApiError::UnknownDataset {
+            dataset: format!("dataset-{text}"),
+        },
+        ApiError::InvalidRequest {
+            detail: format!("invalid-{text}"),
+        },
+        ApiError::EngineFailure {
+            detail: format!("failure-{text}"),
+        },
+        ApiError::NotFound {
+            path: format!("/v9/{text}"),
+        },
+        ApiError::MethodNotAllowed {
+            method: if n.is_multiple_of(2) { "PUT" } else { "DELETE" }.into(),
+            path: format!("/v1/{text}"),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analysis_requests_round_trip(
+        ks in vec(1usize..7, 1..5),
+        alpha in 0.001f64..0.5,
+        beta in 0.001f64..0.5,
+        epsilon in 0.0001f64..0.2,
+        flags in 0u64..10_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let request = request_from(ks, (alpha, beta, epsilon), flags, seed);
+        prop_assert_eq!(round_trip(&request), request);
+    }
+
+    #[test]
+    fn analyze_and_threshold_envelopes_round_trip(
+        ks in vec(1usize..7, 1..4),
+        flags in 0u64..10_000,
+        seed in 0u64..u64::MAX,
+        id in 0u64..1_000_000,
+        transactions in 1usize..5_000,
+        frequencies in vec(0.0f64..1.0, 1..12),
+    ) {
+        let request = request_from(ks, (0.05, 0.05, 0.01), flags, seed);
+        let analyze = ApiRequest::analyze(format!("tenant-{id}"), request.clone());
+        prop_assert_eq!(round_trip(&analyze), analyze);
+
+        let thresholds = ApiRequest::thresholds(
+            ModelSpec::Bernoulli { transactions, frequencies },
+            request,
+        );
+        let parsed = round_trip(&thresholds);
+        prop_assert_eq!(parsed, thresholds);
+    }
+
+    #[test]
+    fn error_envelopes_round_trip_with_codes_and_statuses(
+        n in 0u64..1_000_000,
+        text_seed in 0u64..1_000_000,
+    ) {
+        let text = format!("t{text_seed}");
+        let variants = all_error_variants(n, &text);
+        prop_assert_eq!(variants.len(), 7, "update this test when the taxonomy grows");
+        for error in variants {
+            // The error itself round-trips...
+            let json = serde_json::to_string(&error).unwrap();
+            let parsed: ApiError = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&parsed, &error);
+            // ...and so does the full error envelope, preserving status codes.
+            let response = ApiResponse::error(error.clone());
+            let wired = round_trip(&response);
+            prop_assert_eq!(wired.http_status(), error.http_status());
+            prop_assert_eq!(wired.as_error().unwrap().code(), error.code());
+            prop_assert_eq!(wired, response);
+        }
+    }
+
+    #[test]
+    fn result_envelopes_round_trip(
+        k in 1usize..6,
+        s_min in 1u64..10_000,
+        lambda in 0.0f64..50.0,
+        hit in 0u64..2,
+        engines in vec(0u64..1_000, 0..5),
+        counters in vec(0u64..1_000_000, 6),
+    ) {
+        // Thresholds result with a synthetic (finite-float) estimate.
+        let estimate = ThresholdEstimate {
+            k,
+            epsilon: 0.01,
+            replicates: 32,
+            s_tilde: s_min.saturating_sub(1).max(1),
+            s_min,
+            pool_size: 7,
+            curve: vec![CurvePoint { s: s_min, b1: 0.001, b2: 0.0005, lambda }],
+        };
+        let runs = vec![ThresholdRun {
+            k,
+            threshold_cache: if hit == 0 { CacheStatus::Miss } else { CacheStatus::Hit },
+            estimate,
+        }];
+        let response = ApiResponse::ok(ApiResult::Thresholds(runs));
+        prop_assert_eq!(round_trip(&response), response);
+
+        // Engine listing.
+        let infos: Vec<EngineInfo> = engines
+            .iter()
+            .enumerate()
+            .map(|(i, &fp)| EngineInfo {
+                id: format!("engine-{i}"),
+                transactions: (fp % 500 + 1) as usize,
+                items: (fp % 60 + 1) as usize,
+                has_dataset: fp.is_multiple_of(2),
+                backend: backend_from(fp),
+                fingerprint: fp.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            })
+            .collect();
+        let response = ApiResponse::ok(ApiResult::Engines(infos));
+        prop_assert_eq!(round_trip(&response), response);
+
+        // Service stats (including the cache counters the acceptance criteria
+        // inspect: evictions and capacity).
+        let stats = ServiceStats {
+            engines: counters[0] as usize,
+            analyze_requests: counters[1],
+            threshold_requests: counters[2],
+            threshold_store: CacheStats {
+                hits: counters[3],
+                misses: counters[4],
+                entries: counters[5] as usize,
+                evictions: counters[1] / 2,
+                capacity: if counters[2].is_multiple_of(2) {
+                    None
+                } else {
+                    Some(counters[2] as usize)
+                },
+            },
+        };
+        let response = ApiResponse::ok(ApiResult::Stats(stats));
+        prop_assert_eq!(round_trip(&response), response);
+
+        // Health.
+        let health = ApiResponse::ok(ApiResult::Health);
+        prop_assert_eq!(round_trip(&health), health);
+    }
+}
+
+#[test]
+fn analysis_result_envelopes_round_trip_a_real_response() {
+    // A real engine response (reports, curves, itemsets and all) survives the
+    // wire unchanged — the typed backbone of the loopback bit-identity test.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sigfim_core::engine::AnalysisEngine;
+    use sigfim_datasets::random::BernoulliModel;
+
+    let dataset = BernoulliModel::new(150, vec![0.15; 8])
+        .unwrap()
+        .sample(&mut StdRng::seed_from_u64(5));
+    let mut engine = AnalysisEngine::from_dataset(dataset).unwrap();
+    let response = engine
+        .run(&AnalysisRequest::for_k_range(2..=3).with_replicates(6))
+        .unwrap();
+    let envelope = ApiResponse::ok(ApiResult::Analysis(response));
+    let parsed: ApiResponse =
+        serde_json::from_str(&serde_json::to_string(&envelope).unwrap()).unwrap();
+    assert_eq!(parsed, envelope);
+}
+
+#[test]
+fn request_body_accessors_cover_both_kinds() {
+    let analyze = ApiRequest::analyze("d", AnalysisRequest::for_k(2));
+    assert!(matches!(analyze.body, ApiRequestBody::Analyze { .. }));
+    let thresholds = ApiRequest::thresholds(
+        ModelSpec::Bernoulli {
+            transactions: 10,
+            frequencies: vec![0.5],
+        },
+        AnalysisRequest::for_k(2),
+    );
+    assert!(matches!(thresholds.body, ApiRequestBody::Thresholds { .. }));
+    // Unknown kinds and missing fields are parse errors, not panics.
+    assert!(
+        serde_json::from_str::<ApiRequest>("{\"protocol_version\":1,\"kind\":\"zap\"}").is_err()
+    );
+    assert!(serde_json::from_str::<ApiRequest>("{\"kind\":\"analyze\"}").is_err());
+    assert!(serde_json::from_str::<ApiError>("{\"code\":\"mystery\"}").is_err());
+}

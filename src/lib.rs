@@ -12,7 +12,7 @@
 //! random dataset (same size, same item frequencies, no correlations) would produce,
 //! and bounds the false discovery rate of the returned family.
 //!
-//! This is the facade crate: it re-exports the four workspace crates that make up
+//! This is the facade crate: it re-exports the workspace crates that make up
 //! the system.
 //!
 //! | crate | contents |
@@ -20,7 +20,8 @@
 //! | [`stats`] | special functions, Binomial/Poisson/Normal/Hypergeometric distributions, multiple-testing corrections |
 //! | [`datasets`] | transaction storage, FIMI I/O, the paper's random null model, planted/Quest/swap generators, Table-1 benchmark stand-ins |
 //! | [`mining`] | Apriori, Eclat, FP-Growth, closed itemsets, support counting |
-//! | [`core`] | Chen–Stein bounds, Algorithm 1 (FindPoissonThreshold), Procedures 1 and 2, the high-level [`SignificanceAnalyzer`] |
+//! | [`core`] | Chen–Stein bounds, Algorithm 1 (FindPoissonThreshold), Procedures 1 and 2, the session-oriented [`AnalysisEngine`] and the one-shot [`SignificanceAnalyzer`] |
+//! | [`service`] | the multi-tenant HTTP/JSON front-end: engine registry, versioned wire protocol, shared threshold store (`sigfim serve`) |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@
 pub use sigfim_core as core;
 pub use sigfim_datasets as datasets;
 pub use sigfim_mining as mining;
+pub use sigfim_service as service;
 pub use sigfim_stats as stats;
 
 pub use sigfim_core::{AnalysisEngine, AnalysisReport, AnalysisRequest, SignificanceAnalyzer};
@@ -61,8 +63,8 @@ pub use sigfim_core::{AnalysisEngine, AnalysisReport, AnalysisRequest, Significa
 pub mod prelude {
     pub use sigfim_core::analyzer::SignificanceAnalyzer;
     pub use sigfim_core::engine::{
-        AnalysisEngine, AnalysisRequest, AnalysisResponse, AnalysisStage, CacheStatus, LambdaMode,
-        ProgressObserver,
+        AnalysisEngine, AnalysisRequest, AnalysisResponse, AnalysisStage, CacheStatus,
+        DynAnalysisEngine, LambdaMode, ProgressObserver, ThresholdStore,
     };
     pub use sigfim_core::lambda::{ExactLambda, LambdaEstimator};
     pub use sigfim_core::montecarlo::FindPoissonThreshold;

@@ -5,7 +5,12 @@
 //!        [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>]
 //!        [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap]
 //!        [--max-restarts <n>] [--swap-null [<swaps-per-entry>]]
-//!        [--conservative-lambda] [--no-baseline] [--list <n>]
+//!        [--cache-capacity <n>] [--conservative-lambda] [--no-baseline]
+//!        [--list <n>]
+//!
+//! sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]
+//!        [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap]
+//!        [--swap-null [<swaps-per-entry>]]
 //! ```
 //!
 //! The dataset must be in the FIMI `.dat` format (one whitespace-separated
@@ -21,14 +26,25 @@
 //! multi-k batch** on the engine, which builds the dataset view once and serves
 //! repeated thresholds from its cache. The exit code is 0 if the analysis ran,
 //! regardless of whether any significant itemsets were found.
+//!
+//! `sigfim serve` registers each dataset as a tenant of a multi-tenant
+//! HTTP/JSON service (one dyn-erased engine per dataset, one shared
+//! LRU-bounded threshold store across all of them) and serves
+//! `POST /v1/analyze`, `POST /v1/thresholds`, `GET /v1/engines`,
+//! `GET /v1/stats` and `GET /healthz` until killed.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use sigfim::core::engine::DEFAULT_SEED;
 use sigfim::datasets::bitmap::DatasetBackend;
 use sigfim::datasets::fimi::read_fimi_file;
 use sigfim::mining::miner::MinerKind;
-use sigfim::prelude::{AnalysisEngine, AnalysisRequest, CacheStatus, DatasetSummary, LambdaMode};
+use sigfim::prelude::{
+    AnalysisEngine, AnalysisRequest, CacheStatus, DatasetSummary, DynAnalysisEngine, LambdaMode,
+};
+use sigfim::service::http::{serve, ServerConfig};
+use sigfim::service::EngineRegistry;
 
 #[derive(Debug)]
 struct CliOptions {
@@ -49,6 +65,9 @@ struct CliOptions {
     threads: usize,
     max_restarts: usize,
     swap_null: Option<f64>,
+    /// LRU bound on the engine's threshold cache (None = unbounded; mostly
+    /// relevant for scripted multi-invocation loops and the serve mode).
+    cache_capacity: Option<usize>,
     conservative_lambda: bool,
     baseline: bool,
     list: usize,
@@ -57,12 +76,21 @@ struct CliOptions {
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] \
     [--beta <b>] [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
     [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap] [--max-restarts <n>] \
-    [--swap-null [<swaps-per-entry>]] [--conservative-lambda] [--no-baseline] [--list <n>]\n\
+    [--swap-null [<swaps-per-entry>]] [--cache-capacity <n>] [--conservative-lambda] \
+    [--no-baseline] [--list <n>]\n\
+    \n\
+    sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]\n\
+    \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap]\n\
+    \x20       [--swap-null [<swaps-per-entry>]]\n\
     \n\
     --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
     range (2..5 == 2..=5) that runs as one cached multi-k batch.\n\
     --seed defaults to the library default 0x51F1D009, so the CLI, the engine\n\
-    API and the SignificanceAnalyzer all reproduce each other bit for bit.";
+    API and the SignificanceAnalyzer all reproduce each other bit for bit.\n\
+    `serve` starts the multi-tenant HTTP/JSON front-end: one engine per\n\
+    dataset, one shared LRU threshold store (--cache-capacity bounds it),\n\
+    endpoints POST /v1/analyze, POST /v1/thresholds, GET /v1/engines,\n\
+    GET /v1/stats, GET /healthz.";
 
 /// Parse a `--k` specification: `3`, `2,3,4`, `2..5` or `2..=5` (both
 /// range forms are inclusive of the upper bound).
@@ -100,6 +128,7 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
         threads: 0,
         max_restarts: 4,
         swap_null: None,
+        cache_capacity: None,
         conservative_lambda: false,
         baseline: true,
         list: 25,
@@ -119,6 +148,9 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
             "--threads" => options.threads = parse_value(&mut args, "--threads")?,
             "--seed" => options.seed = parse_value(&mut args, "--seed")?,
             "--max-restarts" => options.max_restarts = parse_value(&mut args, "--max-restarts")?,
+            "--cache-capacity" => {
+                options.cache_capacity = Some(parse_value(&mut args, "--cache-capacity")?)
+            }
             "--list" => options.list = parse_value(&mut args, "--list")?,
             "--no-baseline" => options.baseline = false,
             "--conservative-lambda" => options.conservative_lambda = true,
@@ -190,8 +222,145 @@ fn request_from(options: &CliOptions) -> AnalysisRequest {
         .with_max_restarts(options.max_restarts)
 }
 
+/// Options of the `sigfim serve` subcommand.
+#[derive(Debug)]
+struct ServeOptions {
+    /// `(id, path)` dataset registrations; the id defaults to the file stem.
+    datasets: Vec<(String, String)>,
+    addr: String,
+    /// Connection worker threads (0 = one per core, the ExecutionPolicy
+    /// thread-accounting convention).
+    workers: usize,
+    /// LRU bound of the shared threshold store (None = unbounded).
+    cache_capacity: Option<usize>,
+    /// Monte-Carlo worker threads per engine.
+    threads: usize,
+    backend: DatasetBackend,
+    swap_null: Option<f64>,
+}
+
+/// Split a `id=path` registration spec; a bare path registers under its file
+/// stem (`data/retail.dat` → `retail`).
+fn parse_dataset_spec(spec: &str) -> Result<(String, String), String> {
+    if let Some((id, path)) = spec.split_once('=') {
+        if id.is_empty() || path.is_empty() {
+            return Err(format!("serve: malformed dataset spec `{spec}`"));
+        }
+        return Ok((id.to_string(), path.to_string()));
+    }
+    let stem = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|stem| stem.to_str())
+        .filter(|stem| !stem.is_empty())
+        .ok_or_else(|| format!("serve: cannot derive a dataset id from `{spec}`"))?;
+    Ok((stem.to_string(), spec.to_string()))
+}
+
+fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptions, String> {
+    let mut options = ServeOptions {
+        datasets: Vec::new(),
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 0,
+        cache_capacity: None,
+        threads: 0,
+        backend: DatasetBackend::Auto,
+        swap_null: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--addr" => options.addr = args.next().ok_or("--addr requires a value")?,
+            "--workers" => options.workers = parse_value(&mut args, "--workers")?,
+            "--cache-capacity" => {
+                options.cache_capacity = Some(parse_value(&mut args, "--cache-capacity")?)
+            }
+            "--threads" => options.threads = parse_value(&mut args, "--threads")?,
+            "--backend" => {
+                let name = args.next().ok_or("--backend requires a value")?;
+                options.backend = name.parse::<DatasetBackend>()?;
+            }
+            "--swap-null" => {
+                let swaps = match args.peek() {
+                    Some(next) if !next.starts_with("--") && next.parse::<f64>().is_ok() => {
+                        let parsed = next.parse::<f64>().expect("checked above");
+                        args.next();
+                        parsed
+                    }
+                    _ => 3.0,
+                };
+                options.swap_null = Some(swaps);
+            }
+            spec if !spec.starts_with("--") => options.datasets.push(parse_dataset_spec(spec)?),
+            other => return Err(format!("serve: unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if options.datasets.is_empty() {
+        return Err(format!("serve: at least one dataset is required\n{USAGE}"));
+    }
+    Ok(options)
+}
+
+/// Run the service front-end until killed.
+fn serve_main(options: &ServeOptions) -> Result<(), String> {
+    let registry = match options.cache_capacity {
+        Some(capacity) => EngineRegistry::with_cache_capacity(capacity),
+        None => EngineRegistry::new(),
+    };
+    for (id, path) in &options.datasets {
+        let labeled =
+            read_fimi_file(path).map_err(|error| format!("cannot read `{path}`: {error}"))?;
+        let dataset = labeled.dataset;
+        let summary = DatasetSummary::from_dataset(&dataset);
+        let engine: DynAnalysisEngine = match options.swap_null {
+            Some(swaps) => AnalysisEngine::with_swap_null_dyn(dataset, swaps),
+            None => AnalysisEngine::from_dataset_dyn(dataset),
+        }
+        .map_err(|error| format!("cannot build an engine for `{id}`: {error}"))?
+        .with_backend(options.backend)
+        .with_threads(options.threads);
+        registry
+            .register_engine(id.clone(), engine)
+            .map_err(|error| format!("cannot register `{id}`: {error}"))?;
+        println!(
+            "registered `{id}`: {} transactions, {} items, avg length {:.2}",
+            summary.num_transactions, summary.num_items, summary.avg_transaction_len
+        );
+    }
+
+    let server = serve(
+        Arc::new(registry),
+        &ServerConfig {
+            addr: options.addr.clone(),
+            workers: options.workers,
+        },
+    )
+    .map_err(|error| format!("cannot bind `{}`: {error}", options.addr))?;
+    println!("sigfim service listening on http://{}", server.addr());
+    println!("  POST /v1/analyze     {{protocol_version, kind: \"analyze\", dataset, request}}");
+    println!("  POST /v1/thresholds  {{protocol_version, kind: \"thresholds\", model, request}}");
+    println!("  GET  /v1/engines | /v1/stats | /healthz");
+    server.join();
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let options = match parse_options(std::env::args()) {
+    let mut args = std::env::args();
+    let _program = args.next();
+    let mut args = args.peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        let result = parse_serve_options(args).and_then(|options| serve_main(&options));
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let options = match parse_options(std::iter::once("sigfim".to_string()).chain(args)) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("{message}");
@@ -214,25 +383,24 @@ fn main() -> ExitCode {
     // One engine per invocation: the dataset view is built once and shared by
     // every k of the sweep, and the threshold cache collapses duplicate keys.
     let request = request_from(&options);
-    let response = match options.swap_null {
-        Some(swaps) => AnalysisEngine::with_swap_null(dataset.clone(), swaps)
-            .map_err(|e| format!("cannot build the swap-randomization null model: {e}"))
-            .and_then(|engine| {
-                engine
-                    .with_backend(options.backend)
-                    .with_threads(options.threads)
-                    .run(&request)
-                    .map_err(|e| format!("analysis failed: {e}"))
-            }),
-        None => AnalysisEngine::from_dataset(dataset.clone())
+    let configure = |mut engine: DynAnalysisEngine| {
+        engine = engine
+            .with_backend(options.backend)
+            .with_threads(options.threads);
+        if let Some(capacity) = options.cache_capacity {
+            engine = engine.with_cache_capacity(capacity);
+        }
+        engine
+            .run(&request)
             .map_err(|e| format!("analysis failed: {e}"))
-            .and_then(|engine| {
-                engine
-                    .with_backend(options.backend)
-                    .with_threads(options.threads)
-                    .run(&request)
-                    .map_err(|e| format!("analysis failed: {e}"))
-            }),
+    };
+    let response = match options.swap_null {
+        Some(swaps) => AnalysisEngine::with_swap_null_dyn(dataset.clone(), swaps)
+            .map_err(|e| format!("cannot build the swap-randomization null model: {e}"))
+            .and_then(configure),
+        None => AnalysisEngine::from_dataset_dyn(dataset.clone())
+            .map_err(|e| format!("analysis failed: {e}"))
+            .and_then(configure),
     };
     let response = match response {
         Ok(response) => response,
@@ -342,5 +510,76 @@ mod tests {
     fn usage_documents_the_default_seed() {
         assert!(USAGE.contains("0x51F1D009"));
         assert!(parse(&["--help"]).unwrap_err().contains("0x51F1D009"));
+    }
+
+    #[test]
+    fn cache_capacity_flag_is_parsed() {
+        assert_eq!(parse(&["data.dat"]).unwrap().cache_capacity, None);
+        let options = parse(&["data.dat", "--cache-capacity", "64"]).unwrap();
+        assert_eq!(options.cache_capacity, Some(64));
+        assert!(parse(&["data.dat", "--cache-capacity", "lots"]).is_err());
+    }
+
+    fn parse_serve(args: &[&str]) -> Result<ServeOptions, String> {
+        parse_serve_options(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn dataset_specs_split_ids_and_paths() {
+        assert_eq!(
+            parse_dataset_spec("retail=data/retail.dat").unwrap(),
+            ("retail".into(), "data/retail.dat".into())
+        );
+        assert_eq!(
+            parse_dataset_spec("data/retail.dat").unwrap(),
+            ("retail".into(), "data/retail.dat".into())
+        );
+        assert!(parse_dataset_spec("=x.dat").is_err());
+        assert!(parse_dataset_spec("name=").is_err());
+    }
+
+    #[test]
+    fn serve_options_parse_and_validate() {
+        let options = parse_serve(&[
+            "a=one.dat",
+            "two.dat",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--cache-capacity",
+            "256",
+            "--threads",
+            "2",
+            "--backend",
+            "bitmap",
+        ])
+        .unwrap();
+        assert_eq!(
+            options.datasets,
+            vec![
+                ("a".to_string(), "one.dat".to_string()),
+                ("two".to_string(), "two.dat".to_string())
+            ]
+        );
+        assert_eq!(options.addr, "0.0.0.0:9000");
+        assert_eq!(options.workers, 8);
+        assert_eq!(options.cache_capacity, Some(256));
+        assert_eq!(options.threads, 2);
+        assert_eq!(options.backend, DatasetBackend::Bitmap);
+        assert_eq!(options.swap_null, None);
+
+        // Defaults, the optional swap-null argument, and failure modes.
+        let defaults = parse_serve(&["x.dat"]).unwrap();
+        assert_eq!(defaults.addr, "127.0.0.1:7878");
+        assert_eq!(defaults.workers, 0);
+        assert_eq!(defaults.cache_capacity, None);
+        let swap = parse_serve(&["x.dat", "--swap-null", "2.5"]).unwrap();
+        assert_eq!(swap.swap_null, Some(2.5));
+        let swap_default = parse_serve(&["--swap-null", "x.dat"]).unwrap();
+        assert_eq!(swap_default.swap_null, Some(3.0));
+        assert!(parse_serve(&[]).is_err());
+        assert!(parse_serve(&["x.dat", "--nope"]).is_err());
+        assert!(parse_serve(&["--help"]).unwrap_err().contains("serve"));
     }
 }
