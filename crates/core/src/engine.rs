@@ -62,6 +62,7 @@ use serde::{Deserialize, Serialize};
 
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::random::{BernoulliModel, BoxedNullModel, NullModel, SwapRandomizationModel};
+use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::summary::DatasetSummary;
 use sigfim_datasets::transaction::TransactionDataset;
 use sigfim_exec::{BatchObserver, ExecutionPolicy};
@@ -369,6 +370,11 @@ impl BatchObserver for ReplicateProgress<'_> {
 ///
 /// The tuple extends the `(fingerprint, k, ε, Δ, seed, backend)` key of the
 /// service design with the restart budget, which also shapes the estimate.
+/// The backend slot stores the *replicate-path* backend
+/// ([`replicate_path_backend`]): `Auto` is resolved against the model and
+/// `Sharded` rides exactly the scratch-bitmap replicate loop `Bitmap` does,
+/// so tenants whose configured names differ but whose replicate loops are
+/// the same code path share entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ThresholdKey {
     fingerprint: u64,
@@ -379,6 +385,26 @@ struct ThresholdKey {
     seed: u64,
     backend: DatasetBackend,
     max_restarts: usize,
+}
+
+/// Normalize a configured backend to the replicate path it drives in
+/// [`FindPoissonThreshold`] for `model`: resolve exactly as
+/// `collect_observations` does (`Auto` via the model's shape and expected
+/// density), then collapse `ShardedBitmap` onto `Bitmap` — sharding applies
+/// to Procedure 2's counting passes, not to Algorithm 1, whose loop treats
+/// the two identically (see `montecarlo.rs`). Engines whose configured names
+/// differ but whose replicate loops are the same code path therefore share
+/// threshold-cache entries instead of recomputing per name.
+fn replicate_path_backend<M: NullModel>(backend: DatasetBackend, model: &M) -> DatasetBackend {
+    let resolved = backend.resolve(
+        model.num_items() as u32,
+        model.num_transactions(),
+        model.expected_density(),
+    );
+    match resolved {
+        ResolvedBackend::Csr => DatasetBackend::Csr,
+        ResolvedBackend::Bitmap | ResolvedBackend::ShardedBitmap => DatasetBackend::Bitmap,
+    }
 }
 
 /// Aggregate counters of a [`ThresholdCache`].
@@ -396,13 +422,135 @@ pub struct CacheStats {
     pub capacity: Option<usize>,
 }
 
-/// One cached Algorithm 1 result together with its recency stamp.
+/// One cached value together with its recency stamp.
 #[derive(Debug, Clone)]
-struct CachedThreshold {
-    estimate: ThresholdEstimate,
+struct LruEntry<V> {
+    value: V,
     /// Logical clock value of the last hit or insertion; the entry with the
     /// smallest stamp is the least recently used.
     last_used: u64,
+}
+
+/// The LRU memo shared by the engine's two caches ([`ThresholdCache`] and the
+/// per-engine `SupportProfile` cache): a hash map with a logical recency
+/// clock, an optional capacity bound enforced by least-recently-used
+/// eviction, and hit/miss/eviction counters surfaced as [`CacheStats`].
+#[derive(Debug, Clone)]
+struct LruCache<K, V> {
+    entries: HashMap<K, LruEntry<V>>,
+    capacity: Option<usize>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K, V> Default for LruCache<K, V> {
+    fn default() -> Self {
+        LruCache {
+            entries: HashMap::new(),
+            capacity: None,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl<K: Eq + std::hash::Hash + Copy, V: Clone> LruCache<K, V> {
+    /// An empty cache bounded at `capacity` entries (0 disables caching
+    /// entirely: every insert is immediately discarded).
+    fn with_capacity(capacity: usize) -> Self {
+        LruCache {
+            capacity: Some(capacity),
+            ..LruCache::default()
+        }
+    }
+
+    /// Look up a key, recording a hit or miss (and, on a hit, refreshing the
+    /// entry's recency).
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == Some(0) {
+            return;
+        }
+        self.clock += 1;
+        if let Some(capacity) = self.capacity {
+            // Evict least-recently-used entries until the new key fits. The
+            // linear minimum scan is fine at service cache sizes (hundreds of
+            // entries guarding expensive mining or Monte-Carlo passes).
+            while !self.entries.contains_key(&key) && self.entries.len() >= capacity {
+                self.evict_lru();
+            }
+        }
+        self.entries.insert(
+            key,
+            LruEntry {
+                value,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    fn evict_lru(&mut self) {
+        let lru = self
+            .entries
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(key, _)| *key)
+            .expect("a non-empty cache has a least-recently-used entry");
+        self.entries.remove(&lru);
+        self.evictions += 1;
+    }
+
+    /// Change the capacity bound (`None` = unbounded). Shrinking below the
+    /// current size evicts least-recently-used entries immediately.
+    fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        if let Some(capacity) = capacity {
+            while self.entries.len() > capacity {
+                self.evict_lru();
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            evictions: self.evictions,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every entry and reset the counters (the capacity bound persists).
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+        self.clock = 0;
+    }
 }
 
 /// Memo of Algorithm 1 results keyed by the full run identity (see
@@ -420,12 +568,7 @@ struct CachedThreshold {
 /// through [`AnalysisEngine::cache_stats`] or [`ThresholdStore::stats`].
 #[derive(Debug, Clone, Default)]
 pub struct ThresholdCache {
-    entries: HashMap<ThresholdKey, CachedThreshold>,
-    capacity: Option<usize>,
-    clock: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    inner: LruCache<ThresholdKey, ThresholdEstimate>,
 }
 
 impl ThresholdCache {
@@ -433,108 +576,47 @@ impl ThresholdCache {
     /// entirely: every insert is immediately discarded).
     pub fn with_capacity(capacity: usize) -> Self {
         ThresholdCache {
-            capacity: Some(capacity),
-            ..ThresholdCache::default()
+            inner: LruCache::with_capacity(capacity),
         }
     }
 
-    /// Look up a key, recording a hit or miss (and, on a hit, refreshing the
-    /// entry's recency).
     fn get(&mut self, key: &ThresholdKey) -> Option<ThresholdEstimate> {
-        self.clock += 1;
-        match self.entries.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = self.clock;
-                self.hits += 1;
-                Some(entry.estimate.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.inner.get(key)
     }
 
     fn insert(&mut self, key: ThresholdKey, estimate: ThresholdEstimate) {
-        if self.capacity == Some(0) {
-            return;
-        }
-        self.clock += 1;
-        if let Some(capacity) = self.capacity {
-            // Evict least-recently-used entries until the new key fits. The
-            // linear minimum scan is fine at service cache sizes (hundreds of
-            // entries guarding multi-second Monte-Carlo runs).
-            while !self.entries.contains_key(&key) && self.entries.len() >= capacity {
-                let lru = self
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, entry)| entry.last_used)
-                    .map(|(key, _)| *key)
-                    .expect("a full cache has a least-recently-used entry");
-                self.entries.remove(&lru);
-                self.evictions += 1;
-            }
-        }
-        self.entries.insert(
-            key,
-            CachedThreshold {
-                estimate,
-                last_used: self.clock,
-            },
-        );
+        self.inner.insert(key, estimate);
     }
 
     /// Change the capacity bound (`None` = unbounded). Shrinking below the
     /// current size evicts least-recently-used entries immediately.
     pub fn set_capacity(&mut self, capacity: Option<usize>) {
-        self.capacity = capacity;
-        if let Some(capacity) = capacity {
-            while self.entries.len() > capacity {
-                let lru = self
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, entry)| entry.last_used)
-                    .map(|(key, _)| *key)
-                    .expect("non-empty cache has a least-recently-used entry");
-                self.entries.remove(&lru);
-                self.evictions += 1;
-            }
-        }
+        self.inner.set_capacity(capacity);
     }
 
     /// The configured capacity bound (`None` = unbounded).
     pub fn capacity(&self) -> Option<usize> {
-        self.capacity
+        self.inner.capacity
     }
 
     /// Number of distinct threshold keys stored.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.inner.len()
     }
 
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.inner.len() == 0
     }
 
     /// Hit/miss/entry/eviction counters since construction (or the last clear).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            entries: self.entries.len(),
-            evictions: self.evictions,
-            capacity: self.capacity,
-        }
+        self.inner.stats()
     }
 
     /// Drop every entry and reset the counters (the capacity bound persists).
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.hits = 0;
-        self.misses = 0;
-        self.evictions = 0;
-        self.clock = 0;
+        self.inner.clear();
     }
 }
 
@@ -642,13 +724,32 @@ pub struct AnalysisEngine<M: NullModel + Sync = BernoulliModel> {
     /// The bitmap view of `dataset`, built once whenever `backend` resolves to
     /// the bitmap for it; shared by every Procedure 2 pass.
     bitmap: Option<BitmapDataset>,
+    /// The transaction-sharded bitmap view, built once whenever `backend`
+    /// resolves to [`ResolvedBackend::ShardedBitmap`]; Procedure 2's counting
+    /// passes fan it out shard-by-shard under the engine's execution policy.
+    sharded: Option<ShardedBitmapDataset>,
     /// Handle to the threshold cache — private by default, shareable across
     /// engines for cross-tenant reuse.
     store: ThresholdStore,
     /// Floor profiles by `(k, s_min, miner)`: a request that re-tests the same
     /// threshold with different `α`/`β` budgets skips the mining pass too.
-    profiles: HashMap<(usize, u64, MinerKind), SupportProfile>,
+    /// LRU-bounded at [`DEFAULT_PROFILE_CACHE_CAPACITY`] by default — profiles
+    /// are much larger than threshold estimates, so unlike the threshold
+    /// cache this one ships bounded (see
+    /// [`AnalysisEngine::with_profile_cache_capacity`]). Values are
+    /// `Arc`-wrapped so a cache hit hands back a pointer, never a deep copy
+    /// of the support list.
+    profiles: LruCache<ProfileKey, Arc<SupportProfile>>,
 }
+
+/// The identity of one cached floor profile: `(k, s_min, miner)`.
+type ProfileKey = (usize, u64, MinerKind);
+
+/// The default bound of the per-engine `SupportProfile` cache. A profile
+/// holds every k-itemset support above its floor — potentially megabytes on
+/// dense data — so engines cap the cache by default; 32 entries comfortably
+/// cover a k-sweep times a few distinct floors.
+pub const DEFAULT_PROFILE_CACHE_CAPACITY: usize = 32;
 
 /// The dyn-erased engine: the concrete null-model type is boxed away, so
 /// engines over *different* models (Bernoulli, swap, custom) share one type —
@@ -750,6 +851,7 @@ impl<M: NullModel + Send + Sync + 'static> AnalysisEngine<M> {
             backend: self.backend,
             policy: self.policy,
             bitmap: self.bitmap,
+            sharded: self.sharded,
             store: self.store,
             profiles: self.profiles,
         }
@@ -788,8 +890,9 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
             backend: DatasetBackend::Auto,
             policy: ExecutionPolicy::default(),
             bitmap: None,
+            sharded: None,
             store: ThresholdStore::new(),
-            profiles: HashMap::new(),
+            profiles: LruCache::with_capacity(DEFAULT_PROFILE_CACHE_CAPACITY),
         }
     }
 
@@ -818,6 +921,16 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
     /// engine.
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
         self.store.set_capacity(Some(capacity));
+        self
+    }
+
+    /// Bound this engine's `(k, s_min, miner)` → `SupportProfile` cache at
+    /// `capacity` entries (LRU eviction; 0 disables profile caching). The
+    /// profile cache is per-engine — unlike thresholds, profiles are tied to
+    /// the engine's own dataset and never shared across tenants. Defaults to
+    /// [`DEFAULT_PROFILE_CACHE_CAPACITY`].
+    pub fn with_profile_cache_capacity(mut self, capacity: usize) -> Self {
+        self.profiles.set_capacity(Some(capacity));
         self
     }
 
@@ -875,6 +988,12 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
         self.store.stats()
     }
 
+    /// Hit/miss/entry/eviction counters of this engine's `SupportProfile`
+    /// cache (per-engine, never shared).
+    pub fn profile_cache_stats(&self) -> CacheStats {
+        self.profiles.stats()
+    }
+
     /// Drop every cached threshold and profile (e.g. after mutating shared
     /// state the keys cannot see). On a shared store this clears the
     /// thresholds of every attached engine.
@@ -927,18 +1046,23 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
 
             observer.stage_started(k, AnalysisStage::Procedure2);
             let profile_key = (k, estimate.s_min, request.miner);
-            if !self.profiles.contains_key(&profile_key) {
-                let dataset = self.dataset.as_ref().expect("checked above");
-                let profile = Procedure2::mine_profile(
-                    request.miner,
-                    dataset,
-                    self.bitmap.as_ref(),
-                    k,
-                    estimate.s_min,
-                )?;
-                self.profiles.insert(profile_key, profile);
-            }
-            let profile = &self.profiles[&profile_key];
+            let profile = match self.profiles.get(&profile_key) {
+                Some(profile) => profile,
+                None => {
+                    let dataset = self.dataset.as_ref().expect("checked above");
+                    let profile = Arc::new(Procedure2::mine_profile(
+                        request.miner,
+                        dataset,
+                        self.bitmap.as_ref(),
+                        self.sharded.as_ref(),
+                        k,
+                        estimate.s_min,
+                        self.policy,
+                    )?);
+                    self.profiles.insert(profile_key, Arc::clone(&profile));
+                    profile
+                }
+            };
             let dataset = self.dataset.as_ref().expect("checked above");
             let procedure2 = Procedure2 {
                 k,
@@ -946,11 +1070,13 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
                 beta: request.beta,
                 miner: request.miner,
                 backend: self.backend,
+                policy: self.policy,
             }
             .run_prepared(
                 dataset,
                 self.bitmap.as_ref(),
-                profile,
+                self.sharded.as_ref(),
+                &profile,
                 estimate.s_min,
                 &lambda,
             )?;
@@ -1049,7 +1175,7 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
             epsilon_bits: request.epsilon.to_bits(),
             replicates: request.replicates,
             seed: request.seed,
-            backend: self.backend,
+            backend: replicate_path_backend(self.backend, &self.model),
             max_restarts: request.max_restarts,
         };
         if let Some(estimate) = self.store.get(&key) {
@@ -1075,17 +1201,20 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
     }
 
     /// Rebuild the owned dataset views after a dataset/backend change: the
-    /// bitmap is built once here and shared by every subsequent Procedure 2
-    /// pass (and k-sweep), instead of once per call.
+    /// bitmap (or sharded bitmap) is built once here and shared by every
+    /// subsequent Procedure 2 pass (and k-sweep), instead of once per call.
     fn rebuild_views(&mut self) {
-        self.bitmap = match &self.dataset {
-            Some(dataset)
-                if self.backend.resolve_for_dataset(dataset) == ResolvedBackend::Bitmap =>
-            {
-                Some(BitmapDataset::from_dataset(dataset))
+        self.bitmap = None;
+        self.sharded = None;
+        if let Some(dataset) = &self.dataset {
+            match self.backend.resolve_for_dataset(dataset) {
+                ResolvedBackend::Csr => {}
+                ResolvedBackend::Bitmap => self.bitmap = Some(BitmapDataset::from_dataset(dataset)),
+                ResolvedBackend::ShardedBitmap => {
+                    self.sharded = Some(ShardedBitmapDataset::from_dataset(dataset));
+                }
             }
-            _ => None,
-        };
+        }
     }
 }
 
@@ -1195,8 +1324,89 @@ mod tests {
             loose.runs[0].report.threshold
         );
         // The engine holds one profile (shared) and one threshold entry.
-        assert_eq!(engine.profiles.len(), 1);
+        let profile_stats = engine.profile_cache_stats();
+        assert_eq!(profile_stats.entries, 1);
+        assert_eq!(profile_stats.misses, 1, "first run mined the profile");
+        assert_eq!(profile_stats.hits, 1, "second run reused it");
         assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn sharded_and_bitmap_backends_share_threshold_entries() {
+        // Sharded drives the identical scratch-bitmap replicate loop Bitmap
+        // does, so the threshold key normalizes the two: a tenant configured
+        // `sharded` must be served by a `bitmap` tenant's warm entry (and the
+        // cached estimate equals its own recomputation, per backend parity).
+        let dataset = planted_dataset(9);
+        let store = ThresholdStore::new();
+        let mut bitmap_engine = AnalysisEngine::from_dataset(dataset.clone())
+            .unwrap()
+            .with_backend(DatasetBackend::Bitmap)
+            .with_threshold_store(store.clone());
+        let mut sharded_engine = AnalysisEngine::from_dataset(dataset)
+            .unwrap()
+            .with_backend(DatasetBackend::Sharded)
+            .with_threshold_store(store.clone());
+        let request = AnalysisRequest::for_k(2).with_replicates(10);
+        let cold = bitmap_engine.run(&request).unwrap();
+        assert_eq!(cold.runs[0].threshold_cache, CacheStatus::Miss);
+        let warm = sharded_engine.run(&request).unwrap();
+        assert_eq!(
+            warm.runs[0].threshold_cache,
+            CacheStatus::Hit,
+            "sharded must reuse the bitmap tenant's replicate-path entry"
+        );
+        assert_eq!(warm.runs[0].report.threshold, cold.runs[0].report.threshold);
+        assert_eq!(store.stats().entries, 1);
+        // Auto resolves to the bitmap replicate loop for this dense model, so
+        // it shares the same entry too.
+        let mut auto_engine = AnalysisEngine::from_dataset(planted_dataset(9))
+            .unwrap()
+            .with_threshold_store(store.clone());
+        let auto = auto_engine.run(&request).unwrap();
+        assert_eq!(auto.runs[0].threshold_cache, CacheStatus::Hit);
+        assert_eq!(store.stats().entries, 1);
+        // CSR genuinely differs in replicate path, so it stays a distinct key.
+        let mut csr_engine = AnalysisEngine::from_dataset(planted_dataset(9))
+            .unwrap()
+            .with_backend(DatasetBackend::Csr)
+            .with_threshold_store(store.clone());
+        let csr = csr_engine.run(&request).unwrap();
+        assert_eq!(csr.runs[0].threshold_cache, CacheStatus::Miss);
+        assert_eq!(csr.runs[0].report.threshold, cold.runs[0].report.threshold);
+    }
+
+    #[test]
+    fn profile_cache_is_lru_bounded_with_eviction_counters() {
+        // Distinct seeds produce distinct thresholds (usually distinct
+        // s_min), but the discriminating key axis here is the *miner*: the
+        // same (k, s_min) under different miners occupies different slots, so
+        // a capacity-1 cache must evict.
+        let mut engine = AnalysisEngine::from_dataset(planted_dataset(5))
+            .unwrap()
+            .with_profile_cache_capacity(1);
+        assert_eq!(engine.profile_cache_stats().capacity, Some(1));
+        let base = AnalysisRequest::for_k(2).with_replicates(10);
+        let apriori = engine.run(&base).unwrap();
+        engine
+            .run(&base.clone().with_miner(MinerKind::Eclat))
+            .unwrap();
+        let stats = engine.profile_cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1, "capacity 1 evicts the Apriori profile");
+        // Re-running the evicted key re-mines — and produces the identical
+        // report (the profile is derived state, never answers-changing).
+        let again = engine.run(&base).unwrap();
+        assert_eq!(again.runs[0].report, apriori.runs[0].report);
+        let stats = engine.profile_cache_stats();
+        assert_eq!(stats.misses, 3, "three distinct mining passes");
+        assert_eq!(stats.evictions, 2);
+        // The default bound is in force for fresh engines.
+        let fresh = AnalysisEngine::from_dataset(planted_dataset(5)).unwrap();
+        assert_eq!(
+            fresh.profile_cache_stats().capacity,
+            Some(DEFAULT_PROFILE_CACHE_CAPACITY)
+        );
     }
 
     #[test]

@@ -277,10 +277,18 @@ impl FindPoissonThreshold {
                         let dataset = model.sample_dataset(&mut local);
                         Eclat.mine_k(&dataset, k, floor)
                     }
-                    ResolvedBackend::Bitmap => with_bitmap_scratch(|scratch| {
-                        model.sample_into_bitmap(&mut local, scratch);
-                        Eclat.mine_k_bitmap(scratch, k, floor)
-                    }),
+                    // The sharded backend also rides the scratch-bitmap path
+                    // here: Δ replicates already saturate the workers, so
+                    // sharding *within* one replicate would only add reduce
+                    // overhead — sharding pays on the observed-dataset passes
+                    // of Procedure 2 instead. RNG consumption is identical, so
+                    // estimates stay bit-identical across all backends.
+                    ResolvedBackend::Bitmap | ResolvedBackend::ShardedBitmap => {
+                        with_bitmap_scratch(|scratch| {
+                            model.sample_into_bitmap(&mut local, scratch);
+                            Eclat.mine_k_bitmap(scratch, k, floor)
+                        })
+                    }
                 };
                 mined.map(|mined| {
                     mined

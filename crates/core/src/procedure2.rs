@@ -22,11 +22,14 @@
 
 use serde::{Deserialize, Serialize};
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
+use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::counting::SupportProfile;
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::itemset::ItemsetSupport;
 use sigfim_mining::miner::MinerKind;
+use sigfim_mining::sharded::mine_k_sharded;
 use sigfim_stats::testing::{split_alpha_evenly, split_beta_evenly};
 use sigfim_stats::Poisson;
 
@@ -46,10 +49,17 @@ pub struct Procedure2 {
     /// Mining algorithm used to compute the support profile and the final family.
     pub miner: MinerKind,
     /// Physical dataset representation for the profile mining and the final
-    /// family: `Auto` resolves from the dataset's measured density, and the
-    /// bitmap path mines with the bitset Eclat over a bitmap built once. The
-    /// result is identical under every backend.
+    /// family: `Auto` resolves from the dataset's measured density, the
+    /// bitmap path mines with the bitset Eclat over a bitmap built once, and
+    /// the sharded path fans the counting of each level out shard-by-shard
+    /// under [`Procedure2::policy`]. The result is identical under every
+    /// backend.
     pub backend: DatasetBackend,
+    /// Where the sharded backend's per-level counting passes execute.
+    /// Counting is bit-identical under every policy (partial counts are exact
+    /// and reduced in fixed shard order); the CSR and unsharded-bitmap paths
+    /// ignore it.
+    pub policy: ExecutionPolicy,
 }
 
 impl Procedure2 {
@@ -62,6 +72,7 @@ impl Procedure2 {
             beta: 0.05,
             miner: MinerKind::Apriori,
             backend: DatasetBackend::Auto,
+            policy: ExecutionPolicy::Sequential,
         }
     }
 
@@ -120,35 +131,53 @@ impl Procedure2 {
             });
         }
 
-        // Resolve the physical representation once; on the bitmap path the
+        // Resolve the physical representation once; on the bitmap paths the
         // bit-columns are built a single time and serve both the profile pass
         // and the final family mining below. (A long-lived `AnalysisEngine`
-        // instead builds the bitmap once per dataset and calls
-        // `run_prepared` directly, amortizing it over a whole k-sweep.)
+        // instead builds the views once per dataset and calls
+        // `run_prepared` directly, amortizing them over a whole k-sweep.)
         let s_max = dataset.max_item_support();
         let backend = self.backend.resolve_for_dataset(dataset);
-        let bitmap = match backend {
-            ResolvedBackend::Bitmap if s_max >= s_min => Some(BitmapDataset::from_dataset(dataset)),
-            _ => None,
+        let (bitmap, sharded) = match backend {
+            ResolvedBackend::Bitmap if s_max >= s_min => {
+                (Some(BitmapDataset::from_dataset(dataset)), None)
+            }
+            ResolvedBackend::ShardedBitmap if s_max >= s_min => {
+                (None, Some(ShardedBitmapDataset::from_dataset(dataset)))
+            }
+            _ => (None, None),
         };
         // Inline `mine_profile` against the already-computed `s_max` (the
         // support scan is O(entries); no need to repeat it per stage).
         let profile = if s_max < s_min {
             SupportProfile::from_itemsets(self.k, s_min, &[])
         } else {
-            match &bitmap {
-                Some(bitmap) => SupportProfile::from_bitmap(bitmap, self.k, s_min)?,
-                None => SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?,
+            match (&bitmap, &sharded) {
+                (Some(bitmap), _) => SupportProfile::from_bitmap(bitmap, self.k, s_min)?,
+                (None, Some(sharded)) => {
+                    SupportProfile::from_sharded(sharded, self.k, s_min, self.policy)?
+                }
+                (None, None) => SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?,
             }
         };
-        self.run_prepared(dataset, bitmap.as_ref(), &profile, s_min, lambda)
+        self.run_prepared(
+            dataset,
+            bitmap.as_ref(),
+            sharded.as_ref(),
+            &profile,
+            s_min,
+            lambda,
+        )
     }
 
     /// One mining pass at the floor `s_min`, answering every `Q_{k,s_i}` query
     /// of the grid: via the bitset Eclat when a bitmap is supplied, via the
-    /// selected miner (counting through the density-chosen `SupportCounter`)
-    /// otherwise. When no itemset can reach the floor the profile is empty
-    /// without any mining pass.
+    /// shard-parallel level-wise sweep when a sharded bitmap is supplied (each
+    /// level's counting fans out under `policy`), via the selected miner
+    /// (counting through the density-chosen `SupportCounter`) otherwise. When
+    /// no itemset can reach the floor the profile is empty without any mining
+    /// pass. A supplied `bitmap` wins over `sharded` (engines hold at most
+    /// one).
     ///
     /// # Errors
     ///
@@ -157,24 +186,28 @@ impl Procedure2 {
         miner: MinerKind,
         dataset: &TransactionDataset,
         bitmap: Option<&BitmapDataset>,
+        sharded: Option<&ShardedBitmapDataset>,
         k: usize,
         s_min: u64,
+        policy: ExecutionPolicy,
     ) -> Result<SupportProfile> {
         if dataset.max_item_support() < s_min {
             return Ok(SupportProfile::from_itemsets(k, s_min, &[]));
         }
-        match bitmap {
-            Some(bitmap) => Ok(SupportProfile::from_bitmap(bitmap, k, s_min)?),
-            None => Ok(SupportProfile::with_miner(miner, dataset, k, s_min)?),
+        match (bitmap, sharded) {
+            (Some(bitmap), _) => Ok(SupportProfile::from_bitmap(bitmap, k, s_min)?),
+            (None, Some(sharded)) => Ok(SupportProfile::from_sharded(sharded, k, s_min, policy)?),
+            (None, None) => Ok(SupportProfile::with_miner(miner, dataset, k, s_min)?),
         }
     }
 
-    /// Run Procedure 2 against pre-built state: a `bitmap` view of `dataset`
-    /// (or `None` for the CSR path) and the floor `profile` mined at `s_min`
-    /// (see [`Procedure2::mine_profile`]). This is the engine entry point: the
-    /// bitmap is built once per dataset and the profile once per `(k, s_min)`,
-    /// then shared across every request that needs them. Equivalent to
-    /// [`Procedure2::run`] when the supplied state matches the dataset.
+    /// Run Procedure 2 against pre-built state: a `bitmap` or `sharded` view
+    /// of `dataset` (both `None` for the CSR path) and the floor `profile`
+    /// mined at `s_min` (see [`Procedure2::mine_profile`]). This is the
+    /// engine entry point: the views are built once per dataset and the
+    /// profile once per `(k, s_min)`, then shared across every request that
+    /// needs them. Equivalent to [`Procedure2::run`] when the supplied state
+    /// matches the dataset.
     ///
     /// # Errors
     ///
@@ -185,6 +218,7 @@ impl Procedure2 {
         &self,
         dataset: &TransactionDataset,
         bitmap: Option<&BitmapDataset>,
+        sharded: Option<&ShardedBitmapDataset>,
         profile: &SupportProfile,
         s_min: u64,
         lambda: &dyn LambdaEstimator,
@@ -242,10 +276,11 @@ impl Procedure2 {
             }
         }
 
-        let significant = match (s_star, bitmap) {
-            (Some(s), Some(bitmap)) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
-            (Some(s), None) => self.miner.mine_k(dataset, self.k, s)?,
-            (None, _) => Vec::new(),
+        let significant = match (s_star, bitmap, sharded) {
+            (Some(s), Some(bitmap), _) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
+            (Some(s), None, Some(sharded)) => mine_k_sharded(sharded, self.k, s, self.policy)?,
+            (Some(s), None, None) => self.miner.mine_k(dataset, self.k, s)?,
+            (None, _, _) => Vec::new(),
         };
 
         Ok(Procedure2Result {

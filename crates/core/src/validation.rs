@@ -166,12 +166,16 @@ pub fn poisson_fit_with_backend<R: Rng + ?Sized>(
                 let dataset = model.sample(rng);
                 miner.mine_k(&dataset, k, s)?.len() as u64
             }
-            ResolvedBackend::Bitmap => with_bitmap_scratch(|scratch| {
-                model.sample_into_bitmap(rng, scratch);
-                Eclat
-                    .mine_k_bitmap(scratch, k, s)
-                    .map(|mined| mined.len() as u64)
-            })?,
+            // Sharded resolves to the scratch-bitmap replicate path, exactly
+            // as in Algorithm 1 (see `FindPoissonThreshold`).
+            ResolvedBackend::Bitmap | ResolvedBackend::ShardedBitmap => {
+                with_bitmap_scratch(|scratch| {
+                    model.sample_into_bitmap(rng, scratch);
+                    Eclat
+                        .mine_k_bitmap(scratch, k, s)
+                        .map(|mined| mined.len() as u64)
+                })?
+            }
         };
         *histogram.entry(q).or_insert(0) += 1;
         sum += q as f64;

@@ -1,12 +1,14 @@
-//! Backend-parity contract: the CSR and bitmap dataset backends produce
-//! **identical supports** and **bit-identical** Monte-Carlo estimates for the
-//! same seed, at every thread count. This is what makes `--backend` a pure
-//! performance knob.
+//! Backend-parity contract: the CSR, bitmap and transaction-sharded dataset
+//! backends produce **identical supports** and **bit-identical** Monte-Carlo
+//! estimates for the same seed, at every thread count. This is what makes
+//! `--backend` a pure performance knob.
 //!
-//! CI runs this suite twice — with `RAYON_NUM_THREADS`-style worker counts of
-//! 1 and 8 supplied through the explicit `ExecutionPolicy` matrix below — so a
-//! regression in either the RNG-consumption contract of `sample_into_bitmap`
-//! or the bitset Eclat shows up as a hard failure.
+//! CI runs this suite twice per kernel dispatch mode — with
+//! `SIGFIM_KERNELS=scalar` and `SIGFIM_KERNELS=auto` — and with test-harness
+//! worker counts of 1 and 8 on top of the explicit `ExecutionPolicy` matrix
+//! below, so a regression in the RNG-consumption contract of
+//! `sample_into_bitmap`, the bitset Eclat, the SIMD counting kernels, or the
+//! fixed-order shard reduction shows up as a hard failure.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,11 +51,7 @@ fn estimate(backend: DatasetBackend, threads: usize, seed: u64) -> ThresholdEsti
 fn backend_parity_threshold_estimates_at_1_2_and_8_threads() {
     let reference = estimate(DatasetBackend::Csr, 1, 99);
     for threads in THREAD_MATRIX {
-        for backend in [
-            DatasetBackend::Csr,
-            DatasetBackend::Bitmap,
-            DatasetBackend::Auto,
-        ] {
+        for backend in DatasetBackend::ALL {
             assert_eq!(
                 estimate(backend, threads, 99),
                 reference,
@@ -79,17 +77,45 @@ fn backend_parity_procedure2_supports_and_family() {
         .unwrap()
     };
     let csr = run(DatasetBackend::Csr);
-    let bitmap = run(DatasetBackend::Bitmap);
-    let auto = run(DatasetBackend::Auto);
-    assert_eq!(csr.s_star, bitmap.s_star);
-    assert_eq!(
-        csr.tests, bitmap.tests,
-        "Q_{{k,s}} traces must be identical"
-    );
-    assert_eq!(csr.significant, bitmap.significant);
-    assert_eq!(csr.s_star, auto.s_star);
-    assert_eq!(csr.significant, auto.significant);
+    for backend in [
+        DatasetBackend::Bitmap,
+        DatasetBackend::Auto,
+        DatasetBackend::Sharded,
+    ] {
+        let other = run(backend);
+        assert_eq!(csr.s_star, other.s_star, "{backend}");
+        assert_eq!(
+            csr.tests, other.tests,
+            "Q_{{k,s}} traces must be identical ({backend})"
+        );
+        assert_eq!(csr.significant, other.significant, "{backend}");
+    }
     assert!(csr.s_star.is_some(), "the planted pair must be detected");
+}
+
+#[test]
+fn backend_parity_procedure2_sharded_at_1_2_and_8_counting_workers() {
+    // The sharded backend's counting pass fans out across workers; the trace
+    // and family must be bit-identical at every worker count (fixed-order
+    // shard reduction over exact partial counts).
+    let dataset = planted_dataset(5);
+    let lambda =
+        sigfim_core::lambda::MonteCarloLambda::new(6, vec![1.5, 0.7, 0.3, 0.1, 0.04, 0.01, 0.0])
+            .unwrap();
+    let run = |threads: usize| {
+        Procedure2 {
+            backend: DatasetBackend::Sharded,
+            policy: ExecutionPolicy::from_threads(threads),
+            ..Procedure2::new(2)
+        }
+        .run(&dataset, 6, &lambda)
+        .unwrap()
+    };
+    let reference = run(1);
+    assert!(reference.s_star.is_some());
+    for threads in THREAD_MATRIX {
+        assert_eq!(run(threads), reference, "{threads} counting worker(s)");
+    }
 }
 
 #[test]
@@ -106,7 +132,11 @@ fn backend_parity_full_reports_at_1_2_and_8_threads() {
     };
     let reference = analyze(DatasetBackend::Csr, 1);
     for threads in THREAD_MATRIX {
-        for backend in [DatasetBackend::Csr, DatasetBackend::Bitmap] {
+        for backend in [
+            DatasetBackend::Csr,
+            DatasetBackend::Bitmap,
+            DatasetBackend::Sharded,
+        ] {
             let report = analyze(backend, threads);
             // Everything except the recorded backend parameter must agree bit
             // for bit.
@@ -140,7 +170,11 @@ fn backend_parity_swap_null_model() {
     };
     let reference = run(DatasetBackend::Csr, 1);
     for threads in THREAD_MATRIX {
-        for backend in [DatasetBackend::Csr, DatasetBackend::Bitmap] {
+        for backend in [
+            DatasetBackend::Csr,
+            DatasetBackend::Bitmap,
+            DatasetBackend::Sharded,
+        ] {
             assert_eq!(
                 run(backend, threads),
                 reference,
@@ -182,4 +216,29 @@ fn backend_parity_poisson_fit_replicate_loop() {
     let bitmap = fit(DatasetBackend::Bitmap);
     assert_eq!(csr, bitmap);
     assert_eq!(fit(DatasetBackend::Auto), csr);
+    assert_eq!(fit(DatasetBackend::Sharded), csr);
+}
+
+#[test]
+fn kernel_dispatch_is_invisible_to_full_reports() {
+    // Whatever SIGFIM_KERNELS selected for this process (CI runs the suite
+    // under both `scalar` and `auto`), the dispatched kernel must agree with
+    // the forced-scalar kernel on live column data — the in-process half of
+    // the cross-process dispatch-parity contract.
+    use sigfim_datasets::kernels::{kernels, kernels_for, KernelMode};
+    let dataset = planted_dataset(61);
+    let bitmap = sigfim_datasets::BitmapDataset::from_dataset(&dataset);
+    let scalar = kernels_for(KernelMode::Scalar);
+    let dispatched = kernels();
+    let columns: Vec<&[u64]> = (0..dataset.num_items()).map(|i| bitmap.column(i)).collect();
+    for pair in columns.windows(2) {
+        assert_eq!(
+            dispatched.and_count(pair[0], pair[1]),
+            scalar.and_count(pair[0], pair[1])
+        );
+        assert_eq!(
+            dispatched.popcount_slice(pair[0]),
+            scalar.popcount_slice(pair[0])
+        );
+    }
 }

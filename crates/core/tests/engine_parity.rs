@@ -74,6 +74,7 @@ fn legacy_pipeline<M: NullModel + Sync>(
         beta: 0.05,
         miner: MinerKind::Apriori,
         backend,
+        ..Procedure2::new(k)
     }
     .run(dataset, threshold.s_min, &lambda)
     .unwrap();
@@ -109,11 +110,7 @@ fn legacy_pipeline<M: NullModel + Sync>(
 fn shim_and_engine_match_the_legacy_pipeline_bit_for_bit() {
     let dataset = planted_dataset(11);
     let model = BernoulliModel::from_dataset(&dataset);
-    for backend in [
-        DatasetBackend::Auto,
-        DatasetBackend::Csr,
-        DatasetBackend::Bitmap,
-    ] {
+    for backend in DatasetBackend::ALL {
         for baseline in [true, false] {
             let legacy = legacy_pipeline(&dataset, &model, 2, 20, 9, backend, baseline);
 

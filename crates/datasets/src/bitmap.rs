@@ -16,14 +16,15 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::kernels;
 use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset, TransactionId};
 use crate::view::DatasetView;
 
 /// Number of transaction slots per bitmap word.
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
 
 /// A transactional dataset in vertical bitmap (bit-column per item) layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitmapDataset {
     num_items: u32,
     num_transactions: usize,
@@ -33,6 +34,78 @@ pub struct BitmapDataset {
     /// is the bit-column of item `i`. Bits at positions `>= num_transactions` in
     /// the last word of each column are always zero (so popcounts are exact).
     bits: Vec<u64>,
+    /// Total number of set bits, maintained incrementally by every mutation
+    /// (`set`/`clear`/`reset`) so the density heuristics never rescan the
+    /// whole matrix. Invariant: always equals the popcount of `bits` — every
+    /// constructor and the hand-written [`Deserialize`] below enforce it,
+    /// which is why deriving `PartialEq`/`Eq` over it stays sound.
+    entries: usize,
+}
+
+/// The wire format carries only the genuine state (`num_items`,
+/// `num_transactions`, `words_per_column`, `bits`) — the shape PR 2's derived
+/// impl produced. The derived `entries` count is deliberately **not**
+/// serialized: it is recomputed from the bit matrix on deserialization, so no
+/// payload (stale or hand-crafted) can install a count that disagrees with
+/// the bits.
+impl Serialize for BitmapDataset {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("num_items".into(), self.num_items.to_value()),
+            ("num_transactions".into(), self.num_transactions.to_value()),
+            ("words_per_column".into(), self.words_per_column.to_value()),
+            ("bits".into(), self.bits.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BitmapDataset {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &'static str| {
+            value
+                .get_field(name)
+                .ok_or_else(|| serde::Error::missing_field("BitmapDataset", name))
+        };
+        let num_items = u32::from_value(field("num_items")?)?;
+        let num_transactions = usize::from_value(field("num_transactions")?)?;
+        let words_per_column = usize::from_value(field("words_per_column")?)?;
+        let bits = Vec::<u64>::from_value(field("bits")?)?;
+        if words_per_column != num_transactions.div_ceil(WORD_BITS)
+            || bits.len() != num_items as usize * words_per_column
+        {
+            return Err(serde::Error::custom(format!(
+                "inconsistent BitmapDataset shape: {num_items} items x \
+                 {words_per_column} words/column (t = {num_transactions}) \
+                 vs {} bit words",
+                bits.len()
+            )));
+        }
+        // Enforce the padding invariant the struct documents: bits at
+        // positions >= num_transactions in each column's last word must be
+        // zero, or popcounts (and the entry count computed below) would
+        // include phantom transactions.
+        let tail_bits = num_transactions % WORD_BITS;
+        if words_per_column > 0 && tail_bits != 0 {
+            let padding_mask = !0u64 << tail_bits;
+            for item in 0..num_items as usize {
+                let last = bits[item * words_per_column + words_per_column - 1];
+                if last & padding_mask != 0 {
+                    return Err(serde::Error::custom(format!(
+                        "BitmapDataset column {item} has set bits beyond \
+                         transaction {num_transactions} in its last word"
+                    )));
+                }
+            }
+        }
+        let entries = kernels().popcount_slice(&bits) as usize;
+        Ok(BitmapDataset {
+            num_items,
+            num_transactions,
+            words_per_column,
+            bits,
+            entries,
+        })
+    }
 }
 
 impl BitmapDataset {
@@ -45,6 +118,7 @@ impl BitmapDataset {
             num_transactions,
             words_per_column,
             bits: vec![0u64; num_items as usize * words_per_column],
+            entries: 0,
         }
     }
 
@@ -57,6 +131,7 @@ impl BitmapDataset {
         self.num_items = num_items;
         self.num_transactions = num_transactions;
         self.words_per_column = words_per_column;
+        self.entries = 0;
         self.bits.clear();
         self.bits.resize(needed, 0);
         // `clear` + `resize` never shrinks the capacity, and fills the live
@@ -160,7 +235,11 @@ impl BitmapDataset {
             self.num_transactions
         );
         let idx = item as usize * self.words_per_column + tid as usize / WORD_BITS;
-        self.bits[idx] |= 1u64 << (tid as usize % WORD_BITS);
+        let mask = 1u64 << (tid as usize % WORD_BITS);
+        if self.bits[idx] & mask == 0 {
+            self.entries += 1;
+            self.bits[idx] |= mask;
+        }
     }
 
     /// Clear the `(item, tid)` incidence bit. The margin-preserving swaps of the
@@ -178,7 +257,11 @@ impl BitmapDataset {
             self.num_transactions
         );
         let idx = item as usize * self.words_per_column + tid as usize / WORD_BITS;
-        self.bits[idx] &= !(1u64 << (tid as usize % WORD_BITS));
+        let mask = 1u64 << (tid as usize % WORD_BITS);
+        if self.bits[idx] & mask != 0 {
+            self.entries -= 1;
+            self.bits[idx] &= !mask;
+        }
     }
 
     /// Whether transaction `tid` contains `item`.
@@ -187,12 +270,10 @@ impl BitmapDataset {
         self.column(item)[tid as usize / WORD_BITS] >> (tid as usize % WORD_BITS) & 1 == 1
     }
 
-    /// Support of a single item (popcount of its column).
+    /// Support of a single item (popcount of its column, through the
+    /// dispatched [`crate::kernels::Kernels`]).
     pub fn item_support(&self, item: ItemId) -> u64 {
-        self.column(item)
-            .iter()
-            .map(|w| w.count_ones() as u64)
-            .sum()
+        kernels().popcount_slice(self.column(item))
     }
 
     /// Supports of all items, indexed by item id.
@@ -200,9 +281,17 @@ impl BitmapDataset {
         (0..self.num_items).map(|i| self.item_support(i)).collect()
     }
 
-    /// Total number of (transaction, item) incidences.
+    /// Total number of (transaction, item) incidences. `O(1)`: the count is
+    /// maintained incrementally by every mutation, so the density heuristics
+    /// ([`DatasetBackend::resolve`], the per-level counting strategy) never
+    /// pay a whole-matrix popcount scan.
     pub fn num_entries(&self) -> usize {
-        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+        debug_assert_eq!(
+            self.entries as u64,
+            kernels().popcount_slice(&self.bits),
+            "cached entry count out of sync with the bit matrix"
+        );
+        self.entries
     }
 
     /// Maximum support of any single item.
@@ -279,39 +368,24 @@ impl BitmapDataset {
     }
 }
 
-/// Popcount of `a AND b` without materializing the intersection.
+/// Popcount of `a AND b` without materializing the intersection. Dispatches
+/// through the process-wide [`crate::kernels::Kernels`] (scalar, unrolled or
+/// AVX2 — identical results, see the module docs there).
 #[inline]
 pub fn and_count(a: &[u64], b: &[u64]) -> u64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x & y).count_ones() as u64)
-        .sum()
+    kernels().and_count(a, b)
 }
 
-/// `dst &= src`, returning the popcount of the result.
+/// `dst &= src`, returning the popcount of the result (kernel-dispatched).
 #[inline]
 pub fn and_count_into(dst: &mut [u64], src: &[u64]) -> u64 {
-    debug_assert_eq!(dst.len(), src.len());
-    let mut count = 0u64;
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d &= s;
-        count += d.count_ones() as u64;
-    }
-    count
+    kernels().and_count_into(dst, src)
 }
 
-/// `dst = a AND b`, returning the popcount of the result.
+/// `dst = a AND b`, returning the popcount of the result (kernel-dispatched).
 #[inline]
 pub fn and_into(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
-    debug_assert_eq!(dst.len(), a.len());
-    debug_assert_eq!(dst.len(), b.len());
-    let mut count = 0u64;
-    for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
-        *d = x & y;
-        count += d.count_ones() as u64;
-    }
-    count
+    kernels().and_into(dst, a, b)
 }
 
 /// Which physical representation the pipeline materializes datasets in.
@@ -331,6 +405,15 @@ pub enum DatasetBackend {
     Csr,
     /// Always the vertical bitmap representation.
     Bitmap,
+    /// The transaction-sharded vertical bitmap
+    /// ([`crate::sharded::ShardedBitmapDataset`]): word-aligned row-range
+    /// shards whose per-shard partial counts are reduced in fixed shard
+    /// order, so one dataset's counting pass can fan out across workers with
+    /// bit-identical results at any thread count. Opt-in (never chosen by
+    /// `Auto`), because it only pays off when intra-dataset parallelism is
+    /// wanted — the Monte-Carlo replicate loop already saturates workers
+    /// across replicates.
+    Sharded,
 }
 
 /// A [`DatasetBackend`] with `Auto` resolved away: the representation actually
@@ -341,6 +424,8 @@ pub enum ResolvedBackend {
     Csr,
     /// Vertical bitmaps.
     Bitmap,
+    /// Transaction-sharded vertical bitmaps.
+    ShardedBitmap,
 }
 
 /// `Auto` prefers the bitmap once the average tid-list is at least as long as a
@@ -354,10 +439,11 @@ const BITMAP_MEMORY_BUDGET_BYTES: usize = 1 << 30;
 
 impl DatasetBackend {
     /// Every backend choice, for configuration surfaces and test matrices.
-    pub const ALL: [DatasetBackend; 3] = [
+    pub const ALL: [DatasetBackend; 4] = [
         DatasetBackend::Auto,
         DatasetBackend::Csr,
         DatasetBackend::Bitmap,
+        DatasetBackend::Sharded,
     ];
 
     /// Command-line name.
@@ -366,6 +452,7 @@ impl DatasetBackend {
             DatasetBackend::Auto => "auto",
             DatasetBackend::Csr => "csr",
             DatasetBackend::Bitmap => "bitmap",
+            DatasetBackend::Sharded => "sharded",
         }
     }
 
@@ -381,6 +468,7 @@ impl DatasetBackend {
         match self {
             DatasetBackend::Csr => ResolvedBackend::Csr,
             DatasetBackend::Bitmap => ResolvedBackend::Bitmap,
+            DatasetBackend::Sharded => ResolvedBackend::ShardedBitmap,
             DatasetBackend::Auto => {
                 let words = num_transactions.div_ceil(WORD_BITS);
                 let bytes = (num_items as usize).saturating_mul(words).saturating_mul(8);
@@ -416,8 +504,9 @@ impl std::str::FromStr for DatasetBackend {
             "auto" => Ok(DatasetBackend::Auto),
             "csr" => Ok(DatasetBackend::Csr),
             "bitmap" => Ok(DatasetBackend::Bitmap),
+            "sharded" => Ok(DatasetBackend::Sharded),
             other => Err(format!(
-                "unknown backend `{other}` (expected auto, csr or bitmap)"
+                "unknown backend `{other}` (expected auto, csr, bitmap or sharded)"
             )),
         }
     }
@@ -599,6 +688,27 @@ mod tests {
     }
 
     #[test]
+    fn num_entries_is_maintained_incrementally() {
+        // The O(1) cached count must track every mutation path exactly:
+        // set (idempotent), clear (idempotent), reset, fill_from_dataset.
+        let mut bitmap = BitmapDataset::new(3, 100);
+        assert_eq!(bitmap.num_entries(), 0);
+        bitmap.set(0, 5);
+        bitmap.set(0, 5); // duplicate set: no double count
+        bitmap.set(2, 99);
+        assert_eq!(bitmap.num_entries(), 2);
+        bitmap.clear(0, 5);
+        bitmap.clear(0, 5); // duplicate clear: no underflow
+        assert_eq!(bitmap.num_entries(), 1);
+        assert!((bitmap.density() - 1.0 / 300.0).abs() < 1e-12);
+        bitmap.reset(3, 100);
+        assert_eq!(bitmap.num_entries(), 0);
+        let csr = sample();
+        bitmap.fill_from_dataset(&csr);
+        assert_eq!(bitmap.num_entries(), csr.num_entries());
+    }
+
+    #[test]
     fn backend_parsing_and_names() {
         for backend in DatasetBackend::ALL {
             assert_eq!(backend.name().parse::<DatasetBackend>().unwrap(), backend);
@@ -669,7 +779,32 @@ mod tests {
     fn serde_round_trip() {
         let bitmap = BitmapDataset::from_dataset(&sample());
         let value = serde::Serialize::to_value(&bitmap);
+        // The cached entry count never travels: it is derived state,
+        // recomputed on the way in (so payloads cannot desync it).
+        assert!(value.get_field("entries").is_none());
+        assert!(value.get_field("bits").is_some());
         let back: BitmapDataset = serde::Deserialize::from_value(&value).unwrap();
         assert_eq!(back, bitmap);
+        assert_eq!(back.num_entries(), bitmap.num_entries());
+    }
+
+    #[test]
+    fn deserialization_rejects_inconsistent_shapes() {
+        let bitmap = BitmapDataset::from_dataset(&sample());
+        let serde::Value::Map(mut fields) = serde::Serialize::to_value(&bitmap) else {
+            panic!("bitmap serializes as a map");
+        };
+        for (key, value) in &mut fields {
+            if key == "num_items" {
+                *value = serde::Value::U64(999);
+            }
+        }
+        let error = <BitmapDataset as serde::Deserialize>::from_value(&serde::Value::Map(fields))
+            .unwrap_err();
+        assert!(error.to_string().contains("inconsistent"));
+        assert!(
+            <BitmapDataset as serde::Deserialize>::from_value(&serde::Value::Null).is_err(),
+            "non-map payloads are rejected"
+        );
     }
 }

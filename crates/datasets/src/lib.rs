@@ -14,8 +14,14 @@
 //!   per item, word-parallel AND + popcount support counting, and a reusable
 //!   buffer for the zero-allocation Monte-Carlo replicate loop. The
 //!   [`bitmap::DatasetBackend`] heuristic decides when it beats CSR.
-//! * [`view::DatasetView`] — one borrowed handle over either representation, so
-//!   counting and mining code serves both backends through a single surface.
+//! * [`mod@kernels`] — the runtime-dispatched counting kernels (scalar / unrolled /
+//!   AVX2 popcount + wide AND) every dense counting loop funnels through, with a
+//!   `SIGFIM_KERNELS` override for testing and benchmarking.
+//! * [`sharded::ShardedBitmapDataset`] — the transaction axis split into
+//!   word-aligned row-range shards, so one dataset's counting pass can fan out
+//!   across workers with bit-identical results.
+//! * [`view::DatasetView`] — one borrowed handle over any representation, so
+//!   counting and mining code serves every backend through a single surface.
 //! * [`summary`] — dataset profiling: number of items `n`, number of transactions
 //!   `t`, average transaction length `m`, individual item frequencies `f_i` and
 //!   their range. These are exactly the columns of Table 1 of the paper.
@@ -62,14 +68,18 @@ pub mod benchmarks;
 pub mod bitmap;
 pub mod fimi;
 pub mod frequency;
+pub mod kernels;
 pub mod random;
+pub mod sharded;
 pub mod summary;
 pub mod transaction;
 pub mod view;
 
 pub use benchmarks::{BenchmarkDataset, BenchmarkSpec};
 pub use bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
+pub use kernels::{kernels, kernels_for, KernelMode, Kernels};
 pub use random::BernoulliModel;
+pub use sharded::ShardedBitmapDataset;
 pub use summary::DatasetSummary;
 pub use transaction::{ItemId, TransactionDataset};
 pub use view::DatasetView;

@@ -10,6 +10,7 @@
 //! hand a uniform surface downstream.
 
 use crate::bitmap::BitmapDataset;
+use crate::sharded::ShardedBitmapDataset;
 use crate::transaction::{ItemId, TransactionDataset};
 
 /// A borrowed, backend-agnostic read view of a transactional dataset.
@@ -19,6 +20,8 @@ pub enum DatasetView<'a> {
     Csr(&'a TransactionDataset),
     /// The vertical bitmap representation.
     Bitmap(&'a BitmapDataset),
+    /// The transaction-sharded vertical bitmap representation.
+    Sharded(&'a ShardedBitmapDataset),
 }
 
 impl<'a> DatasetView<'a> {
@@ -27,6 +30,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(_) => "csr",
             DatasetView::Bitmap(_) => "bitmap",
+            DatasetView::Sharded(_) => "sharded",
         }
     }
 
@@ -35,6 +39,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.num_items(),
             DatasetView::Bitmap(d) => d.num_items(),
+            DatasetView::Sharded(d) => d.num_items(),
         }
     }
 
@@ -43,6 +48,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.num_transactions(),
             DatasetView::Bitmap(d) => d.num_transactions(),
+            DatasetView::Sharded(d) => d.num_transactions(),
         }
     }
 
@@ -51,6 +57,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.num_entries(),
             DatasetView::Bitmap(d) => d.num_entries(),
+            DatasetView::Sharded(d) => d.num_entries(),
         }
     }
 
@@ -59,6 +66,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.avg_transaction_len(),
             DatasetView::Bitmap(d) => d.avg_transaction_len(),
+            DatasetView::Sharded(d) => d.avg_transaction_len(),
         }
     }
 
@@ -67,6 +75,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.item_supports(),
             DatasetView::Bitmap(d) => d.item_supports(),
+            DatasetView::Sharded(d) => d.item_supports(),
         }
     }
 
@@ -75,6 +84,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.max_item_support(),
             DatasetView::Bitmap(d) => d.max_item_support(),
+            DatasetView::Sharded(d) => d.max_item_support(),
         }
     }
 
@@ -83,6 +93,7 @@ impl<'a> DatasetView<'a> {
         match self {
             DatasetView::Csr(d) => d.itemset_support(itemset),
             DatasetView::Bitmap(d) => d.itemset_support(itemset),
+            DatasetView::Sharded(d) => d.itemset_support(itemset),
         }
     }
 }
@@ -105,22 +116,27 @@ mod tests {
         )
         .unwrap();
         let bitmap = BitmapDataset::from_dataset(&csr);
+        let sharded = ShardedBitmapDataset::from_dataset(&csr);
         let csr_view = DatasetView::from(&csr);
         let bitmap_view = DatasetView::from(&bitmap);
+        let sharded_view = DatasetView::from(&sharded);
         assert_eq!(csr_view.backend_name(), "csr");
         assert_eq!(bitmap_view.backend_name(), "bitmap");
-        assert_eq!(csr_view.num_items(), bitmap_view.num_items());
-        assert_eq!(csr_view.num_transactions(), bitmap_view.num_transactions());
-        assert_eq!(csr_view.num_entries(), bitmap_view.num_entries());
-        assert_eq!(csr_view.item_supports(), bitmap_view.item_supports());
-        assert_eq!(csr_view.max_item_support(), bitmap_view.max_item_support());
-        assert!((csr_view.avg_transaction_len() - bitmap_view.avg_transaction_len()).abs() < 1e-12);
-        for set in [vec![], vec![1], vec![0, 1], vec![1, 2], vec![0, 3]] {
-            assert_eq!(
-                csr_view.itemset_support(&set),
-                bitmap_view.itemset_support(&set),
-                "itemset {set:?}"
-            );
+        assert_eq!(sharded_view.backend_name(), "sharded");
+        for view in [bitmap_view, sharded_view] {
+            assert_eq!(csr_view.num_items(), view.num_items());
+            assert_eq!(csr_view.num_transactions(), view.num_transactions());
+            assert_eq!(csr_view.num_entries(), view.num_entries());
+            assert_eq!(csr_view.item_supports(), view.item_supports());
+            assert_eq!(csr_view.max_item_support(), view.max_item_support());
+            assert!((csr_view.avg_transaction_len() - view.avg_transaction_len()).abs() < 1e-12);
+            for set in [vec![], vec![1], vec![0, 1], vec![1, 2], vec![0, 3]] {
+                assert_eq!(
+                    csr_view.itemset_support(&set),
+                    view.itemset_support(&set),
+                    "itemset {set:?}"
+                );
+            }
         }
     }
 }

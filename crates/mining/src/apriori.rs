@@ -23,7 +23,7 @@
 use sigfim_datasets::bitmap::BitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
 
-use crate::counting::count_candidates_bitmap;
+use crate::counting::count_candidates_bitmap_with_supports;
 pub use crate::counting::CountingStrategy;
 use crate::itemset::{join_step, prune_step, sort_canonical, ItemsetSupport};
 use crate::miner::{validate_mining_args, KItemsetMiner};
@@ -78,10 +78,12 @@ impl Apriori {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn count_level(
         &self,
         dataset: &TransactionDataset,
         tid_lists: &[Vec<u32>],
+        item_supports: &[u64],
         bitmap: &mut Option<BitmapDataset>,
         candidates: &[Vec<ItemId>],
         level: usize,
@@ -98,15 +100,86 @@ impl Apriori {
         match strategy {
             CountingStrategy::Bitmap => {
                 // Built at most once per mine_k call, then borrowed by every
-                // later level that picks the bitmap.
+                // later level that picks the bitmap. Item supports are
+                // backend-invariant, so the level-1 scan already computed the
+                // ordering data — no per-level column rescan.
                 let bitmap = bitmap.get_or_insert_with(|| BitmapDataset::from_dataset(dataset));
-                count_candidates_bitmap(bitmap, candidates)
+                count_candidates_bitmap_with_supports(bitmap, item_supports, candidates)
             }
             other => other
                 .counter()
                 .count_with_tidlists(dataset, tid_lists, candidates),
         }
     }
+}
+
+/// The level-wise Apriori skeleton, shared by [`Apriori`] (density-dispatched
+/// counting) and the shard-parallel miner (`crate::sharded::mine_k_sharded`):
+/// level-1 seeding from the supplied item supports, then per level the
+/// `join`/`prune` candidate generation, a caller-supplied counting pass, and
+/// the frequency filter — so the two miners cannot drift apart in anything
+/// but how a candidate batch is counted. Callers validate `(k, min_support)`
+/// first; `count_level` receives `(candidates, level)` and is never invoked
+/// for `k == 1`.
+pub(crate) fn mine_k_levelwise<F>(
+    supports: &[u64],
+    k: usize,
+    min_support: u64,
+    prune: bool,
+    mut count_level: F,
+) -> Vec<ItemsetSupport>
+where
+    F: FnMut(&[Vec<ItemId>], usize) -> Vec<u64>,
+{
+    // Level 1: frequent items.
+    let mut frequent_prev: Vec<Vec<ItemId>> = supports
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s >= min_support)
+        .map(|(i, _)| vec![i as ItemId])
+        .collect();
+    if k == 1 {
+        let mut out: Vec<ItemsetSupport> = frequent_prev
+            .into_iter()
+            .map(|items| {
+                let s = supports[items[0] as usize];
+                ItemsetSupport { items, support: s }
+            })
+            .collect();
+        sort_canonical(&mut out);
+        return out;
+    }
+
+    let mut result = Vec::new();
+    for level in 2..=k {
+        if frequent_prev.len() < level {
+            return Vec::new();
+        }
+        frequent_prev.sort_unstable();
+        let mut candidates = join_step(&frequent_prev);
+        if prune {
+            candidates = prune_step(candidates, &frequent_prev);
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let counts = count_level(&candidates, level);
+        let mut frequent_now = Vec::new();
+        for (cand, count) in candidates.into_iter().zip(counts) {
+            if count >= min_support {
+                if level == k {
+                    result.push(ItemsetSupport {
+                        items: cand.clone(),
+                        support: count,
+                    });
+                }
+                frequent_now.push(cand);
+            }
+        }
+        frequent_prev = frequent_now;
+    }
+    sort_canonical(&mut result);
+    result
 }
 
 impl KItemsetMiner for Apriori {
@@ -117,73 +190,43 @@ impl KItemsetMiner for Apriori {
         min_support: u64,
     ) -> Result<Vec<ItemsetSupport>> {
         validate_mining_args(k, min_support)?;
-        // Level 1: frequent items.
         let supports = dataset.item_supports();
-        let mut frequent_prev: Vec<Vec<ItemId>> = supports
-            .iter()
-            .enumerate()
-            .filter(|&(_, &s)| s >= min_support)
-            .map(|(i, _)| vec![i as ItemId])
-            .collect();
-        if k == 1 {
-            let mut out: Vec<ItemsetSupport> = frequent_prev
-                .into_iter()
-                .map(|items| {
-                    let s = supports[items[0] as usize];
-                    ItemsetSupport { items, support: s }
-                })
-                .collect();
-            sort_canonical(&mut out);
-            return Ok(out);
-        }
-
-        let tid_lists = dataset.tid_lists();
-        let frequent_item_count = frequent_prev.len() as f64;
-        let avg_restricted_len = if dataset.num_transactions() == 0 {
-            0.0
-        } else {
-            // Expected length of a transaction restricted to frequent items.
-            let freq_entries: u64 = supports.iter().filter(|&&s| s >= min_support).sum();
-            (freq_entries as f64 / dataset.num_transactions() as f64).min(frequent_item_count)
-        };
-
-        let mut result = Vec::new();
+        // Counting state is built lazily on the first level that actually
+        // counts, so a k = 1 query never pays for tid-lists.
+        let mut counting: Option<(Vec<Vec<u32>>, f64)> = None;
         let mut bitmap: Option<BitmapDataset> = None;
-        for level in 2..=k {
-            if frequent_prev.len() < level {
-                return Ok(Vec::new());
-            }
-            frequent_prev.sort_unstable();
-            let mut candidates = join_step(&frequent_prev);
-            if self.prune {
-                candidates = prune_step(candidates, &frequent_prev);
-            }
-            if candidates.is_empty() {
-                return Ok(Vec::new());
-            }
-            let counts = self.count_level(
-                dataset,
-                &tid_lists,
-                &mut bitmap,
-                &candidates,
-                level,
-                avg_restricted_len,
-            );
-            let mut frequent_now = Vec::new();
-            for (cand, count) in candidates.into_iter().zip(counts) {
-                if count >= min_support {
-                    if level == k {
-                        result.push(ItemsetSupport {
-                            items: cand.clone(),
-                            support: count,
-                        });
-                    }
-                    frequent_now.push(cand);
-                }
-            }
-            frequent_prev = frequent_now;
-        }
-        sort_canonical(&mut result);
+        let result = mine_k_levelwise(
+            &supports,
+            k,
+            min_support,
+            self.prune,
+            |candidates, level| {
+                let (tid_lists, avg_restricted_len) = counting.get_or_insert_with(|| {
+                    let frequent_items =
+                        supports.iter().filter(|&&s| s >= min_support).count() as f64;
+                    let avg = if dataset.num_transactions() == 0 {
+                        0.0
+                    } else {
+                        // Expected length of a transaction restricted to
+                        // frequent items.
+                        let freq_entries: u64 =
+                            supports.iter().filter(|&&s| s >= min_support).sum();
+                        (freq_entries as f64 / dataset.num_transactions() as f64)
+                            .min(frequent_items)
+                    };
+                    (dataset.tid_lists(), avg)
+                });
+                self.count_level(
+                    dataset,
+                    tid_lists,
+                    &supports,
+                    &mut bitmap,
+                    candidates,
+                    level,
+                    *avg_restricted_len,
+                )
+            },
+        );
         Ok(result)
     }
 }

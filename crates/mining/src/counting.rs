@@ -17,9 +17,11 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use sigfim_datasets::bitmap::{and_count, and_count_into, BitmapDataset, DatasetBackend};
+use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset, TransactionId};
 use sigfim_datasets::view::DatasetView;
 use sigfim_datasets::ResolvedBackend;
+use sigfim_exec::ExecutionPolicy;
 
 use crate::apriori::Apriori;
 use crate::eclat::Eclat;
@@ -323,7 +325,19 @@ impl SupportCounter for BitmapCounter {
 /// count allocates nothing per candidate. Handles mixed sizes; empty itemsets
 /// get support `t` by convention.
 pub fn count_candidates_bitmap(bitmap: &BitmapDataset, candidates: &[Vec<ItemId>]) -> Vec<u64> {
-    let item_supports = bitmap.item_supports();
+    count_candidates_bitmap_with_supports(bitmap, &bitmap.item_supports(), candidates)
+}
+
+/// Like [`count_candidates_bitmap`], but with the per-item supports (used for
+/// the rarest-first ordering and as the answers for singleton candidates)
+/// supplied by the caller — so a level-wise miner that counts many batches
+/// against the same bitmap scans its columns for supports only once.
+pub fn count_candidates_bitmap_with_supports(
+    bitmap: &BitmapDataset,
+    item_supports: &[u64],
+    candidates: &[Vec<ItemId>],
+) -> Vec<u64> {
+    debug_assert_eq!(item_supports.len(), bitmap.num_items() as usize);
     let mut scratch: Vec<u64> = Vec::with_capacity(bitmap.words_per_column());
     let mut order: Vec<ItemId> = Vec::new();
     candidates
@@ -353,11 +367,16 @@ pub fn count_candidates_bitmap(bitmap: &BitmapDataset, candidates: &[Vec<ItemId>
 
 /// [`supports_of`] over a [`DatasetView`]: the CSR side keeps its
 /// density-dispatched counting, the bitmap side counts by AND + popcount
-/// directly on the columns it already has.
+/// directly on the columns it already has, and the sharded side reduces
+/// per-shard partial counts (sequentially here — callers that want the
+/// fan-out use [`crate::sharded::count_candidates_sharded`] with a policy).
 pub fn supports_of_view(view: DatasetView<'_>, itemsets: &[Vec<ItemId>]) -> Vec<u64> {
     match view {
         DatasetView::Csr(dataset) => supports_of(dataset, itemsets),
         DatasetView::Bitmap(bitmap) => count_candidates_bitmap(bitmap, itemsets),
+        DatasetView::Sharded(sharded) => {
+            crate::sharded::count_candidates_sharded(sharded, itemsets, ExecutionPolicy::Sequential)
+        }
     }
 }
 
@@ -549,6 +568,12 @@ impl SupportProfile {
             ResolvedBackend::Bitmap => {
                 Self::from_bitmap(&BitmapDataset::from_dataset(dataset), k, floor)
             }
+            ResolvedBackend::ShardedBitmap => Self::from_sharded(
+                &ShardedBitmapDataset::from_dataset(dataset),
+                k,
+                floor,
+                ExecutionPolicy::Sequential,
+            ),
         }
     }
 
@@ -560,6 +585,25 @@ impl SupportProfile {
     /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
     pub fn from_bitmap(bitmap: &BitmapDataset, k: usize, floor: u64) -> Result<Self> {
         let mined = Eclat.mine_k_bitmap(bitmap, k, floor)?;
+        Ok(Self::from_itemsets(k, floor, &mined))
+    }
+
+    /// Mine the profile from a transaction-sharded bitmap: the level-wise
+    /// sweep of [`crate::sharded::mine_k_sharded`], whose per-level counting
+    /// pass fans each shard out to a worker under `policy`. Identical
+    /// profiles at any shard width and worker count (partial counts are exact
+    /// and reduced in fixed shard order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn from_sharded(
+        sharded: &ShardedBitmapDataset,
+        k: usize,
+        floor: u64,
+        policy: ExecutionPolicy,
+    ) -> Result<Self> {
+        let mined = crate::sharded::mine_k_sharded(sharded, k, floor, policy)?;
         Ok(Self::from_itemsets(k, floor, &mined))
     }
 

@@ -1,0 +1,203 @@
+//! Counting and level-wise mining over [`ShardedBitmapDataset`]s.
+//!
+//! This is where the transaction-axis sharding of `sigfim-datasets` meets the
+//! execution layer: a candidate batch is counted by handing **each shard** to
+//! a worker ([`ExecutionPolicy::map_indexed`] keeps outputs in input order),
+//! then reducing the per-shard partial counts **in fixed shard order**.
+//! Partial supports are exact integers, so the reduction is plain addition
+//! and the totals are bit-identical to an unsharded count at any shard width
+//! and any worker count — sharding is a pure performance knob, exactly like
+//! the backend choice itself.
+//!
+//! [`mine_k_sharded`] builds on that: a level-wise Apriori sweep (the same
+//! `join`/`prune` steps as [`crate::apriori::Apriori`]) whose per-level
+//! counting pass fans out across shards. Previously one dataset's counting
+//! pass was single-threaded — parallelism existed only *across* Monte-Carlo
+//! replicates; this gives the observed-dataset passes of Procedure 2 (profile
+//! mining, `Q_{k,s}` answering, final family extraction) the same scaling.
+
+use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::transaction::ItemId;
+use sigfim_exec::ExecutionPolicy;
+
+use crate::apriori::mine_k_levelwise;
+use crate::counting::{count_candidates_bitmap, count_candidates_bitmap_with_supports};
+use crate::itemset::ItemsetSupport;
+use crate::miner::validate_mining_args;
+use crate::Result;
+
+/// Batch support counting over a sharded bitmap: each shard is counted by
+/// [`count_candidates_bitmap`] (kernel-dispatched AND + popcount) on its own
+/// worker, and the per-shard partials are summed in shard order. Handles
+/// mixed sizes; empty itemsets get support `t` by convention.
+pub fn count_candidates_sharded(
+    sharded: &ShardedBitmapDataset,
+    candidates: &[Vec<ItemId>],
+    policy: ExecutionPolicy,
+) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let partials = policy.map_indexed(sharded.shards(), |_, shard| {
+        count_candidates_bitmap(shard, candidates)
+    });
+    reduce_in_shard_order(&partials, candidates.len())
+}
+
+/// Per-shard item supports, one shard per worker, in shard order. This is the
+/// single column scan [`mine_k_sharded`] seeds itself with (the partials feed
+/// every level's rarest-first candidate ordering).
+fn per_shard_item_supports(
+    sharded: &ShardedBitmapDataset,
+    policy: ExecutionPolicy,
+) -> Vec<Vec<u64>> {
+    policy.map_indexed(sharded.shards(), |_, shard| shard.item_supports())
+}
+
+/// Sum partial count vectors in their (fixed, input-order) shard order.
+/// `map_indexed` already guarantees input-order outputs under every policy,
+/// and integer addition makes the fold exact — together these are the
+/// bit-identity argument for sharded counting.
+fn reduce_in_shard_order(partials: &[Vec<u64>], len: usize) -> Vec<u64> {
+    let mut totals = vec![0u64; len];
+    for partial in partials {
+        debug_assert_eq!(partial.len(), len);
+        for (total, p) in totals.iter_mut().zip(partial) {
+            *total += p;
+        }
+    }
+    totals
+}
+
+/// Mine all k-itemsets with support at least `min_support` from a sharded
+/// bitmap: level-wise candidate generation (`join` + `prune`, as in Apriori)
+/// with each level's counting pass fanned out shard-by-shard under `policy`.
+/// Returns exactly what [`crate::eclat::Eclat::mine_k_bitmap`] returns on the
+/// equivalent unsharded bitmap (exact supports, canonical order) — enforced
+/// by the sharded-parity proptests.
+///
+/// # Errors
+///
+/// Returns [`crate::MiningError::InvalidParameter`] for `k == 0` or
+/// `min_support == 0`.
+pub fn mine_k_sharded(
+    sharded: &ShardedBitmapDataset,
+    k: usize,
+    min_support: u64,
+    policy: ExecutionPolicy,
+) -> Result<Vec<ItemsetSupport>> {
+    validate_mining_args(k, min_support)?;
+    // Per-shard item supports are scanned exactly once: they seed the global
+    // level-1 supports and then serve every level's rarest-first candidate
+    // ordering (re-deriving them per batch would repeat an
+    // O(items x words-per-shard) column scan at every level).
+    let per_shard_supports = per_shard_item_supports(sharded, policy);
+    let supports = reduce_in_shard_order(&per_shard_supports, sharded.num_items() as usize);
+    Ok(mine_k_levelwise(
+        &supports,
+        k,
+        min_support,
+        true,
+        |candidates, _| {
+            let partials = policy.map_indexed(sharded.shards(), |shard_index, shard| {
+                count_candidates_bitmap_with_supports(
+                    shard,
+                    &per_shard_supports[shard_index],
+                    candidates,
+                )
+            });
+            reduce_in_shard_order(&partials, candidates.len())
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eclat::Eclat;
+    use sigfim_datasets::bitmap::BitmapDataset;
+    use sigfim_datasets::transaction::TransactionDataset;
+
+    fn toy(t: usize) -> TransactionDataset {
+        TransactionDataset::from_transactions(
+            5,
+            (0..t)
+                .map(|i| {
+                    (0..5u32)
+                        .filter(|&j| (i * (j as usize + 3)).is_multiple_of(j as usize + 2))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_counting_matches_the_bitmap_counter() {
+        let csr = toy(200);
+        let bitmap = BitmapDataset::from_dataset(&csr);
+        let candidates = vec![vec![], vec![2], vec![0, 1], vec![0, 1, 2], vec![2, 3, 4]];
+        let expected = count_candidates_bitmap(&bitmap, &candidates);
+        for shard_rows in [64, 128, 512] {
+            let sharded = ShardedBitmapDataset::with_shard_rows(&csr, shard_rows);
+            for policy in [
+                ExecutionPolicy::Sequential,
+                ExecutionPolicy::rayon(2),
+                ExecutionPolicy::rayon(8),
+            ] {
+                assert_eq!(
+                    count_candidates_sharded(&sharded, &candidates, policy),
+                    expected,
+                    "width {shard_rows}, {policy:?}"
+                );
+            }
+        }
+        assert!(count_candidates_sharded(
+            &ShardedBitmapDataset::from_dataset(&csr),
+            &[],
+            ExecutionPolicy::Sequential
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sharded_mining_matches_bitset_eclat() {
+        let csr = toy(150);
+        let bitmap = BitmapDataset::from_dataset(&csr);
+        let sharded = ShardedBitmapDataset::with_shard_rows(&csr, 64);
+        for k in 1..=4 {
+            for s in [1u64, 3, 10, 40] {
+                let reference = Eclat.mine_k_bitmap(&bitmap, k, s).unwrap();
+                for policy in [ExecutionPolicy::Sequential, ExecutionPolicy::rayon(2)] {
+                    assert_eq!(
+                        mine_k_sharded(&sharded, k, s, policy).unwrap(),
+                        reference,
+                        "k = {k}, s = {s}, {policy:?}"
+                    );
+                }
+            }
+        }
+        // Validation is shared with every other miner.
+        assert!(mine_k_sharded(&sharded, 0, 1, ExecutionPolicy::Sequential).is_err());
+        assert!(mine_k_sharded(&sharded, 2, 0, ExecutionPolicy::Sequential).is_err());
+        // Degenerate shapes.
+        let empty = ShardedBitmapDataset::from_dataset(&TransactionDataset::empty(4));
+        assert!(mine_k_sharded(&empty, 2, 1, ExecutionPolicy::Sequential)
+            .unwrap()
+            .is_empty());
+        assert!(mine_k_sharded(&sharded, 6, 1, ExecutionPolicy::Sequential)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn item_supports_fan_out_matches_reference() {
+        let csr = toy(130);
+        let sharded = ShardedBitmapDataset::with_shard_rows(&csr, 64);
+        let partials = per_shard_item_supports(&sharded, ExecutionPolicy::rayon(3));
+        assert_eq!(
+            reduce_in_shard_order(&partials, sharded.num_items() as usize),
+            csr.item_supports()
+        );
+    }
+}

@@ -8,7 +8,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend};
+use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
+use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::counting::{
     count_candidates_bitmap, q_k_s, supports_of, BitmapCounter, HorizontalCounter, SupportCounter,
     SupportProfile, TidListCounter,
@@ -171,6 +173,33 @@ proptest! {
             MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Auto).unwrap();
         prop_assert_eq!(&csr_profile, &bitmap_profile);
         prop_assert_eq!(&csr_profile, &auto_profile);
+    }
+
+    #[test]
+    fn sharded_profiles_match_unsharded_at_1_2_and_8_threads(
+        dataset in varied_density_dataset(),
+        k in 1usize..4,
+        floor in 1u64..5,
+        width in 0usize..3,
+    ) {
+        // The acceptance contract of the sharded backend: a SupportProfile
+        // mined over transaction shards equals the unsharded one at every
+        // shard width and worker count — counting partial supports per shard
+        // and reducing in fixed shard order loses nothing and reorders
+        // nothing.
+        let shard_rows = [64usize, 128, 512][width];
+        let reference = SupportProfile::with_backend(
+            MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Csr).unwrap();
+        let sharded = ShardedBitmapDataset::with_shard_rows(&dataset, shard_rows);
+        for threads in [1usize, 2, 8] {
+            let profile = SupportProfile::from_sharded(
+                &sharded, k, floor, ExecutionPolicy::from_threads(threads)).unwrap();
+            prop_assert_eq!(&profile, &reference, "width {}, {} thread(s)", shard_rows, threads);
+        }
+        // The backend-dispatch entry point agrees too.
+        let dispatched = SupportProfile::with_backend(
+            MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Sharded).unwrap();
+        prop_assert_eq!(&dispatched, &reference);
     }
 
     #[test]

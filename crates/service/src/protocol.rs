@@ -414,6 +414,14 @@ pub struct ServiceStats {
     /// Counters of the process-wide shared threshold store (hits, misses,
     /// entries, evictions, capacity).
     pub threshold_store: CacheStats,
+    /// Aggregated counters of every registered engine's per-engine
+    /// `SupportProfile` cache (hits/misses/entries/evictions summed across
+    /// engines; `capacity` is the summed bound, or `None` if any engine's
+    /// cache is unbounded). Defaulted on deserialization so responses from
+    /// pre-profile-stats servers (which speak the same protocol version —
+    /// the field is additive) still parse, reading as zeroed counters.
+    #[serde(default)]
+    pub profile_caches: CacheStats,
 }
 
 /// The response-side envelope: protocol version plus either a typed result or

@@ -76,6 +76,12 @@ macro_rules! relock {
 struct Tenant {
     engine: Arc<Mutex<DynAnalysisEngine>>,
     info: EngineInfo,
+    /// The profile-cache counters as last observed by [`EngineRegistry::stats`].
+    /// Served when the engine lock is held by a running analysis, so the
+    /// stats endpoint is non-blocking *and* its aggregates stay monotonic
+    /// across polls (a busy tenant reports its previous counters instead of
+    /// dropping out of the sum).
+    last_profile_stats: Arc<Mutex<sigfim_core::engine::CacheStats>>,
 }
 
 #[derive(Debug, Default)]
@@ -166,6 +172,9 @@ impl EngineRegistry {
             Tenant {
                 engine: Arc::new(Mutex::new(engine)),
                 info,
+                last_profile_stats: Arc::new(
+                    Mutex::new(sigfim_core::engine::CacheStats::default()),
+                ),
             },
         );
         Ok(())
@@ -236,13 +245,70 @@ impl EngineRegistry {
         infos
     }
 
-    /// Aggregate counters: engines, accepted operations, shared-store stats.
+    /// Aggregate counters: engines, accepted operations, shared-store stats,
+    /// and the per-engine profile caches summed across tenants. Monitoring
+    /// must never queue behind analysis work, so the aggregation holds no
+    /// lock while waiting: engine handles are cloned out of the registry map
+    /// first (as the analyze path does), and an engine whose lock is held by
+    /// a running analysis contributes its *last observed* counters instead
+    /// of blocking — `/v1/stats` stays O(engines), non-blocking, and
+    /// monotonic across polls (counters never regress; a busy tenant's
+    /// numbers are merely one poll stale).
     pub fn stats(&self) -> ServiceStats {
+        type StatsHandles = (
+            Arc<Mutex<DynAnalysisEngine>>,
+            Arc<Mutex<sigfim_core::engine::CacheStats>>,
+        );
+        let (num_engines, handles): (usize, Vec<StatsHandles>) = {
+            let engines = relock!(self.engines.read());
+            (
+                engines.len(),
+                engines
+                    .values()
+                    .map(|tenant| {
+                        (
+                            Arc::clone(&tenant.engine),
+                            Arc::clone(&tenant.last_profile_stats),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let mut profile_caches = sigfim_core::engine::CacheStats::default();
+        let mut bounded = true;
+        let mut capacity_sum = 0usize;
+        for (engine, snapshot) in handles {
+            let stats = match engine.try_lock() {
+                Ok(engine) => {
+                    let fresh = engine.profile_cache_stats();
+                    *relock!(snapshot.lock()) = fresh;
+                    fresh
+                }
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    let fresh = poisoned.into_inner().profile_cache_stats();
+                    *relock!(snapshot.lock()) = fresh;
+                    fresh
+                }
+                // Mid-analysis: serve the previous observation rather than
+                // block the monitoring call behind the replicate loop.
+                Err(std::sync::TryLockError::WouldBlock) => *relock!(snapshot.lock()),
+            };
+            profile_caches.hits += stats.hits;
+            profile_caches.misses += stats.misses;
+            profile_caches.entries += stats.entries;
+            profile_caches.evictions += stats.evictions;
+            match stats.capacity {
+                Some(capacity) => capacity_sum += capacity,
+                None => bounded = false,
+            }
+        }
+        profile_caches.capacity = bounded.then_some(capacity_sum);
         ServiceStats {
-            engines: relock!(self.engines.read()).len(),
+            engines: num_engines,
             analyze_requests: self.analyze_requests.load(Ordering::Relaxed),
             threshold_requests: self.threshold_requests.load(Ordering::Relaxed),
             threshold_store: self.store.stats(),
+            profile_caches,
         }
     }
 

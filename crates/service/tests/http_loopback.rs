@@ -223,6 +223,24 @@ fn bounded_store_evicts_and_reports_through_stats() {
         "expected at least one LRU eviction, got {:?}",
         stats.threshold_store
     );
+    // The per-engine profile caches surface over the wire too (ROADMAP open
+    // item): three analyze calls over one engine mined at least one floor
+    // profile, bounded by the default per-engine capacity.
+    assert!(
+        stats.profile_caches.entries >= 1,
+        "expected mined profiles in the aggregate, got {:?}",
+        stats.profile_caches
+    );
+    assert_eq!(
+        stats.profile_caches.capacity,
+        Some(sigfim_core::engine::DEFAULT_PROFILE_CACHE_CAPACITY),
+        "one tenant with the default bound"
+    );
+    assert_eq!(
+        stats.profile_caches.hits + stats.profile_caches.misses,
+        3,
+        "every analyze consults the profile cache once"
+    );
     server.shutdown();
 }
 

@@ -29,11 +29,7 @@ fn miner_from(index: u64) -> MinerKind {
 }
 
 fn backend_from(index: u64) -> DatasetBackend {
-    match index % 3 {
-        0 => DatasetBackend::Auto,
-        1 => DatasetBackend::Csr,
-        _ => DatasetBackend::Bitmap,
-    }
+    DatasetBackend::ALL[index as usize % DatasetBackend::ALL.len()]
 }
 
 fn request_from(ks: Vec<usize>, knobs: (f64, f64, f64), flags: u64, seed: u64) -> AnalysisRequest {
@@ -200,6 +196,17 @@ proptest! {
                     None
                 } else {
                     Some(counters[2] as usize)
+                },
+            },
+            profile_caches: CacheStats {
+                hits: counters[5],
+                misses: counters[3],
+                entries: counters[4] as usize,
+                evictions: counters[0] / 3,
+                capacity: if counters[1].is_multiple_of(2) {
+                    Some(counters[1] as usize)
+                } else {
+                    None
                 },
             },
         };

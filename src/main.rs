@@ -3,13 +3,13 @@
 //! ```text
 //! sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] [--beta <b>]
 //!        [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>]
-//!        [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap]
+//!        [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap|sharded]
 //!        [--max-restarts <n>] [--swap-null [<swaps-per-entry>]]
 //!        [--cache-capacity <n>] [--conservative-lambda] [--no-baseline]
 //!        [--list <n>]
 //!
 //! sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]
-//!        [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap]
+//!        [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]
 //!        [--swap-null [<swaps-per-entry>]]
 //! ```
 //!
@@ -56,7 +56,7 @@ struct CliOptions {
     replicates: usize,
     seed: u64,
     miner: MinerKind,
-    /// Physical dataset backend ({auto, csr, bitmap}); `auto` resolves per
+    /// Physical dataset backend ({auto, csr, bitmap, sharded}); `auto` resolves per
     /// workload from the density/size heuristic. The analysis result is
     /// identical either way.
     backend: DatasetBackend,
@@ -75,12 +75,12 @@ struct CliOptions {
 
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] \
     [--beta <b>] [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
-    [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap] [--max-restarts <n>] \
+    [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap|sharded] [--max-restarts <n>] \
     [--swap-null [<swaps-per-entry>]] [--cache-capacity <n>] [--conservative-lambda] \
     [--no-baseline] [--list <n>]\n\
     \n\
     sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]\n\
-    \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap]\n\
+    \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]\n\
     \x20       [--swap-null [<swaps-per-entry>]]\n\
     \n\
     --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
