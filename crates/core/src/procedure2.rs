@@ -29,6 +29,7 @@ use sigfim_mining::counting::SupportProfile;
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::itemset::ItemsetSupport;
 use sigfim_mining::miner::MinerKind;
+use sigfim_mining::par_eclat::ParallelEclat;
 use sigfim_mining::sharded::mine_k_sharded;
 use sigfim_stats::testing::{split_alpha_evenly, split_beta_evenly};
 use sigfim_stats::Poisson;
@@ -46,7 +47,10 @@ pub struct Procedure2 {
     pub alpha: f64,
     /// FDR budget `β` for the returned family.
     pub beta: f64,
-    /// Mining algorithm used to compute the support profile and the final family.
+    /// Mining algorithm used to compute the support profile and the final
+    /// family. [`MinerKind::ParEclat`] makes the bitmap/sharded passes run
+    /// the subtree-parallel Eclat under [`Procedure2::policy`]; every miner
+    /// yields bit-identical results.
     pub miner: MinerKind,
     /// Physical dataset representation for the profile mining and the final
     /// family: `Auto` resolves from the dataset's measured density, the
@@ -153,7 +157,13 @@ impl Procedure2 {
             SupportProfile::from_itemsets(self.k, s_min, &[])
         } else {
             match (&bitmap, &sharded) {
+                (Some(bitmap), _) if self.miner == MinerKind::ParEclat => {
+                    SupportProfile::from_bitmap_parallel(bitmap, self.k, s_min, self.policy)?
+                }
                 (Some(bitmap), _) => SupportProfile::from_bitmap(bitmap, self.k, s_min)?,
+                (None, Some(sharded)) if self.miner == MinerKind::ParEclat => {
+                    SupportProfile::from_sharded_parallel(sharded, self.k, s_min, self.policy)?
+                }
                 (None, Some(sharded)) => {
                     SupportProfile::from_sharded(sharded, self.k, s_min, self.policy)?
                 }
@@ -174,10 +184,12 @@ impl Procedure2 {
     /// of the grid: via the bitset Eclat when a bitmap is supplied, via the
     /// shard-parallel level-wise sweep when a sharded bitmap is supplied (each
     /// level's counting fans out under `policy`), via the selected miner
-    /// (counting through the density-chosen `SupportCounter`) otherwise. When
-    /// no itemset can reach the floor the profile is empty without any mining
-    /// pass. A supplied `bitmap` wins over `sharded` (engines hold at most
-    /// one).
+    /// (counting through the density-chosen `SupportCounter`) otherwise. With
+    /// `miner = MinerKind::ParEclat` the bitmap and sharded passes instead run
+    /// the subtree-parallel Eclat under `policy` — bit-identical profiles
+    /// either way. When no itemset can reach the floor the profile is empty
+    /// without any mining pass. A supplied `bitmap` wins over `sharded`
+    /// (engines hold at most one).
     ///
     /// # Errors
     ///
@@ -195,7 +207,13 @@ impl Procedure2 {
             return Ok(SupportProfile::from_itemsets(k, s_min, &[]));
         }
         match (bitmap, sharded) {
+            (Some(bitmap), _) if miner == MinerKind::ParEclat => Ok(
+                SupportProfile::from_bitmap_parallel(bitmap, k, s_min, policy)?,
+            ),
             (Some(bitmap), _) => Ok(SupportProfile::from_bitmap(bitmap, k, s_min)?),
+            (None, Some(sharded)) if miner == MinerKind::ParEclat => Ok(
+                SupportProfile::from_sharded_parallel(sharded, k, s_min, policy)?,
+            ),
             (None, Some(sharded)) => Ok(SupportProfile::from_sharded(sharded, k, s_min, policy)?),
             (None, None) => Ok(SupportProfile::with_miner(miner, dataset, k, s_min)?),
         }
@@ -277,7 +295,13 @@ impl Procedure2 {
         }
 
         let significant = match (s_star, bitmap, sharded) {
+            (Some(s), Some(bitmap), _) if self.miner == MinerKind::ParEclat => {
+                ParallelEclat::new(self.policy).mine_k_bitmap(bitmap, self.k, s)?
+            }
             (Some(s), Some(bitmap), _) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
+            (Some(s), None, Some(sharded)) if self.miner == MinerKind::ParEclat => {
+                ParallelEclat::new(self.policy).mine_k_sharded(sharded, self.k, s)?
+            }
             (Some(s), None, Some(sharded)) => mine_k_sharded(sharded, self.k, s, self.policy)?,
             (Some(s), None, None) => self.miner.mine_k(dataset, self.k, s)?,
             (None, _, _) => Vec::new(),

@@ -2,27 +2,36 @@
 //!
 //! Every hot popcount/AND loop of the bitmap backend — `and_count`,
 //! `and_count_into`, `and_into` and whole-slice popcounts — funnels through a
-//! [`Kernels`] vtable selected **once** per process. Three implementations are
+//! [`Kernels`] vtable selected **once** per process. Four implementations are
 //! provided:
 //!
 //! * `scalar` — the straightforward `u64::count_ones` loop (the pre-kernel
 //!   behaviour, and the portable baseline the others are tested against),
 //! * `unrolled` — a portable 4×-unrolled variant with independent
 //!   accumulators, giving the compiler the instruction-level parallelism the
-//!   rolled loop hides, and
+//!   rolled loop hides,
 //! * `avx2` — 256-bit `VPAND` plus the classic `PSHUFB` nibble-lookup
 //!   popcount (accumulated with `VPSADBW`), processing four words per
 //!   instruction; compiled with `#[target_feature(enable = "avx2")]` and only
 //!   ever selected when `is_x86_feature_detected!("avx2")` says the CPU has
-//!   it.
+//!   it, and
+//! * `avx512` — 512-bit `VPANDQ` plus the native `VPOPCNTDQ` per-lane
+//!   popcount, processing eight words per instruction; compiled with
+//!   `#[target_feature(enable = "avx512f,avx512vpopcntdq")]` and only ever
+//!   selected when `is_x86_feature_detected!("avx512vpopcntdq")` (plus
+//!   `avx512f`) succeeds.
 //!
 //! All kernels compute **exact integer popcounts**, so every dispatch choice
 //! returns bit-identical results — the backend-parity and engine-parity suites
 //! run under forced `scalar` and `auto` dispatch in CI to enforce exactly
-//! that. Selection is automatic (AVX2 where detected, the unrolled portable
-//! variant otherwise) and can be overridden for testing and benchmarking with
-//! the `SIGFIM_KERNELS` environment variable (`scalar`, `unrolled`, `avx2` or
-//! `auto`), read once at first use.
+//! that. Selection is automatic (`auto` consults the one-shot startup
+//! micro-benchmark in [`crate::tune`]; with tuning off it statically prefers
+//! AVX-512, then AVX2, then the unrolled portable variant) and can be
+//! overridden for testing and benchmarking with the `SIGFIM_KERNELS`
+//! environment variable (`scalar`, `unrolled`, `avx2`, `avx512` or `auto`),
+//! read once at first use. Front-ends should validate overrides at startup
+//! with [`configure_kernels`] instead of letting the first dispatch panic
+//! deep inside a mining call.
 
 use std::sync::OnceLock;
 
@@ -40,15 +49,20 @@ pub enum KernelMode {
     /// The AVX2 wide-AND + `PSHUFB`-lookup popcount kernel. Only selectable on
     /// x86-64 CPUs that report AVX2 support.
     Avx2,
+    /// The AVX-512 wide-AND + `VPOPCNTDQ` native popcount kernel. Only
+    /// selectable on x86-64 CPUs that report both `avx512f` and
+    /// `avx512vpopcntdq`.
+    Avx512,
 }
 
 impl KernelMode {
     /// Every mode, for configuration surfaces and test matrices.
-    pub const ALL: [KernelMode; 4] = [
+    pub const ALL: [KernelMode; 5] = [
         KernelMode::Auto,
         KernelMode::Scalar,
         KernelMode::Unrolled,
         KernelMode::Avx2,
+        KernelMode::Avx512,
     ];
 
     /// Environment-variable / command-line name.
@@ -58,15 +72,17 @@ impl KernelMode {
             KernelMode::Scalar => "scalar",
             KernelMode::Unrolled => "unrolled",
             KernelMode::Avx2 => "avx2",
+            KernelMode::Avx512 => "avx512",
         }
     }
 
     /// Whether this mode can run on the current CPU. `Auto`, `Scalar` and
     /// `Unrolled` always can; `Avx2` requires runtime AVX2 detection to
-    /// succeed.
+    /// succeed and `Avx512` requires `avx512f` + `avx512vpopcntdq`.
     pub fn is_supported(&self) -> bool {
         match self {
             KernelMode::Avx2 => avx2_supported(),
+            KernelMode::Avx512 => avx512_supported(),
             _ => true,
         }
     }
@@ -90,8 +106,9 @@ impl std::str::FromStr for KernelMode {
             "scalar" => Ok(KernelMode::Scalar),
             "unrolled" => Ok(KernelMode::Unrolled),
             "avx2" => Ok(KernelMode::Avx2),
+            "avx512" => Ok(KernelMode::Avx512),
             other => Err(format!(
-                "unknown kernel mode `{other}` (expected auto, scalar, unrolled or avx2)"
+                "unknown kernel mode `{other}` (expected auto, scalar, unrolled, avx2 or avx512)"
             )),
         }
     }
@@ -111,6 +128,31 @@ fn avx2_supported() -> bool {
 #[cfg(not(target_arch = "x86_64"))]
 fn avx2_supported() -> bool {
     false
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx512_supported() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx512_supported() -> bool {
+    false
+}
+
+/// The static `auto` preference order, used when the startup tuner is
+/// disabled (`SIGFIM_TUNE=off`) and by [`kernels_for`]'s `Auto` arm: the
+/// widest kernel the CPU supports wins (AVX-512 over AVX2 over the portable
+/// unrolled loop).
+pub(crate) fn static_auto_mode() -> KernelMode {
+    if avx512_supported() {
+        KernelMode::Avx512
+    } else if avx2_supported() {
+        KernelMode::Avx2
+    } else {
+        KernelMode::Unrolled
+    }
 }
 
 /// The word-level counting vtable. All four operations are exact, so every
@@ -133,7 +175,8 @@ impl std::fmt::Debug for Kernels {
 }
 
 impl Kernels {
-    /// The implementation name (`"scalar"`, `"unrolled"` or `"avx2"`).
+    /// The implementation name (`"scalar"`, `"unrolled"`, `"avx2"` or
+    /// `"avx512"`).
     pub fn name(&self) -> &'static str {
         self.name
     }
@@ -204,14 +247,25 @@ static AVX2: Kernels = Kernels {
     popcount_slice: avx2::popcount_slice,
 };
 
-/// The kernels implementing `mode`.
+#[cfg(target_arch = "x86_64")]
+static AVX512: Kernels = Kernels {
+    name: "avx512",
+    and_count: avx512::and_count,
+    and_count_into: avx512::and_count_into,
+    and_into: avx512::and_into,
+    popcount_slice: avx512::popcount_slice,
+};
+
+/// The kernels implementing `mode`. `Auto` resolves by the **static**
+/// preference order (best supported SIMD tier); the process-wide [`kernels`]
+/// dispatch additionally consults the startup tuner.
 ///
 /// # Panics
 ///
-/// Panics when `mode` is [`KernelMode::Avx2`] on a machine without AVX2 —
-/// dispatching the AVX2 kernel there would be undefined behaviour, so the
-/// request is refused loudly instead (check [`KernelMode::is_supported`]
-/// first).
+/// Panics when `mode` is [`KernelMode::Avx2`] or [`KernelMode::Avx512`] on a
+/// machine without the feature — dispatching the kernel there would be
+/// undefined behaviour, so the request is refused loudly instead (check
+/// [`KernelMode::is_supported`] first).
 pub fn kernels_for(mode: KernelMode) -> &'static Kernels {
     match mode {
         KernelMode::Scalar => &SCALAR,
@@ -219,7 +273,7 @@ pub fn kernels_for(mode: KernelMode) -> &'static Kernels {
         KernelMode::Avx2 => {
             assert!(
                 mode.is_supported(),
-                "SIGFIM_KERNELS=avx2 requested but this CPU does not report AVX2"
+                "kernel mode avx2 requested but this CPU does not report AVX2"
             );
             #[cfg(target_arch = "x86_64")]
             {
@@ -228,36 +282,152 @@ pub fn kernels_for(mode: KernelMode) -> &'static Kernels {
             #[cfg(not(target_arch = "x86_64"))]
             unreachable!("is_supported() is false off x86_64")
         }
-        KernelMode::Auto => {
-            if avx2_supported() {
-                kernels_for(KernelMode::Avx2)
-            } else {
-                &UNROLLED
+        KernelMode::Avx512 => {
+            assert!(
+                mode.is_supported(),
+                "kernel mode avx512 requested but this CPU does not report avx512f + avx512vpopcntdq"
+            );
+            #[cfg(target_arch = "x86_64")]
+            {
+                &AVX512
             }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("is_supported() is false off x86_64")
         }
+        KernelMode::Auto => kernels_for(static_auto_mode()),
     }
 }
 
-/// The process-wide dispatched kernels: `SIGFIM_KERNELS` if set (one of
-/// `scalar`, `unrolled`, `avx2`, `auto`), automatic detection otherwise. The
-/// environment variable is read once, at the first call.
+/// Explicit process-wide mode override installed by [`configure_kernels`];
+/// read before the environment variable by [`kernels`].
+static MODE_OVERRIDE: OnceLock<KernelMode> = OnceLock::new();
+
+static DISPATCH: OnceLock<&'static Kernels> = OnceLock::new();
+
+/// The process-wide dispatched kernels: the [`configure_kernels`] override if
+/// installed, otherwise `SIGFIM_KERNELS` if set (one of `scalar`, `unrolled`,
+/// `avx2`, `avx512`, `auto`), otherwise automatic detection. `auto` consults
+/// the one-shot startup micro-benchmark ([`crate::tune`]) to pick among the
+/// supported kernels; with `SIGFIM_TUNE=off` it falls back to the static
+/// preference order. The environment variable is read once, at the first
+/// call.
 ///
 /// # Panics
 ///
 /// Panics (at first use) when `SIGFIM_KERNELS` names an unknown mode or
-/// forces `avx2` on a CPU without it — a silent fallback would invalidate the
-/// benchmark or parity run that set the override.
+/// forces a SIMD kernel on a CPU without it — a silent fallback would
+/// invalidate the benchmark or parity run that set the override. Front-ends
+/// should call [`configure_kernels`] at startup to turn that panic into a
+/// readable argument error.
 pub fn kernels() -> &'static Kernels {
-    static DISPATCH: OnceLock<&'static Kernels> = OnceLock::new();
     DISPATCH.get_or_init(|| {
-        let mode = match std::env::var("SIGFIM_KERNELS") {
-            Ok(value) => value
-                .parse::<KernelMode>()
-                .unwrap_or_else(|error| panic!("SIGFIM_KERNELS: {error}")),
-            Err(_) => KernelMode::Auto,
+        let mode = match MODE_OVERRIDE.get().copied() {
+            Some(mode) => mode,
+            None => match std::env::var("SIGFIM_KERNELS") {
+                Ok(value) => value
+                    .parse::<KernelMode>()
+                    .unwrap_or_else(|error| panic!("SIGFIM_KERNELS: {error}")),
+                Err(_) => KernelMode::Auto,
+            },
         };
-        kernels_for(mode)
+        resolve_dispatch(mode)
     })
+}
+
+/// Resolve a requested mode to concrete kernels, letting `Auto` consult the
+/// startup tuner.
+fn resolve_dispatch(mode: KernelMode) -> &'static Kernels {
+    match mode {
+        KernelMode::Auto => kernels_for(crate::tune::tuned_kernel_mode()),
+        concrete => kernels_for(concrete),
+    }
+}
+
+/// Comma-separated names of every mode this CPU can actually run — the list
+/// startup validation errors print.
+pub fn supported_mode_names() -> String {
+    KernelMode::supported()
+        .iter()
+        .map(KernelMode::name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Pure startup-validation step: combine an optional `--kernels` flag value
+/// with an optional `SIGFIM_KERNELS` environment value into the mode the
+/// process should dispatch. The flag wins, but a *conflicting* pair (both
+/// set, different modes) is an error rather than a silent preference; an
+/// unparsable environment value or a mode this CPU cannot run is reported
+/// with the list of supported modes instead of panicking at first dispatch.
+pub fn resolve_kernel_request(
+    flag: Option<KernelMode>,
+    env: Option<&str>,
+) -> Result<KernelMode, String> {
+    let env_mode = match env {
+        Some(value) => Some(value.parse::<KernelMode>().map_err(|error| {
+            format!(
+                "SIGFIM_KERNELS: {error}; this CPU supports: {}",
+                supported_mode_names()
+            )
+        })?),
+        None => None,
+    };
+    let requested = match (flag, env_mode) {
+        (Some(flag), Some(env)) if flag != env => {
+            return Err(format!(
+                "--kernels {flag} conflicts with SIGFIM_KERNELS={env}; unset one or make them agree"
+            ));
+        }
+        (Some(flag), _) => flag,
+        (None, Some(env)) => env,
+        (None, None) => KernelMode::Auto,
+    };
+    if !requested.is_supported() {
+        return Err(format!(
+            "kernel mode `{requested}` is not supported on this CPU (supported: {})",
+            supported_mode_names()
+        ));
+    }
+    Ok(requested)
+}
+
+/// Install `mode` as the process-wide dispatch, resolving it immediately.
+/// Fails (instead of silently losing) when the dispatch already resolved to
+/// something else — either via an earlier install or because a counting call
+/// ran before configuration.
+pub fn install_kernel_mode(mode: KernelMode) -> Result<&'static Kernels, String> {
+    if !mode.is_supported() {
+        return Err(format!(
+            "kernel mode `{mode}` is not supported on this CPU (supported: {})",
+            supported_mode_names()
+        ));
+    }
+    let installed = *MODE_OVERRIDE.get_or_init(|| mode);
+    if installed != mode {
+        return Err(format!(
+            "kernel mode already configured as `{installed}`; cannot re-configure as `{mode}`"
+        ));
+    }
+    let resolved = kernels();
+    let expected = resolve_dispatch(mode);
+    if !std::ptr::eq(resolved, expected) {
+        return Err(format!(
+            "kernel dispatch already resolved to `{}` before configuration; \
+             configure kernels before the first counting call",
+            resolved.name()
+        ));
+    }
+    Ok(resolved)
+}
+
+/// Startup entry point for the CLI and server: validate the `--kernels` flag
+/// against `SIGFIM_KERNELS` ([`resolve_kernel_request`]) and install the
+/// result as the process-wide dispatch. Returns the resolved kernels so the
+/// caller can report the concrete implementation that will run.
+pub fn configure_kernels(flag: Option<KernelMode>) -> Result<&'static Kernels, String> {
+    let env = std::env::var("SIGFIM_KERNELS").ok();
+    let requested = resolve_kernel_request(flag, env.as_deref())?;
+    install_kernel_mode(requested)
 }
 
 mod scalar {
@@ -501,6 +671,111 @@ mod avx2 {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! 512-bit wide-AND plus the native `VPOPCNTDQ` per-lane popcount: where
+    //! AVX2 emulates popcount with a nibble table, AVX-512 VPOPCNTDQ counts
+    //! all eight 64-bit lanes in one instruction, so the loop body is just
+    //! AND → POPCNT → lane-wise accumulate.
+    //!
+    //! Every public function here is a **safe** wrapper around a
+    //! `#[target_feature(enable = "avx512f,avx512vpopcntdq")]` implementation.
+    //! That is sound because the only paths that hand these function pointers
+    //! out — [`super::kernels_for`] and therefore [`super::kernels`] — refuse
+    //! the AVX-512 vtable unless `is_x86_feature_detected!` confirmed both
+    //! features.
+
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_and_si512, _mm512_loadu_si512, _mm512_popcnt_epi64,
+        _mm512_reduce_add_epi64, _mm512_setzero_si512, _mm512_storeu_si512,
+    };
+
+    /// Words per 512-bit vector.
+    const LANES: usize = 8;
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn and_count_impl(a: &[u64], b: &[u64]) -> u64 {
+        let vectors = a.len() / LANES;
+        let mut acc = _mm512_setzero_si512();
+        for i in 0..vectors {
+            // SAFETY: i * LANES + LANES <= a.len() == b.len(); unaligned loads.
+            let va = _mm512_loadu_si512(a.as_ptr().add(i * LANES).cast());
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i * LANES).cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+        }
+        let tail = vectors * LANES;
+        (_mm512_reduce_add_epi64(acc) as u64) + super::scalar::and_count(&a[tail..], &b[tail..])
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn and_count_into_impl(dst: &mut [u64], src: &[u64]) -> u64 {
+        let vectors = dst.len() / LANES;
+        let mut acc = _mm512_setzero_si512();
+        for i in 0..vectors {
+            // SAFETY: i * LANES + LANES <= dst.len() == src.len(); unaligned.
+            let d = _mm512_loadu_si512(dst.as_ptr().add(i * LANES).cast());
+            let s = _mm512_loadu_si512(src.as_ptr().add(i * LANES).cast());
+            let v = _mm512_and_si512(d, s);
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i * LANES).cast(), v);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        }
+        let tail = vectors * LANES;
+        (_mm512_reduce_add_epi64(acc) as u64)
+            + super::scalar::and_count_into(&mut dst[tail..], &src[tail..])
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn and_into_impl(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+        let vectors = dst.len() / LANES;
+        let mut acc = _mm512_setzero_si512();
+        for i in 0..vectors {
+            // SAFETY: i * LANES + LANES <= dst.len() == a.len() == b.len().
+            let va = _mm512_loadu_si512(a.as_ptr().add(i * LANES).cast());
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i * LANES).cast());
+            let v = _mm512_and_si512(va, vb);
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i * LANES).cast(), v);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        }
+        let tail = vectors * LANES;
+        (_mm512_reduce_add_epi64(acc) as u64)
+            + super::scalar::and_into(&mut dst[tail..], &a[tail..], &b[tail..])
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn popcount_slice_impl(words: &[u64]) -> u64 {
+        let vectors = words.len() / LANES;
+        let mut acc = _mm512_setzero_si512();
+        for i in 0..vectors {
+            // SAFETY: i * LANES + LANES <= words.len(); unaligned load.
+            let v = _mm512_loadu_si512(words.as_ptr().add(i * LANES).cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        }
+        let tail = vectors * LANES;
+        (_mm512_reduce_add_epi64(acc) as u64) + super::scalar::popcount_slice(&words[tail..])
+    }
+
+    pub(super) fn and_count(a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: reachable only through the feature-detected vtable (see
+        // module docs); slice lengths are validated by the `Kernels` wrapper.
+        unsafe { and_count_impl(a, b) }
+    }
+
+    pub(super) fn and_count_into(dst: &mut [u64], src: &[u64]) -> u64 {
+        // SAFETY: as above.
+        unsafe { and_count_into_impl(dst, src) }
+    }
+
+    pub(super) fn and_into(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: as above.
+        unsafe { and_into_impl(dst, a, b) }
+    }
+
+    pub(super) fn popcount_slice(words: &[u64]) -> u64 {
+        // SAFETY: as above.
+        unsafe { popcount_slice_impl(words) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,16 +834,56 @@ mod tests {
         assert!(KernelMode::Scalar.is_supported());
         assert!(KernelMode::Unrolled.is_supported());
         assert!(KernelMode::supported().contains(&KernelMode::Auto));
+        // The supported-list helper names every runnable mode.
+        let names = supported_mode_names();
+        assert!(names.contains("scalar") && names.contains("unrolled"));
     }
 
     #[test]
     fn dispatch_resolves_to_a_named_kernel() {
         let dispatched = kernels();
-        assert!(["scalar", "unrolled", "avx2"].contains(&dispatched.name()));
-        // Auto resolves to a concrete implementation, never a fourth name.
+        assert!(["scalar", "unrolled", "avx2", "avx512"].contains(&dispatched.name()));
+        // Auto resolves to a concrete implementation, never a fifth name.
         let auto = kernels_for(KernelMode::Auto);
-        assert!(["unrolled", "avx2"].contains(&auto.name()));
+        assert!(["unrolled", "avx2", "avx512"].contains(&auto.name()));
         assert_eq!(kernels_for(KernelMode::Scalar).name(), "scalar");
         assert!(format!("{auto:?}").contains(auto.name()));
+    }
+
+    #[test]
+    fn startup_validation_resolves_flag_and_env() {
+        // Flag alone, env alone, neither.
+        assert_eq!(
+            resolve_kernel_request(Some(KernelMode::Scalar), None).unwrap(),
+            KernelMode::Scalar
+        );
+        assert_eq!(
+            resolve_kernel_request(None, Some("unrolled")).unwrap(),
+            KernelMode::Unrolled
+        );
+        assert_eq!(
+            resolve_kernel_request(None, None).unwrap(),
+            KernelMode::Auto
+        );
+        // Agreement is fine; conflict errors loudly naming both sources.
+        assert_eq!(
+            resolve_kernel_request(Some(KernelMode::Auto), Some("auto")).unwrap(),
+            KernelMode::Auto
+        );
+        let conflict =
+            resolve_kernel_request(Some(KernelMode::Scalar), Some("unrolled")).unwrap_err();
+        assert!(conflict.contains("--kernels scalar"), "{conflict}");
+        assert!(conflict.contains("SIGFIM_KERNELS=unrolled"), "{conflict}");
+        // Unknown env values surface the supported-mode list at startup
+        // instead of panicking at first dispatch.
+        let unknown = resolve_kernel_request(None, Some("sse9")).unwrap_err();
+        assert!(unknown.contains("supports"), "{unknown}");
+        assert!(unknown.contains("scalar"), "{unknown}");
+        // An unsupported SIMD mode is rejected with the supported list.
+        if !KernelMode::Avx512.is_supported() {
+            let err = resolve_kernel_request(Some(KernelMode::Avx512), None).unwrap_err();
+            assert!(err.contains("not supported"), "{err}");
+            assert!(err.contains("scalar"), "{err}");
+        }
     }
 }

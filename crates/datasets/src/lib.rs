@@ -15,8 +15,11 @@
 //!   buffer for the zero-allocation Monte-Carlo replicate loop. The
 //!   [`bitmap::DatasetBackend`] heuristic decides when it beats CSR.
 //! * [`mod@kernels`] — the runtime-dispatched counting kernels (scalar / unrolled /
-//!   AVX2 popcount + wide AND) every dense counting loop funnels through, with a
-//!   `SIGFIM_KERNELS` override for testing and benchmarking.
+//!   AVX2 / AVX-512 `VPOPCNTDQ` popcount + wide AND) every dense counting loop
+//!   funnels through, with a `SIGFIM_KERNELS` override for testing and
+//!   benchmarking and startup validation for front-ends.
+//! * [`mod@tune`] — the one-shot startup micro-benchmark that picks the `auto`
+//!   kernel and the default shard width per machine (`SIGFIM_TUNE=off|auto`).
 //! * [`sharded::ShardedBitmapDataset`] — the transaction axis split into
 //!   word-aligned row-range shards, so one dataset's counting pass can fan out
 //!   across workers with bit-identical results.
@@ -73,11 +76,12 @@ pub mod random;
 pub mod sharded;
 pub mod summary;
 pub mod transaction;
+pub mod tune;
 pub mod view;
 
 pub use benchmarks::{BenchmarkDataset, BenchmarkSpec};
 pub use bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
-pub use kernels::{kernels, kernels_for, KernelMode, Kernels};
+pub use kernels::{configure_kernels, kernels, kernels_for, KernelMode, Kernels};
 pub use random::BernoulliModel;
 pub use sharded::ShardedBitmapDataset;
 pub use summary::DatasetSummary;

@@ -95,12 +95,13 @@ impl Deserialize for ShardedBitmapDataset {
 }
 
 impl ShardedBitmapDataset {
-    /// Shard `dataset` with the default L2-fitting shard width
-    /// ([`ShardedBitmapDataset::default_shard_rows`]).
+    /// Shard `dataset` with the machine-tuned shard width
+    /// ([`ShardedBitmapDataset::tuned_shard_rows`]; equal to
+    /// [`ShardedBitmapDataset::default_shard_rows`] when `SIGFIM_TUNE=off`).
     pub fn from_dataset(dataset: &TransactionDataset) -> Self {
         Self::with_shard_rows(
             dataset,
-            Self::default_shard_rows(dataset.num_items(), dataset.num_transactions()),
+            Self::tuned_shard_rows(dataset.num_items(), dataset.num_transactions()),
         )
     }
 
@@ -145,7 +146,31 @@ impl ShardedBitmapDataset {
     /// (`num_items · shard_rows / 8` bytes) fits [`SHARD_L2_BUDGET_BYTES`],
     /// and at least 64 so every shard holds a whole word.
     pub fn default_shard_rows(num_items: u32, num_transactions: usize) -> usize {
-        let words_per_shard_column = (SHARD_L2_BUDGET_BYTES / 8) / num_items.max(1) as usize;
+        Self::shard_rows_for_budget(SHARD_L2_BUDGET_BYTES, num_items, num_transactions)
+    }
+
+    /// The shard width the startup tuner recommends for this machine: same
+    /// formula as [`ShardedBitmapDataset::default_shard_rows`], but with the
+    /// cache budget measured once per process by [`crate::tune`] instead of
+    /// the static L2 guess. Identical to the default when `SIGFIM_TUNE=off`.
+    /// Any width yields bit-identical results — the fixed-order exact
+    /// reduction makes the choice a pure speed knob.
+    pub fn tuned_shard_rows(num_items: u32, num_transactions: usize) -> usize {
+        Self::shard_rows_for_budget(
+            crate::tune::tuned_shard_budget_bytes(),
+            num_items,
+            num_transactions,
+        )
+    }
+
+    /// The largest word-aligned shard width whose column set fits
+    /// `budget_bytes`, capped at the (word-rounded) dataset height.
+    fn shard_rows_for_budget(
+        budget_bytes: usize,
+        num_items: u32,
+        num_transactions: usize,
+    ) -> usize {
+        let words_per_shard_column = (budget_bytes / 8) / num_items.max(1) as usize;
         let rows = words_per_shard_column.max(1) * WORD_BITS;
         // Never shard wider than the dataset itself (rounded up to a word).
         rows.min(num_transactions.div_ceil(WORD_BITS).max(1) * WORD_BITS)

@@ -163,6 +163,7 @@ impl Eclat {
         min_support: u64,
     ) -> Result<Vec<ItemsetSupport>> {
         validate_mining_args(k, min_support)?;
+        crate::dispatch::record(crate::dispatch::DispatchPath::EclatBitmap);
         let tail: Vec<(ItemId, u64)> = (0..dataset.num_items())
             .map(|item| (item, dataset.item_support(item)))
             .filter(|&(_, support)| support >= min_support)

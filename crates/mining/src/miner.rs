@@ -7,9 +7,11 @@ use sigfim_datasets::transaction::TransactionDataset;
 
 use crate::apriori::Apriori;
 use crate::bruteforce::BruteForce;
+use crate::dispatch::{self, DispatchPath};
 use crate::eclat::Eclat;
 use crate::fpgrowth::FpGrowth;
 use crate::itemset::{sort_canonical, ItemsetSupport};
+use crate::par_eclat::ParallelEclat;
 use crate::{MiningError, Result};
 
 /// A frequent-k-itemset miner.
@@ -87,15 +89,20 @@ pub enum MinerKind {
     /// Exhaustive enumeration of all `C(n', k)` candidate combinations of frequent
     /// items. Reference implementation for tests; infeasible for large `n'`.
     BruteForce,
+    /// Subtree-parallel depth-first bitset Eclat
+    /// ([`crate::par_eclat::ParallelEclat`]): item subtrees fan out across
+    /// workers, bit-identical to `Eclat` at any worker count.
+    ParEclat,
 }
 
 impl MinerKind {
     /// All algorithm kinds (useful for cross-checking tests and benches).
-    pub const ALL: [MinerKind; 4] = [
+    pub const ALL: [MinerKind; 5] = [
         MinerKind::Apriori,
         MinerKind::Eclat,
         MinerKind::FpGrowth,
         MinerKind::BruteForce,
+        MinerKind::ParEclat,
     ];
 
     /// Human-readable name.
@@ -105,6 +112,7 @@ impl MinerKind {
             MinerKind::Eclat => "eclat",
             MinerKind::FpGrowth => "fp-growth",
             MinerKind::BruteForce => "brute-force",
+            MinerKind::ParEclat => "par-eclat",
         }
     }
 
@@ -120,10 +128,25 @@ impl MinerKind {
         min_support: u64,
     ) -> Result<Vec<ItemsetSupport>> {
         match self {
-            MinerKind::Apriori => Apriori::default().mine_k(dataset, k, min_support),
-            MinerKind::Eclat => Eclat.mine_k(dataset, k, min_support),
-            MinerKind::FpGrowth => FpGrowth.mine_k(dataset, k, min_support),
-            MinerKind::BruteForce => BruteForce.mine_k(dataset, k, min_support),
+            MinerKind::Apriori => {
+                dispatch::record(DispatchPath::Apriori);
+                Apriori::default().mine_k(dataset, k, min_support)
+            }
+            MinerKind::Eclat => {
+                dispatch::record(DispatchPath::Eclat);
+                Eclat.mine_k(dataset, k, min_support)
+            }
+            MinerKind::FpGrowth => {
+                dispatch::record(DispatchPath::FpGrowth);
+                FpGrowth.mine_k(dataset, k, min_support)
+            }
+            MinerKind::BruteForce => {
+                dispatch::record(DispatchPath::BruteForce);
+                BruteForce.mine_k(dataset, k, min_support)
+            }
+            // The parallel miner records its own (more specific) counters at
+            // its bitmap/sharded entry points.
+            MinerKind::ParEclat => ParallelEclat::default().mine_k(dataset, k, min_support),
         }
     }
 }

@@ -87,6 +87,7 @@ pub fn mine_k_sharded(
     policy: ExecutionPolicy,
 ) -> Result<Vec<ItemsetSupport>> {
     validate_mining_args(k, min_support)?;
+    crate::dispatch::record(crate::dispatch::DispatchPath::Sharded);
     // Per-shard item supports are scanned exactly once: they seed the global
     // level-1 supports and then serve every level's rarest-first candidate
     // ordering (re-deriving them per batch would repeat an

@@ -16,7 +16,7 @@ use sigfim_mining::counting::{
     SupportProfile, TidListCounter,
 };
 use sigfim_mining::miner::{KItemsetMiner, MinerKind};
-use sigfim_mining::{Apriori, BruteForce, Eclat, FpGrowth};
+use sigfim_mining::{Apriori, BruteForce, Eclat, FpGrowth, ParallelEclat};
 
 /// Strategy: a small random dataset over up to 8 items with up to 24 transactions.
 fn small_dataset() -> impl Strategy<Value = TransactionDataset> {
@@ -100,7 +100,7 @@ proptest! {
                 MinerKind::Apriori => Apriori::default().mine_up_to(&dataset, 3, s).unwrap(),
                 MinerKind::Eclat => Eclat.mine_up_to(&dataset, 3, s).unwrap(),
                 MinerKind::FpGrowth => FpGrowth.mine_up_to(&dataset, 3, s).unwrap(),
-                MinerKind::BruteForce => unreachable!(),
+                MinerKind::BruteForce | MinerKind::ParEclat => unreachable!(),
             };
             prop_assert_eq!(union, up_to, "{}", kind.name());
         }
@@ -200,6 +200,52 @@ proptest! {
         let dispatched = SupportProfile::with_backend(
             MinerKind::Apriori, &dataset, k, floor, DatasetBackend::Sharded).unwrap();
         prop_assert_eq!(&dispatched, &reference);
+    }
+
+    #[test]
+    fn par_eclat_matches_sequential_at_1_2_and_8_workers(
+        dataset in varied_density_dataset(),
+        k in 1usize..5,
+        floor in 1u64..5,
+    ) {
+        // The acceptance contract of the subtree-parallel miner: itemsets AND
+        // supports, in canonical order, are bit-identical to the sequential
+        // bitset Eclat at every worker count — with and without transaction
+        // sharding.
+        let bitmap = BitmapDataset::from_dataset(&dataset);
+        let reference = Eclat.mine_k_bitmap(&bitmap, k, floor).unwrap();
+        let sharded = ShardedBitmapDataset::with_shard_rows(&dataset, 64);
+        for threads in [1usize, 2, 8] {
+            let miner = ParallelEclat::new(ExecutionPolicy::from_threads(threads));
+            let unsharded = miner.mine_k_bitmap(&bitmap, k, floor).unwrap();
+            prop_assert_eq!(&unsharded, &reference, "{} worker(s), unsharded", threads);
+            let over_shards = miner.mine_k_sharded(&sharded, k, floor).unwrap();
+            prop_assert_eq!(&over_shards, &reference, "{} worker(s), sharded", threads);
+        }
+        // The MinerKind dispatch surface agrees with the CSR reference too.
+        let csr_reference = Eclat.mine_k(&dataset, k, floor).unwrap();
+        prop_assert_eq!(&MinerKind::ParEclat.mine_k(&dataset, k, floor).unwrap(), &csr_reference);
+    }
+
+    #[test]
+    fn par_eclat_profiles_match_sequential_constructors(
+        dataset in varied_density_dataset(),
+        k in 1usize..4,
+        floor in 1u64..5,
+    ) {
+        // SupportProfile (and thus Q_{k,s}) is bit-identical whichever miner
+        // built it, so cached profiles can be shared freely across miners.
+        let bitmap = BitmapDataset::from_dataset(&dataset);
+        let sharded = ShardedBitmapDataset::with_shard_rows(&dataset, 64);
+        let reference = SupportProfile::from_bitmap(&bitmap, k, floor).unwrap();
+        for threads in [1usize, 2, 8] {
+            let policy = ExecutionPolicy::from_threads(threads);
+            let parallel = SupportProfile::from_bitmap_parallel(&bitmap, k, floor, policy).unwrap();
+            prop_assert_eq!(&parallel, &reference, "{} worker(s), unsharded", threads);
+            let over_shards =
+                SupportProfile::from_sharded_parallel(&sharded, k, floor, policy).unwrap();
+            prop_assert_eq!(&over_shards, &reference, "{} worker(s), sharded", threads);
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod registry;
 
 pub use http::{serve, ServerConfig, ServerHandle};
 pub use protocol::{
-    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, ModelSpec,
-    ServiceStats, PROTOCOL_VERSION,
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, KernelStats,
+    ModelSpec, ServiceStats, TunerTiming, PROTOCOL_VERSION,
 };
 pub use registry::EngineRegistry;

@@ -402,6 +402,36 @@ pub struct EngineInfo {
     pub fingerprint: u64,
 }
 
+/// One startup-tuner measurement, as reported in [`KernelStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TunerTiming {
+    /// What was measured: `kernel:<mode>` or `shard_budget_bytes:<n>`.
+    pub subject: String,
+    /// Median of the timed repetitions, in nanoseconds.
+    pub median_ns: u64,
+}
+
+/// The process-wide counting-kernel configuration and startup-tuner decision,
+/// as reported by `GET /v1/stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// The kernel mode dispatch resolved to (e.g. `avx512`), after the
+    /// `--kernels` flag / `SIGFIM_KERNELS` override and the tuner had their
+    /// say.
+    pub mode: String,
+    /// Whether the startup micro-benchmark actually ran (`SIGFIM_TUNE=auto`);
+    /// `false` means static fallbacks were used unmeasured.
+    pub tuned: bool,
+    /// The concrete kernel the tuner picked for `auto` dispatch.
+    pub tuner_kernel: String,
+    /// The shard budget (bytes of column data per shard) new sharded
+    /// datasets are sized by.
+    pub shard_budget_bytes: usize,
+    /// Every micro-benchmark measurement behind the decision (empty when
+    /// tuning was off).
+    pub tuner_timings: Vec<TunerTiming>,
+}
+
 /// Aggregate service counters, as reported by `GET /v1/stats`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
@@ -422,6 +452,17 @@ pub struct ServiceStats {
     /// the field is additive) still parse, reading as zeroed counters.
     #[serde(default)]
     pub profile_caches: CacheStats,
+    /// Resolved counting-kernel mode and the startup auto-tuner's decision
+    /// (chosen kernel, shard budget, micro-bench timings). Additive field,
+    /// defaulted on deserialization like `profile_caches`.
+    #[serde(default)]
+    pub kernels: KernelStats,
+    /// Process-wide per-miner dispatch counts: how many mining passes each
+    /// entry point (Apriori/Eclat/FP-Growth/brute-force/bitset Eclat/
+    /// sharded/par-eclat) has served since startup. Additive field,
+    /// defaulted on deserialization.
+    #[serde(default)]
+    pub miner_dispatch: sigfim_mining::DispatchCounts,
 }
 
 /// The response-side envelope: protocol version plus either a typed result or
@@ -435,6 +476,11 @@ pub struct ApiResponse {
 }
 
 /// Everything a [`ApiResponse`] can carry.
+///
+/// Variant sizes are deliberately asymmetric (`Stats` carries the kernel and
+/// dispatch counters inline): one envelope exists per request, so boxing the
+/// large variants would buy nothing and cost an allocation per response.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ApiResult {
     /// The outcome of an analyze operation — exactly the in-process

@@ -21,9 +21,38 @@ use sigfim_core::CoreError;
 use sigfim_datasets::transaction::TransactionDataset;
 
 use crate::protocol::{
-    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, ModelSpec,
-    ServiceStats,
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, KernelStats,
+    ModelSpec, ServiceStats, TunerTiming,
 };
+
+/// Snapshot the process-wide kernel dispatch and startup-tuner decision for
+/// `/v1/stats`. Forces kernel dispatch (and, under `SIGFIM_TUNE=auto`, the
+/// one-shot micro-benchmark) on first call; both are cached for the process
+/// lifetime, so polling is free.
+fn kernel_stats() -> KernelStats {
+    let decision = sigfim_datasets::tune::decision();
+    KernelStats {
+        mode: sigfim_datasets::kernels().name().to_string(),
+        tuned: decision.tuned,
+        tuner_kernel: decision.kernel.name().to_string(),
+        shard_budget_bytes: decision.shard_budget_bytes,
+        tuner_timings: decision
+            .timings
+            .iter()
+            .map(|timing| TunerTiming {
+                subject: match timing.subject {
+                    sigfim_datasets::tune::TuneSubject::Kernel(mode) => {
+                        format!("kernel:{}", mode.name())
+                    }
+                    sigfim_datasets::tune::TuneSubject::ShardBudgetBytes(bytes) => {
+                        format!("shard_budget_bytes:{bytes}")
+                    }
+                },
+                median_ns: timing.median_ns,
+            })
+            .collect(),
+    }
+}
 
 /// Map a pipeline error onto the wire taxonomy: parameter rejections are the
 /// client's fault (`invalid_request`), everything else is the engine's
@@ -309,6 +338,8 @@ impl EngineRegistry {
             threshold_requests: self.threshold_requests.load(Ordering::Relaxed),
             threshold_store: self.store.stats(),
             profile_caches,
+            kernels: kernel_stats(),
+            miner_dispatch: sigfim_mining::dispatch_counts(),
         }
     }
 
@@ -395,6 +426,17 @@ mod tests {
         assert_eq!(stats.analyze_requests, 2);
         assert_eq!(stats.threshold_store.hits, 1);
         assert_eq!(stats.threshold_store.misses, 1);
+
+        // The kernel/tuner surface reports the resolved process-wide state:
+        // a concrete supported mode, the tuner's concrete pick, and a
+        // positive shard budget — with timings exactly when the tuner ran.
+        let kernel_names = ["scalar", "unrolled", "avx2", "avx512"];
+        assert!(kernel_names.contains(&stats.kernels.mode.as_str()));
+        assert!(kernel_names.contains(&stats.kernels.tuner_kernel.as_str()));
+        assert!(stats.kernels.shard_budget_bytes > 0);
+        assert_eq!(stats.kernels.tuned, !stats.kernels.tuner_timings.is_empty());
+        // And the analyses above registered in the dispatch counters.
+        assert!(stats.miner_dispatch.total() > 0);
     }
 
     #[test]

@@ -9,9 +9,10 @@ use sigfim_core::engine::{AnalysisRequest, CacheStats, CacheStatus, LambdaMode, 
 use sigfim_core::montecarlo::{CurvePoint, ThresholdEstimate};
 use sigfim_datasets::bitmap::DatasetBackend;
 use sigfim_mining::miner::MinerKind;
+use sigfim_mining::DispatchCounts;
 use sigfim_service::{
-    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, ModelSpec,
-    ServiceStats, PROTOCOL_VERSION,
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, KernelStats,
+    ModelSpec, ServiceStats, TunerTiming, PROTOCOL_VERSION,
 };
 
 /// A JSON round-trip through the wire format.
@@ -208,6 +209,32 @@ proptest! {
                 } else {
                     None
                 },
+            },
+            kernels: KernelStats {
+                mode: "avx512".to_string(),
+                tuned: counters[0].is_multiple_of(2),
+                tuner_kernel: "avx2".to_string(),
+                shard_budget_bytes: (counters[3] as usize + 1) * 1024,
+                tuner_timings: vec![
+                    TunerTiming {
+                        subject: "kernel:scalar".to_string(),
+                        median_ns: counters[4],
+                    },
+                    TunerTiming {
+                        subject: format!("shard_budget_bytes:{}", counters[5]),
+                        median_ns: counters[5],
+                    },
+                ],
+            },
+            miner_dispatch: DispatchCounts {
+                apriori: counters[0],
+                eclat: counters[1],
+                fp_growth: counters[2],
+                brute_force: counters[3],
+                eclat_bitmap: counters[4],
+                sharded: counters[5],
+                par_eclat: counters[0].wrapping_add(counters[1]),
+                par_eclat_sharded: counters[2].wrapping_add(counters[3]),
             },
         };
         let response = ApiResponse::ok(ApiResult::Stats(stats));

@@ -3,13 +3,16 @@
 //! ```text
 //! sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] [--beta <b>]
 //!        [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>]
-//!        [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap|sharded]
+//!        [--miner apriori|eclat|fp-growth|par-eclat|auto]
+//!        [--backend auto|csr|bitmap|sharded]
+//!        [--kernels scalar|unrolled|avx2|avx512|auto]
 //!        [--max-restarts <n>] [--swap-null [<swaps-per-entry>]]
 //!        [--cache-capacity <n>] [--conservative-lambda] [--no-baseline]
 //!        [--list <n>]
 //!
 //! sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]
 //!        [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]
+//!        [--kernels scalar|unrolled|avx2|avx512|auto]
 //!        [--swap-null [<swaps-per-entry>]]
 //! ```
 //!
@@ -37,8 +40,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use sigfim::core::engine::DEFAULT_SEED;
-use sigfim::datasets::bitmap::DatasetBackend;
+use sigfim::core::ExecutionPolicy;
+use sigfim::datasets::bitmap::{DatasetBackend, ResolvedBackend};
 use sigfim::datasets::fimi::read_fimi_file;
+use sigfim::datasets::kernels::{configure_kernels, KernelMode};
+use sigfim::datasets::transaction::TransactionDataset;
+use sigfim::datasets::tune::resolve_tune_request;
 use sigfim::mining::miner::MinerKind;
 use sigfim::prelude::{
     AnalysisEngine, AnalysisRequest, CacheStatus, DatasetSummary, DynAnalysisEngine, LambdaMode,
@@ -55,7 +62,11 @@ struct CliOptions {
     epsilon: f64,
     replicates: usize,
     seed: u64,
-    miner: MinerKind,
+    /// `--miner` selection; `None` is `auto`, resolved after the dataset
+    /// loads: the parallel Eclat when the resolved backend is dense
+    /// (bitmap/sharded) and more than one worker is available, Apriori
+    /// otherwise. Every choice yields bit-identical reports.
+    miner: Option<MinerKind>,
     /// Physical dataset backend ({auto, csr, bitmap, sharded}); `auto` resolves per
     /// workload from the density/size heuristic. The analysis result is
     /// identical either way.
@@ -71,22 +82,33 @@ struct CliOptions {
     conservative_lambda: bool,
     baseline: bool,
     list: usize,
+    /// `--kernels` counting-kernel selection, validated against this CPU at
+    /// startup. `None` defers to `SIGFIM_KERNELS`, then the auto-tuner; a
+    /// flag that conflicts with a set `SIGFIM_KERNELS` is a startup error.
+    kernels: Option<KernelMode>,
 }
 
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] \
     [--beta <b>] [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
-    [--miner apriori|eclat|fp-growth] [--backend auto|csr|bitmap|sharded] [--max-restarts <n>] \
+    [--miner apriori|eclat|fp-growth|par-eclat|auto] [--backend auto|csr|bitmap|sharded] \
+    [--kernels scalar|unrolled|avx2|avx512|auto] [--max-restarts <n>] \
     [--swap-null [<swaps-per-entry>]] [--cache-capacity <n>] [--conservative-lambda] \
     [--no-baseline] [--list <n>]\n\
     \n\
     sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]\n\
     \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]\n\
-    \x20       [--swap-null [<swaps-per-entry>]]\n\
+    \x20       [--kernels scalar|unrolled|avx2|avx512|auto] [--swap-null [<swaps-per-entry>]]\n\
     \n\
     --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
     range (2..5 == 2..=5) that runs as one cached multi-k batch.\n\
     --seed defaults to the library default 0x51F1D009, so the CLI, the engine\n\
     API and the SignificanceAnalyzer all reproduce each other bit for bit.\n\
+    --miner auto picks the subtree-parallel Eclat on dense (bitmap/sharded)\n\
+    datasets when more than one worker thread is available, Apriori otherwise;\n\
+    every miner produces bit-identical reports.\n\
+    --kernels selects the counting kernel, validated against this CPU at\n\
+    startup; it mirrors SIGFIM_KERNELS, and a conflicting combination of flag\n\
+    and environment is an error rather than a silent preference.\n\
     `serve` starts the multi-tenant HTTP/JSON front-end: one engine per\n\
     dataset, one shared LRU threshold store (--cache-capacity bounds it),\n\
     endpoints POST /v1/analyze, POST /v1/thresholds, GET /v1/engines,\n\
@@ -123,7 +145,7 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
         epsilon: 0.01,
         replicates: 64,
         seed: DEFAULT_SEED,
-        miner: MinerKind::Apriori,
+        miner: Some(MinerKind::Apriori),
         backend: DatasetBackend::Auto,
         threads: 0,
         max_restarts: 4,
@@ -132,6 +154,7 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
         conservative_lambda: false,
         baseline: true,
         list: 25,
+        kernels: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -175,11 +198,17 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
             "--miner" => {
                 let name = args.next().ok_or("--miner requires a value")?;
                 options.miner = match name.as_str() {
-                    "apriori" => MinerKind::Apriori,
-                    "eclat" => MinerKind::Eclat,
-                    "fp-growth" | "fpgrowth" => MinerKind::FpGrowth,
+                    "apriori" => Some(MinerKind::Apriori),
+                    "eclat" => Some(MinerKind::Eclat),
+                    "fp-growth" | "fpgrowth" => Some(MinerKind::FpGrowth),
+                    "par-eclat" | "pareclat" => Some(MinerKind::ParEclat),
+                    "auto" => None,
                     other => return Err(format!("unknown miner `{other}`")),
                 };
+            }
+            "--kernels" => {
+                let name = args.next().ok_or("--kernels requires a value")?;
+                options.kernels = Some(name.parse::<KernelMode>()?);
             }
             path if !path.starts_with("--") && options.path.is_empty() => {
                 options.path = path.to_string();
@@ -205,14 +234,42 @@ fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
         .map_err(|_| format!("{flag}: could not parse `{value}`"))
 }
 
-fn request_from(options: &CliOptions) -> AnalysisRequest {
+/// Validate the kernel configuration (the `--kernels` flag against
+/// `SIGFIM_KERNELS` and this CPU) and the `SIGFIM_TUNE` setting at startup,
+/// so misconfiguration is a clean error here instead of a panic at the first
+/// counting dispatch deep inside the analysis.
+fn configure_kernel_startup(flag: Option<KernelMode>) -> Result<(), String> {
+    resolve_tune_request(std::env::var("SIGFIM_TUNE").ok().as_deref())?;
+    configure_kernels(flag)?;
+    Ok(())
+}
+
+/// Resolve `--miner auto` once the dataset is loaded: the subtree-parallel
+/// Eclat wherever it can actually help — a dense (bitmap or sharded) resolved
+/// backend and more than one worker — and the Apriori default otherwise.
+fn resolve_miner(options: &CliOptions, dataset: &TransactionDataset) -> MinerKind {
+    match options.miner {
+        Some(miner) => miner,
+        None => {
+            let dense = options.backend.resolve_for_dataset(dataset) != ResolvedBackend::Csr;
+            let workers = ExecutionPolicy::from_threads(options.threads).worker_threads();
+            if dense && workers > 1 {
+                MinerKind::ParEclat
+            } else {
+                MinerKind::Apriori
+            }
+        }
+    }
+}
+
+fn request_from(options: &CliOptions, miner: MinerKind) -> AnalysisRequest {
     AnalysisRequest::for_ks(options.ks.iter().copied())
         .with_alpha(options.alpha)
         .with_beta(options.beta)
         .with_epsilon(options.epsilon)
         .with_replicates(options.replicates)
         .with_seed(options.seed)
-        .with_miner(options.miner)
+        .with_miner(miner)
         .with_lambda_mode(if options.conservative_lambda {
             LambdaMode::Conservative
         } else {
@@ -237,6 +294,8 @@ struct ServeOptions {
     threads: usize,
     backend: DatasetBackend,
     swap_null: Option<f64>,
+    /// `--kernels` counting-kernel selection (see [`CliOptions::kernels`]).
+    kernels: Option<KernelMode>,
 }
 
 /// Split a `id=path` registration spec; a bare path registers under its file
@@ -265,12 +324,17 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
         threads: 0,
         backend: DatasetBackend::Auto,
         swap_null: None,
+        kernels: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
             "--addr" => options.addr = args.next().ok_or("--addr requires a value")?,
+            "--kernels" => {
+                let name = args.next().ok_or("--kernels requires a value")?;
+                options.kernels = Some(name.parse::<KernelMode>()?);
+            }
             "--workers" => options.workers = parse_value(&mut args, "--workers")?,
             "--cache-capacity" => {
                 options.cache_capacity = Some(parse_value(&mut args, "--cache-capacity")?)
@@ -303,6 +367,7 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
 
 /// Run the service front-end until killed.
 fn serve_main(options: &ServeOptions) -> Result<(), String> {
+    configure_kernel_startup(options.kernels)?;
     let registry = match options.cache_capacity {
         Some(capacity) => EngineRegistry::with_cache_capacity(capacity),
         None => EngineRegistry::new(),
@@ -367,6 +432,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(message) = configure_kernel_startup(options.kernels) {
+        eprintln!("sigfim: {message}");
+        return ExitCode::FAILURE;
+    }
 
     let labeled = match read_fimi_file(&options.path) {
         Ok(labeled) => labeled,
@@ -382,7 +451,7 @@ fn main() -> ExitCode {
 
     // One engine per invocation: the dataset view is built once and shared by
     // every k of the sweep, and the threshold cache collapses duplicate keys.
-    let request = request_from(&options);
+    let request = request_from(&options, resolve_miner(&options, dataset));
     let configure = |mut engine: DynAnalysisEngine| {
         engine = engine
             .with_backend(options.backend)
@@ -474,7 +543,9 @@ mod tests {
         assert_eq!(options.seed, DEFAULT_SEED);
         assert_eq!(options.ks, vec![2]);
         assert_eq!(options.max_restarts, 4);
-        let request = request_from(&options);
+        assert_eq!(options.miner, Some(MinerKind::Apriori));
+        assert_eq!(options.kernels, None);
+        let request = request_from(&options, MinerKind::Apriori);
         assert_eq!(request, AnalysisRequest::for_k(2));
     }
 
@@ -496,7 +567,7 @@ mod tests {
             "--no-baseline",
         ])
         .unwrap();
-        let request = request_from(&options);
+        let request = request_from(&options, options.miner.unwrap());
         assert_eq!(request.ks, vec![2, 3, 4]);
         assert!((request.alpha - 0.01).abs() < 1e-15);
         assert_eq!(request.replicates, 128);
@@ -510,6 +581,64 @@ mod tests {
     fn usage_documents_the_default_seed() {
         assert!(USAGE.contains("0x51F1D009"));
         assert!(parse(&["--help"]).unwrap_err().contains("0x51F1D009"));
+    }
+
+    #[test]
+    fn miner_flag_accepts_par_eclat_and_auto() {
+        let explicit = parse(&["data.dat", "--miner", "par-eclat"]).unwrap();
+        assert_eq!(explicit.miner, Some(MinerKind::ParEclat));
+        let auto = parse(&["data.dat", "--miner", "auto"]).unwrap();
+        assert_eq!(auto.miner, None);
+        assert!(parse(&["data.dat", "--miner", "warp"]).is_err());
+
+        // `auto` resolution: par-eclat only when the backend is dense AND
+        // more than one worker is available; Apriori otherwise. A forced
+        // bitmap backend makes the density check deterministic.
+        let dataset = TransactionDataset::from_transactions(
+            3,
+            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]],
+        )
+        .unwrap();
+        let parallel = CliOptions {
+            backend: DatasetBackend::Bitmap,
+            threads: 4,
+            ..auto
+        };
+        assert_eq!(resolve_miner(&parallel, &dataset), MinerKind::ParEclat);
+        let sequential = CliOptions {
+            backend: DatasetBackend::Bitmap,
+            threads: 1,
+            ..parallel
+        };
+        assert_eq!(resolve_miner(&sequential, &dataset), MinerKind::Apriori);
+        let csr = CliOptions {
+            backend: DatasetBackend::Csr,
+            threads: 4,
+            ..sequential
+        };
+        assert_eq!(resolve_miner(&csr, &dataset), MinerKind::Apriori);
+        // An explicit miner always wins over the heuristic.
+        let explicit = CliOptions {
+            miner: Some(MinerKind::Eclat),
+            ..csr
+        };
+        assert_eq!(resolve_miner(&explicit, &dataset), MinerKind::Eclat);
+    }
+
+    #[test]
+    fn kernels_flag_is_parsed_on_both_subcommands() {
+        let options = parse(&["data.dat", "--kernels", "scalar"]).unwrap();
+        assert_eq!(options.kernels, Some(KernelMode::Scalar));
+        let auto = parse(&["data.dat", "--kernels", "auto"]).unwrap();
+        assert_eq!(auto.kernels, Some(KernelMode::Auto));
+        let err = parse(&["data.dat", "--kernels", "sse9"]).unwrap_err();
+        assert!(err.contains("sse9"), "{err}");
+        assert!(parse(&["data.dat", "--kernels"]).is_err());
+
+        let serve = parse_serve(&["x.dat", "--kernels", "unrolled"]).unwrap();
+        assert_eq!(serve.kernels, Some(KernelMode::Unrolled));
+        assert!(parse_serve(&["x.dat", "--kernels", "fast"]).is_err());
+        assert!(USAGE.contains("--kernels"));
     }
 
     #[test]
