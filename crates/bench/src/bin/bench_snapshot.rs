@@ -19,12 +19,12 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sigfim_datasets::bitmap::BitmapDataset;
+use sigfim_datasets::bitmap::{with_bitmap_scratch, BitmapDataset};
 use sigfim_datasets::kernels::{kernels_for, KernelMode};
 use sigfim_datasets::random::BernoulliModel;
 use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
-use sigfim_exec::ExecutionPolicy;
+use sigfim_exec::{substream, ExecutionPolicy};
 use sigfim_mining::counting::count_candidates_bitmap;
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::par_eclat::ParallelEclat;
@@ -161,6 +161,35 @@ fn main() {
             black_box(miner.mine_k_sharded(&sharded, 3, 1).unwrap().len());
         }),
     ));
+
+    // Replicate-loop fills: the legacy cellwise (fused-count) sampler vs the
+    // geometric-jump gaps sampler, one `(seed, replicate)` substream per
+    // replicate exactly as Algorithm 1 draws them, across the density axis
+    // the `auto` sampler gate discriminates on (gaps is O(set bits), so its
+    // advantage grows as density falls).
+    const REPLICATES: u64 = 8;
+    for density in [0.02f64, 0.05] {
+        let model = BernoulliModel::new(TRANSACTIONS, vec![density; ITEMS]).unwrap();
+        for gaps in [false, true] {
+            let sampler = if gaps { "gaps" } else { "cellwise" };
+            let ns = median_ns(|| {
+                with_bitmap_scratch(|scratch| {
+                    let mut total = 0u64;
+                    for replicate in 0..REPLICATES {
+                        let mut rng = substream(0x51F1_D009, replicate);
+                        let supports = if gaps {
+                            model.sample_into_bitmap_gaps(&mut rng, scratch)
+                        } else {
+                            model.sample_into_bitmap_counted(&mut rng, scratch)
+                        };
+                        total += supports.iter().sum::<u64>();
+                    }
+                    black_box(total);
+                });
+            });
+            entries.push((format!("replicate_loop/{sampler}_density{density}"), ns));
+        }
+    }
 
     let body: Vec<String> = entries
         .iter()

@@ -62,6 +62,7 @@ use serde::{Deserialize, Serialize};
 
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::random::{BernoulliModel, BoxedNullModel, NullModel, SwapRandomizationModel};
+use sigfim_datasets::sampler::{resolve_sampler, ResolvedSampler, SamplerMode};
 use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::summary::DatasetSummary;
 use sigfim_datasets::transaction::TransactionDataset;
@@ -69,7 +70,7 @@ use sigfim_exec::{BatchObserver, ExecutionPolicy};
 use sigfim_mining::counting::SupportProfile;
 use sigfim_mining::miner::MinerKind;
 
-use crate::montecarlo::{FindPoissonThreshold, ThresholdEstimate};
+use crate::montecarlo::{FindPoissonThreshold, ObservationStore, ThresholdEstimate};
 use crate::procedure1::Procedure1;
 use crate::procedure2::Procedure2;
 use crate::report::{AnalysisParameters, AnalysisReport};
@@ -385,6 +386,12 @@ struct ThresholdKey {
     seed: u64,
     backend: DatasetBackend,
     max_restarts: usize,
+    /// The *resolved* replicate sampler ([`resolve_sampler`]): samplers read
+    /// different RNG streams, so estimates only replay within one sampler.
+    /// Under `gaps` the backend slot is normalized to `Bitmap` — the gaps
+    /// sampler always rides the scratch-bitmap path whatever the configured
+    /// backend resolves to.
+    sampler: ResolvedSampler,
 }
 
 /// Normalize a configured backend to the replicate path it drives in
@@ -731,6 +738,11 @@ pub struct AnalysisEngine<M: NullModel + Sync = BernoulliModel> {
     /// Handle to the threshold cache — private by default, shareable across
     /// engines for cross-tenant reuse.
     store: ThresholdStore,
+    /// Handle to the replicate observation store: the raw per-replicate
+    /// observations of recent Algorithm 1 batches, so an ε-tightened or
+    /// Δ-extended re-query reuses them instead of re-sampling (see
+    /// [`ObservationStore`]). Shared by clones, like the threshold store.
+    observations: ObservationStore,
     /// Floor profiles by `(k, s_min, miner)`: a request that re-tests the same
     /// threshold with different `α`/`β` budgets skips the mining pass too.
     /// LRU-bounded at [`DEFAULT_PROFILE_CACHE_CAPACITY`] by default — profiles
@@ -853,6 +865,7 @@ impl<M: NullModel + Send + Sync + 'static> AnalysisEngine<M> {
             bitmap: self.bitmap,
             sharded: self.sharded,
             store: self.store,
+            observations: self.observations,
             profiles: self.profiles,
         }
     }
@@ -892,6 +905,7 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
             bitmap: None,
             sharded: None,
             store: ThresholdStore::new(),
+            observations: ObservationStore::new(),
             profiles: LruCache::with_capacity(DEFAULT_PROFILE_CACHE_CAPACITY),
         }
     }
@@ -914,6 +928,21 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
     /// A handle to this engine's threshold store (clone-to-share).
     pub fn threshold_store(&self) -> ThresholdStore {
         self.store.clone()
+    }
+
+    /// A handle to this engine's replicate [`ObservationStore`]
+    /// (clone-to-share, like the threshold store).
+    pub fn observation_store(&self) -> ObservationStore {
+        self.observations.clone()
+    }
+
+    /// Attach a (typically shared) [`ObservationStore`]: from here on, this
+    /// engine's Algorithm 1 runs retain and reuse replicate observations
+    /// through `store`. Keys carry the model fingerprint, so sharing is sound
+    /// across engines over different null models.
+    pub fn with_observation_store(mut self, store: ObservationStore) -> Self {
+        self.observations = store;
+        self
     }
 
     /// Bound this engine's threshold cache at `capacity` entries (LRU
@@ -1169,14 +1198,26 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
         request: &AnalysisRequest,
         observer: &dyn ProgressObserver,
     ) -> Result<(ThresholdEstimate, CacheStatus)> {
+        let sampler = resolve_sampler(
+            SamplerMode::Auto,
+            self.model.supports_gaps_sampler(),
+            self.model.expected_density(),
+        );
         let key = ThresholdKey {
             fingerprint: self.fingerprint,
             k,
             epsilon_bits: request.epsilon.to_bits(),
             replicates: request.replicates,
             seed: request.seed,
-            backend: replicate_path_backend(self.backend, &self.model),
+            // The gaps sampler rides the scratch-bitmap path whatever the
+            // configured backend: normalize so configs differing only in a
+            // backend name the gaps path ignores share entries.
+            backend: match sampler {
+                ResolvedSampler::Gaps => DatasetBackend::Bitmap,
+                ResolvedSampler::Cellwise => replicate_path_backend(self.backend, &self.model),
+            },
             max_restarts: request.max_restarts,
+            sampler,
         };
         if let Some(estimate) = self.store.get(&key) {
             observer.threshold_cache_hit(k);
@@ -1191,10 +1232,12 @@ impl<M: NullModel + Sync> AnalysisEngine<M> {
             policy: self.policy,
             backend: self.backend,
             max_restarts: request.max_restarts,
+            sampler: SamplerMode::Auto,
         };
         let mut rng = StdRng::seed_from_u64(request.seed);
         let progress = ReplicateProgress { observer, k };
-        let estimate = algorithm.run_observed(&self.model, &mut rng, &progress)?;
+        let estimate =
+            algorithm.run_with_store(&self.model, &mut rng, &progress, &self.observations)?;
         observer.stage_completed(k, AnalysisStage::Threshold);
         self.store.insert(key, estimate.clone());
         Ok((estimate, CacheStatus::Miss))

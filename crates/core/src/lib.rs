@@ -79,7 +79,9 @@ pub use engine::{
     ThresholdRun, ThresholdStore,
 };
 pub use lambda::{ExactLambda, LambdaEstimator};
-pub use montecarlo::{FindPoissonThreshold, ThresholdEstimate};
+pub use montecarlo::{
+    replicate_stats, FindPoissonThreshold, ObservationStore, ReplicateStats, ThresholdEstimate,
+};
 pub use procedure1::{Procedure1, Procedure1Result};
 pub use procedure2::{Procedure2, Procedure2Result};
 pub use report::AnalysisReport;

@@ -11,14 +11,17 @@
 //! `ŝ_min` a conservative estimate of the true `s_min` with probability ≥ 1 − δ.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use sigfim_datasets::bitmap::{with_bitmap_scratch, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::random::NullModel;
+use sigfim_datasets::sampler::{resolve_sampler, ResolvedSampler, SamplerMode};
 use sigfim_datasets::transaction::ItemId;
-use sigfim_exec::{substream, BatchObserver, ExecutionPolicy, NoopObserver};
+use sigfim_exec::{substream, BatchObserver, ExecutionPolicy, NoopObserver, OffsetObserver};
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::miner::KItemsetMiner;
 
@@ -52,6 +55,13 @@ pub struct FindPoissonThreshold {
     /// floor turns out to be inside the Poisson region already (lines 19–22 of the
     /// pseudocode) or no itemset reaches it (lines 7–9).
     pub max_restarts: usize,
+    /// How each replicate's random dataset is drawn (`SIGFIM_SAMPLER`).
+    /// [`SamplerMode::Auto`] defers to the process-wide mode; `cellwise` is the
+    /// legacy per-cell sampler, `gaps` the geometric-jump sparse sampler that
+    /// touches only set bits. The two samplers consume *different* RNG streams,
+    /// so — unlike backends and policies, which are bit-identical — estimates
+    /// are only reproducible within one sampler mode.
+    pub sampler: SamplerMode,
 }
 
 impl FindPoissonThreshold {
@@ -65,6 +75,7 @@ impl FindPoissonThreshold {
             policy: ExecutionPolicy::default(),
             backend: DatasetBackend::Auto,
             max_restarts: 4,
+            sampler: SamplerMode::Auto,
         }
     }
 
@@ -146,6 +157,32 @@ impl FindPoissonThreshold {
         rng: &mut R,
         observer: &dyn BatchObserver,
     ) -> Result<ThresholdEstimate> {
+        // A transient store still deduplicates nothing within one run (restart
+        // rounds change the floor or the batch key), so this entry point is
+        // exactly the uncached Algorithm 1.
+        self.run_with_store(model, rng, observer, &ObservationStore::new())
+    }
+
+    /// Like [`FindPoissonThreshold::run_observed`], retaining (and reusing)
+    /// per-replicate observations in `store`. The store is a pure memo keyed
+    /// by `(model fingerprint, k, resolved sampler, batch key)`: a warm entry
+    /// hands back exactly the observations mining would have produced, so
+    /// estimates are bit-identical with or without it. Reuse kicks in when a
+    /// later run re-derives the same batch key from its seed — an ε-tightened
+    /// re-query, a Δ-extension (the stored prefix is reused and only the tail
+    /// replicates are mined), or a re-query at a higher floor (stored
+    /// observations are filtered up to it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FindPoissonThreshold::run`].
+    pub fn run_with_store<M: NullModel + Sync, R: Rng + ?Sized>(
+        &self,
+        model: &M,
+        rng: &mut R,
+        observer: &dyn BatchObserver,
+        store: &ObservationStore,
+    ) -> Result<ThresholdEstimate> {
         self.validate()?;
         if model.num_items() < self.k {
             return Err(CoreError::InvalidParameter {
@@ -158,6 +195,22 @@ impl FindPoissonThreshold {
             });
         }
 
+        let sampler = resolve_sampler(
+            self.sampler,
+            model.supports_gaps_sampler(),
+            model.expected_density(),
+        );
+        let fingerprint = model.fingerprint();
+        // The gaps sampler draws one batch key per *run* and shares it across
+        // restart rounds (its replicate datasets are a pure function of the
+        // key, not of the mining floor). The cellwise sampler draws one key
+        // per *round* from the caller's RNG — the exact consumption pattern
+        // the pre-sampler parity suites pin.
+        let run_key: Option<u64> = match sampler {
+            ResolvedSampler::Gaps => Some(rng.random()),
+            ResolvedSampler::Cellwise => None,
+        };
+
         let mut s_tilde = self.initial_floor(model);
         // Upper cap on the search range, set when a restart is triggered because the
         // bound was already satisfied at the floor.
@@ -165,7 +218,19 @@ impl FindPoissonThreshold {
         let mut restarts_left = self.max_restarts;
 
         loop {
-            let observations = self.collect_observations(model, s_tilde, rng, observer)?;
+            let batch_key = match run_key {
+                Some(key) => key,
+                None => rng.random(),
+            };
+            let observations = self.collect_observations(
+                model,
+                s_tilde,
+                batch_key,
+                sampler,
+                fingerprint,
+                observer,
+                store,
+            )?;
             if observations.pool.is_empty() {
                 // Line 7-9 of the pseudocode: nothing reached the floor; halve it.
                 if restarts_left == 0 || s_tilde == 1 {
@@ -236,69 +301,106 @@ impl FindPoissonThreshold {
     /// Generate the Δ random datasets, mine each at the floor, and pool the
     /// per-replicate supports of every itemset that reached the floor anywhere.
     ///
-    /// One 64-bit batch key is drawn from the caller's RNG; replicate `i` then
-    /// works exclusively from the ChaCha substream addressed by `(key, i)`. The
-    /// random bytes each replicate sees are therefore a function of the key and
-    /// its index alone — never of scheduling — so the pooled observations are
-    /// bit-identical under every [`ExecutionPolicy`].
+    /// Replicate `i` works exclusively from the ChaCha substream addressed by
+    /// `(batch_key, i)`. The random bytes each replicate sees are therefore a
+    /// function of the key and its index alone — never of scheduling — so the
+    /// pooled observations are bit-identical under every [`ExecutionPolicy`].
     ///
     /// Backend dispatch happens here, once per batch: on the bitmap path each
     /// worker thread samples its replicates *directly into one reusable bitmap
     /// scratch buffer* (no CSR dataset, no per-replicate allocation once the
     /// buffer is warm) and mines them with the bitset Eclat. Both paths consume
     /// the RNG identically and mine exact supports, so they pool identical
-    /// observations.
-    fn collect_observations<M: NullModel + Sync, R: Rng + ?Sized>(
+    /// observations. The gaps sampler always rides the scratch-bitmap path —
+    /// its word-wise writes *are* the bitmap — so the configured backend only
+    /// shapes the cellwise dispatch.
+    ///
+    /// Before mining anything the batch is looked up in `store`: stored
+    /// observations for the same `(fingerprint, k, sampler, batch_key)` at a
+    /// floor at or below this one are reused verbatim (filtered up to this
+    /// floor — exact, because supports below the floor never enter the
+    /// estimates), and only missing tail replicates are mined.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_observations<M: NullModel + Sync>(
         &self,
         model: &M,
         floor: u64,
-        rng: &mut R,
+        batch_key: u64,
+        sampler: ResolvedSampler,
+        fingerprint: u64,
         observer: &dyn BatchObserver,
+        store: &ObservationStore,
     ) -> Result<Observations> {
         let replicates = self.replicates;
-        let batch_key: u64 = rng.random();
-        let indices: Vec<u64> = (0..replicates as u64).collect();
-        let k = self.k;
-        let backend = self.backend.resolve(
-            model.num_items() as u32,
-            model.num_transactions(),
-            model.expected_density(),
-        );
-        let per_replicate: Vec<HashMap<Vec<ItemId>, u64>> = self.policy.try_map_indexed_observed(
-            &indices,
-            |_, &index| {
-                let mut local = substream(batch_key, index);
-                // Eclat handles the low-floor regime (s̃ close to 1 on sparse
-                // data) much better than level-wise Apriori: its work is
-                // proportional to the number of frequent itemsets rather than to
-                // the candidate joins.
-                let mined = match backend {
-                    ResolvedBackend::Csr => {
-                        let dataset = model.sample_dataset(&mut local);
-                        Eclat.mine_k(&dataset, k, floor)
-                    }
-                    // The sharded backend also rides the scratch-bitmap path
-                    // here: Δ replicates already saturate the workers, so
-                    // sharding *within* one replicate would only add reduce
-                    // overhead — sharding pays on the observed-dataset passes
-                    // of Procedure 2 instead. RNG consumption is identical, so
-                    // estimates stay bit-identical across all backends.
-                    ResolvedBackend::Bitmap | ResolvedBackend::ShardedBitmap => {
-                        with_bitmap_scratch(|scratch| {
-                            model.sample_into_bitmap(&mut local, scratch);
-                            Eclat.mine_k_bitmap(scratch, k, floor)
-                        })
-                    }
-                };
-                mined.map(|mined| {
-                    mined
-                        .into_iter()
-                        .map(|m| (m.items, m.support))
-                        .collect::<HashMap<_, _>>()
-                })
-            },
-            observer,
-        )?;
+        let key = ObservationKey {
+            fingerprint,
+            k: self.k,
+            sampler,
+            batch_key,
+        };
+
+        let stored = store.get(&key).filter(|stored| stored.floor <= floor);
+        let reused = stored
+            .as_ref()
+            .map_or(0, |stored| stored.per_replicate.len().min(replicates));
+        for index in 0..reused {
+            observer.task_completed(index, index + 1, replicates);
+        }
+        OBSERVATIONS_REUSED.fetch_add(reused as u64, Ordering::Relaxed);
+
+        let per_replicate: Vec<HashMap<Vec<ItemId>, u64>> = if reused == replicates {
+            let stored = stored.expect("reused > 0 implies a stored entry");
+            stored.per_replicate[..replicates]
+                .iter()
+                .map(|replicate| filter_to_floor(replicate, floor))
+                .collect()
+        } else if let Some(stored) = stored {
+            // Δ-extension: the stored prefix is reused and only the tail is
+            // mined — at the *stored* floor, so the refreshed entry stays
+            // uniform (and keeps serving lower-floor re-queries).
+            let tail_indices: Vec<u64> = (reused as u64..replicates as u64).collect();
+            let offset = OffsetObserver {
+                inner: observer,
+                index_offset: reused,
+                completed_offset: reused,
+                total: replicates,
+            };
+            let tail = self.mine_replicates(
+                model,
+                stored.floor,
+                batch_key,
+                sampler,
+                &tail_indices,
+                &offset,
+            )?;
+            let mut combined = stored.per_replicate.clone();
+            combined.truncate(replicates);
+            combined.extend(tail);
+            let combined = Arc::new(StoredObservations {
+                floor: stored.floor,
+                per_replicate: combined,
+            });
+            store.insert(key, Arc::clone(&combined));
+            combined
+                .per_replicate
+                .iter()
+                .map(|replicate| filter_to_floor(replicate, floor))
+                .collect()
+        } else {
+            // Cold (or stored at a higher floor, which cannot serve this one):
+            // mine every replicate at this floor and (re)store the batch.
+            let indices: Vec<u64> = (0..replicates as u64).collect();
+            let mined =
+                self.mine_replicates(model, floor, batch_key, sampler, &indices, observer)?;
+            store.insert(
+                key,
+                Arc::new(StoredObservations {
+                    floor,
+                    per_replicate: mined.clone(),
+                }),
+            );
+            mined
+        };
 
         // The pool W: every itemset that reached the floor in at least one replicate.
         let mut pool: Vec<Vec<ItemId>> = Vec::new();
@@ -335,6 +437,86 @@ impl FindPoissonThreshold {
             supports,
             replicates,
         })
+    }
+
+    /// Mine the given replicate indices at `floor`: sample each replicate's
+    /// dataset from its `(batch_key, index)` substream with the resolved
+    /// sampler and mine the k-itemsets reaching the floor.
+    ///
+    /// For `k = 1` on any bitmap path the mining pass is *fused away*: both
+    /// samplers return the exact per-item column supports as a by-product of
+    /// writing the bitmap, and the frequent 1-itemsets are read straight off
+    /// that vector.
+    fn mine_replicates<M: NullModel + Sync>(
+        &self,
+        model: &M,
+        floor: u64,
+        batch_key: u64,
+        sampler: ResolvedSampler,
+        indices: &[u64],
+        observer: &dyn BatchObserver,
+    ) -> Result<Vec<HashMap<Vec<ItemId>, u64>>> {
+        let k = self.k;
+        let backend = self.backend.resolve(
+            model.num_items() as u32,
+            model.num_transactions(),
+            model.expected_density(),
+        );
+        match sampler {
+            ResolvedSampler::Cellwise => {
+                REPLICATES_SAMPLED_CELLWISE.fetch_add(indices.len() as u64, Ordering::Relaxed)
+            }
+            ResolvedSampler::Gaps => {
+                REPLICATES_SAMPLED_GAPS.fetch_add(indices.len() as u64, Ordering::Relaxed)
+            }
+        };
+        let mined = self.policy.try_map_indexed_observed(
+            indices,
+            |_, &index| {
+                let mut local = substream(batch_key, index);
+                // Eclat handles the low-floor regime (s̃ close to 1 on sparse
+                // data) much better than level-wise Apriori: its work is
+                // proportional to the number of frequent itemsets rather than to
+                // the candidate joins.
+                match sampler {
+                    ResolvedSampler::Cellwise => match backend {
+                        ResolvedBackend::Csr => {
+                            let dataset = model.sample_dataset(&mut local);
+                            Eclat.mine_k(&dataset, k, floor).map(itemset_map)
+                        }
+                        // The sharded backend also rides the scratch-bitmap path
+                        // here: Δ replicates already saturate the workers, so
+                        // sharding *within* one replicate would only add reduce
+                        // overhead — sharding pays on the observed-dataset passes
+                        // of Procedure 2 instead. RNG consumption is identical, so
+                        // estimates stay bit-identical across all backends.
+                        ResolvedBackend::Bitmap | ResolvedBackend::ShardedBitmap => {
+                            with_bitmap_scratch(|scratch| {
+                                let supports =
+                                    model.sample_into_bitmap_counted(&mut local, scratch);
+                                if k == 1 {
+                                    Ok(k1_from_supports(&supports, floor))
+                                } else {
+                                    Eclat.mine_k_bitmap(scratch, k, floor).map(itemset_map)
+                                }
+                            })
+                        }
+                    },
+                    // The gaps sampler writes the bitmap directly whatever the
+                    // configured backend — the sparse walk *is* a bitmap fill.
+                    ResolvedSampler::Gaps => with_bitmap_scratch(|scratch| {
+                        let supports = model.sample_into_bitmap_gaps(&mut local, scratch);
+                        if k == 1 {
+                            Ok(k1_from_supports(&supports, floor))
+                        } else {
+                            Eclat.mine_k_bitmap(scratch, k, floor).map(itemset_map)
+                        }
+                    }),
+                }
+            },
+            observer,
+        )?;
+        Ok(mined)
     }
 
     /// Turn the pooled observations into empirical `b1`, `b2`, `λ` curves over
@@ -460,6 +642,205 @@ struct Observations {
     pool: Vec<Vec<ItemId>>,
     supports: Vec<Vec<u64>>,
     replicates: usize,
+}
+
+/// The frequent 1-itemsets read straight off the fused per-item support
+/// vector (no mining pass): exactly what `Eclat::mine_k_bitmap` at `k = 1`
+/// would return, for any floor ≥ 1.
+fn k1_from_supports(supports: &[u64], floor: u64) -> HashMap<Vec<ItemId>, u64> {
+    supports
+        .iter()
+        .enumerate()
+        .filter(|&(_, &support)| support >= floor)
+        .map(|(item, &support)| (vec![item as ItemId], support))
+        .collect()
+}
+
+fn itemset_map(mined: Vec<sigfim_mining::ItemsetSupport>) -> HashMap<Vec<ItemId>, u64> {
+    mined.into_iter().map(|m| (m.items, m.support)).collect()
+}
+
+/// Keep only the observations at or above `floor`. Exact by construction:
+/// supports below the floor never enter the curve estimates, so a batch mined
+/// at a lower floor filters up to any higher one without re-mining.
+fn filter_to_floor(replicate: &HashMap<Vec<ItemId>, u64>, floor: u64) -> HashMap<Vec<ItemId>, u64> {
+    replicate
+        .iter()
+        .filter(|&(_, &support)| support >= floor)
+        .map(|(items, &support)| (items.clone(), support))
+        .collect()
+}
+
+/// The identity of one mined replicate batch: which model, which itemset
+/// size, which sampler (the two samplers read different RNG streams, so their
+/// observations are distinct values), and which 64-bit batch key addressed
+/// the replicate substreams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ObservationKey {
+    fingerprint: u64,
+    k: usize,
+    sampler: ResolvedSampler,
+    batch_key: u64,
+}
+
+/// One stored replicate batch: every replicate's mined observations at
+/// `floor`. An entry serves any request at the same key with a floor at or
+/// above `floor` (filtering is exact) and any Δ up to extension (missing tail
+/// replicates are mined and appended).
+#[derive(Debug)]
+struct StoredObservations {
+    /// The floor the batch was mined at — the *lowest* floor it can serve.
+    floor: u64,
+    /// `per_replicate[i]` maps each itemset reaching the floor in replicate
+    /// `i` to its support there.
+    per_replicate: Vec<HashMap<Vec<ItemId>, u64>>,
+}
+
+/// The default capacity of an [`ObservationStore`]: observation batches hold
+/// Δ hash maps each, so the store is kept much smaller than the threshold
+/// cache; a handful of entries cover a k-sweep's re-queries.
+pub const DEFAULT_OBSERVATION_STORE_CAPACITY: usize = 8;
+
+/// A bounded, shareable memo of mined replicate batches keyed by
+/// `(model fingerprint, k, sampler, batch key)` — the zero-waste half of the
+/// replicate pipeline. Unlike the threshold cache (which can only replay a
+/// *finished* estimate for an identical configuration), this store reuses the
+/// raw per-replicate observations, so an ε-tightened re-query, a Δ-extension,
+/// or a restart arriving back at a served floor runs **zero** (or only the
+/// tail's) new replicates. Entries hand back exactly what mining would have
+/// produced, so estimates are bit-identical with or without the store.
+///
+/// Cloning clones the *handle*: clones share one LRU-bounded cache, which is
+/// how an engine's tenants pool their observations.
+#[derive(Debug, Clone)]
+pub struct ObservationStore {
+    inner: Arc<Mutex<ObservationCache>>,
+}
+
+impl Default for ObservationStore {
+    fn default() -> Self {
+        ObservationStore::new()
+    }
+}
+
+impl ObservationStore {
+    /// A fresh store bounded at [`DEFAULT_OBSERVATION_STORE_CAPACITY`] batches.
+    pub fn new() -> Self {
+        ObservationStore::with_capacity(DEFAULT_OBSERVATION_STORE_CAPACITY)
+    }
+
+    /// A fresh store bounded at `capacity` batches (LRU eviction; 0 disables
+    /// retention entirely).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ObservationStore {
+            inner: Arc::new(Mutex::new(ObservationCache {
+                entries: HashMap::new(),
+                capacity,
+                clock: 0,
+            })),
+        }
+    }
+
+    /// Lock the cache, recovering from poisoning: it holds plain memoized
+    /// values whose invariants hold between any two operations.
+    fn lock(&self) -> MutexGuard<'_, ObservationCache> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn get(&self, key: &ObservationKey) -> Option<Arc<StoredObservations>> {
+        let mut cache = self.lock();
+        cache.clock += 1;
+        let clock = cache.clock;
+        cache.entries.get_mut(key).map(|entry| {
+            entry.1 = clock;
+            Arc::clone(&entry.0)
+        })
+    }
+
+    fn insert(&self, key: ObservationKey, value: Arc<StoredObservations>) {
+        let mut cache = self.lock();
+        if cache.capacity == 0 {
+            return;
+        }
+        cache.clock += 1;
+        let clock = cache.clock;
+        while !cache.entries.contains_key(&key) && cache.entries.len() >= cache.capacity {
+            let lru = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, stamp))| stamp)
+                .map(|(&key, _)| key)
+                .expect("a non-empty cache has a least-recently-used entry");
+            cache.entries.remove(&lru);
+        }
+        cache.entries.insert(key, (value, clock));
+    }
+
+    /// Number of replicate batches currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every retained batch (the capacity bound persists).
+    pub fn clear(&self) {
+        self.lock().entries.clear();
+    }
+
+    /// Whether `other` is a handle to the same underlying cache.
+    pub fn shares_with(&self, other: &ObservationStore) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// The store's guts: entries stamped with a logical recency clock.
+#[derive(Debug)]
+struct ObservationCache {
+    entries: HashMap<ObservationKey, (Arc<StoredObservations>, u64)>,
+    capacity: usize,
+    clock: u64,
+}
+
+static REPLICATES_SAMPLED_CELLWISE: AtomicU64 = AtomicU64::new(0);
+static REPLICATES_SAMPLED_GAPS: AtomicU64 = AtomicU64::new(0);
+static OBSERVATIONS_REUSED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters of the replicate pipeline: how many Monte-Carlo
+/// replicates were actually sampled and mined, per sampler, and how many
+/// per-replicate observations were served from an [`ObservationStore`]
+/// instead. Monotone since process start; the service's `/v1/stats` surfaces
+/// a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReplicateStats {
+    /// Replicates sampled and mined by the cellwise sampler.
+    pub sampled_cellwise: u64,
+    /// Replicates sampled and mined by the geometric-jump gaps sampler.
+    pub sampled_gaps: u64,
+    /// Per-replicate observations reused from an observation store (each one
+    /// a replicate that did **not** re-sample or re-mine).
+    pub observations_reused: u64,
+}
+
+impl ReplicateStats {
+    /// Total replicates sampled across both samplers.
+    pub fn total_sampled(&self) -> u64 {
+        self.sampled_cellwise + self.sampled_gaps
+    }
+}
+
+/// Snapshot of the process-wide [`ReplicateStats`] counters.
+pub fn replicate_stats() -> ReplicateStats {
+    ReplicateStats {
+        sampled_cellwise: REPLICATES_SAMPLED_CELLWISE.load(Ordering::Relaxed),
+        sampled_gaps: REPLICATES_SAMPLED_GAPS.load(Ordering::Relaxed),
+        observations_reused: OBSERVATIONS_REUSED.load(Ordering::Relaxed),
+    }
 }
 
 fn itemsets_overlap(a: &[ItemId], b: &[ItemId]) -> bool {
@@ -688,6 +1069,186 @@ mod tests {
             "Monte-Carlo ŝ_min = {} vs exact s_min = {exact_s_min}",
             estimate.s_min
         );
+    }
+
+    #[test]
+    fn observation_store_is_a_pure_memo() {
+        // With and without the store, and warm vs cold: bit-identical estimates.
+        let model = uniform_model(400, 12, 0.15);
+        let algo = FindPoissonThreshold {
+            replicates: 24,
+            ..FindPoissonThreshold::new(2)
+        };
+        let run_plain = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            algo.run(&model, &mut rng).unwrap()
+        };
+        let store = ObservationStore::new();
+        let run_stored = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            algo.run_with_store(&model, &mut rng, &NoopObserver, &store)
+                .unwrap()
+        };
+        let reference = run_plain(19);
+        let cold = run_stored(19);
+        let warm = run_stored(19);
+        assert_eq!(cold, reference);
+        assert_eq!(warm, reference);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn delta_extension_reuses_the_stored_prefix() {
+        // Extending Δ on a warm store mines only the tail — and the result is
+        // bit-identical to a cold full-Δ run, because replicate substreams are
+        // addressed by (batch_key, index) alone.
+        let model = uniform_model(300, 10, 0.12);
+        let narrow = FindPoissonThreshold {
+            replicates: 16,
+            ..FindPoissonThreshold::new(2)
+        };
+        let wide = FindPoissonThreshold {
+            replicates: 28,
+            ..FindPoissonThreshold::new(2)
+        };
+        let store = ObservationStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = narrow
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let extended = wide
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let fresh = wide.run(&model, &mut rng).unwrap();
+        assert_eq!(extended, fresh);
+        // ... and the shrink direction reuses a prefix of the stored batch.
+        let mut rng = StdRng::seed_from_u64(5);
+        let narrowed = narrow
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(narrowed, narrow.run(&model, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn gaps_sampler_is_deterministic_and_store_compatible() {
+        let model = uniform_model(500, 10, 0.03);
+        let run = |threads: usize, store: &ObservationStore| {
+            let algo = FindPoissonThreshold {
+                replicates: 24,
+                policy: ExecutionPolicy::from_threads(threads),
+                sampler: SamplerMode::Gaps,
+                ..FindPoissonThreshold::new(2)
+            };
+            let mut rng = StdRng::seed_from_u64(13);
+            algo.run_with_store(&model, &mut rng, &NoopObserver, store)
+                .unwrap()
+        };
+        let reference = run(1, &ObservationStore::new());
+        for threads in [2usize, 8] {
+            assert_eq!(run(threads, &ObservationStore::new()), reference);
+        }
+        // Warm store: same estimate again.
+        let store = ObservationStore::new();
+        assert_eq!(run(1, &store), reference);
+        assert_eq!(run(4, &store), reference);
+        // Gaps and cellwise read different RNG streams: estimates are allowed
+        // to differ, but both are valid draws of the same quantity.
+        let cellwise = FindPoissonThreshold {
+            replicates: 24,
+            sampler: SamplerMode::Cellwise,
+            ..FindPoissonThreshold::new(2)
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let cell = cellwise.run(&model, &mut rng).unwrap();
+        assert!(cell.s_min >= cell.s_tilde);
+    }
+
+    #[test]
+    fn fused_k1_supports_match_the_mined_path() {
+        // k = 1 reads the frequent singletons straight off the fused support
+        // vector on the bitmap path; the CSR path still mines. Cross-backend
+        // bit-identity therefore proves the fusion exact.
+        let model = BernoulliModel::new(600, vec![0.2, 0.1, 0.05, 0.3, 0.15]).unwrap();
+        let run = |backend: DatasetBackend| {
+            let algo = FindPoissonThreshold {
+                replicates: 32,
+                backend,
+                ..FindPoissonThreshold::new(1)
+            };
+            let mut rng = StdRng::seed_from_u64(23);
+            algo.run(&model, &mut rng).unwrap()
+        };
+        let csr = run(DatasetBackend::Csr);
+        let bitmap = run(DatasetBackend::Bitmap);
+        assert_eq!(csr, bitmap);
+        assert!(bitmap.pool_size > 0);
+    }
+
+    #[test]
+    fn observation_store_is_lru_bounded() {
+        let store = ObservationStore::with_capacity(2);
+        let model = uniform_model(100, 6, 0.1);
+        let algo = FindPoissonThreshold {
+            replicates: 4,
+            ..FindPoissonThreshold::new(2)
+        };
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let _ = algo
+                .run_with_store(&model, &mut rng, &NoopObserver, &store)
+                .unwrap();
+        }
+        assert!(store.len() <= 2);
+        store.clear();
+        assert!(store.is_empty());
+        // Capacity 0 disables retention entirely.
+        let disabled = ObservationStore::with_capacity(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = algo
+            .run_with_store(&model, &mut rng, &NoopObserver, &disabled)
+            .unwrap();
+        assert!(disabled.is_empty());
+        // Handle semantics: clones share, fresh stores do not.
+        assert!(store.shares_with(&store.clone()));
+        assert!(!store.shares_with(&disabled));
+    }
+
+    #[test]
+    fn replicate_stats_count_sampled_replicates() {
+        let before = replicate_stats();
+        let model = uniform_model(200, 8, 0.1);
+        let algo = FindPoissonThreshold {
+            replicates: 8,
+            ..FindPoissonThreshold::new(2)
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = algo.run(&model, &mut rng).unwrap();
+        let after = replicate_stats();
+        // Counters are process-global and other tests run concurrently, so
+        // only monotone growth by at least our own batch is assertable.
+        assert!(after.sampled_cellwise >= before.sampled_cellwise + 8);
+        assert!(after.total_sampled() >= before.total_sampled() + 8);
+
+        let gaps = FindPoissonThreshold {
+            replicates: 8,
+            sampler: SamplerMode::Gaps,
+            ..FindPoissonThreshold::new(2)
+        };
+        let store = ObservationStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = gaps
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = gaps
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        let reused = replicate_stats();
+        assert!(reused.sampled_gaps >= after.sampled_gaps + 8);
+        assert!(reused.observations_reused >= after.observations_reused + 8);
     }
 
     #[test]

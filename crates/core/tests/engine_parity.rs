@@ -65,6 +65,7 @@ fn legacy_pipeline<M: NullModel + Sync>(
         policy: sigfim_core::ExecutionPolicy::default(),
         backend,
         max_restarts: 4,
+        sampler: sigfim_datasets::SamplerMode::Auto,
     };
     let threshold = algorithm1.run(model, &mut rng).unwrap();
     let lambda = threshold.lambda_estimator();
@@ -340,6 +341,51 @@ fn sweep_runs_the_replicate_loop_at_most_once_per_key() {
     assert_eq!(stats.entries, 5);
     assert_eq!(stats.hits, 9);
     assert_eq!(stats.misses, 5);
+}
+
+#[test]
+fn epsilon_tightened_requery_runs_zero_new_replicates() {
+    // The zero-waste contract of the observation store: re-querying the same
+    // (model, k, Δ, seed) at a *different* ε misses the threshold cache (ε is
+    // part of its key) but re-derives the same round-1 batch key from the
+    // seed, so every replicate observation is served from the store and the
+    // null model is never sampled again.
+    let dataset = planted_dataset(63);
+    let model = CountingModel::new(BernoulliModel::from_dataset(&dataset));
+    let mut engine = AnalysisEngine::with_model(dataset, &model).unwrap();
+    let replicates = 12usize;
+    let loose = AnalysisRequest::for_k(2)
+        .with_replicates(replicates)
+        .with_seed(31)
+        .with_epsilon(0.05)
+        .with_baseline(false);
+
+    let cold = engine.thresholds(&loose).unwrap();
+    assert_eq!(cold[0].threshold_cache, CacheStatus::Miss);
+    let cold_samples = model.samples();
+    assert!(cold_samples >= replicates);
+
+    // Tighter ε: a threshold-cache miss that must not re-sample anything.
+    let tight = AnalysisRequest::for_k(2)
+        .with_replicates(replicates)
+        .with_seed(31)
+        .with_epsilon(0.01)
+        .with_baseline(false);
+    let requery = engine.thresholds(&tight).unwrap();
+    assert_eq!(requery[0].threshold_cache, CacheStatus::Miss);
+    assert_eq!(
+        model.samples(),
+        cold_samples,
+        "an ε-tightened re-query must be served entirely from the observation store"
+    );
+    assert_eq!(requery[0].estimate.epsilon, 0.01);
+
+    // And the store-served estimate equals an honest cold recomputation.
+    let fresh_model = CountingModel::new(model.inner.clone());
+    let mut fresh =
+        AnalysisEngine::with_model(engine.dataset().unwrap().clone(), &fresh_model).unwrap();
+    let recomputed = fresh.thresholds(&tight).unwrap();
+    assert_eq!(recomputed[0].estimate, requery[0].estimate);
 }
 
 #[test]

@@ -1,0 +1,206 @@
+//! Sampler-mode contracts of the zero-waste replicate pipeline.
+//!
+//! The `gaps` sampler reads a *different* RNG stream than the legacy
+//! `cellwise` sampler, so the two produce different (equally valid) estimate
+//! values. What must hold instead:
+//!
+//! * **determinism within a mode** — for a fixed sampler, estimates are
+//!   bit-identical at any thread count and under every configured backend
+//!   (the gaps sampler rides the scratch-bitmap path whatever the backend);
+//! * **statistical agreement** — both samplers draw from the same null model,
+//!   so their `ŝ_min` estimates land in the same neighbourhood;
+//! * **zero-RNG reuse** — a warm `ObservationStore` serves a same-key re-run
+//!   without a single new null-model sampling call, because replicate
+//!   substreams derive from the batch key, never from the caller's RNG.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sigfim_core::{ExecutionPolicy, FindPoissonThreshold, ObservationStore, ThresholdEstimate};
+use sigfim_datasets::bitmap::BitmapDataset;
+use sigfim_datasets::random::{BernoulliModel, NullModel};
+use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_datasets::{DatasetBackend, SamplerMode};
+use sigfim_exec::NoopObserver;
+
+fn sparse_model() -> BernoulliModel {
+    BernoulliModel::new(800, vec![0.03; 14]).unwrap()
+}
+
+fn run_with(
+    model: &BernoulliModel,
+    sampler: SamplerMode,
+    backend: DatasetBackend,
+    threads: usize,
+    seed: u64,
+    replicates: usize,
+) -> ThresholdEstimate {
+    let algo = FindPoissonThreshold {
+        replicates,
+        policy: ExecutionPolicy::from_threads(threads),
+        backend,
+        sampler,
+        ..FindPoissonThreshold::new(2)
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    algo.run(model, &mut rng).unwrap()
+}
+
+#[test]
+fn gaps_estimates_are_bit_identical_across_threads_and_backends() {
+    let model = sparse_model();
+    let reference = run_with(&model, SamplerMode::Gaps, DatasetBackend::Auto, 1, 17, 24);
+    for backend in DatasetBackend::ALL {
+        for threads in [1usize, 2, 8] {
+            let estimate = run_with(&model, SamplerMode::Gaps, backend, threads, 17, 24);
+            assert_eq!(
+                estimate, reference,
+                "gaps diverged (backend {backend}, {threads} thread(s))"
+            );
+        }
+    }
+}
+
+#[test]
+fn cellwise_estimates_are_bit_identical_across_threads_and_backends() {
+    // The legacy sampler keeps its PR 2–6 cross-backend/cross-policy parity
+    // under the sampler-dispatch refactor.
+    let model = sparse_model();
+    let reference = run_with(
+        &model,
+        SamplerMode::Cellwise,
+        DatasetBackend::Auto,
+        1,
+        17,
+        24,
+    );
+    for backend in DatasetBackend::ALL {
+        for threads in [1usize, 2, 8] {
+            let estimate = run_with(&model, SamplerMode::Cellwise, backend, threads, 17, 24);
+            assert_eq!(
+                estimate, reference,
+                "cellwise diverged (backend {backend}, {threads} thread(s))"
+            );
+        }
+    }
+}
+
+#[test]
+fn gaps_and_cellwise_agree_statistically() {
+    // Both samplers draw exact datasets from the same Bernoulli null, so with
+    // a healthy Δ their ŝ_min estimates must land within a couple of support
+    // units of each other (they need not be equal: different RNG streams).
+    let model = sparse_model();
+    let gaps = run_with(&model, SamplerMode::Gaps, DatasetBackend::Auto, 1, 29, 200);
+    let cell = run_with(
+        &model,
+        SamplerMode::Cellwise,
+        DatasetBackend::Auto,
+        1,
+        29,
+        200,
+    );
+    let spread = gaps.s_min.abs_diff(cell.s_min);
+    assert!(
+        spread <= 2,
+        "gaps ŝ_min = {} vs cellwise ŝ_min = {} (spread {spread})",
+        gaps.s_min,
+        cell.s_min
+    );
+    assert_eq!(gaps.s_tilde, cell.s_tilde, "the initial floor is RNG-free");
+}
+
+/// Counts null-model sampling calls: a direct measurement of whether the
+/// replicate loop actually sampled anything.
+struct CountingModel {
+    inner: BernoulliModel,
+    samples: AtomicUsize,
+}
+
+impl CountingModel {
+    fn new(inner: BernoulliModel) -> Self {
+        CountingModel {
+            inner,
+            samples: AtomicUsize::new(0),
+        }
+    }
+
+    fn samples(&self) -> usize {
+        self.samples.load(Ordering::SeqCst)
+    }
+}
+
+impl NullModel for CountingModel {
+    fn num_items(&self) -> usize {
+        NullModel::num_items(&self.inner)
+    }
+
+    fn num_transactions(&self) -> usize {
+        NullModel::num_transactions(&self.inner)
+    }
+
+    fn item_frequencies(&self) -> Vec<f64> {
+        NullModel::item_frequencies(&self.inner)
+    }
+
+    fn sample_dataset<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> TransactionDataset {
+        self.samples.fetch_add(1, Ordering::SeqCst);
+        self.inner.sample_dataset(rng)
+    }
+
+    fn sample_into_bitmap<R: rand::Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
+        self.samples.fetch_add(1, Ordering::SeqCst);
+        NullModel::sample_into_bitmap(&self.inner, rng, out);
+    }
+
+    fn supports_gaps_sampler(&self) -> bool {
+        true
+    }
+
+    fn sample_into_bitmap_gaps<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        self.samples.fetch_add(1, Ordering::SeqCst);
+        self.inner.sample_into_bitmap_gaps(rng, out)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+}
+
+#[test]
+fn observation_store_reuse_consumes_zero_model_rng() {
+    for sampler in [SamplerMode::Cellwise, SamplerMode::Gaps] {
+        let model = CountingModel::new(sparse_model());
+        let algo = FindPoissonThreshold {
+            replicates: 16,
+            sampler,
+            ..FindPoissonThreshold::new(2)
+        };
+        let store = ObservationStore::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let cold = algo
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        let cold_samples = model.samples();
+        assert!(cold_samples >= 16, "{sampler}: cold run must sample");
+
+        // Same seed → same batch key(s) → every replicate served from the
+        // store; the model is never asked for another dataset.
+        let mut rng = StdRng::seed_from_u64(41);
+        let warm = algo
+            .run_with_store(&model, &mut rng, &NoopObserver, &store)
+            .unwrap();
+        assert_eq!(warm, cold, "{sampler}: warm replay must be bit-identical");
+        assert_eq!(
+            model.samples(),
+            cold_samples,
+            "{sampler}: store reuse must consume zero model RNG"
+        );
+    }
+}

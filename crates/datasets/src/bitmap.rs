@@ -222,6 +222,28 @@ impl BitmapDataset {
         &self.bits[start..start + self.words_per_column]
     }
 
+    /// Mutable access to the bit-column of `item`, for samplers that build a
+    /// column word-wise instead of bit-by-bit. Every bit newly set through
+    /// the returned slice must be accounted with
+    /// [`BitmapDataset::add_entries`] to keep the entry-count invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= num_items()`.
+    #[inline]
+    pub(crate) fn column_mut(&mut self, item: ItemId) -> &mut [u64] {
+        let start = item as usize * self.words_per_column;
+        &mut self.bits[start..start + self.words_per_column]
+    }
+
+    /// Account for `added` bits newly set through
+    /// [`BitmapDataset::column_mut`] (all of which must have been zero
+    /// before, or the entry count desyncs from the bit matrix).
+    #[inline]
+    pub(crate) fn add_entries(&mut self, added: usize) {
+        self.entries += added;
+    }
+
     /// Set the `(item, tid)` incidence bit.
     ///
     /// # Panics

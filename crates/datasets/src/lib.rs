@@ -19,7 +19,11 @@
 //!   funnels through, with a `SIGFIM_KERNELS` override for testing and
 //!   benchmarking and startup validation for front-ends.
 //! * [`mod@tune`] — the one-shot startup micro-benchmark that picks the `auto`
-//!   kernel and the default shard width per machine (`SIGFIM_TUNE=off|auto`).
+//!   kernel, the default shard width, and the preferred replicate sampler per
+//!   machine (`SIGFIM_TUNE=off|auto`).
+//! * [`mod@sampler`] — the replicate sampling strategy selector
+//!   (`SIGFIM_SAMPLER=cellwise|gaps|auto`): the legacy cellwise sampler vs.
+//!   the geometric-jump sparse sampler with fused k = 1 counting.
 //! * [`sharded::ShardedBitmapDataset`] — the transaction axis split into
 //!   word-aligned row-range shards, so one dataset's counting pass can fan out
 //!   across workers with bit-identical results.
@@ -73,6 +77,7 @@ pub mod fimi;
 pub mod frequency;
 pub mod kernels;
 pub mod random;
+pub mod sampler;
 pub mod sharded;
 pub mod summary;
 pub mod transaction;
@@ -83,6 +88,10 @@ pub use benchmarks::{BenchmarkDataset, BenchmarkSpec};
 pub use bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
 pub use kernels::{configure_kernels, kernels, kernels_for, KernelMode, Kernels};
 pub use random::BernoulliModel;
+pub use sampler::{
+    configure_sampler, process_sampler_mode, resolve_sampler, resolve_sampler_request,
+    ResolvedSampler, SamplerMode, GAPS_DENSITY_THRESHOLD,
+};
 pub use sharded::ShardedBitmapDataset;
 pub use summary::DatasetSummary;
 pub use transaction::{ItemId, TransactionDataset};

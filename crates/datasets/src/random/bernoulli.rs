@@ -14,7 +14,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::bitmap::BitmapDataset;
-use crate::random::sampling::{sample_binomial, sample_distinct_indices};
+use crate::random::sampling::{
+    sample_bernoulli_indices_by_gaps, sample_binomial, sample_distinct_indices,
+};
 use crate::transaction::{DatasetBuilder, ItemId, TransactionDataset};
 use crate::{DatasetError, Result};
 
@@ -162,6 +164,63 @@ impl BernoulliModel {
         }
     }
 
+    /// [`BernoulliModel::sample_into_bitmap`] with the k = 1 support pass
+    /// fused in: the per-item binomial draw *is* that item's exact column
+    /// support, so the returned supports vector costs nothing beyond the
+    /// sampling itself. RNG consumption is identical to
+    /// [`BernoulliModel::sample`] and [`BernoulliModel::sample_into_bitmap`].
+    pub fn sample_into_bitmap_counted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        let t = self.num_transactions;
+        out.reset(self.frequencies.len() as u32, t);
+        let mut supports = Vec::with_capacity(self.frequencies.len());
+        for (item, &f) in self.frequencies.iter().enumerate() {
+            if f <= 0.0 || t == 0 {
+                supports.push(0);
+                continue;
+            }
+            let count = (sample_binomial(rng, t as u64, f) as usize).min(t);
+            sample_distinct_indices(rng, t, count, |tid| {
+                out.set(item as ItemId, tid as u32);
+            });
+            supports.push(count as u64);
+        }
+        supports
+    }
+
+    /// Geometric-jump sparse sampling (`SIGFIM_SAMPLER=gaps`): per item,
+    /// draw only the set bits via geometric skip distances
+    /// ([`sample_bernoulli_indices_by_gaps`]) and write them word-wise into
+    /// the column, accumulating the popcount as it goes. `O(set bits)` draws
+    /// and work with no per-item allocation — but a **different RNG stream**
+    /// than [`BernoulliModel::sample`]/[`BernoulliModel::sample_into_bitmap`]
+    /// (both are exact draws from the same distribution; see
+    /// [`crate::sampler`] for the selection contract).
+    pub fn sample_into_bitmap_gaps<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        use crate::bitmap::WORD_BITS;
+        let t = self.num_transactions;
+        out.reset(self.frequencies.len() as u32, t);
+        let mut supports = Vec::with_capacity(self.frequencies.len());
+        let mut total = 0u64;
+        for (item, &f) in self.frequencies.iter().enumerate() {
+            let column = out.column_mut(item as ItemId);
+            let count = sample_bernoulli_indices_by_gaps(rng, t as u64, f, |tid| {
+                column[tid as usize / WORD_BITS] |= 1u64 << (tid as usize % WORD_BITS);
+            });
+            supports.push(count);
+            total += count;
+        }
+        out.add_entries(total as usize);
+        supports
+    }
+
     /// Draw `count` independent random datasets.
     pub fn sample_many<R: Rng + ?Sized>(
         &self,
@@ -297,6 +356,75 @@ mod tests {
             bitmap.to_transaction_dataset(),
             small.sample(&mut StdRng::seed_from_u64(3))
         );
+    }
+
+    #[test]
+    fn counted_sampling_is_rng_identical_and_returns_exact_supports() {
+        let model = BernoulliModel::new(333, vec![0.4, 0.0, 0.07, 1.0, 0.2]).unwrap();
+        for seed in [1u64, 7, 42] {
+            let mut plain = BitmapDataset::new(0, 0);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            model.sample_into_bitmap(&mut rng_a, &mut plain);
+            let mut counted = BitmapDataset::new(0, 0);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let supports = model.sample_into_bitmap_counted(&mut rng_b, &mut counted);
+            assert_eq!(counted, plain, "seed {seed}: counted sampling diverged");
+            assert_eq!(supports, counted.item_supports(), "seed {seed}");
+            // Identical RNG consumption: the fused pass is a free byproduct.
+            assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn gaps_sampling_is_deterministic_with_exact_fused_supports() {
+        let model = BernoulliModel::new(500, vec![0.02, 0.0, 0.5, 1.0, 0.008]).unwrap();
+        let mut a = BitmapDataset::new(0, 0);
+        let supports_a = model.sample_into_bitmap_gaps(&mut StdRng::seed_from_u64(9), &mut a);
+        // Fused counts equal the rescanned column popcounts, and the entry
+        // count invariant holds (num_entries debug-asserts a full popcount).
+        assert_eq!(supports_a, a.item_supports());
+        assert_eq!(
+            a.num_entries() as u64,
+            supports_a.iter().sum::<u64>(),
+            "entry accounting out of sync"
+        );
+        // Degenerate frequencies behave exactly: 0 → empty, 1 → full column.
+        assert_eq!(supports_a[1], 0);
+        assert_eq!(supports_a[3], 500);
+        // Same seed, same dataset — including through a reused buffer.
+        let mut b = BitmapDataset::new(0, 0);
+        model.sample_into_bitmap_gaps(&mut StdRng::seed_from_u64(11), &mut b);
+        let supports_b = model.sample_into_bitmap_gaps(&mut StdRng::seed_from_u64(9), &mut b);
+        assert_eq!(b, a);
+        assert_eq!(supports_b, supports_a);
+    }
+
+    #[test]
+    fn gaps_sampling_matches_the_model_distribution() {
+        // The gap sampler draws from the same Bernoulli matrix distribution
+        // as the cellwise path: compare empirical frequencies over many
+        // replicates (different RNG streams, same law).
+        let freqs = vec![0.05, 0.2, 0.001];
+        let model = BernoulliModel::new(400, freqs.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let reps = 200usize;
+        let mut totals = vec![0u64; freqs.len()];
+        let mut bitmap = BitmapDataset::new(0, 0);
+        for _ in 0..reps {
+            let supports = model.sample_into_bitmap_gaps(&mut rng, &mut bitmap);
+            for (t, s) in totals.iter_mut().zip(&supports) {
+                *t += s;
+            }
+        }
+        let draws = (400 * reps) as f64;
+        for (i, (&f, &total)) in freqs.iter().zip(&totals).enumerate() {
+            let observed = total as f64 / draws;
+            let sigma = (f * (1.0 - f) / draws).sqrt();
+            assert!(
+                (observed - f).abs() < 6.0 * sigma + 1e-4,
+                "item {i}: observed {observed}, expected {f}"
+            );
+        }
     }
 
     #[test]

@@ -98,6 +98,49 @@ pub trait NullModel {
         out.fill_from_dataset(&dataset);
     }
 
+    /// Whether this model can sample through the geometric-jump (`gaps`)
+    /// sparse sampler. `false` by default; models whose incidences are
+    /// independent Bernoulli cells ([`BernoulliModel`]) override it, and
+    /// sampler resolution ([`crate::sampler::resolve_sampler`]) only ever
+    /// dispatches `gaps` when this is `true`.
+    fn supports_gaps_sampler(&self) -> bool {
+        false
+    }
+
+    /// [`NullModel::sample_into_bitmap`] with the k = 1 support pass fused
+    /// in: returns each item's exact column support alongside the filled
+    /// bitmap, consuming the RNG identically. The default samples and then
+    /// rescans the columns; models that know the counts as they sample
+    /// override it ([`BernoulliModel`]'s binomial draw *is* the support, the
+    /// swap model's column margins are the reference's).
+    fn sample_into_bitmap_counted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64>
+    where
+        Self: Sized,
+    {
+        self.sample_into_bitmap(rng, out);
+        out.item_supports()
+    }
+
+    /// Geometric-jump sparse sampling with fused counting — a **different
+    /// RNG stream** than the cellwise methods. Only meaningful when
+    /// [`NullModel::supports_gaps_sampler`] is `true`; the default falls
+    /// back to the cellwise counted sampler, which is safe because sampler
+    /// resolution never dispatches `gaps` to a model without support.
+    fn sample_into_bitmap_gaps<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64>
+    where
+        Self: Sized,
+    {
+        self.sample_into_bitmap_counted(rng, out)
+    }
+
     /// The expected fraction of set bits in a generated incidence matrix (the
     /// mean item frequency) — the density the
     /// [`crate::bitmap::DatasetBackend::resolve`] heuristic needs *before* any
@@ -173,6 +216,23 @@ pub trait DynNullModel: Send + Sync {
     /// [`NullModel::sample_into_bitmap`] with the RNG type erased.
     fn sample_into_bitmap_dyn(&self, rng: &mut dyn RngCore, out: &mut BitmapDataset);
 
+    /// See [`NullModel::supports_gaps_sampler`].
+    fn supports_gaps_sampler_dyn(&self) -> bool;
+
+    /// [`NullModel::sample_into_bitmap_counted`] with the RNG type erased.
+    fn sample_into_bitmap_counted_dyn(
+        &self,
+        rng: &mut dyn RngCore,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64>;
+
+    /// [`NullModel::sample_into_bitmap_gaps`] with the RNG type erased.
+    fn sample_into_bitmap_gaps_dyn(
+        &self,
+        rng: &mut dyn RngCore,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64>;
+
     /// See [`NullModel::expected_density`].
     fn expected_density_dyn(&self) -> f64;
 
@@ -199,6 +259,26 @@ impl<M: NullModel + Send + Sync> DynNullModel for M {
 
     fn sample_into_bitmap_dyn(&self, rng: &mut dyn RngCore, out: &mut BitmapDataset) {
         self.sample_into_bitmap(rng, out);
+    }
+
+    fn supports_gaps_sampler_dyn(&self) -> bool {
+        NullModel::supports_gaps_sampler(self)
+    }
+
+    fn sample_into_bitmap_counted_dyn(
+        &self,
+        rng: &mut dyn RngCore,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        self.sample_into_bitmap_counted(rng, out)
+    }
+
+    fn sample_into_bitmap_gaps_dyn(
+        &self,
+        rng: &mut dyn RngCore,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        self.sample_into_bitmap_gaps(rng, out)
     }
 
     fn expected_density_dyn(&self) -> f64 {
@@ -258,6 +338,28 @@ impl<'a> NullModel for Box<dyn DynNullModel + 'a> {
         (**self).sample_into_bitmap_dyn(&mut rng, out);
     }
 
+    fn supports_gaps_sampler(&self) -> bool {
+        (**self).supports_gaps_sampler_dyn()
+    }
+
+    fn sample_into_bitmap_counted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        let mut rng = rng;
+        (**self).sample_into_bitmap_counted_dyn(&mut rng, out)
+    }
+
+    fn sample_into_bitmap_gaps<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        let mut rng = rng;
+        (**self).sample_into_bitmap_gaps_dyn(&mut rng, out)
+    }
+
     fn expected_density(&self) -> f64 {
         (**self).expected_density_dyn()
     }
@@ -291,6 +393,26 @@ impl<M: NullModel> NullModel for &M {
         (**self).sample_into_bitmap(rng, out);
     }
 
+    fn supports_gaps_sampler(&self) -> bool {
+        (**self).supports_gaps_sampler()
+    }
+
+    fn sample_into_bitmap_counted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        (**self).sample_into_bitmap_counted(rng, out)
+    }
+
+    fn sample_into_bitmap_gaps<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        (**self).sample_into_bitmap_gaps(rng, out)
+    }
+
     fn expected_density(&self) -> f64 {
         (**self).expected_density()
     }
@@ -319,6 +441,28 @@ impl NullModel for BernoulliModel {
 
     fn sample_into_bitmap<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut BitmapDataset) {
         BernoulliModel::sample_into_bitmap(self, rng, out);
+    }
+
+    /// Every incidence is an independent Bernoulli cell, exactly what the
+    /// geometric-jump sampler draws.
+    fn supports_gaps_sampler(&self) -> bool {
+        true
+    }
+
+    fn sample_into_bitmap_counted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        BernoulliModel::sample_into_bitmap_counted(self, rng, out)
+    }
+
+    fn sample_into_bitmap_gaps<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        BernoulliModel::sample_into_bitmap_gaps(self, rng, out)
     }
 }
 
@@ -409,6 +553,18 @@ impl NullModel for SwapRandomizationModel {
             let mut edges = cell.borrow_mut();
             swap_randomize_into_bitmap(&self.reference, self.attempts, rng, out, &mut edges);
         });
+    }
+
+    /// Margin-preserving swaps keep every column support exactly at the
+    /// reference's, so the fused k = 1 pass is the reference margin vector —
+    /// no rescan of the sampled matrix at all.
+    fn sample_into_bitmap_counted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut BitmapDataset,
+    ) -> Vec<u64> {
+        self.sample_into_bitmap(rng, out);
+        self.reference.item_supports()
     }
 
     /// The swap null's distribution is determined by the *entire* reference

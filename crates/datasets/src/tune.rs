@@ -1,4 +1,5 @@
-//! One-shot startup auto-tuner for kernel mode and shard width.
+//! One-shot startup auto-tuner for kernel mode, shard width, and the
+//! replicate sampler preference.
 //!
 //! PR 5 selected the counting kernel by a static preference order and sized
 //! transaction shards by a fixed 256 KiB L2 budget. Both are machine
@@ -26,12 +27,26 @@
 //!   static 256 KiB default.
 //!
 //! An explicit `SIGFIM_KERNELS` / `--kernels` mode always wins over the
-//! tuner's kernel pick; the tuner only decides what `auto` means.
+//! tuner's kernel pick; the tuner only decides what `auto` means. The same
+//! holds for the replicate sampler: the tuner times one sparse replicate fill
+//! through each strategy ([`tuned_sampler_mode`]), and that preference is
+//! consulted only by an explicitly requested `SIGFIM_SAMPLER=auto`
+//! ([`crate::sampler::resolve_sampler`]) — with tuning off it statically
+//! prefers `gaps`, leaving the density gate to decide. Kernel and shard
+//! choices never change results; the sampler choice changes the RNG stream
+//! (never the sampled distribution), which is exactly why it stays behind the
+//! explicit `auto` opt-in.
 
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bitmap::BitmapDataset;
 use crate::kernels::{kernels_for, static_auto_mode, KernelMode};
+use crate::random::BernoulliModel;
+use crate::sampler::SamplerMode;
 
 /// The static shard budget used when tuning is off (and the PR 5 default):
 /// one shard's column set sized to a typical L2 slice.
@@ -91,6 +106,8 @@ pub enum TuneSubject {
     Kernel(KernelMode),
     /// A shard budget, in bytes.
     ShardBudgetBytes(usize),
+    /// A replicate sampler strategy, by mode.
+    Sampler(SamplerMode),
 }
 
 /// The cached per-process tuner decision.
@@ -103,6 +120,12 @@ pub struct TuneDecision {
     pub kernel: KernelMode,
     /// The shard budget [`crate::sharded::ShardedBitmapDataset::tuned_shard_rows`] sizes shards by.
     pub shard_budget_bytes: usize,
+    /// The replicate sampler an `auto` sampler request prefers on sparse
+    /// models (always a concrete mode, never [`SamplerMode::Auto`]). With
+    /// tuning off this is statically [`SamplerMode::Gaps`] — asymptotically
+    /// the better strategy in the sparse regime `auto` gates it to — so the
+    /// density gate in [`crate::sampler::resolve_sampler`] decides alone.
+    pub sampler: SamplerMode,
     /// Every micro-bench measurement that informed the decision (empty when
     /// tuning was off).
     pub timings: Vec<TuneTiming>,
@@ -124,6 +147,7 @@ pub fn decision() -> &'static TuneDecision {
                 tuned: false,
                 kernel: static_auto_mode(),
                 shard_budget_bytes: DEFAULT_SHARD_BUDGET_BYTES,
+                sampler: SamplerMode::Gaps,
                 timings: Vec::new(),
             },
             TuneMode::Auto => measure(),
@@ -140,6 +164,13 @@ pub fn tuned_kernel_mode() -> KernelMode {
 /// default to on this machine.
 pub fn tuned_shard_budget_bytes() -> usize {
     decision().shard_budget_bytes
+}
+
+/// The replicate sampler an `auto` sampler request should prefer on this
+/// machine when the model is sparse enough to qualify (see
+/// [`crate::sampler::resolve_sampler`] for the full gate).
+pub fn tuned_sampler_mode() -> SamplerMode {
+    decision().sampler
 }
 
 /// Deterministic word pattern for the measurement buffers (mixed density so
@@ -237,10 +268,51 @@ fn measure() -> TuneDecision {
         .map(|&(budget, _)| budget)
         .unwrap_or(DEFAULT_SHARD_BUDGET_BYTES);
 
+    // Sampler pick: one full replicate fill of a sparse 4096×32 null matrix
+    // (density 0.02 — the regime the `auto` sampler gates `gaps` to) through
+    // each strategy, median of 5 fills. The pick only matters below
+    // `GAPS_DENSITY_THRESHOLD`, so measuring at a representative sparse
+    // density is the honest comparison.
+    const SAMPLER_SAMPLES: usize = 5;
+    let model =
+        BernoulliModel::new(4096, vec![0.02; 32]).expect("static sampler-bench model is valid");
+    let mut bitmap = BitmapDataset::new(0, 0);
+    let mut rng = StdRng::seed_from_u64(0x5a6d_706c);
+    let mut sampler = (SamplerMode::Gaps, u64::MAX);
+    for mode in [SamplerMode::Cellwise, SamplerMode::Gaps] {
+        let fill = |rng: &mut StdRng, out: &mut BitmapDataset| match mode {
+            SamplerMode::Cellwise => {
+                std::hint::black_box(model.sample_into_bitmap_counted(rng, out));
+            }
+            SamplerMode::Gaps => {
+                std::hint::black_box(model.sample_into_bitmap_gaps(rng, out));
+            }
+            SamplerMode::Auto => unreachable!("only concrete samplers are measured"),
+        };
+        fill(&mut rng, &mut bitmap); // Warm-up (page-in + scratch growth).
+        let mut samples = [0u64; SAMPLER_SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            fill(&mut rng, &mut bitmap);
+            *sample = start.elapsed().as_nanos() as u64;
+        }
+        let median = median_ns(&mut samples);
+        timings.push(TuneTiming {
+            subject: TuneSubject::Sampler(mode),
+            median_ns: median,
+        });
+        // `<=`: ties break toward gaps (measured second), the asymptotically
+        // cheaper strategy in the sparse regime this benchmark models.
+        if median <= sampler.1 {
+            sampler = (mode, median);
+        }
+    }
+
     TuneDecision {
         tuned: true,
         kernel,
         shard_budget_bytes,
+        sampler: sampler.0,
         timings,
     }
 }
@@ -270,12 +342,21 @@ mod tests {
         assert_ne!(d.kernel, KernelMode::Auto);
         assert!(d.kernel.is_supported());
         assert!(SHARD_BUDGET_CANDIDATES.contains(&d.shard_budget_bytes));
-        // One timing per supported concrete kernel plus one per budget.
+        // The sampler pick is always concrete.
+        assert!(matches!(
+            d.sampler,
+            SamplerMode::Cellwise | SamplerMode::Gaps
+        ));
+        // One timing per supported concrete kernel, one per budget, and one
+        // per concrete sampler strategy.
         let concrete = KernelMode::supported()
             .iter()
             .filter(|&&m| m != KernelMode::Auto)
             .count();
-        assert_eq!(d.timings.len(), concrete + SHARD_BUDGET_CANDIDATES.len());
+        assert_eq!(
+            d.timings.len(),
+            concrete + SHARD_BUDGET_CANDIDATES.len() + 2
+        );
         assert!(d.timings.iter().all(|t| t.median_ns > 0));
     }
 
@@ -287,7 +368,9 @@ mod tests {
         assert!(first.kernel.is_supported());
         assert_ne!(first.kernel, KernelMode::Auto);
         assert!(first.shard_budget_bytes >= 128 * 1024);
+        assert_ne!(first.sampler, SamplerMode::Auto);
         assert_eq!(tuned_kernel_mode(), first.kernel);
         assert_eq!(tuned_shard_budget_bytes(), first.shard_budget_bytes);
+        assert_eq!(tuned_sampler_mode(), first.sampler);
     }
 }

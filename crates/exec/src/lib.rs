@@ -204,6 +204,38 @@ impl BatchObserver for NoopObserver {
     fn task_completed(&self, _index: usize, _completed: usize, _total: usize) {}
 }
 
+/// An adapter that re-frames a sub-batch's progress inside a larger logical
+/// batch: task `i` of the sub-batch is reported to `inner` as task
+/// `index_offset + i`, completed `completed_offset + completed` of `total`.
+///
+/// This is what lets a caller that resumes a partially cached batch (the
+/// Monte-Carlo observation store replaying reused replicates and then running
+/// only the tail) keep its observer's invariants — `completed` monotone,
+/// `total` the full logical batch — while the execution layer only ever sees
+/// the uncached tail.
+#[derive(Clone, Copy)]
+pub struct OffsetObserver<'a> {
+    /// The observer watching the full logical batch.
+    pub inner: &'a dyn BatchObserver,
+    /// Added to every reported task index.
+    pub index_offset: usize,
+    /// Added to every reported completion count.
+    pub completed_offset: usize,
+    /// The full logical batch size reported in place of the sub-batch's.
+    pub total: usize,
+}
+
+impl BatchObserver for OffsetObserver<'_> {
+    fn task_completed(&self, index: usize, completed: usize, total: usize) {
+        debug_assert!(self.completed_offset + total <= self.total);
+        self.inner.task_completed(
+            self.index_offset + index,
+            self.completed_offset + completed,
+            self.total,
+        );
+    }
+}
+
 impl ExecutionPolicy {
     /// Like [`ExecutionPolicy::try_map_indexed`], reporting each completed task
     /// to `observer`. The observer never influences results — outputs stay in
@@ -601,6 +633,40 @@ mod tests {
             &NoopObserver,
         );
         assert_eq!(ok.unwrap().len(), items.len());
+    }
+
+    #[test]
+    fn offset_observer_reframes_a_tail_batch() {
+        use std::sync::Mutex;
+        struct Recorder {
+            events: Mutex<Vec<(usize, usize, usize)>>,
+        }
+        impl BatchObserver for Recorder {
+            fn task_completed(&self, index: usize, completed: usize, total: usize) {
+                self.events.lock().unwrap().push((index, completed, total));
+            }
+        }
+        // A logical batch of 10 where the first 6 were served from a cache:
+        // the tail of 4 runs, but the recorder sees positions 6..10 completing
+        // as the 7th..10th of 10.
+        let recorder = Recorder {
+            events: Mutex::new(Vec::new()),
+        };
+        let tail: Vec<u64> = (6..10).collect();
+        let offset = OffsetObserver {
+            inner: &recorder,
+            index_offset: 6,
+            completed_offset: 6,
+            total: 10,
+        };
+        ExecutionPolicy::Sequential
+            .try_map_indexed_observed(&tail, |_, &v| Ok::<_, ()>(v), &offset)
+            .unwrap();
+        let events = recorder.events.into_inner().unwrap();
+        assert_eq!(
+            events,
+            vec![(6, 7, 10), (7, 8, 10), (8, 9, 10), (9, 10, 10)]
+        );
     }
 
     #[test]

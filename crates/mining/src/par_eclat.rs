@@ -27,6 +27,8 @@
 //! *traversal* is deterministic; under `Rayon` only the pre-sort merge order
 //! varies, which the canonical sort erases.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use sigfim_datasets::bitmap::{and_into, BitmapDataset};
 use sigfim_datasets::sharded::ShardedBitmapDataset;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
@@ -139,6 +141,42 @@ struct Frame {
     tail_start: usize,
 }
 
+/// Live split-threshold controller: an exponentially-weighted moving average
+/// of the queue depth observed at each frame claim, kept in ×8 fixed point
+/// (one `AtomicUsize`, relaxed — the statistic only steers a performance
+/// heuristic; output is bit-identical whatever it decides, see the module
+/// docs). A persistently *deep* queue pulls the split threshold down toward
+/// `workers` (splitting is pure overhead when nobody is idle); a persistently
+/// *shallow* one pushes it up toward `4 × workers` (keep feeding stealers).
+/// The fixed `pending < 2 × workers` rule this replaces is the controller's
+/// exact initial state.
+struct SplitController {
+    /// EWMA of `queue.pending()` in ×8 fixed point (α = 1/8).
+    ewma8: AtomicUsize,
+}
+
+impl SplitController {
+    fn new(workers: usize) -> Self {
+        SplitController {
+            // Start at 2·workers so the first frames see the legacy
+            // threshold: target = 4w − 2w = 2w.
+            ewma8: AtomicUsize::new(2 * workers * 8),
+        }
+    }
+
+    /// Fold one queue-depth observation in and return the current split
+    /// threshold. Racy read-modify-write is fine: every interleaving yields
+    /// a valid smoothed depth, and the decision it steers is correctness-free.
+    fn split_target(&self, pending: usize, workers: usize) -> usize {
+        let prev = self.ewma8.load(Ordering::Relaxed);
+        let next = prev - prev / 8 + pending;
+        self.ewma8.store(next, Ordering::Relaxed);
+        (4 * workers)
+            .saturating_sub(next / 8)
+            .clamp(workers, 4 * workers)
+    }
+}
+
 /// Shared read-only search parameters for the worker closures.
 struct Search<'a> {
     columns: &'a Columns<'a>,
@@ -146,6 +184,7 @@ struct Search<'a> {
     k: usize,
     min_support: u64,
     workers: usize,
+    split: SplitController,
 }
 
 impl Search<'_> {
@@ -168,8 +207,13 @@ impl Search<'_> {
         }
         // Split only while it buys parallelism: more than one worker, the
         // children root real subtrees (a frame per leaf is pure overhead),
-        // and the queue is shallow enough that someone may actually be idle.
-        let split = self.workers > 1 && depth + 1 < self.k && queue.pending() < 2 * self.workers;
+        // and the queue is shallow enough — judged against the live
+        // queue-depth statistic, not a fixed constant — that someone may
+        // actually be idle.
+        let pending = queue.pending();
+        let split = self.workers > 1
+            && depth + 1 < self.k
+            && pending < self.split.split_target(pending, self.workers);
         if split {
             let words = covering.len();
             for j in tail_start..self.tail.len() {
@@ -296,12 +340,14 @@ impl ParallelEclat {
             sort_canonical(&mut output);
             return Ok(output);
         }
+        let workers = self.policy.worker_threads();
         let search = Search {
             columns,
             tail: &tail,
             k,
             min_support,
-            workers: self.policy.worker_threads(),
+            workers,
+            split: SplitController::new(workers),
         };
         let words = columns.total_words();
         let seeds: Vec<Frame> = tail

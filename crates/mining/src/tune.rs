@@ -1,0 +1,236 @@
+//! Startup micro-benchmark picking the *miner* for `--miner auto`, the
+//! mining-side sibling of [`sigfim_datasets::tune`] (which picks the kernel,
+//! shard budget and replicate sampler).
+//!
+//! Subtree parallelism ([`crate::par_eclat::ParallelEclat`]) pays for its
+//! frame queue only when workers are real and the machine's thread spin-up is
+//! cheaper than the subtrees it parallelizes — on a single hardware core the
+//! sequential bitset Eclat often wins outright. The tuner mines one
+//! deterministic synthetic bitmap with both miners once at startup (gated by
+//! the same `SIGFIM_TUNE=off|auto` switch the dataset tuner honors) and
+//! remembers which was faster; [`tuned_miner`] folds that preference into the
+//! `auto` miner resolution.
+//!
+//! The benchmark dataset is built **without any RNG** (this crate keeps
+//! `rand` as a dev-dependency only): item membership comes from a splitmix64
+//! hash of the `(transaction, item)` cell, which is deterministic across
+//! processes and platforms.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use sigfim_datasets::bitmap::BitmapDataset;
+use sigfim_datasets::transaction::TransactionDataset;
+use sigfim_datasets::tune::{resolve_tune_request, TuneMode};
+use sigfim_exec::ExecutionPolicy;
+
+use crate::eclat::Eclat;
+use crate::miner::MinerKind;
+use crate::par_eclat::ParallelEclat;
+
+/// One miner micro-benchmark sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinerTuneTiming {
+    /// The miner that was measured.
+    pub miner: MinerKind,
+    /// Median of the timed repetitions, in nanoseconds.
+    pub median_ns: u64,
+}
+
+/// The cached per-process miner-tuner decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinerTuneDecision {
+    /// `true` when the micro-benchmark actually ran (`SIGFIM_TUNE=auto`);
+    /// `false` means the static preference below was used unmeasured.
+    pub tuned: bool,
+    /// Whether the subtree-parallel miner beat the sequential bitset Eclat on
+    /// this machine. With tuning off this is statically `true`: parallelism
+    /// gets the benefit of the doubt and only the worker count gates it.
+    pub parallel_pays_off: bool,
+    /// The measurements behind the decision (empty when tuning was off).
+    pub timings: Vec<MinerTuneTiming>,
+}
+
+/// The process-wide miner-tuner decision, measured at most once.
+///
+/// # Panics
+///
+/// Panics (at first use) when `SIGFIM_TUNE` is set to an unknown value —
+/// validate with [`sigfim_datasets::tune::resolve_tune_request`] at startup
+/// to report it cleanly.
+pub fn miner_decision() -> &'static MinerTuneDecision {
+    static DECISION: OnceLock<MinerTuneDecision> = OnceLock::new();
+    DECISION.get_or_init(|| {
+        let mode = resolve_tune_request(std::env::var("SIGFIM_TUNE").ok().as_deref())
+            .unwrap_or_else(|error| panic!("{error}"));
+        match mode {
+            TuneMode::Off => MinerTuneDecision {
+                tuned: false,
+                parallel_pays_off: true,
+                timings: Vec::new(),
+            },
+            TuneMode::Auto => measure(),
+        }
+    })
+}
+
+/// The miner an `auto` request should resolve to, given whether the dense
+/// bitmap mining path applies and how many workers the execution policy
+/// provides. Sparse (CSR) data and single-worker policies always take the
+/// sequential Eclat — the parallel miner's frame queue cannot pay for itself
+/// there; otherwise the tuner's measured preference decides.
+pub fn tuned_miner(bitmap_path: bool, workers: usize) -> MinerKind {
+    if !bitmap_path || workers < 2 {
+        return MinerKind::Eclat;
+    }
+    let decision = miner_decision();
+    if decision.tuned && !decision.parallel_pays_off {
+        MinerKind::Eclat
+    } else {
+        MinerKind::ParEclat
+    }
+}
+
+/// splitmix64: the same deterministic mixer the dataset tuner patterns use.
+fn mix(cell: u64) -> u64 {
+    let mut z = cell.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic benchmark bitmap: hash-thresholded cell membership at
+/// ~6% density over a shape small enough to measure in microseconds but deep
+/// enough that k = 2 mining walks real subtrees.
+fn synthetic_bitmap() -> BitmapDataset {
+    const ITEMS: u64 = 40;
+    const TRANSACTIONS: u64 = 1536;
+    // 6% of u64::MAX, computed in integer space.
+    const THRESHOLD: u64 = u64::MAX / 50 * 3;
+    let transactions: Vec<Vec<u32>> = (0..TRANSACTIONS)
+        .map(|t| {
+            (0..ITEMS)
+                .filter(|&i| mix(t * ITEMS + i) < THRESHOLD)
+                .map(|i| i as u32)
+                .collect()
+        })
+        .collect();
+    let dataset = TransactionDataset::from_transactions(ITEMS as u32, transactions)
+        .expect("hash-generated items are in range");
+    BitmapDataset::from_dataset(&dataset)
+}
+
+/// Median of a small sample set (sorts in place).
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Run the micro-benchmark and derive the decision.
+fn measure() -> MinerTuneDecision {
+    let bitmap = synthetic_bitmap();
+    const K: usize = 2;
+    const FLOOR: u64 = 3;
+    const REPS: usize = 5;
+
+    let time = |mine: &dyn Fn() -> usize| -> u64 {
+        // One warm-up run populates caches and (for the parallel miner)
+        // spins the worker pool up outside the timed region.
+        let baseline = mine();
+        let mut samples = [0u64; REPS];
+        for sample in &mut samples {
+            let start = Instant::now();
+            let mined = mine();
+            *sample = start.elapsed().as_nanos() as u64;
+            assert_eq!(mined, baseline, "miners must agree run to run");
+        }
+        median_ns(&mut samples)
+    };
+
+    let sequential = time(&|| Eclat.mine_k_bitmap(&bitmap, K, FLOOR).unwrap().len());
+    let parallel_miner = ParallelEclat::new(ExecutionPolicy::rayon(2));
+    let parallel = time(&|| {
+        parallel_miner
+            .mine_k_bitmap(&bitmap, K, FLOOR)
+            .unwrap()
+            .len()
+    });
+
+    MinerTuneDecision {
+        tuned: true,
+        // Ties go to the sequential miner: equal speed means the frame queue
+        // bought nothing.
+        parallel_pays_off: parallel < sequential,
+        timings: vec![
+            MinerTuneTiming {
+                miner: MinerKind::Eclat,
+                median_ns: sequential,
+            },
+            MinerTuneTiming {
+                miner: MinerKind::ParEclat,
+                median_ns: parallel,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_bitmap_is_deterministic_and_non_trivial() {
+        let a = synthetic_bitmap();
+        let b = synthetic_bitmap();
+        assert_eq!(a.num_entries(), b.num_entries());
+        assert!(a.num_entries() > 0);
+        // Both miners find the same (non-empty) k = 2 family on it.
+        let sequential = Eclat.mine_k_bitmap(&a, 2, 3).unwrap();
+        let parallel = ParallelEclat::new(ExecutionPolicy::rayon(2))
+            .mine_k_bitmap(&a, 2, 3)
+            .unwrap();
+        assert_eq!(sequential, parallel);
+        assert!(!sequential.is_empty());
+    }
+
+    #[test]
+    fn decision_is_cached_and_consistent() {
+        let decision = miner_decision();
+        assert_eq!(decision, miner_decision());
+        if decision.tuned {
+            assert_eq!(decision.timings.len(), 2);
+            let by_kind = |kind: MinerKind| {
+                decision
+                    .timings
+                    .iter()
+                    .find(|t| t.miner == kind)
+                    .expect("both miners are measured")
+                    .median_ns
+            };
+            assert_eq!(
+                decision.parallel_pays_off,
+                by_kind(MinerKind::ParEclat) < by_kind(MinerKind::Eclat)
+            );
+        } else {
+            assert!(decision.timings.is_empty());
+            assert!(decision.parallel_pays_off);
+        }
+    }
+
+    #[test]
+    fn auto_miner_resolution_gates_on_path_and_workers() {
+        // CSR data or a single worker: always the sequential Eclat,
+        // regardless of what the tuner measured.
+        assert_eq!(tuned_miner(false, 8), MinerKind::Eclat);
+        assert_eq!(tuned_miner(true, 1), MinerKind::Eclat);
+        assert_eq!(tuned_miner(false, 1), MinerKind::Eclat);
+        // Bitmap path with real workers: the tuner's preference decides.
+        let expected = if miner_decision().tuned && !miner_decision().parallel_pays_off {
+            MinerKind::Eclat
+        } else {
+            MinerKind::ParEclat
+        };
+        assert_eq!(tuned_miner(true, 2), expected);
+        assert_eq!(tuned_miner(true, 8), expected);
+    }
+}

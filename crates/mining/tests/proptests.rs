@@ -228,6 +228,28 @@ proptest! {
     }
 
     #[test]
+    fn par_eclat_adaptive_split_stays_bit_identical_under_repetition(
+        dataset in varied_density_dataset(),
+        k in 2usize..5,
+        floor in 1u64..4,
+    ) {
+        // The split threshold is steered by a live queue-depth EWMA whose
+        // trajectory depends on scheduling — so hammer the same mining
+        // problem repeatedly at 1/2/8 workers and require every run, whatever
+        // split decisions its controller made, to be bit-identical to the
+        // sequential reference.
+        let bitmap = BitmapDataset::from_dataset(&dataset);
+        let reference = Eclat.mine_k_bitmap(&bitmap, k, floor).unwrap();
+        for threads in [1usize, 2, 8] {
+            let miner = ParallelEclat::new(ExecutionPolicy::from_threads(threads));
+            for round in 0..3 {
+                let got = miner.mine_k_bitmap(&bitmap, k, floor).unwrap();
+                prop_assert_eq!(&got, &reference, "{} worker(s), round {}", threads, round);
+            }
+        }
+    }
+
+    #[test]
     fn par_eclat_profiles_match_sequential_constructors(
         dataset in varied_density_dataset(),
         k in 1usize..4,

@@ -405,7 +405,8 @@ pub struct EngineInfo {
 /// One startup-tuner measurement, as reported in [`KernelStats`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TunerTiming {
-    /// What was measured: `kernel:<mode>` or `shard_budget_bytes:<n>`.
+    /// What was measured: `kernel:<mode>`, `shard_budget_bytes:<n>`,
+    /// `sampler:<mode>` or `miner:<kind>`.
     pub subject: String,
     /// Median of the timed repetitions, in nanoseconds.
     pub median_ns: u64,
@@ -430,6 +431,16 @@ pub struct KernelStats {
     /// Every micro-benchmark measurement behind the decision (empty when
     /// tuning was off).
     pub tuner_timings: Vec<TunerTiming>,
+    /// The replicate sampler the tuner prefers when `auto` dispatch has a
+    /// choice (the density and model gates still apply per run). Additive
+    /// field, defaulted on deserialization.
+    #[serde(default)]
+    pub tuner_sampler: String,
+    /// The k-itemset miner the tuner prefers for `--miner auto` on the
+    /// multi-worker bitmap path. Additive field, defaulted on
+    /// deserialization.
+    #[serde(default)]
+    pub tuner_miner: String,
 }
 
 /// Aggregate service counters, as reported by `GET /v1/stats`.
@@ -463,6 +474,11 @@ pub struct ServiceStats {
     /// defaulted on deserialization.
     #[serde(default)]
     pub miner_dispatch: sigfim_mining::DispatchCounts,
+    /// Process-wide replicate-pipeline counters: null datasets sampled per
+    /// sampler mode and replicates served straight from `ObservationStore`s
+    /// without sampling. Additive field, defaulted on deserialization.
+    #[serde(default)]
+    pub replicates: sigfim_core::ReplicateStats,
 }
 
 /// The response-side envelope: protocol version plus either a typed result or

@@ -31,26 +31,39 @@ use crate::protocol::{
 /// lifetime, so polling is free.
 fn kernel_stats() -> KernelStats {
     let decision = sigfim_datasets::tune::decision();
+    let miner = sigfim_mining::miner_decision();
+    let mut tuner_timings: Vec<TunerTiming> = decision
+        .timings
+        .iter()
+        .map(|timing| TunerTiming {
+            subject: match timing.subject {
+                sigfim_datasets::tune::TuneSubject::Kernel(mode) => {
+                    format!("kernel:{}", mode.name())
+                }
+                sigfim_datasets::tune::TuneSubject::ShardBudgetBytes(bytes) => {
+                    format!("shard_budget_bytes:{bytes}")
+                }
+                sigfim_datasets::tune::TuneSubject::Sampler(mode) => {
+                    format!("sampler:{}", mode.name())
+                }
+            },
+            median_ns: timing.median_ns,
+        })
+        .collect();
+    tuner_timings.extend(miner.timings.iter().map(|timing| TunerTiming {
+        subject: format!("miner:{}", timing.miner.name()),
+        median_ns: timing.median_ns,
+    }));
     KernelStats {
         mode: sigfim_datasets::kernels().name().to_string(),
         tuned: decision.tuned,
         tuner_kernel: decision.kernel.name().to_string(),
         shard_budget_bytes: decision.shard_budget_bytes,
-        tuner_timings: decision
-            .timings
-            .iter()
-            .map(|timing| TunerTiming {
-                subject: match timing.subject {
-                    sigfim_datasets::tune::TuneSubject::Kernel(mode) => {
-                        format!("kernel:{}", mode.name())
-                    }
-                    sigfim_datasets::tune::TuneSubject::ShardBudgetBytes(bytes) => {
-                        format!("shard_budget_bytes:{bytes}")
-                    }
-                },
-                median_ns: timing.median_ns,
-            })
-            .collect(),
+        tuner_timings,
+        tuner_sampler: decision.sampler.name().to_string(),
+        // What `--miner auto` resolves to on the multi-worker bitmap path —
+        // the only configuration where the tuner's preference is consulted.
+        tuner_miner: sigfim_mining::tuned_miner(true, 2).name().to_string(),
     }
 }
 
@@ -340,6 +353,7 @@ impl EngineRegistry {
             profile_caches,
             kernels: kernel_stats(),
             miner_dispatch: sigfim_mining::dispatch_counts(),
+            replicates: sigfim_core::replicate_stats(),
         }
     }
 
@@ -435,8 +449,13 @@ mod tests {
         assert!(kernel_names.contains(&stats.kernels.tuner_kernel.as_str()));
         assert!(stats.kernels.shard_budget_bytes > 0);
         assert_eq!(stats.kernels.tuned, !stats.kernels.tuner_timings.is_empty());
-        // And the analyses above registered in the dispatch counters.
+        // The tuner's sampler and miner picks are concrete names.
+        assert!(["cellwise", "gaps"].contains(&stats.kernels.tuner_sampler.as_str()));
+        assert!(["eclat", "par-eclat"].contains(&stats.kernels.tuner_miner.as_str()));
+        // And the analyses above registered in the dispatch counters — both
+        // the mining passes and the null replicates they consumed.
         assert!(stats.miner_dispatch.total() > 0);
+        assert!(stats.replicates.total_sampled() > 0);
     }
 
     #[test]

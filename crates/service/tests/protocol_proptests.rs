@@ -7,6 +7,7 @@ use proptest::prelude::*;
 
 use sigfim_core::engine::{AnalysisRequest, CacheStats, CacheStatus, LambdaMode, ThresholdRun};
 use sigfim_core::montecarlo::{CurvePoint, ThresholdEstimate};
+use sigfim_core::ReplicateStats;
 use sigfim_datasets::bitmap::DatasetBackend;
 use sigfim_mining::miner::MinerKind;
 use sigfim_mining::DispatchCounts;
@@ -224,7 +225,19 @@ proptest! {
                         subject: format!("shard_budget_bytes:{}", counters[5]),
                         median_ns: counters[5],
                     },
+                    TunerTiming {
+                        subject: "sampler:gaps".to_string(),
+                        median_ns: counters[0],
+                    },
+                    TunerTiming {
+                        subject: "miner:par-eclat".to_string(),
+                        median_ns: counters[1],
+                    },
                 ],
+                tuner_sampler: if counters[1].is_multiple_of(2) { "gaps" } else { "cellwise" }
+                    .to_string(),
+                tuner_miner: if counters[2].is_multiple_of(2) { "par-eclat" } else { "eclat" }
+                    .to_string(),
             },
             miner_dispatch: DispatchCounts {
                 apriori: counters[0],
@@ -235,6 +248,11 @@ proptest! {
                 sharded: counters[5],
                 par_eclat: counters[0].wrapping_add(counters[1]),
                 par_eclat_sharded: counters[2].wrapping_add(counters[3]),
+            },
+            replicates: ReplicateStats {
+                sampled_cellwise: counters[4],
+                sampled_gaps: counters[5],
+                observations_reused: counters[0].wrapping_add(counters[5]),
             },
         };
         let response = ApiResponse::ok(ApiResult::Stats(stats));
@@ -266,6 +284,41 @@ fn analysis_result_envelopes_round_trip_a_real_response() {
     let parsed: ApiResponse =
         serde_json::from_str(&serde_json::to_string(&envelope).unwrap()).unwrap();
     assert_eq!(parsed, envelope);
+}
+
+#[test]
+fn stats_payloads_from_older_servers_still_parse() {
+    // The replicate counters and tuner sampler/miner picks are additive,
+    // `#[serde(default)]` fields: a stats payload serialized before they
+    // existed must still parse, reading as zeroed/empty values.
+    let modern = ServiceStats {
+        engines: 3,
+        analyze_requests: 11,
+        threshold_requests: 7,
+        threshold_store: CacheStats::default(),
+        profile_caches: CacheStats::default(),
+        kernels: KernelStats::default(),
+        miner_dispatch: DispatchCounts::default(),
+        replicates: ReplicateStats::default(),
+    };
+    let mut json = serde_json::to_string(&modern).unwrap();
+    // Strip the new fields to reconstruct the previous release's payload.
+    for field in [
+        "\"replicates\":{\"sampled_cellwise\":0,\"sampled_gaps\":0,\"observations_reused\":0},",
+        ",\"replicates\":{\"sampled_cellwise\":0,\"sampled_gaps\":0,\"observations_reused\":0}",
+        "\"tuner_sampler\":\"\",",
+        ",\"tuner_sampler\":\"\"",
+        "\"tuner_miner\":\"\",",
+        ",\"tuner_miner\":\"\"",
+    ] {
+        json = json.replace(field, "");
+    }
+    assert!(
+        !json.contains("replicates") && !json.contains("tuner_sampler"),
+        "stale-payload reconstruction failed: {json}"
+    );
+    let parsed: ServiceStats = serde_json::from_str(&json).expect("old payload parses");
+    assert_eq!(parsed, modern);
 }
 
 #[test]

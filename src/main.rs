@@ -6,6 +6,7 @@
 //!        [--miner apriori|eclat|fp-growth|par-eclat|auto]
 //!        [--backend auto|csr|bitmap|sharded]
 //!        [--kernels scalar|unrolled|avx2|avx512|auto]
+//!        [--sampler cellwise|gaps|auto]
 //!        [--max-restarts <n>] [--swap-null [<swaps-per-entry>]]
 //!        [--cache-capacity <n>] [--conservative-lambda] [--no-baseline]
 //!        [--list <n>]
@@ -13,6 +14,7 @@
 //! sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]
 //!        [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]
 //!        [--kernels scalar|unrolled|avx2|avx512|auto]
+//!        [--sampler cellwise|gaps|auto]
 //!        [--swap-null [<swaps-per-entry>]]
 //! ```
 //!
@@ -46,7 +48,9 @@ use sigfim::datasets::fimi::read_fimi_file;
 use sigfim::datasets::kernels::{configure_kernels, KernelMode};
 use sigfim::datasets::transaction::TransactionDataset;
 use sigfim::datasets::tune::resolve_tune_request;
+use sigfim::datasets::{configure_sampler, SamplerMode};
 use sigfim::mining::miner::MinerKind;
+use sigfim::mining::tuned_miner;
 use sigfim::prelude::{
     AnalysisEngine, AnalysisRequest, CacheStatus, DatasetSummary, DynAnalysisEngine, LambdaMode,
 };
@@ -86,29 +90,41 @@ struct CliOptions {
     /// startup. `None` defers to `SIGFIM_KERNELS`, then the auto-tuner; a
     /// flag that conflicts with a set `SIGFIM_KERNELS` is a startup error.
     kernels: Option<KernelMode>,
+    /// `--sampler` replicate-sampler selection. `None` defers to
+    /// `SIGFIM_SAMPLER` (default `cellwise`); a flag that conflicts with a
+    /// set `SIGFIM_SAMPLER` is a startup error, mirroring `--kernels`.
+    sampler: Option<SamplerMode>,
 }
 
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] \
     [--beta <b>] [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
     [--miner apriori|eclat|fp-growth|par-eclat|auto] [--backend auto|csr|bitmap|sharded] \
-    [--kernels scalar|unrolled|avx2|avx512|auto] [--max-restarts <n>] \
+    [--kernels scalar|unrolled|avx2|avx512|auto] [--sampler cellwise|gaps|auto] \
+    [--max-restarts <n>] \
     [--swap-null [<swaps-per-entry>]] [--cache-capacity <n>] [--conservative-lambda] \
     [--no-baseline] [--list <n>]\n\
     \n\
     sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]\n\
     \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]\n\
-    \x20       [--kernels scalar|unrolled|avx2|avx512|auto] [--swap-null [<swaps-per-entry>]]\n\
+    \x20       [--kernels scalar|unrolled|avx2|avx512|auto] [--sampler cellwise|gaps|auto]\n\
+    \x20       [--swap-null [<swaps-per-entry>]]\n\
     \n\
     --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
     range (2..5 == 2..=5) that runs as one cached multi-k batch.\n\
     --seed defaults to the library default 0x51F1D009, so the CLI, the engine\n\
     API and the SignificanceAnalyzer all reproduce each other bit for bit.\n\
     --miner auto picks the subtree-parallel Eclat on dense (bitmap/sharded)\n\
-    datasets when more than one worker thread is available, Apriori otherwise;\n\
-    every miner produces bit-identical reports.\n\
+    datasets when more than one worker thread is available and the startup\n\
+    tuner measured it as a win, the sequential miners otherwise; every miner\n\
+    produces bit-identical reports.\n\
     --kernels selects the counting kernel, validated against this CPU at\n\
     startup; it mirrors SIGFIM_KERNELS, and a conflicting combination of flag\n\
     and environment is an error rather than a silent preference.\n\
+    --sampler selects the null-replicate sampler (mirrors SIGFIM_SAMPLER):\n\
+    cellwise is the legacy per-cell Bernoulli draw, gaps draws only the set\n\
+    bits via geometric jumps (a different RNG stream, so estimates differ\n\
+    numerically but not statistically), auto lets the density gate and the\n\
+    startup tuner choose per run.\n\
     `serve` starts the multi-tenant HTTP/JSON front-end: one engine per\n\
     dataset, one shared LRU threshold store (--cache-capacity bounds it),\n\
     endpoints POST /v1/analyze, POST /v1/thresholds, GET /v1/engines,\n\
@@ -155,6 +171,7 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
         baseline: true,
         list: 25,
         kernels: None,
+        sampler: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -210,6 +227,10 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
                 let name = args.next().ok_or("--kernels requires a value")?;
                 options.kernels = Some(name.parse::<KernelMode>()?);
             }
+            "--sampler" => {
+                let name = args.next().ok_or("--sampler requires a value")?;
+                options.sampler = Some(name.parse::<SamplerMode>()?);
+            }
             path if !path.starts_with("--") && options.path.is_empty() => {
                 options.path = path.to_string();
             }
@@ -234,19 +255,26 @@ fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
         .map_err(|_| format!("{flag}: could not parse `{value}`"))
 }
 
-/// Validate the kernel configuration (the `--kernels` flag against
-/// `SIGFIM_KERNELS` and this CPU) and the `SIGFIM_TUNE` setting at startup,
-/// so misconfiguration is a clean error here instead of a panic at the first
-/// counting dispatch deep inside the analysis.
-fn configure_kernel_startup(flag: Option<KernelMode>) -> Result<(), String> {
+/// Validate the kernel and sampler configuration (the `--kernels` /
+/// `--sampler` flags against `SIGFIM_KERNELS` / `SIGFIM_SAMPLER` and this
+/// CPU) and the `SIGFIM_TUNE` setting at startup, so misconfiguration is a
+/// clean error here instead of a panic at the first dispatch deep inside the
+/// analysis.
+fn configure_kernel_startup(
+    kernels: Option<KernelMode>,
+    sampler: Option<SamplerMode>,
+) -> Result<(), String> {
     resolve_tune_request(std::env::var("SIGFIM_TUNE").ok().as_deref())?;
-    configure_kernels(flag)?;
+    configure_kernels(kernels)?;
+    configure_sampler(sampler)?;
     Ok(())
 }
 
 /// Resolve `--miner auto` once the dataset is loaded: the subtree-parallel
 /// Eclat wherever it can actually help — a dense (bitmap or sharded) resolved
-/// backend and more than one worker — and the Apriori default otherwise.
+/// backend, more than one worker, and a startup-tuner measurement that says
+/// the frame queue pays for itself (falling back to the sequential bitset
+/// Eclat when it does not) — and the Apriori default otherwise.
 fn resolve_miner(options: &CliOptions, dataset: &TransactionDataset) -> MinerKind {
     match options.miner {
         Some(miner) => miner,
@@ -254,7 +282,7 @@ fn resolve_miner(options: &CliOptions, dataset: &TransactionDataset) -> MinerKin
             let dense = options.backend.resolve_for_dataset(dataset) != ResolvedBackend::Csr;
             let workers = ExecutionPolicy::from_threads(options.threads).worker_threads();
             if dense && workers > 1 {
-                MinerKind::ParEclat
+                tuned_miner(true, workers)
             } else {
                 MinerKind::Apriori
             }
@@ -296,6 +324,8 @@ struct ServeOptions {
     swap_null: Option<f64>,
     /// `--kernels` counting-kernel selection (see [`CliOptions::kernels`]).
     kernels: Option<KernelMode>,
+    /// `--sampler` replicate-sampler selection (see [`CliOptions::sampler`]).
+    sampler: Option<SamplerMode>,
 }
 
 /// Split a `id=path` registration spec; a bare path registers under its file
@@ -325,6 +355,7 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
         backend: DatasetBackend::Auto,
         swap_null: None,
         kernels: None,
+        sampler: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -334,6 +365,10 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
             "--kernels" => {
                 let name = args.next().ok_or("--kernels requires a value")?;
                 options.kernels = Some(name.parse::<KernelMode>()?);
+            }
+            "--sampler" => {
+                let name = args.next().ok_or("--sampler requires a value")?;
+                options.sampler = Some(name.parse::<SamplerMode>()?);
             }
             "--workers" => options.workers = parse_value(&mut args, "--workers")?,
             "--cache-capacity" => {
@@ -367,7 +402,7 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
 
 /// Run the service front-end until killed.
 fn serve_main(options: &ServeOptions) -> Result<(), String> {
-    configure_kernel_startup(options.kernels)?;
+    configure_kernel_startup(options.kernels, options.sampler)?;
     let registry = match options.cache_capacity {
         Some(capacity) => EngineRegistry::with_cache_capacity(capacity),
         None => EngineRegistry::new(),
@@ -432,7 +467,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(message) = configure_kernel_startup(options.kernels) {
+    if let Err(message) = configure_kernel_startup(options.kernels, options.sampler) {
         eprintln!("sigfim: {message}");
         return ExitCode::FAILURE;
     }
@@ -604,7 +639,13 @@ mod tests {
             threads: 4,
             ..auto
         };
-        assert_eq!(resolve_miner(&parallel, &dataset), MinerKind::ParEclat);
+        // Dense + multi-worker defers to the startup tuner's measured
+        // preference between the parallel and sequential bitset Eclat.
+        assert_eq!(resolve_miner(&parallel, &dataset), tuned_miner(true, 4));
+        assert!(matches!(
+            resolve_miner(&parallel, &dataset),
+            MinerKind::ParEclat | MinerKind::Eclat
+        ));
         let sequential = CliOptions {
             backend: DatasetBackend::Bitmap,
             threads: 1,
@@ -639,6 +680,25 @@ mod tests {
         assert_eq!(serve.kernels, Some(KernelMode::Unrolled));
         assert!(parse_serve(&["x.dat", "--kernels", "fast"]).is_err());
         assert!(USAGE.contains("--kernels"));
+    }
+
+    #[test]
+    fn sampler_flag_is_parsed_on_both_subcommands() {
+        assert_eq!(parse(&["data.dat"]).unwrap().sampler, None);
+        let options = parse(&["data.dat", "--sampler", "gaps"]).unwrap();
+        assert_eq!(options.sampler, Some(SamplerMode::Gaps));
+        let cellwise = parse(&["data.dat", "--sampler", "cellwise"]).unwrap();
+        assert_eq!(cellwise.sampler, Some(SamplerMode::Cellwise));
+        let auto = parse(&["data.dat", "--sampler", "auto"]).unwrap();
+        assert_eq!(auto.sampler, Some(SamplerMode::Auto));
+        let err = parse(&["data.dat", "--sampler", "dense"]).unwrap_err();
+        assert!(err.contains("dense"), "{err}");
+        assert!(parse(&["data.dat", "--sampler"]).is_err());
+
+        let serve = parse_serve(&["x.dat", "--sampler", "gaps"]).unwrap();
+        assert_eq!(serve.sampler, Some(SamplerMode::Gaps));
+        assert!(parse_serve(&["x.dat", "--sampler", "jump"]).is_err());
+        assert!(USAGE.contains("--sampler"));
     }
 
     #[test]
