@@ -664,6 +664,7 @@ fn itemset_map(mined: Vec<sigfim_mining::ItemsetSupport>) -> HashMap<Vec<ItemId>
 /// supports below the floor never enter the curve estimates, so a batch mined
 /// at a lower floor filters up to any higher one without re-mining.
 fn filter_to_floor(replicate: &HashMap<Vec<ItemId>, u64>, floor: u64) -> HashMap<Vec<ItemId>, u64> {
+    // sigfim-lint: allow(nondet-iteration, reason = "filters one hash map into another; contents are order-independent and no order is observed")
     replicate
         .iter()
         .filter(|&(_, &support)| support >= floor)
@@ -767,6 +768,7 @@ impl ObservationStore {
         cache.clock += 1;
         let clock = cache.clock;
         while !cache.entries.contains_key(&key) && cache.entries.len() >= cache.capacity {
+            // sigfim-lint: allow(nondet-iteration, reason = "clock stamps are unique (monotone counter), so the minimum is order-independent")
             let lru = cache
                 .entries
                 .iter()

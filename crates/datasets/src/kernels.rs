@@ -557,6 +557,9 @@ mod avx2 {
     /// Words per 256-bit vector.
     const LANES: usize = 4;
 
+    // SAFETY: unsafe only because of `#[target_feature]` — executing without
+    // AVX2 is UB. Called solely from the AVX2-enabled fns below, which are
+    // reachable only through the feature-detected vtable (see module docs).
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn nibble_table() -> __m256i {
@@ -567,6 +570,8 @@ mod avx2 {
     }
 
     /// Popcount of each byte of `v`, folded into the four 64-bit lanes.
+    // SAFETY: unsafe only because of `#[target_feature]`; callers below are
+    // themselves AVX2-enabled and gated by the feature-detected vtable.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn byte_popcount_to_lanes(v: __m256i) -> __m256i {
@@ -581,6 +586,8 @@ mod avx2 {
         _mm256_sad_epu8(counts, _mm256_setzero_si256())
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]`; callers below are
+    // themselves AVX2-enabled and gated by the feature-detected vtable.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn horizontal_sum(acc: __m256i) -> u64 {
@@ -590,6 +597,8 @@ mod avx2 {
             .wrapping_add(_mm256_extract_epi64::<3>(acc) as u64)
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX2-detected vtable.
     #[target_feature(enable = "avx2")]
     unsafe fn and_count_impl(a: &[u64], b: &[u64]) -> u64 {
         let vectors = a.len() / LANES;
@@ -604,6 +613,8 @@ mod avx2 {
         horizontal_sum(acc) + super::scalar::and_count(&a[tail..], &b[tail..])
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX2-detected vtable.
     #[target_feature(enable = "avx2")]
     unsafe fn and_count_into_impl(dst: &mut [u64], src: &[u64]) -> u64 {
         let vectors = dst.len() / LANES;
@@ -620,6 +631,8 @@ mod avx2 {
         horizontal_sum(acc) + super::scalar::and_count_into(&mut dst[tail..], &src[tail..])
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX2-detected vtable.
     #[target_feature(enable = "avx2")]
     unsafe fn and_into_impl(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
         let vectors = dst.len() / LANES;
@@ -636,6 +649,8 @@ mod avx2 {
         horizontal_sum(acc) + super::scalar::and_into(&mut dst[tail..], &a[tail..], &b[tail..])
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX2-detected vtable.
     #[target_feature(enable = "avx2")]
     unsafe fn popcount_slice_impl(words: &[u64]) -> u64 {
         let vectors = words.len() / LANES;
@@ -693,6 +708,8 @@ mod avx512 {
     /// Words per 512-bit vector.
     const LANES: usize = 8;
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX-512-detected vtable.
     #[target_feature(enable = "avx512f,avx512vpopcntdq")]
     unsafe fn and_count_impl(a: &[u64], b: &[u64]) -> u64 {
         let vectors = a.len() / LANES;
@@ -707,6 +724,8 @@ mod avx512 {
         (_mm512_reduce_add_epi64(acc) as u64) + super::scalar::and_count(&a[tail..], &b[tail..])
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX-512-detected vtable.
     #[target_feature(enable = "avx512f,avx512vpopcntdq")]
     unsafe fn and_count_into_impl(dst: &mut [u64], src: &[u64]) -> u64 {
         let vectors = dst.len() / LANES;
@@ -724,6 +743,8 @@ mod avx512 {
             + super::scalar::and_count_into(&mut dst[tail..], &src[tail..])
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX-512-detected vtable.
     #[target_feature(enable = "avx512f,avx512vpopcntdq")]
     unsafe fn and_into_impl(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
         let vectors = dst.len() / LANES;
@@ -741,6 +762,8 @@ mod avx512 {
             + super::scalar::and_into(&mut dst[tail..], &a[tail..], &b[tail..])
     }
 
+    // SAFETY: unsafe only because of `#[target_feature]` — the safe wrapper
+    // below is handed out exclusively by the AVX-512-detected vtable.
     #[target_feature(enable = "avx512f,avx512vpopcntdq")]
     unsafe fn popcount_slice_impl(words: &[u64]) -> u64 {
         let vectors = words.len() / LANES;

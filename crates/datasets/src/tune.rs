@@ -79,6 +79,14 @@ impl std::str::FromStr for TuneMode {
     }
 }
 
+/// Validate the process's `SIGFIM_TUNE` setting at startup (CLI / server
+/// argument validation) instead of panicking at first dispatch. This is the
+/// one sanctioned read of `SIGFIM_TUNE` outside [`decision`] — callers
+/// elsewhere must not read the variable themselves.
+pub fn startup_tune_request() -> Result<TuneMode, String> {
+    resolve_tune_request(std::env::var("SIGFIM_TUNE").ok().as_deref())
+}
+
 /// Validate an optional `SIGFIM_TUNE` value at startup (CLI / server argument
 /// validation) instead of panicking at first dispatch.
 pub fn resolve_tune_request(env: Option<&str>) -> Result<TuneMode, String> {

@@ -346,6 +346,9 @@ where
     let mut outputs = Vec::new();
     loop {
         let next = {
+            // A poisoned queue mutex means a sibling worker panicked mid-task;
+            // the task set is incomplete, so propagating the panic (failing the
+            // whole run_tasks call) is the correct outcome.
             let mut guard = state.lock().unwrap();
             loop {
                 if let Some(frame) = guard.queue.pop_front() {

@@ -1,0 +1,133 @@
+//! The `sigfim-lint` binary: lint the workspace, print diagnostics, exit
+//! with CI-friendly codes.
+//!
+//! ```text
+//! sigfim-lint [--deny-all] [--json] [--allow <rule>]... [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 = clean (or violations in warn-only mode), 1 = violations
+//! under `--deny-all`, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sigfim_lint::{find_workspace_root, lint_workspace, rules::RULE_NAMES, JsonReport, LintConfig};
+
+#[derive(Debug)]
+struct Options {
+    deny_all: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    config: LintConfig,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        deny_all: false,
+        json: false,
+        root: None,
+        config: LintConfig::default(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => options.deny_all = true,
+            "--json" => options.json = true,
+            "--allow" => {
+                let rule = args.next().ok_or("--allow requires a rule name")?;
+                if !RULE_NAMES.contains(&rule.as_str()) {
+                    return Err(format!(
+                        "--allow {rule}: unknown rule (known rules: {})",
+                        RULE_NAMES.join(", ")
+                    ));
+                }
+                options.config.disabled.push(rule);
+            }
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                options.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: sigfim-lint [--deny-all] [--json] [--allow <rule>]... [--root <dir>]\n\
+                     rules: {}",
+                    RULE_NAMES.join(", ")
+                ));
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match options.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("sigfim-lint: no workspace root found (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+    let (files_scanned, diagnostics) = match lint_workspace(&root, &options.config) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("sigfim-lint: {}: {error}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let violations = diagnostics.len();
+    if options.json {
+        println!("{}", JsonReport::new(files_scanned, diagnostics).to_json());
+    } else {
+        for diagnostic in &diagnostics {
+            println!("{diagnostic}");
+        }
+        eprintln!(
+            "sigfim-lint: {files_scanned} files scanned, {violations} violation{}{}",
+            if violations == 1 { "" } else { "s" },
+            if options.deny_all { " (deny-all)" } else { "" },
+        );
+    }
+    if options.deny_all && violations > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn args(list: &[&str]) -> std::vec::IntoIter<String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn flags_parse() {
+        let options =
+            parse_args(args(&["--deny-all", "--json", "--allow", "lock-hygiene"])).unwrap();
+        assert!(options.deny_all);
+        assert!(options.json);
+        assert_eq!(options.config.disabled, ["lock-hygiene"]);
+        assert!(parse_args(args(&["--allow", "bogus"])).is_err());
+        assert!(parse_args(args(&["--frobnicate"])).is_err());
+        assert!(parse_args(args(&["--help"])).unwrap_err().contains("usage"));
+        let rooted = parse_args(args(&["--root", "/tmp"])).unwrap();
+        assert_eq!(rooted.root.as_deref(), Some(std::path::Path::new("/tmp")));
+    }
+}

@@ -1,0 +1,61 @@
+//! Diagnostic types and the text / JSON output formats.
+//!
+//! The text format is one `file:line: rule: message` per line (greppable,
+//! editor-clickable). The JSON format is a versioned envelope so pre-commit
+//! hooks and bots can consume diagnostics without scraping text; it
+//! round-trips through serde (see the schema test in `tests/fixtures.rs`).
+
+use serde::{Deserialize, Serialize};
+
+/// One finding, ready to print or serialize.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name (one of [`crate::rules::RULE_NAMES`] or `malformed-allow`).
+    pub rule: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Schema version of [`JsonReport`]; bump on incompatible shape changes.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// The `--json` output envelope.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonReport {
+    /// [`JSON_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl JsonReport {
+    pub fn new(files_scanned: usize, diagnostics: Vec<Diagnostic>) -> Self {
+        JsonReport {
+            schema_version: JSON_SCHEMA_VERSION,
+            files_scanned,
+            diagnostics,
+        }
+    }
+
+    /// Serialize for machine consumers.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: every field is a plain string or integer.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}

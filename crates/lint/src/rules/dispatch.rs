@@ -1,0 +1,132 @@
+//! `target-feature-dispatch`: a `#[target_feature]` fn may only be named
+//! inside its own defining dispatch module.
+//!
+//! Calling (or even taking a pointer to) a `#[target_feature(enable =
+//! "avx..")]` function on a CPU without the feature is undefined behaviour.
+//! The repo's discipline (see `crates/datasets/src/kernels.rs`) is that such
+//! functions are private to one module whose *only* exports are safe
+//! wrappers handed out by an `is_x86_feature_detected!`-gated vtable. This
+//! rule makes that structural, workspace-wide:
+//!
+//! * pass 1 collects every `#[target_feature]` fn, its defining file and the
+//!   innermost `mod` block containing it;
+//! * pass 2 flags any mention of such a fn's name outside a defining module
+//!   (same file or any other file), so an un-dispatched SIMD call can never
+//!   compile in unnoticed;
+//! * additionally, the defining file must contain an
+//!   `is_x86_feature_detected!` gate — a feature fn in a file with no
+//!   detection path has no sound way out.
+
+use super::report;
+use crate::scan::{ident_occurrences, SourceFile};
+use crate::Diagnostic;
+
+const RULE: &str = "target-feature-dispatch";
+
+struct FeatureFn {
+    name: String,
+    file_index: usize,
+    /// Inclusive 0-indexed line span of the defining module (whole file when
+    /// the fn sits at the crate root).
+    span: (usize, usize),
+    decl_line: usize,
+}
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let mut feature_fns: Vec<FeatureFn> = Vec::new();
+    for (file_index, file) in files.iter().enumerate() {
+        for (lineno, line) in file.lines.iter().enumerate() {
+            if !line.code.contains("#[target_feature") {
+                continue;
+            }
+            let Some((decl_line, name)) = next_fn_name(file, lineno) else {
+                continue;
+            };
+            let span = file
+                .mods
+                .iter()
+                .filter(|m| m.start <= decl_line && decl_line <= m.end)
+                .map(|m| (m.start, m.end))
+                .min_by_key(|(start, end)| end - start)
+                .unwrap_or((0, file.lines.len().saturating_sub(1)));
+            feature_fns.push(FeatureFn {
+                name,
+                file_index,
+                span,
+                decl_line,
+            });
+        }
+    }
+
+    for f in &feature_fns {
+        let file = &files[f.file_index];
+        let gated = file
+            .lines
+            .iter()
+            .any(|l| l.code.contains("is_x86_feature_detected!"));
+        if !gated {
+            report(
+                file,
+                f.decl_line,
+                RULE,
+                format!(
+                    "#[target_feature] fn `{}` is defined in a file with no \
+                     `is_x86_feature_detected!` gate; add a detection-gated selection path",
+                    f.name
+                ),
+                out,
+            );
+        }
+    }
+
+    for (file_index, file) in files.iter().enumerate() {
+        for (lineno, line) in file.lines.iter().enumerate() {
+            for f in &feature_fns {
+                if ident_occurrences(&line.code, &f.name).is_empty() {
+                    continue;
+                }
+                // A mention is fine inside any module (of the same file) that
+                // defines a #[target_feature] fn of this name — the dispatch
+                // module owns its own safe wrappers.
+                let sanctioned = feature_fns.iter().any(|g| {
+                    g.name == f.name
+                        && g.file_index == file_index
+                        && g.span.0 <= lineno
+                        && lineno <= g.span.1
+                });
+                if !sanctioned {
+                    report(
+                        file,
+                        lineno,
+                        RULE,
+                        format!(
+                            "`{}` is a #[target_feature] fn (defined in {}) and may only be \
+                             named inside its own feature-detected dispatch module",
+                            f.name, files[f.file_index].path
+                        ),
+                        out,
+                    );
+                }
+                break; // one diagnostic per line/name pair is enough
+            }
+        }
+    }
+}
+
+/// The name of the `fn` the attribute at `attr_line` applies to, searching a
+/// few lines down past further attributes and comments.
+fn next_fn_name(file: &SourceFile, attr_line: usize) -> Option<(usize, String)> {
+    for (offset, line) in file.lines[attr_line..].iter().take(6).enumerate() {
+        for pos in ident_occurrences(&line.code, "fn") {
+            let rest = line.code[pos + 2..].trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some((attr_line + offset, name));
+            }
+        }
+    }
+    None
+}

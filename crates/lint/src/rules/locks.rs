@@ -1,0 +1,107 @@
+//! `lock-hygiene`: no nested lock acquisitions in one statement, and no
+//! `.lock().unwrap()` outside a poisoning-documented context.
+//!
+//! Two checks over production code (test regions and `tests/`/`benches/`
+//! trees are exempt — a test may unwrap freely):
+//!
+//! * **nested acquisition.** Two blocking acquisitions (`.lock()`,
+//!   `.read()`, `.write()`) inside a single statement take both guards with
+//!   an order fixed by evaluation order nobody audits — the classic
+//!   lock-order-inversion shape. Split into separate bindings (which makes
+//!   the order reviewable) or annotate. This is a statement-level
+//!   approximation of the scope-level hazard: it catches the
+//!   `f(a.lock()?, b.lock()?)` class, not every guard held across a later
+//!   acquisition.
+//! * **unwrap on poisoning.** `.lock().unwrap()` converts a sibling's panic
+//!   into a cascade. The repo's stores deliberately *recover*
+//!   (`unwrap_or_else(|poisoned| poisoned.into_inner())`, the registry's
+//!   `relock!`) because they hold memoized state that is consistent between
+//!   any two operations. Where propagation really is wanted, say so: a
+//!   comment containing "poison" within the eight preceding lines makes the
+//!   intent reviewable and discharges the flag.
+
+use super::{preceding_comments, report, statement_at};
+use crate::scan::SourceFile;
+use crate::Diagnostic;
+
+const RULE: &str = "lock-hygiene";
+
+/// Blocking guard acquisitions. `try_lock()` is excluded (it cannot
+/// deadlock) and `.read(`/`.write(` with arguments are io traits, not locks.
+const ACQUISITIONS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+const POISON_LOOKBACK: usize = 8;
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if file.path.contains("/tests/") || file.path.contains("/benches/") {
+            continue;
+        }
+        // Lines already inside a statement flagged for nesting, so one
+        // statement yields one diagnostic.
+        let mut covered_until = 0usize;
+        for (lineno, line) in file.lines.iter().enumerate() {
+            if file.test_mask[lineno] || acquisitions_in(&line.code) == 0 {
+                continue;
+            }
+            let (statement, stmt_end) = statement_at(file, lineno, 6);
+            if (lineno == 0 || lineno > covered_until) && acquisitions_in(&statement) >= 2 {
+                covered_until = stmt_end;
+                report(
+                    file,
+                    lineno,
+                    RULE,
+                    "multiple lock acquisitions in one statement fix an unreviewable lock \
+                     order; take the guards in separate bindings (or annotate with the intended \
+                     order)"
+                        .to_string(),
+                    out,
+                );
+            }
+            if unwraps_lock(&line.code, &statement) {
+                let documented = preceding_comments(file, lineno, POISON_LOOKBACK)
+                    .iter()
+                    .any(|c| c.to_ascii_lowercase().contains("poison"));
+                if !documented {
+                    report(
+                        file,
+                        lineno,
+                        RULE,
+                        "`.lock().unwrap()` outside a poisoning-documented helper: recover with \
+                         `unwrap_or_else(|poisoned| poisoned.into_inner())` or document (comment \
+                         mentioning poisoning) why propagating the panic is intended"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn acquisitions_in(code: &str) -> usize {
+    ACQUISITIONS
+        .iter()
+        .map(|needle| code.matches(needle).count())
+        .sum()
+}
+
+/// Whether an acquisition *on this line* is immediately `.unwrap()`ed,
+/// possibly on a continuation line of the same statement. `statement` is the
+/// joined statement starting at this line, so in-line byte offsets agree.
+fn unwraps_lock(line_code: &str, statement: &str) -> bool {
+    ACQUISITIONS.iter().any(|needle| {
+        let mut from = 0;
+        while let Some(pos) = line_code[from..].find(needle) {
+            let occurrence_end = from + pos + needle.len();
+            if statement[occurrence_end..]
+                .trim_start()
+                .starts_with(".unwrap()")
+            {
+                return true;
+            }
+            from = occurrence_end;
+        }
+        false
+    })
+}

@@ -1,0 +1,115 @@
+//! The repo-invariant rules. Each rule is a function over the scanned
+//! workspace appending [`Diagnostic`]s; all of them honor the
+//! `// sigfim-lint: allow(<rule>, reason = "...")` escape hatch parsed by
+//! [`crate::scan`].
+
+use crate::scan::SourceFile;
+use crate::Diagnostic;
+
+mod dispatch;
+mod envread;
+mod locks;
+mod nondet;
+mod unsafety;
+mod wire;
+
+/// Every enforceable rule name, in diagnostic order. `malformed-allow` is a
+/// scanner-level meta rule (a broken annotation must not silently disable
+/// anything) and is always on.
+pub const RULE_NAMES: [&str; 6] = [
+    "nondet-iteration",
+    "unsafe-needs-safety",
+    "target-feature-dispatch",
+    "env-read-centralized",
+    "wire-additivity",
+    "lock-hygiene",
+];
+
+/// Run every rule not named in `disabled` over the scanned files.
+pub fn check_all(files: &[SourceFile], disabled: &[String], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        out.extend(file.scan_diagnostics.iter().cloned());
+    }
+    let on = |rule: &str| !disabled.iter().any(|d| d == rule);
+    if on("nondet-iteration") {
+        nondet::check(files, out);
+    }
+    if on("unsafe-needs-safety") {
+        unsafety::check(files, out);
+    }
+    if on("target-feature-dispatch") {
+        dispatch::check(files, out);
+    }
+    if on("env-read-centralized") {
+        envread::check(files, out);
+    }
+    if on("wire-additivity") {
+        wire::check(files, out);
+    }
+    if on("lock-hygiene") {
+        locks::check(files, out);
+    }
+}
+
+/// Push a diagnostic unless the file allow-annotates `rule` at `line`
+/// (0-indexed).
+fn report(
+    file: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    if file.allowed(rule, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: file.path.clone(),
+        line: SourceFile::lineno(line),
+        rule: rule.to_string(),
+        message,
+    });
+}
+
+/// Walk upwards from `line` over the contiguous run of blank, comment-only
+/// and attribute lines (at most `max` of them), returning every comment in
+/// the run plus the comment trailing `line` itself.
+fn preceding_comments(file: &SourceFile, line: usize, max: usize) -> Vec<String> {
+    let mut comments = Vec::new();
+    if !file.lines[line].comment.is_empty() {
+        comments.push(file.lines[line].comment.clone());
+    }
+    let mut i = line;
+    let mut walked = 0;
+    while i > 0 && walked < max {
+        i -= 1;
+        walked += 1;
+        let l = &file.lines[i];
+        let code = l.code.trim();
+        let skippable = code.is_empty() || code.starts_with("#[") || code.ends_with(']');
+        if !l.comment.is_empty() {
+            comments.push(l.comment.clone());
+        }
+        if !skippable {
+            break;
+        }
+    }
+    comments
+}
+
+/// The code of the statement starting at `line`: lines joined until the first
+/// `;` or opening `{` (bounded at `max_lines`). Returns the joined code and
+/// the 0-indexed line the statement ends on.
+fn statement_at(file: &SourceFile, line: usize, max_lines: usize) -> (String, usize) {
+    let mut joined = String::new();
+    let mut end = line;
+    for (offset, l) in file.lines[line..].iter().take(max_lines).enumerate() {
+        joined.push_str(&l.code);
+        joined.push(' ');
+        end = line + offset;
+        if l.code.contains(';') || l.code.contains('{') {
+            break;
+        }
+    }
+    (joined, end)
+}

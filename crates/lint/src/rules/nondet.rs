@@ -1,0 +1,190 @@
+//! `nondet-iteration`: no un-sorted `HashMap`/`HashSet` iteration in
+//! result-producing crates.
+//!
+//! The headline guarantee — Algorithm 1 estimates bit-identical across
+//! backends × kernels × samplers × thread counts — has already been broken
+//! once by `HashMap`-order float summation (`poisson_fit`, fixed in PR 2).
+//! This rule polices the class: in `crates/{core,mining,stats,datasets}`
+//! production code, iterating a hash collection (`.iter()`, `.keys()`,
+//! `.values()`, `.drain()`, `.into_iter()`, `for ... in`) is flagged unless
+//!
+//! * the statement ends in an order-insensitive consumer (`.count()`,
+//!   `.any(..)`, `.all(..)`, `.contains(..)`, `.contains_key(..)`), or
+//! * a canonical sort (`.sort*(..)` / `sort_canonical`) or a `BTreeMap`/
+//!   `BTreeSet` collection appears in the statement or within the ten lines
+//!   after it, or
+//! * the site carries `// sigfim-lint: allow(nondet-iteration, reason = ..)`.
+//!
+//! Bindings are discovered token-level: `name: HashMap<..>` / `name:
+//! &HashSet<..>` declarations (lets, fields, params) and `name =
+//! HashMap::new()` / `with_capacity` initializations. A binding whose hash
+//! type is only reachable through another container (`Vec<HashMap<..>>`) is
+//! deliberately not tracked — the outer iteration is ordered.
+
+use super::{report, statement_at};
+use crate::scan::{ident_occurrences, SourceFile};
+use crate::Diagnostic;
+
+const RULE: &str = "nondet-iteration";
+
+/// Crates whose outputs feed reports and estimates.
+const SCOPED: [&str; 4] = [
+    "crates/core/src/",
+    "crates/mining/src/",
+    "crates/stats/src/",
+    "crates/datasets/src/",
+];
+
+const ITERATING_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+const ORDER_INSENSITIVE: [&str; 5] = [".count()", ".any(", ".all(", ".contains(", ".contains_key("];
+
+const SORTS: [&str; 3] = [".sort", "BTreeMap", "BTreeSet"];
+
+/// How far below the end of the iterating statement a canonical sort may
+/// appear and still discharge the flag.
+const SORT_WINDOW: usize = 10;
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !SCOPED.iter().any(|prefix| file.path.starts_with(prefix)) {
+            continue;
+        }
+        let tracked = tracked_idents(file);
+        for name in &tracked {
+            for (lineno, line) in file.lines.iter().enumerate() {
+                if file.test_mask[lineno] {
+                    continue;
+                }
+                for offset in ident_occurrences(&line.code, name) {
+                    let iterated = method_after(file, lineno, offset + name.len())
+                        .is_some_and(|m| ITERATING_METHODS.contains(&m.as_str()))
+                        || is_for_in(&line.code[..offset]);
+                    if !iterated {
+                        continue;
+                    }
+                    let (statement, stmt_end) = statement_at(file, lineno, 8);
+                    if ORDER_INSENSITIVE.iter().any(|p| statement.contains(p)) {
+                        continue;
+                    }
+                    if sorted_nearby(file, lineno, stmt_end) {
+                        continue;
+                    }
+                    report(
+                        file,
+                        lineno,
+                        RULE,
+                        format!(
+                            "iteration over hash collection `{name}` observes nondeterministic \
+                             order; sort the results canonically (or collect into a BTree map) \
+                             before they feed an estimate, or annotate with `// sigfim-lint: \
+                             allow({RULE}, reason = \"...\")`"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers declared or initialized as `HashMap`/`HashSet` in this file.
+fn tracked_idents(file: &SourceFile) -> Vec<String> {
+    let mut tracked = Vec::new();
+    for (lineno, line) in file.lines.iter().enumerate() {
+        if file.test_mask[lineno] {
+            continue;
+        }
+        for hash_ty in ["HashMap", "HashSet"] {
+            for offset in ident_occurrences(&line.code, hash_ty) {
+                if let Some(name) = declared_ident(&line.code[..offset]) {
+                    if !tracked.contains(&name) {
+                        tracked.push(name);
+                    }
+                }
+            }
+        }
+    }
+    tracked
+}
+
+/// Given the code before a `HashMap`/`HashSet` token, the identifier being
+/// declared (`name: HashMap<..>`, `name: &mut HashMap<..>`, possibly through
+/// a `std::collections::` path) or initialized (`name = HashMap::new()`).
+fn declared_ident(before: &str) -> Option<String> {
+    let mut rest = before.trim_end();
+    // Strip a `std::collections::` (or any) path prefix ending in `::`.
+    while let Some(stripped) = rest.strip_suffix("::") {
+        rest = stripped.trim_end();
+        rest = rest
+            .trim_end_matches(|c: char| c.is_alphanumeric() || c == '_')
+            .trim_end();
+    }
+    let direct = rest.strip_suffix(':').filter(|r| !r.ends_with(':'));
+    let rest = match (direct, rest.strip_suffix('=')) {
+        (Some(after_colon), _) => after_colon,
+        (None, Some(after_eq)) => after_eq,
+        (None, None) => {
+            // Reference declarations: `name: &HashMap`, `name: &mut HashMap`.
+            let stripped = rest.trim_end_matches('&').trim_end();
+            let stripped = stripped.strip_suffix("mut").unwrap_or(stripped).trim_end();
+            let stripped = stripped.trim_end_matches('&').trim_end();
+            stripped.strip_suffix(':')?
+        }
+    };
+    let rest = rest.trim_end();
+    let end = rest.len();
+    let start = rest
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let name = &rest[start..end];
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then(|| name.to_string())
+}
+
+/// The method immediately invoked on an identifier ending at byte `offset` of
+/// line `lineno` — following rustfmt-wrapped chains onto the next lines.
+fn method_after(file: &SourceFile, lineno: usize, offset: usize) -> Option<String> {
+    let mut text = file.lines[lineno].code[offset..].to_string();
+    for next in lineno + 1..lineno + 4 {
+        let trimmed = text.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('.') {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            return (!name.is_empty()).then_some(name);
+        }
+        if !trimmed.is_empty() || next >= file.lines.len() {
+            return None;
+        }
+        text = file.lines[next].code.clone();
+    }
+    None
+}
+
+/// Whether the code before an identifier occurrence reads `for .. in [&mut]`.
+fn is_for_in(before: &str) -> bool {
+    let rest = before.trim_end();
+    let rest = rest.trim_end_matches('&').trim_end();
+    let rest = rest.strip_suffix("mut").unwrap_or(rest).trim_end();
+    let rest = rest.trim_end_matches('&').trim_end();
+    rest.ends_with(" in") && rest.contains("for ")
+}
+
+/// Whether a canonical sort (or BTree collection) appears in the flagged
+/// statement or within [`SORT_WINDOW`] lines after it.
+fn sorted_nearby(file: &SourceFile, flag_line: usize, stmt_end: usize) -> bool {
+    let last = (stmt_end + SORT_WINDOW).min(file.lines.len().saturating_sub(1));
+    file.lines[flag_line..=last]
+        .iter()
+        .any(|line| SORTS.iter().any(|s| line.code.contains(s)))
+}

@@ -1,0 +1,40 @@
+//! `unsafe-needs-safety`: every `unsafe` block, function or impl must carry
+//! a `// SAFETY:` comment.
+//!
+//! The comment may trail the `unsafe` line or sit in the contiguous run of
+//! comments/attributes/blank lines directly above it (so a
+//! `#[target_feature]` attribute between the comment and the `unsafe fn`
+//! does not break the association). A `# Safety` rustdoc section counts too.
+
+use super::{preceding_comments, report};
+use crate::scan::{ident_occurrences, SourceFile};
+use crate::Diagnostic;
+
+const RULE: &str = "unsafe-needs-safety";
+
+/// How many comment/attribute lines above the `unsafe` site are searched.
+const LOOKBACK: usize = 12;
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        for (lineno, line) in file.lines.iter().enumerate() {
+            if ident_occurrences(&line.code, "unsafe").is_empty() {
+                continue;
+            }
+            let documented = preceding_comments(file, lineno, LOOKBACK)
+                .iter()
+                .any(|c| c.contains("SAFETY:") || c.contains("# Safety"));
+            if !documented {
+                report(
+                    file,
+                    lineno,
+                    RULE,
+                    "`unsafe` without a `// SAFETY:` comment: state the invariant that makes \
+                     this sound on the preceding lines"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! `wire-additivity`: fields added to wire structs after `PROTOCOL_VERSION =
+//! 1` must be `#[serde(default)]`.
+//!
+//! The service's compatibility contract is additive evolution within one
+//! protocol version: a v1-era payload must keep deserializing forever. The
+//! baseline below snapshots the fields each serde-derived struct in
+//! `crates/service/src/protocol.rs` shipped with; any field not in the
+//! baseline must carry `#[serde(default)]` so its absence in an old payload
+//! defaults instead of erroring. Structs introduced later (reached through a
+//! defaulted field) get no baseline — every one of their fields must
+//! default, or the addition must bump the baseline together with
+//! `PROTOCOL_VERSION`.
+
+use super::report;
+use crate::scan::SourceFile;
+use crate::Diagnostic;
+
+const RULE: &str = "wire-additivity";
+
+const PROTOCOL_FILE: &str = "crates/service/src/protocol.rs";
+
+/// The v1 field baseline: struct name → fields present when the struct first
+/// shipped (everything after these is additive and must default). Append
+/// here only when bumping `PROTOCOL_VERSION`.
+const V1_BASELINE: [(&str, &[&str]); 4] = [
+    (
+        "EngineInfo",
+        &[
+            "id",
+            "transactions",
+            "items",
+            "has_dataset",
+            "backend",
+            "fingerprint",
+        ],
+    ),
+    ("TunerTiming", &["subject", "median_ns"]),
+    (
+        "KernelStats",
+        &[
+            "mode",
+            "tuned",
+            "tuner_kernel",
+            "shard_budget_bytes",
+            "tuner_timings",
+        ],
+    ),
+    (
+        "ServiceStats",
+        &[
+            "engines",
+            "analyze_requests",
+            "threshold_requests",
+            "threshold_store",
+        ],
+    ),
+];
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if file.path != PROTOCOL_FILE {
+            continue;
+        }
+        for s in wire_structs(file) {
+            let baseline: Option<&[&str]> = V1_BASELINE
+                .iter()
+                .find(|(name, _)| *name == s.name)
+                .map(|(_, fields)| *fields);
+            for field in &s.fields {
+                let grandfathered = baseline.is_some_and(|b| b.contains(&field.name.as_str()));
+                if grandfathered || field.serde_default {
+                    continue;
+                }
+                let hint = match baseline {
+                    Some(_) => "it was added after PROTOCOL_VERSION = 1",
+                    None => "its struct is not in the v1 baseline",
+                };
+                report(
+                    file,
+                    field.line,
+                    RULE,
+                    format!(
+                        "field `{}` of wire struct `{}` must be #[serde(default)] ({hint}); \
+                         old payloads without it must keep deserializing",
+                        field.name, s.name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+struct WireField {
+    name: String,
+    line: usize,
+    serde_default: bool,
+}
+
+struct WireStruct {
+    name: String,
+    fields: Vec<WireField>,
+}
+
+/// Serde-derived structs and their fields, parsed token-level: a `pub struct
+/// Name {` whose preceding attribute run contains a `derive(..)` naming both
+/// `Serialize` and `Deserialize`.
+fn wire_structs(file: &SourceFile) -> Vec<WireStruct> {
+    let mut structs = Vec::new();
+    for (lineno, line) in file.lines.iter().enumerate() {
+        let code = line.code.trim();
+        let Some(rest) = code
+            .strip_prefix("pub struct ")
+            .or_else(|| code.strip_prefix("struct "))
+        else {
+            continue;
+        };
+        if !rest.contains('{') {
+            continue; // tuple/unit structs carry no named wire fields
+        }
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() || !derives_wire(file, lineno) {
+            continue;
+        }
+        structs.push(WireStruct {
+            name,
+            fields: parse_fields(file, lineno),
+        });
+    }
+    structs
+}
+
+/// Whether the attribute run above `struct_line` derives Serialize and
+/// Deserialize.
+fn derives_wire(file: &SourceFile, struct_line: usize) -> bool {
+    let mut derive_text = String::new();
+    let mut i = struct_line;
+    while i > 0 {
+        i -= 1;
+        let code = file.lines[i].code.trim();
+        let attr_like = code.starts_with("#[") || code.ends_with(']') || code.ends_with(',');
+        if code.is_empty() && !file.lines[i].comment.is_empty() {
+            continue; // doc comment line
+        }
+        if code.is_empty() || !attr_like {
+            break;
+        }
+        derive_text.push_str(code);
+    }
+    derive_text.contains("derive")
+        && derive_text.contains("Serialize")
+        && derive_text.contains("Deserialize")
+}
+
+/// The named fields of the struct opening on `struct_line`, tracking
+/// per-field `#[serde(..default..)]` attributes.
+fn parse_fields(file: &SourceFile, struct_line: usize) -> Vec<WireField> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_serde_default = false;
+    for (offset, line) in file.lines[struct_line..].iter().enumerate() {
+        let code = line.code.trim();
+        let entered = depth > 0;
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth <= 0 {
+            break;
+        }
+        if !entered {
+            continue; // the struct-declaration line itself
+        }
+        if code.starts_with("#[") {
+            if code.contains("serde") && code.contains("default") {
+                pending_serde_default = true;
+            }
+            continue;
+        }
+        let decl = code.strip_prefix("pub ").unwrap_or(code);
+        let name: String = decl
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let is_field = !name.is_empty()
+            && decl[name.len()..].trim_start().starts_with(':')
+            && !decl.starts_with("fn ");
+        if is_field {
+            fields.push(WireField {
+                name,
+                line: struct_line + offset,
+                serde_default: pending_serde_default,
+            });
+            pending_serde_default = false;
+        }
+    }
+    fields
+}

@@ -1,0 +1,516 @@
+//! A small hand-rolled token-level scanner for Rust sources.
+//!
+//! The linter does not need a full parse — every rule it enforces is visible
+//! at the token level — so this module does exactly the lexing the rules
+//! need and no more:
+//!
+//! * **code / comment / string separation.** Each source line is split into
+//!   its code text (comments stripped, string-literal *contents* blanked so a
+//!   fixture or error message can never trigger a rule), the comment text on
+//!   that line, and the values of string literals ending on that line (the
+//!   `env-read-centralized` rule needs to see `"SIGFIM_*"` arguments).
+//! * **module spans.** `mod name { ... }` blocks are brace-tracked so the
+//!   `target-feature-dispatch` rule can confine a `#[target_feature]` fn's
+//!   name to its defining dispatch module.
+//! * **test regions.** Braced items directly under a `#[cfg(test)]`
+//!   attribute are masked so determinism and lock rules only police
+//!   result-producing code.
+//! * **allow annotations.** `// sigfim-lint: allow(<rule>, reason = "...")`
+//!   comments are parsed here; a malformed one (unknown rule, missing
+//!   reason) is itself reported, so a typo cannot silently disable a rule.
+
+use crate::rules::RULE_NAMES;
+use crate::Diagnostic;
+
+/// One scanned source line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code text: comments removed, string-literal contents blanked (the
+    /// delimiting quotes are kept so token adjacency survives).
+    pub code: String,
+    /// Comment text on this line (without deciding line vs block comment).
+    pub comment: String,
+    /// Values of string literals that *end* on this line.
+    pub strings: Vec<String>,
+}
+
+/// A `mod name { ... }` block, by 0-indexed inclusive line span.
+#[derive(Debug, Clone)]
+pub struct ModSpan {
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A parsed `sigfim-lint: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 0-indexed line the annotation comment sits on.
+    pub line: usize,
+    pub rule: String,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub lines: Vec<Line>,
+    pub mods: Vec<ModSpan>,
+    /// `true` for lines inside a `#[cfg(test)]`-gated item.
+    pub test_mask: Vec<bool>,
+    pub allows: Vec<Allow>,
+    /// Diagnostics produced by scanning itself (malformed allow comments).
+    pub scan_diagnostics: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Whether `rule` is allow-annotated for a violation on 0-indexed `line`:
+    /// the annotation may trail the flagged line or sit on one of the two
+    /// lines above it.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && line >= a.line && line - a.line <= 2)
+    }
+
+    /// 1-indexed line number for diagnostics.
+    pub fn lineno(line: usize) -> usize {
+        line + 1
+    }
+}
+
+/// Scan one source text. `path` must be workspace-relative.
+pub fn scan_source(path: &str, text: &str) -> SourceFile {
+    let lines = lex(text);
+    let (mods, test_mask) = structure(&lines);
+    let mut allows = Vec::new();
+    let mut scan_diagnostics = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        parse_allow(path, i, &line.comment, &mut allows, &mut scan_diagnostics);
+    }
+    SourceFile {
+        path: path.to_string(),
+        lines,
+        mods,
+        test_mask,
+        allows,
+        scan_diagnostics,
+    }
+}
+
+/// Split `text` into per-line code / comment / string-value channels.
+fn lex(text: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        /// Block comment with nesting depth.
+        BlockComment(u32),
+        /// String literal; `hashes` is `Some(n)` for raw strings `r#..#"`.
+        Str {
+            hashes: Option<u32>,
+        },
+    }
+
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut cur_string = String::new();
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    line.code.push('"');
+                    cur_string.clear();
+                    state = State::Str { hashes: None };
+                    i += 1;
+                }
+                'r' if matches!(chars.get(i + 1), Some('"' | '#'))
+                    && !ident_char(chars.get(i.wrapping_sub(1)).copied()) =>
+                {
+                    // Raw string r"..." / r#"..."# (and br"" via the 'b'
+                    // having been emitted as an ident char already).
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        line.code.push('"');
+                        cur_string.clear();
+                        state = State::Str {
+                            hashes: Some(hashes),
+                        };
+                        i = j + 1;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: 'x' or '\..' is a literal,
+                    // anything else ('a as in <'a>) is a lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            if chars[j] == '\\' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                        line.code.push_str("' '");
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        line.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    line.code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { hashes } => match hashes {
+                None => {
+                    if c == '\\' {
+                        match chars.get(i + 1) {
+                            // A `\` line continuation: keep the newline for
+                            // the top-of-loop line accounting.
+                            Some('\n') | None => i += 1,
+                            Some(&next) => {
+                                cur_string.push(next);
+                                i += 2;
+                            }
+                        }
+                    } else if c == '"' {
+                        line.code.push('"');
+                        line.strings.push(std::mem::take(&mut cur_string));
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        cur_string.push(c);
+                        i += 1;
+                    }
+                }
+                Some(n) => {
+                    let closes =
+                        c == '"' && (0..n as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        line.code.push('"');
+                        line.strings.push(std::mem::take(&mut cur_string));
+                        state = State::Code;
+                        i += 1 + n as usize;
+                    } else {
+                        cur_string.push(c);
+                        i += 1;
+                    }
+                }
+            },
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() || !line.strings.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+fn ident_char(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphanumeric() || c == '_')
+}
+
+/// Brace-track the code channel: module spans and `#[cfg(test)]` regions.
+fn structure(lines: &[Line]) -> (Vec<ModSpan>, Vec<bool>) {
+    struct Open {
+        mod_index: Option<usize>,
+        test: bool,
+    }
+
+    let mut mods: Vec<ModSpan> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut test_mask = vec![false; lines.len()];
+    let mut recent: Vec<String> = Vec::new();
+    let mut pending_cfg_test = false;
+
+    for (lineno, line) in lines.iter().enumerate() {
+        if stack.iter().any(|o| o.test) {
+            test_mask[lineno] = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let mut token = String::new();
+        let mut chars = line.code.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_alphanumeric() || c == '_' {
+                token.push(c);
+                if chars.peek().map(|&n| n.is_alphanumeric() || n == '_') != Some(true) {
+                    recent.push(std::mem::take(&mut token));
+                    if recent.len() > 4 {
+                        recent.remove(0);
+                    }
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    let mod_index = match recent.as_slice() {
+                        [.., kw, name] if kw == "mod" => {
+                            mods.push(ModSpan {
+                                name: name.clone(),
+                                start: lineno,
+                                end: lineno,
+                            });
+                            Some(mods.len() - 1)
+                        }
+                        _ => None,
+                    };
+                    let test = pending_cfg_test || stack.iter().any(|o| o.test);
+                    pending_cfg_test = false;
+                    stack.push(Open { mod_index, test });
+                    recent.clear();
+                }
+                '}' => {
+                    if let Some(open) = stack.pop() {
+                        if let Some(index) = open.mod_index {
+                            mods[index].end = lineno;
+                        }
+                    }
+                    recent.clear();
+                }
+                ';' => {
+                    recent.clear();
+                    pending_cfg_test = false;
+                }
+                _ => {}
+            }
+        }
+        if stack.iter().any(|o| o.test) {
+            test_mask[lineno] = true;
+        }
+    }
+    // Unclosed spans (unbalanced braces in a fixture) extend to EOF.
+    for open in stack {
+        if let Some(index) = open.mod_index {
+            mods[index].end = lines.len().saturating_sub(1);
+        }
+    }
+    (mods, test_mask)
+}
+
+/// Parse a `sigfim-lint: allow(rule, reason = "...")` annotation out of a
+/// comment, reporting malformed ones.
+fn parse_allow(
+    path: &str,
+    line: usize,
+    comment: &str,
+    allows: &mut Vec<Allow>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    // Annotations are plain `//` comments; doc comments (`///` → content
+    // starting with `/`, `//!` → `!`) only *talk about* the syntax.
+    let content = comment.trim_start();
+    if content.starts_with('/') || content.starts_with('!') {
+        return;
+    }
+    let Some(at) = comment.find("sigfim-lint:") else {
+        return;
+    };
+    let rest = comment[at + "sigfim-lint:".len()..].trim();
+    let malformed = |message: String, diagnostics: &mut Vec<Diagnostic>| {
+        diagnostics.push(Diagnostic {
+            file: path.to_string(),
+            line: SourceFile::lineno(line),
+            rule: "malformed-allow".to_string(),
+            message,
+        });
+    };
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+    else {
+        malformed(
+            format!("unparsable annotation `{rest}`: expected `allow(<rule>, reason = \"...\")`"),
+            diagnostics,
+        );
+        return;
+    };
+    let (rule, reason) = match args.split_once(',') {
+        Some((rule, reason)) => (rule.trim(), reason.trim()),
+        None => (args.trim(), ""),
+    };
+    if !RULE_NAMES.contains(&rule) {
+        malformed(
+            format!(
+                "unknown rule `{rule}` in allow annotation (known rules: {})",
+                RULE_NAMES.join(", ")
+            ),
+            diagnostics,
+        );
+        return;
+    }
+    let documented = reason
+        .strip_prefix("reason")
+        .map(|r| r.trim_start().trim_start_matches('='))
+        .map(|r| r.trim().trim_matches('"'))
+        .is_some_and(|r| !r.is_empty());
+    if !documented {
+        malformed(
+            format!("allow({rule}) without a reason: write `allow({rule}, reason = \"...\")`"),
+            diagnostics,
+        );
+        return;
+    }
+    allows.push(Allow {
+        line,
+        rule: rule.to_string(),
+    });
+}
+
+/// Byte offsets of word-boundary occurrences of identifier `name` in `code`.
+pub fn ident_occurrences(code: &str, name: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            found.push(start);
+        }
+        from = start + name.len().max(1);
+    }
+    found
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_separates_code_comments_and_strings() {
+        let src = "let x = \"SIGFIM_X\"; // trailing\nlet y = 1; /* block */ let z = 2;\n";
+        let lines = lex(src);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].code, "let x = \"\"; ");
+        assert_eq!(lines[0].strings, vec!["SIGFIM_X".to_string()]);
+        assert_eq!(lines[0].comment, " trailing");
+        assert_eq!(lines[1].code, "let y = 1;  let z = 2;");
+        assert_eq!(lines[1].comment, " block ");
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_chars_and_lifetimes() {
+        let src = "let s = r#\"un\"safe\"#; let c = '{'; fn f<'a>(x: &'a str) {}\n";
+        let lines = lex(src);
+        assert_eq!(lines[0].strings, vec!["un\"safe".to_string()]);
+        assert!(!lines[0].code.contains("unsafe"));
+        // The char-literal brace must not disturb brace tracking, and the
+        // lifetime must survive as code.
+        assert!(lines[0].code.contains("' '"));
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn lexer_keeps_line_numbers_across_string_continuations() {
+        // A `\` at end of line inside a string must not swallow the newline —
+        // that would shift every later diagnostic's line number.
+        let src = "let s = \"first \\\n    second\";\nlet t = 1;\n";
+        let lines = lex(src);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2].code, "let t = 1;");
+    }
+
+    #[test]
+    fn structure_finds_mod_spans_and_test_regions() {
+        let src = "mod outer {\n    fn f() {}\n    #[cfg(test)]\n    mod tests {\n        fn t() {}\n    }\n}\n";
+        let file = scan_source("x.rs", src);
+        let names: Vec<&str> = file.mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["outer", "tests"]);
+        assert_eq!((file.mods[1].start, file.mods[1].end), (3, 5));
+        assert!(!file.test_mask[1]);
+        assert!(file.test_mask[4]);
+    }
+
+    #[test]
+    fn allow_annotations_parse_and_malformed_ones_report() {
+        let src = "\
+// sigfim-lint: allow(lock-hygiene, reason = \"documented\")
+let a = 1;
+// sigfim-lint: allow(lock-hygiene)
+// sigfim-lint: allow(no-such-rule, reason = \"x\")
+// sigfim-lint: disable(lock-hygiene)
+";
+        let file = scan_source("x.rs", src);
+        assert_eq!(file.allows.len(), 1);
+        assert!(file.allowed("lock-hygiene", 0));
+        assert!(file.allowed("lock-hygiene", 2));
+        assert!(!file.allowed("lock-hygiene", 3));
+        assert!(!file.allowed("nondet-iteration", 0));
+        assert_eq!(file.scan_diagnostics.len(), 3);
+        assert!(file.scan_diagnostics[0]
+            .message
+            .contains("without a reason"));
+        assert!(file.scan_diagnostics[1].message.contains("unknown rule"));
+        assert!(file.scan_diagnostics[2].message.contains("unparsable"));
+    }
+
+    #[test]
+    fn ident_occurrences_respect_word_boundaries() {
+        assert_eq!(
+            ident_occurrences("foo foo_bar afoo foo", "foo"),
+            vec![0, 17]
+        );
+        assert!(ident_occurrences("xyz", "foo").is_empty());
+    }
+}

@@ -1,0 +1,455 @@
+//! Fixture tests: every rule fires on a minimal positive case, stays quiet on
+//! the corresponding sound pattern, and is suppressed by a well-formed
+//! `sigfim-lint: allow(...)` annotation.
+//!
+//! Fixtures are inline strings, so the lint's own scan of this file can never
+//! be confused by them: string-literal contents are blanked out of the code
+//! channel by the lexer.
+
+use sigfim_lint::{lint_sources, Diagnostic, JsonReport, LintConfig, JSON_SCHEMA_VERSION};
+
+fn lint_one(path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_sources(
+        &[(path.to_string(), source.to_string())],
+        &LintConfig::default(),
+    )
+}
+
+fn rules_of(diagnostics: &[Diagnostic]) -> Vec<&str> {
+    diagnostics.iter().map(|d| d.rule.as_str()).collect()
+}
+
+// ---------------------------------------------------------------- nondet
+
+const NONDET_POSITIVE: &str = r#"
+use std::collections::HashMap;
+fn f() -> Vec<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for key in m.keys() {
+        out.push(*key);
+    }
+    out
+}
+"#;
+
+#[test]
+fn nondet_fires_on_unsorted_hash_iteration() {
+    let diagnostics = lint_one("crates/core/src/fake.rs", NONDET_POSITIVE);
+    assert_eq!(rules_of(&diagnostics), ["nondet-iteration"]);
+    assert_eq!(diagnostics[0].line, 6);
+}
+
+#[test]
+fn nondet_scoped_to_result_producing_crates() {
+    // The same source in a non-result crate is out of scope.
+    assert!(lint_one("crates/service/src/fake.rs", NONDET_POSITIVE).is_empty());
+    assert!(lint_one("crates/lint/src/fake.rs", NONDET_POSITIVE).is_empty());
+}
+
+#[test]
+fn nondet_quiet_when_sorted_or_order_insensitive() {
+    let sorted = r#"
+use std::collections::HashMap;
+fn f() -> Vec<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+"#;
+    assert!(lint_one("crates/core/src/fake.rs", sorted).is_empty());
+
+    let counted = r#"
+use std::collections::HashSet;
+fn f(wanted: u32) -> usize {
+    let s: HashSet<u32> = HashSet::new();
+    s.iter().filter(|&&x| x == wanted).count()
+}
+"#;
+    assert!(lint_one("crates/core/src/fake.rs", counted).is_empty());
+}
+
+#[test]
+fn nondet_quiet_in_test_regions() {
+    let in_tests = r#"
+use std::collections::HashMap;
+#[cfg(test)]
+mod tests {
+    fn f() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for key in m.keys() {
+            let _ = key;
+        }
+    }
+}
+"#;
+    assert!(lint_one("crates/core/src/fake.rs", in_tests).is_empty());
+}
+
+#[test]
+fn nondet_suppressed_by_allow() {
+    let allowed = r#"
+use std::collections::HashMap;
+fn f() -> u64 {
+    let m: HashMap<u32, u64> = HashMap::new();
+    let mut total = 0;
+    // sigfim-lint: allow(nondet-iteration, reason = "integer sum is order-independent")
+    for value in m.values() {
+        total += *value;
+    }
+    total
+}
+"#;
+    assert!(lint_one("crates/core/src/fake.rs", allowed).is_empty());
+}
+
+// ---------------------------------------------------------------- unsafety
+
+#[test]
+fn unsafety_fires_without_safety_comment() {
+    let source = r#"
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let diagnostics = lint_one("crates/exec/src/fake.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["unsafe-needs-safety"]);
+}
+
+#[test]
+fn unsafety_quiet_with_safety_comment() {
+    let source = r#"
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` is valid for reads.
+    unsafe { *p }
+}
+"#;
+    assert!(lint_one("crates/exec/src/fake.rs", source).is_empty());
+}
+
+#[test]
+fn unsafety_comment_survives_intervening_attributes() {
+    let source = r#"
+// SAFETY: sound only through the detected vtable.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn fast() {}
+fn gate() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+"#;
+    assert!(lint_one("crates/datasets/src/fake.rs", source).is_empty());
+}
+
+#[test]
+fn unsafety_suppressed_by_allow() {
+    let source = r#"
+pub fn f(p: *const u8) -> u8 {
+    // sigfim-lint: allow(unsafe-needs-safety, reason = "fixture")
+    unsafe { *p }
+}
+"#;
+    assert!(lint_one("crates/exec/src/fake.rs", source).is_empty());
+}
+
+// ---------------------------------------------------------------- dispatch
+
+const DISPATCH_MODULE: &str = r#"
+mod simd {
+    // SAFETY: unsafe only because of #[target_feature]; gated below.
+    #[target_feature(enable = "avx2")]
+    unsafe fn fast() -> u64 { 1 }
+
+    pub fn dispatch() -> u64 {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: detected on the line above.
+            unsafe { fast() }
+        } else {
+            0
+        }
+    }
+}
+"#;
+
+#[test]
+fn dispatch_quiet_when_confined_to_module() {
+    assert!(lint_one("crates/datasets/src/fake.rs", DISPATCH_MODULE).is_empty());
+}
+
+#[test]
+fn dispatch_fires_on_mention_outside_module() {
+    let source = format!(
+        "{DISPATCH_MODULE}\npub fn rogue() -> u64 {{\n    // SAFETY: none, this is the violation fixture.\n    unsafe {{ simd::fast() }}\n}}\n"
+    );
+    let diagnostics = lint_one("crates/datasets/src/fake.rs", &source);
+    assert_eq!(rules_of(&diagnostics), ["target-feature-dispatch"]);
+    assert!(diagnostics[0].message.contains("fast"));
+}
+
+#[test]
+fn dispatch_fires_when_file_has_no_detection_gate() {
+    let source = r#"
+// SAFETY: unsafe only because of #[target_feature].
+#[target_feature(enable = "avx2")]
+unsafe fn fast() -> u64 { 1 }
+"#;
+    let diagnostics = lint_one("crates/datasets/src/fake.rs", source);
+    assert!(rules_of(&diagnostics).contains(&"target-feature-dispatch"));
+    assert!(diagnostics
+        .iter()
+        .any(|d| d.message.contains("no `is_x86_feature_detected!` gate")));
+}
+
+#[test]
+fn dispatch_suppressed_by_allow() {
+    let source = format!(
+        "{DISPATCH_MODULE}\npub fn rogue() -> u64 {{\n    // SAFETY: fixture.\n    // sigfim-lint: allow(target-feature-dispatch, reason = \"fixture\")\n    unsafe {{ simd::fast() }}\n}}\n"
+    );
+    assert!(lint_one("crates/datasets/src/fake.rs", &source).is_empty());
+}
+
+// ---------------------------------------------------------------- envread
+
+const ENVREAD_POSITIVE: &str = r#"
+pub fn sneaky() -> Option<String> {
+    std::env::var("SIGFIM_KERNELS").ok()
+}
+"#;
+
+#[test]
+fn envread_fires_outside_config_modules() {
+    let diagnostics = lint_one("crates/core/src/fake.rs", ENVREAD_POSITIVE);
+    assert_eq!(rules_of(&diagnostics), ["env-read-centralized"]);
+    assert!(diagnostics[0].message.contains("SIGFIM_KERNELS"));
+}
+
+#[test]
+fn envread_quiet_in_designated_files_and_for_other_vars() {
+    assert!(lint_one("crates/datasets/src/sampler.rs", ENVREAD_POSITIVE).is_empty());
+    assert!(lint_one("crates/mining/src/tune.rs", ENVREAD_POSITIVE).is_empty());
+    let other_var = r#"
+pub fn home() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+"#;
+    assert!(lint_one("crates/core/src/fake.rs", other_var).is_empty());
+}
+
+#[test]
+fn envread_suppressed_by_allow() {
+    let source = r#"
+pub fn sneaky() -> Option<String> {
+    // sigfim-lint: allow(env-read-centralized, reason = "fixture")
+    std::env::var("SIGFIM_KERNELS").ok()
+}
+"#;
+    assert!(lint_one("crates/core/src/fake.rs", source).is_empty());
+}
+
+// ---------------------------------------------------------------- wire
+
+#[test]
+fn wire_fires_on_new_field_without_default() {
+    let source = r#"
+pub const PROTOCOL_VERSION: u32 = 1;
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TunerTiming {
+    pub subject: String,
+    pub median_ns: u64,
+    pub samples: u64,
+}
+"#;
+    let diagnostics = lint_one("crates/service/src/protocol.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["wire-additivity"]);
+    assert!(diagnostics[0].message.contains("samples"));
+}
+
+#[test]
+fn wire_quiet_on_defaulted_or_baseline_fields() {
+    let source = r#"
+pub const PROTOCOL_VERSION: u32 = 1;
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TunerTiming {
+    pub subject: String,
+    pub median_ns: u64,
+    #[serde(default)]
+    pub samples: u64,
+}
+"#;
+    assert!(lint_one("crates/service/src/protocol.rs", source).is_empty());
+}
+
+#[test]
+fn wire_new_struct_needs_all_fields_defaulted() {
+    let bare = r#"
+#[derive(Serialize, Deserialize)]
+pub struct BrandNew {
+    pub value: u64,
+}
+"#;
+    let diagnostics = lint_one("crates/service/src/protocol.rs", bare);
+    assert_eq!(rules_of(&diagnostics), ["wire-additivity"]);
+    assert!(diagnostics[0].message.contains("not in the v1 baseline"));
+
+    let defaulted = r#"
+#[derive(Serialize, Deserialize)]
+pub struct BrandNew {
+    #[serde(default)]
+    pub value: u64,
+}
+"#;
+    assert!(lint_one("crates/service/src/protocol.rs", defaulted).is_empty());
+}
+
+#[test]
+fn wire_scoped_to_protocol_file_and_suppressed_by_allow() {
+    let source = r#"
+#[derive(Serialize, Deserialize)]
+pub struct BrandNew {
+    pub value: u64,
+}
+"#;
+    assert!(lint_one("crates/service/src/fake.rs", source).is_empty());
+
+    let allowed = r#"
+#[derive(Serialize, Deserialize)]
+pub struct BrandNew {
+    // sigfim-lint: allow(wire-additivity, reason = "fixture")
+    pub value: u64,
+}
+"#;
+    assert!(lint_one("crates/service/src/protocol.rs", allowed).is_empty());
+}
+
+// ---------------------------------------------------------------- locks
+
+#[test]
+fn locks_fire_on_nested_acquisition() {
+    let source = r#"
+use std::sync::Mutex;
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    *a.lock().expect("a") + *b.lock().expect("b")
+}
+"#;
+    let diagnostics = lint_one("crates/service/src/fake.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["lock-hygiene"]);
+    assert!(diagnostics[0]
+        .message
+        .contains("multiple lock acquisitions"));
+}
+
+#[test]
+fn locks_fire_on_undocumented_unwrap() {
+    let source = r#"
+use std::sync::Mutex;
+fn f(a: &Mutex<u32>) -> u32 {
+    *a.lock().unwrap()
+}
+"#;
+    let diagnostics = lint_one("crates/service/src/fake.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["lock-hygiene"]);
+    assert!(diagnostics[0].message.contains("unwrap"));
+}
+
+#[test]
+fn locks_quiet_with_poison_comment_recovery_or_in_tests() {
+    let documented = r#"
+use std::sync::Mutex;
+fn f(a: &Mutex<u32>) -> u32 {
+    // A poisoned mutex means a sibling panicked; propagate the panic.
+    *a.lock().unwrap()
+}
+"#;
+    assert!(lint_one("crates/service/src/fake.rs", documented).is_empty());
+
+    let recovering = r#"
+use std::sync::Mutex;
+fn f(a: &Mutex<u32>) -> u32 {
+    *a.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+"#;
+    assert!(lint_one("crates/service/src/fake.rs", recovering).is_empty());
+
+    let in_tests = r#"
+use std::sync::Mutex;
+#[cfg(test)]
+mod tests {
+    fn f(a: &std::sync::Mutex<u32>) -> u32 {
+        *a.lock().unwrap()
+    }
+}
+"#;
+    assert!(lint_one("crates/service/src/fake.rs", in_tests).is_empty());
+}
+
+#[test]
+fn locks_suppressed_by_allow() {
+    let source = r#"
+use std::sync::Mutex;
+fn f(a: &Mutex<u32>) -> u32 {
+    // sigfim-lint: allow(lock-hygiene, reason = "fixture")
+    *a.lock().unwrap()
+}
+"#;
+    assert!(lint_one("crates/service/src/fake.rs", source).is_empty());
+}
+
+// ---------------------------------------------------------------- meta
+
+#[test]
+fn malformed_allow_is_itself_reported() {
+    let source = r#"
+fn f() {
+    // sigfim-lint: allow(lock-hygiene)
+}
+"#;
+    let diagnostics = lint_one("crates/service/src/fake.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["malformed-allow"]);
+}
+
+#[test]
+fn disabled_rules_are_skipped() {
+    let config = LintConfig {
+        disabled: vec!["nondet-iteration".to_string()],
+    };
+    let diagnostics = lint_sources(
+        &[(
+            "crates/core/src/fake.rs".to_string(),
+            NONDET_POSITIVE.to_string(),
+        )],
+        &config,
+    );
+    assert!(diagnostics.is_empty());
+}
+
+#[test]
+fn diagnostics_are_sorted_and_display_as_grep_lines() {
+    let sources = vec![
+        (
+            "crates/core/src/fake.rs".to_string(),
+            NONDET_POSITIVE.to_string(),
+        ),
+        (
+            "crates/core/src/earlier.rs".to_string(),
+            ENVREAD_POSITIVE.to_string(),
+        ),
+    ];
+    let diagnostics = lint_sources(&sources, &LintConfig::default());
+    assert_eq!(diagnostics.len(), 2);
+    assert_eq!(diagnostics[0].file, "crates/core/src/earlier.rs");
+    let rendered = diagnostics[0].to_string();
+    assert!(rendered.starts_with("crates/core/src/earlier.rs:3: env-read-centralized:"));
+}
+
+#[test]
+fn json_report_round_trips_through_schema() {
+    let diagnostics = lint_one("crates/core/src/fake.rs", NONDET_POSITIVE);
+    let report = JsonReport::new(1, diagnostics);
+    let json = report.to_json();
+    let parsed: JsonReport = serde_json::from_str(&json).expect("schema round-trip");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.schema_version, JSON_SCHEMA_VERSION);
+    assert_eq!(parsed.files_scanned, 1);
+    assert_eq!(parsed.diagnostics.len(), 1);
+}

@@ -1,0 +1,36 @@
+//! The workspace polices itself: linting the real source tree under the
+//! default (deny-everything) configuration must come back clean. This is the
+//! in-process twin of the CI step `cargo run -p sigfim-lint --release -- \
+//! --deny-all`, so a violation fails `cargo test` before it fails CI.
+
+use std::path::Path;
+
+use sigfim_lint::{lint_workspace, LintConfig};
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "expected workspace root at {}",
+        root.display()
+    );
+    let (files_scanned, diagnostics) =
+        lint_workspace(&root, &LintConfig::default()).expect("workspace scan");
+    assert!(
+        files_scanned > 50,
+        "suspiciously few files scanned ({files_scanned}) — walker broke?"
+    );
+    assert!(
+        diagnostics.is_empty(),
+        "workspace must be lint-clean, found:\n{}",
+        diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -47,7 +47,7 @@ use sigfim::datasets::bitmap::{DatasetBackend, ResolvedBackend};
 use sigfim::datasets::fimi::read_fimi_file;
 use sigfim::datasets::kernels::{configure_kernels, KernelMode};
 use sigfim::datasets::transaction::TransactionDataset;
-use sigfim::datasets::tune::resolve_tune_request;
+use sigfim::datasets::tune::startup_tune_request;
 use sigfim::datasets::{configure_sampler, SamplerMode};
 use sigfim::mining::miner::MinerKind;
 use sigfim::mining::tuned_miner;
@@ -264,7 +264,7 @@ fn configure_kernel_startup(
     kernels: Option<KernelMode>,
     sampler: Option<SamplerMode>,
 ) -> Result<(), String> {
-    resolve_tune_request(std::env::var("SIGFIM_TUNE").ok().as_deref())?;
+    startup_tune_request()?;
     configure_kernels(kernels)?;
     configure_sampler(sampler)?;
     Ok(())
