@@ -394,6 +394,94 @@ struct ThresholdKey {
     sampler: ResolvedSampler,
 }
 
+/// The portable form of one threshold-cache entry: the full
+/// `ThresholdKey` identity flattened into public fields plus the cached
+/// [`ThresholdEstimate`]. This is the unit the service tier persists so a
+/// restarted process can [`ThresholdStore::preload`] its cache warm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdRecord {
+    /// The null model's stable fingerprint.
+    pub fingerprint: u64,
+    /// The itemset size.
+    pub k: usize,
+    /// `ε` by exact bit pattern (as in the cache key).
+    pub epsilon_bits: u64,
+    /// The replicate count Δ.
+    pub replicates: usize,
+    /// The random seed.
+    pub seed: u64,
+    /// The replicate-path backend (already normalized; see `ThresholdKey`).
+    pub backend: DatasetBackend,
+    /// The Algorithm 1 restart budget.
+    pub max_restarts: usize,
+    /// The resolved replicate sampler.
+    pub sampler: ResolvedSampler,
+    /// The cached Algorithm 1 output.
+    pub estimate: ThresholdEstimate,
+}
+
+impl ThresholdRecord {
+    fn from_parts(key: ThresholdKey, estimate: ThresholdEstimate) -> Self {
+        ThresholdRecord {
+            fingerprint: key.fingerprint,
+            k: key.k,
+            epsilon_bits: key.epsilon_bits,
+            replicates: key.replicates,
+            seed: key.seed,
+            backend: key.backend,
+            max_restarts: key.max_restarts,
+            sampler: key.sampler,
+            estimate,
+        }
+    }
+
+    fn cache_key(&self) -> ThresholdKey {
+        ThresholdKey {
+            fingerprint: self.fingerprint,
+            k: self.k,
+            epsilon_bits: self.epsilon_bits,
+            replicates: self.replicates,
+            seed: self.seed,
+            backend: self.backend,
+            max_restarts: self.max_restarts,
+            sampler: self.sampler,
+        }
+    }
+
+    /// A stable, injective string form of the record's identity — the key
+    /// persistence layers index by. Two records with equal storage keys
+    /// cache interchangeably (the estimate is a deterministic function of
+    /// the identity).
+    pub fn storage_key(&self) -> String {
+        format!(
+            "fp{:016x}-k{}-e{:016x}-r{}-s{:016x}-b{:?}-m{}-{:?}",
+            self.fingerprint,
+            self.k,
+            self.epsilon_bits,
+            self.replicates,
+            self.seed,
+            self.backend,
+            self.max_restarts,
+            self.sampler
+        )
+    }
+
+    /// The `ε` this record was computed for, recovered from its bit pattern.
+    pub fn epsilon(&self) -> f64 {
+        f64::from_bits(self.epsilon_bits)
+    }
+}
+
+/// Write-through persistence hook of a [`ThresholdStore`]: every fresh
+/// Algorithm 1 result inserted into the store is offered to the sink
+/// *after* the cache lock is released. Implementations must tolerate being
+/// called from any engine thread and should swallow (log) their own I/O
+/// failures — a broken disk must not fail an otherwise-complete analysis.
+pub trait ThresholdSink: Send + Sync {
+    /// Persist one freshly computed threshold entry.
+    fn persist(&self, record: &ThresholdRecord);
+}
+
 /// Normalize a configured backend to the replicate path it drives in
 /// [`FindPoissonThreshold`] for `model`: resolve exactly as
 /// `collect_observations` does (`Auto` via the model's shape and expected
@@ -559,6 +647,18 @@ impl<K: Eq + std::hash::Hash + Copy, V: Clone> LruCache<K, V> {
         self.evictions = 0;
         self.clock = 0;
     }
+
+    /// Snapshot the stored `(key, value)` pairs without touching recency or
+    /// the hit/miss counters. Iteration order is the hash map's; callers
+    /// that surface the result sort it first ([`ThresholdStore::export`]
+    /// does, by storage key).
+    fn items(&self) -> Vec<(K, V)> {
+        // sigfim-lint: allow(nondet-iteration, reason = "unordered snapshot; ThresholdStore::export sorts by storage key before the records are surfaced")
+        self.entries
+            .iter()
+            .map(|(key, entry)| (*key, entry.value.clone()))
+            .collect()
+    }
 }
 
 /// Memo of Algorithm 1 results keyed by the full run identity (see
@@ -626,6 +726,10 @@ impl ThresholdCache {
     pub fn clear(&mut self) {
         self.inner.clear();
     }
+
+    fn items(&self) -> Vec<(ThresholdKey, ThresholdEstimate)> {
+        self.inner.items()
+    }
 }
 
 /// A process-wide, shareable handle to a [`ThresholdCache`], protected by a
@@ -639,9 +743,26 @@ impl ThresholdCache {
 /// is deliberately not held across an Algorithm 1 computation: two tenants
 /// racing on the same cold key both compute it (identical results — the run
 /// is deterministic in the key), and the second insert is a no-op overwrite.
-#[derive(Debug, Clone, Default)]
+///
+/// A store may carry a write-through [`ThresholdSink`]
+/// ([`ThresholdStore::set_persistence`]): fresh inserts are offered to the
+/// sink after the cache lock is released, and a restarted process replays
+/// persisted records back in with [`ThresholdStore::preload`] (which does
+/// *not* re-invoke the sink). The sink handle is itself shared — clones
+/// made before `set_persistence` see the sink too.
+#[derive(Clone, Default)]
 pub struct ThresholdStore {
     inner: Arc<Mutex<ThresholdCache>>,
+    sink: Arc<Mutex<Option<Arc<dyn ThresholdSink>>>>,
+}
+
+impl std::fmt::Debug for ThresholdStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThresholdStore")
+            .field("stats", &self.stats())
+            .field("persistent", &self.sink_handle().is_some())
+            .finish()
+    }
 }
 
 impl ThresholdStore {
@@ -654,6 +775,7 @@ impl ThresholdStore {
     pub fn with_capacity(capacity: usize) -> Self {
         ThresholdStore {
             inner: Arc::new(Mutex::new(ThresholdCache::with_capacity(capacity))),
+            sink: Arc::default(),
         }
     }
 
@@ -666,12 +788,64 @@ impl ThresholdStore {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// The currently attached sink handle, if any. Recovers from poisoning
+    /// like [`ThresholdStore::lock`] (the slot holds a plain handle).
+    fn sink_handle(&self) -> Option<Arc<dyn ThresholdSink>> {
+        self.sink
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
     fn get(&self, key: &ThresholdKey) -> Option<ThresholdEstimate> {
         self.lock().get(key)
     }
 
     fn insert(&self, key: ThresholdKey, estimate: ThresholdEstimate) {
-        self.lock().insert(key, estimate);
+        self.lock().insert(key, estimate.clone());
+        // Persist outside the cache lock: the sink may do I/O, and holding
+        // the cache across it would serialize every tenant behind the disk.
+        if let Some(sink) = self.sink_handle() {
+            sink.persist(&ThresholdRecord::from_parts(key, estimate));
+        }
+    }
+
+    /// Attach a write-through persistence sink: every subsequent fresh
+    /// insert is offered to it as a [`ThresholdRecord`]. The handle is
+    /// shared with every clone of this store, past and future.
+    pub fn set_persistence(&self, sink: Arc<dyn ThresholdSink>) {
+        let mut slot = self
+            .sink
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some(sink);
+    }
+
+    /// Replay persisted records into the cache **without** re-invoking the
+    /// sink (they are already durable). Returns how many records were
+    /// loaded. Bounded stores LRU-evict as usual if the replay overflows
+    /// the capacity.
+    pub fn preload<I: IntoIterator<Item = ThresholdRecord>>(&self, records: I) -> usize {
+        let mut cache = self.lock();
+        let mut loaded = 0;
+        for record in records {
+            let key = record.cache_key();
+            cache.insert(key, record.estimate);
+            loaded += 1;
+        }
+        loaded
+    }
+
+    /// Snapshot every cached entry as a [`ThresholdRecord`], sorted by
+    /// [`ThresholdRecord::storage_key`] so the export is deterministic.
+    pub fn export(&self) -> Vec<ThresholdRecord> {
+        let items = self.lock().items();
+        let mut records: Vec<ThresholdRecord> = items
+            .into_iter()
+            .map(|(key, estimate)| ThresholdRecord::from_parts(key, estimate))
+            .collect();
+        records.sort_by_key(|record| record.storage_key());
+        records
     }
 
     /// Hit/miss/entry/eviction counters of the shared cache.
@@ -1351,6 +1525,62 @@ mod tests {
         engine.clear_caches();
         assert_eq!(engine.cache_stats(), CacheStats::default());
         assert!(ThresholdCache::default().is_empty());
+    }
+
+    #[test]
+    fn persistence_sink_receives_inserts_and_preload_restores_warm() {
+        #[derive(Default)]
+        struct Captured(Mutex<Vec<ThresholdRecord>>);
+        impl ThresholdSink for Captured {
+            fn persist(&self, record: &ThresholdRecord) {
+                self.0.lock().unwrap().push(record.clone());
+            }
+        }
+
+        let sink = Arc::new(Captured::default());
+        let store = ThresholdStore::new();
+        store.set_persistence(sink.clone());
+
+        let mut engine = AnalysisEngine::from_dataset(planted_dataset(4))
+            .unwrap()
+            .with_threshold_store(store.clone());
+        let request = AnalysisRequest::for_k(2).with_replicates(8).with_seed(11);
+        let first = engine.run(&request).unwrap();
+        assert_eq!(first.cache_hits(), 0);
+
+        let persisted = sink.0.lock().unwrap().clone();
+        assert_eq!(persisted.len(), 1);
+        assert_eq!((persisted[0].k, persisted[0].seed), (2, 11));
+
+        // Records survive the JSON round-trip the embedded store performs.
+        let json = serde_json::to_string(&persisted[0]).unwrap();
+        let back: ThresholdRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, persisted[0]);
+        assert_eq!(back.epsilon(), request.epsilon);
+
+        // A cold process preloads the records and serves the query warm —
+        // zero fresh Algorithm 1 runs.
+        let cold = ThresholdStore::new();
+        assert_eq!(cold.preload(persisted.clone()), 1);
+        let mut warm_engine = AnalysisEngine::from_dataset(planted_dataset(4))
+            .unwrap()
+            .with_threshold_store(cold.clone());
+        let warm = warm_engine.run(&request).unwrap();
+        assert_eq!(warm.cache_hits(), 1);
+        assert_eq!(warm.runs[0].report, first.runs[0].report);
+
+        // Export is deterministic and carries the same identity.
+        let exported = store.export();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].storage_key(), persisted[0].storage_key());
+
+        // Neither the preload nor the warm hit re-invoked the sink.
+        assert_eq!(sink.0.lock().unwrap().len(), 1);
+
+        // A hit on the preloaded entry counts as a hit in the stats, and
+        // the warm store's Debug form mentions it is not persistent.
+        assert_eq!(cold.stats().hits, 1);
+        assert!(format!("{cold:?}").contains("persistent: false"));
     }
 
     #[test]

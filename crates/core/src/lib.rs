@@ -68,6 +68,7 @@ pub mod lambda;
 pub mod montecarlo;
 pub mod procedure1;
 pub mod procedure2;
+pub mod progress;
 pub mod report;
 pub mod validation;
 
@@ -76,7 +77,7 @@ pub use chen_stein::ExactChenStein;
 pub use engine::{
     AnalysisEngine, AnalysisRequest, AnalysisResponse, AnalysisStage, CacheStats, CacheStatus,
     DynAnalysisEngine, KAnalysis, LambdaMode, NoProgress, ProgressObserver, ThresholdCache,
-    ThresholdRun, ThresholdStore,
+    ThresholdRecord, ThresholdRun, ThresholdSink, ThresholdStore,
 };
 pub use lambda::{ExactLambda, LambdaEstimator};
 pub use montecarlo::{

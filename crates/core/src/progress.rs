@@ -1,0 +1,200 @@
+//! Serializable progress snapshots over the [`ProgressObserver`] hook.
+//!
+//! The engine reports progress as a stream of callbacks; a polling
+//! front-end (the service's `GET /v1/jobs/<id>` route) instead wants a
+//! point-in-time *snapshot*: per-`k` stage, replicate counts, cache
+//! provenance. [`SnapshotObserver`] folds the callback stream into a
+//! [`ProgressSnapshot`] that can be read at any moment from any thread and
+//! serializes through the workspace serde shim, so it can ride the wire and
+//! the store unchanged.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{AnalysisStage, ProgressObserver};
+
+/// The wire name of a pipeline stage.
+pub fn stage_name(stage: AnalysisStage) -> &'static str {
+    match stage {
+        AnalysisStage::Threshold => "threshold",
+        AnalysisStage::Procedure2 => "procedure2",
+        AnalysisStage::Procedure1 => "procedure1",
+    }
+}
+
+/// Progress of one `k`-run inside a request.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KProgress {
+    /// The itemset size.
+    pub k: usize,
+    /// The stage currently running (`""` before the first event;
+    /// see [`stage_name`] for the values).
+    pub stage: String,
+    /// Monte-Carlo replicates finished in the current Algorithm 1 round.
+    /// Restarts with a halved floor reset this to count the new round.
+    pub completed_replicates: usize,
+    /// Replicates the current round will run.
+    pub total_replicates: usize,
+    /// Whether the threshold was served from the cache (no replicate events
+    /// follow for this `k`).
+    pub threshold_cache_hit: bool,
+    /// The stages already completed, in completion order.
+    pub completed_stages: Vec<String>,
+}
+
+/// A point-in-time view of a request's progress: one entry per `k` that has
+/// produced at least one event, in first-event order (the request's `ks`
+/// order — the engine runs them sequentially).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Per-`k` progress entries.
+    pub per_k: Vec<KProgress>,
+}
+
+impl ProgressSnapshot {
+    /// The progress entry of itemset size `k`, if it has started.
+    pub fn progress_for(&self, k: usize) -> Option<&KProgress> {
+        self.per_k.iter().find(|p| p.k == k)
+    }
+}
+
+/// A [`ProgressObserver`] that folds the event stream into a
+/// [`ProgressSnapshot`] readable at any time via
+/// [`SnapshotObserver::snapshot`]. `Sync` as the observer contract
+/// requires; replicate events may arrive from worker threads.
+#[derive(Debug, Default)]
+pub struct SnapshotObserver {
+    state: Mutex<ProgressSnapshot>,
+}
+
+impl SnapshotObserver {
+    /// A fresh observer with an empty snapshot.
+    pub fn new() -> Self {
+        SnapshotObserver::default()
+    }
+
+    /// Clone the current snapshot.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        self.lock().clone()
+    }
+
+    /// Lock the snapshot, recovering from poisoning: the snapshot is plain
+    /// progress data, consistent between any two events.
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProgressSnapshot> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Run `update` on the entry for `k`, creating it on first sight.
+    fn with_k(&self, k: usize, update: impl FnOnce(&mut KProgress)) {
+        let mut state = self.lock();
+        let entry = match state.per_k.iter_mut().position(|p| p.k == k) {
+            Some(at) => &mut state.per_k[at],
+            None => {
+                state.per_k.push(KProgress {
+                    k,
+                    ..KProgress::default()
+                });
+                state.per_k.last_mut().expect("entry was just pushed")
+            }
+        };
+        update(entry);
+    }
+}
+
+impl ProgressObserver for SnapshotObserver {
+    fn stage_started(&self, k: usize, stage: AnalysisStage) {
+        self.with_k(k, |p| p.stage = stage_name(stage).to_string());
+    }
+
+    fn replicate_completed(&self, k: usize, completed: usize, total: usize) {
+        self.with_k(k, |p| {
+            p.completed_replicates = completed;
+            p.total_replicates = total;
+        });
+    }
+
+    fn threshold_cache_hit(&self, k: usize) {
+        self.with_k(k, |p| p.threshold_cache_hit = true);
+    }
+
+    fn stage_completed(&self, k: usize, stage: AnalysisStage) {
+        self.with_k(k, |p| {
+            let name = stage_name(stage);
+            p.completed_stages.push(name.to_string());
+            if p.stage == name {
+                p.stage = String::new();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_events_into_per_k_entries() {
+        let observer = SnapshotObserver::new();
+        observer.stage_started(2, AnalysisStage::Threshold);
+        observer.replicate_completed(2, 3, 8);
+        observer.stage_completed(2, AnalysisStage::Threshold);
+        observer.stage_started(2, AnalysisStage::Procedure2);
+        observer.threshold_cache_hit(3);
+
+        let snapshot = observer.snapshot();
+        assert_eq!(snapshot.per_k.len(), 2);
+        let k2 = snapshot.progress_for(2).unwrap();
+        assert_eq!(k2.stage, "procedure2");
+        assert_eq!((k2.completed_replicates, k2.total_replicates), (3, 8));
+        assert_eq!(k2.completed_stages, vec!["threshold".to_string()]);
+        assert!(!k2.threshold_cache_hit);
+        let k3 = snapshot.progress_for(3).unwrap();
+        assert!(k3.threshold_cache_hit);
+        assert_eq!(k3.stage, "");
+        assert!(snapshot.progress_for(9).is_none());
+    }
+
+    #[test]
+    fn snapshot_serializes_and_roundtrips() {
+        let observer = SnapshotObserver::new();
+        observer.stage_started(4, AnalysisStage::Threshold);
+        observer.replicate_completed(4, 5, 16);
+        let snapshot = observer.snapshot();
+        let text = serde_json::to_string(&snapshot).unwrap();
+        let back: ProgressSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn drives_a_real_engine_run() {
+        use crate::engine::{AnalysisEngine, AnalysisRequest};
+        use rand::SeedableRng;
+        use sigfim_datasets::random::BernoulliModel;
+
+        let model = BernoulliModel::new(120, vec![0.1; 12]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let dataset = model.sample(&mut rng);
+        let mut engine = AnalysisEngine::from_dataset(dataset).unwrap();
+        let request = AnalysisRequest::for_k(2).with_replicates(8);
+
+        let observer = SnapshotObserver::new();
+        engine.run_observed(&request, &observer).unwrap();
+        let cold = observer.snapshot();
+        let k2 = cold.progress_for(2).unwrap();
+        assert!(k2.completed_stages.contains(&"threshold".to_string()));
+        assert!(k2.completed_stages.contains(&"procedure2".to_string()));
+        assert_eq!(k2.completed_replicates, k2.total_replicates);
+        assert!(!k2.threshold_cache_hit);
+
+        // A warm re-run reports the cache hit and no replicate events.
+        let warm_observer = SnapshotObserver::new();
+        engine.run_observed(&request, &warm_observer).unwrap();
+        let warm = warm_observer.snapshot();
+        let k2 = warm.progress_for(2).unwrap();
+        assert!(k2.threshold_cache_hit);
+        assert_eq!(k2.completed_replicates, 0);
+    }
+}

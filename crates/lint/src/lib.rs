@@ -6,9 +6,10 @@
 //! dynamically by the parity suites, but the invariant *surface* (no
 //! hash-order iteration in result paths, `#[target_feature]` fns confined to
 //! detection-gated dispatch, `SIGFIM_*` reads behind the typed config seams,
-//! additive wire evolution, reviewable lock discipline) is structural. This
+//! additive wire evolution, reviewable lock discipline, checked store I/O)
+//! is structural. This
 //! crate checks it at CI time, before a parity test can flake, with a small
-//! hand-rolled token-level scanner ([`scan`]) and six named rules
+//! hand-rolled token-level scanner ([`scan`]) and seven named rules
 //! ([`rules::RULE_NAMES`]), each individually suppressible at a site with
 //!
 //! ```text

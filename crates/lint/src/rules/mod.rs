@@ -10,19 +10,21 @@ mod dispatch;
 mod envread;
 mod locks;
 mod nondet;
+mod storeio;
 mod unsafety;
 mod wire;
 
 /// Every enforceable rule name, in diagnostic order. `malformed-allow` is a
 /// scanner-level meta rule (a broken annotation must not silently disable
 /// anything) and is always on.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "nondet-iteration",
     "unsafe-needs-safety",
     "target-feature-dispatch",
     "env-read-centralized",
     "wire-additivity",
     "lock-hygiene",
+    "store-io-checked",
 ];
 
 /// Run every rule not named in `disabled` over the scanned files.
@@ -48,6 +50,9 @@ pub fn check_all(files: &[SourceFile], disabled: &[String], out: &mut Vec<Diagno
     }
     if on("lock-hygiene") {
         locks::check(files, out);
+    }
+    if on("store-io-checked") {
+        storeio::check(files, out);
     }
 }
 

@@ -1,0 +1,101 @@
+//! `store-io-checked`: the durable store's write paths must propagate their
+//! `io::Result`s, and raw frame writers must acknowledge the CRC discipline.
+//!
+//! `crates/store` is the crash-safety boundary of the workspace: a dropped
+//! error on a write, flush or fsync turns "the PUT was acknowledged durable"
+//! into a silent lie that only surfaces as a missing record after the next
+//! restart. Two checks over the store's production code:
+//!
+//! * **no discarded write results.** A `let _ = ...` statement around a
+//!   write-path call (`write_all`, `write`, `flush`, `sync_all`,
+//!   `sync_data`, `set_len`, `remove_file`, `rename`) swallows the one
+//!   signal that durability failed; propagate the `io::Result` (or handle
+//!   the error explicitly). `OpenOptions::write(true)` is a builder flag,
+//!   not a write, and is ignored.
+//! * **CRC discipline stays visible.** A store file that performs raw byte
+//!   writes (`.write_all(`) is writing log frames, and every frame is
+//!   CRC-framed; if the file never mentions CRC in code or comments, the
+//!   framing either moved without its checksum or the new write path skips
+//!   it. Mention the CRC (or route the bytes through the framed writer).
+
+use super::{report, statement_at};
+use crate::scan::SourceFile;
+use crate::Diagnostic;
+
+const RULE: &str = "store-io-checked";
+
+/// Calls on the durability path whose `io::Result` must not be discarded.
+const WRITE_CALLS: [&str; 8] = [
+    ".write_all(",
+    ".write(",
+    ".flush(",
+    ".sync_all(",
+    ".sync_data(",
+    ".set_len(",
+    "remove_file(",
+    "rename(",
+];
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !file.path.starts_with("crates/store/src/") {
+            continue;
+        }
+        let mut first_raw_write: Option<usize> = None;
+        let mut mentions_crc = false;
+        for (lineno, line) in file.lines.iter().enumerate() {
+            let lower_code = line.code.to_ascii_lowercase();
+            if lower_code.contains("crc") || line.comment.to_ascii_lowercase().contains("crc") {
+                mentions_crc = true;
+            }
+            if file.test_mask[lineno] {
+                continue;
+            }
+            if line.code.contains(".write_all(") && first_raw_write.is_none() {
+                first_raw_write = Some(lineno);
+            }
+            if !line.code.trim_start().starts_with("let _ =") {
+                continue;
+            }
+            let (statement, _) = statement_at(file, lineno, 6);
+            if let Some(call) = discarded_write(&statement) {
+                report(
+                    file,
+                    lineno,
+                    RULE,
+                    format!(
+                        "`let _ =` discards the io::Result of `{call}` on the store's \
+                         durability path; propagate it with `?` or handle the error \
+                         explicitly — a swallowed write failure breaks the crash-safety \
+                         contract"
+                    ),
+                    out,
+                );
+            }
+        }
+        if let (Some(lineno), false) = (first_raw_write, mentions_crc) {
+            report(
+                file,
+                lineno,
+                RULE,
+                "raw `.write_all(` in a store file that never mentions the CRC: log \
+                 frames are CRC-framed, so either route these bytes through the framed \
+                 writer or document the checksum discipline here"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// The first write-path call in `statement`, with the `OpenOptions` builder
+/// flag `.write(true)` / `.write(false)` excluded.
+fn discarded_write(statement: &str) -> Option<&'static str> {
+    let statement = statement
+        .replace(".write(true)", "")
+        .replace(".write(false)", "");
+    WRITE_CALLS
+        .iter()
+        .find(|needle| statement.contains(*needle))
+        .map(|needle| needle.trim_matches(|c| c == '.' || c == '('))
+}

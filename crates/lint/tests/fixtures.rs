@@ -395,6 +395,107 @@ fn f(a: &Mutex<u32>) -> u32 {
     assert!(lint_one("crates/service/src/fake.rs", source).is_empty());
 }
 
+// ---------------------------------------------------------------- storeio
+
+const STOREIO_POSITIVE: &str = r#"
+use std::io::Write;
+// This writer frames every payload behind a CRC32 before it hits the disk.
+fn append(file: &mut std::fs::File, frame: &[u8]) {
+    let _ = file.write_all(frame);
+}
+"#;
+
+#[test]
+fn storeio_fires_on_discarded_write_result() {
+    let diagnostics = lint_one("crates/store/src/fake.rs", STOREIO_POSITIVE);
+    assert_eq!(rules_of(&diagnostics), ["store-io-checked"]);
+    assert!(diagnostics[0].message.contains("write_all"));
+    assert!(diagnostics[0].message.contains("io::Result"));
+}
+
+#[test]
+fn storeio_fires_on_each_discarded_durability_call() {
+    let source = r#"
+// CRC framing is documented at the module level.
+fn teardown(file: &std::fs::File, dir: &std::path::Path) {
+    let _ = file.sync_all();
+    let _ = std::fs::remove_file(dir.join("seg-000000.log"));
+}
+"#;
+    let diagnostics = lint_one("crates/store/src/fake.rs", source);
+    assert_eq!(
+        rules_of(&diagnostics),
+        ["store-io-checked", "store-io-checked"]
+    );
+    assert!(diagnostics[0].message.contains("sync_all"));
+    assert!(diagnostics[1].message.contains("remove_file"));
+}
+
+#[test]
+fn storeio_fires_on_raw_write_without_crc_mention() {
+    let source = r#"
+use std::io::Write;
+fn append(file: &mut std::fs::File, frame: &[u8]) -> std::io::Result<()> {
+    file.write_all(frame)
+}
+"#;
+    let diagnostics = lint_one("crates/store/src/fake.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["store-io-checked"]);
+    assert!(diagnostics[0].message.contains("CRC"));
+}
+
+#[test]
+fn storeio_quiet_on_propagated_writes_builders_and_other_crates() {
+    // Propagating the result with a CRC mention is the sound pattern.
+    let sound = r#"
+use std::io::Write;
+// Frames are [crc32][len][payload]; the caller fsyncs.
+fn append(file: &mut std::fs::File, frame: &[u8]) -> std::io::Result<()> {
+    file.write_all(frame)?;
+    file.sync_data()
+}
+"#;
+    assert!(lint_one("crates/store/src/fake.rs", sound).is_empty());
+
+    // `OpenOptions::write(true)` is a builder flag, not a write.
+    let builder = r#"
+fn open(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    let _ = std::fs::OpenOptions::new().write(true).open(path);
+    std::fs::OpenOptions::new().read(true).open(path)
+}
+"#;
+    assert!(lint_one("crates/store/src/fake.rs", builder).is_empty());
+
+    // The rule is scoped to the store crate; elsewhere `let _ =` on a write
+    // is someone else's judgment call.
+    assert!(lint_one("crates/service/src/fake.rs", STOREIO_POSITIVE).is_empty());
+
+    // Test regions may discard freely (fixtures clean up best-effort).
+    let in_tests = r#"
+// CRC framing note for the scanner.
+#[cfg(test)]
+mod tests {
+    fn cleanup(dir: &std::path::Path) {
+        let _ = std::fs::remove_file(dir.join("x"));
+    }
+}
+"#;
+    assert!(lint_one("crates/store/src/fake.rs", in_tests).is_empty());
+}
+
+#[test]
+fn storeio_suppressed_by_allow() {
+    let source = r#"
+use std::io::Write;
+// CRC framing is handled by the caller.
+fn append(file: &mut std::fs::File, frame: &[u8]) {
+    // sigfim-lint: allow(store-io-checked, reason = "fixture")
+    let _ = file.write_all(frame);
+}
+"#;
+    assert!(lint_one("crates/store/src/fake.rs", source).is_empty());
+}
+
 // ---------------------------------------------------------------- meta
 
 #[test]

@@ -4,13 +4,18 @@
 //!
 //! Routes:
 //!
-//! | method + path        | operation                                      |
-//! |----------------------|------------------------------------------------|
-//! | `POST /v1/analyze`   | full pipeline against a registered dataset     |
-//! | `POST /v1/thresholds`| Algorithm 1 against an inline null model       |
-//! | `GET /v1/engines`    | list registered engines                        |
-//! | `GET /v1/stats`      | service + shared threshold store counters      |
-//! | `GET /healthz`       | liveness                                       |
+//! | method + path              | operation                                    |
+//! |----------------------------|----------------------------------------------|
+//! | `POST /v1/analyze`         | full pipeline (inline, or a queued job with  |
+//! |                            | `"detach": true` — 429 + `Retry-After` when  |
+//! |                            | the queue is full)                           |
+//! | `POST /v1/thresholds`      | Algorithm 1 against an inline null model     |
+//! | `GET /v1/jobs/<id>`        | poll a detached job (state, live progress)   |
+//! | `PUT /v1/datasets/<id>`    | register/replace a dataset (raw FIMI body)   |
+//! | `DELETE /v1/datasets/<id>` | unregister a dataset, drop its payload       |
+//! | `GET /v1/engines`          | list registered engines                      |
+//! | `GET /v1/stats`            | service + store + job-queue counters         |
+//! | `GET /healthz`             | liveness                                     |
 //!
 //! Every response body is an [`ApiResponse`] envelope; HTTP status codes
 //! mirror [`crate::protocol::ApiError::http_status`]. Connections are
@@ -260,6 +265,39 @@ fn parse_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpParseError> 
 /// goes through [`EngineRegistry::handle`] or its read-only accessors, so the
 /// HTTP layer adds no behaviour of its own.
 fn route(registry: &EngineRegistry, request: &HttpRequest) -> ApiResponse {
+    // The two id-bearing route families parse their path segment first; the
+    // method check comes after so a wrong method on a real resource path is
+    // a 405, not a 404.
+    if let Some(id) = request
+        .path
+        .strip_prefix("/v1/jobs/")
+        .filter(|id| !id.is_empty())
+    {
+        return match request.method.as_str() {
+            "GET" => registry.handle(&ApiRequest::job_status(id)),
+            _ => ApiResponse::error(ApiError::MethodNotAllowed {
+                method: request.method.clone(),
+                path: request.path.clone(),
+            }),
+        };
+    }
+    if let Some(id) = request
+        .path
+        .strip_prefix("/v1/datasets/")
+        .filter(|id| !id.is_empty() && !id.contains('/'))
+    {
+        return match request.method.as_str() {
+            // The PUT body is the raw FIMI text, not a JSON envelope: it is
+            // exactly the file an operator would pass to `--dataset`, so
+            // `curl -T retail.dat` uploads without re-encoding.
+            "PUT" => registry.handle(&ApiRequest::put_dataset(id, request.body.clone())),
+            "DELETE" => registry.handle(&ApiRequest::delete_dataset(id)),
+            _ => ApiResponse::error(ApiError::MethodNotAllowed {
+                method: request.method.clone(),
+                path: request.path.clone(),
+            }),
+        };
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => ApiResponse::ok(ApiResult::Health),
         ("GET", "/v1/engines") => ApiResponse::ok(ApiResult::Engines(registry.engines())),
@@ -361,6 +399,7 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -373,8 +412,16 @@ fn write_response(stream: &mut TcpStream, response: &ApiResponse) {
         // guards the signature.
         "{\"status\":\"error\"}".to_string()
     });
+    // Shed-load responses carry the standard backoff header alongside the
+    // typed `overloaded` body, so plain HTTP clients honor it too.
+    let retry_after = match response.as_error() {
+        Some(ApiError::Overloaded { retry_after_secs }) => {
+            format!("Retry-After: {retry_after_secs}\r\n")
+        }
+        _ => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
         reason_phrase(status),
         body.len()
     );

@@ -1,0 +1,430 @@
+//! The asynchronous job tier: a bounded in-memory queue plus the table of
+//! every job the process knows about.
+//!
+//! A detached `POST /v1/analyze` becomes a [`JobInfo`] here: accepted into a
+//! FIFO queue bounded at [`JobTable::capacity`] (past it, submission fails
+//! with [`ApiError::Overloaded`] — HTTP 429 — instead of growing without
+//! limit), claimed by a worker thread, run with a
+//! [`SnapshotObserver`] attached so `GET /v1/jobs/<id>` polls see live
+//! per-`k` progress, and finally frozen as `Done`/`Failed`.
+//!
+//! The table is transport- and persistence-agnostic: the registry persists
+//! the [`JobInfo`] records this module hands back on every lifecycle
+//! transition (queued, claimed, finished), never on progress events — polls
+//! read progress from the in-memory observer, so a running job costs zero
+//! store writes until it completes.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use sigfim_core::engine::{AnalysisRequest, AnalysisResponse};
+use sigfim_core::progress::SnapshotObserver;
+
+use crate::protocol::{ApiError, JobInfo, JobState, JobStats};
+
+/// Queue bound when the operator does not configure one.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// The `Retry-After` hint handed to shedded clients: long enough to thin a
+/// burst, short enough that a queue draining at Monte-Carlo speed is retried
+/// before it empties.
+const RETRY_AFTER_SECS: u64 = 2;
+
+/// One tracked job: its wire record plus, while running, the live observer
+/// the worker feeds.
+struct JobEntry {
+    info: JobInfo,
+    observer: Option<Arc<SnapshotObserver>>,
+}
+
+struct TableState {
+    /// Ids waiting for a worker, oldest first.
+    queue: VecDeque<String>,
+    /// Every job by id (BTreeMap: listings and recovery are id-ordered).
+    jobs: BTreeMap<String, JobEntry>,
+    /// The numeric suffix of the next minted id.
+    next_id: u64,
+    /// Set once: wakes blocked workers so they can exit.
+    shutdown: bool,
+}
+
+/// A job claimed by a worker: everything needed to run it.
+pub struct ClaimedJob {
+    /// The job id, for the completion call.
+    pub id: String,
+    /// The dataset to analyze.
+    pub dataset: String,
+    /// The analysis request.
+    pub request: AnalysisRequest,
+    /// The observer to thread into `run_observed`; polls read it live.
+    pub observer: Arc<SnapshotObserver>,
+}
+
+/// The process-wide job table. Shared between the submitting transport
+/// threads, the worker pool, and the stats endpoint.
+pub struct JobTable {
+    state: Mutex<TableState>,
+    /// Signaled on submit and shutdown; workers wait on it in [`JobTable::claim`].
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for JobTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("JobTable")
+            .field("capacity", &self.capacity)
+            .field("queued", &stats.queued)
+            .field("running", &stats.running)
+            .finish()
+    }
+}
+
+impl JobTable {
+    /// An empty table whose queue sheds load past `capacity` pending jobs
+    /// (`0` is coerced to 1: a queue that can never accept is a
+    /// misconfiguration, not a policy).
+    pub fn new(capacity: usize) -> Self {
+        JobTable {
+            state: Mutex::new(TableState {
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TableState> {
+        // A poisoned lock means a panicking submitter or worker; the table's
+        // maps are consistent between any two operations, so recover.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Accept a job into the queue, or shed it when the queue is full.
+    /// Returns the freshly minted `Queued` record (persist it, hand it to
+    /// the client).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Overloaded`] when `capacity` jobs are already waiting.
+    pub fn submit(
+        &self,
+        dataset: impl Into<String>,
+        request: AnalysisRequest,
+    ) -> Result<JobInfo, ApiError> {
+        let mut state = self.lock();
+        if state.queue.len() >= self.capacity {
+            return Err(ApiError::Overloaded {
+                retry_after_secs: RETRY_AFTER_SECS,
+            });
+        }
+        let id = format!("job-{:08}", state.next_id);
+        state.next_id += 1;
+        let info = JobInfo {
+            id: id.clone(),
+            dataset: dataset.into(),
+            request,
+            state: JobState::Queued,
+            progress: Default::default(),
+            result: None,
+            error: None,
+        };
+        state.jobs.insert(
+            id.clone(),
+            JobEntry {
+                info: info.clone(),
+                observer: None,
+            },
+        );
+        state.queue.push_back(id);
+        drop(state);
+        self.ready.notify_one();
+        Ok(info)
+    }
+
+    /// Block until a job is available (or shutdown), claim it, and mark it
+    /// `Running` with a fresh observer attached. Returns `None` on shutdown
+    /// — the worker loop's exit signal. The second tuple element is the
+    /// updated `Running` record, for persistence.
+    pub fn claim(&self) -> Option<(ClaimedJob, JobInfo)> {
+        let mut state = self.lock();
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if let Some(id) = state.queue.pop_front() {
+                let entry = state
+                    .jobs
+                    .get_mut(&id)
+                    .expect("queued ids always have a table entry");
+                let observer = Arc::new(SnapshotObserver::new());
+                entry.info.state = JobState::Running;
+                entry.observer = Some(Arc::clone(&observer));
+                let claimed = ClaimedJob {
+                    id: id.clone(),
+                    dataset: entry.info.dataset.clone(),
+                    request: entry.info.request.clone(),
+                    observer,
+                };
+                return Some((claimed, entry.info.clone()));
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Record a claimed job's outcome: freeze the observer's final progress
+    /// into the record, drop the observer, and mark `Done` or `Failed`.
+    /// Returns the terminal record, for persistence.
+    pub fn complete(
+        &self,
+        id: &str,
+        outcome: Result<AnalysisResponse, ApiError>,
+    ) -> Option<JobInfo> {
+        let mut state = self.lock();
+        let entry = state.jobs.get_mut(id)?;
+        if let Some(observer) = entry.observer.take() {
+            entry.info.progress = observer.snapshot();
+        }
+        match outcome {
+            Ok(response) => {
+                entry.info.state = JobState::Done;
+                entry.info.result = Some(response);
+            }
+            Err(error) => {
+                entry.info.state = JobState::Failed;
+                entry.info.error = Some(error);
+            }
+        }
+        Some(entry.info.clone())
+    }
+
+    /// The job's current record; running jobs get their progress refreshed
+    /// from the live observer.
+    pub fn get(&self, id: &str) -> Option<JobInfo> {
+        let state = self.lock();
+        let entry = state.jobs.get(id)?;
+        let mut info = entry.info.clone();
+        if let Some(observer) = &entry.observer {
+            info.progress = observer.snapshot();
+        }
+        Some(info)
+    }
+
+    /// Install job records recovered from the store after a restart.
+    /// Deterministic per the crash-recovery contract:
+    ///
+    /// * `Queued` jobs are re-enqueued in id order — they were accepted and
+    ///   never started, so they simply wait their turn again.
+    /// * `Running` jobs are marked `Failed` (the run died with the process;
+    ///   its partial Monte-Carlo state is gone, and silently re-running
+    ///   could double work the client already observed as started).
+    /// * Terminal jobs are kept verbatim so old ids stay pollable.
+    ///
+    /// Returns the records whose state *changed* (the interrupted ones), so
+    /// the caller can persist the transitions.
+    pub fn recover(&self, records: Vec<JobInfo>) -> Vec<JobInfo> {
+        let mut interrupted = Vec::new();
+        let mut state = self.lock();
+        for mut info in records {
+            // Keep minting above every recovered id, whatever its state.
+            if let Some(serial) = info
+                .id
+                .strip_prefix("job-")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                state.next_id = state.next_id.max(serial + 1);
+            }
+            match info.state {
+                JobState::Queued => state.queue.push_back(info.id.clone()),
+                JobState::Running => {
+                    info.state = JobState::Failed;
+                    info.error = Some(ApiError::EngineFailure {
+                        detail: "job was interrupted by a server restart".into(),
+                    });
+                    interrupted.push(info.clone());
+                }
+                JobState::Done | JobState::Failed => {}
+            }
+            state.jobs.insert(
+                info.id.clone(),
+                JobEntry {
+                    info,
+                    observer: None,
+                },
+            );
+        }
+        drop(state);
+        self.ready.notify_all();
+        interrupted
+    }
+
+    /// Wake every blocked worker and make [`JobTable::claim`] return `None` from now
+    /// on. Idempotent.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Lifecycle counters for `/v1/stats`.
+    pub fn stats(&self) -> JobStats {
+        let state = self.lock();
+        let mut stats = JobStats {
+            capacity: self.capacity as u64,
+            ..JobStats::default()
+        };
+        for entry in state.jobs.values() {
+            match entry.info.state {
+                JobState::Queued => stats.queued += 1,
+                JobState::Running => stats.running += 1,
+                JobState::Done => stats.done += 1,
+                JobState::Failed => stats.failed += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> AnalysisRequest {
+        AnalysisRequest::for_k(2).with_replicates(4)
+    }
+
+    #[test]
+    fn submit_claim_complete_lifecycle() {
+        let table = JobTable::new(4);
+        let queued = table.submit("retail", request()).unwrap();
+        assert_eq!(queued.id, "job-00000001");
+        assert_eq!(queued.state, JobState::Queued);
+        assert_eq!(table.stats().queued, 1);
+
+        let (claimed, running) = table.claim().unwrap();
+        assert_eq!(claimed.id, queued.id);
+        assert_eq!(running.state, JobState::Running);
+        assert_eq!(table.get(&queued.id).unwrap().state, JobState::Running);
+
+        // Progress flows through the observer into polls.
+        use sigfim_core::engine::{AnalysisStage, ProgressObserver};
+        claimed.observer.stage_started(2, AnalysisStage::Threshold);
+        claimed.observer.replicate_completed(2, 3, 8);
+        let polled = table.get(&queued.id).unwrap();
+        assert_eq!(
+            polled
+                .progress
+                .progress_for(2)
+                .unwrap()
+                .completed_replicates,
+            3
+        );
+
+        let done = table
+            .complete(
+                &claimed.id,
+                Err(ApiError::EngineFailure {
+                    detail: "boom".into(),
+                }),
+            )
+            .unwrap();
+        assert_eq!(done.state, JobState::Failed);
+        // The final progress is frozen into the record.
+        assert_eq!(
+            done.progress.progress_for(2).unwrap().completed_replicates,
+            3
+        );
+        assert_eq!(table.stats().failed, 1);
+        assert!(table
+            .complete(
+                "job-99999999",
+                Err(ApiError::EngineFailure { detail: "".into() })
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn backpressure_sheds_past_capacity() {
+        let table = JobTable::new(2);
+        table.submit("a", request()).unwrap();
+        table.submit("a", request()).unwrap();
+        let shed = table.submit("a", request()).unwrap_err();
+        assert_eq!(shed.code(), "overloaded");
+        assert_eq!(shed.http_status(), 429);
+        // Draining one slot readmits.
+        let _ = table.claim().unwrap();
+        assert!(table.submit("a", request()).is_ok());
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let seed = JobTable::new(8);
+        let q1 = seed.submit("a", request()).unwrap();
+        let q2 = seed.submit("a", request()).unwrap();
+        let (claimed, running) = seed.claim().unwrap();
+        assert_eq!(claimed.id, q1.id);
+        let done = seed
+            .complete(
+                &claimed.id,
+                Err(ApiError::EngineFailure { detail: "x".into() }),
+            )
+            .unwrap();
+
+        let _ = running;
+
+        // Simulate a restart from the persisted records: one running-at-crash,
+        // one still queued, one terminal.
+        let fresh = JobTable::new(8);
+        let interrupted = fresh.recover(vec![
+            JobInfo {
+                id: "job-00000003".into(),
+                state: JobState::Running,
+                ..q2.clone()
+            },
+            q2.clone(),
+            done.clone(),
+        ]);
+        assert_eq!(interrupted.len(), 1);
+        assert_eq!(interrupted[0].state, JobState::Failed);
+        assert!(interrupted[0]
+            .error
+            .as_ref()
+            .unwrap()
+            .to_string()
+            .contains("restart"));
+        // The queued job is claimable again; terminal ones are pollable.
+        assert_eq!(fresh.get(&done.id).unwrap().state, JobState::Failed);
+        let (reclaimed, _) = fresh.claim().unwrap();
+        assert_eq!(reclaimed.id, q2.id);
+        // Minting resumes above the highest recovered id.
+        let next = fresh.submit("a", request()).unwrap();
+        assert_eq!(next.id, "job-00000004");
+    }
+
+    #[test]
+    fn shutdown_unblocks_claim() {
+        let table = Arc::new(JobTable::new(2));
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || table.claim().is_none())
+        };
+        // Give the waiter a moment to park, then release it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.shutdown();
+        assert!(waiter.join().unwrap());
+        // Post-shutdown claims return None immediately.
+        assert!(table.claim().is_none());
+    }
+}

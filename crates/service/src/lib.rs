@@ -46,12 +46,17 @@
 //! [`AnalysisEngine`]: sigfim_core::engine::AnalysisEngine
 
 pub mod http;
+pub mod jobs;
+pub mod persist;
 pub mod protocol;
 pub mod registry;
 
 pub use http::{serve, ServerConfig, ServerHandle};
+pub use jobs::{JobTable, DEFAULT_QUEUE_CAPACITY};
+pub use persist::{ObservationMeta, ServiceDb};
 pub use protocol::{
-    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, KernelStats,
-    ModelSpec, ServiceStats, TunerTiming, PROTOCOL_VERSION,
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, JobInfo, JobState,
+    JobStats, KernelStats, ModelSpec, ServiceStats, TunerTiming, PROTOCOL_VERSION,
 };
-pub use registry::EngineRegistry;
+pub use registry::{EngineRegistry, RecoverySummary};
+pub use sigfim_store::{DbOptions, StoreStats};

@@ -1,0 +1,304 @@
+//! The service's durability layer: a typed façade over [`sigfim_store::Db`].
+//!
+//! [`ServiceDb`] owns the namespace layout of `sigfim serve --data-dir`:
+//!
+//! | namespace      | key                              | value                |
+//! |----------------|----------------------------------|----------------------|
+//! | `datasets`     | dataset id                       | FIMI text            |
+//! | `thresholds`   | [`ThresholdRecord::storage_key`] | `ThresholdRecord`    |
+//! | `observations` | [`ThresholdRecord::storage_key`] | [`ObservationMeta`]  |
+//! | `jobs`         | job id                           | [`JobInfo`]          |
+//!
+//! All values are JSON through the workspace serde shim, so every record is
+//! exactly a wire payload — a restarted server reconstructs protocol-level
+//! state (warm threshold cache, registered datasets, job table) by reading
+//! its own log back. Each namespace is schema-versioned (currently v1); a
+//! future layout change registers a migration hook here and old stores are
+//! rewritten forward on open.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use sigfim_core::engine::{ThresholdRecord, ThresholdSink};
+use sigfim_store::{ns, Db, DbOptions, NamespaceDef, StoreStats};
+
+use crate::protocol::JobInfo;
+
+/// The schema version this binary writes into every namespace.
+const SCHEMA_V1: u32 = 1;
+
+/// Monte-Carlo provenance of a persisted threshold: how many null-dataset
+/// observations Algorithm 1's estimate rests on. Kept in its own namespace so
+/// observation-level tooling can grow without touching the threshold records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservationMeta {
+    /// The null model's stable fingerprint.
+    pub fingerprint: u64,
+    /// The itemset size the observations were mined at.
+    pub k: u64,
+    /// Null replicates observed for the estimate.
+    pub replicates: u64,
+}
+
+/// A cheaply cloneable handle to the service's embedded store.
+///
+/// Doubles as the shared [`ThresholdSink`]: attached to the registry's
+/// `ThresholdStore`, every Algorithm 1 estimate is written through to the
+/// `thresholds` namespace the moment it is cached, so a crash between
+/// analyses loses nothing.
+#[derive(Debug, Clone)]
+pub struct ServiceDb {
+    db: Arc<Db>,
+}
+
+impl ServiceDb {
+    /// Open (or create) the store under `dir` with the service's namespace
+    /// layout, replaying and repairing its log segments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Db::open`] failures (I/O, foreign files in `dir`, a
+    /// store written by a newer schema).
+    pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<ServiceDb> {
+        ServiceDb::open_with(dir, DbOptions::default())
+    }
+
+    /// [`ServiceDb::open`] with explicit store options (segment size,
+    /// compaction threshold, fsync policy).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceDb::open`].
+    pub fn open_with<P: AsRef<Path>>(dir: P, options: DbOptions) -> io::Result<ServiceDb> {
+        let namespaces = [
+            NamespaceDef::new(ns::DATASETS, SCHEMA_V1),
+            NamespaceDef::new(ns::THRESHOLDS, SCHEMA_V1),
+            NamespaceDef::new(ns::OBSERVATIONS, SCHEMA_V1),
+            NamespaceDef::new(ns::JOBS, SCHEMA_V1),
+        ];
+        Ok(ServiceDb {
+            db: Arc::new(Db::open(dir, &namespaces, options)?),
+        })
+    }
+
+    /// Persist a dataset's FIMI payload under `id` (replacing any previous
+    /// payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store write failures.
+    pub fn put_dataset(&self, id: &str, fimi: &str) -> io::Result<()> {
+        self.db.put(ns::DATASETS, id, fimi.as_bytes())
+    }
+
+    /// Drop the persisted payload of `id`; `false` when none was stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store write failures.
+    pub fn delete_dataset(&self, id: &str) -> io::Result<bool> {
+        self.db.delete(ns::DATASETS, id)
+    }
+
+    /// Every persisted dataset as `(id, FIMI text)`, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a stored payload is not UTF-8 (foreign tampering; the
+    /// writer only stores text).
+    pub fn datasets(&self) -> io::Result<Vec<(String, String)>> {
+        self.db
+            .entries(ns::DATASETS)
+            .into_iter()
+            .map(|(id, bytes)| match String::from_utf8(bytes) {
+                Ok(fimi) => Ok((id, fimi)),
+                Err(_) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("dataset `{id}` payload is not UTF-8"),
+                )),
+            })
+            .collect()
+    }
+
+    /// Every persisted threshold record, sorted by storage key.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a stored record does not decode (schema drift the
+    /// migration layer should have caught).
+    pub fn thresholds(&self) -> io::Result<Vec<ThresholdRecord>> {
+        Ok(self
+            .db
+            .values::<ThresholdRecord>(ns::THRESHOLDS)?
+            .into_iter()
+            .map(|(_, record)| record)
+            .collect())
+    }
+
+    /// Every persisted observation-metadata record, sorted by storage key.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceDb::thresholds`].
+    pub fn observations(&self) -> io::Result<Vec<ObservationMeta>> {
+        Ok(self
+            .db
+            .values::<ObservationMeta>(ns::OBSERVATIONS)?
+            .into_iter()
+            .map(|(_, meta)| meta)
+            .collect())
+    }
+
+    /// Persist a job record under its id (replacing the previous state —
+    /// jobs are written once per lifecycle transition, not per progress
+    /// event).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store write failures.
+    pub fn put_job(&self, job: &JobInfo) -> io::Result<()> {
+        self.db.put_value(ns::JOBS, &job.id, job)
+    }
+
+    /// Every persisted job record, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceDb::thresholds`].
+    pub fn jobs(&self) -> io::Result<Vec<JobInfo>> {
+        Ok(self
+            .db
+            .values::<JobInfo>(ns::JOBS)?
+            .into_iter()
+            .map(|(_, job)| job)
+            .collect())
+    }
+
+    /// Persistence counters for `/v1/stats`.
+    pub fn stats(&self) -> StoreStats {
+        self.db.stats()
+    }
+
+    /// Force a compaction pass (normally automatic past the dead-bytes
+    /// threshold).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store write failures.
+    pub fn compact(&self) -> io::Result<()> {
+        self.db.compact()
+    }
+}
+
+impl ThresholdSink for ServiceDb {
+    /// Write-through from the shared `ThresholdStore`: called under no cache
+    /// lock, once per fresh Algorithm 1 estimate. Persistence failures are
+    /// reported but do not fail the analysis that produced the estimate —
+    /// the cache still holds it; only warmth across a restart is lost.
+    fn persist(&self, record: &ThresholdRecord) {
+        let key = record.storage_key();
+        if let Err(error) = self
+            .db
+            .put_value(sigfim_store::ns::THRESHOLDS, &key, record)
+        {
+            eprintln!("sigfim-store: failed to persist threshold {key}: {error}");
+            return;
+        }
+        let meta = ObservationMeta {
+            fingerprint: record.fingerprint,
+            k: record.k as u64,
+            replicates: record.replicates as u64,
+        };
+        if let Err(error) = self
+            .db
+            .put_value(sigfim_store::ns::OBSERVATIONS, &key, &meta)
+        {
+            eprintln!("sigfim-store: failed to persist observation meta {key}: {error}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{JobInfo, JobState};
+    use sigfim_core::engine::AnalysisRequest;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sigfim-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn datasets_jobs_and_meta_roundtrip_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        {
+            let db = ServiceDb::open(&dir).unwrap();
+            db.put_dataset("retail", "1 2 3\n2 3\n").unwrap();
+            db.put_dataset("toy", "0 1\n").unwrap();
+            assert!(db.delete_dataset("toy").unwrap());
+            assert!(!db.delete_dataset("toy").unwrap());
+            let job = JobInfo {
+                id: "job-00000001".into(),
+                dataset: "retail".into(),
+                request: AnalysisRequest::for_k(2),
+                state: JobState::Queued,
+                progress: Default::default(),
+                error: None,
+                result: None,
+            };
+            db.put_job(&job).unwrap();
+            assert_eq!(db.stats().segments, 1);
+        }
+        let db = ServiceDb::open(&dir).unwrap();
+        assert_eq!(
+            db.datasets().unwrap(),
+            vec![("retail".to_string(), "1 2 3\n2 3\n".to_string())]
+        );
+        let jobs = db.jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, "job-00000001");
+        assert_eq!(jobs[0].state, JobState::Queued);
+        assert!(db.thresholds().unwrap().is_empty());
+        assert!(db.observations().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_writes_thresholds_and_observation_meta() {
+        use rand::SeedableRng;
+        use sigfim_core::engine::{AnalysisEngine, AnalysisRequest, ThresholdStore};
+        use sigfim_datasets::random::BernoulliModel;
+
+        let dir = temp_dir("sink");
+        let db = ServiceDb::open(&dir).unwrap();
+        let store = ThresholdStore::default();
+        store.set_persistence(Arc::new(db.clone()));
+
+        let model = BernoulliModel::new(150, vec![0.1; 10]).unwrap();
+        let dataset = model.sample(&mut rand::rngs::StdRng::seed_from_u64(5));
+        let mut engine = AnalysisEngine::from_dataset(dataset)
+            .unwrap()
+            .with_threshold_store(store);
+        engine
+            .run(&AnalysisRequest::for_k(2).with_replicates(6))
+            .unwrap();
+
+        let records = db.thresholds().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].k, 2);
+        let meta = db.observations().unwrap();
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta[0].fingerprint, records[0].fingerprint);
+        assert_eq!(meta[0].replicates, 6);
+
+        // A cold store preloaded from the records answers warm.
+        let warm = ThresholdStore::default();
+        assert_eq!(warm.preload(db.thresholds().unwrap()), 1);
+        assert_eq!(warm.stats().entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

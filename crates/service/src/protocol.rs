@@ -72,6 +72,17 @@ pub enum ApiError {
         /// The path it was used on.
         path: String,
     },
+    /// The job queue is at capacity; retry after backing off. Transported
+    /// as HTTP 429 with a `Retry-After` header.
+    Overloaded {
+        /// How long the client should back off, in seconds.
+        retry_after_secs: u64,
+    },
+    /// The request named a job id this server does not know.
+    UnknownJob {
+        /// The id that was not found.
+        job: String,
+    },
 }
 
 impl ApiError {
@@ -85,6 +96,8 @@ impl ApiError {
             ApiError::EngineFailure { .. } => "engine_failure",
             ApiError::NotFound { .. } => "not_found",
             ApiError::MethodNotAllowed { .. } => "method_not_allowed",
+            ApiError::Overloaded { .. } => "overloaded",
+            ApiError::UnknownJob { .. } => "unknown_job",
         }
     }
 
@@ -94,8 +107,11 @@ impl ApiError {
             ApiError::UnsupportedProtocolVersion { .. }
             | ApiError::MalformedRequest { .. }
             | ApiError::InvalidRequest { .. } => 400,
-            ApiError::UnknownDataset { .. } | ApiError::NotFound { .. } => 404,
+            ApiError::UnknownDataset { .. }
+            | ApiError::NotFound { .. }
+            | ApiError::UnknownJob { .. } => 404,
             ApiError::MethodNotAllowed { .. } => 405,
+            ApiError::Overloaded { .. } => 429,
             ApiError::EngineFailure { .. } => 500,
         }
     }
@@ -121,6 +137,11 @@ impl fmt::Display for ApiError {
             ApiError::MethodNotAllowed { method, path } => {
                 write!(f, "method {method} is not allowed on `{path}`")
             }
+            ApiError::Overloaded { retry_after_secs } => write!(
+                f,
+                "the job queue is at capacity; retry in {retry_after_secs}s"
+            ),
+            ApiError::UnknownJob { job } => write!(f, "no job with id `{job}`"),
         }
     }
 }
@@ -155,6 +176,12 @@ impl Serialize for ApiError {
             ApiError::MethodNotAllowed { method, path } => {
                 fields.push(("method".into(), Value::Str(method.clone())));
                 fields.push(("path".into(), Value::Str(path.clone())));
+            }
+            ApiError::Overloaded { retry_after_secs } => {
+                fields.push(("retry_after_secs".into(), Value::U64(*retry_after_secs)));
+            }
+            ApiError::UnknownJob { job } => {
+                fields.push(("job".into(), Value::Str(job.clone())));
             }
         }
         Value::Map(fields)
@@ -202,6 +229,12 @@ impl Deserialize for ApiError {
             "method_not_allowed" => Ok(ApiError::MethodNotAllowed {
                 method: string_field(value, "ApiError", "method")?,
                 path: string_field(value, "ApiError", "path")?,
+            }),
+            "overloaded" => Ok(ApiError::Overloaded {
+                retry_after_secs: field(value, "ApiError", "retry_after_secs")?.as_u64()?,
+            }),
+            "unknown_job" => Ok(ApiError::UnknownJob {
+                job: string_field(value, "ApiError", "job")?,
             }),
             other => Err(SerdeError::unknown_variant("ApiError", other)),
         }
@@ -292,6 +325,11 @@ pub enum ApiRequestBody {
         dataset: String,
         /// The analysis request, exactly as the in-process engine takes it.
         request: AnalysisRequest,
+        /// When `true`, enqueue the analysis as a background job and return
+        /// a [`JobInfo`] immediately instead of holding the connection for
+        /// the result. Additive: serialized only when set, absent means
+        /// the pre-jobs synchronous behaviour.
+        detach: bool,
     },
     /// Run Algorithm 1 alone against an inline null model
     /// (`POST /v1/thresholds`; dataset-less, à la the paper's Table 2).
@@ -300,6 +338,26 @@ pub enum ApiRequestBody {
         model: ModelSpec,
         /// The threshold request (only the Algorithm 1 fields are consulted).
         request: AnalysisRequest,
+    },
+    /// Poll a background job (`GET /v1/jobs/<id>`).
+    JobStatus {
+        /// The job id returned by a detached analyze.
+        id: String,
+    },
+    /// Register (or replace) a dataset from an inline FIMI payload
+    /// (`PUT /v1/datasets/<id>`).
+    PutDataset {
+        /// The registry id the dataset will be served under.
+        id: String,
+        /// The dataset body in FIMI format (whitespace-separated item ids,
+        /// one transaction per line).
+        fimi: String,
+    },
+    /// Unregister a dataset and drop its persisted payload
+    /// (`DELETE /v1/datasets/<id>`).
+    DeleteDataset {
+        /// The registry id to remove.
+        id: String,
     },
 }
 
@@ -311,7 +369,47 @@ impl ApiRequest {
             body: ApiRequestBody::Analyze {
                 dataset: dataset.into(),
                 request,
+                detach: false,
             },
+        }
+    }
+
+    /// A detached analyze envelope: enqueue and return a job id.
+    pub fn analyze_detached(dataset: impl Into<String>, request: AnalysisRequest) -> Self {
+        ApiRequest {
+            protocol_version: PROTOCOL_VERSION,
+            body: ApiRequestBody::Analyze {
+                dataset: dataset.into(),
+                request,
+                detach: true,
+            },
+        }
+    }
+
+    /// A job-status envelope at the current protocol version.
+    pub fn job_status(id: impl Into<String>) -> Self {
+        ApiRequest {
+            protocol_version: PROTOCOL_VERSION,
+            body: ApiRequestBody::JobStatus { id: id.into() },
+        }
+    }
+
+    /// A dataset-registration envelope at the current protocol version.
+    pub fn put_dataset(id: impl Into<String>, fimi: impl Into<String>) -> Self {
+        ApiRequest {
+            protocol_version: PROTOCOL_VERSION,
+            body: ApiRequestBody::PutDataset {
+                id: id.into(),
+                fimi: fimi.into(),
+            },
+        }
+    }
+
+    /// A dataset-removal envelope at the current protocol version.
+    pub fn delete_dataset(id: impl Into<String>) -> Self {
+        ApiRequest {
+            protocol_version: PROTOCOL_VERSION,
+            body: ApiRequestBody::DeleteDataset { id: id.into() },
         }
     }
 
@@ -347,15 +445,36 @@ impl Serialize for ApiRequest {
             Value::U64(u64::from(self.protocol_version)),
         )];
         match &self.body {
-            ApiRequestBody::Analyze { dataset, request } => {
+            ApiRequestBody::Analyze {
+                dataset,
+                request,
+                detach,
+            } => {
                 fields.push(("kind".into(), Value::Str("analyze".into())));
                 fields.push(("dataset".into(), Value::Str(dataset.clone())));
                 fields.push(("request".into(), request.to_value()));
+                // Additive: absent means synchronous, like pre-jobs clients.
+                if *detach {
+                    fields.push(("detach".into(), Value::Bool(true)));
+                }
             }
             ApiRequestBody::Thresholds { model, request } => {
                 fields.push(("kind".into(), Value::Str("thresholds".into())));
                 fields.push(("model".into(), model.to_value()));
                 fields.push(("request".into(), request.to_value()));
+            }
+            ApiRequestBody::JobStatus { id } => {
+                fields.push(("kind".into(), Value::Str("job_status".into())));
+                fields.push(("id".into(), Value::Str(id.clone())));
+            }
+            ApiRequestBody::PutDataset { id, fimi } => {
+                fields.push(("kind".into(), Value::Str("put_dataset".into())));
+                fields.push(("id".into(), Value::Str(id.clone())));
+                fields.push(("fimi".into(), Value::Str(fimi.clone())));
+            }
+            ApiRequestBody::DeleteDataset { id } => {
+                fields.push(("kind".into(), Value::Str("delete_dataset".into())));
+                fields.push(("id".into(), Value::Str(id.clone())));
             }
         }
         Value::Map(fields)
@@ -370,10 +489,24 @@ impl Deserialize for ApiRequest {
             "analyze" => ApiRequestBody::Analyze {
                 dataset: string_field(value, "ApiRequest", "dataset")?,
                 request: AnalysisRequest::from_value(field(value, "ApiRequest", "request")?)?,
+                detach: match value.get_field("detach") {
+                    Some(detach) => detach.as_bool()?,
+                    None => false,
+                },
             },
             "thresholds" => ApiRequestBody::Thresholds {
                 model: ModelSpec::from_value(field(value, "ApiRequest", "model")?)?,
                 request: AnalysisRequest::from_value(field(value, "ApiRequest", "request")?)?,
+            },
+            "job_status" => ApiRequestBody::JobStatus {
+                id: string_field(value, "ApiRequest", "id")?,
+            },
+            "put_dataset" => ApiRequestBody::PutDataset {
+                id: string_field(value, "ApiRequest", "id")?,
+                fimi: string_field(value, "ApiRequest", "fimi")?,
+            },
+            "delete_dataset" => ApiRequestBody::DeleteDataset {
+                id: string_field(value, "ApiRequest", "id")?,
             },
             other => return Err(SerdeError::unknown_variant("ApiRequest", other)),
         };
@@ -479,6 +612,151 @@ pub struct ServiceStats {
     /// without sampling. Additive field, defaulted on deserialization.
     #[serde(default)]
     pub replicates: sigfim_core::ReplicateStats,
+    /// Job-queue counters (queued/running/done/failed plus the configured
+    /// queue capacity). Additive field, defaulted on deserialization.
+    #[serde(default)]
+    pub jobs: JobStats,
+    /// Persistence-layer counters of the embedded store backing `--data-dir`
+    /// (segment count, live/dead bytes, compactions). `None` when the server
+    /// runs without durability. Additive field, defaulted on
+    /// deserialization.
+    #[serde(default)]
+    pub store: Option<sigfim_store::StoreStats>,
+}
+
+/// Job-queue counters inside [`ServiceStats`]. Every field is additive
+/// (defaulted on deserialization): the struct itself postdates wire baseline
+/// v1, so pre-jobs servers simply omit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Jobs waiting in the queue.
+    #[serde(default)]
+    pub queued: u64,
+    /// Jobs currently held by a worker.
+    #[serde(default)]
+    pub running: u64,
+    /// Jobs finished successfully since startup (including recovered ones).
+    #[serde(default)]
+    pub done: u64,
+    /// Jobs that ended in an error since startup.
+    #[serde(default)]
+    pub failed: u64,
+    /// The queue's bound; enqueueing past it yields [`ApiError::Overloaded`].
+    #[serde(default)]
+    pub capacity: u64,
+}
+
+/// The lifecycle state of a background job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running the analysis.
+    Running,
+    /// Finished; [`JobInfo::result`] carries the response.
+    Done,
+    /// Ended in an error; [`JobInfo::error`] carries it.
+    Failed,
+}
+
+impl JobState {
+    /// The stable wire name (`"queued"`, `"running"`, `"done"`, `"failed"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job will never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+
+    fn parse(name: &str) -> Result<Self, SerdeError> {
+        match name {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            other => Err(SerdeError::unknown_variant("JobState", other)),
+        }
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything `GET /v1/jobs/<id>` reports about a background job: the same
+/// record is the durable row in the store's `jobs` namespace, so a restarted
+/// server answers polls for jobs it accepted before the crash.
+///
+/// Hand-written serde: `result`/`error` presence depends on `state`, and the
+/// payload types ([`AnalysisRequest`], [`AnalysisResponse`]) have no
+/// `Default`, which rules out the derive's `#[serde(default)]` path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobInfo {
+    /// The id the job is polled by (`job-00000001`, …).
+    pub id: String,
+    /// The dataset the analysis runs against.
+    pub dataset: String,
+    /// The submitted analysis request.
+    pub request: AnalysisRequest,
+    /// Where the job is in its lifecycle.
+    pub state: JobState,
+    /// Live per-`k` progress (stage, replicate counts, cache provenance).
+    /// Empty until the job starts; frozen at its final value once terminal.
+    pub progress: sigfim_core::progress::ProgressSnapshot,
+    /// The analysis response, once `state` is [`JobState::Done`].
+    pub result: Option<AnalysisResponse>,
+    /// The failure, once `state` is [`JobState::Failed`].
+    pub error: Option<ApiError>,
+}
+
+impl Serialize for JobInfo {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("dataset".to_string(), Value::Str(self.dataset.clone())),
+            ("request".to_string(), self.request.to_value()),
+            ("state".to_string(), Value::Str(self.state.name().into())),
+            ("progress".to_string(), self.progress.to_value()),
+        ];
+        if let Some(result) = &self.result {
+            fields.push(("result".into(), result.to_value()));
+        }
+        if let Some(error) = &self.error {
+            fields.push(("error".into(), error.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for JobInfo {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        Ok(JobInfo {
+            id: string_field(value, "JobInfo", "id")?,
+            dataset: string_field(value, "JobInfo", "dataset")?,
+            request: AnalysisRequest::from_value(field(value, "JobInfo", "request")?)?,
+            state: JobState::parse(&string_field(value, "JobInfo", "state")?)?,
+            progress: sigfim_core::progress::ProgressSnapshot::from_value(field(
+                value, "JobInfo", "progress",
+            )?)?,
+            result: match value.get_field("result") {
+                Some(result) => Some(AnalysisResponse::from_value(result)?),
+                None => None,
+            },
+            error: match value.get_field("error") {
+                Some(error) => Some(ApiError::from_value(error)?),
+                None => None,
+            },
+        })
+    }
 }
 
 /// The response-side envelope: protocol version plus either a typed result or
@@ -510,6 +788,13 @@ pub enum ApiResult {
     Stats(ServiceStats),
     /// Liveness (`GET /healthz`).
     Health,
+    /// A background job's current state — returned by a detached analyze
+    /// (just accepted, `queued`) and by every `GET /v1/jobs/<id>` poll.
+    Job(JobInfo),
+    /// A dataset was registered; carries its engine listing entry.
+    Dataset(EngineInfo),
+    /// A dataset was removed; carries the id that is now free.
+    DatasetDeleted(String),
     /// A typed failure.
     Error(ApiError),
 }
@@ -522,6 +807,9 @@ impl ApiResult {
             ApiResult::Engines(_) => "engines",
             ApiResult::Stats(_) => "stats",
             ApiResult::Health => "health",
+            ApiResult::Job(_) => "job",
+            ApiResult::Dataset(_) => "dataset",
+            ApiResult::DatasetDeleted(_) => "dataset_deleted",
             ApiResult::Error(_) => "error",
         }
     }
@@ -591,6 +879,9 @@ impl Serialize for ApiResponse {
             ApiResult::Engines(engines) => fields.push(("result".into(), engines.to_value())),
             ApiResult::Stats(stats) => fields.push(("result".into(), stats.to_value())),
             ApiResult::Health => fields.push(("result".into(), Value::Str("ok".into()))),
+            ApiResult::Job(job) => fields.push(("result".into(), job.to_value())),
+            ApiResult::Dataset(info) => fields.push(("result".into(), info.to_value())),
+            ApiResult::DatasetDeleted(id) => fields.push(("result".into(), Value::Str(id.clone()))),
             ApiResult::Error(error) => fields.push(("error".into(), error.to_value())),
         }
         Value::Map(fields)
@@ -623,6 +914,15 @@ impl Deserialize for ApiResponse {
                 "result",
             )?)?),
             "health" => ApiResult::Health,
+            "job" => ApiResult::Job(JobInfo::from_value(field(value, "ApiResponse", "result")?)?),
+            "dataset" => ApiResult::Dataset(EngineInfo::from_value(field(
+                value,
+                "ApiResponse",
+                "result",
+            )?)?),
+            "dataset_deleted" => ApiResult::DatasetDeleted(
+                field(value, "ApiResponse", "result")?.as_str()?.to_owned(),
+            ),
             "error" => {
                 ApiResult::Error(ApiError::from_value(field(value, "ApiResponse", "error")?)?)
             }
@@ -664,6 +964,12 @@ mod tests {
             ApiError::MethodNotAllowed {
                 method: "PUT".into(),
                 path: "/v1/analyze".into(),
+            },
+            ApiError::Overloaded {
+                retry_after_secs: 2,
+            },
+            ApiError::UnknownJob {
+                job: "job-00000042".into(),
             },
         ];
         for error in &errors {
@@ -711,6 +1017,59 @@ mod tests {
             frequencies: vec![1.5],
         };
         assert_eq!(bad.build().unwrap_err().code(), "invalid_request");
+    }
+
+    #[test]
+    fn job_and_dataset_envelopes_roundtrip() {
+        // Detach rides the analyze envelope additively: absent = false.
+        let detached = ApiRequest::analyze_detached("retail", AnalysisRequest::for_k(2));
+        let text = serde_json::to_string(&detached).unwrap();
+        assert!(text.contains("\"detach\""));
+        let back: ApiRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, detached);
+        let sync = ApiRequest::analyze("retail", AnalysisRequest::for_k(2));
+        let text = serde_json::to_string(&sync).unwrap();
+        assert!(!text.contains("\"detach\""));
+        let back: ApiRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, sync);
+
+        for request in [
+            ApiRequest::job_status("job-00000007"),
+            ApiRequest::put_dataset("retail", "1 2 3\n2 3\n"),
+            ApiRequest::delete_dataset("retail"),
+        ] {
+            let text = serde_json::to_string(&request).unwrap();
+            let back: ApiRequest = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, request);
+        }
+
+        // A queued JobInfo (no result, no error) and a failed one survive
+        // the wire; state strings are the stable lowercase names.
+        let queued = JobInfo {
+            id: "job-00000001".into(),
+            dataset: "retail".into(),
+            request: AnalysisRequest::for_k(2),
+            state: JobState::Queued,
+            progress: sigfim_core::progress::ProgressSnapshot::default(),
+            result: None,
+            error: None,
+        };
+        let response = ApiResponse::ok(ApiResult::Job(queued.clone()));
+        let text = serde_json::to_string(&response).unwrap();
+        assert!(text.contains("\"queued\""));
+        let back: ApiResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, response);
+        let failed = JobInfo {
+            state: JobState::Failed,
+            error: Some(ApiError::EngineFailure {
+                detail: "mining blew up".into(),
+            }),
+            ..queued
+        };
+        assert!(failed.state.is_terminal());
+        let text = serde_json::to_string(&failed).unwrap();
+        let back: JobInfo = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, failed);
     }
 
     #[test]

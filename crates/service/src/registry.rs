@@ -10,19 +10,22 @@
 //! analyzing the same null model serve each other's Algorithm 1 results.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sigfim_core::engine::{
-    AnalysisEngine, AnalysisRequest, AnalysisResponse, DynAnalysisEngine, ThresholdRun,
-    ThresholdStore,
+    AnalysisEngine, AnalysisRequest, AnalysisResponse, DynAnalysisEngine, ProgressObserver,
+    ThresholdRun, ThresholdStore,
 };
 use sigfim_core::CoreError;
 use sigfim_datasets::transaction::TransactionDataset;
 
+use crate::jobs::{JobTable, DEFAULT_QUEUE_CAPACITY};
+use crate::persist::ServiceDb;
 use crate::protocol::{
-    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, KernelStats,
-    ModelSpec, ServiceStats, TunerTiming,
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, JobInfo, JobState,
+    KernelStats, ModelSpec, ServiceStats, TunerTiming,
 };
 
 /// Snapshot the process-wide kernel dispatch and startup-tuner decision for
@@ -126,12 +129,47 @@ struct Tenant {
     last_profile_stats: Arc<Mutex<sigfim_core::engine::CacheStats>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EngineRegistry {
     engines: RwLock<HashMap<String, Tenant>>,
     store: ThresholdStore,
     analyze_requests: AtomicU64,
     threshold_requests: AtomicU64,
+    /// The asynchronous job tier. `Arc` so worker threads can block on
+    /// [`JobTable::claim`] without keeping the whole registry alive — a
+    /// dropped registry shuts the table down (see [`Drop`]) and the workers
+    /// exit instead of pinning it forever.
+    jobs: Arc<JobTable>,
+    /// The durability layer, once [`EngineRegistry::attach_db`] wires one
+    /// up. `None` = fully in-memory service (the pre-store behaviour).
+    persist: Mutex<Option<ServiceDb>>,
+}
+
+impl Default for EngineRegistry {
+    fn default() -> Self {
+        EngineRegistry::from_parts(ThresholdStore::default(), DEFAULT_QUEUE_CAPACITY)
+    }
+}
+
+impl Drop for EngineRegistry {
+    fn drop(&mut self) {
+        // Wake blocked job workers so their threads exit with the registry.
+        self.jobs.shutdown();
+    }
+}
+
+/// What [`EngineRegistry::attach_db`] restored from a freshly opened store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySummary {
+    /// Datasets re-registered from persisted FIMI payloads.
+    pub datasets: usize,
+    /// Threshold records preloaded into the shared store (warm cache).
+    pub thresholds: usize,
+    /// Jobs that were `Queued` at the crash and are waiting again.
+    pub jobs_requeued: usize,
+    /// Jobs that were `Running` at the crash, now deterministically
+    /// `Failed`.
+    pub jobs_interrupted: usize,
 }
 
 impl EngineRegistry {
@@ -143,18 +181,40 @@ impl EngineRegistry {
     /// An empty registry whose shared store is LRU-bounded at `capacity`
     /// threshold entries.
     pub fn with_cache_capacity(capacity: usize) -> Self {
-        EngineRegistry {
-            store: ThresholdStore::with_capacity(capacity),
-            ..EngineRegistry::default()
-        }
+        EngineRegistry::from_parts(
+            ThresholdStore::with_capacity(capacity),
+            DEFAULT_QUEUE_CAPACITY,
+        )
     }
 
     /// An empty registry sharing an existing store (e.g. with engines that
     /// live outside the registry).
     pub fn with_store(store: ThresholdStore) -> Self {
+        EngineRegistry::from_parts(store, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// An empty registry whose job queue sheds load (HTTP 429) past
+    /// `queue_capacity` pending jobs, with an optionally LRU-bounded store.
+    pub fn with_capacities(cache_capacity: Option<usize>, queue_capacity: usize) -> Self {
+        EngineRegistry::from_parts(
+            match cache_capacity {
+                Some(capacity) => ThresholdStore::with_capacity(capacity),
+                None => ThresholdStore::default(),
+            },
+            queue_capacity,
+        )
+    }
+
+    /// The one real constructor (`Drop` rules out struct-update syntax over
+    /// `default()`).
+    fn from_parts(store: ThresholdStore, queue_capacity: usize) -> Self {
         EngineRegistry {
+            engines: RwLock::default(),
             store,
-            ..EngineRegistry::default()
+            analyze_requests: AtomicU64::new(0),
+            threshold_requests: AtomicU64::new(0),
+            jobs: Arc::new(JobTable::new(queue_capacity)),
+            persist: Mutex::new(None),
         }
     }
 
@@ -257,6 +317,27 @@ impl EngineRegistry {
         engine.run(request).map_err(map_core_error)
     }
 
+    /// [`EngineRegistry::analyze`] with a progress observer attached — the
+    /// job workers' entry point, so `GET /v1/jobs/<id>` polls see live
+    /// per-`k` progress.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EngineRegistry::analyze`].
+    pub fn analyze_observed(
+        &self,
+        dataset: &str,
+        request: &AnalysisRequest,
+        observer: &dyn ProgressObserver,
+    ) -> Result<AnalysisResponse, ApiError> {
+        self.analyze_requests.fetch_add(1, Ordering::Relaxed);
+        let engine = self.engine(dataset)?;
+        let mut engine = relock!(engine.lock());
+        engine
+            .run_observed(request, observer)
+            .map_err(map_core_error)
+    }
+
     /// Run Algorithm 1 alone against an inline null model (dataset-less, the
     /// shape of the paper's Table 2). The transient engine is attached to the
     /// shared store, so repeated threshold queries for the same model — from
@@ -275,6 +356,200 @@ impl EngineRegistry {
         let model = model.build()?;
         let mut engine = AnalysisEngine::from_model(model).with_threshold_store(self.store.clone());
         engine.thresholds(request).map_err(map_core_error)
+    }
+
+    /// Register (or replace) a dataset from a FIMI-format payload and, when
+    /// a store is attached, persist the payload so a restarted server
+    /// re-registers it. The wire entry point of `PUT /v1/datasets/<id>`.
+    ///
+    /// Unlike [`EngineRegistry::register_dataset`], an existing id is
+    /// *replaced* — PUT semantics — and its thresholds stay shared (they are
+    /// keyed by model fingerprint, which changes only if the data did).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InvalidRequest`] for unparseable FIMI or an empty
+    /// dataset, [`ApiError::EngineFailure`] when the payload cannot be
+    /// persisted (the in-memory registration is rolled back — a PUT that
+    /// returns success must survive a restart).
+    pub fn put_dataset(&self, id: &str, fimi: &str) -> Result<EngineInfo, ApiError> {
+        let labeled = sigfim_datasets::fimi::read_fimi_bytes(fimi).map_err(|error| {
+            ApiError::InvalidRequest {
+                detail: format!("FIMI payload rejected: {error}"),
+            }
+        })?;
+        let replaced = self.deregister(id);
+        self.register_dataset(id, labeled.dataset)?;
+        let persist = relock!(self.persist.lock()).clone();
+        if let Some(db) = persist {
+            if let Err(error) = db.put_dataset(id, fimi) {
+                // Roll back: a PUT acknowledged durable must be durable.
+                self.deregister(id);
+                return Err(ApiError::EngineFailure {
+                    detail: format!("dataset `{id}` could not be persisted: {error}"),
+                });
+            }
+        }
+        let _ = replaced;
+        Ok(self
+            .engine_info(id)
+            .expect("the dataset was registered just above"))
+    }
+
+    /// Unregister a dataset and drop its persisted payload. The wire entry
+    /// point of `DELETE /v1/datasets/<id>`. Shared thresholds survive (other
+    /// tenants over the same null model still use them).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownDataset`] when no engine holds the id.
+    pub fn delete_dataset(&self, id: &str) -> Result<(), ApiError> {
+        if !self.deregister(id) {
+            return Err(ApiError::UnknownDataset {
+                dataset: id.to_string(),
+            });
+        }
+        let persist = relock!(self.persist.lock()).clone();
+        if let Some(db) = persist {
+            if let Err(error) = db.delete_dataset(id) {
+                eprintln!("sigfim-store: failed to drop dataset `{id}` payload: {error}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept an analysis as a background job: validate the dataset id,
+    /// enqueue, persist the `Queued` record, and return it immediately —
+    /// the submitting connection never waits on the Monte-Carlo run.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownDataset`] for an unregistered id (failing fast at
+    /// submission beats a job that only fails once claimed),
+    /// [`ApiError::Overloaded`] when the queue is at capacity.
+    pub fn submit_job(&self, dataset: &str, request: AnalysisRequest) -> Result<JobInfo, ApiError> {
+        self.engine(dataset)?;
+        let info = self.jobs.submit(dataset, request)?;
+        self.persist_job(&info);
+        Ok(info)
+    }
+
+    /// The current record of a job, with live progress when it is running.
+    /// The wire entry point of `GET /v1/jobs/<id>`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownJob`] for an id this process never minted or
+    /// recovered.
+    pub fn job_status(&self, id: &str) -> Result<JobInfo, ApiError> {
+        self.jobs.get(id).ok_or_else(|| ApiError::UnknownJob {
+            job: id.to_string(),
+        })
+    }
+
+    /// Start `workers` background threads draining the job queue (`0` is
+    /// coerced to 1). Each claimed job runs through
+    /// [`EngineRegistry::analyze_observed`] and is persisted on every
+    /// lifecycle transition. Threads hold the registry weakly: dropping the
+    /// last external `Arc` shuts the queue down and the workers exit.
+    pub fn start_job_workers(self: &Arc<Self>, workers: usize) -> usize {
+        let workers = workers.max(1);
+        for index in 0..workers {
+            let weak = Arc::downgrade(self);
+            let jobs = Arc::clone(&self.jobs);
+            std::thread::Builder::new()
+                .name(format!("sigfim-job-{index}"))
+                .spawn(move || loop {
+                    // Block on the queue holding only the table, never the
+                    // registry — claim() returns None once the registry
+                    // drops (its Drop shuts the table down).
+                    let Some((claimed, running)) = jobs.claim() else {
+                        return;
+                    };
+                    let Some(registry) = weak.upgrade() else {
+                        return;
+                    };
+                    registry.persist_job(&running);
+                    let outcome = registry.analyze_observed(
+                        &claimed.dataset,
+                        &claimed.request,
+                        claimed.observer.as_ref(),
+                    );
+                    if let Some(done) = registry.jobs.complete(&claimed.id, outcome) {
+                        registry.persist_job(&done);
+                    }
+                })
+                .expect("spawning a named worker thread cannot fail");
+        }
+        workers
+    }
+
+    /// Attach an opened store: preload the shared threshold cache from its
+    /// records (a re-queried threshold is a [`CacheStatus::Hit`] with zero
+    /// new replicates), re-register persisted datasets, recover the job
+    /// table (`Queued` re-enqueued in id order, `Running` at the crash
+    /// deterministically `Failed`), and write every future threshold,
+    /// dataset and job transition through.
+    ///
+    /// Call once, before serving traffic and before registering
+    /// CLI-provided datasets (ids already registered win over persisted
+    /// payloads and are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store reads/writes and fails on a persisted dataset whose
+    /// FIMI payload no longer parses (store tampering — the writer only
+    /// persists payloads it parsed).
+    ///
+    /// [`CacheStatus::Hit`]: sigfim_core::engine::CacheStatus
+    pub fn attach_db(&self, db: ServiceDb) -> io::Result<RecoverySummary> {
+        let mut summary = RecoverySummary {
+            thresholds: self.store.preload(db.thresholds()?),
+            ..RecoverySummary::default()
+        };
+        self.store.set_persistence(Arc::new(db.clone()));
+        for (id, fimi) in db.datasets()? {
+            let labeled = sigfim_datasets::fimi::read_fimi_bytes(&fimi).map_err(|error| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("persisted dataset `{id}` is not valid FIMI: {error}"),
+                )
+            })?;
+            if self.register_dataset(&id, labeled.dataset).is_ok() {
+                summary.datasets += 1;
+            }
+        }
+        let records = db.jobs()?;
+        summary.jobs_requeued = records
+            .iter()
+            .filter(|job| job.state == JobState::Queued)
+            .count();
+        let interrupted = self.jobs.recover(records);
+        summary.jobs_interrupted = interrupted.len();
+        for job in &interrupted {
+            db.put_job(job)?;
+        }
+        *relock!(self.persist.lock()) = Some(db);
+        Ok(summary)
+    }
+
+    /// The listing snapshot of one registered engine.
+    fn engine_info(&self, id: &str) -> Option<EngineInfo> {
+        relock!(self.engines.read())
+            .get(id)
+            .map(|tenant| tenant.info.clone())
+    }
+
+    /// Write a job record through to the store, when one is attached.
+    /// Persistence failures are reported, not propagated: the in-memory
+    /// table still serves polls; only restart durability is degraded.
+    fn persist_job(&self, job: &JobInfo) {
+        let persist = relock!(self.persist.lock()).clone();
+        if let Some(db) = persist {
+            if let Err(error) = db.put_job(job) {
+                eprintln!("sigfim-store: failed to persist job {}: {error}", job.id);
+            }
+        }
     }
 
     /// The registered engines, sorted by id. Served from the registration
@@ -354,6 +629,8 @@ impl EngineRegistry {
             kernels: kernel_stats(),
             miner_dispatch: sigfim_mining::dispatch_counts(),
             replicates: sigfim_core::replicate_stats(),
+            jobs: self.jobs.stats(),
+            store: relock!(self.persist.lock()).as_ref().map(ServiceDb::stats),
         }
     }
 
@@ -366,12 +643,28 @@ impl EngineRegistry {
             return ApiResponse::error(error);
         }
         let result = match &request.body {
-            ApiRequestBody::Analyze { dataset, request } => {
-                self.analyze(dataset, request).map(ApiResult::Analysis)
-            }
+            ApiRequestBody::Analyze {
+                dataset,
+                request,
+                detach: false,
+            } => self.analyze(dataset, request).map(ApiResult::Analysis),
+            ApiRequestBody::Analyze {
+                dataset,
+                request,
+                detach: true,
+            } => self
+                .submit_job(dataset, request.clone())
+                .map(ApiResult::Job),
             ApiRequestBody::Thresholds { model, request } => {
                 self.thresholds(model, request).map(ApiResult::Thresholds)
             }
+            ApiRequestBody::JobStatus { id } => self.job_status(id).map(ApiResult::Job),
+            ApiRequestBody::PutDataset { id, fimi } => {
+                self.put_dataset(id, fimi).map(ApiResult::Dataset)
+            }
+            ApiRequestBody::DeleteDataset { id } => self
+                .delete_dataset(id)
+                .map(|()| ApiResult::DatasetDeleted(id.clone())),
         };
         match result {
             Ok(result) => ApiResponse::ok(result),

@@ -31,8 +31,8 @@ fn sample_dataset(seed: u64) -> TransactionDataset {
         .sample(&mut StdRng::seed_from_u64(seed))
 }
 
-/// A minimal HTTP/1.1 client: one request, read to EOF (the server closes).
-fn http_call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// A minimal HTTP/1.1 client: one request, the raw response text.
+fn http_call_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -41,6 +41,12 @@ fn http_call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, St
     stream.write_all(request.as_bytes()).expect("send request");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+/// One request, read to EOF (the server closes), split into status + body.
+fn http_call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let raw = http_call_raw(addr, method, path, body);
     let status: u16 = raw
         .split_whitespace()
         .nth(1)
@@ -286,6 +292,136 @@ fn dataset_less_thresholds_match_a_direct_dataset_less_engine() {
         panic!("expected thresholds");
     };
     assert_eq!(warm_runs[0].threshold_cache, CacheStatus::Hit);
+    server.shutdown();
+}
+
+#[test]
+fn dataset_crud_and_detached_jobs_over_the_wire() {
+    use sigfim_service::{ApiError, JobState};
+
+    // Queue capacity 1: the second detached submission is shed with 429.
+    let registry = Arc::new(EngineRegistry::with_capacities(None, 1));
+    let server = start_server(Arc::clone(&registry), 3);
+    let addr = server.addr();
+
+    // PUT a dataset as a raw FIMI body — no JSON envelope, exactly the file
+    // an operator would pass to `--dataset`.
+    let mut fimi = Vec::new();
+    sigfim_datasets::fimi::write_fimi(&sample_dataset(53), &mut fimi).unwrap();
+    let fimi = String::from_utf8(fimi).unwrap();
+    // FIMI has no representation for empty transactions, so the server sees
+    // the round-tripped dataset — compare against that, not the sample.
+    let dataset = sigfim_datasets::fimi::read_fimi_bytes(&fimi)
+        .unwrap()
+        .dataset;
+    let (status, body) = http_call(addr, "PUT", "/v1/datasets/uploaded", &fimi);
+    assert_eq!(status, 200, "{body}");
+    let response: ApiResponse = serde_json::from_str(&body).unwrap();
+    let ApiResult::Dataset(info) = response.result else {
+        panic!("expected a dataset result: {body}");
+    };
+    assert_eq!(info.id, "uploaded");
+    assert_eq!(info.transactions, dataset.num_transactions());
+    assert!(info.has_dataset);
+
+    // Detach an analysis: the submission returns a queued job immediately
+    // (no workers are draining yet, so it *stays* queued — proof the
+    // submitting socket never waits on the Monte-Carlo run).
+    let request = AnalysisRequest::for_k(2).with_replicates(8);
+    let (status, response) = post_envelope(
+        addr,
+        "/v1/analyze",
+        &ApiRequest::analyze_detached("uploaded", request.clone()),
+    );
+    assert_eq!(status, 200);
+    let ApiResult::Job(job) = response.result else {
+        panic!("expected a job result");
+    };
+    assert_eq!(job.state, JobState::Queued);
+    assert!(job.result.is_none());
+
+    // The queue is full (capacity 1): the next submission is shed with the
+    // typed overloaded error AND the standard Retry-After header.
+    let shed_body =
+        serde_json::to_string(&ApiRequest::analyze_detached("uploaded", request.clone())).unwrap();
+    let raw = http_call_raw(addr, "POST", "/v1/analyze", &shed_body);
+    assert!(raw.starts_with("HTTP/1.1 429"), "{raw}");
+    assert!(raw.contains("Retry-After:"), "{raw}");
+    let shed: ApiResponse = serde_json::from_str(raw.split_once("\r\n\r\n").unwrap().1).unwrap();
+    assert!(matches!(shed.as_error(), Some(ApiError::Overloaded { .. })));
+
+    // Start a worker and poll the job to completion through the wire.
+    registry.start_job_workers(1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let done = loop {
+        let (status, body) = http_call(addr, "GET", &format!("/v1/jobs/{}", job.id), "");
+        assert_eq!(status, 200, "{body}");
+        let response: ApiResponse = serde_json::from_str(&body).unwrap();
+        let ApiResult::Job(polled) = response.result else {
+            panic!("expected a job result: {body}");
+        };
+        if polled.state.is_terminal() {
+            break polled;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never finished: {polled:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    assert_eq!(done.state, JobState::Done);
+    let result = done.result.expect("done jobs carry the response");
+    // The job's response matches a direct in-process run bit for bit.
+    let direct = AnalysisEngine::from_dataset(dataset)
+        .unwrap()
+        .run(&request)
+        .unwrap();
+    assert_eq!(result.runs[0].report, direct.runs[0].report);
+    // And the frozen progress shows the pipeline ran to completion.
+    let progress = done.progress.progress_for(2).expect("k=2 progress");
+    assert!(progress
+        .completed_stages
+        .contains(&"procedure2".to_string()));
+
+    // Unknown job ids are typed 404s.
+    let (status, body) = http_call(addr, "GET", "/v1/jobs/job-99999999", "");
+    assert_eq!(status, 404);
+    let response: ApiResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(response.as_error().unwrap().code(), "unknown_job");
+
+    // Stats expose the queue counters.
+    let (_, body) = http_call(addr, "GET", "/v1/stats", "");
+    let response: ApiResponse = serde_json::from_str(&body).unwrap();
+    let ApiResult::Stats(stats) = response.result else {
+        panic!("expected stats");
+    };
+    assert_eq!(stats.jobs.done, 1);
+    assert_eq!(stats.jobs.capacity, 1);
+    assert!(stats.store.is_none(), "no --data-dir, no store stats");
+
+    // DELETE the dataset; analyzing it afterwards is unknown_dataset, and a
+    // second DELETE 404s.
+    let (status, body) = http_call(addr, "DELETE", "/v1/datasets/uploaded", "");
+    assert_eq!(status, 200, "{body}");
+    let response: ApiResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        response.result,
+        ApiResult::DatasetDeleted("uploaded".into())
+    );
+    let (status, _) = post_envelope(
+        addr,
+        "/v1/analyze",
+        &ApiRequest::analyze("uploaded", request),
+    );
+    assert_eq!(status, 404);
+    let (status, _) = http_call(addr, "DELETE", "/v1/datasets/uploaded", "");
+    assert_eq!(status, 404);
+    // Wrong methods on the new route families are 405s, not 404s.
+    let (status, _) = http_call(addr, "POST", "/v1/jobs/job-00000001", "");
+    assert_eq!(status, 405);
+    let (status, _) = http_call(addr, "POST", "/v1/datasets/x", "");
+    assert_eq!(status, 405);
+
     server.shutdown();
 }
 

@@ -12,8 +12,8 @@ use sigfim_datasets::bitmap::DatasetBackend;
 use sigfim_mining::miner::MinerKind;
 use sigfim_mining::DispatchCounts;
 use sigfim_service::{
-    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, KernelStats,
-    ModelSpec, ServiceStats, TunerTiming, PROTOCOL_VERSION,
+    ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, JobStats,
+    KernelStats, ModelSpec, ServiceStats, StoreStats, TunerTiming, PROTOCOL_VERSION,
 };
 
 /// A JSON round-trip through the wire format.
@@ -78,6 +78,12 @@ fn all_error_variants(n: u64, text: &str) -> Vec<ApiError> {
             method: if n.is_multiple_of(2) { "PUT" } else { "DELETE" }.into(),
             path: format!("/v1/{text}"),
         },
+        ApiError::Overloaded {
+            retry_after_secs: n % 120,
+        },
+        ApiError::UnknownJob {
+            job: format!("job-{text}"),
+        },
     ]
 }
 
@@ -125,7 +131,7 @@ proptest! {
     ) {
         let text = format!("t{text_seed}");
         let variants = all_error_variants(n, &text);
-        prop_assert_eq!(variants.len(), 7, "update this test when the taxonomy grows");
+        prop_assert_eq!(variants.len(), 9, "update this test when the taxonomy grows");
         for error in variants {
             // The error itself round-trips...
             let json = serde_json::to_string(&error).unwrap();
@@ -254,6 +260,24 @@ proptest! {
                 sampled_gaps: counters[5],
                 observations_reused: counters[0].wrapping_add(counters[5]),
             },
+            jobs: JobStats {
+                queued: counters[0],
+                running: counters[1] % 8,
+                done: counters[2],
+                failed: counters[3],
+                capacity: counters[4] % 1024 + 1,
+            },
+            store: if counters[5].is_multiple_of(2) {
+                None
+            } else {
+                Some(StoreStats {
+                    segments: counters[0] % 64 + 1,
+                    live_bytes: counters[1],
+                    dead_bytes: counters[2],
+                    compactions: counters[3] % 32,
+                    last_compaction_op: counters[4].is_multiple_of(2).then_some(counters[5]),
+                })
+            },
         };
         let response = ApiResponse::ok(ApiResult::Stats(stats));
         prop_assert_eq!(round_trip(&response), response);
@@ -288,9 +312,10 @@ fn analysis_result_envelopes_round_trip_a_real_response() {
 
 #[test]
 fn stats_payloads_from_older_servers_still_parse() {
-    // The replicate counters and tuner sampler/miner picks are additive,
-    // `#[serde(default)]` fields: a stats payload serialized before they
-    // existed must still parse, reading as zeroed/empty values.
+    // The replicate counters, tuner sampler/miner picks, and the job/store
+    // counters are additive, `#[serde(default)]` fields: a stats payload
+    // serialized before they existed must still parse, reading as
+    // zeroed/empty values.
     let modern = ServiceStats {
         engines: 3,
         analyze_requests: 11,
@@ -300,9 +325,12 @@ fn stats_payloads_from_older_servers_still_parse() {
         kernels: KernelStats::default(),
         miner_dispatch: DispatchCounts::default(),
         replicates: ReplicateStats::default(),
+        jobs: JobStats::default(),
+        store: None,
     };
     let mut json = serde_json::to_string(&modern).unwrap();
     // Strip the new fields to reconstruct the previous release's payload.
+    let jobs_json = "\"jobs\":{\"queued\":0,\"running\":0,\"done\":0,\"failed\":0,\"capacity\":0}";
     for field in [
         "\"replicates\":{\"sampled_cellwise\":0,\"sampled_gaps\":0,\"observations_reused\":0},",
         ",\"replicates\":{\"sampled_cellwise\":0,\"sampled_gaps\":0,\"observations_reused\":0}",
@@ -310,15 +338,34 @@ fn stats_payloads_from_older_servers_still_parse() {
         ",\"tuner_sampler\":\"\"",
         "\"tuner_miner\":\"\",",
         ",\"tuner_miner\":\"\"",
+        &format!("{jobs_json},"),
+        &format!(",{jobs_json}"),
+        "\"store\":null,",
+        ",\"store\":null",
     ] {
         json = json.replace(field, "");
     }
     assert!(
-        !json.contains("replicates") && !json.contains("tuner_sampler"),
+        !json.contains("replicates")
+            && !json.contains("tuner_sampler")
+            && !json.contains("\"jobs\"")
+            && !json.contains("\"store\""),
         "stale-payload reconstruction failed: {json}"
     );
     let parsed: ServiceStats = serde_json::from_str(&json).expect("old payload parses");
     assert_eq!(parsed, modern);
+
+    // A pre-jobs server also omits individual JobStats fields when the
+    // struct itself arrives from a mixed-version aggregator: every field is
+    // independently defaulted.
+    let partial: JobStats = serde_json::from_str("{\"queued\":4}").unwrap();
+    assert_eq!(
+        partial,
+        JobStats {
+            queued: 4,
+            ..JobStats::default()
+        }
+    );
 }
 
 #[test]

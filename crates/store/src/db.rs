@@ -1,0 +1,753 @@
+//! The [`Db`] facade: a namespaced key-value index over the segment log,
+//! with schema-versioned namespaces, forward migrations, and compaction.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::{replay_segment, segment_ids, segment_path, Record, SegmentWriter};
+use crate::StoreStats;
+
+/// The reserved namespace holding per-namespace schema versions (4-byte LE
+/// values keyed by namespace name).
+const SCHEMA_NS: &str = "__schema__";
+
+/// Tuning knobs for a [`Db`]. The defaults suit the service tier's small,
+/// frequently rewritten records.
+#[derive(Debug, Clone, Copy)]
+pub struct DbOptions {
+    /// Rotate to a fresh segment once the active one exceeds this many
+    /// bytes, bounding per-segment replay and compaction work.
+    pub segment_bytes: u64,
+    /// Compact once this many dead (superseded) bytes accumulate.
+    pub compact_dead_bytes: u64,
+    /// `fsync` each append before returning (durability of individual
+    /// writes). Disable only for tests that hammer the store.
+    pub fsync: bool,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            segment_bytes: 4 * 1024 * 1024,
+            compact_dead_bytes: 1024 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// A forward migration hook: given an entry at schema version `from`,
+/// produce its bytes at the *current* version (`Some`) or drop it (`None`).
+pub type MigrateFn = fn(from: u32, key: &str, value: &[u8]) -> io::Result<Option<Vec<u8>>>;
+
+/// One namespace the opening binary expects, with the schema version it
+/// speaks and how to bring older entries forward.
+#[derive(Debug, Clone, Copy)]
+pub struct NamespaceDef {
+    /// The namespace name.
+    pub name: &'static str,
+    /// The schema version this binary reads and writes.
+    pub version: u32,
+    /// Migration hook for entries recorded under an older version. `None`
+    /// means entries cannot be brought forward: opening a stale namespace
+    /// then fails rather than misreading it.
+    pub migrate: Option<MigrateFn>,
+}
+
+impl NamespaceDef {
+    /// A namespace at `version` with no migration hook.
+    pub fn new(name: &'static str, version: u32) -> Self {
+        NamespaceDef {
+            name,
+            version,
+            migrate: None,
+        }
+    }
+
+    /// Attach a forward-migration hook.
+    pub fn with_migration(mut self, migrate: MigrateFn) -> Self {
+        self.migrate = Some(migrate);
+        self
+    }
+}
+
+/// A live value plus the size of the log frame currently carrying it.
+#[derive(Debug)]
+struct LiveValue {
+    value: Vec<u8>,
+    frame_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    options: DbOptions,
+    writer: SegmentWriter,
+    /// Ids of every segment on disk, ascending (the last is the writer's).
+    segments: Vec<u64>,
+    /// namespace → key → live value. `BTreeMap` keeps iteration (and thus
+    /// compaction layout and `keys()` output) deterministic.
+    live: BTreeMap<String, BTreeMap<String, LiveValue>>,
+    /// Bytes of frames still carrying a live value.
+    live_bytes: u64,
+    /// Bytes of all frames on disk (live + superseded).
+    total_bytes: u64,
+    /// Logical operation counter (puts + deletes, including migrations).
+    ops: u64,
+    compactions: u64,
+    last_compaction_op: Option<u64>,
+}
+
+impl Inner {
+    /// Fold one record into the index, keeping the byte accounting exact.
+    fn apply(&mut self, record: Record, frame_bytes: u64) {
+        self.total_bytes += frame_bytes;
+        match record {
+            Record::Put {
+                namespace,
+                key,
+                value,
+            } => {
+                let ns = self.live.entry(namespace).or_default();
+                let old = ns.insert(key, LiveValue { value, frame_bytes });
+                self.live_bytes += frame_bytes;
+                if let Some(old) = old {
+                    self.live_bytes -= old.frame_bytes;
+                }
+            }
+            Record::Delete { namespace, key } => {
+                // The delete frame itself is dead the moment it lands.
+                if let Some(ns) = self.live.get_mut(&namespace) {
+                    if let Some(old) = ns.remove(&key) {
+                        self.live_bytes -= old.frame_bytes;
+                    }
+                    if ns.is_empty() {
+                        self.live.remove(&namespace);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Append `record`, fold it into the index, and rotate the active
+    /// segment if it grew past the configured bound.
+    fn write(&mut self, record: Record) -> io::Result<()> {
+        let frame_bytes = self.writer.append(&record, self.options.fsync)?;
+        self.ops += 1;
+        self.apply(record, frame_bytes);
+        if self.writer.bytes() > self.options.segment_bytes {
+            let next = self.writer.id() + 1;
+            self.writer = SegmentWriter::create(&self.dir, next)?;
+            self.segments.push(next);
+        }
+        Ok(())
+    }
+
+    fn dead_bytes(&self) -> u64 {
+        self.total_bytes - self.live_bytes
+    }
+
+    /// Rewrite every live record into a fresh, higher-id segment, then drop
+    /// the old segments. Replay applies segments in id order, so a crash
+    /// anywhere in this sequence recovers to the same logical state: until
+    /// the old segments are gone they replay to values the new segment
+    /// merely repeats.
+    fn compact(&mut self) -> io::Result<()> {
+        let next = self.writer.id() + 1;
+        let mut writer = SegmentWriter::create(&self.dir, next)?;
+        for (namespace, entries) in &self.live {
+            for (key, live) in entries {
+                writer.append(
+                    &Record::Put {
+                        namespace: namespace.clone(),
+                        key: key.clone(),
+                        value: live.value.clone(),
+                    },
+                    false,
+                )?;
+            }
+        }
+        writer.sync()?;
+
+        let old = std::mem::replace(&mut self.segments, vec![next]);
+        self.writer = writer;
+        for id in old {
+            fs::remove_file(segment_path(&self.dir, id))?;
+        }
+        // Re-encoded frames are byte-identical to the originals, so the
+        // live-byte accounting carries over and nothing on disk is dead.
+        self.total_bytes = self.live_bytes;
+        self.compactions += 1;
+        self.last_compaction_op = Some(self.ops);
+        Ok(())
+    }
+
+    fn schema_version_of(&self, namespace: &str) -> Option<u32> {
+        let bytes = &self.live.get(SCHEMA_NS)?.get(namespace)?.value;
+        let bytes: [u8; 4] = bytes.as_slice().try_into().ok()?;
+        Some(u32::from_le_bytes(bytes))
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            segments: self.segments.len() as u64,
+            live_bytes: self.live_bytes,
+            dead_bytes: self.dead_bytes(),
+            compactions: self.compactions,
+            last_compaction_op: self.last_compaction_op,
+        }
+    }
+}
+
+/// The embedded store: open it on a data directory, read and write
+/// namespaced keys, and let compaction reclaim superseded bytes. All
+/// methods take `&self`; the store is internally synchronized and shared
+/// via `Arc<Db>`.
+#[derive(Debug)]
+pub struct Db {
+    inner: Mutex<Inner>,
+}
+
+impl Db {
+    /// Open (or create) a store in `dir`, replaying its segments, repairing
+    /// torn tails, and running forward migrations for `namespaces`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, refuses directories whose segment files are
+    /// not sigfim-store segments, and fails when a namespace was written by
+    /// a *newer* schema than this binary speaks or needs a migration no
+    /// hook covers.
+    pub fn open<P: AsRef<Path>>(
+        dir: P,
+        namespaces: &[NamespaceDef],
+        options: DbOptions,
+    ) -> io::Result<Db> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let ids = segment_ids(&dir)?;
+        let mut inner = Inner {
+            dir: dir.clone(),
+            options,
+            // Placeholder until we know the highest id; replaced below.
+            writer: match ids.last() {
+                Some(&last) => {
+                    // Replay first so the tail is repaired before appending.
+                    SegmentWriter::open_append(&dir, last)?
+                }
+                None => SegmentWriter::create(&dir, 0)?,
+            },
+            segments: if ids.is_empty() { vec![0] } else { ids.clone() },
+            live: BTreeMap::new(),
+            live_bytes: 0,
+            total_bytes: 0,
+            ops: 0,
+            compactions: 0,
+            last_compaction_op: None,
+        };
+        for &id in &ids {
+            let replay = replay_segment(&segment_path(&dir, id))?;
+            for replayed in replay.records {
+                inner.ops += 1;
+                inner.apply(replayed.record, replayed.frame_bytes);
+            }
+            if Some(id) == ids.last().copied() {
+                // The replay may have truncated a torn tail out from under
+                // the already-open writer; re-open at the repaired length.
+                inner.writer = SegmentWriter::open_append(&dir, id)?;
+            }
+        }
+        migrate(&mut inner, namespaces)?;
+        Ok(Db {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned mutex only means a sibling panicked mid-call; the index
+        // is rebuilt from the log on open and every on-disk mutation is a
+        // single atomic frame, so recovering the guard is safe.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Bind `key` in `namespace` to `value`. Durable once this returns
+    /// (under the default `fsync` option).
+    ///
+    /// # Errors
+    ///
+    /// Rejects reserved (`__`-prefixed) namespaces and empty names, and
+    /// propagates I/O failures.
+    pub fn put(&self, namespace: &str, key: &str, value: &[u8]) -> io::Result<()> {
+        validate_names(namespace, key)?;
+        let mut inner = self.lock();
+        inner.write(Record::Put {
+            namespace: namespace.to_string(),
+            key: key.to_string(),
+            value: value.to_vec(),
+        })?;
+        maybe_compact(&mut inner)
+    }
+
+    /// The value bound to `key` in `namespace`, if any.
+    pub fn get(&self, namespace: &str, key: &str) -> Option<Vec<u8>> {
+        let inner = self.lock();
+        inner
+            .live
+            .get(namespace)
+            .and_then(|ns| ns.get(key))
+            .map(|live| live.value.clone())
+    }
+
+    /// Remove `key` from `namespace`; returns whether it was present. A
+    /// missing key writes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Rejects reserved namespaces and propagates I/O failures.
+    pub fn delete(&self, namespace: &str, key: &str) -> io::Result<bool> {
+        validate_names(namespace, key)?;
+        let mut inner = self.lock();
+        let present = inner
+            .live
+            .get(namespace)
+            .is_some_and(|ns| ns.contains_key(key));
+        if !present {
+            return Ok(false);
+        }
+        inner.write(Record::Delete {
+            namespace: namespace.to_string(),
+            key: key.to_string(),
+        })?;
+        maybe_compact(&mut inner)?;
+        Ok(true)
+    }
+
+    /// The keys of `namespace`, sorted.
+    pub fn keys(&self, namespace: &str) -> Vec<String> {
+        let inner = self.lock();
+        inner
+            .live
+            .get(namespace)
+            .map(|ns| ns.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The `(key, value)` entries of `namespace`, sorted by key.
+    pub fn entries(&self, namespace: &str) -> Vec<(String, Vec<u8>)> {
+        let inner = self.lock();
+        inner
+            .live
+            .get(namespace)
+            .map(|ns| {
+                ns.iter()
+                    .map(|(key, live)| (key.clone(), live.value.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Serialize `value` as JSON (through the workspace serde shim) and bind
+    /// it to `key` in `namespace`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Db::put`], plus serialization failures surfaced as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn put_value<T: Serialize>(&self, namespace: &str, key: &str, value: &T) -> io::Result<()> {
+        let text = serde_json::to_string(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.put(namespace, key, text.as_bytes())
+    }
+
+    /// Decode the value bound to `key` in `namespace`. `Ok(None)` when the
+    /// key is absent.
+    ///
+    /// # Errors
+    ///
+    /// A present value that is not valid JSON for `T` is
+    /// [`io::ErrorKind::InvalidData`] — namespace versioning exists so this
+    /// only happens on real corruption.
+    pub fn get_value<T: Deserialize>(&self, namespace: &str, key: &str) -> io::Result<Option<T>> {
+        match self.get(namespace, key) {
+            None => Ok(None),
+            Some(bytes) => decode_json(namespace, key, &bytes).map(Some),
+        }
+    }
+
+    /// Decode every entry of `namespace`, sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Db::get_value`].
+    pub fn values<T: Deserialize>(&self, namespace: &str) -> io::Result<Vec<(String, T)>> {
+        self.entries(namespace)
+            .into_iter()
+            .map(|(key, bytes)| {
+                let value = decode_json(namespace, &key, &bytes)?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+
+    /// Rewrite live records into a fresh segment and drop the old ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn compact(&self) -> io::Result<()> {
+        self.lock().compact()
+    }
+
+    /// The schema version recorded for `namespace` (set by [`Db::open`]).
+    pub fn schema_version(&self, namespace: &str) -> Option<u32> {
+        self.lock().schema_version_of(namespace)
+    }
+
+    /// A snapshot of the store's on-disk shape.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().stats()
+    }
+}
+
+fn decode_json<T: Deserialize>(namespace: &str, key: &str, bytes: &[u8]) -> io::Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("sigfim-store: {namespace}/{key} is not UTF-8 JSON"),
+        )
+    })?;
+    serde_json::from_str(text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("sigfim-store: {namespace}/{key} failed to decode: {e}"),
+        )
+    })
+}
+
+fn validate_names(namespace: &str, key: &str) -> io::Result<()> {
+    if namespace.is_empty() || key.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "sigfim-store: namespace and key must be non-empty",
+        ));
+    }
+    if namespace.starts_with("__") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("sigfim-store: namespace `{namespace}` is reserved"),
+        ));
+    }
+    Ok(())
+}
+
+/// Compact when the configured dead-byte budget is exceeded.
+fn maybe_compact(inner: &mut Inner) -> io::Result<()> {
+    if inner.dead_bytes() >= inner.options.compact_dead_bytes {
+        inner.compact()?;
+    }
+    Ok(())
+}
+
+/// Bring every declared namespace to its current schema version.
+fn migrate(inner: &mut Inner, namespaces: &[NamespaceDef]) -> io::Result<()> {
+    for def in namespaces {
+        let has_entries = inner.live.get(def.name).is_some_and(|ns| !ns.is_empty());
+        // A namespace with data but no recorded version predates schema
+        // tagging and is treated as version 1; an empty one is simply
+        // stamped with the current version.
+        let stored =
+            inner
+                .schema_version_of(def.name)
+                .unwrap_or(if has_entries { 1 } else { def.version });
+        if stored > def.version {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "sigfim-store: namespace `{}` was written at schema v{stored} but this \
+                     binary speaks v{} — refusing to misread it",
+                    def.name, def.version
+                ),
+            ));
+        }
+        if stored < def.version {
+            let Some(migrate) = def.migrate else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "sigfim-store: namespace `{}` needs migration v{stored} → v{} but no \
+                         migration hook was provided",
+                        def.name, def.version
+                    ),
+                ));
+            };
+            let entries: Vec<(String, Vec<u8>)> = inner
+                .live
+                .get(def.name)
+                .map(|ns| {
+                    ns.iter()
+                        .map(|(key, live)| (key.clone(), live.value.clone()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            for (key, value) in entries {
+                match migrate(stored, &key, &value)? {
+                    Some(migrated) => inner.write(Record::Put {
+                        namespace: def.name.to_string(),
+                        key,
+                        value: migrated,
+                    })?,
+                    None => inner.write(Record::Delete {
+                        namespace: def.name.to_string(),
+                        key,
+                    })?,
+                }
+            }
+        }
+        if inner.schema_version_of(def.name) != Some(def.version) {
+            inner.write(Record::Put {
+                namespace: SCHEMA_NS.to_string(),
+                key: def.name.to_string(),
+                value: def.version.to_le_bytes().to_vec(),
+            })?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("sigfim-db-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path, namespaces: &[NamespaceDef]) -> Db {
+        Db::open(dir, namespaces, DbOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_survive_reopen() {
+        let dir = temp_dir("basic");
+        let defs = [NamespaceDef::new("ns", 1)];
+        let db = open(&dir, &defs);
+        db.put("ns", "a", b"1").unwrap();
+        db.put("ns", "b", b"2").unwrap();
+        db.put("ns", "a", b"1-revised").unwrap();
+        assert!(db.delete("ns", "b").unwrap());
+        assert!(!db.delete("ns", "b").unwrap());
+        drop(db);
+
+        let db = open(&dir, &defs);
+        assert_eq!(db.get("ns", "a"), Some(b"1-revised".to_vec()));
+        assert_eq!(db.get("ns", "b"), None);
+        assert_eq!(db.keys("ns"), vec!["a".to_string()]);
+        assert_eq!(db.schema_version("ns"), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reserved_and_empty_names_are_rejected() {
+        let dir = temp_dir("names");
+        let db = open(&dir, &[]);
+        assert!(db.put("__schema__", "x", b"1").is_err());
+        assert!(db.put("", "x", b"1").is_err());
+        assert!(db.put("ns", "", b"1").is_err());
+        assert!(db.delete("__anything", "x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_bytes_and_preserves_state() {
+        let dir = temp_dir("compact");
+        let defs = [NamespaceDef::new("ns", 1)];
+        let db = open(&dir, &defs);
+        for round in 0..50u32 {
+            db.put("ns", "hot", format!("value-{round}").as_bytes())
+                .unwrap();
+        }
+        db.put("ns", "cold", b"stays").unwrap();
+        let before = db.stats();
+        assert!(before.dead_bytes > 0);
+        db.compact().unwrap();
+        let after = db.stats();
+        assert_eq!(after.dead_bytes, 0);
+        assert_eq!(after.segments, 1);
+        assert_eq!(after.compactions, before.compactions + 1);
+        assert!(after.last_compaction_op.is_some());
+        assert_eq!(db.get("ns", "hot"), Some(b"value-49".to_vec()));
+        drop(db);
+
+        // The compacted log replays to the same state.
+        let db = open(&dir, &defs);
+        assert_eq!(db.get("ns", "hot"), Some(b"value-49".to_vec()));
+        assert_eq!(db.get("ns", "cold"), Some(b"stays".to_vec()));
+        assert_eq!(db.stats().dead_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_dead_byte_budget() {
+        let dir = temp_dir("auto");
+        let options = DbOptions {
+            compact_dead_bytes: 256,
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, &[NamespaceDef::new("ns", 1)], options).unwrap();
+        for round in 0..200u32 {
+            db.put("ns", "churn", format!("{round:032}").as_bytes())
+                .unwrap();
+        }
+        let stats = db.stats();
+        assert!(stats.compactions > 0);
+        assert!(stats.dead_bytes < 256 + 64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_rotation_bounds_the_active_segment() {
+        let dir = temp_dir("rotate");
+        let options = DbOptions {
+            segment_bytes: 512,
+            compact_dead_bytes: u64::MAX, // no auto-compaction in this test
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, &[NamespaceDef::new("ns", 1)], options).unwrap();
+        for i in 0..64u32 {
+            db.put("ns", &format!("k{i}"), &[0u8; 32]).unwrap();
+        }
+        assert!(db.stats().segments > 1);
+        drop(db);
+        let db = Db::open(&dir, &[NamespaceDef::new("ns", 1)], options).unwrap();
+        assert_eq!(db.keys("ns").len(), 64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_on_reopen_loses_only_the_torn_record() {
+        let dir = temp_dir("torn");
+        let defs = [NamespaceDef::new("ns", 1)];
+        let db = open(&dir, &defs);
+        db.put("ns", "a", b"1").unwrap();
+        db.put("ns", "b", b"2").unwrap();
+        drop(db);
+
+        // Simulate a crash mid-append: chop bytes off the active segment.
+        let path = segment_path(&dir, 0);
+        let len = fs::metadata(&path).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let db = open(&dir, &defs);
+        assert_eq!(db.get("ns", "a"), Some(b"1".to_vec()));
+        assert_eq!(db.get("ns", "b"), None);
+        // The repaired store keeps accepting writes.
+        db.put("ns", "b", b"2-again").unwrap();
+        assert_eq!(db.get("ns", "b"), Some(b"2-again".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn typed_json_values_roundtrip() {
+        let dir = temp_dir("typed");
+        let db = open(&dir, &[NamespaceDef::new("ns", 1)]);
+        db.put_value("ns", "list", &vec![1u64, 2, 3]).unwrap();
+        db.put_value("ns", "text", &"hello".to_string()).unwrap();
+        assert_eq!(
+            db.get_value::<Vec<u64>>("ns", "list").unwrap(),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(db.get_value::<Vec<u64>>("ns", "missing").unwrap(), None);
+        let all = db.values::<String>("ns");
+        // `list` does not decode as a String — typed sweeps fail loudly.
+        assert!(all.is_err());
+        db.put("ns", "junk", b"not json").unwrap();
+        assert!(db.get_value::<u64>("ns", "junk").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn forward_migration_rewrites_and_stamps() {
+        let dir = temp_dir("migrate");
+        {
+            let db = open(&dir, &[NamespaceDef::new("ns", 1)]);
+            db.put("ns", "keep", b"payload").unwrap();
+            db.put("ns", "drop-me", b"legacy").unwrap();
+        }
+        // v2 uppercases values and drops legacy keys.
+        fn to_v2(from: u32, key: &str, value: &[u8]) -> io::Result<Option<Vec<u8>>> {
+            assert_eq!(from, 1);
+            if key.starts_with("drop") {
+                return Ok(None);
+            }
+            Ok(Some(value.to_ascii_uppercase()))
+        }
+        let v2 = [NamespaceDef::new("ns", 2).with_migration(to_v2)];
+        let db = open(&dir, &v2);
+        assert_eq!(db.get("ns", "keep"), Some(b"PAYLOAD".to_vec()));
+        assert_eq!(db.get("ns", "drop-me"), None);
+        assert_eq!(db.schema_version("ns"), Some(2));
+        drop(db);
+        // Reopening at v2 is now a no-op (no second migration pass).
+        let db = open(&dir, &v2);
+        assert_eq!(db.get("ns", "keep"), Some(b"PAYLOAD".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migration_without_hook_and_future_schema_both_fail() {
+        let dir = temp_dir("schemafail");
+        {
+            let db = open(&dir, &[NamespaceDef::new("ns", 3)]);
+            db.put("ns", "a", b"1").unwrap();
+        }
+        // An older binary (v2) must refuse the v3 namespace...
+        assert!(Db::open(&dir, &[NamespaceDef::new("ns", 2)], DbOptions::default()).is_err());
+        // ...and a v4 binary without a migration hook must refuse too.
+        assert!(Db::open(&dir, &[NamespaceDef::new("ns", 4)], DbOptions::default()).is_err());
+        // The original version still opens fine after both refusals.
+        let db = open(&dir, &[NamespaceDef::new("ns", 3)]);
+        assert_eq!(db.get("ns", "a"), Some(b"1".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_namespace_is_stamped_at_current_version() {
+        let dir = temp_dir("stamp");
+        let db = open(&dir, &[NamespaceDef::new("fresh", 7)]);
+        assert_eq!(db.schema_version("fresh"), Some(7));
+        assert_eq!(db.schema_version("unknown"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_track_live_and_dead_bytes() {
+        let dir = temp_dir("stats");
+        let db = open(&dir, &[NamespaceDef::new("ns", 1)]);
+        let empty = db.stats();
+        assert_eq!(empty.dead_bytes, 0);
+        db.put("ns", "a", b"payload").unwrap();
+        let one = db.stats();
+        assert!(one.live_bytes > empty.live_bytes);
+        db.put("ns", "a", b"payload").unwrap();
+        let two = db.stats();
+        assert_eq!(two.live_bytes, one.live_bytes);
+        assert!(two.dead_bytes > 0);
+        db.delete("ns", "a").unwrap();
+        let gone = db.stats();
+        assert_eq!(gone.live_bytes, empty.live_bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

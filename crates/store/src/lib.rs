@@ -1,0 +1,85 @@
+//! # sigfim-store
+//!
+//! An embedded, crash-safe, versioned key-value store for the `sigfim`
+//! service tier. No external dependencies: the on-disk format is a set of
+//! **append-only log segments** (`seg-NNNNNN.log`) of CRC-32-framed records,
+//! replayed into an in-memory index on open and periodically rewritten by
+//! **compaction** once enough dead bytes accumulate.
+//!
+//! Design points:
+//!
+//! * **Torn-tail recovery.** Every record is framed `[crc32][len][payload]`.
+//!   A crash mid-append leaves a frame whose length overruns the file or
+//!   whose CRC does not match; on open the segment is truncated at the last
+//!   intact frame and the store continues from there. A record is durable
+//!   once its `put` returns (each append is `fsync`ed by default).
+//! * **Compaction without a manifest.** Live records are rewritten into a
+//!   fresh segment with a *higher* id, synced, and only then are the old
+//!   segments removed. Replay applies segments in id order with
+//!   later-record-wins semantics, so a crash at any point between those two
+//!   steps replays to the same state.
+//! * **Versioned namespaces.** Keys live in flat namespaces (datasets,
+//!   thresholds, jobs, ...). Each namespace carries a `schema_version` in
+//!   the reserved `__schema__` namespace; [`Db::open`] takes the versions
+//!   the binary expects plus forward-migration hooks, migrates stale
+//!   entries on open, and refuses namespaces from a *newer* binary.
+//! * **Typed facade.** [`Db::put_value`] / [`Db::get_value`] serialize
+//!   through the workspace serde shim (JSON payloads), so callers store
+//!   typed records without the store depending on their types.
+//!
+//! ```
+//! use sigfim_store::{Db, DbOptions, NamespaceDef};
+//!
+//! let dir = std::env::temp_dir().join(format!("sigfim-store-doc-{}", std::process::id()));
+//! let namespaces = [NamespaceDef::new("answers", 1)];
+//! let db = Db::open(&dir, &namespaces, DbOptions::default()).unwrap();
+//! db.put("answers", "everything", b"42").unwrap();
+//! drop(db);
+//! // Reopen: the record survives the restart.
+//! let db = Db::open(&dir, &namespaces, DbOptions::default()).unwrap();
+//! assert_eq!(db.get("answers", "everything"), Some(b"42".to_vec()));
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod crc;
+pub mod db;
+pub mod log;
+
+pub use crc::crc32;
+pub use db::{Db, DbOptions, MigrateFn, NamespaceDef};
+
+use serde::{Deserialize, Serialize};
+
+/// Namespace names used by the `sigfim` service tier. The store itself does
+/// not interpret them; they are collected here so every layer agrees.
+pub mod ns {
+    /// Registered datasets, keyed by dataset id; values are FIMI text.
+    pub const DATASETS: &str = "datasets";
+    /// Persisted `ThresholdStore` entries, keyed by threshold-key string;
+    /// values are JSON `ThresholdRecord`s.
+    pub const THRESHOLDS: &str = "thresholds";
+    /// Observation-store metadata (which Monte-Carlo observation pools were
+    /// materialized), keyed by `fingerprint-k`.
+    pub const OBSERVATIONS: &str = "observations";
+    /// Job records, keyed by job id; values are JSON `JobInfo`s.
+    pub const JOBS: &str = "jobs";
+}
+
+/// A point-in-time summary of the store's on-disk shape, surfaced through
+/// the service's `/v1/stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of log segments on disk (including the active one).
+    pub segments: u64,
+    /// Bytes of frames whose records are still live (current value of some
+    /// key).
+    pub live_bytes: u64,
+    /// Bytes of superseded frames — reclaimed by the next compaction.
+    pub dead_bytes: u64,
+    /// How many compactions this store has run since it was opened.
+    pub compactions: u64,
+    /// The logical operation count at the last compaction (`None` if this
+    /// open has not compacted yet). A logical counter, not wall time, so
+    /// stats stay deterministic.
+    pub last_compaction_op: Option<u64>,
+}

@@ -1,0 +1,485 @@
+//! The on-disk log format: CRC-framed records in append-only segments.
+//!
+//! A segment file is an 8-byte magic header followed by frames:
+//!
+//! ```text
+//! [crc32: u32 LE] [len: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where the CRC covers the payload and the payload encodes one record:
+//!
+//! ```text
+//! [op: u8] [ns_len: u32 LE] [ns] [key_len: u32 LE] [key] ([val_len: u32 LE] [val])
+//! ```
+//!
+//! with `op = 1` (put, value present) or `op = 2` (delete). Replay walks the
+//! frames in order; the first frame that is truncated, overlong, or fails
+//! its CRC marks a torn tail from a crashed append — the segment is
+//! truncated there and the remainder discarded. A frame whose CRC *passes*
+//! but whose payload does not decode is not a torn write and is reported as
+//! corruption instead of being silently dropped.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+
+/// Identifies a sigfim-store segment file, format revision 1.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"SIGFIMS1";
+
+/// Frame header bytes (crc + len).
+const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single record payload; a length field above this is
+/// treated as corruption rather than an allocation request.
+pub const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// One logical store operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Bind `key` in `namespace` to `value`.
+    Put {
+        /// The namespace the key lives in.
+        namespace: String,
+        /// The key.
+        key: String,
+        /// The bound value.
+        value: Vec<u8>,
+    },
+    /// Remove `key` from `namespace`.
+    Delete {
+        /// The namespace the key lives in.
+        namespace: String,
+        /// The key.
+        key: String,
+    },
+}
+
+impl Record {
+    /// The namespace this record touches.
+    pub fn namespace(&self) -> &str {
+        match self {
+            Record::Put { namespace, .. } | Record::Delete { namespace, .. } => namespace,
+        }
+    }
+
+    /// The key this record touches.
+    pub fn key(&self) -> &str {
+        match self {
+            Record::Put { key, .. } | Record::Delete { key, .. } => key,
+        }
+    }
+}
+
+/// Encode a record into a frame payload (without the frame header).
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    fn push_chunk(out: &mut Vec<u8>, bytes: &[u8]) {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let mut out = Vec::new();
+    match record {
+        Record::Put {
+            namespace,
+            key,
+            value,
+        } => {
+            out.push(OP_PUT);
+            push_chunk(&mut out, namespace.as_bytes());
+            push_chunk(&mut out, key.as_bytes());
+            push_chunk(&mut out, value);
+        }
+        Record::Delete { namespace, key } => {
+            out.push(OP_DELETE);
+            push_chunk(&mut out, namespace.as_bytes());
+            push_chunk(&mut out, key.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a frame payload back into a record.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] when the payload does not follow
+/// the record layout. Because callers only decode CRC-verified payloads,
+/// such a failure indicates real corruption (or a format bug), not a torn
+/// write.
+pub fn decode_record(payload: &[u8]) -> io::Result<Record> {
+    fn take_chunk<'a>(payload: &'a [u8], at: &mut usize) -> io::Result<&'a [u8]> {
+        let header = payload
+            .get(*at..*at + 4)
+            .ok_or_else(|| corrupt("record chunk header out of bounds"))?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        *at += 4;
+        let chunk = payload
+            .get(*at..*at + len)
+            .ok_or_else(|| corrupt("record chunk body out of bounds"))?;
+        *at += len;
+        Ok(chunk)
+    }
+    fn take_string(payload: &[u8], at: &mut usize) -> io::Result<String> {
+        let chunk = take_chunk(payload, at)?;
+        String::from_utf8(chunk.to_vec()).map_err(|_| corrupt("record name is not UTF-8"))
+    }
+
+    let op = *payload.first().ok_or_else(|| corrupt("empty record"))?;
+    let mut at = 1usize;
+    let namespace = take_string(payload, &mut at)?;
+    let key = take_string(payload, &mut at)?;
+    let record = match op {
+        OP_PUT => Record::Put {
+            namespace,
+            key,
+            value: take_chunk(payload, &mut at)?.to_vec(),
+        },
+        OP_DELETE => Record::Delete { namespace, key },
+        other => return Err(corrupt(&format!("unknown record op {other}"))),
+    };
+    if at != payload.len() {
+        return Err(corrupt("trailing bytes after record"));
+    }
+    Ok(record)
+}
+
+fn corrupt(detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("sigfim-store: {detail}"),
+    )
+}
+
+/// The path of segment `id` inside `dir`.
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.log"))
+}
+
+/// The ids of the segments present in `dir`, ascending. Directory-entry
+/// order is not portable, so the ids are sorted before use.
+pub fn segment_ids(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// Append half of a segment: owns the file handle, tracks the byte length.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    id: u64,
+    bytes: u64,
+}
+
+impl SegmentWriter {
+    /// Create segment `id` in `dir` and write its magic header.
+    pub fn create(dir: &Path, id: u64) -> io::Result<SegmentWriter> {
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(segment_path(dir, id))?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.sync_data()?;
+        Ok(SegmentWriter {
+            file,
+            id,
+            bytes: SEGMENT_MAGIC.len() as u64,
+        })
+    }
+
+    /// Reopen an existing (already replayed and tail-repaired) segment for
+    /// further appends.
+    pub fn open_append(dir: &Path, id: u64) -> io::Result<SegmentWriter> {
+        let mut file = OpenOptions::new().write(true).open(segment_path(dir, id))?;
+        let bytes = file.seek(SeekFrom::End(0))?;
+        Ok(SegmentWriter { file, id, bytes })
+    }
+
+    /// This segment's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current byte length of the segment, header included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one record frame; returns the frame's size in bytes. The frame
+    /// CRC is computed here — every byte that reaches the file is covered.
+    /// When `sync` is set the write is flushed to stable storage before
+    /// returning (callers batching many appends sync once at the end).
+    pub fn append(&mut self, record: &Record, sync: bool) -> io::Result<u64> {
+        let payload = encode_record(record);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        if sync {
+            self.file.sync_data()?;
+        }
+        self.bytes += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Flush all appended frames to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// One record recovered by replay, with the size of the frame that carried
+/// it (the unit of the store's live/dead byte accounting).
+#[derive(Debug)]
+pub struct ReplayedRecord {
+    /// The decoded record.
+    pub record: Record,
+    /// The frame size in bytes (header + payload).
+    pub frame_bytes: u64,
+}
+
+/// The outcome of replaying one segment.
+#[derive(Debug)]
+pub struct Replay {
+    /// The intact records, in append order.
+    pub records: Vec<ReplayedRecord>,
+    /// Whether a torn tail was truncated away.
+    pub repaired: bool,
+    /// The segment's byte length after any repair.
+    pub bytes: u64,
+}
+
+/// Replay segment `path`: decode every intact frame and truncate the file at
+/// the first torn one.
+///
+/// # Errors
+///
+/// Propagates I/O failures, a wrong magic header (the file is not ours — it
+/// is left untouched), and CRC-valid frames that fail to decode.
+pub fn replay_segment(path: &Path) -> io::Result<Replay> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+
+    let truncate_at = |file: &mut File, offset: usize| -> io::Result<()> {
+        file.set_len(offset as u64)?;
+        file.sync_data()
+    };
+
+    if data.len() < SEGMENT_MAGIC.len() {
+        // A crash between create() and the header sync can leave a short
+        // file; treat it as an empty segment.
+        truncate_at(&mut file, 0)?;
+        // Rewrite the header so the segment can be appended to again.
+        file.write_all(SEGMENT_MAGIC)?;
+        file.sync_data()?;
+        return Ok(Replay {
+            records: Vec::new(),
+            repaired: true,
+            bytes: SEGMENT_MAGIC.len() as u64,
+        });
+    }
+    if &data[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(corrupt(&format!(
+            "{} is not a sigfim-store segment (bad magic)",
+            path.display()
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut offset = SEGMENT_MAGIC.len();
+    let mut repaired = false;
+    while offset < data.len() {
+        let intact = frame_at(&data, offset);
+        let Some((payload, frame_bytes)) = intact else {
+            // Torn tail: a crash mid-append. Drop it and stop.
+            truncate_at(&mut file, offset)?;
+            repaired = true;
+            break;
+        };
+        records.push(ReplayedRecord {
+            record: decode_record(payload)?,
+            frame_bytes,
+        });
+        offset += frame_bytes as usize;
+    }
+    Ok(Replay {
+        records,
+        repaired,
+        bytes: offset as u64,
+    })
+}
+
+/// The CRC-verified payload of the frame starting at `offset`, or `None` if
+/// the frame is truncated, overlong, or fails its CRC.
+fn frame_at(data: &[u8], offset: usize) -> Option<(&[u8], u64)> {
+    let header = data.get(offset..offset + FRAME_HEADER)?;
+    let stored_crc = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let body_start = offset + FRAME_HEADER;
+    let payload = data.get(body_start..body_start + len as usize)?;
+    if crc32(payload) != stored_crc {
+        return None;
+    }
+    Some((payload, (FRAME_HEADER + len as usize) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sigfim-log-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn put(ns: &str, key: &str, value: &[u8]) -> Record {
+        Record::Put {
+            namespace: ns.into(),
+            key: key.into(),
+            value: value.to_vec(),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let records = [
+            put("ns", "key", b"value"),
+            put("", "", b""),
+            Record::Delete {
+                namespace: "jobs".into(),
+                key: "job-7".into(),
+            },
+        ];
+        for record in &records {
+            let payload = encode_record(record);
+            assert_eq!(&decode_record(&payload).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(decode_record(&[]).is_err());
+        assert!(decode_record(&[9, 0, 0, 0, 0]).is_err()); // unknown op
+        assert!(decode_record(&[OP_PUT, 200, 0, 0, 0]).is_err()); // overlong chunk
+        let mut trailing = encode_record(&put("a", "b", b"c"));
+        trailing.push(0);
+        assert!(decode_record(&trailing).is_err());
+    }
+
+    #[test]
+    fn write_then_replay() {
+        let dir = temp_dir("roundtrip");
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        writer.append(&put("ns", "a", b"1"), true).unwrap();
+        writer
+            .append(
+                &Record::Delete {
+                    namespace: "ns".into(),
+                    key: "a".into(),
+                },
+                true,
+            )
+            .unwrap();
+        let replay = replay_segment(&segment_path(&dir, 0)).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.repaired);
+        assert_eq!(replay.records[0].record, put("ns", "a", b"1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_segment_stays_usable() {
+        let dir = temp_dir("torn");
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        writer.append(&put("ns", "a", b"1"), true).unwrap();
+        let intact_len = writer.bytes();
+        writer.append(&put("ns", "b", b"2"), true).unwrap();
+        drop(writer);
+
+        // Chop the second frame in half — a crash mid-append.
+        let path = segment_path(&dir, 0);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(intact_len + 3).unwrap();
+        drop(file);
+
+        let replay = replay_segment(&path).unwrap();
+        assert!(replay.repaired);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.bytes, intact_len);
+
+        // The repaired segment accepts further appends and replays cleanly.
+        let mut writer = SegmentWriter::open_append(&dir, 0).unwrap();
+        assert_eq!(writer.bytes(), intact_len);
+        writer.append(&put("ns", "c", b"3"), true).unwrap();
+        let replay = replay_segment(&path).unwrap();
+        assert!(!replay.repaired);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].record, put("ns", "c", b"3"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_crc_truncates_from_the_flip() {
+        let dir = temp_dir("crcflip");
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        writer.append(&put("ns", "a", b"1"), true).unwrap();
+        let first_end = writer.bytes() as usize;
+        writer.append(&put("ns", "b", b"2"), true).unwrap();
+        drop(writer);
+
+        let path = segment_path(&dir, 0);
+        let mut data = fs::read(&path).unwrap();
+        let payload_byte = first_end + FRAME_HEADER; // first payload byte of frame 2
+        data[payload_byte] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+
+        let replay = replay_segment(&path).unwrap();
+        assert!(replay.repaired);
+        assert_eq!(replay.records.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_refused_not_clobbered() {
+        let dir = temp_dir("foreign");
+        let path = segment_path(&dir, 0);
+        fs::write(&path, b"definitely not a segment").unwrap();
+        assert!(replay_segment(&path).is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"definitely not a segment");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_ids_sorts_and_ignores_strangers() {
+        let dir = temp_dir("ids");
+        for id in [3u64, 0, 11] {
+            drop(SegmentWriter::create(&dir, id).unwrap());
+        }
+        fs::write(dir.join("notes.txt"), b"x").unwrap();
+        assert_eq!(segment_ids(&dir).unwrap(), vec![0, 3, 11]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

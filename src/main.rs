@@ -16,6 +16,7 @@
 //!        [--kernels scalar|unrolled|avx2|avx512|auto]
 //!        [--sampler cellwise|gaps|auto]
 //!        [--swap-null [<swaps-per-entry>]]
+//!        [--data-dir <dir>] [--queue-capacity <n>] [--job-workers <n>]
 //! ```
 //!
 //! The dataset must be in the FIMI `.dat` format (one whitespace-separated
@@ -35,8 +36,18 @@
 //! `sigfim serve` registers each dataset as a tenant of a multi-tenant
 //! HTTP/JSON service (one dyn-erased engine per dataset, one shared
 //! LRU-bounded threshold store across all of them) and serves
-//! `POST /v1/analyze`, `POST /v1/thresholds`, `GET /v1/engines`,
-//! `GET /v1/stats` and `GET /healthz` until killed.
+//! `POST /v1/analyze`, `POST /v1/thresholds`, `PUT|DELETE /v1/datasets/<id>`,
+//! `GET /v1/jobs/<id>`, `GET /v1/engines`, `GET /v1/stats` and `GET /healthz`
+//! until killed. With `--data-dir` the service opens a [`sigfim-store`]
+//! database there: uploaded datasets, estimated thresholds and job records
+//! are persisted, and a restarted server replays them — same datasets, warm
+//! threshold cache, queued jobs re-enqueued, interrupted jobs failed
+//! deterministically. Detached analyses (`"detach": true` on the analyze
+//! envelope) return a job id immediately; `--job-workers` background threads
+//! drain the queue, which sheds with HTTP 429 + `Retry-After` past
+//! `--queue-capacity` pending jobs.
+//!
+//! [`sigfim-store`]: sigfim::service::ServiceDb
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -108,6 +119,7 @@ const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--al
     \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]\n\
     \x20       [--kernels scalar|unrolled|avx2|avx512|auto] [--sampler cellwise|gaps|auto]\n\
     \x20       [--swap-null [<swaps-per-entry>]]\n\
+    \x20       [--data-dir <dir>] [--queue-capacity <n>] [--job-workers <n>]\n\
     \n\
     --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
     range (2..5 == 2..=5) that runs as one cached multi-k batch.\n\
@@ -127,8 +139,13 @@ const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--al
     startup tuner choose per run.\n\
     `serve` starts the multi-tenant HTTP/JSON front-end: one engine per\n\
     dataset, one shared LRU threshold store (--cache-capacity bounds it),\n\
-    endpoints POST /v1/analyze, POST /v1/thresholds, GET /v1/engines,\n\
-    GET /v1/stats, GET /healthz.";
+    endpoints POST /v1/analyze, POST /v1/thresholds, PUT|DELETE\n\
+    /v1/datasets/<id>, GET /v1/jobs/<id>, GET /v1/engines, GET /v1/stats,\n\
+    GET /healthz. --data-dir makes the service durable: uploaded datasets,\n\
+    thresholds and job records persist there and a restarted server replays\n\
+    them (warm cache, re-queued jobs); with it, the dataset list may be\n\
+    empty. Detached analyses queue up to --queue-capacity jobs (shed with\n\
+    429 beyond that) drained by --job-workers background threads.";
 
 /// Parse a `--k` specification: `3`, `2,3,4`, `2..5` or `2..=5` (both
 /// range forms are inclusive of the upper bound).
@@ -326,6 +343,14 @@ struct ServeOptions {
     kernels: Option<KernelMode>,
     /// `--sampler` replicate-sampler selection (see [`CliOptions::sampler`]).
     sampler: Option<SamplerMode>,
+    /// `--data-dir`: directory of the durable store. `None` runs the service
+    /// purely in memory, exactly as before the store existed.
+    data_dir: Option<String>,
+    /// `--queue-capacity`: pending detached jobs before submissions shed
+    /// with 429.
+    queue_capacity: usize,
+    /// `--job-workers`: background threads draining the job queue.
+    job_workers: usize,
 }
 
 /// Split a `id=path` registration spec; a bare path registers under its file
@@ -356,12 +381,22 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
         swap_null: None,
         kernels: None,
         sampler: None,
+        data_dir: None,
+        queue_capacity: sigfim::service::DEFAULT_QUEUE_CAPACITY,
+        job_workers: 1,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
             "--addr" => options.addr = args.next().ok_or("--addr requires a value")?,
+            "--data-dir" => {
+                options.data_dir = Some(args.next().ok_or("--data-dir requires a value")?)
+            }
+            "--queue-capacity" => {
+                options.queue_capacity = parse_value(&mut args, "--queue-capacity")?
+            }
+            "--job-workers" => options.job_workers = parse_value(&mut args, "--job-workers")?,
             "--kernels" => {
                 let name = args.next().ok_or("--kernels requires a value")?;
                 options.kernels = Some(name.parse::<KernelMode>()?);
@@ -394,8 +429,10 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
             other => return Err(format!("serve: unknown argument `{other}`\n{USAGE}")),
         }
     }
-    if options.datasets.is_empty() {
-        return Err(format!("serve: at least one dataset is required\n{USAGE}"));
+    if options.datasets.is_empty() && options.data_dir.is_none() {
+        return Err(format!(
+            "serve: at least one dataset (or --data-dir) is required\n{USAGE}"
+        ));
     }
     Ok(options)
 }
@@ -403,10 +440,10 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
 /// Run the service front-end until killed.
 fn serve_main(options: &ServeOptions) -> Result<(), String> {
     configure_kernel_startup(options.kernels, options.sampler)?;
-    let registry = match options.cache_capacity {
-        Some(capacity) => EngineRegistry::with_cache_capacity(capacity),
-        None => EngineRegistry::new(),
-    };
+    let registry = Arc::new(EngineRegistry::with_capacities(
+        options.cache_capacity,
+        options.queue_capacity,
+    ));
     for (id, path) in &options.datasets {
         let labeled =
             read_fimi_file(path).map_err(|error| format!("cannot read `{path}`: {error}"))?;
@@ -428,8 +465,24 @@ fn serve_main(options: &ServeOptions) -> Result<(), String> {
         );
     }
 
+    // Durable mode: replay the store *after* the CLI datasets register, so a
+    // file passed on the command line wins over a stale persisted copy of
+    // the same id, then start the workers so recovered jobs drain.
+    if let Some(dir) = &options.data_dir {
+        let db = sigfim::service::ServiceDb::open(dir)
+            .map_err(|error| format!("cannot open --data-dir `{dir}`: {error}"))?;
+        let summary = registry
+            .attach_db(db)
+            .map_err(|error| format!("cannot replay --data-dir `{dir}`: {error}"))?;
+        println!(
+            "restored from `{dir}`: {} datasets, {} thresholds, {} jobs re-queued, {} interrupted",
+            summary.datasets, summary.thresholds, summary.jobs_requeued, summary.jobs_interrupted
+        );
+    }
+    registry.start_job_workers(options.job_workers);
+
     let server = serve(
-        Arc::new(registry),
+        Arc::clone(&registry),
         &ServerConfig {
             addr: options.addr.clone(),
             workers: options.workers,
@@ -438,8 +491,10 @@ fn serve_main(options: &ServeOptions) -> Result<(), String> {
     .map_err(|error| format!("cannot bind `{}`: {error}", options.addr))?;
     println!("sigfim service listening on http://{}", server.addr());
     println!("  POST /v1/analyze     {{protocol_version, kind: \"analyze\", dataset, request}}");
+    println!("                       (+ \"detach\": true to queue a background job)");
     println!("  POST /v1/thresholds  {{protocol_version, kind: \"thresholds\", model, request}}");
-    println!("  GET  /v1/engines | /v1/stats | /healthz");
+    println!("  PUT|DELETE /v1/datasets/<id>   (PUT body: raw FIMI)");
+    println!("  GET  /v1/jobs/<id> | /v1/engines | /v1/stats | /healthz");
     server.join();
     Ok(())
 }
@@ -770,5 +825,40 @@ mod tests {
         assert!(parse_serve(&[]).is_err());
         assert!(parse_serve(&["x.dat", "--nope"]).is_err());
         assert!(parse_serve(&["--help"]).unwrap_err().contains("serve"));
+    }
+
+    #[test]
+    fn serve_durability_flags_are_parsed() {
+        let defaults = parse_serve(&["x.dat"]).unwrap();
+        assert_eq!(defaults.data_dir, None);
+        assert_eq!(
+            defaults.queue_capacity,
+            sigfim::service::DEFAULT_QUEUE_CAPACITY
+        );
+        assert_eq!(defaults.job_workers, 1);
+
+        let durable = parse_serve(&[
+            "x.dat",
+            "--data-dir",
+            "/var/lib/sigfim",
+            "--queue-capacity",
+            "16",
+            "--job-workers",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(durable.data_dir.as_deref(), Some("/var/lib/sigfim"));
+        assert_eq!(durable.queue_capacity, 16);
+        assert_eq!(durable.job_workers, 3);
+
+        // With a data dir the dataset list may be empty (persisted datasets
+        // come back on their own); without one it may not.
+        let storeless = parse_serve(&["--data-dir", "/tmp/sigfim"]).unwrap();
+        assert!(storeless.datasets.is_empty());
+        assert!(parse_serve(&["--queue-capacity", "8"]).is_err());
+        assert!(parse_serve(&["x.dat", "--data-dir"]).is_err());
+        assert!(parse_serve(&["x.dat", "--queue-capacity", "many"]).is_err());
+        assert!(USAGE.contains("--data-dir"));
+        assert!(USAGE.contains("--job-workers"));
     }
 }
