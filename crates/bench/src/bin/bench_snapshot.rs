@@ -3,11 +3,18 @@
 //! and writes the medians to `BENCH_counting.json` (group → median ns).
 //!
 //! Criterion runs take minutes; CI wants a single-digit-seconds artifact that
-//! tracks the same workloads — kernel dispatch, sharded counting, and
-//! subtree-parallel Eclat — so a regression shows up as a diff in the snapshot
-//! file, not as a silently slower merge. The numbers are medians of
-//! `SAMPLES` timed repetitions after one warm-up pass; absolute values vary
-//! with the runner, relative movement between adjacent commits is the signal.
+//! tracks the same workloads — kernel dispatch, sharded counting, spilled
+//! (out-of-core) counting, and subtree-parallel Eclat — so a regression shows
+//! up as a diff in the snapshot file, not as a silently slower merge. The
+//! numbers are medians of `SAMPLES` timed repetitions after one warm-up pass;
+//! absolute values vary with the runner, relative movement between adjacent
+//! commits is the signal.
+//!
+//! On Linux each group also records its peak resident set (`VmHWM` from
+//! `/proc/self/status`, watermark reset between groups via
+//! `/proc/self/clear_refs`) as a `<group>/peak_rss_kb` entry — the footprint
+//! axis the out-of-core work optimizes, tracked beside the latency axis it
+//! must not regress.
 //!
 //! ```text
 //! cargo run -p sigfim-bench --release --bin bench_snapshot [-- <output-path>]
@@ -23,12 +30,13 @@ use sigfim_datasets::bitmap::{with_bitmap_scratch, BitmapDataset};
 use sigfim_datasets::kernels::{kernels_for, KernelMode};
 use sigfim_datasets::random::BernoulliModel;
 use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::spill::{ShardResidency, SpillMode, SpilledShards, MMAP_SUPPORTED};
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
 use sigfim_exec::{substream, ExecutionPolicy};
 use sigfim_mining::counting::count_candidates_bitmap;
 use sigfim_mining::eclat::Eclat;
 use sigfim_mining::par_eclat::ParallelEclat;
-use sigfim_mining::sharded::count_candidates_sharded;
+use sigfim_mining::sharded::{count_candidates_sharded, count_candidates_spilled};
 
 /// Smaller than the criterion workload so the whole snapshot stays fast.
 const TRANSACTIONS: usize = 4_000;
@@ -78,6 +86,45 @@ fn median_ns(mut run: impl FnMut()) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// `VmHWM` (peak resident set, kB) from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn vm_hwm_kb() -> Option<u64> {
+    None
+}
+
+/// Reset the peak-RSS watermark to the current RSS so each group's `VmHWM`
+/// reflects that group alone. `false` when the kernel refuses (non-Linux, or
+/// a locked-down `/proc`) — peak-RSS entries are then omitted.
+#[cfg(target_os = "linux")]
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn reset_peak_rss() -> bool {
+    false
+}
+
+/// Time one snapshot group and record its median latency plus, where the
+/// watermark is resettable, the group's peak resident set.
+fn record(entries: &mut Vec<(String, u64)>, name: String, run: impl FnMut()) {
+    let tracked = reset_peak_rss();
+    let ns = median_ns(run);
+    entries.push((name.clone(), ns));
+    if tracked {
+        if let Some(kb) = vm_hwm_kb() {
+            entries.push((format!("{name}/peak_rss_kb"), kb));
+        }
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -106,61 +153,97 @@ fn main() {
         }
         let kernels = kernels_for(mode);
         let mut scratch = vec![0u64; words];
-        let ns = median_ns(|| {
-            let mut total = 0u64;
-            for candidate in &candidates {
-                scratch.copy_from_slice(bitmap.column(candidate[0]));
-                let mut support = kernels.popcount_slice(&scratch);
-                for &item in &candidate[1..] {
-                    support = kernels.and_count_into(&mut scratch, bitmap.column(item));
+        record(
+            &mut entries,
+            format!("kernels/{mode}/candidate_batch"),
+            || {
+                let mut total = 0u64;
+                for candidate in &candidates {
+                    scratch.copy_from_slice(bitmap.column(candidate[0]));
+                    let mut support = kernels.popcount_slice(&scratch);
+                    for &item in &candidate[1..] {
+                        support = kernels.and_count_into(&mut scratch, bitmap.column(item));
+                    }
+                    total += support;
                 }
-                total += support;
-            }
-            black_box(total);
-        });
-        entries.push((format!("kernels/{mode}/candidate_batch"), ns));
+                black_box(total);
+            },
+        );
     }
 
     // Sharded vs unsharded candidate counting.
-    entries.push((
+    record(
+        &mut entries,
         "counting/bitmap_unsharded".to_string(),
-        median_ns(|| {
+        || {
             black_box(count_candidates_bitmap(&bitmap, &candidates));
-        }),
-    ));
+        },
+    );
     for workers in [1usize, 2] {
         let policy = ExecutionPolicy::from_threads(workers);
-        entries.push((
+        record(
+            &mut entries,
             format!("counting/sharded_workers{workers}"),
-            median_ns(|| {
+            || {
                 black_box(count_candidates_sharded(&sharded, &candidates, policy));
-            }),
-        ));
+            },
+        );
+    }
+
+    // Out-of-core counting: the same candidate batch against a spilled view,
+    // fully pinned (budget covers everything: measures the fault-free guard
+    // overhead) and fully cold (1-byte budget: every shard faults from its
+    // spill file once per batch).
+    let spill_mode = if MMAP_SUPPORTED {
+        SpillMode::Mmap
+    } else {
+        SpillMode::Read
+    };
+    for (tag, budget) in [("pinned", u64::MAX), ("cold", 1u64)] {
+        let residency = ShardResidency {
+            budget_bytes: budget,
+            mode: spill_mode,
+            dir: None,
+        };
+        let spilled = SpilledShards::spill_dataset(&dataset, &residency).expect("spill to tmp");
+        for workers in [1usize, 2] {
+            let policy = ExecutionPolicy::from_threads(workers);
+            record(
+                &mut entries,
+                format!("counting/spilled_{tag}_workers{workers}"),
+                || {
+                    black_box(count_candidates_spilled(&spilled, &candidates, policy));
+                },
+            );
+        }
     }
 
     // Subtree-parallel bitset Eclat, k = 3 profile-mining floor.
-    entries.push((
+    record(
+        &mut entries,
         "par_eclat/eclat_sequential_k3".to_string(),
-        median_ns(|| {
+        || {
             black_box(Eclat.mine_k_bitmap(&bitmap, 3, 1).unwrap().len());
-        }),
-    ));
+        },
+    );
     for workers in [1usize, 2, 8] {
         let miner = ParallelEclat::new(ExecutionPolicy::from_threads(workers));
-        entries.push((
+        record(
+            &mut entries,
             format!("par_eclat/workers{workers}_k3"),
-            median_ns(|| {
+            || {
                 black_box(miner.mine_k_bitmap(&bitmap, 3, 1).unwrap().len());
-            }),
-        ));
+            },
+        );
     }
     let miner = ParallelEclat::new(ExecutionPolicy::from_threads(2));
-    entries.push((
+    record(
+        &mut entries,
         "par_eclat/sharded_workers2_k3".to_string(),
-        median_ns(|| {
+        || {
             black_box(miner.mine_k_sharded(&sharded, 3, 1).unwrap().len());
-        }),
-    ));
+        },
+    );
 
     // Replicate-loop fills: the legacy cellwise (fused-count) sampler vs the
     // geometric-jump gaps sampler, one `(seed, replicate)` substream per
@@ -172,22 +255,25 @@ fn main() {
         let model = BernoulliModel::new(TRANSACTIONS, vec![density; ITEMS]).unwrap();
         for gaps in [false, true] {
             let sampler = if gaps { "gaps" } else { "cellwise" };
-            let ns = median_ns(|| {
-                with_bitmap_scratch(|scratch| {
-                    let mut total = 0u64;
-                    for replicate in 0..REPLICATES {
-                        let mut rng = substream(0x51F1_D009, replicate);
-                        let supports = if gaps {
-                            model.sample_into_bitmap_gaps(&mut rng, scratch)
-                        } else {
-                            model.sample_into_bitmap_counted(&mut rng, scratch)
-                        };
-                        total += supports.iter().sum::<u64>();
-                    }
-                    black_box(total);
-                });
-            });
-            entries.push((format!("replicate_loop/{sampler}_density{density}"), ns));
+            record(
+                &mut entries,
+                format!("replicate_loop/{sampler}_density{density}"),
+                || {
+                    with_bitmap_scratch(|scratch| {
+                        let mut total = 0u64;
+                        for replicate in 0..REPLICATES {
+                            let mut rng = substream(0x51F1_D009, replicate);
+                            let supports = if gaps {
+                                model.sample_into_bitmap_gaps(&mut rng, scratch)
+                            } else {
+                                model.sample_into_bitmap_counted(&mut rng, scratch)
+                            };
+                            total += supports.iter().sum::<u64>();
+                        }
+                        black_box(total);
+                    });
+                },
+            );
         }
     }
 
@@ -198,7 +284,12 @@ fn main() {
     let json = format!("{{\n{}\n}}\n", body.join(",\n"));
     std::fs::write(&output, &json).expect("write snapshot file");
     println!("wrote {} ({} groups)", output, entries.len());
-    for (name, ns) in &entries {
-        println!("  {name}: {ns} ns");
+    for (name, value) in &entries {
+        let unit = if name.ends_with("/peak_rss_kb") {
+            "kB"
+        } else {
+            "ns"
+        };
+        println!("  {name}: {value} {unit}");
     }
 }

@@ -23,6 +23,7 @@
 use serde::{Deserialize, Serialize};
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend, ResolvedBackend};
 use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::spill::SpilledShards;
 use sigfim_datasets::transaction::TransactionDataset;
 use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::counting::SupportProfile;
@@ -30,7 +31,7 @@ use sigfim_mining::eclat::Eclat;
 use sigfim_mining::itemset::ItemsetSupport;
 use sigfim_mining::miner::MinerKind;
 use sigfim_mining::par_eclat::ParallelEclat;
-use sigfim_mining::sharded::mine_k_sharded;
+use sigfim_mining::sharded::{mine_k_sharded, mine_k_spilled};
 use sigfim_stats::testing::{split_alpha_evenly, split_beta_evenly};
 use sigfim_stats::Poisson;
 
@@ -170,10 +171,13 @@ impl Procedure2 {
                 (None, None) => SupportProfile::with_miner(self.miner, dataset, self.k, s_min)?,
             }
         };
+        // One-shot runs stay fully resident: spilling only pays off when a
+        // long-lived engine amortizes the spill files over many requests.
         self.run_prepared(
             dataset,
             bitmap.as_ref(),
             sharded.as_ref(),
+            None,
             &profile,
             s_min,
             lambda,
@@ -188,17 +192,22 @@ impl Procedure2 {
     /// `miner = MinerKind::ParEclat` the bitmap and sharded passes instead run
     /// the subtree-parallel Eclat under `policy` — bit-identical profiles
     /// either way. When no itemset can reach the floor the profile is empty
-    /// without any mining pass. A supplied `bitmap` wins over `sharded`
-    /// (engines hold at most one).
+    /// without any mining pass. A supplied `bitmap` wins over `sharded` and
+    /// `spilled`, and `spilled` wins over `sharded` (engines hold at most
+    /// one). A `spilled` view counts under the residency budget: resident
+    /// shards are visited first and cold shards are faulted in (and possibly
+    /// evicted again) exactly once per level.
     ///
     /// # Errors
     ///
     /// Propagates mining errors (e.g. `k = 0` or `s_min = 0`).
+    #[allow(clippy::too_many_arguments)]
     pub fn mine_profile(
         miner: MinerKind,
         dataset: &TransactionDataset,
         bitmap: Option<&BitmapDataset>,
         sharded: Option<&ShardedBitmapDataset>,
+        spilled: Option<&SpilledShards>,
         k: usize,
         s_min: u64,
         policy: ExecutionPolicy,
@@ -206,37 +215,49 @@ impl Procedure2 {
         if dataset.max_item_support() < s_min {
             return Ok(SupportProfile::from_itemsets(k, s_min, &[]));
         }
-        match (bitmap, sharded) {
-            (Some(bitmap), _) if miner == MinerKind::ParEclat => Ok(
+        match (bitmap, spilled, sharded) {
+            (Some(bitmap), _, _) if miner == MinerKind::ParEclat => Ok(
                 SupportProfile::from_bitmap_parallel(bitmap, k, s_min, policy)?,
             ),
-            (Some(bitmap), _) => Ok(SupportProfile::from_bitmap(bitmap, k, s_min)?),
-            (None, Some(sharded)) if miner == MinerKind::ParEclat => Ok(
+            (Some(bitmap), _, _) => Ok(SupportProfile::from_bitmap(bitmap, k, s_min)?),
+            (None, Some(spilled), _) if miner == MinerKind::ParEclat => Ok(
+                SupportProfile::from_spilled_parallel(spilled, k, s_min, policy)?,
+            ),
+            (None, Some(spilled), _) => {
+                Ok(SupportProfile::from_spilled(spilled, k, s_min, policy)?)
+            }
+            (None, None, Some(sharded)) if miner == MinerKind::ParEclat => Ok(
                 SupportProfile::from_sharded_parallel(sharded, k, s_min, policy)?,
             ),
-            (None, Some(sharded)) => Ok(SupportProfile::from_sharded(sharded, k, s_min, policy)?),
-            (None, None) => Ok(SupportProfile::with_miner(miner, dataset, k, s_min)?),
+            (None, None, Some(sharded)) => {
+                Ok(SupportProfile::from_sharded(sharded, k, s_min, policy)?)
+            }
+            (None, None, None) => Ok(SupportProfile::with_miner(miner, dataset, k, s_min)?),
         }
     }
 
-    /// Run Procedure 2 against pre-built state: a `bitmap` or `sharded` view
-    /// of `dataset` (both `None` for the CSR path) and the floor `profile`
-    /// mined at `s_min` (see [`Procedure2::mine_profile`]). This is the
-    /// engine entry point: the views are built once per dataset and the
-    /// profile once per `(k, s_min)`, then shared across every request that
-    /// needs them. Equivalent to [`Procedure2::run`] when the supplied state
-    /// matches the dataset.
+    /// Run Procedure 2 against pre-built state: a `bitmap`, `sharded`, or
+    /// out-of-core `spilled` view of `dataset` (all `None` for the CSR path)
+    /// and the floor `profile` mined at `s_min` (see
+    /// [`Procedure2::mine_profile`]). This is the engine entry point: the
+    /// views are built once per dataset and the profile once per
+    /// `(k, s_min)`, then shared across every request that needs them.
+    /// Equivalent to [`Procedure2::run`] when the supplied state matches the
+    /// dataset; the spilled path yields bit-identical results at any
+    /// residency budget.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for invalid configuration,
     /// `s_min = 0`, or a `profile` that does not cover this `(k, s_min)`, and
     /// propagates mining/statistics errors.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_prepared(
         &self,
         dataset: &TransactionDataset,
         bitmap: Option<&BitmapDataset>,
         sharded: Option<&ShardedBitmapDataset>,
+        spilled: Option<&SpilledShards>,
         profile: &SupportProfile,
         s_min: u64,
         lambda: &dyn LambdaEstimator,
@@ -294,17 +315,23 @@ impl Procedure2 {
             }
         }
 
-        let significant = match (s_star, bitmap, sharded) {
-            (Some(s), Some(bitmap), _) if self.miner == MinerKind::ParEclat => {
+        let significant = match (s_star, bitmap, spilled, sharded) {
+            (Some(s), Some(bitmap), _, _) if self.miner == MinerKind::ParEclat => {
                 ParallelEclat::new(self.policy).mine_k_bitmap(bitmap, self.k, s)?
             }
-            (Some(s), Some(bitmap), _) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
-            (Some(s), None, Some(sharded)) if self.miner == MinerKind::ParEclat => {
+            (Some(s), Some(bitmap), _, _) => Eclat.mine_k_bitmap(bitmap, self.k, s)?,
+            (Some(s), None, Some(spilled), _) if self.miner == MinerKind::ParEclat => {
+                ParallelEclat::new(self.policy).mine_k_spilled(spilled, self.k, s)?
+            }
+            (Some(s), None, Some(spilled), _) => mine_k_spilled(spilled, self.k, s, self.policy)?,
+            (Some(s), None, None, Some(sharded)) if self.miner == MinerKind::ParEclat => {
                 ParallelEclat::new(self.policy).mine_k_sharded(sharded, self.k, s)?
             }
-            (Some(s), None, Some(sharded)) => mine_k_sharded(sharded, self.k, s, self.policy)?,
-            (Some(s), None, None) => self.miner.mine_k(dataset, self.k, s)?,
-            (None, _, _) => Vec::new(),
+            (Some(s), None, None, Some(sharded)) => {
+                mine_k_sharded(sharded, self.k, s, self.policy)?
+            }
+            (Some(s), None, None, None) => self.miner.mine_k(dataset, self.k, s)?,
+            (None, _, _, _) => Vec::new(),
         };
 
         Ok(Procedure2Result {

@@ -42,6 +42,81 @@ pub struct BitmapDataset {
     entries: usize,
 }
 
+/// A borrowed, shape-annotated view of item-major bit-columns: the common
+/// counting surface over columns that live in a resident [`BitmapDataset`]
+/// ([`BitmapDataset::as_columns`]) *or* in a spill file mapped back from disk
+/// ([`crate::spill::ShardGuard::columns`]). Counting code written against
+/// this view is residency-agnostic — same words, same popcounts, wherever
+/// the bytes happen to live.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnsRef<'a> {
+    num_items: u32,
+    num_transactions: usize,
+    words_per_column: usize,
+    /// Column-major bit matrix with the same layout (and padding invariant)
+    /// as [`BitmapDataset`]'s backing buffer.
+    words: &'a [u64],
+}
+
+impl<'a> ColumnsRef<'a> {
+    /// View `words` as the column-major bit matrix of a `num_items ×
+    /// num_transactions` dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `words.len() == num_items · ⌈num_transactions/64⌉`.
+    pub fn new(num_items: u32, num_transactions: usize, words: &'a [u64]) -> Self {
+        let words_per_column = num_transactions.div_ceil(WORD_BITS);
+        assert_eq!(
+            words.len(),
+            num_items as usize * words_per_column,
+            "column matrix of {num_items} items x {num_transactions} transactions \
+             needs {} words",
+            num_items as usize * words_per_column
+        );
+        ColumnsRef {
+            num_items,
+            num_transactions,
+            words_per_column,
+            words,
+        }
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of transactions.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Number of `u64` words in each item's bit-column.
+    #[inline]
+    pub fn words_per_column(&self) -> usize {
+        self.words_per_column
+    }
+
+    /// The bit-column of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= num_items()`.
+    #[inline]
+    pub fn column(&self, item: ItemId) -> &'a [u64] {
+        let start = item as usize * self.words_per_column;
+        &self.words[start..start + self.words_per_column]
+    }
+
+    /// Support of a single item (popcount of its column).
+    pub fn item_support(&self, item: ItemId) -> u64 {
+        kernels().popcount_slice(self.column(item))
+    }
+}
+
 /// The wire format carries only the genuine state (`num_items`,
 /// `num_transactions`, `words_per_column`, `bits`) — the shape PR 2's derived
 /// impl produced. The derived `entries` count is deliberately **not**
@@ -220,6 +295,27 @@ impl BitmapDataset {
     pub fn column(&self, item: ItemId) -> &[u64] {
         let start = item as usize * self.words_per_column;
         &self.bits[start..start + self.words_per_column]
+    }
+
+    /// The whole column-major bit matrix, item-major: column `i` occupies
+    /// `words()[i * words_per_column() ..][.. words_per_column()]`. This is
+    /// the exact byte layout the spill files of [`crate::spill`] persist
+    /// (little-endian word dump), so spilling a shard is a straight copy.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// This bitmap's columns as a borrowed [`ColumnsRef`] — the shared
+    /// counting surface that also serves shards mapped back from spill files.
+    #[inline]
+    pub fn as_columns(&self) -> ColumnsRef<'_> {
+        ColumnsRef {
+            num_items: self.num_items,
+            num_transactions: self.num_transactions,
+            words_per_column: self.words_per_column,
+            words: &self.bits,
+        }
     }
 
     /// Mutable access to the bit-column of `item`, for samplers that build a

@@ -27,6 +27,11 @@
 //! * [`sharded::ShardedBitmapDataset`] — the transaction axis split into
 //!   word-aligned row-range shards, so one dataset's counting pass can fan out
 //!   across workers with bit-identical results.
+//! * [`mod@spill`] — out-of-core shards: each shard spilled once to a
+//!   CRC-checked little-endian spill file and faulted back on demand (`mmap`
+//!   or portable read, `SIGFIM_SPILL`), with an LRU [`spill::ResidencySet`]
+//!   enforcing a byte budget (`SIGFIM_RESIDENCY`) over resident shards while
+//!   keeping every count bit-identical to the fully-resident path.
 //! * [`view::DatasetView`] — one borrowed handle over any representation, so
 //!   counting and mining code serves every backend through a single surface.
 //! * [`summary`] — dataset profiling: number of items `n`, number of transactions
@@ -79,6 +84,7 @@ pub mod kernels;
 pub mod random;
 pub mod sampler;
 pub mod sharded;
+pub mod spill;
 pub mod summary;
 pub mod transaction;
 pub mod tune;
@@ -93,6 +99,12 @@ pub use sampler::{
     ResolvedSampler, SamplerMode, GAPS_DENSITY_THRESHOLD,
 };
 pub use sharded::ShardedBitmapDataset;
+pub use spill::{
+    configure_residency, configure_spill, parse_budget_bytes, process_residency_budget,
+    process_spill_mode, resolve_residency_request, resolve_spill_request, set_default_spill_dir,
+    spill_counters, ResidencySet, ShardGuard, ShardResidency, SpillCounters, SpillMode,
+    SpillSnapshot, SpilledShards, MMAP_SUPPORTED,
+};
 pub use summary::DatasetSummary;
 pub use transaction::{ItemId, TransactionDataset};
 pub use view::DatasetView;

@@ -129,6 +129,31 @@ pub fn f(p: *const u8) -> u8 {
 }
 
 #[test]
+fn unsafety_fires_on_mmap_style_syscall_block() {
+    // The spill module's mmap wrapper is the archetype: a raw syscall behind
+    // `unsafe` with no SAFETY contract is exactly what the rule must catch.
+    let source = r#"
+fn map(len: usize, fd: i32) -> *mut u8 {
+    unsafe { mmap(std::ptr::null_mut(), len, 1, 2, fd, 0) as *mut u8 }
+}
+"#;
+    let diagnostics = lint_one("crates/datasets/src/fake.rs", source);
+    assert_eq!(rules_of(&diagnostics), ["unsafe-needs-safety"]);
+}
+
+#[test]
+fn unsafety_quiet_on_safety_documented_mmap() {
+    let source = r#"
+fn map(len: usize, fd: i32) -> *mut u8 {
+    // SAFETY: `fd` is a live spill file of at least `len` bytes; the mapping
+    // is read-only and unmapped before the file is truncated or removed.
+    unsafe { mmap(std::ptr::null_mut(), len, 1, 2, fd, 0) as *mut u8 }
+}
+"#;
+    assert!(lint_one("crates/datasets/src/fake.rs", source).is_empty());
+}
+
+#[test]
 fn unsafety_comment_survives_intervening_attributes() {
     let source = r#"
 // SAFETY: sound only through the detected vtable.
@@ -234,6 +259,28 @@ pub fn home() -> Option<String> {
 }
 "#;
     assert!(lint_one("crates/core/src/fake.rs", other_var).is_empty());
+}
+
+#[test]
+fn envread_spill_vars_are_confined_to_the_spill_module() {
+    // `SIGFIM_SPILL` / `SIGFIM_RESIDENCY` are config seams of the spill
+    // module — readable there, flagged anywhere else.
+    let spill_reads = r#"
+pub fn spill_config() -> (Option<String>, Option<String>) {
+    (
+        std::env::var("SIGFIM_SPILL").ok(),
+        std::env::var("SIGFIM_RESIDENCY").ok(),
+    )
+}
+"#;
+    assert!(lint_one("crates/datasets/src/spill.rs", spill_reads).is_empty());
+    let diagnostics = lint_one("crates/core/src/fake.rs", spill_reads);
+    assert_eq!(
+        rules_of(&diagnostics),
+        ["env-read-centralized", "env-read-centralized"]
+    );
+    assert!(diagnostics[0].message.contains("SIGFIM_SPILL"));
+    assert!(diagnostics[1].message.contains("SIGFIM_RESIDENCY"));
 }
 
 #[test]

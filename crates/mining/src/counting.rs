@@ -16,8 +16,11 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
-use sigfim_datasets::bitmap::{and_count, and_count_into, BitmapDataset, DatasetBackend};
+use sigfim_datasets::bitmap::{
+    and_count, and_count_into, BitmapDataset, ColumnsRef, DatasetBackend,
+};
 use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::spill::SpilledShards;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset, TransactionId};
 use sigfim_datasets::view::DatasetView;
 use sigfim_datasets::ResolvedBackend;
@@ -337,27 +340,41 @@ pub fn count_candidates_bitmap_with_supports(
     item_supports: &[u64],
     candidates: &[Vec<ItemId>],
 ) -> Vec<u64> {
-    debug_assert_eq!(item_supports.len(), bitmap.num_items() as usize);
-    let mut scratch: Vec<u64> = Vec::with_capacity(bitmap.words_per_column());
+    count_candidates_columns_with_supports(bitmap.as_columns(), item_supports, candidates)
+}
+
+/// The representation-free core of [`count_candidates_bitmap_with_supports`]:
+/// counts against any borrowed [`ColumnsRef`], so the same loop serves an
+/// owned [`BitmapDataset`], one shard of a sharded view, or a shard mapped
+/// back from a spill file (the spilled path counts straight out of the
+/// mapping, no copy). `item_supports` are the supports *within these columns*
+/// (used for rarest-first ordering and as singleton answers).
+pub fn count_candidates_columns_with_supports(
+    columns: ColumnsRef<'_>,
+    item_supports: &[u64],
+    candidates: &[Vec<ItemId>],
+) -> Vec<u64> {
+    debug_assert_eq!(item_supports.len(), columns.num_items() as usize);
+    let mut scratch: Vec<u64> = Vec::with_capacity(columns.words_per_column());
     let mut order: Vec<ItemId> = Vec::new();
     candidates
         .iter()
         .map(|candidate| match candidate.as_slice() {
-            [] => bitmap.num_transactions() as u64,
+            [] => columns.num_transactions() as u64,
             [single] => item_supports[*single as usize],
-            [a, b] => and_count(bitmap.column(*a), bitmap.column(*b)),
+            [a, b] => and_count(columns.column(*a), columns.column(*b)),
             items => {
                 order.clear();
                 order.extend_from_slice(items);
                 order.sort_unstable_by_key(|&i| item_supports[i as usize]);
                 scratch.clear();
-                scratch.extend_from_slice(bitmap.column(order[0]));
+                scratch.extend_from_slice(columns.column(order[0]));
                 let mut support = item_supports[order[0] as usize];
                 for &item in &order[1..] {
                     if support == 0 {
                         break;
                     }
-                    support = and_count_into(&mut scratch, bitmap.column(item));
+                    support = and_count_into(&mut scratch, columns.column(item));
                 }
                 support
             }
@@ -604,6 +621,45 @@ impl SupportProfile {
         policy: ExecutionPolicy,
     ) -> Result<Self> {
         let mined = crate::sharded::mine_k_sharded(sharded, k, floor, policy)?;
+        Ok(Self::from_itemsets(k, floor, &mined))
+    }
+
+    /// Mine the profile from an out-of-core spilled dataset: the same
+    /// level-wise sweep as [`SupportProfile::from_sharded`], but each worker
+    /// pins its shard through the residency set, faulting cold shards back
+    /// from their spill files on demand. Bit-identical to every resident
+    /// constructor at any residency budget, worker count, or kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn from_spilled(
+        spilled: &SpilledShards,
+        k: usize,
+        floor: u64,
+        policy: ExecutionPolicy,
+    ) -> Result<Self> {
+        let mined = crate::sharded::mine_k_spilled(spilled, k, floor, policy)?;
+        Ok(Self::from_itemsets(k, floor, &mined))
+    }
+
+    /// Like [`SupportProfile::from_spilled`], but mining with the
+    /// subtree-parallel [`crate::par_eclat::ParallelEclat`] when the
+    /// residency budget holds every shard (falling back to the level-wise
+    /// spilled sweep when it does not — a depth-first search re-visits
+    /// columns far too often to page shards through a small budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates miner errors (e.g. `k = 0` or `floor = 0`).
+    pub fn from_spilled_parallel(
+        spilled: &SpilledShards,
+        k: usize,
+        floor: u64,
+        policy: ExecutionPolicy,
+    ) -> Result<Self> {
+        let mined =
+            crate::par_eclat::ParallelEclat::new(policy).mine_k_spilled(spilled, k, floor)?;
         Ok(Self::from_itemsets(k, floor, &mined))
     }
 

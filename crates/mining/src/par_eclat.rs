@@ -29,8 +29,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use sigfim_datasets::bitmap::{and_into, BitmapDataset};
+use sigfim_datasets::bitmap::{and_into, BitmapDataset, ColumnsRef};
 use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::spill::SpilledShards;
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
 use sigfim_exec::{ExecutionPolicy, TaskQueue};
 
@@ -51,6 +52,17 @@ enum Columns<'a> {
         offsets: Vec<usize>,
         total_words: usize,
     },
+    /// Shards of a spilled dataset pinned resident for the whole search (the
+    /// caller holds the [`sigfim_datasets::spill::ShardGuard`]s); addressed
+    /// exactly like [`Columns::Sharded`], so the search cannot tell the
+    /// columns came back from spill files.
+    Pinned {
+        shards: &'a [ColumnsRef<'a>],
+        /// Word offset of each shard's segment within a concatenated column.
+        offsets: Vec<usize>,
+        total_words: usize,
+        item_supports: &'a [u64],
+    },
 }
 
 impl<'a> Columns<'a> {
@@ -68,11 +80,28 @@ impl<'a> Columns<'a> {
         }
     }
 
+    fn pinned(shards: &'a [ColumnsRef<'a>], item_supports: &'a [u64]) -> Self {
+        let mut offsets = Vec::with_capacity(shards.len());
+        let mut total_words = 0usize;
+        for shard in shards {
+            offsets.push(total_words);
+            total_words += shard.words_per_column();
+        }
+        Columns::Pinned {
+            shards,
+            offsets,
+            total_words,
+            item_supports,
+        }
+    }
+
     /// Words in one (concatenated) column.
     fn total_words(&self) -> usize {
         match self {
             Columns::Bitmap(dataset) => dataset.words_per_column(),
-            Columns::Sharded { total_words, .. } => *total_words,
+            Columns::Sharded { total_words, .. } | Columns::Pinned { total_words, .. } => {
+                *total_words
+            }
         }
     }
 
@@ -89,6 +118,12 @@ impl<'a> Columns<'a> {
                 .into_iter()
                 .enumerate()
                 .map(|(item, support)| (item as ItemId, support))
+                .filter(|&(_, support)| support >= min_support)
+                .collect(),
+            Columns::Pinned { item_supports, .. } => item_supports
+                .iter()
+                .enumerate()
+                .map(|(item, &support)| (item as ItemId, support))
                 .filter(|&(_, support)| support >= min_support)
                 .collect(),
         }
@@ -112,6 +147,20 @@ impl<'a> Columns<'a> {
                 }
                 total
             }
+            Columns::Pinned {
+                shards, offsets, ..
+            } => {
+                let mut total = 0u64;
+                for (shard, &offset) in shards.iter().zip(offsets) {
+                    let words = shard.words_per_column();
+                    total += and_into(
+                        &mut dst[offset..offset + words],
+                        &covering[offset..offset + words],
+                        shard.column(item),
+                    );
+                }
+                total
+            }
         }
     }
 
@@ -123,6 +172,14 @@ impl<'a> Columns<'a> {
                 sharded, offsets, ..
             } => {
                 for (shard, &offset) in sharded.shards().iter().zip(offsets) {
+                    let words = shard.words_per_column();
+                    dst[offset..offset + words].copy_from_slice(shard.column(item));
+                }
+            }
+            Columns::Pinned {
+                shards, offsets, ..
+            } => {
+                for (shard, &offset) in shards.iter().zip(offsets) {
                     let words = shard.words_per_column();
                     dst[offset..offset + words].copy_from_slice(shard.column(item));
                 }
@@ -322,6 +379,34 @@ impl ParallelEclat {
         self.mine(&Columns::sharded(sharded), k, min_support)
     }
 
+    /// Mine from an out-of-core spilled dataset. When the residency budget
+    /// holds every shard, all shards are pinned resident for the duration of
+    /// the search (depth-first subtree mining revisits columns constantly, so
+    /// paging them would thrash) and the search runs exactly like
+    /// [`ParallelEclat::mine_k_sharded`] over the pinned segments. When the
+    /// budget is smaller, the search delegates to the level-wise
+    /// residency-aware sweep ([`crate::sharded::mine_k_spilled`]), which
+    /// touches each cold shard once per level — the output is bit-identical
+    /// either way.
+    pub fn mine_k_spilled(
+        &self,
+        spilled: &SpilledShards,
+        k: usize,
+        min_support: u64,
+    ) -> Result<Vec<ItemsetSupport>> {
+        validate_mining_args(k, min_support)?;
+        if !spilled.budget_holds_all() {
+            return crate::sharded::mine_k_spilled(spilled, k, min_support, self.policy);
+        }
+        dispatch::record(DispatchPath::ParEclatSharded);
+        let guards: Vec<_> = (0..spilled.num_shards())
+            .map(|index| spilled.shard(index))
+            .collect();
+        let shards: Vec<ColumnsRef<'_>> = guards.iter().map(|guard| guard.columns()).collect();
+        let item_supports = spilled.item_supports();
+        self.mine(&Columns::pinned(&shards, &item_supports), k, min_support)
+    }
+
     fn mine(
         &self,
         columns: &Columns<'_>,
@@ -446,6 +531,35 @@ mod tests {
                     .mine_k_sharded(&sharded, k, 2)
                     .unwrap();
                 assert_eq!(got, expected, "k={k} policy={policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_mining_matches_unsharded_on_both_budget_branches() {
+        use sigfim_datasets::spill::{ShardResidency, SpillMode};
+
+        let data = sample();
+        let bitmap = BitmapDataset::from_dataset(&data);
+        let sharded = ShardedBitmapDataset::with_shard_rows(&data, 64);
+        // budget 1 byte → level-wise delegation; huge budget → pinned
+        // depth-first search. Both must be bit-identical to the reference.
+        for budget in [1u64, 1 << 30] {
+            let residency = ShardResidency {
+                budget_bytes: budget,
+                mode: SpillMode::Read,
+                dir: Some(std::env::temp_dir().join("sigfim-spill-tests")),
+            };
+            let spilled = SpilledShards::spill_sharded(&sharded, &residency).unwrap();
+            assert_eq!(spilled.budget_holds_all(), budget > 1);
+            for k in 1..=3 {
+                let expected = Eclat.mine_k_bitmap(&bitmap, k, 2).unwrap();
+                for policy in policies() {
+                    let got = ParallelEclat::new(policy)
+                        .mine_k_spilled(&spilled, k, 2)
+                        .unwrap();
+                    assert_eq!(got, expected, "budget {budget}, k={k}, policy={policy:?}");
+                }
             }
         }
     }

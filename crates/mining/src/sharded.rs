@@ -17,11 +17,15 @@
 //! mining, `Q_{k,s}` answering, final family extraction) the same scaling.
 
 use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::spill::SpilledShards;
 use sigfim_datasets::transaction::ItemId;
 use sigfim_exec::ExecutionPolicy;
 
 use crate::apriori::mine_k_levelwise;
-use crate::counting::{count_candidates_bitmap, count_candidates_bitmap_with_supports};
+use crate::counting::{
+    count_candidates_bitmap, count_candidates_bitmap_with_supports,
+    count_candidates_columns_with_supports,
+};
 use crate::itemset::ItemsetSupport;
 use crate::miner::validate_mining_args;
 use crate::Result;
@@ -67,6 +71,70 @@ fn reduce_in_shard_order(partials: &[Vec<u64>], len: usize) -> Vec<u64> {
         }
     }
     totals
+}
+
+/// Residency-aware batch counting over an out-of-core spilled dataset. The
+/// per-batch shard schedule comes from [`SpilledShards::schedule`] — resident
+/// shards first, cold shards after — so workers count what is already in
+/// memory while the cold tail faults in, and each cold shard is faulted
+/// **exactly once per batch** instead of thrashing the budget. Each worker
+/// pins its shard with a [`sigfim_datasets::spill::ShardGuard`] for the
+/// duration of its count (eviction skips pinned slots), and the partials are
+/// still reduced in fixed *shard* order — the schedule only permutes who
+/// counts when, never what is summed in which order, so totals stay
+/// bit-identical to [`count_candidates_sharded`] at any budget.
+pub fn count_candidates_spilled(
+    spilled: &SpilledShards,
+    candidates: &[Vec<ItemId>],
+    policy: ExecutionPolicy,
+) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let schedule = spilled.schedule();
+    let partials = policy.map_indexed(&schedule, |_, &shard| {
+        let guard = spilled.shard(shard);
+        count_candidates_columns_with_supports(
+            guard.columns(),
+            spilled.shard_item_supports(shard),
+            candidates,
+        )
+    });
+    // Un-permute: partials arrive in schedule order, the exact reduction
+    // below wants fixed shard order.
+    let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); spilled.num_shards()];
+    for (position, partial) in partials.into_iter().enumerate() {
+        by_shard[schedule[position]] = partial;
+    }
+    reduce_in_shard_order(&by_shard, candidates.len())
+}
+
+/// Level-wise mining over an out-of-core spilled dataset: the same sweep as
+/// [`mine_k_sharded`], with each level's counting pass going through
+/// [`count_candidates_spilled`]'s residency-aware schedule. The per-shard
+/// item supports were recorded at spill time, so seeding the sweep faults
+/// nothing in.
+///
+/// # Errors
+///
+/// Returns [`crate::MiningError::InvalidParameter`] for `k == 0` or
+/// `min_support == 0`.
+pub fn mine_k_spilled(
+    spilled: &SpilledShards,
+    k: usize,
+    min_support: u64,
+    policy: ExecutionPolicy,
+) -> Result<Vec<ItemsetSupport>> {
+    validate_mining_args(k, min_support)?;
+    crate::dispatch::record(crate::dispatch::DispatchPath::Sharded);
+    let supports = spilled.item_supports();
+    Ok(mine_k_levelwise(
+        &supports,
+        k,
+        min_support,
+        true,
+        |candidates, _| count_candidates_spilled(spilled, candidates, policy),
+    ))
 }
 
 /// Mine all k-itemsets with support at least `min_support` from a sharded
@@ -189,6 +257,56 @@ mod tests {
         assert!(mine_k_sharded(&sharded, 6, 1, ExecutionPolicy::Sequential)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn spilled_counting_and_mining_match_the_resident_shards() {
+        use sigfim_datasets::spill::{ShardResidency, SpillMode};
+
+        let csr = toy(200);
+        let sharded = ShardedBitmapDataset::with_shard_rows(&csr, 64);
+        let candidates = vec![vec![], vec![2], vec![0, 1], vec![0, 1, 2], vec![2, 3, 4]];
+        let expected = count_candidates_sharded(&sharded, &candidates, ExecutionPolicy::Sequential);
+        // A 1-byte budget forces every shard through the fault/evict cycle; a
+        // huge one keeps everything resident. Both must count identically.
+        for budget in [1u64, 1 << 30] {
+            let residency = ShardResidency {
+                budget_bytes: budget,
+                mode: SpillMode::Read,
+                dir: Some(std::env::temp_dir().join("sigfim-spill-tests")),
+            };
+            let spilled = SpilledShards::spill_sharded(&sharded, &residency).unwrap();
+            for policy in [
+                ExecutionPolicy::Sequential,
+                ExecutionPolicy::rayon(2),
+                ExecutionPolicy::rayon(8),
+            ] {
+                assert_eq!(
+                    count_candidates_spilled(&spilled, &candidates, policy),
+                    expected,
+                    "budget {budget}, {policy:?}"
+                );
+                for k in 1..=3 {
+                    assert_eq!(
+                        mine_k_spilled(&spilled, k, 3, policy).unwrap(),
+                        mine_k_sharded(&sharded, k, 3, ExecutionPolicy::Sequential).unwrap(),
+                        "budget {budget}, k = {k}, {policy:?}"
+                    );
+                }
+            }
+            assert!(
+                count_candidates_spilled(&spilled, &[], ExecutionPolicy::Sequential).is_empty()
+            );
+        }
+        // Shared argument validation.
+        let residency = ShardResidency {
+            budget_bytes: 1,
+            mode: SpillMode::Read,
+            dir: Some(std::env::temp_dir().join("sigfim-spill-tests")),
+        };
+        let spilled = SpilledShards::spill_sharded(&sharded, &residency).unwrap();
+        assert!(mine_k_spilled(&spilled, 0, 1, ExecutionPolicy::Sequential).is_err());
+        assert!(mine_k_spilled(&spilled, 2, 0, ExecutionPolicy::Sequential).is_err());
     }
 
     #[test]

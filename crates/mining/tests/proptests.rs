@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 use sigfim_datasets::bitmap::{BitmapDataset, DatasetBackend};
 use sigfim_datasets::sharded::ShardedBitmapDataset;
+use sigfim_datasets::spill::{ShardResidency, SpillMode, SpilledShards, MMAP_SUPPORTED};
 use sigfim_datasets::transaction::{ItemId, TransactionDataset};
 use sigfim_exec::ExecutionPolicy;
 use sigfim_mining::counting::{
@@ -267,6 +268,51 @@ proptest! {
             let over_shards =
                 SupportProfile::from_sharded_parallel(&sharded, k, floor, policy).unwrap();
             prop_assert_eq!(&over_shards, &reference, "{} worker(s), sharded", threads);
+        }
+    }
+
+    #[test]
+    fn spilled_profiles_match_resident_at_1_2_and_8_threads(
+        dataset in varied_density_dataset(),
+        k in 1usize..4,
+        floor in 1u64..5,
+    ) {
+        // The acceptance contract of the out-of-core backend: a
+        // SupportProfile mined with shards paged through a residency budget —
+        // even a budget so small only one shard is ever resident — equals the
+        // fully-resident profile bit for bit, at every worker count, on both
+        // fault paths, through both the level-wise and the depth-first miner.
+        let sharded = ShardedBitmapDataset::with_shard_rows(&dataset, 64);
+        let reference = SupportProfile::from_sharded(
+            &sharded, k, floor, ExecutionPolicy::Sequential).unwrap();
+        let modes: &[SpillMode] = if MMAP_SUPPORTED {
+            &[SpillMode::Mmap, SpillMode::Read]
+        } else {
+            &[SpillMode::Read]
+        };
+        for &mode in modes {
+            // 1 byte: spill-forced (at most one shard resident, constant
+            // eviction). 1 GiB: everything fits, the depth-first miner pins.
+            for budget in [1u64, 1 << 30] {
+                let residency = ShardResidency {
+                    budget_bytes: budget,
+                    mode,
+                    dir: Some(std::env::temp_dir().join("sigfim-spill-tests")),
+                };
+                let spilled = SpilledShards::spill_sharded(&sharded, &residency).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let policy = ExecutionPolicy::from_threads(threads);
+                    let levelwise = SupportProfile::from_spilled(&spilled, k, floor, policy).unwrap();
+                    prop_assert_eq!(
+                        &levelwise, &reference,
+                        "{} budget {}, {} thread(s), level-wise", mode, budget, threads);
+                    let parallel =
+                        SupportProfile::from_spilled_parallel(&spilled, k, floor, policy).unwrap();
+                    prop_assert_eq!(
+                        &parallel, &reference,
+                        "{} budget {}, {} thread(s), par-eclat", mode, budget, threads);
+                }
+            }
         }
     }
 

@@ -44,6 +44,9 @@ struct TableState {
     jobs: BTreeMap<String, JobEntry>,
     /// The numeric suffix of the next minted id.
     next_id: u64,
+    /// A store compaction is waiting for a worker. A flag, not a count:
+    /// compacting once clears every accumulated request.
+    compaction_requested: bool,
     /// Set once: wakes blocked workers so they can exit.
     shutdown: bool,
 }
@@ -58,6 +61,20 @@ pub struct ClaimedJob {
     pub request: AnalysisRequest,
     /// The observer to thread into `run_observed`; polls read it live.
     pub observer: Arc<SnapshotObserver>,
+}
+
+/// A unit of work handed to a pool worker by [`JobTable::claim_work`].
+// A `Work` lives only from claim to destructure on the worker's stack, so
+// boxing the job variant would buy nothing but an allocation per claim.
+#[allow(clippy::large_enum_variant)]
+pub enum Work {
+    /// A claimed analysis job plus its updated `Running` record (persist
+    /// it) — exactly what [`JobTable::claim`] returns.
+    Job(ClaimedJob, JobInfo),
+    /// Run one store compaction pass. Dispatched ahead of queued jobs: the
+    /// request means dead bytes already crossed the store's threshold, and
+    /// an analysis run ahead of it would only write more.
+    Compaction,
 }
 
 /// The process-wide job table. Shared between the submitting transport
@@ -90,6 +107,7 @@ impl JobTable {
                 queue: VecDeque::new(),
                 jobs: BTreeMap::new(),
                 next_id: 1,
+                compaction_requested: false,
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -156,33 +174,59 @@ impl JobTable {
     /// `Running` with a fresh observer attached. Returns `None` on shutdown
     /// — the worker loop's exit signal. The second tuple element is the
     /// updated `Running` record, for persistence.
+    ///
+    /// Compaction requests are invisible to this entry point; pools that
+    /// also serve maintenance work drain through [`JobTable::claim_work`].
     pub fn claim(&self) -> Option<(ClaimedJob, JobInfo)> {
         let mut state = self.lock();
         loop {
             if state.shutdown {
                 return None;
             }
-            if let Some(id) = state.queue.pop_front() {
-                let entry = state
-                    .jobs
-                    .get_mut(&id)
-                    .expect("queued ids always have a table entry");
-                let observer = Arc::new(SnapshotObserver::new());
-                entry.info.state = JobState::Running;
-                entry.observer = Some(Arc::clone(&observer));
-                let claimed = ClaimedJob {
-                    id: id.clone(),
-                    dataset: entry.info.dataset.clone(),
-                    request: entry.info.request.clone(),
-                    observer,
-                };
-                return Some((claimed, entry.info.clone()));
+            if let Some(claimed) = claim_job(&mut state) {
+                return Some(claimed);
             }
             state = self
                 .ready
                 .wait(state)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
+    }
+
+    /// Block until *any* work is available: a pending store compaction (at
+    /// priority — see [`Work::Compaction`]), then the oldest queued job.
+    /// Returns `None` on shutdown, exactly like [`JobTable::claim`].
+    pub fn claim_work(&self) -> Option<Work> {
+        let mut state = self.lock();
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if state.compaction_requested {
+                state.compaction_requested = false;
+                return Some(Work::Compaction);
+            }
+            if let Some((claimed, running)) = claim_job(&mut state) {
+                return Some(Work::Job(claimed, running));
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Ask the worker pool to run a store compaction pass. Idempotent while
+    /// one is pending: repeated requests (every persisted write past the
+    /// dead-byte threshold re-triggers) collapse into a single flag.
+    pub fn request_compaction(&self) {
+        let mut state = self.lock();
+        if state.shutdown || state.compaction_requested {
+            return;
+        }
+        state.compaction_requested = true;
+        drop(state);
+        self.ready.notify_one();
     }
 
     /// Record a claimed job's outcome: freeze the observer's final progress
@@ -295,6 +339,26 @@ impl JobTable {
         }
         stats
     }
+}
+
+/// Pop the oldest queued job and mark it `Running` with a fresh observer.
+/// The locked core shared by [`JobTable::claim`] and [`JobTable::claim_work`].
+fn claim_job(state: &mut TableState) -> Option<(ClaimedJob, JobInfo)> {
+    let id = state.queue.pop_front()?;
+    let entry = state
+        .jobs
+        .get_mut(&id)
+        .expect("queued ids always have a table entry");
+    let observer = Arc::new(SnapshotObserver::new());
+    entry.info.state = JobState::Running;
+    entry.observer = Some(Arc::clone(&observer));
+    let claimed = ClaimedJob {
+        id: id.clone(),
+        dataset: entry.info.dataset.clone(),
+        request: entry.info.request.clone(),
+        observer,
+    };
+    Some((claimed, entry.info.clone()))
 }
 
 #[cfg(test)]
@@ -411,6 +475,38 @@ mod tests {
         // Minting resumes above the highest recovered id.
         let next = fresh.submit("a", request()).unwrap();
         assert_eq!(next.id, "job-00000004");
+    }
+
+    #[test]
+    fn compaction_outranks_queued_jobs_and_requests_coalesce() {
+        let table = JobTable::new(4);
+        let queued = table.submit("a", request()).unwrap();
+        // Requested twice; dispatched once.
+        table.request_compaction();
+        table.request_compaction();
+        assert!(matches!(table.claim_work(), Some(Work::Compaction)));
+        match table.claim_work() {
+            Some(Work::Job(claimed, running)) => {
+                assert_eq!(claimed.id, queued.id);
+                assert_eq!(running.state, JobState::Running);
+            }
+            _ => panic!("the queued job must follow the compaction"),
+        }
+        // A drained flag re-arms.
+        table.request_compaction();
+        assert!(matches!(table.claim_work(), Some(Work::Compaction)));
+    }
+
+    #[test]
+    fn request_compaction_wakes_a_blocked_worker() {
+        let table = Arc::new(JobTable::new(2));
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || matches!(table.claim_work(), Some(Work::Compaction)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.request_compaction();
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

@@ -52,11 +52,11 @@ pub mod protocol;
 pub mod registry;
 
 pub use http::{serve, ServerConfig, ServerHandle};
-pub use jobs::{JobTable, DEFAULT_QUEUE_CAPACITY};
+pub use jobs::{JobTable, Work, DEFAULT_QUEUE_CAPACITY};
 pub use persist::{ObservationMeta, ServiceDb};
 pub use protocol::{
     ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, JobInfo, JobState,
-    JobStats, KernelStats, ModelSpec, ServiceStats, TunerTiming, PROTOCOL_VERSION,
+    JobStats, KernelStats, ModelSpec, ResidencyStats, ServiceStats, TunerTiming, PROTOCOL_VERSION,
 };
 pub use registry::{EngineRegistry, RecoverySummary};
 pub use sigfim_store::{DbOptions, StoreStats};

@@ -57,12 +57,23 @@ impl ServiceDb {
     /// Open (or create) the store under `dir` with the service's namespace
     /// layout, replaying and repairing its log segments.
     ///
+    /// Inline compaction is disabled: the service schedules compaction on
+    /// its job-worker pool (the registry polls [`ServiceDb::needs_compaction`]
+    /// after every write-through), so no client write pays the log-rewrite
+    /// latency.
+    ///
     /// # Errors
     ///
     /// Propagates [`Db::open`] failures (I/O, foreign files in `dir`, a
     /// store written by a newer schema).
     pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<ServiceDb> {
-        ServiceDb::open_with(dir, DbOptions::default())
+        ServiceDb::open_with(
+            dir,
+            DbOptions {
+                compact_inline: false,
+                ..DbOptions::default()
+            },
+        )
     }
 
     /// [`ServiceDb::open`] with explicit store options (segment size,
@@ -181,8 +192,14 @@ impl ServiceDb {
         self.db.stats()
     }
 
-    /// Force a compaction pass (normally automatic past the dead-bytes
-    /// threshold).
+    /// Whether accumulated dead bytes have crossed the store's compaction
+    /// threshold — the registry's cue to queue a background compaction.
+    pub fn needs_compaction(&self) -> bool {
+        self.db.needs_compaction()
+    }
+
+    /// Run a compaction pass (the job-worker pool's entry point once
+    /// [`ServiceDb::needs_compaction`] trips).
     ///
     /// # Errors
     ///

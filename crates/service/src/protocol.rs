@@ -622,6 +622,39 @@ pub struct ServiceStats {
     /// deserialization.
     #[serde(default)]
     pub store: Option<sigfim_store::StoreStats>,
+    /// Out-of-core shard-residency counters (`--shard-residency` /
+    /// `SIGFIM_RESIDENCY`): the process-wide spill configuration and the
+    /// lifetime spill/eviction/refault totals across every spilled view.
+    /// Additive field, defaulted on deserialization; all-zero (mode `mmap`
+    /// or `read`, budget 0) when no residency budget is configured.
+    #[serde(default)]
+    pub residency: ResidencyStats,
+}
+
+/// Out-of-core residency counters inside [`ServiceStats`]. Every field is
+/// additive (defaulted on deserialization): the struct postdates wire
+/// baseline v1, so pre-spill servers simply omit it.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResidencyStats {
+    /// The process-wide spill mode (`mmap`, `read` or `off`).
+    #[serde(default)]
+    pub mode: String,
+    /// The configured residency budget in bytes; 0 when none is set (views
+    /// stay fully resident).
+    #[serde(default)]
+    pub budget_bytes: u64,
+    /// Datasets whose sharded view has been spilled since startup.
+    #[serde(default)]
+    pub spilled_datasets: u64,
+    /// Shard spill files written since startup.
+    #[serde(default)]
+    pub spilled_shards: u64,
+    /// Shards evicted from residency since startup.
+    #[serde(default)]
+    pub evictions: u64,
+    /// Cold shards faulted back in since startup.
+    #[serde(default)]
+    pub refaults: u64,
 }
 
 /// Job-queue counters inside [`ServiceStats`]. Every field is additive

@@ -21,11 +21,11 @@ use sigfim_core::engine::{
 use sigfim_core::CoreError;
 use sigfim_datasets::transaction::TransactionDataset;
 
-use crate::jobs::{JobTable, DEFAULT_QUEUE_CAPACITY};
+use crate::jobs::{JobTable, Work, DEFAULT_QUEUE_CAPACITY};
 use crate::persist::ServiceDb;
 use crate::protocol::{
     ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, JobInfo, JobState,
-    KernelStats, ModelSpec, ServiceStats, TunerTiming,
+    KernelStats, ModelSpec, ResidencyStats, ServiceStats, TunerTiming,
 };
 
 /// Snapshot the process-wide kernel dispatch and startup-tuner decision for
@@ -67,6 +67,20 @@ fn kernel_stats() -> KernelStats {
         // What `--miner auto` resolves to on the multi-worker bitmap path —
         // the only configuration where the tuner's preference is consulted.
         tuner_miner: sigfim_mining::tuned_miner(true, 2).name().to_string(),
+    }
+}
+
+/// Snapshot the process-wide out-of-core configuration and spill counters
+/// for `/v1/stats`.
+fn residency_stats() -> ResidencyStats {
+    let counters = sigfim_datasets::spill_counters();
+    ResidencyStats {
+        mode: sigfim_datasets::process_spill_mode().name().to_string(),
+        budget_bytes: sigfim_datasets::process_residency_budget().unwrap_or(0),
+        spilled_datasets: counters.spilled_datasets,
+        spilled_shards: counters.spilled_shards,
+        evictions: counters.evictions,
+        refaults: counters.refaults,
     }
 }
 
@@ -314,7 +328,14 @@ impl EngineRegistry {
         self.analyze_requests.fetch_add(1, Ordering::Relaxed);
         let engine = self.engine(dataset)?;
         let mut engine = relock!(engine.lock());
-        engine.run(request).map_err(map_core_error)
+        let result = engine.run(request).map_err(map_core_error);
+        drop(engine);
+        // The run may have written thresholds through the sink; settle the
+        // store's dead-byte debt on the worker pool, not a client write.
+        if let Some(db) = relock!(self.persist.lock()).clone() {
+            self.schedule_compaction_if_needed(&db);
+        }
+        result
     }
 
     /// [`EngineRegistry::analyze`] with a progress observer attached — the
@@ -389,6 +410,7 @@ impl EngineRegistry {
                     detail: format!("dataset `{id}` could not be persisted: {error}"),
                 });
             }
+            self.schedule_compaction_if_needed(&db);
         }
         let _ = replaced;
         Ok(self
@@ -414,6 +436,7 @@ impl EngineRegistry {
             if let Err(error) = db.delete_dataset(id) {
                 eprintln!("sigfim-store: failed to drop dataset `{id}` payload: {error}");
             }
+            self.schedule_compaction_if_needed(&db);
         }
         Ok(())
     }
@@ -450,8 +473,13 @@ impl EngineRegistry {
     /// Start `workers` background threads draining the job queue (`0` is
     /// coerced to 1). Each claimed job runs through
     /// [`EngineRegistry::analyze_observed`] and is persisted on every
-    /// lifecycle transition. Threads hold the registry weakly: dropping the
-    /// last external `Arc` shuts the queue down and the workers exit.
+    /// lifecycle transition. The same pool absorbs store maintenance: the
+    /// store opens with inline compaction disabled, the write-through paths
+    /// request a compaction once dead bytes cross the threshold, and a
+    /// worker runs it here ahead of queued jobs — so no client write or
+    /// submission ever pays the log-rewrite latency. Threads hold the
+    /// registry weakly: dropping the last external `Arc` shuts the queue
+    /// down and the workers exit.
     pub fn start_job_workers(self: &Arc<Self>, workers: usize) -> usize {
         let workers = workers.max(1);
         for index in 0..workers {
@@ -461,22 +489,36 @@ impl EngineRegistry {
                 .name(format!("sigfim-job-{index}"))
                 .spawn(move || loop {
                     // Block on the queue holding only the table, never the
-                    // registry — claim() returns None once the registry
+                    // registry — claim_work() returns None once the registry
                     // drops (its Drop shuts the table down).
-                    let Some((claimed, running)) = jobs.claim() else {
+                    let Some(work) = jobs.claim_work() else {
                         return;
                     };
                     let Some(registry) = weak.upgrade() else {
                         return;
                     };
-                    registry.persist_job(&running);
-                    let outcome = registry.analyze_observed(
-                        &claimed.dataset,
-                        &claimed.request,
-                        claimed.observer.as_ref(),
-                    );
-                    if let Some(done) = registry.jobs.complete(&claimed.id, outcome) {
-                        registry.persist_job(&done);
+                    match work {
+                        Work::Compaction => {
+                            let persist = relock!(registry.persist.lock()).clone();
+                            if let Some(db) = persist {
+                                if let Err(error) = db.compact() {
+                                    eprintln!(
+                                        "sigfim-store: background compaction failed: {error}"
+                                    );
+                                }
+                            }
+                        }
+                        Work::Job(claimed, running) => {
+                            registry.persist_job(&running);
+                            let outcome = registry.analyze_observed(
+                                &claimed.dataset,
+                                &claimed.request,
+                                claimed.observer.as_ref(),
+                            );
+                            if let Some(done) = registry.jobs.complete(&claimed.id, outcome) {
+                                registry.persist_job(&done);
+                            }
+                        }
                     }
                 })
                 .expect("spawning a named worker thread cannot fail");
@@ -549,6 +591,18 @@ impl EngineRegistry {
             if let Err(error) = db.put_job(job) {
                 eprintln!("sigfim-store: failed to persist job {}: {error}", job.id);
             }
+            self.schedule_compaction_if_needed(&db);
+        }
+    }
+
+    /// Hand the store's dead-byte debt to the worker pool: once a
+    /// write-through (job transition, dataset payload, threshold sink during
+    /// an analysis) pushes the store past its compaction threshold, queue a
+    /// [`Work::Compaction`] instead of compacting inline on the caller.
+    /// Repeated triggers coalesce in the table until a worker drains one.
+    fn schedule_compaction_if_needed(&self, db: &ServiceDb) {
+        if db.needs_compaction() {
+            self.jobs.request_compaction();
         }
     }
 
@@ -631,6 +685,7 @@ impl EngineRegistry {
             replicates: sigfim_core::replicate_stats(),
             jobs: self.jobs.stats(),
             store: relock!(self.persist.lock()).as_ref().map(ServiceDb::stats),
+            residency: residency_stats(),
         }
     }
 
@@ -805,6 +860,52 @@ mod tests {
             AnalysisRequest::for_ks(Vec::<usize>::new()),
         ));
         assert_eq!(invalid.as_error().unwrap().code(), "invalid_request");
+    }
+
+    #[test]
+    fn background_compaction_runs_on_the_worker_pool() {
+        let dir =
+            std::env::temp_dir().join(format!("sigfim-registry-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A tiny dead-byte threshold with inline compaction off: every
+        // write-through past it must queue a Work::Compaction instead.
+        let db = ServiceDb::open_with(
+            &dir,
+            sigfim_store::DbOptions {
+                compact_dead_bytes: 256,
+                compact_inline: false,
+                fsync: false,
+                ..sigfim_store::DbOptions::default()
+            },
+        )
+        .unwrap();
+        let registry = Arc::new(EngineRegistry::new());
+        registry.attach_db(db).unwrap();
+        registry.start_job_workers(1);
+
+        // Churn one dataset payload well past the threshold.
+        for round in 0..50u32 {
+            let fimi = format!("0 1 2\n1 2\n0 {}\n", round % 3);
+            registry.put_dataset("churn", &fimi).unwrap();
+        }
+
+        // The compaction runs asynchronously on the pool; poll the stats
+        // the operator would watch.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let store = registry.stats().store.expect("a store is attached");
+            if store.compactions > 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no background compaction ran within 10s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Compaction preserved the live payload.
+        assert_eq!(registry.engines().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use sigfim_mining::miner::MinerKind;
 use sigfim_mining::DispatchCounts;
 use sigfim_service::{
     ApiError, ApiRequest, ApiRequestBody, ApiResponse, ApiResult, EngineInfo, JobStats,
-    KernelStats, ModelSpec, ServiceStats, StoreStats, TunerTiming, PROTOCOL_VERSION,
+    KernelStats, ModelSpec, ResidencyStats, ServiceStats, StoreStats, TunerTiming,
+    PROTOCOL_VERSION,
 };
 
 /// A JSON round-trip through the wire format.
@@ -278,6 +279,14 @@ proptest! {
                     last_compaction_op: counters[4].is_multiple_of(2).then_some(counters[5]),
                 })
             },
+            residency: ResidencyStats {
+                mode: if counters[0].is_multiple_of(2) { "mmap" } else { "read" }.to_string(),
+                budget_bytes: counters[1],
+                spilled_datasets: counters[2],
+                spilled_shards: counters[3],
+                evictions: counters[4],
+                refaults: counters[5],
+            },
         };
         let response = ApiResponse::ok(ApiResult::Stats(stats));
         prop_assert_eq!(round_trip(&response), response);
@@ -327,10 +336,13 @@ fn stats_payloads_from_older_servers_still_parse() {
         replicates: ReplicateStats::default(),
         jobs: JobStats::default(),
         store: None,
+        residency: ResidencyStats::default(),
     };
     let mut json = serde_json::to_string(&modern).unwrap();
     // Strip the new fields to reconstruct the previous release's payload.
     let jobs_json = "\"jobs\":{\"queued\":0,\"running\":0,\"done\":0,\"failed\":0,\"capacity\":0}";
+    let residency_json = "\"residency\":{\"mode\":\"\",\"budget_bytes\":0,\"spilled_datasets\":0,\
+                          \"spilled_shards\":0,\"evictions\":0,\"refaults\":0}";
     for field in [
         "\"replicates\":{\"sampled_cellwise\":0,\"sampled_gaps\":0,\"observations_reused\":0},",
         ",\"replicates\":{\"sampled_cellwise\":0,\"sampled_gaps\":0,\"observations_reused\":0}",
@@ -342,6 +354,8 @@ fn stats_payloads_from_older_servers_still_parse() {
         &format!(",{jobs_json}"),
         "\"store\":null,",
         ",\"store\":null",
+        &format!("{residency_json},"),
+        &format!(",{residency_json}"),
     ] {
         json = json.replace(field, "");
     }
@@ -349,7 +363,8 @@ fn stats_payloads_from_older_servers_still_parse() {
         !json.contains("replicates")
             && !json.contains("tuner_sampler")
             && !json.contains("\"jobs\"")
-            && !json.contains("\"store\""),
+            && !json.contains("\"store\"")
+            && !json.contains("\"residency\""),
         "stale-payload reconstruction failed: {json}"
     );
     let parsed: ServiceStats = serde_json::from_str(&json).expect("old payload parses");

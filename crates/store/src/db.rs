@@ -25,6 +25,11 @@ pub struct DbOptions {
     pub segment_bytes: u64,
     /// Compact once this many dead (superseded) bytes accumulate.
     pub compact_dead_bytes: u64,
+    /// Run the dead-byte-triggered compaction inline on the writing call
+    /// (the default). Disable when a host schedules compaction itself —
+    /// poll [`Db::needs_compaction`] and call [`Db::compact`] from a
+    /// background worker so no client write pays the rewrite latency.
+    pub compact_inline: bool,
     /// `fsync` each append before returning (durability of individual
     /// writes). Disable only for tests that hammer the store.
     pub fsync: bool,
@@ -35,6 +40,7 @@ impl Default for DbOptions {
         DbOptions {
             segment_bytes: 4 * 1024 * 1024,
             compact_dead_bytes: 1024 * 1024,
+            compact_inline: true,
             fsync: true,
         }
     }
@@ -404,6 +410,15 @@ impl Db {
         self.lock().compact()
     }
 
+    /// Whether accumulated dead bytes have crossed the configured
+    /// compaction threshold. Hosts that open the store with
+    /// `compact_inline: false` poll this after writes and schedule
+    /// [`Db::compact`] off the write path.
+    pub fn needs_compaction(&self) -> bool {
+        let inner = self.lock();
+        inner.dead_bytes() >= inner.options.compact_dead_bytes
+    }
+
     /// The schema version recorded for `namespace` (set by [`Db::open`]).
     pub fn schema_version(&self, namespace: &str) -> Option<u32> {
         self.lock().schema_version_of(namespace)
@@ -446,9 +461,10 @@ fn validate_names(namespace: &str, key: &str) -> io::Result<()> {
     Ok(())
 }
 
-/// Compact when the configured dead-byte budget is exceeded.
+/// Compact when the configured dead-byte budget is exceeded — unless the
+/// host opted into scheduling compaction itself (`compact_inline: false`).
 fn maybe_compact(inner: &mut Inner) -> io::Result<()> {
-    if inner.dead_bytes() >= inner.options.compact_dead_bytes {
+    if inner.options.compact_inline && inner.dead_bytes() >= inner.options.compact_dead_bytes {
         inner.compact()?;
     }
     Ok(())
@@ -612,6 +628,36 @@ mod tests {
         let stats = db.stats();
         assert!(stats.compactions > 0);
         assert!(stats.dead_bytes < 256 + 64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_compaction_reports_need_and_never_compacts_inline() {
+        let dir = temp_dir("deferred");
+        let options = DbOptions {
+            compact_dead_bytes: 256,
+            compact_inline: false,
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, &[NamespaceDef::new("ns", 1)], options).unwrap();
+        assert!(!db.needs_compaction());
+        for round in 0..200u32 {
+            db.put("ns", "churn", format!("{round:032}").as_bytes())
+                .unwrap();
+        }
+        // The writes crossed the threshold many times over, but no write
+        // paid for a compaction — the host is expected to schedule one.
+        let stats = db.stats();
+        assert_eq!(stats.compactions, 0);
+        assert!(stats.dead_bytes >= 256);
+        assert!(db.needs_compaction());
+        db.compact().unwrap();
+        assert!(!db.needs_compaction());
+        assert_eq!(db.stats().compactions, 1);
+        assert_eq!(
+            db.get("ns", "churn"),
+            Some(format!("{:032}", 199u32).into_bytes())
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

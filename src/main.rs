@@ -7,6 +7,7 @@
 //!        [--backend auto|csr|bitmap|sharded]
 //!        [--kernels scalar|unrolled|avx2|avx512|auto]
 //!        [--sampler cellwise|gaps|auto]
+//!        [--shard-residency <bytes[K|M|G]>]
 //!        [--max-restarts <n>] [--swap-null [<swaps-per-entry>]]
 //!        [--cache-capacity <n>] [--conservative-lambda] [--no-baseline]
 //!        [--list <n>]
@@ -15,6 +16,7 @@
 //!        [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]
 //!        [--kernels scalar|unrolled|avx2|avx512|auto]
 //!        [--sampler cellwise|gaps|auto]
+//!        [--shard-residency <bytes[K|M|G]>]
 //!        [--swap-null [<swaps-per-entry>]]
 //!        [--data-dir <dir>] [--queue-capacity <n>] [--job-workers <n>]
 //! ```
@@ -59,7 +61,10 @@ use sigfim::datasets::fimi::read_fimi_file;
 use sigfim::datasets::kernels::{configure_kernels, KernelMode};
 use sigfim::datasets::transaction::TransactionDataset;
 use sigfim::datasets::tune::startup_tune_request;
-use sigfim::datasets::{configure_sampler, SamplerMode};
+use sigfim::datasets::{
+    configure_residency, configure_sampler, configure_spill, parse_budget_bytes,
+    set_default_spill_dir, SamplerMode,
+};
 use sigfim::mining::miner::MinerKind;
 use sigfim::mining::tuned_miner;
 use sigfim::prelude::{
@@ -105,20 +110,25 @@ struct CliOptions {
     /// `SIGFIM_SAMPLER` (default `cellwise`); a flag that conflicts with a
     /// set `SIGFIM_SAMPLER` is a startup error, mirroring `--kernels`.
     sampler: Option<SamplerMode>,
+    /// `--shard-residency <bytes>`: byte budget on resident shards of the
+    /// sharded backend — beyond it, shards spill to per-shard files and
+    /// fault back in on demand (LRU). `None` defers to `SIGFIM_RESIDENCY`;
+    /// results are bit-identical at every budget.
+    shard_residency: Option<u64>,
 }
 
 const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--alpha <a>] \
     [--beta <b>] [--epsilon <e>] [--replicates <n>] [--threads <n>] [--seed <n>] \
     [--miner apriori|eclat|fp-growth|par-eclat|auto] [--backend auto|csr|bitmap|sharded] \
     [--kernels scalar|unrolled|avx2|avx512|auto] [--sampler cellwise|gaps|auto] \
-    [--max-restarts <n>] \
+    [--shard-residency <bytes[K|M|G]>] [--max-restarts <n>] \
     [--swap-null [<swaps-per-entry>]] [--cache-capacity <n>] [--conservative-lambda] \
     [--no-baseline] [--list <n>]\n\
     \n\
     sigfim serve [<id>=]<dataset.dat>... [--addr <host:port>] [--workers <n>]\n\
     \x20       [--cache-capacity <n>] [--threads <n>] [--backend auto|csr|bitmap|sharded]\n\
     \x20       [--kernels scalar|unrolled|avx2|avx512|auto] [--sampler cellwise|gaps|auto]\n\
-    \x20       [--swap-null [<swaps-per-entry>]]\n\
+    \x20       [--shard-residency <bytes[K|M|G]>] [--swap-null [<swaps-per-entry>]]\n\
     \x20       [--data-dir <dir>] [--queue-capacity <n>] [--job-workers <n>]\n\
     \n\
     --k accepts a single itemset size, a comma list (2,3,4), or an inclusive\n\
@@ -137,6 +147,12 @@ const USAGE: &str = "usage: sigfim <dataset.dat> [--k <size|a,b,c|lo..hi>] [--al
     bits via geometric jumps (a different RNG stream, so estimates differ\n\
     numerically but not statistically), auto lets the density gate and the\n\
     startup tuner choose per run.\n\
+    --shard-residency bounds the bytes of sharded-backend shards kept in\n\
+    memory (suffixes K/M/G, powers of 1024; mirrors SIGFIM_RESIDENCY): cold\n\
+    shards spill to per-shard files and fault back on demand via mmap or a\n\
+    portable read path (SIGFIM_SPILL=mmap|read|off), with bit-identical\n\
+    reports at every budget. In serve mode with --data-dir the spill files\n\
+    live under <data-dir>/spill.\n\
     `serve` starts the multi-tenant HTTP/JSON front-end: one engine per\n\
     dataset, one shared LRU threshold store (--cache-capacity bounds it),\n\
     endpoints POST /v1/analyze, POST /v1/thresholds, PUT|DELETE\n\
@@ -189,6 +205,7 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
         list: 25,
         kernels: None,
         sampler: None,
+        shard_residency: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -248,6 +265,13 @@ fn parse_options<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, 
                 let name = args.next().ok_or("--sampler requires a value")?;
                 options.sampler = Some(name.parse::<SamplerMode>()?);
             }
+            "--shard-residency" => {
+                let value = args.next().ok_or("--shard-residency requires a value")?;
+                options.shard_residency = Some(
+                    parse_budget_bytes(&value)
+                        .map_err(|error| format!("--shard-residency: {error}"))?,
+                );
+            }
             path if !path.starts_with("--") && options.path.is_empty() => {
                 options.path = path.to_string();
             }
@@ -272,18 +296,22 @@ fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
         .map_err(|_| format!("{flag}: could not parse `{value}`"))
 }
 
-/// Validate the kernel and sampler configuration (the `--kernels` /
-/// `--sampler` flags against `SIGFIM_KERNELS` / `SIGFIM_SAMPLER` and this
-/// CPU) and the `SIGFIM_TUNE` setting at startup, so misconfiguration is a
-/// clean error here instead of a panic at the first dispatch deep inside the
-/// analysis.
+/// Validate the kernel, sampler, and out-of-core configuration (the
+/// `--kernels` / `--sampler` / `--shard-residency` flags against
+/// `SIGFIM_KERNELS` / `SIGFIM_SAMPLER` / `SIGFIM_SPILL` / `SIGFIM_RESIDENCY`
+/// and this CPU) and the `SIGFIM_TUNE` setting at startup, so
+/// misconfiguration is a clean error here instead of a panic at the first
+/// dispatch deep inside the analysis.
 fn configure_kernel_startup(
     kernels: Option<KernelMode>,
     sampler: Option<SamplerMode>,
+    shard_residency: Option<u64>,
 ) -> Result<(), String> {
     startup_tune_request()?;
     configure_kernels(kernels)?;
     configure_sampler(sampler)?;
+    configure_spill(None)?;
+    configure_residency(shard_residency)?;
     Ok(())
 }
 
@@ -343,6 +371,8 @@ struct ServeOptions {
     kernels: Option<KernelMode>,
     /// `--sampler` replicate-sampler selection (see [`CliOptions::sampler`]).
     sampler: Option<SamplerMode>,
+    /// `--shard-residency` byte budget (see [`CliOptions::shard_residency`]).
+    shard_residency: Option<u64>,
     /// `--data-dir`: directory of the durable store. `None` runs the service
     /// purely in memory, exactly as before the store existed.
     data_dir: Option<String>,
@@ -381,6 +411,7 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
         swap_null: None,
         kernels: None,
         sampler: None,
+        shard_residency: None,
         data_dir: None,
         queue_capacity: sigfim::service::DEFAULT_QUEUE_CAPACITY,
         job_workers: 1,
@@ -404,6 +435,13 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
             "--sampler" => {
                 let name = args.next().ok_or("--sampler requires a value")?;
                 options.sampler = Some(name.parse::<SamplerMode>()?);
+            }
+            "--shard-residency" => {
+                let value = args.next().ok_or("--shard-residency requires a value")?;
+                options.shard_residency = Some(
+                    parse_budget_bytes(&value)
+                        .map_err(|error| format!("--shard-residency: {error}"))?,
+                );
             }
             "--workers" => options.workers = parse_value(&mut args, "--workers")?,
             "--cache-capacity" => {
@@ -439,7 +477,13 @@ fn parse_serve_options<I: Iterator<Item = String>>(args: I) -> Result<ServeOptio
 
 /// Run the service front-end until killed.
 fn serve_main(options: &ServeOptions) -> Result<(), String> {
-    configure_kernel_startup(options.kernels, options.sampler)?;
+    configure_kernel_startup(options.kernels, options.sampler, options.shard_residency)?;
+    // Spill files belong next to the rest of the service state: under
+    // --data-dir they survive operator inspection and share the volume's
+    // capacity planning. Must happen before any engine builds its views.
+    if let Some(dir) = &options.data_dir {
+        set_default_spill_dir(std::path::Path::new(dir).join("spill"))?;
+    }
     let registry = Arc::new(EngineRegistry::with_capacities(
         options.cache_capacity,
         options.queue_capacity,
@@ -522,7 +566,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(message) = configure_kernel_startup(options.kernels, options.sampler) {
+    if let Err(message) =
+        configure_kernel_startup(options.kernels, options.sampler, options.shard_residency)
+    {
         eprintln!("sigfim: {message}");
         return ExitCode::FAILURE;
     }
@@ -754,6 +800,28 @@ mod tests {
         assert_eq!(serve.sampler, Some(SamplerMode::Gaps));
         assert!(parse_serve(&["x.dat", "--sampler", "jump"]).is_err());
         assert!(USAGE.contains("--sampler"));
+    }
+
+    #[test]
+    fn shard_residency_flag_is_parsed_on_both_subcommands() {
+        assert_eq!(parse(&["data.dat"]).unwrap().shard_residency, None);
+        let bytes = parse(&["data.dat", "--shard-residency", "4096"]).unwrap();
+        assert_eq!(bytes.shard_residency, Some(4096));
+        // Suffixes are powers of 1024, case-insensitive.
+        let mega = parse(&["data.dat", "--shard-residency", "64M"]).unwrap();
+        assert_eq!(mega.shard_residency, Some(64 << 20));
+        let giga = parse(&["data.dat", "--shard-residency", "2g"]).unwrap();
+        assert_eq!(giga.shard_residency, Some(2 << 30));
+        let err = parse(&["data.dat", "--shard-residency", "lots"]).unwrap_err();
+        assert!(err.contains("--shard-residency"), "{err}");
+        assert!(parse(&["data.dat", "--shard-residency"]).is_err());
+
+        let serve = parse_serve(&["x.dat", "--shard-residency", "512K"]).unwrap();
+        assert_eq!(serve.shard_residency, Some(512 << 10));
+        assert!(parse_serve(&["x.dat", "--shard-residency", "-3"]).is_err());
+        assert!(USAGE.contains("--shard-residency"));
+        assert!(USAGE.contains("SIGFIM_RESIDENCY"));
+        assert!(USAGE.contains("SIGFIM_SPILL"));
     }
 
     #[test]
